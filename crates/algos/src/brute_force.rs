@@ -1,0 +1,217 @@
+//! Exact FAM by exhaustive enumeration (the paper's BRUTE-FORCE baseline),
+//! with an optional monotonicity-based branch-and-bound prune.
+//!
+//! The prune uses the fact that adding a point `p` to *any* set can lower
+//! the average regret ratio by at most
+//! `pot(p) = Σ_u w_u · score(u,p) / sat(D,f_u)`, so a partial selection
+//! `S` with `r` slots left satisfies
+//! `arr(best completion) ≥ arr(S) − (sum of the r largest potentials among
+//! the remaining candidates)` — a sound lower bound because `arr ≥ 0`
+//! decreases by at most `pot(p)` per added point.
+
+use std::time::Instant;
+
+use fam_core::{FamError, Result, ScoreSource, Selection, SelectionEvaluator};
+
+/// Exhaustively finds the `k`-set minimizing the (sampled) average regret
+/// ratio. Exponential: use on small inputs only (the paper samples 100
+/// points from Household-6d for this comparison).
+///
+/// # Errors
+///
+/// Returns an error when `k` is zero or exceeds the number of points.
+pub fn brute_force<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Selection> {
+    brute_force_with_pruning(m, k, true)
+}
+
+/// Exhaustive search with the branch-and-bound prune toggleable (the
+/// unpruned variant exists to validate the prune in tests).
+///
+/// # Errors
+///
+/// Returns an error when `k` is zero or exceeds the number of points.
+pub fn brute_force_with_pruning<S: ScoreSource + ?Sized>(
+    m: &S,
+    k: usize,
+    prune: bool,
+) -> Result<Selection> {
+    let n = m.n_points();
+    if k == 0 || k > n {
+        return Err(FamError::InvalidK { k, n });
+    }
+    let start = Instant::now();
+
+    // Per-point optimistic potential (max possible arr decrease).
+    let pot: Vec<f64> = (0..n)
+        .map(|p| {
+            (0..m.n_samples())
+                .map(|u| m.weight(u) * m.score(u, p) / m.best_value(u))
+                .sum()
+        })
+        .collect();
+    // Visit points in descending potential: good solutions appear early,
+    // which tightens the incumbent and strengthens the prune.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| pot[b].partial_cmp(&pot[a]).expect("finite potentials"));
+    // suffix_pot[i][r] replaced by: for the suffix starting at i, the sum of
+    // the r largest potentials is simply the first r entries (order is
+    // descending), i.e. prefix sums over the ordered suffix.
+    let ordered_pot: Vec<f64> = order.iter().map(|&p| pot[p]).collect();
+    let mut suffix_prefix: Vec<f64> = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        suffix_prefix[i] = ordered_pot[i] + suffix_prefix[i + 1];
+    }
+    let best_r_of_suffix = |i: usize, r: usize| -> f64 {
+        // Sum of the r largest potentials in order[i..] = first r of them.
+        suffix_prefix[i] - suffix_prefix[(i + r).min(n)]
+    };
+
+    let mut ev = SelectionEvaluator::new_with(m, &[]);
+    let mut best_arr = f64::INFINITY;
+    let mut best_set: Vec<usize> = Vec::new();
+    let mut stack: Vec<usize> = Vec::with_capacity(k);
+
+    // Depth-first over combinations of `order` indices.
+    fn dfs<S: ScoreSource + ?Sized>(
+        m: &S,
+        ev: &mut SelectionEvaluator<'_, S>,
+        order: &[usize],
+        start_idx: usize,
+        k: usize,
+        prune: bool,
+        best_r_of_suffix: &dyn Fn(usize, usize) -> f64,
+        stack: &mut Vec<usize>,
+        best_arr: &mut f64,
+        best_set: &mut Vec<usize>,
+    ) {
+        if stack.len() == k {
+            let arr = ev.arr();
+            if arr < *best_arr {
+                *best_arr = arr;
+                *best_set = stack.iter().map(|&i| order[i]).collect();
+            }
+            return;
+        }
+        let remaining = k - stack.len();
+        let n = order.len();
+        // Not enough points left to fill the selection.
+        if start_idx + remaining > n {
+            return;
+        }
+        if prune && ev.arr() - best_r_of_suffix(start_idx, remaining) >= *best_arr {
+            return;
+        }
+        for i in start_idx..=(n - remaining) {
+            let p = order[i];
+            ev.add(p);
+            stack.push(i);
+            dfs(m, ev, order, i + 1, k, prune, best_r_of_suffix, stack, best_arr, best_set);
+            stack.pop();
+            ev.remove(p);
+            // After trying i as the next member, the bound for the rest of
+            // the loop uses the suffix from i+1.
+            if prune && ev.arr() - best_r_of_suffix(i + 1, remaining) >= *best_arr {
+                break;
+            }
+        }
+    }
+
+    dfs(
+        m,
+        &mut ev,
+        &order,
+        0,
+        k,
+        prune,
+        &best_r_of_suffix,
+        &mut stack,
+        &mut best_arr,
+        &mut best_set,
+    );
+
+    Ok(Selection::new(best_set, "brute-force")
+        .with_objective(best_arr)
+        .with_query_time(start.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fam_core::ScoreMatrix;
+    use fam_core::regret;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, n_samples: usize, n_points: usize) -> ScoreMatrix {
+        let rows: Vec<Vec<f64>> = (0..n_samples)
+            .map(|_| (0..n_points).map(|_| rng.gen_range(0.01..1.0)).collect())
+            .collect();
+        ScoreMatrix::from_rows(rows, None).unwrap()
+    }
+
+    /// Reference: plain bitmask enumeration.
+    fn exhaustive_reference(m: &ScoreMatrix, k: usize) -> (f64, Vec<usize>) {
+        let n = m.n_points();
+        let mut best = (f64::INFINITY, Vec::new());
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != k {
+                continue;
+            }
+            let sel: Vec<usize> = (0..n).filter(|&p| mask & (1 << p) != 0).collect();
+            let arr = regret::arr_unchecked(m, &sel);
+            if arr < best.0 {
+                best = (arr, sel);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_reference_enumeration() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for _ in 0..15 {
+            let n = rng.gen_range(3..10);
+            let k = rng.gen_range(1..=n);
+            let m = random_matrix(&mut rng, 20, n);
+            let got = brute_force(&m, k).unwrap();
+            let (ref_arr, _) = exhaustive_reference(&m, k);
+            assert!(
+                (got.objective.unwrap() - ref_arr).abs() < 1e-9,
+                "n={n} k={k}: {} vs {ref_arr}",
+                got.objective.unwrap()
+            );
+            let direct = regret::arr_unchecked(&m, &got.indices);
+            assert!((direct - got.objective.unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10 {
+            let n = rng.gen_range(5..12);
+            let k = rng.gen_range(1..=4.min(n));
+            let m = random_matrix(&mut rng, 25, n);
+            let a = brute_force_with_pruning(&m, k, true).unwrap();
+            let b = brute_force_with_pruning(&m, k, false).unwrap();
+            assert!((a.objective.unwrap() - b.objective.unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_zero_regret() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let m = random_matrix(&mut rng, 10, 5);
+        let got = brute_force(&m, 5).unwrap();
+        assert!(got.objective.unwrap().abs() < 1e-12);
+        assert_eq!(got.indices, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn invalid_k() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let m = random_matrix(&mut rng, 5, 4);
+        assert!(brute_force(&m, 0).is_err());
+        assert!(brute_force(&m, 9).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! CUBE — the second k-regret algorithm of Nanongkai et al. \[22\],
+//! included as an additional maximum-regret-ratio baseline.
+//!
+//! The first `d − 1` dimensions are partitioned into `t^(d−1)` equal
+//! hypercubes with `t = ⌊(k − d + 1)^(1/(d−1))⌋`; within every cube the
+//! point maximizing the last dimension is kept, alongside the per-dimension
+//! maxima. CUBE is fast and carries a `1/(t+1)`-style worst-case guarantee,
+//! but — like MRR-GREEDY — it is oblivious to the utility distribution, so
+//! its *average* regret ratio trails GREEDY-SHRINK's.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use fam_core::{Dataset, FamError, Result, Selection};
+
+/// Runs CUBE, returning at most `k` points (padded deterministically to
+/// exactly `k`).
+///
+/// # Errors
+///
+/// Returns an error when `k < d` (the algorithm needs one slot per
+/// dimension) or `k > n`.
+pub fn cube(dataset: &Dataset, k: usize) -> Result<Selection> {
+    let n = dataset.len();
+    let d = dataset.dim();
+    if k > n {
+        return Err(FamError::InvalidK { k, n });
+    }
+    if k < d {
+        return Err(FamError::InvalidParameter {
+            name: "k",
+            message: format!("CUBE needs k >= d (got k={k}, d={d})"),
+        });
+    }
+    let start = Instant::now();
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+
+    // Per-dimension maxima (the d "anchor" points).
+    for dim in 0..d {
+        let best = (0..n)
+            .max_by(|&a, &b| {
+                dataset.point(a)[dim]
+                    .partial_cmp(&dataset.point(b)[dim])
+                    .expect("finite coords")
+            })
+            .expect("non-empty dataset");
+        if !chosen.contains(&best) {
+            chosen.push(best);
+        }
+    }
+
+    if d >= 2 {
+        // Cube side count on the first d−1 dimensions.
+        let slots = (k + 1).saturating_sub(d).max(1);
+        let t = (slots as f64).powf(1.0 / (d - 1) as f64).floor().max(1.0) as usize;
+        // Per-dimension maxima for normalization into [0, 1].
+        let maxes = dataset.dim_maxes();
+        let mut best_per_cell: HashMap<Vec<usize>, usize> = HashMap::new();
+        for p in 0..n {
+            let coords = dataset.point(p);
+            let cell: Vec<usize> = (0..d - 1)
+                .map(|j| {
+                    let m = maxes[j].max(1e-12);
+                    (((coords[j] / m) * t as f64) as usize).min(t - 1)
+                })
+                .collect();
+            let entry = best_per_cell.entry(cell).or_insert(p);
+            if coords[d - 1] > dataset.point(*entry)[d - 1] {
+                *entry = p;
+            }
+        }
+        // Deterministic order: by cell key.
+        let mut cells: Vec<(Vec<usize>, usize)> = best_per_cell.into_iter().collect();
+        cells.sort();
+        for (_, p) in cells {
+            if chosen.len() == k {
+                break;
+            }
+            if !chosen.contains(&p) {
+                chosen.push(p);
+            }
+        }
+    }
+
+    // Pad to exactly k with arbitrary remaining points.
+    for p in 0..n {
+        if chosen.len() == k {
+            break;
+        }
+        if !chosen.contains(&p) {
+            chosen.push(p);
+        }
+    }
+    Ok(Selection::new(chosen, "cube").with_query_time(start.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrr::mrr_linear_exact;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(rng: &mut StdRng, n: usize, d: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.gen_range(0.01..1.0)).collect()).collect();
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn returns_k_points_including_dimension_maxima() {
+        let mut rng = StdRng::seed_from_u64(90);
+        let ds = random_dataset(&mut rng, 100, 3);
+        let sel = cube(&ds, 8).unwrap();
+        assert_eq!(sel.len(), 8);
+        for dim in 0..3 {
+            let best = (0..100)
+                .max_by(|&a, &b| {
+                    ds.point(a)[dim].partial_cmp(&ds.point(b)[dim]).unwrap()
+                })
+                .unwrap();
+            assert!(sel.indices.contains(&best), "missing dim-{dim} anchor");
+        }
+    }
+
+    #[test]
+    fn mrr_improves_with_k() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let ds = random_dataset(&mut rng, 200, 2);
+        let m4 = mrr_linear_exact(&ds, &cube(&ds, 4).unwrap().indices).unwrap();
+        let m16 = mrr_linear_exact(&ds, &cube(&ds, 16).unwrap().indices).unwrap();
+        assert!(m16 <= m4 + 1e-9, "mrr should not grow with k: {m4} -> {m16}");
+        assert!(m16 < 0.5);
+    }
+
+    #[test]
+    fn beats_random_on_mrr() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let ds = random_dataset(&mut rng, 150, 3);
+        let k = 10;
+        let c = mrr_linear_exact(&ds, &cube(&ds, k).unwrap().indices).unwrap();
+        let mut random_sum = 0.0;
+        for _ in 0..5 {
+            let mut sel: Vec<usize> = (0..150).collect();
+            for i in (1..sel.len()).rev() {
+                sel.swap(i, rng.gen_range(0..=i));
+            }
+            sel.truncate(k);
+            random_sum += mrr_linear_exact(&ds, &sel).unwrap();
+        }
+        assert!(c < random_sum / 5.0, "cube {c} vs random avg {}", random_sum / 5.0);
+    }
+
+    #[test]
+    fn one_dimensional_degenerates_to_top_anchor() {
+        let ds = Dataset::from_rows(vec![vec![0.2], vec![0.9], vec![0.5]]).unwrap();
+        let sel = cube(&ds, 2).unwrap();
+        assert!(sel.indices.contains(&1));
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn validation() {
+        let ds = Dataset::from_rows(vec![vec![1.0, 1.0]; 3]).unwrap();
+        assert!(cube(&ds, 1).is_err(), "k < d rejected");
+        assert!(cube(&ds, 9).is_err(), "k > n rejected");
+        assert!(cube(&ds, 2).is_ok());
+    }
+}

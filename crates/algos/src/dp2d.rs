@@ -1,0 +1,421 @@
+//! Exact dynamic programming for 2-D databases with linear utilities
+//! (Section IV, Theorem 6).
+//!
+//! After reducing to the (deduplicated) skyline sorted descending by the
+//! first coordinate, the optimal selection's best-in-S point moves
+//! monotonically through the skyline order as the utility angle grows (the
+//! single-crossing property of Section IV-A). The DP state
+//! `arr*(r, i, θ_l)` is the optimal average regret ratio over utilities
+//! with angle `≥ θ_l` given that point `i` is selected and is the best
+//! point at `θ_l`, with `r` more points available; transitions enumerate
+//! the next selected point `j` (or stop, covering the rest of the quadrant
+//! with `i`). Since `θ_l` is always either 0 or a pairwise switch angle
+//! `θ_{prev,i}`, states are memoized on `(r, i, prev)`.
+//!
+//! `arr({p_i}, F^{θu}_{θl})` — the cost of a wedge served by a single
+//! point — is evaluated through per-point cumulative envelope integrals
+//! (closed form under [`UniformBoxMeasure`] / [`UniformAngleMeasure`];
+//! quadrature otherwise), so each transition costs `O(log |envelope|)`.
+//!
+//! [`UniformBoxMeasure`]: crate::measure::UniformBoxMeasure
+//! [`UniformAngleMeasure`]: crate::measure::UniformAngleMeasure
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use fam_core::{Dataset, FamError, Result, Selection};
+use fam_geometry::{skyline_2d, switch_angle, Envelope, HALF_PI};
+
+use crate::measure::AngularMeasure;
+
+/// Output of the exact DP.
+#[derive(Debug, Clone)]
+pub struct Dp2dOutput {
+    /// The optimal selection; `objective` holds the exact continuous
+    /// average regret ratio under the supplied measure.
+    pub selection: Selection,
+    /// Size of the deduplicated skyline the DP ran on.
+    pub skyline_size: usize,
+    /// Number of memoized DP states evaluated.
+    pub states: usize,
+}
+
+struct DpContext<'a> {
+    /// Skyline point coordinates, ordered by first coordinate descending.
+    pts: Vec<[f64; 2]>,
+    /// Dataset index of each skyline point.
+    dataset_idx: Vec<usize>,
+    /// Envelope segment boundaries (shared by all cumulative tables).
+    seg_lo: Vec<f64>,
+    seg_hi: Vec<f64>,
+    seg_point: Vec<[f64; 2]>,
+    /// `cum[i][z]` = regret mass of point `i` over segments `0..z`.
+    cum: Vec<Vec<f64>>,
+    measure: &'a dyn AngularMeasure,
+    memo: HashMap<(u32, u32, u32), (f64, u32)>,
+    m: usize,
+}
+
+impl<'a> DpContext<'a> {
+    /// Switch angle between skyline points `i < j` (point `i` has the
+    /// larger first coordinate).
+    fn theta(&self, i: usize, j: usize) -> f64 {
+        switch_angle(&self.pts[i], &self.pts[j])
+    }
+
+    /// `∫_0^θ (1 − u_i/u_env) dμ` via the per-point cumulative table.
+    fn cum_to(&self, i: usize, theta: f64) -> f64 {
+        let z = self.seg_hi.partition_point(|&hi| hi < theta).min(self.seg_lo.len() - 1);
+        let partial = self.measure.regret_mass(
+            &self.pts[i],
+            &self.seg_point[z],
+            self.seg_lo[z],
+            theta.min(self.seg_hi[z]),
+        );
+        self.cum[i][z] + partial
+    }
+
+    /// Cost of point `i` serving the wedge `[lo, hi]`.
+    fn wedge_cost(&self, i: usize, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        (self.cum_to(i, hi) - self.cum_to(i, lo)).max(0.0)
+    }
+
+    /// `arr*(r, i, θ_l)` with `θ_l` encoded by `prev` (`prev == m` ⇒ 0).
+    fn solve(&mut self, r: usize, i: usize, prev: usize) -> f64 {
+        let key = (r as u32, i as u32, prev as u32);
+        if let Some(&(v, _)) = self.memo.get(&key) {
+            return v;
+        }
+        let theta_l = if prev == self.m { 0.0 } else { self.theta(prev, i) };
+        // Option "stop": i serves everything up to π/2.
+        let mut best = self.wedge_cost(i, theta_l, HALF_PI);
+        let mut choice = self.m as u32; // sentinel: stop
+        if r > 0 {
+            for j in (i + 1)..self.m {
+                let tij = self.theta(i, j);
+                if tij < theta_l {
+                    continue;
+                }
+                let cost = self.wedge_cost(i, theta_l, tij) + self.solve(r - 1, j, i);
+                if cost < best {
+                    best = cost;
+                    choice = j as u32;
+                }
+            }
+        }
+        self.memo.insert(key, (best, choice));
+        best
+    }
+}
+
+/// Runs the exact DP, returning the optimal `k`-selection under `measure`.
+///
+/// # Errors
+///
+/// Returns an error unless the dataset is 2-dimensional, `1 ≤ k ≤ n`, and
+/// at least one point has positive utility at every angle.
+pub fn dp_2d(dataset: &Dataset, k: usize, measure: &dyn AngularMeasure) -> Result<Dp2dOutput> {
+    if dataset.dim() != 2 {
+        return Err(FamError::DimensionMismatch { expected: 2, got: dataset.dim() });
+    }
+    let n = dataset.len();
+    if k == 0 || k > n {
+        return Err(FamError::InvalidK { k, n });
+    }
+    let start = Instant::now();
+
+    // Deduplicated skyline ordered by first coordinate descending.
+    let mut sky = skyline_2d(dataset);
+    sky.sort_by(|&a, &b| {
+        dataset.point(b)[0]
+            .partial_cmp(&dataset.point(a)[0])
+            .expect("finite coords")
+    });
+    sky.dedup_by(|&mut a, &mut b| dataset.point(a) == dataset.point(b));
+    let m = sky.len();
+    let pts: Vec<[f64; 2]> = sky
+        .iter()
+        .map(|&i| {
+            let p = dataset.point(i);
+            [p[0], p[1]]
+        })
+        .collect();
+
+    // Database envelope and per-point cumulative regret tables.
+    let env = Envelope::build(dataset);
+    let seg_lo: Vec<f64> = env.segments().iter().map(|s| s.lo).collect();
+    let seg_hi: Vec<f64> = env.segments().iter().map(|s| s.hi).collect();
+    let seg_point: Vec<[f64; 2]> = env
+        .segments()
+        .iter()
+        .map(|s| {
+            let p = dataset.point(s.point);
+            [p[0], p[1]]
+        })
+        .collect();
+    let n_segs = seg_lo.len();
+    let mut cum = Vec::with_capacity(m);
+    for p in &pts {
+        let mut acc = 0.0;
+        let mut prefix = Vec::with_capacity(n_segs);
+        for z in 0..n_segs {
+            prefix.push(acc);
+            acc += measure.regret_mass(p, &seg_point[z], seg_lo[z], seg_hi[z]);
+        }
+        cum.push(prefix);
+    }
+
+    let mut ctx = DpContext {
+        pts,
+        dataset_idx: sky,
+        seg_lo,
+        seg_hi,
+        seg_point,
+        cum,
+        measure,
+        memo: HashMap::new(),
+        m,
+    };
+
+    // Top level: choose the first selected point (best at θ = 0).
+    let budget = k.min(m);
+    let mut best = f64::INFINITY;
+    let mut first = 0usize;
+    for i in 0..m {
+        let v = ctx.solve(budget - 1, i, m);
+        if v < best {
+            best = v;
+            first = i;
+        }
+    }
+
+    // Reconstruct the chain of selected skyline points.
+    let mut chosen_local = vec![first];
+    let mut r = budget - 1;
+    let mut i = first;
+    let mut prev = m;
+    loop {
+        let &(_, choice) = ctx
+            .memo
+            .get(&(r as u32, i as u32, prev as u32))
+            .expect("state was just solved");
+        if choice as usize == m {
+            break;
+        }
+        chosen_local.push(choice as usize);
+        prev = i;
+        i = choice as usize;
+        if r == 0 {
+            break;
+        }
+        r -= 1;
+    }
+
+    let mut indices: Vec<usize> =
+        chosen_local.iter().map(|&l| ctx.dataset_idx[l]).collect();
+    // The DP may use fewer than k points (extra points cannot reduce the
+    // optimum further); pad deterministically for a size-k answer.
+    if indices.len() < k {
+        for l in 0..m {
+            if indices.len() == k {
+                break;
+            }
+            let cand = ctx.dataset_idx[l];
+            if !indices.contains(&cand) {
+                indices.push(cand);
+            }
+        }
+        for p in 0..n {
+            if indices.len() == k {
+                break;
+            }
+            if !indices.contains(&p) {
+                indices.push(p);
+            }
+        }
+    }
+    let states = ctx.memo.len();
+    Ok(Dp2dOutput {
+        selection: Selection::new(indices, "dp-2d")
+            .with_objective(best)
+            .with_query_time(start.elapsed()),
+        skyline_size: m,
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{continuous_arr, UniformAngleMeasure, UniformBoxMeasure};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_2d(rng: &mut StdRng, n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.05..1.0), rng.gen_range(0.05..1.0)])
+            .collect();
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    /// Exhaustive optimum under the continuous measure.
+    fn exhaustive_opt(ds: &Dataset, k: usize, measure: &dyn AngularMeasure) -> f64 {
+        let n = ds.len();
+        let mut best = f64::INFINITY;
+        let mut sel = Vec::new();
+        fn rec(
+            ds: &Dataset,
+            k: usize,
+            start: usize,
+            sel: &mut Vec<usize>,
+            best: &mut f64,
+            measure: &dyn AngularMeasure,
+        ) {
+            if sel.len() == k {
+                let v = continuous_arr(ds, sel, measure).unwrap();
+                if v < *best {
+                    *best = v;
+                }
+                return;
+            }
+            for i in start..ds.len() {
+                sel.push(i);
+                rec(ds, k, i + 1, sel, best, measure);
+                sel.pop();
+            }
+        }
+        rec(ds, k, 0, &mut sel, &mut best, measure);
+        let _ = n;
+        best
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_uniform_box() {
+        let mut rng = StdRng::seed_from_u64(70);
+        for trial in 0..12 {
+            let n = rng.gen_range(3..9);
+            let ds = random_2d(&mut rng, n);
+            let k = rng.gen_range(1..=3.min(n));
+            let dp = dp_2d(&ds, k, &UniformBoxMeasure).unwrap();
+            let opt = exhaustive_opt(&ds, k, &UniformBoxMeasure);
+            let dp_val = dp.selection.objective.unwrap();
+            assert!(
+                (dp_val - opt).abs() < 1e-7,
+                "trial {trial} (n={n}, k={k}): dp {dp_val} vs exhaustive {opt}"
+            );
+            // The DP's claimed objective must equal the continuous arr of
+            // its own (unpadded prefix of the) selection.
+            let scored = continuous_arr(&ds, &dp.selection.indices, &UniformBoxMeasure).unwrap();
+            assert!(scored <= dp_val + 1e-7, "padding should never hurt: {scored} vs {dp_val}");
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_uniform_angle() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for trial in 0..8 {
+            let n = rng.gen_range(3..8);
+            let ds = random_2d(&mut rng, n);
+            let k = rng.gen_range(1..=2.min(n));
+            let dp = dp_2d(&ds, k, &UniformAngleMeasure).unwrap();
+            let opt = exhaustive_opt(&ds, k, &UniformAngleMeasure);
+            let dp_val = dp.selection.objective.unwrap();
+            assert!(
+                (dp_val - opt).abs() < 1e-6,
+                "trial {trial} (n={n}, k={k}): dp {dp_val} vs exhaustive {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_one_selects_best_singleton() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let ds = random_2d(&mut rng, 15);
+        let dp = dp_2d(&ds, 1, &UniformBoxMeasure).unwrap();
+        let mut best = (f64::INFINITY, usize::MAX);
+        for i in 0..15 {
+            let v = continuous_arr(&ds, &[i], &UniformBoxMeasure).unwrap();
+            if v < best.0 {
+                best = (v, i);
+            }
+        }
+        assert_eq!(dp.selection.indices, vec![best.1]);
+        assert!((dp.selection.objective.unwrap() - best.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_skyline_selection_is_zero() {
+        // k >= skyline size: the whole skyline fits, arr = 0.
+        let ds = Dataset::from_rows(vec![
+            vec![1.0, 0.1],
+            vec![0.7, 0.7],
+            vec![0.1, 1.0],
+            vec![0.3, 0.3], // dominated
+        ])
+        .unwrap();
+        let dp = dp_2d(&ds, 3, &UniformBoxMeasure).unwrap();
+        assert!(dp.selection.objective.unwrap() < 1e-9);
+        assert_eq!(dp.skyline_size, 3);
+    }
+
+    #[test]
+    fn padding_fills_to_k() {
+        let ds = Dataset::from_rows(vec![
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+            vec![0.25, 0.75],
+        ])
+        .unwrap();
+        // Skyline = {0}; ask for 3 points.
+        let dp = dp_2d(&ds, 3, &UniformBoxMeasure).unwrap();
+        assert_eq!(dp.selection.len(), 3);
+        assert!(dp.selection.objective.unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_are_tolerated() {
+        let ds = Dataset::from_rows(vec![
+            vec![1.0, 0.1],
+            vec![1.0, 0.1],
+            vec![0.1, 1.0],
+        ])
+        .unwrap();
+        let dp = dp_2d(&ds, 2, &UniformBoxMeasure).unwrap();
+        assert_eq!(dp.selection.len(), 2);
+        assert!(dp.selection.objective.unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_never_beats_dp() {
+        use crate::greedy_shrink::{greedy_shrink, GreedyShrinkConfig};
+        use fam_core::{ScoreMatrix, UniformLinear};
+        let mut rng = StdRng::seed_from_u64(73);
+        for _ in 0..5 {
+            let ds = random_2d(&mut rng, 30);
+            let k = 3;
+            let dp = dp_2d(&ds, k, &UniformBoxMeasure).unwrap();
+            let dist = UniformLinear::new(2).unwrap();
+            let m = ScoreMatrix::from_distribution(&ds, &dist, 4000, &mut rng).unwrap();
+            let greedy = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
+            let greedy_cont =
+                continuous_arr(&ds, &greedy.selection.indices, &UniformBoxMeasure).unwrap();
+            let dp_val = dp.selection.objective.unwrap();
+            assert!(
+                dp_val <= greedy_cont + 1e-7,
+                "DP {dp_val} must lower-bound greedy {greedy_cont}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let ds3 = Dataset::from_rows(vec![vec![1.0, 0.0, 0.0]]).unwrap();
+        assert!(dp_2d(&ds3, 1, &UniformBoxMeasure).is_err());
+        let ds = Dataset::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!(dp_2d(&ds, 0, &UniformBoxMeasure).is_err());
+        assert!(dp_2d(&ds, 3, &UniformBoxMeasure).is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! GREEDY-SHRINK (Algorithm 1) with the practical improvements of
+//! Appendix C.
+//!
+//! The algorithm initializes the solution to the whole database and
+//! repeatedly removes the point whose removal increases the average regret
+//! ratio the least, until `k` points remain. Supermodularity +
+//! monotonicity of `arr` give the `(e^t − 1)/t` approximation guarantee
+//! (Theorem 3).
+//!
+//! * **Improvement 1** (best-point caching) lives in
+//!   [`fam_core::SelectionEvaluator`]: evaluating `arr(S − {p})` touches
+//!   only the samples whose best point is `p`.
+//! * **Improvement 2** (lazy lower-bound pruning) is implemented here with
+//!   a priority queue over *stale* evaluation values, which Lemma 2 shows
+//!   are lower bounds of the current values; a popped entry that is already
+//!   fresh is the true argmin (Lemma 3).
+//!
+//! Both improvements are toggleable so the ablation experiment can measure
+//! their effect; instrumentation counters reproduce the paper's "~1% of
+//! best points change per iteration" and "~68% of candidates re-evaluated"
+//! claims.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use fam_core::{regret, FamError, Result, ScoreSource, Selection, SelectionEvaluator};
+
+/// Configuration for [`greedy_shrink`].
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyShrinkConfig {
+    /// Output size.
+    pub k: usize,
+    /// Improvement 1: incremental best-point caching. When false, every
+    /// candidate evaluation recomputes `arr(S − {p})` from scratch.
+    pub best_point_cache: bool,
+    /// Improvement 2: lazy re-evaluation with lower bounds from the
+    /// previous iterations.
+    pub lazy_pruning: bool,
+}
+
+impl GreedyShrinkConfig {
+    /// Full-featured configuration (both improvements on).
+    pub fn new(k: usize) -> Self {
+        GreedyShrinkConfig { k, best_point_cache: true, lazy_pruning: true }
+    }
+
+    /// The naive variant used as an ablation baseline.
+    pub fn naive(k: usize) -> Self {
+        GreedyShrinkConfig { k, best_point_cache: false, lazy_pruning: false }
+    }
+}
+
+/// Result of a GREEDY-SHRINK run with instrumentation.
+#[derive(Debug, Clone)]
+pub struct GreedyShrinkOutput {
+    /// The selected points (with query time and final objective attached).
+    pub selection: Selection,
+    /// Number of shrink iterations performed (`n − k`).
+    pub iterations: usize,
+    /// Mean fraction of samples whose best point changed per iteration
+    /// (the paper reports ≈1% on real datasets).
+    pub avg_best_change_frac: f64,
+    /// Mean fraction of surviving candidates re-evaluated per iteration
+    /// (the paper reports ≈68%; 100% when lazy pruning is off).
+    pub avg_candidates_frac: f64,
+    /// Total number of `arr(S − {p})` evaluations.
+    pub arr_evaluations: u64,
+}
+
+/// Runs GREEDY-SHRINK on a score matrix.
+///
+/// # Errors
+///
+/// Returns an error when `k` is zero or exceeds the number of points.
+pub fn greedy_shrink<S: ScoreSource + ?Sized>(
+    m: &S,
+    cfg: GreedyShrinkConfig,
+) -> Result<GreedyShrinkOutput> {
+    let n = m.n_points();
+    if cfg.k == 0 || cfg.k > n {
+        return Err(FamError::InvalidK { k: cfg.k, n });
+    }
+    let start = Instant::now();
+    let out = if cfg.best_point_cache {
+        shrink_cached(m, cfg)
+    } else {
+        shrink_naive(m, cfg.k)
+    };
+    let elapsed = start.elapsed();
+    out.map(|mut o| {
+        o.selection.query_time = elapsed;
+        o
+    })
+}
+
+/// Heap entry: minimum evaluation value first, then lowest point index
+/// (deterministic tie-breaking).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    value: f64,
+    point: u32,
+    /// Iteration at which `value` was computed.
+    stamp: u32,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the smallest value.
+        other
+            .value
+            .partial_cmp(&self.value)
+            .expect("finite evaluation values")
+            .then_with(|| other.point.cmp(&self.point))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn shrink_cached<S: ScoreSource + ?Sized>(m: &S, cfg: GreedyShrinkConfig) -> Result<GreedyShrinkOutput> {
+    let n = m.n_points();
+    let mut ev = SelectionEvaluator::new_full(m);
+    let iterations = n - cfg.k;
+    let mut best_change_acc = 0.0;
+    let mut candidates_acc = 0.0;
+    let mut arr_evaluations = 0u64;
+
+    if cfg.lazy_pruning {
+        // Lazy greedy: stale values are lower bounds (Lemma 2), so the heap
+        // head, once refreshed in the current iteration, is the argmin
+        // (Lemma 3).
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(n);
+        for p in 0..n {
+            let value = ev.arr() + ev.removal_delta(p);
+            arr_evaluations += 1;
+            heap.push(Entry { value, point: p as u32, stamp: 0 });
+        }
+        for iter in 1..=iterations as u32 {
+            let before_promotions = ev.counters().promotions;
+            let mut evaluated_this_iter = 0u64;
+            let victim;
+            loop {
+                let head = heap.pop().expect("heap tracks all remaining members");
+                if !ev.contains(head.point as usize) {
+                    continue; // already removed in an earlier iteration
+                }
+                if head.stamp == iter {
+                    victim = head.point as usize;
+                    break;
+                }
+                let value = ev.arr() + ev.removal_delta(head.point as usize);
+                arr_evaluations += 1;
+                evaluated_this_iter += 1;
+                heap.push(Entry { value, point: head.point, stamp: iter });
+            }
+            ev.remove(victim);
+            let promoted = ev.counters().promotions - before_promotions;
+            best_change_acc += promoted as f64 / m.n_samples() as f64;
+            // Candidates that survived into this iteration: |S| before removal.
+            let survivors = (n - iter as usize + 1) as f64;
+            candidates_acc += evaluated_this_iter as f64 / survivors;
+        }
+    } else {
+        for iter in 1..=iterations {
+            let before_promotions = ev.counters().promotions;
+            let members = ev.selection();
+            let mut best: Option<(f64, usize)> = None;
+            for &p in &members {
+                let value = ev.arr() + ev.removal_delta(p);
+                arr_evaluations += 1;
+                match best {
+                    None => best = Some((value, p)),
+                    Some((bv, _)) if value < bv => best = Some((value, p)),
+                    _ => {}
+                }
+            }
+            let (_, victim) = best.expect("selection non-empty");
+            ev.remove(victim);
+            let promoted = ev.counters().promotions - before_promotions;
+            best_change_acc += promoted as f64 / m.n_samples() as f64;
+            candidates_acc += 1.0;
+            let _ = iter;
+        }
+    }
+
+    let indices = ev.selection();
+    let objective = ev.arr();
+    Ok(GreedyShrinkOutput {
+        selection: Selection::new(indices, "greedy-shrink").with_objective(objective),
+        iterations,
+        avg_best_change_frac: if iterations > 0 {
+            best_change_acc / iterations as f64
+        } else {
+            0.0
+        },
+        avg_candidates_frac: if iterations > 0 {
+            candidates_acc / iterations as f64
+        } else {
+            0.0
+        },
+        arr_evaluations,
+    })
+}
+
+/// Textbook Algorithm 1 with no caching: every candidate evaluation is a
+/// full `O(N · |S|)` scan. Kept for the ablation benchmark.
+fn shrink_naive<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<GreedyShrinkOutput> {
+    let n = m.n_points();
+    let mut members: Vec<usize> = (0..n).collect();
+    let mut arr_evaluations = 0u64;
+    let mut scratch: Vec<usize> = Vec::with_capacity(n);
+    while members.len() > k {
+        let mut best: Option<(f64, usize)> = None;
+        for (pos, &p) in members.iter().enumerate() {
+            scratch.clear();
+            scratch.extend(members.iter().copied().filter(|&q| q != p));
+            let value = regret::arr_unchecked(m, &scratch);
+            arr_evaluations += 1;
+            match best {
+                None => best = Some((value, pos)),
+                Some((bv, _)) if value < bv => best = Some((value, pos)),
+                _ => {}
+            }
+        }
+        let (_, pos) = best.expect("members non-empty");
+        members.remove(pos);
+    }
+    let objective = regret::arr_unchecked(m, &members);
+    Ok(GreedyShrinkOutput {
+        selection: Selection::new(members, "greedy-shrink-naive").with_objective(objective),
+        iterations: n - k,
+        avg_best_change_frac: f64::NAN,
+        avg_candidates_frac: 1.0,
+        arr_evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fam_core::ScoreMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, n_samples: usize, n_points: usize) -> ScoreMatrix {
+        let rows: Vec<Vec<f64>> = (0..n_samples)
+            .map(|_| (0..n_points).map(|_| rng.gen_range(0.01..1.0)).collect())
+            .collect();
+        ScoreMatrix::from_rows(rows, None).unwrap()
+    }
+
+    #[test]
+    fn selects_k_points() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = random_matrix(&mut rng, 50, 20);
+        let out = greedy_shrink(&m, GreedyShrinkConfig::new(5)).unwrap();
+        assert_eq!(out.selection.len(), 5);
+        assert_eq!(out.iterations, 15);
+        let direct = regret::arr(&m, &out.selection.indices).unwrap();
+        assert!((out.selection.objective.unwrap() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lazy_and_eager_agree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let n = rng.gen_range(5..25);
+            let k = rng.gen_range(1..n);
+            let m = random_matrix(&mut rng, 40, n);
+            let lazy = greedy_shrink(
+                &m,
+                GreedyShrinkConfig { k, best_point_cache: true, lazy_pruning: true },
+            )
+            .unwrap();
+            let eager = greedy_shrink(
+                &m,
+                GreedyShrinkConfig { k, best_point_cache: true, lazy_pruning: false },
+            )
+            .unwrap();
+            assert_eq!(lazy.selection.indices, eager.selection.indices);
+        }
+    }
+
+    #[test]
+    fn cached_and_naive_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..15);
+            let k = rng.gen_range(1..n);
+            let m = random_matrix(&mut rng, 25, n);
+            let cached = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
+            let naive = greedy_shrink(&m, GreedyShrinkConfig::naive(k)).unwrap();
+            assert_eq!(
+                cached.selection.indices, naive.selection.indices,
+                "n={n} k={k}"
+            );
+            assert!(
+                (cached.selection.objective.unwrap() - naive.selection.objective.unwrap()).abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_pruning_saves_evaluations() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = random_matrix(&mut rng, 100, 60);
+        let lazy = greedy_shrink(&m, GreedyShrinkConfig::new(10)).unwrap();
+        let eager = greedy_shrink(
+            &m,
+            GreedyShrinkConfig { k: 10, best_point_cache: true, lazy_pruning: false },
+        )
+        .unwrap();
+        assert!(
+            lazy.arr_evaluations < eager.arr_evaluations,
+            "lazy {} !< eager {}",
+            lazy.arr_evaluations,
+            eager.arr_evaluations
+        );
+        assert!(lazy.avg_candidates_frac < 1.0);
+    }
+
+    #[test]
+    fn k_equals_n_returns_everything() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = random_matrix(&mut rng, 10, 6);
+        let out = greedy_shrink(&m, GreedyShrinkConfig::new(6)).unwrap();
+        assert_eq!(out.selection.indices, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(out.iterations, 0);
+        assert!(out.selection.objective.unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_one_picks_a_sensible_point() {
+        // One point is unambiguously the best for everyone.
+        let m = ScoreMatrix::from_rows(
+            vec![vec![0.2, 0.9, 0.3], vec![0.1, 0.8, 0.4], vec![0.3, 1.0, 0.2]],
+            None,
+        )
+        .unwrap();
+        let out = greedy_shrink(&m, GreedyShrinkConfig::new(1)).unwrap();
+        assert_eq!(out.selection.indices, vec![1]);
+        assert!(out.selection.objective.unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = random_matrix(&mut rng, 5, 4);
+        assert!(greedy_shrink(&m, GreedyShrinkConfig::new(0)).is_err());
+        assert!(greedy_shrink(&m, GreedyShrinkConfig::new(5)).is_err());
+    }
+
+    #[test]
+    fn greedy_stays_near_exhaustive_on_small_instances() {
+        // The paper observes an empirical approximation ratio of 1 on small
+        // *real* datasets. Fully i.i.d. random matrices are adversarial for
+        // greedy, so here we assert a modest ratio bound plus a majority of
+        // exact hits; the integration suite checks ratio 1 on structured
+        // data (see tests/cross_algorithm.rs).
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut exact_hits = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let m = random_matrix(&mut rng, 30, 7);
+            let k = 3;
+            let out = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
+            // Exhaustive optimum.
+            let mut best = f64::INFINITY;
+            let idx: Vec<usize> = (0..7).collect();
+            for a in 0..7 {
+                for b in a + 1..7 {
+                    for c in b + 1..7 {
+                        let arr = regret::arr_unchecked(&m, &[idx[a], idx[b], idx[c]]);
+                        if arr < best {
+                            best = arr;
+                        }
+                    }
+                }
+            }
+            let got = out.selection.objective.unwrap();
+            assert!(got >= best - 1e-12);
+            assert!(
+                got <= best * 1.35 + 1e-9,
+                "greedy {got} too far from optimum {best}"
+            );
+            if (got - best).abs() < 1e-9 {
+                exact_hits += 1;
+            }
+        }
+        assert!(
+            exact_hits >= trials / 2,
+            "greedy matched the optimum on only {exact_hits}/{trials} instances"
+        );
+    }
+
+    #[test]
+    fn instrumentation_is_populated() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = random_matrix(&mut rng, 200, 40);
+        let out = greedy_shrink(&m, GreedyShrinkConfig::new(10)).unwrap();
+        assert!(out.avg_best_change_frac > 0.0 && out.avg_best_change_frac <= 1.0);
+        assert!(out.avg_candidates_frac > 0.0 && out.avg_candidates_frac <= 1.0);
+        assert!(out.arr_evaluations >= 40);
+        assert!(out.selection.query_time.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # fam-algos
+//!
+//! All selection algorithms of the FAM paper:
+//!
+//! * [`greedy_shrink`](fn@greedy_shrink) — the paper's main contribution (Algorithm 1) with
+//!   the Appendix C improvements, instrumented and toggleable;
+//! * [`dp_2d`](fn@dp_2d) — the exact dynamic program for 2-D linear utilities
+//!   (Section IV) over pluggable angular measures;
+//! * [`brute_force`](fn@brute_force) — exact enumeration with a monotonicity-based prune;
+//! * [`add_greedy`](fn@add_greedy) — the insertion greedy of the SIGMOD'16 poster \[33\]
+//!   (ablation baseline);
+//! * baselines from prior work: [`mrr_greedy_exact`](fn@mrr_greedy_exact) / [`mrr_greedy_sampled`](fn@mrr_greedy_sampled)
+//!   (k-regret, Nanongkai et al. \[22\], LP-backed), [`sky_dom`](fn@sky_dom)
+//!   (representative skyline, Lin et al. \[20\]), [`k_hit`](fn@k_hit) (Peng & Wong \[26\]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod add_greedy;
+pub mod brute_force;
+pub mod cube;
+pub mod dp2d;
+pub mod greedy_shrink;
+pub mod k_hit;
+pub mod local_search;
+pub mod measure;
+pub mod mrr;
+pub mod reduction;
+pub mod mrr_greedy;
+pub mod sky_dom;
+
+pub use add_greedy::add_greedy;
+pub use brute_force::{brute_force, brute_force_with_pruning};
+pub use cube::cube;
+pub use dp2d::{dp_2d, Dp2dOutput};
+pub use greedy_shrink::{greedy_shrink, GreedyShrinkConfig, GreedyShrinkOutput};
+pub use k_hit::k_hit;
+pub use local_search::{local_search, LocalSearchConfig, LocalSearchOutput};
+pub use measure::{
+    adaptive_simpson, continuous_arr, AngularMeasure, QuadratureMeasure, UniformAngleMeasure,
+    UniformBoxMeasure,
+};
+pub use mrr::{mrr_linear_exact, mrr_sampled, witness_regret};
+pub use reduction::{reduce_set_cover, set_cover_has_cover_of_size, ReducedInstance, SetCoverInstance};
+pub use mrr_greedy::{mrr_greedy_exact, mrr_greedy_sampled};
+pub use sky_dom::sky_dom;

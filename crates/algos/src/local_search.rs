@@ -1,0 +1,203 @@
+//! Swap-based local search — a polish step over any initial selection
+//! (an extension beyond the paper, in the spirit of its future-work
+//! discussion on improving solution quality).
+//!
+//! Starting from a size-`k` selection, the search repeatedly tries to swap
+//! one selected point for one unselected point whenever that strictly
+//! lowers the estimated average regret ratio, taking the *best* swap per
+//! member (steepest descent) until a pass makes no progress or the pass
+//! budget is exhausted. Because `arr` is bounded below and every accepted
+//! swap strictly decreases it, termination is guaranteed.
+
+use std::time::Instant;
+
+use fam_core::{FamError, Result, ScoreSource, Selection, SelectionEvaluator};
+
+/// Configuration for [`local_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearchConfig {
+    /// Maximum number of full improvement passes.
+    pub max_passes: usize,
+    /// Minimum arr improvement for a swap to be accepted.
+    pub tolerance: f64,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        LocalSearchConfig { max_passes: 3, tolerance: 1e-12 }
+    }
+}
+
+/// Output of the local search.
+#[derive(Debug, Clone)]
+pub struct LocalSearchOutput {
+    /// The polished selection.
+    pub selection: Selection,
+    /// Number of accepted swaps.
+    pub swaps: usize,
+    /// Number of passes performed.
+    pub passes: usize,
+}
+
+/// Polishes `initial` by best-improvement swaps.
+///
+/// # Errors
+///
+/// Returns an error if the initial selection is invalid for the matrix.
+pub fn local_search<S: ScoreSource + ?Sized>(
+    m: &S,
+    initial: &[usize],
+    cfg: LocalSearchConfig,
+) -> Result<LocalSearchOutput> {
+    if initial.is_empty() || initial.len() > m.n_points() {
+        return Err(FamError::InvalidK { k: initial.len(), n: m.n_points() });
+    }
+    let mut seen = vec![false; m.n_points()];
+    for &p in initial {
+        if p >= m.n_points() {
+            return Err(FamError::IndexOutOfBounds { index: p, len: m.n_points() });
+        }
+        if seen[p] {
+            return Err(FamError::InvalidParameter {
+                name: "initial",
+                message: format!("duplicate point index {p}"),
+            });
+        }
+        seen[p] = true;
+    }
+    let start = Instant::now();
+    let mut ev = SelectionEvaluator::new_with(m, initial);
+    let mut swaps = 0usize;
+    let mut passes = 0usize;
+    for _ in 0..cfg.max_passes {
+        passes += 1;
+        let mut improved = false;
+        let members = ev.selection();
+        for &p in &members {
+            if !ev.contains(p) {
+                continue; // replaced earlier in this pass
+            }
+            let base = ev.arr();
+            ev.remove(p);
+            // Best replacement for p (p itself is a candidate, restoring
+            // the original set).
+            let mut best = (f64::INFINITY, p);
+            for q in 0..m.n_points() {
+                if ev.contains(q) {
+                    continue;
+                }
+                let cand = ev.arr() + ev.addition_delta(q);
+                if cand < best.0 {
+                    best = (cand, q);
+                }
+            }
+            ev.add(best.1);
+            if best.1 != p && ev.arr() < base - cfg.tolerance {
+                swaps += 1;
+                improved = true;
+            } else if best.1 != p {
+                // Numerical tie: revert for determinism.
+                ev.remove(best.1);
+                ev.add(p);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let objective = ev.arr();
+    Ok(LocalSearchOutput {
+        selection: Selection::new(ev.selection(), "local-search")
+            .with_objective(objective)
+            .with_query_time(start.elapsed()),
+        swaps,
+        passes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fam_core::ScoreMatrix;
+    use crate::brute_force::brute_force;
+    use crate::greedy_shrink::{greedy_shrink, GreedyShrinkConfig};
+    use fam_core::regret;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, n_samples: usize, n_points: usize) -> ScoreMatrix {
+        let rows: Vec<Vec<f64>> = (0..n_samples)
+            .map(|_| (0..n_points).map(|_| rng.gen_range(0.01..1.0)).collect())
+            .collect();
+        ScoreMatrix::from_rows(rows, None).unwrap()
+    }
+
+    #[test]
+    fn never_worsens_the_initial_selection() {
+        let mut rng = StdRng::seed_from_u64(81);
+        for _ in 0..10 {
+            let m = random_matrix(&mut rng, 40, 15);
+            let initial: Vec<usize> = vec![0, 1, 2];
+            let before = regret::arr_unchecked(&m, &initial);
+            let out = local_search(&m, &initial, LocalSearchConfig::default()).unwrap();
+            assert!(out.selection.objective.unwrap() <= before + 1e-12);
+            assert_eq!(out.selection.len(), 3);
+            let direct = regret::arr_unchecked(&m, &out.selection.indices);
+            assert!((direct - out.selection.objective.unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn polishes_bad_starts_to_optimality_on_small_instances() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let mut hits = 0;
+        let trials = 15;
+        for _ in 0..trials {
+            let m = random_matrix(&mut rng, 30, 9);
+            let k = 3;
+            let opt = brute_force(&m, k).unwrap().objective.unwrap();
+            // Deliberately bad start: the last k points.
+            let initial: Vec<usize> = (9 - k..9).collect();
+            let out = local_search(
+                &m,
+                &initial,
+                LocalSearchConfig { max_passes: 10, ..Default::default() },
+            )
+            .unwrap();
+            if (out.selection.objective.unwrap() - opt).abs() < 1e-9 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= trials / 2, "local search reached the optimum only {hits}/{trials}");
+    }
+
+    #[test]
+    fn improves_or_preserves_greedy_solutions() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let m = random_matrix(&mut rng, 60, 20);
+        let g = greedy_shrink(&m, GreedyShrinkConfig::new(5)).unwrap();
+        let polished =
+            local_search(&m, &g.selection.indices, LocalSearchConfig::default()).unwrap();
+        assert!(
+            polished.selection.objective.unwrap() <= g.selection.objective.unwrap() + 1e-12
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let m = random_matrix(&mut rng, 5, 4);
+        assert!(local_search(&m, &[], LocalSearchConfig::default()).is_err());
+        assert!(local_search(&m, &[9], LocalSearchConfig::default()).is_err());
+        assert!(local_search(&m, &[1, 1], LocalSearchConfig::default()).is_err());
+    }
+
+    #[test]
+    fn reports_pass_and_swap_counts() {
+        let mut rng = StdRng::seed_from_u64(85);
+        let m = random_matrix(&mut rng, 30, 12);
+        let out = local_search(&m, &[9, 10, 11], LocalSearchConfig::default()).unwrap();
+        assert!(out.passes >= 1);
+        assert!(out.swaps <= out.passes * 3 + 3);
+    }
+}

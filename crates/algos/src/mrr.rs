@@ -1,0 +1,174 @@
+//! Maximum regret ratio computation — the k-regret objective of
+//! Nanongkai et al. \[22\], needed by the MRR-GREEDY baseline and by the
+//! comparison experiments.
+//!
+//! For linear utilities the maximum regret ratio of a selection `S` is
+//! computed *exactly* with one LP per witness point `p ∈ D`:
+//!
+//! ```text
+//!   minimize x
+//!   s.t.     w · s ≤ x        for every s ∈ S
+//!            w · p = 1
+//!            w ≥ 0
+//! ```
+//!
+//! whose optimum gives `1 − x*` as the regret ratio witnessed by `p`
+//! (normalizing `w·p = 1` is lossless because regret ratios are
+//! scale-invariant, and a witness that is not the true best point only
+//! *underestimates* — see the module tests). Only skyline points can be
+//! witnesses, which keeps the LP count small.
+
+use fam_core::{Dataset, FamError, Result, ScoreSource};
+use fam_geometry::skyline;
+use fam_lp::{solve, LpError, LpProblem, Relation, Sense};
+
+/// Exact maximum regret ratio of `selection` over all non-negative linear
+/// utilities, via one LP per skyline witness.
+///
+/// # Errors
+///
+/// Returns an error for invalid selections or if an LP fails unexpectedly.
+pub fn mrr_linear_exact(dataset: &Dataset, selection: &[usize]) -> Result<f64> {
+    dataset.validate_selection(selection)?;
+    let witnesses = skyline(dataset);
+    let mut worst = 0.0f64;
+    for &p in &witnesses {
+        let rr = witness_regret(dataset, selection, p)?;
+        if rr > worst {
+            worst = rr;
+        }
+    }
+    Ok(worst.clamp(0.0, 1.0))
+}
+
+/// The regret ratio witnessed by point `p`: `max_w 1 − max_{s∈S} w·s`
+/// subject to `w·p = 1, w ≥ 0`. Returns 0 when `p` cannot be normalized
+/// (all-zero point) or when `p ∈ S`.
+///
+/// # Errors
+///
+/// Returns an error if the LP solver fails for a reason other than
+/// infeasibility.
+pub fn witness_regret(dataset: &Dataset, selection: &[usize], p: usize) -> Result<f64> {
+    if selection.contains(&p) {
+        return Ok(0.0);
+    }
+    let d = dataset.dim();
+    // Variables: w_0..w_{d-1}, x.
+    let mut objective = vec![0.0; d + 1];
+    objective[d] = 1.0;
+    let mut lp = LpProblem::new(d + 1, Sense::Minimize, objective)
+        .map_err(lp_to_fam)?;
+    for &s in selection {
+        let mut coeffs: Vec<f64> = dataset.point(s).to_vec();
+        coeffs.push(-1.0); // w·s − x ≤ 0
+        lp.add_constraint(coeffs, Relation::Le, 0.0).map_err(lp_to_fam)?;
+    }
+    let mut norm: Vec<f64> = dataset.point(p).to_vec();
+    norm.push(0.0);
+    lp.add_constraint(norm, Relation::Eq, 1.0).map_err(lp_to_fam)?;
+    match solve(&lp) {
+        Ok(sol) => Ok((1.0 - sol.objective).clamp(0.0, 1.0)),
+        // w·p = 1 is infeasible only for the all-zero point, which is never
+        // anyone's strict favourite: it witnesses no regret.
+        Err(LpError::Infeasible) => Ok(0.0),
+        Err(e) => Err(lp_to_fam(e)),
+    }
+}
+
+/// Sampled maximum regret ratio (for non-linear or learned distributions):
+/// the maximum regret ratio over the sampled utility functions.
+///
+/// # Errors
+///
+/// Returns an error for invalid selections.
+pub fn mrr_sampled<S: ScoreSource + ?Sized>(m: &S, selection: &[usize]) -> Result<f64> {
+    fam_core::regret::mrr_sampled(m, selection)
+}
+
+fn lp_to_fam(e: LpError) -> FamError {
+    FamError::InvalidParameter { name: "lp", message: e.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fam_core::{ScoreMatrix, UniformLinear};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ds(rows: Vec<Vec<f64>>) -> Dataset {
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn full_selection_has_zero_mrr() {
+        let d = ds(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.7]]);
+        let mrr = mrr_linear_exact(&d, &[0, 1, 2]).unwrap();
+        assert!(mrr.abs() < 1e-9, "mrr {mrr}");
+    }
+
+    #[test]
+    fn known_two_point_geometry() {
+        // D = {(1,0), (0,1)}, S = {(1,0)}. Worst case is w = (0,1):
+        // sat(S) = 0, sat(D) = 1 -> mrr = 1.
+        let d = ds(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let mrr = mrr_linear_exact(&d, &[0]).unwrap();
+        assert!((mrr - 1.0).abs() < 1e-6, "mrr {mrr}");
+    }
+
+    #[test]
+    fn symmetric_midpoint_selection() {
+        // D = {(1,0), (0,1), (0.6,0.6)}, S = {(0.6,0.6)}: worst witness is
+        // either corner with w concentrated there: rr = 1 - 0.6 = 0.4.
+        let d = ds(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.6]]);
+        let mrr = mrr_linear_exact(&d, &[2]).unwrap();
+        assert!((mrr - 0.4).abs() < 1e-6, "mrr {mrr}");
+    }
+
+    #[test]
+    fn lp_mrr_upper_bounds_sampled_mrr() {
+        // The LP maximizes over *all* linear utilities, so it must dominate
+        // any sampled estimate on the same dataset.
+        let mut rng = StdRng::seed_from_u64(77);
+        let d = fam_data_like(&mut rng, 40, 3);
+        let dist = UniformLinear::new(3).unwrap();
+        let m = ScoreMatrix::from_distribution(&d, &dist, 2000, &mut rng).unwrap();
+        for sel in [vec![0], vec![0, 1], vec![0, 1, 2, 3]] {
+            let exact = mrr_linear_exact(&d, &sel).unwrap();
+            let sampled = mrr_sampled(&m, &sel).unwrap();
+            assert!(
+                exact >= sampled - 1e-6,
+                "exact {exact} should dominate sampled {sampled} for {sel:?}"
+            );
+            // And with 2000 samples it should not be wildly larger.
+            assert!(exact <= sampled + 0.35, "exact {exact} vs sampled {sampled}");
+        }
+    }
+
+    fn fam_data_like(rng: &mut StdRng, n: usize, d: usize) -> Dataset {
+        use rand::Rng;
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.gen_range(0.01..1.0)).collect()).collect();
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn witness_in_selection_contributes_nothing() {
+        let d = ds(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(witness_regret(&d, &[0], 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zero_point_witnesses_nothing() {
+        let d = ds(vec![vec![1.0, 1.0], vec![0.0, 0.0]]);
+        assert_eq!(witness_regret(&d, &[0], 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn selection_validation() {
+        let d = ds(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(mrr_linear_exact(&d, &[]).is_err());
+        assert!(mrr_linear_exact(&d, &[7]).is_err());
+    }
+}

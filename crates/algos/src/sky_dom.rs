@@ -1,0 +1,148 @@
+//! SKY-DOM — the representative-skyline baseline of Lin et al. \[20\]
+//! ("Selecting Stars"): choose `k` skyline points that together dominate
+//! the largest number of database points. Solved greedily (max-coverage),
+//! which is the standard `1 − 1/e` approximation; coverage bookkeeping
+//! uses bitsets over the database.
+
+use std::time::Instant;
+
+use fam_core::{Dataset, FamError, Result, Selection};
+use fam_geometry::{dominates, skyline, BitSet};
+
+/// Runs greedy SKY-DOM.
+///
+/// # Errors
+///
+/// Returns an error when `k` is zero or exceeds the number of points.
+pub fn sky_dom(dataset: &Dataset, k: usize) -> Result<Selection> {
+    let n = dataset.len();
+    if k == 0 || k > n {
+        return Err(FamError::InvalidK { k, n });
+    }
+    let start = Instant::now();
+    let sky = skyline(dataset);
+    // Dominance bitsets: one per skyline candidate.
+    let coverage: Vec<BitSet> = sky
+        .iter()
+        .map(|&c| {
+            let pc = dataset.point(c);
+            let mut b = BitSet::new(n);
+            for j in 0..n {
+                if j != c && dominates(pc, dataset.point(j)) {
+                    b.set(j);
+                }
+            }
+            b
+        })
+        .collect();
+
+    let mut covered = BitSet::new(n);
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut used = vec![false; sky.len()];
+    while chosen.len() < k.min(sky.len()) {
+        let mut best: Option<(usize, usize)> = None; // (gain, candidate pos)
+        for (pos, bits) in coverage.iter().enumerate() {
+            if used[pos] {
+                continue;
+            }
+            let gain = covered.gain_count(bits);
+            match best {
+                None => best = Some((gain, pos)),
+                Some((bg, bp)) => {
+                    if gain > bg || (gain == bg && sky[pos] < sky[bp]) {
+                        best = Some((gain, pos));
+                    }
+                }
+            }
+        }
+        let (_, pos) = best.expect("unused skyline candidate exists");
+        used[pos] = true;
+        covered.union_with(&coverage[pos]);
+        chosen.push(sky[pos]);
+    }
+    // k larger than the skyline: pad with arbitrary points.
+    if chosen.len() < k {
+        for p in 0..n {
+            if chosen.len() == k {
+                break;
+            }
+            if !chosen.contains(&p) {
+                chosen.push(p);
+            }
+        }
+    }
+    Ok(Selection::new(chosen, "sky-dom").with_query_time(start.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(rows: Vec<Vec<f64>>) -> Dataset {
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn picks_the_dominating_star() {
+        // Point 0 dominates everything; it must be chosen first.
+        let d = ds(vec![
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+            vec![0.9, 0.2],
+            vec![0.2, 0.9],
+        ]);
+        let s = sky_dom(&d, 1).unwrap();
+        assert_eq!(s.indices, vec![0]);
+    }
+
+    #[test]
+    fn greedy_coverage_order() {
+        // Two skyline points: A=(1, 0.55) dominates 3 points on the right,
+        // B=(0.5, 1.0) dominates 1 point. A first; with k=2, both.
+        let d = ds(vec![
+            vec![1.0, 0.55],  // A
+            vec![0.5, 1.0],   // B
+            vec![0.9, 0.5],   // dominated by A
+            vec![0.8, 0.4],   // dominated by A
+            vec![0.7, 0.3],   // dominated by A
+            vec![0.4, 0.9],   // dominated by B
+        ]);
+        let s1 = sky_dom(&d, 1).unwrap();
+        assert_eq!(s1.indices, vec![0]);
+        let s2 = sky_dom(&d, 2).unwrap();
+        assert_eq!(s2.indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn selections_are_skyline_points_when_possible() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(44);
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let d = ds(rows);
+        let sky = skyline(&d);
+        let k = 5.min(sky.len());
+        let s = sky_dom(&d, k).unwrap();
+        for p in &s.indices {
+            assert!(sky.contains(p), "{p} not on the skyline");
+        }
+    }
+
+    #[test]
+    fn pads_beyond_skyline() {
+        let d = ds(vec![vec![1.0, 1.0], vec![0.9, 0.9], vec![0.1, 0.2]]);
+        // Skyline is only {0}; ask for 2.
+        let s = sky_dom(&d, 2).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.indices.contains(&0));
+    }
+
+    #[test]
+    fn invalid_k() {
+        let d = ds(vec![vec![1.0]]);
+        assert!(sky_dom(&d, 0).is_err());
+        assert!(sky_dom(&d, 2).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the algorithm layer.
+
+use fam_algos::{
+    brute_force, continuous_arr, dp_2d, greedy_shrink, k_hit, sky_dom, GreedyShrinkConfig,
+    UniformBoxMeasure,
+};
+use fam_core::{regret, Dataset, ScoreMatrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(
+    max_points: usize,
+    max_users: usize,
+) -> impl Strategy<Value = ScoreMatrix> {
+    (3..=max_points, 2..=max_users).prop_flat_map(|(n, u)| {
+        proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, n), u)
+            .prop_map(|rows| ScoreMatrix::from_rows(rows, None).unwrap())
+    })
+}
+
+fn dataset_2d_strategy(max_n: usize) -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, 2), 2..=max_n)
+        .prop_map(|rows| Dataset::from_rows(rows).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Greedy-shrink's objective is achievable (matches direct evaluation)
+    /// and monotone non-increasing in k.
+    #[test]
+    fn greedy_objective_is_consistent_and_monotone(m in matrix_strategy(10, 10)) {
+        let n = m.n_points();
+        let mut prev = f64::INFINITY;
+        for k in 1..=n {
+            let out = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
+            let direct = regret::arr_unchecked(&m, &out.selection.indices);
+            prop_assert!((out.selection.objective.unwrap() - direct).abs() < 1e-9);
+            prop_assert!(direct <= prev + 1e-9, "arr grew from {} to {} at k={}", prev, direct, k);
+            prev = direct;
+        }
+    }
+
+    /// Brute force lower-bounds every other algorithm on its own sample.
+    #[test]
+    fn brute_force_is_a_lower_bound(m in matrix_strategy(8, 8), k in 1usize..4) {
+        let k = k.min(m.n_points());
+        let opt = brute_force(&m, k).unwrap().objective.unwrap();
+        let g = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
+        prop_assert!(g.selection.objective.unwrap() >= opt - 1e-9);
+        let kh = k_hit(&m, k).unwrap();
+        prop_assert!(regret::arr_unchecked(&m, &kh.indices) >= opt - 1e-9);
+    }
+
+    /// DP equals exhaustive search under the continuous measure on small
+    /// 2-D instances.
+    #[test]
+    fn dp_is_exact(ds in dataset_2d_strategy(7), k in 1usize..3) {
+        let k = k.min(ds.len());
+        let dp = dp_2d(&ds, k, &UniformBoxMeasure).unwrap();
+        // Exhaustive over all k-subsets.
+        let n = ds.len();
+        let mut best = f64::INFINITY;
+        let total = 1u32 << n;
+        for mask in 0..total {
+            if mask.count_ones() as usize != k { continue; }
+            let sel: Vec<usize> = (0..n).filter(|&p| mask & (1 << p) != 0).collect();
+            best = best.min(continuous_arr(&ds, &sel, &UniformBoxMeasure).unwrap());
+        }
+        prop_assert!(
+            (dp.selection.objective.unwrap() - best).abs() < 1e-6,
+            "dp {} vs exhaustive {}", dp.selection.objective.unwrap(), best
+        );
+    }
+
+    /// Continuous arr is monotone under set inclusion for 2-D data.
+    #[test]
+    fn continuous_arr_monotone(ds in dataset_2d_strategy(8)) {
+        let n = ds.len();
+        let small: Vec<usize> = vec![0];
+        let big: Vec<usize> = (0..n.min(3)).collect();
+        let a = continuous_arr(&ds, &small, &UniformBoxMeasure).unwrap();
+        let b = continuous_arr(&ds, &big, &UniformBoxMeasure).unwrap();
+        prop_assert!(b <= a + 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&a));
+    }
+
+    /// SKY-DOM always returns skyline points first and never errors on
+    /// valid k.
+    #[test]
+    fn sky_dom_is_total(ds in dataset_2d_strategy(20), k in 1usize..6) {
+        let k = k.min(ds.len());
+        let sel = sky_dom(&ds, k).unwrap();
+        prop_assert_eq!(sel.len(), k);
+        ds.validate_selection(&sel.indices).unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion benches for the Appendix C ablation: GREEDY-SHRINK with the
+//! two practical improvements individually toggled, plus ADD-GREEDY.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fam::prelude::*;
+use fam::{add_greedy, greedy_shrink};
+use fam_bench::workloads::synthetic_workload;
+
+fn bench_ablation(c: &mut Criterion) {
+    let w = synthetic_workload(3_000, 4, 1_000, 13).expect("workload");
+    let k = 10.min(w.sky.len());
+    let mut g = c.benchmark_group("appendix_c_ablation");
+    g.sample_size(10);
+
+    g.bench_function("improved_lazy", |b| {
+        b.iter(|| {
+            greedy_shrink(
+                &w.matrix,
+                GreedyShrinkConfig { k, best_point_cache: true, lazy_pruning: true },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("improved_eager", |b| {
+        b.iter(|| {
+            greedy_shrink(
+                &w.matrix,
+                GreedyShrinkConfig { k, best_point_cache: true, lazy_pruning: false },
+            )
+            .unwrap()
+        })
+    });
+    // The naive variant is quadratic per iteration; bench a reduced slice
+    // so a single iteration stays measurable.
+    let cols: Vec<usize> = (0..w.sky.len().min(80)).collect();
+    let small = w.matrix.restrict_columns(&cols).expect("restrict");
+    g.bench_function("naive_n80", |b| {
+        b.iter(|| greedy_shrink(&small, GreedyShrinkConfig::naive(10)).unwrap())
+    });
+    g.bench_function("improved_n80", |b| {
+        b.iter(|| greedy_shrink(&small, GreedyShrinkConfig::new(10)).unwrap())
+    });
+    g.bench_function("add_greedy", |b| b.iter(|| add_greedy(&w.matrix, k).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches mirroring the paper's algorithm-comparison figures
+//! (query-time panels of Figures 1c, 2b, 4): each algorithm at the default
+//! k = 10 on a mid-size anti-correlated workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fam::prelude::*;
+use fam::{greedy_shrink, k_hit, mrr_greedy_exact, mrr_greedy_sampled, sky_dom};
+use fam_bench::workloads::synthetic_workload;
+
+fn bench_algorithms(c: &mut Criterion) {
+    // Fixed workload shared across algorithms: n = 4000, d = 4, N = 1000.
+    let w = synthetic_workload(4_000, 4, 1_000, 42).expect("workload");
+    let k = 10;
+    let mut g = c.benchmark_group("fig4_query_time");
+    g.sample_size(10);
+
+    g.bench_function("greedy_shrink", |b| {
+        b.iter(|| greedy_shrink(&w.matrix, GreedyShrinkConfig::new(k)).unwrap())
+    });
+    g.bench_function("greedy_shrink_eager", |b| {
+        b.iter(|| {
+            greedy_shrink(
+                &w.matrix,
+                GreedyShrinkConfig { k, best_point_cache: true, lazy_pruning: false },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("mrr_greedy_lp", |b| {
+        b.iter(|| mrr_greedy_exact(&w.sky, k).unwrap())
+    });
+    g.bench_function("mrr_greedy_sampled", |b| {
+        b.iter(|| mrr_greedy_sampled(&w.matrix, k).unwrap())
+    });
+    g.bench_function("sky_dom", |b| b.iter(|| sky_dom(&w.full, k).unwrap()));
+    g.bench_function("k_hit", |b| b.iter(|| k_hit(&w.matrix, k).unwrap()));
+    g.finish();
+
+    // Brute force on the Fig 8 scale (100 points, k = 3).
+    let mut g = c.benchmark_group("fig8_brute_force");
+    g.sample_size(10);
+    let small_cols: Vec<usize> = (0..w.sky.len().min(100)).collect();
+    let small = w.matrix.restrict_columns(&small_cols).expect("restrict");
+    g.bench_function("brute_force_k3", |b| {
+        b.iter_batched(
+            || small.clone(),
+            |m| fam::brute_force(&m, 3).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

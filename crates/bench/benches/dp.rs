@@ -1,0 +1,42 @@
+//! Criterion benches for the exact 2-D DP (Figure 1c's DP series): effect
+//! of k and of the angular measure on DP query time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fam::prelude::*;
+use fam::{dp_2d, UniformAngleMeasure, UniformBoxMeasure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let ds = synthetic(10_000, 2, Correlation::AntiCorrelated, &mut rng).expect("data");
+    let sky_size = skyline(&ds).len();
+    eprintln!("dp bench: skyline = {sky_size} points");
+
+    let mut g = c.benchmark_group("fig1c_dp");
+    g.sample_size(10);
+    for k in [1usize, 3, 5, 7] {
+        g.bench_with_input(BenchmarkId::new("uniform_box", k), &k, |b, &k| {
+            b.iter(|| dp_2d(&ds, k, &UniformBoxMeasure).unwrap())
+        });
+    }
+    g.bench_function("uniform_angle_k5", |b| {
+        b.iter(|| dp_2d(&ds, 5, &UniformAngleMeasure).unwrap())
+    });
+    g.finish();
+
+    // Skyline-size scaling: denser fronts make the DP cubic term visible.
+    let mut g = c.benchmark_group("dp_skyline_scaling");
+    g.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let ds = synthetic(n, 2, Correlation::AntiCorrelated, &mut rng).expect("data");
+        g.bench_with_input(BenchmarkId::new("k5_n", n), &ds, |b, ds| {
+            b.iter(|| dp_2d(ds, 5, &UniformBoxMeasure).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the scalability figures (5 and 7): GREEDY-SHRINK
+//! query time as `n` and `d` grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fam::prelude::*;
+use fam::greedy_shrink;
+use fam_bench::workloads::synthetic_workload;
+
+fn bench_scaling(c: &mut Criterion) {
+    // Fig 7 (effect of n): skyline-restricted matrices, k = 10, N = 500.
+    let mut g = c.benchmark_group("fig7_effect_of_n");
+    g.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let w = synthetic_workload(n, 4, 500, n as u64).expect("workload");
+        g.throughput(Throughput::Elements(w.sky.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| {
+                greedy_shrink(&w.matrix, GreedyShrinkConfig::new(10.min(w.sky.len()))).unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Fig 5 (effect of d): n = 5,000, k = 10, N = 500.
+    let mut g = c.benchmark_group("fig5_effect_of_d");
+    g.sample_size(10);
+    for d in [4usize, 8, 16, 30] {
+        let w = synthetic_workload(5_000, d, 500, d as u64).expect("workload");
+        g.bench_with_input(BenchmarkId::from_parameter(d), &w, |b, w| {
+            b.iter(|| {
+                greedy_shrink(&w.matrix, GreedyShrinkConfig::new(10.min(w.sky.len()))).unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Effect of the sample count N (the ε sweep of Fig 9).
+    let mut g = c.benchmark_group("fig9_effect_of_sample_size");
+    g.sample_size(10);
+    for n_samples in [500usize, 2_000, 8_000] {
+        let w = synthetic_workload(2_000, 4, n_samples, 99).expect("workload");
+        g.bench_with_input(BenchmarkId::from_parameter(n_samples), &w, |b, w| {
+            b.iter(|| greedy_shrink(&w.matrix, GreedyShrinkConfig::new(10)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

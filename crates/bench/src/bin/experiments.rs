@@ -1,0 +1,59 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p fam-bench --release --bin experiments -- <id>... [--full] [--seed S]
+//! cargo run -p fam-bench --release --bin experiments -- all
+//! ```
+//!
+//! Ids: table2 table5 fig1 fig2 ... fig12 ablation (see DESIGN.md §5).
+
+use fam_bench::experiments::{self, ALL};
+use fam_bench::workloads::Scale;
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Default;
+    let mut seed = 20190408u64; // ICDE 2019 opening day
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                seed = v.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage("no experiment id given");
+    }
+    println!(
+        "# FAM reproduction harness — scale: {scale:?}, seed: {seed}\n\
+         # (timings are wall-clock on this machine; the paper's shapes, not its\n\
+         #  absolute numbers, are the reproduction target — see EXPERIMENTS.md)"
+    );
+    for id in ids {
+        let start = std::time::Instant::now();
+        if let Err(e) = experiments::run(&id, scale, seed) {
+            eprintln!("experiment {id} failed: {e}");
+            std::process::exit(1);
+        }
+        println!("# {id} finished in {:?}", start.elapsed());
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "usage: experiments <id>... [--full] [--seed S]\n       experiments all [--full]\n\nids: {}",
+        ALL.join(" ")
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,96 @@
+//! Ablation of the Appendix C improvements and reproduction of the
+//! paper's internal efficiency claims: "the best point of only about 1% of
+//! the users changes per iteration" and "we only need to consider 68% of
+//! the points per iteration" (equivalently, ~32% of candidates skip
+//! re-evaluation).
+
+use fam::prelude::*;
+use fam::{greedy_shrink, ScoreMatrix};
+
+use crate::table::{f, secs, section, Table};
+use crate::workloads::{real_workload, Scale};
+
+/// Runs the ablation grid.
+pub fn run(scale: Scale, seed: u64) -> fam::Result<()> {
+    let w = real_workload(RealDataset::Household6d, scale, seed)?;
+    let k = 10;
+    println!(
+        "Household-6d (simulated): skyline = {} points, N = {}, k = {k}",
+        w.sky.len(),
+        w.matrix.n_samples()
+    );
+
+    section("ablation-variants", "GREEDY-SHRINK with improvements toggled");
+    let t = Table::new(&["variant", "arr", "query_s", "arr_evals", "best_chg_frac", "cand_frac"]);
+    let variants = [
+        ("both improvements", true, true),
+        ("cache only (no lazy)", true, false),
+    ];
+    for (name, cache, lazy) in variants {
+        let out = greedy_shrink(
+            &w.matrix,
+            GreedyShrinkConfig { k, best_point_cache: cache, lazy_pruning: lazy },
+        )?;
+        t.row(&[
+            name.into(),
+            f(out.selection.objective.unwrap()),
+            secs(out.selection.query_time),
+            format!("{}", out.arr_evaluations),
+            f(out.avg_best_change_frac),
+            f(out.avg_candidates_frac),
+        ]);
+    }
+    // The naive variant is quadratic in the candidate count per iteration;
+    // run it on a reduced instance so the comparison stays feasible.
+    let naive_cols: Vec<usize> = (0..w.sky.len().min(300)).collect();
+    let small = w.matrix.restrict_columns(&naive_cols)?;
+    let small_full = greedy_shrink(&small, GreedyShrinkConfig::new(k))?;
+    let small_naive = greedy_shrink(&small, GreedyShrinkConfig::naive(k))?;
+    let t = Table::new(&["variant (n=300)", "arr", "query_s", "arr_evals"]);
+    for (name, out) in [("both improvements", &small_full), ("naive (no caching)", &small_naive)] {
+        t.row(&[
+            name.into(),
+            f(out.selection.objective.unwrap()),
+            secs(out.selection.query_time),
+            format!("{}", out.arr_evaluations),
+        ]);
+    }
+    let speedup = small_naive.selection.query_time.as_secs_f64()
+        / small_full.selection.query_time.as_secs_f64().max(1e-9);
+    println!("speedup of the improved variant over naive: {speedup:.1}x");
+    println!(
+        "paper's Appendix C claims on real data: ~1% best-point changes, ~68% of candidates \
+         re-evaluated per iteration"
+    );
+
+    // Extension: local-search polish on top of GREEDY-SHRINK.
+    section("ablation-polish", "swap local search on top of GREEDY-SHRINK");
+    let base = greedy_shrink(&w.matrix, GreedyShrinkConfig::new(k))?;
+    let polished = fam::local_search(
+        &w.matrix,
+        &base.selection.indices,
+        fam::LocalSearchConfig::default(),
+    )?;
+    let t = Table::new(&["stage", "arr", "swaps", "extra_time_s"]);
+    t.row(&[
+        "greedy-shrink".into(),
+        f(base.selection.objective.unwrap()),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.row(&[
+        "+ local search".into(),
+        f(polished.selection.objective.unwrap()),
+        format!("{}", polished.swaps),
+        secs(polished.selection.query_time),
+    ]);
+
+    // Approximation-quality context: steepness-based bound on this matrix.
+    section("ablation-bound", "Theorem 3 bound on a small sub-instance");
+    let sub_cols: Vec<usize> = (0..w.sky.len().min(40)).collect();
+    let sub: ScoreMatrix = w.matrix.restrict_columns(&sub_cols)?;
+    let s = fam::core::properties::steepness(&sub);
+    let bound = fam::core::properties::approximation_bound(s.min(1.0 - 1e-12));
+    println!("steepness s = {s:.4}; (e^t - 1)/t bound = {bound:.4}");
+    Ok(())
+}

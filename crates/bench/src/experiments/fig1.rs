@@ -1,0 +1,85 @@
+//! Figure 1: effect of `k` on a 2-dimensional dataset (n = 10,000) —
+//! (a) average regret ratio, (b) ratio to the DP optimum, (c) query time —
+//! for Greedy-Shrink, MRR-Greedy, Sky-Dom, DP, and K-Hit.
+
+
+use fam::{dp_2d, regret, UniformBoxMeasure};
+
+use crate::runner::run_standard;
+use crate::table::{f, secs, section, Table};
+use crate::workloads::{synthetic_workload, Scale};
+
+/// Runs all three panels.
+pub fn run(scale: Scale, seed: u64) -> fam::Result<()> {
+    let w = synthetic_workload(10_000, 2, scale.n_samples(), seed)?;
+    println!(
+        "2-D anti-correlated dataset: n = {}, skyline = {} points, N = {}",
+        w.full.len(),
+        w.sky.len(),
+        w.matrix.n_samples()
+    );
+
+    // Panel (a): arr vs k in 1..=7; panels (b, c): k in 1..=5.
+    section("fig1a", "average regret ratio vs k (2-d)");
+    let ta = Table::new(&["k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "DP", "K-Hit"]);
+    section_rows(&w, &ta, 1..=7, Metric::Arr)?;
+
+    section("fig1b", "average regret ratio / DP optimum vs k (2-d)");
+    let tb = Table::new(&["k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "DP", "K-Hit"]);
+    section_rows(&w, &tb, 1..=5, Metric::Ratio)?;
+
+    section("fig1c", "query time (seconds) vs k (2-d)");
+    let tc = Table::new(&["k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "DP", "K-Hit"]);
+    section_rows(&w, &tc, 1..=5, Metric::Time)?;
+    Ok(())
+}
+
+enum Metric {
+    Arr,
+    Ratio,
+    Time,
+}
+
+fn section_rows(
+    w: &crate::workloads::SkylineWorkload,
+    t: &Table,
+    ks: std::ops::RangeInclusive<usize>,
+    metric: Metric,
+) -> fam::Result<()> {
+    for k in ks {
+        let runs = run_standard(w, k, true)?;
+        // DP runs on the full 2-D dataset; its answer maps into skyline
+        // columns for sampled evaluation.
+        let dp = dp_2d(&w.full, k.min(w.sky.len()), &UniformBoxMeasure)?;
+        let dp_local = w.to_local(&dp.selection.indices);
+        let dp_arr = regret::arr_unchecked(&w.matrix, &dp_local);
+
+        let mut cells = vec![format!("{k}")];
+        match metric {
+            Metric::Arr => {
+                for r in &runs[..3] {
+                    cells.push(f(regret::arr_unchecked(&w.matrix, &r.local)));
+                }
+                cells.push(f(dp_arr));
+                cells.push(f(regret::arr_unchecked(&w.matrix, &runs[3].local)));
+            }
+            Metric::Ratio => {
+                let base = dp_arr.max(1e-12);
+                for r in &runs[..3] {
+                    cells.push(f(regret::arr_unchecked(&w.matrix, &r.local) / base));
+                }
+                cells.push(f(1.0));
+                cells.push(f(regret::arr_unchecked(&w.matrix, &runs[3].local) / base));
+            }
+            Metric::Time => {
+                for r in &runs[..3] {
+                    cells.push(secs(r.time));
+                }
+                cells.push(secs(dp.selection.query_time));
+                cells.push(secs(runs[3].time));
+            }
+        }
+        t.row(&cells);
+    }
+    Ok(())
+}

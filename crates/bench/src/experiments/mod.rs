@@ -1,0 +1,49 @@
+//! One module per paper artifact; `run` dispatches by experiment id.
+//!
+//! Every experiment prints the same rows/series the paper's table or
+//! figure reports, in aligned plain text (one block per sub-figure).
+
+pub mod ablation;
+pub mod fig1;
+pub mod real;
+pub mod small;
+pub mod synthetic;
+pub mod tables;
+pub mod yahoo;
+
+use crate::workloads::Scale;
+
+/// All experiment identifiers, in paper order.
+pub const ALL: &[&str] = &[
+    "table2", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "ablation",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns an error for unknown ids or experiment failures.
+pub fn run(id: &str, scale: Scale, seed: u64) -> fam::Result<()> {
+    match id {
+        "table2" => tables::table2(scale, seed),
+        "table5" => tables::table5(),
+        "fig1" => fig1::run(scale, seed),
+        "fig2" => yahoo::fig2(scale, seed),
+        "fig3" => yahoo::fig3(scale, seed),
+        "fig4" => real::fig4(scale, seed),
+        "fig5" => synthetic::fig5(scale, seed),
+        "fig6" => real::fig6(scale, seed),
+        "fig7" => synthetic::fig7(scale, seed),
+        "fig8" => small::fig8(scale, seed),
+        "fig9" => small::fig9(scale, seed),
+        "fig10" => real::fig10(scale, seed),
+        "fig11" => real::fig11(scale, seed),
+        "fig12" => real::fig12(scale, seed),
+        "ablation" => ablation::run(scale, seed),
+        other => Err(fam::FamError::InvalidParameter {
+            name: "experiment",
+            message: format!("unknown experiment `{other}`; known: {ALL:?}"),
+        }),
+    }
+}

@@ -1,0 +1,177 @@
+//! Figures 4, 6, 10, 11, 12: the four simulated real datasets
+//! (Household-6d, Forest Cover, US Census, NBA) under uniform linear
+//! utilities — query time, average regret ratio, rr standard deviation,
+//! and rr percentile distributions at two evaluation sample sizes.
+
+use fam::prelude::*;
+use fam::regret;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::runner::run_standard;
+use crate::table::{f, secs, section, Table};
+use crate::workloads::{real_workload, Scale, SkylineWorkload};
+
+const KS: [usize; 6] = [5, 10, 15, 20, 25, 30];
+const HEADERS: [&str; 5] = ["k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"];
+
+fn per_dataset<G>(scale: Scale, seed: u64, id: &str, what: &str, mut emit: G) -> fam::Result<()>
+where
+    G: FnMut(&str, &SkylineWorkload) -> fam::Result<()>,
+{
+    for (i, which) in RealDataset::all().into_iter().enumerate() {
+        let w = real_workload(which, scale, seed + i as u64)?;
+        section(
+            &format!("{id}{}", ['a', 'b', 'c', 'd'][i]),
+            &format!("{what} — {} (n={}, skyline={})", which.name(), w.full.len(), w.sky.len()),
+        );
+        emit(which.name(), &w)?;
+    }
+    Ok(())
+}
+
+/// Figure 4: query time vs `k` per dataset.
+pub fn fig4(scale: Scale, seed: u64) -> fam::Result<()> {
+    per_dataset(scale, seed, "fig4", "query time (seconds) vs k", |_, w| {
+        let t = Table::new(&HEADERS);
+        for k in KS {
+            let runs = run_standard(w, k, true)?;
+            let mut cells = vec![format!("{k}")];
+            cells.extend(runs.iter().map(|r| secs(r.time)));
+            t.row(&cells);
+        }
+        Ok(())
+    })
+}
+
+/// Figure 6: average regret ratio vs `k` per dataset.
+pub fn fig6(scale: Scale, seed: u64) -> fam::Result<()> {
+    per_dataset(scale, seed, "fig6", "average regret ratio vs k", |_, w| {
+        let t = Table::new(&HEADERS);
+        for k in KS {
+            let runs = run_standard(w, k, true)?;
+            let mut cells = vec![format!("{k}")];
+            cells.extend(
+                runs.iter().map(|r| f(regret::arr_unchecked(&w.matrix, &r.local))),
+            );
+            t.row(&cells);
+        }
+        Ok(())
+    })
+}
+
+/// Figure 10: rr standard deviation vs `k` per dataset.
+pub fn fig10(scale: Scale, seed: u64) -> fam::Result<()> {
+    per_dataset(scale, seed, "fig10", "rr standard deviation vs k", |_, w| {
+        let t = Table::new(&HEADERS);
+        for k in KS {
+            let runs = run_standard(w, k, true)?;
+            let mut cells = vec![format!("{k}")];
+            for r in &runs {
+                cells.push(f(regret::rr_std_dev(&w.matrix, &r.local)?));
+            }
+            t.row(&cells);
+        }
+        Ok(())
+    })
+}
+
+/// Figure 11: rr at user percentiles (k = 10), evaluated on the workload's
+/// own N samples.
+pub fn fig11(scale: Scale, seed: u64) -> fam::Result<()> {
+    percentile_figure(scale, seed, "fig11", None)
+}
+
+/// Figure 12: the same distribution evaluated with a much larger
+/// *streamed* sample (paper: N = 1,000,000; default scale streams 100,000).
+pub fn fig12(scale: Scale, seed: u64) -> fam::Result<()> {
+    let eval_n = match scale {
+        Scale::Default => 100_000,
+        Scale::Full => 1_000_000,
+    };
+    percentile_figure(scale, seed, "fig12", Some(eval_n))
+}
+
+fn percentile_figure(
+    scale: Scale,
+    seed: u64,
+    id: &str,
+    streamed_n: Option<usize>,
+) -> fam::Result<()> {
+    let percentiles = [70.0, 80.0, 90.0, 95.0, 99.0, 100.0];
+    let what = match streamed_n {
+        None => "rr distribution at k=10".to_string(),
+        Some(n) => format!("rr distribution at k=10, streamed N={n}"),
+    };
+    per_dataset(scale, seed, id, &what, |_, w| {
+        let runs = run_standard(w, 10, true)?;
+        let t = Table::new(&["percentile", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"]);
+        let per_algo: Vec<Vec<f64>> = match streamed_n {
+            None => runs
+                .iter()
+                .map(|r| regret::rr_percentiles(&w.matrix, &r.local, &percentiles))
+                .collect::<fam::Result<_>>()?,
+            Some(n) => runs
+                .iter()
+                .map(|r| streamed_percentiles(w, &r.local, n, &percentiles, seed ^ 0xFF))
+                .collect::<fam::Result<_>>()?,
+        };
+        for (pi, p) in percentiles.iter().enumerate() {
+            let mut cells = vec![format!("{p}")];
+            for algo in &per_algo {
+                cells.push(f(algo[pi]));
+            }
+            t.row(&cells);
+        }
+        Ok(())
+    })
+}
+
+/// Computes rr percentiles from a fresh sample of `n` users without
+/// materializing an `n × skyline` score matrix: each sampled utility is
+/// scored on the fly (the paper's N=1,000,000 check, Fig 12).
+fn streamed_percentiles(
+    w: &SkylineWorkload,
+    selection: &[usize],
+    n: usize,
+    percentiles: &[f64],
+    seed: u64,
+) -> fam::Result<Vec<f64>> {
+    let d = w.sky.dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rrs = Vec::with_capacity(n);
+    let mut weights = vec![0.0f64; d];
+    let mut in_sel = vec![false; w.sky.len()];
+    for &s in selection {
+        in_sel[s] = true;
+    }
+    for _ in 0..n {
+        loop {
+            for wv in weights.iter_mut() {
+                *wv = rng.gen_range(0.0..=1.0);
+            }
+            if weights.iter().any(|v| *v > 0.0) {
+                break;
+            }
+        }
+        let mut best = 0.0f64;
+        let mut sat = 0.0f64;
+        for (idx, p) in w.sky.points().enumerate() {
+            let u: f64 = p.iter().zip(&weights).map(|(a, b)| a * b).sum();
+            if u > best {
+                best = u;
+            }
+            if in_sel[idx] && u > sat {
+                sat = u;
+            }
+        }
+        if best > 0.0 {
+            rrs.push(1.0 - sat / best);
+        }
+    }
+    rrs.sort_by(|a, b| a.partial_cmp(b).expect("finite rr"));
+    Ok(percentiles
+        .iter()
+        .map(|&q| fam::core::stats::percentile_sorted(&rrs, q))
+        .collect())
+}

@@ -1,0 +1,135 @@
+//! Figures 8 and 9: comparison with BRUTE-FORCE on a 100-point sample of
+//! (simulated) Household-6d — effect of `k` (Fig 8) and of the sampling
+//! error parameter `ε` (Fig 9) on arr, ratio-to-optimal, and query time.
+
+use fam::prelude::*;
+use fam::{brute_force, chernoff_sample_size, greedy_shrink, regret, ScoreMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{f, secs, section, Table};
+use crate::workloads::Scale;
+
+const HEADERS: [&str; 6] =
+    ["x", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "Brute-Force", "K-Hit"];
+
+struct SmallRuns {
+    arr: Vec<f64>,
+    time: Vec<std::time::Duration>,
+    optimum: f64,
+}
+
+/// Runs the five series on a small workload.
+fn run_small(ds: &Dataset, m: &ScoreMatrix, k: usize) -> fam::Result<SmallRuns> {
+    let gs = greedy_shrink(m, GreedyShrinkConfig::new(k))?.selection;
+    let mg = mrr_greedy_exact(ds, k)?;
+    let sd = sky_dom(ds, k)?;
+    let bf = brute_force(m, k)?;
+    let kh = k_hit(m, k)?;
+    let optimum = bf.objective.unwrap_or(f64::NAN);
+    let sels = [&gs, &mg, &sd, &bf, &kh];
+    Ok(SmallRuns {
+        arr: sels
+            .iter()
+            .map(|s| regret::arr_unchecked(m, &s.indices))
+            .collect(),
+        time: sels.iter().map(|s| s.query_time).collect(),
+        optimum,
+    })
+}
+
+fn small_dataset(seed: u64) -> fam::Result<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // 100 points sampled from the simulated Household-6d (paper Appendix B).
+    simulated_with_size(RealDataset::Household6d, 100, &mut rng)
+}
+
+/// Figure 8: effect of `k` (1..=4 by default; `--full` extends to the
+/// paper's k = 5, which enumerates C(100,5) ≈ 7.5·10⁷ subsets).
+pub fn fig8(scale: Scale, seed: u64) -> fam::Result<()> {
+    let ds = small_dataset(seed)?;
+    // Paper Appendix B uses the default sampling setup; eps = 0.1 keeps
+    // brute force feasible (N = 691) and matches Fig 9's rightmost point.
+    let n = chernoff_sample_size(0.1, 0.1)? as usize;
+    let dist = UniformLinear::new(ds.dim())?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF18);
+    let m = ScoreMatrix::from_distribution(&ds, &dist, n, &mut rng)?;
+    let max_k = match scale {
+        Scale::Default => 4,
+        Scale::Full => 5,
+    };
+    section("fig8a", "average regret ratio vs k (100-point sample)");
+    let ta = Table::new(&HEADERS);
+    let mut ratio_rows = Vec::new();
+    let mut time_rows = Vec::new();
+    for k in 1..=max_k {
+        let r = run_small(&ds, &m, k)?;
+        let mut a = vec![format!("{k}")];
+        let mut b = vec![format!("{k}")];
+        let mut c = vec![format!("{k}")];
+        for (arr, time) in r.arr.iter().zip(&r.time) {
+            a.push(f(*arr));
+            b.push(f(if r.optimum > 1e-12 { arr / r.optimum } else { 1.0 }));
+            c.push(secs(*time));
+        }
+        ta.row(&a);
+        ratio_rows.push(b);
+        time_rows.push(c);
+    }
+    section("fig8b", "average regret ratio / optimal vs k");
+    let tb = Table::new(&HEADERS);
+    for row in ratio_rows {
+        tb.row(&row);
+    }
+    section("fig8c", "query time (seconds) vs k");
+    let tc = Table::new(&HEADERS);
+    for row in time_rows {
+        tc.row(&row);
+    }
+    Ok(())
+}
+
+/// Figure 9: effect of `ε` at `k = 3`. Default sweeps
+/// `ε ∈ {0.01, 0.05, 0.1}`; `--full` adds `0.005` (the paper's 0.001 needs
+/// N ≈ 6.9·10⁶ samples; see EXPERIMENTS.md).
+pub fn fig9(scale: Scale, seed: u64) -> fam::Result<()> {
+    let ds = small_dataset(seed)?;
+    let dist = UniformLinear::new(ds.dim())?;
+    let epsilons: &[f64] = match scale {
+        Scale::Default => &[0.01, 0.05, 0.1],
+        Scale::Full => &[0.005, 0.01, 0.05, 0.1],
+    };
+    let k = 3;
+    section("fig9a", "average regret ratio vs epsilon (k = 3)");
+    let ta = Table::new(&HEADERS);
+    let mut ratio_rows = Vec::new();
+    let mut time_rows = Vec::new();
+    for &eps in epsilons {
+        let n = chernoff_sample_size(eps, 0.1)? as usize;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF19);
+        let m = ScoreMatrix::from_distribution(&ds, &dist, n, &mut rng)?;
+        let r = run_small(&ds, &m, k)?;
+        let mut a = vec![format!("{eps}")];
+        let mut b = vec![format!("{eps}")];
+        let mut c = vec![format!("{eps}")];
+        for (arr, time) in r.arr.iter().zip(&r.time) {
+            a.push(f(*arr));
+            b.push(f(if r.optimum > 1e-12 { arr / r.optimum } else { 1.0 }));
+            c.push(secs(*time));
+        }
+        ta.row(&a);
+        ratio_rows.push(b);
+        time_rows.push(c);
+    }
+    section("fig9b", "average regret ratio / optimal vs epsilon");
+    let tb = Table::new(&HEADERS);
+    for row in ratio_rows {
+        tb.row(&row);
+    }
+    section("fig9c", "query time (seconds) vs epsilon");
+    let tc = Table::new(&HEADERS);
+    for row in time_rows {
+        tc.row(&row);
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Figures 5 and 7: scalability on synthetic datasets — effect of the
+//! dimensionality `d` (Fig 5) and of the cardinality `n` (Fig 7) on
+//! average regret ratio and query time at the default `k = 10`.
+
+use fam::prelude::*;
+use fam::regret;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::runner::run_standard;
+use crate::table::{f, secs, section, Table};
+use crate::workloads::{Scale, SkylineWorkload};
+
+const HEADERS: [&str; 5] = ["x", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"];
+
+fn emit(
+    label: String,
+    w: &SkylineWorkload,
+    arr_t: &Table,
+    time_rows: &mut Vec<Vec<String>>,
+) -> fam::Result<()> {
+    let runs = run_standard(w, 10, true)?;
+    let mut arr_cells = vec![label.clone()];
+    let mut time_cells = vec![label];
+    for r in &runs {
+        arr_cells.push(f(regret::arr_unchecked(&w.matrix, &r.local)));
+        time_cells.push(secs(r.time));
+    }
+    arr_t.row(&arr_cells);
+    time_rows.push(time_cells);
+    Ok(())
+}
+
+/// Figure 5: `d ∈ {5, 10, 15, 20, 25, 30}` at `n = 10,000` (anti-correlated,
+/// uniform linear utilities, k = 10).
+pub fn fig5(scale: Scale, seed: u64) -> fam::Result<()> {
+    section("fig5a", "average regret ratio vs d (synthetic, n = 10,000, k = 10)");
+    let arr_t = Table::new(&HEADERS);
+    let mut time_rows = Vec::new();
+    for d in [5usize, 10, 15, 20, 25, 30] {
+        let mut rng = StdRng::seed_from_u64(seed + d as u64);
+        let full = synthetic(10_000, d, Correlation::AntiCorrelated, &mut rng)?;
+        let w = SkylineWorkload::build(full, scale.n_samples(), seed ^ d as u64)?;
+        emit(format!("{d}"), &w, &arr_t, &mut time_rows)?;
+    }
+    section("fig5b", "query time (seconds) vs d");
+    let time_t = Table::new(&HEADERS);
+    for row in time_rows {
+        time_t.row(&row);
+    }
+    Ok(())
+}
+
+/// Figure 7: `n ∈ {10³, 10⁴, 10⁵ [, 10⁶ with --full]}` at `d = 6`
+/// (independent attributes so the skyline stays tractable at 10⁶; the
+/// paper sweeps to 10⁷ on a workstation-scale budget — see EXPERIMENTS.md).
+pub fn fig7(scale: Scale, seed: u64) -> fam::Result<()> {
+    section("fig7a", "average regret ratio vs n (synthetic, d = 6, k = 10)");
+    let arr_t = Table::new(&HEADERS);
+    let mut time_rows = Vec::new();
+    let mut n = 1_000usize;
+    while n <= scale.max_sweep_n() {
+        let mut rng = StdRng::seed_from_u64(seed + n as u64);
+        let full = synthetic(n, 6, Correlation::Independent, &mut rng)?;
+        let w = SkylineWorkload::build(full, scale.n_samples(), seed ^ n as u64)?;
+        emit(format!("{n}"), &w, &arr_t, &mut time_rows)?;
+        n *= 10;
+    }
+    section("fig7b", "query time (seconds) vs n");
+    let time_t = Table::new(&HEADERS);
+    for row in time_rows {
+        time_t.row(&row);
+    }
+    Ok(())
+}

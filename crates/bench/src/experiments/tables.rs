@@ -1,0 +1,67 @@
+//! Table II (NBA selections) and Table V (Chernoff sample sizes).
+
+use fam::prelude::*;
+use fam::{chernoff_sample_size, greedy_shrink, regret, ScoreMatrix};
+use fam_data::nba;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{f, section, Table};
+use crate::workloads::Scale;
+
+/// Table II: the 5-player sets selected by ARR / MRR / k-hit objectives on
+/// the (synthetic stand-in) NBA roster, plus the quality of each set under
+/// every objective.
+pub fn table2(scale: Scale, seed: u64) -> fam::Result<()> {
+    section("table2", "three 5-player sets on the NBA roster (synthetic stand-in)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let roster = nba::roster(&mut rng)?;
+    let ds = &roster.dataset;
+    let dist = UniformLinear::new(ds.dim())?;
+    let m = ScoreMatrix::from_distribution(ds, &dist, scale.n_samples().max(10_000), &mut rng)?;
+    let k = 5;
+    let s_arr = greedy_shrink(&m, GreedyShrinkConfig::new(k))?.selection;
+    let s_mrr = mrr_greedy_sampled(&m, k)?;
+    let s_hit = k_hit(&m, k)?;
+
+    let t = Table::new(&["rank", "S_arr", "S_mrr", "S_k-hit"]);
+    for row in 0..k {
+        let name = |sel: &Selection| {
+            ds.label(sel.indices[row]).unwrap_or("?").to_string()
+        };
+        t.row(&[format!("{}", row + 1), name(&s_arr), name(&s_mrr), name(&s_hit)]);
+    }
+
+    let t = Table::new(&["set", "arr", "rr_std", "mrr_sampled", "hit_prob"]);
+    for (label, sel) in [("S_arr", &s_arr), ("S_mrr", &s_mrr), ("S_k-hit", &s_hit)] {
+        let rep = regret::report(&m, &sel.indices)?;
+        let hits = (0..m.n_samples())
+            .filter(|&u| sel.indices.contains(&m.best_index(u)))
+            .count() as f64
+            / m.n_samples() as f64;
+        t.row(&[label.into(), f(rep.arr), f(rep.std_dev), f(rep.mrr), f(hits)]);
+    }
+    println!(
+        "overlap(S_arr, S_k-hit) = {} of {k} players (paper: 4 of 5)",
+        s_arr.indices.iter().filter(|i| s_hit.indices.contains(i)).count()
+    );
+    Ok(())
+}
+
+/// Table V: sample sizes `N = ceil(3 ln(1/σ)/ε²)` for the paper's (ε, σ)
+/// grid.
+pub fn table5() -> fam::Result<()> {
+    section("table5", "Chernoff sample sizes (Theorem 4)");
+    let t = Table::new(&["epsilon", "sigma", "N"]);
+    for (eps, sigma) in
+        [(0.01, 0.1), (0.001, 0.1), (0.0001, 0.1), (0.01, 0.05), (0.001, 0.05), (0.0001, 0.05)]
+    {
+        t.row(&[
+            format!("{eps}"),
+            format!("{sigma}"),
+            format!("{}", chernoff_sample_size(eps, sigma)?),
+        ]);
+    }
+    println!("(ceiling convention; the paper truncates some rows, so ±1 differences occur)");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Figures 2 and 3: the learned-utility (Yahoo!Music) experiment — effect
+//! of `k` on average regret ratio and query time, and the standard
+//! deviation / percentile distribution of the regret ratio.
+
+use fam::prelude::*;
+use fam::{greedy_shrink, k_hit, mrr_greedy_sampled, regret, sky_dom, Selection};
+
+use crate::table::{f, secs, section, Table};
+use crate::workloads::{yahoo_workload, Scale, YahooWorkload};
+
+struct YahooRun {
+    name: &'static str,
+    sel: Selection,
+}
+
+fn run_all(w: &YahooWorkload, k: usize) -> fam::Result<Vec<YahooRun>> {
+    let gs = greedy_shrink(&w.matrix, GreedyShrinkConfig::new(k))?.selection;
+    let mg = mrr_greedy_sampled(&w.matrix, k)?;
+    let sd = sky_dom(&w.items, k)?;
+    let kh = k_hit(&w.matrix, k)?;
+    Ok(vec![
+        YahooRun { name: "Greedy-Shrink", sel: gs },
+        YahooRun { name: "MRR-Greedy", sel: mg },
+        YahooRun { name: "Sky-Dom", sel: sd },
+        YahooRun { name: "K-Hit", sel: kh },
+    ])
+}
+
+/// Figure 2: arr (a) and query time (b) versus `k` on the learned
+/// distribution.
+pub fn fig2(scale: Scale, seed: u64) -> fam::Result<()> {
+    let w = yahoo_workload(scale, seed)?;
+    println!(
+        "Yahoo workload: {} songs, N = {} sampled users (pipeline fit in {:?})",
+        w.matrix.n_points(),
+        w.matrix.n_samples(),
+        w.preprocessing
+    );
+    section("fig2a", "average regret ratio vs k (Yahoo)");
+    let ta = Table::new(&["k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"]);
+    let mut times: Vec<(usize, Vec<(String, String)>)> = Vec::new();
+    for k in (5..=30).step_by(5) {
+        let runs = run_all(&w, k)?;
+        let mut cells = vec![format!("{k}")];
+        let mut trow = Vec::new();
+        for r in &runs {
+            cells.push(f(regret::arr_unchecked(&w.matrix, &r.sel.indices)));
+            trow.push((r.name.to_string(), secs(r.sel.query_time)));
+        }
+        ta.row(&cells);
+        times.push((k, trow));
+    }
+    section("fig2b", "query time (seconds) vs k (Yahoo)");
+    let tb = Table::new(&["k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"]);
+    for (k, trow) in times {
+        let mut cells = vec![format!("{k}")];
+        cells.extend(trow.into_iter().map(|(_, t)| t));
+        tb.row(&cells);
+    }
+    Ok(())
+}
+
+/// Figure 3: rr standard deviation vs `k` (left) and the rr distribution
+/// over user percentiles at the default `k = 10` (right).
+pub fn fig3(scale: Scale, seed: u64) -> fam::Result<()> {
+    let w = yahoo_workload(scale, seed)?;
+    section("fig3-left", "standard deviation of regret ratio vs k (Yahoo)");
+    let tl = Table::new(&["k", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"]);
+    for k in (5..=30).step_by(5) {
+        let runs = run_all(&w, k)?;
+        let mut cells = vec![format!("{k}")];
+        for r in &runs {
+            cells.push(f(regret::rr_std_dev(&w.matrix, &r.sel.indices)?));
+        }
+        tl.row(&cells);
+    }
+
+    section("fig3-right", "regret ratio at user percentiles, k = 10 (Yahoo)");
+    let percentiles = [70.0, 80.0, 90.0, 95.0, 99.0, 100.0];
+    let tr = Table::new(&["percentile", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "K-Hit"]);
+    let runs = run_all(&w, 10)?;
+    let per_algo: Vec<Vec<f64>> = runs
+        .iter()
+        .map(|r| regret::rr_percentiles(&w.matrix, &r.sel.indices, &percentiles))
+        .collect::<fam::Result<_>>()?;
+    for (pi, p) in percentiles.iter().enumerate() {
+        let mut cells = vec![format!("{p}")];
+        for algo in &per_algo {
+            cells.push(f(algo[pi]));
+        }
+        tr.row(&cells);
+    }
+    Ok(())
+}

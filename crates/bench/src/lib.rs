@@ -1,0 +1,15 @@
+//! # fam-bench
+//!
+//! The experiment harness of the FAM reproduction: workload builders, a
+//! table printer, and one experiment module per paper artifact (Tables II
+//! and V, Figures 1–12, plus the Appendix C ablation). The `experiments`
+//! binary dispatches by id; the Criterion benches under `benches/` measure
+//! the same workloads with statistical rigor.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+pub mod workloads;

@@ -1,0 +1,60 @@
+//! Shared algorithm-execution helpers for the experiment harness.
+
+use std::time::Duration;
+
+use fam::prelude::*;
+use fam::{greedy_shrink, k_hit, mrr_greedy_exact, mrr_greedy_sampled, sky_dom};
+
+use crate::workloads::SkylineWorkload;
+
+/// A finished algorithm run, with the selection expressed in skyline-local
+/// column indices (ready for evaluation against the workload matrix).
+pub struct AlgoRun {
+    /// Series name as the paper's legends spell it.
+    pub name: &'static str,
+    /// Selected skyline-local columns.
+    pub local: Vec<usize>,
+    /// Query time per the paper's accounting.
+    pub time: Duration,
+}
+
+/// Runs the four standard series of the paper's comparison figures
+/// (Greedy-Shrink, MRR-Greedy, Sky-Dom, K-Hit) at output size `k`.
+///
+/// `lp_mrr` selects the exact LP-based MRR-GREEDY (valid for linear Θ);
+/// otherwise the sampled variant runs on the workload matrix.
+///
+/// # Errors
+///
+/// Propagates algorithm failures.
+pub fn run_standard(
+    w: &SkylineWorkload,
+    k: usize,
+    lp_mrr: bool,
+) -> fam::Result<Vec<AlgoRun>> {
+    let k = k.min(w.sky.len());
+    let mut out = Vec::with_capacity(4);
+
+    let gs = greedy_shrink(&w.matrix, GreedyShrinkConfig::new(k))?;
+    out.push(AlgoRun {
+        name: "Greedy-Shrink",
+        local: gs.selection.indices,
+        time: gs.selection.query_time,
+    });
+
+    let mg = if lp_mrr {
+        mrr_greedy_exact(&w.sky, k)?
+    } else {
+        mrr_greedy_sampled(&w.matrix, k)?
+    };
+    out.push(AlgoRun { name: "MRR-Greedy", local: mg.indices.clone(), time: mg.query_time });
+
+    let sd = sky_dom(&w.full, k)?;
+    let sd_local = w.to_local(&sd.indices);
+    out.push(AlgoRun { name: "Sky-Dom", local: sd_local, time: sd.query_time });
+
+    let kh = k_hit(&w.matrix, k)?;
+    out.push(AlgoRun { name: "K-Hit", local: kh.indices.clone(), time: kh.query_time });
+
+    Ok(out)
+}

@@ -1,0 +1,69 @@
+//! Plain-text table printing for experiment output: the same rows/series
+//! the paper's figures plot, in a machine-readable aligned format.
+
+/// A column-aligned table writer that echoes rows to stdout.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Starts a table, printing the header.
+    pub fn new(headers: &[&str]) -> Self {
+        let widths: Vec<usize> = headers.iter().map(|h| h.len().max(12)).collect();
+        let t = Table { widths };
+        t.print_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        t
+    }
+
+    fn print_row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(&self.widths) {
+            line.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        println!("{}", line.trim_end());
+    }
+
+    /// Prints a data row; cells are already formatted.
+    pub fn row(&self, cells: &[String]) {
+        self.print_row(cells);
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || (v != 0.0 && v.abs() < 1e-4) {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Formats a duration in seconds with enough precision for log-scale plots.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.6}", d.as_secs_f64())
+}
+
+/// Prints a section header for an experiment artifact.
+pub fn section(id: &str, description: &str) {
+    println!("\n### {id} — {description}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.25), "0.25000");
+        assert!(f(12345.0).contains('e'));
+        assert!(f(0.00001).contains('e'));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500000");
+    }
+}

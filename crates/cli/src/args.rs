@@ -1,0 +1,136 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` flags plus boolean switches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedArgs {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["labelled", "compact", "full"];
+
+impl ParsedArgs {
+    /// Parses a flag list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a dangling flag or an argument without `--`.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = ParsedArgs::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got `{a}`"));
+            };
+            if SWITCHES.contains(&name) {
+                out.switches.push(name.to_string());
+                continue;
+            }
+            let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
+            out.values.insert(name.to_string(), value.clone());
+        }
+        Ok(out)
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when missing.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Optional parsed flag with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when present but unparsable.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Required parsed flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when missing or unparsable.
+    pub fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let v = self.required(name)?;
+        v.parse().map_err(|_| format!("flag --{name}: cannot parse `{v}`"))
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Comma-separated list of indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when missing or unparsable.
+    pub fn index_list(&self, name: &str) -> Result<Vec<usize>, String> {
+        let raw = self.required(name)?;
+        raw.split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("flag --{name}: `{s}` is not an index"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = ParsedArgs::parse(&argv("--n 100 --labelled --corr anti")).unwrap();
+        assert_eq!(a.required("n").unwrap(), "100");
+        assert_eq!(a.optional("corr"), Some("anti"));
+        assert!(a.switch("labelled"));
+        assert!(!a.switch("compact"));
+        assert_eq!(a.parsed_or("n", 0usize).unwrap(), 100);
+        assert_eq!(a.parsed_or("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(ParsedArgs::parse(&argv("n 100")).is_err());
+        assert!(ParsedArgs::parse(&argv("--n")).is_err());
+        let a = ParsedArgs::parse(&argv("--n ten")).unwrap();
+        assert!(a.parsed::<usize>("n").is_err());
+        assert!(a.required("k").is_err());
+    }
+
+    #[test]
+    fn parses_index_lists() {
+        // A space inside the list makes the remainder a dangling token.
+        assert!(ParsedArgs::parse(&argv("--selection 1,5, 9")).is_err());
+        let a = ParsedArgs::parse(&argv("--selection 1,5,9")).unwrap();
+        assert_eq!(a.index_list("selection").unwrap(), vec![1, 5, 9]);
+        let a = ParsedArgs::parse(&argv("--selection 1,x")).unwrap();
+        assert!(a.index_list("selection").is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! The four CLI commands. Each returns its report as a `String` so the
+//! tests can assert on output without spawning processes.
+
+use std::path::Path;
+// Explicit import wins over the prelude's `Result<T> = Result<T, FamError>` alias.
+use std::result::Result;
+
+use fam::prelude::*;
+use fam::{
+    add_greedy, brute_force, dp_2d, greedy_shrink, k_hit, mrr_greedy_exact, regret, Selection,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::ParsedArgs;
+
+fn seeded(a: &ParsedArgs) -> Result<StdRng, String> {
+    Ok(StdRng::seed_from_u64(a.parsed_or("seed", 42u64)?))
+}
+
+fn load(a: &ParsedArgs) -> Result<Dataset, String> {
+    let path = a.required("data")?;
+    fam::data::read_csv(Path::new(path), a.switch("labelled")).map_err(|e| e.to_string())
+}
+
+fn sample_count(a: &ParsedArgs) -> Result<usize, String> {
+    if let Some(eps) = a.optional("epsilon") {
+        let eps: f64 = eps.parse().map_err(|_| "cannot parse --epsilon".to_string())?;
+        let sigma: f64 = a.parsed_or("sigma", 0.1)?;
+        return Ok(chernoff_sample_size(eps, sigma).map_err(|e| e.to_string())? as usize);
+    }
+    a.parsed_or("samples", 2_000usize)
+}
+
+/// `fam generate` — write a synthetic dataset to CSV.
+///
+/// # Errors
+///
+/// Returns usage or I/O errors as strings.
+pub fn generate(a: &ParsedArgs) -> Result<String, String> {
+    let out = a.required("out")?;
+    let n: usize = a.parsed("n")?;
+    let d: usize = a.parsed("d")?;
+    let corr = match a.optional("corr").unwrap_or("anti") {
+        "indep" | "independent" => Correlation::Independent,
+        "corr" | "correlated" => Correlation::Correlated,
+        "anti" | "anticorrelated" => Correlation::AntiCorrelated,
+        other => return Err(format!("unknown --corr `{other}` (indep|corr|anti)")),
+    };
+    let mut rng = seeded(a)?;
+    let ds = synthetic(n, d, corr, &mut rng).map_err(|e| e.to_string())?;
+    fam::data::write_csv(&ds, Path::new(out)).map_err(|e| e.to_string())?;
+    Ok(format!("wrote {n} points x {d} dims ({corr:?}) to {out}"))
+}
+
+/// `fam skyline` — report the skyline of a CSV dataset.
+///
+/// # Errors
+///
+/// Returns usage or I/O errors as strings.
+pub fn skyline_cmd(a: &ParsedArgs) -> Result<String, String> {
+    let ds = load(a)?;
+    let sky = skyline(&ds);
+    let mut out = format!("n = {}, skyline = {} points\n", ds.len(), sky.len());
+    let shown: Vec<String> = sky.iter().take(50).map(|i| i.to_string()).collect();
+    out.push_str(&format!(
+        "indices: {}{}",
+        shown.join(","),
+        if sky.len() > 50 { ",…" } else { "" }
+    ));
+    Ok(out)
+}
+
+/// `fam select` — run a FAM algorithm on a CSV dataset.
+///
+/// # Errors
+///
+/// Returns usage, I/O, or solver errors as strings.
+pub fn select(a: &ParsedArgs) -> Result<String, String> {
+    let ds = load(a)?;
+    let k: usize = a.parsed("k")?;
+    let n_samples = sample_count(a)?;
+    let algo = a.optional("algo").unwrap_or("greedy-shrink");
+    let mut rng = seeded(a)?;
+
+    // Sampled backing: compact linear or materialized, per --compact.
+    let make_matrix = |rng: &mut StdRng| -> Result<ScoreMatrix, String> {
+        let dist: Box<dyn UtilityDistribution> = match a.optional("dist").unwrap_or("uniform") {
+            "uniform" => Box::new(UniformLinear::new(ds.dim()).map_err(|e| e.to_string())?),
+            "simplex" => Box::new(SimplexLinear::new(ds.dim()).map_err(|e| e.to_string())?),
+            other => return Err(format!("unknown --dist `{other}` (uniform|simplex)")),
+        };
+        ScoreMatrix::from_distribution(&ds, dist.as_ref(), n_samples, rng)
+            .map_err(|e| e.to_string())
+    };
+
+    let selection: Selection = match algo {
+        "greedy-shrink" if a.switch("compact") => {
+            let src = fam::LinearScores::sample_uniform(ds.clone(), n_samples, &mut rng)
+                .map_err(|e| e.to_string())?;
+            greedy_shrink(&src, GreedyShrinkConfig::new(k))
+                .map_err(|e| e.to_string())?
+                .selection
+        }
+        "greedy-shrink" => {
+            let m = make_matrix(&mut rng)?;
+            greedy_shrink(&m, GreedyShrinkConfig::new(k)).map_err(|e| e.to_string())?.selection
+        }
+        "add-greedy" => {
+            let m = make_matrix(&mut rng)?;
+            add_greedy(&m, k).map_err(|e| e.to_string())?
+        }
+        "mrr-greedy" => mrr_greedy_exact(&ds, k).map_err(|e| e.to_string())?,
+        "sky-dom" => sky_dom(&ds, k).map_err(|e| e.to_string())?,
+        "k-hit" => {
+            let m = make_matrix(&mut rng)?;
+            k_hit(&m, k).map_err(|e| e.to_string())?
+        }
+        "dp" => dp_2d(&ds, k, &UniformBoxMeasure).map_err(|e| e.to_string())?.selection,
+        "brute-force" => {
+            let m = make_matrix(&mut rng)?;
+            brute_force(&m, k).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown --algo `{other}`")),
+    };
+
+    // Evaluate on a fresh sample for honesty.
+    let m = make_matrix(&mut rng)?;
+    let rep = regret::report(&m, &selection.indices).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "algorithm: {}\nselected ({}): {:?}\n",
+        selection.algorithm,
+        selection.len(),
+        selection.indices
+    );
+    if ds.label(0).is_some() {
+        let names: Vec<&str> =
+            selection.indices.iter().filter_map(|&i| ds.label(i)).collect();
+        out.push_str(&format!("labels: {names:?}\n"));
+    }
+    out.push_str(&format!(
+        "arr = {:.6}, rr std-dev = {:.6}, sampled mrr = {:.6} (fresh N = {})\nquery time: {:?}",
+        rep.arr, rep.std_dev, rep.mrr, n_samples, selection.query_time
+    ));
+    Ok(out)
+}
+
+/// `fam evaluate` — score an explicit selection.
+///
+/// # Errors
+///
+/// Returns usage, I/O, or evaluation errors as strings.
+pub fn evaluate(a: &ParsedArgs) -> Result<String, String> {
+    let ds = load(a)?;
+    let selection = a.index_list("selection")?;
+    let n_samples = sample_count(a)?;
+    let mut rng = seeded(a)?;
+    let dist = UniformLinear::new(ds.dim()).map_err(|e| e.to_string())?;
+    let m = ScoreMatrix::from_distribution(&ds, &dist, n_samples, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let rep = regret::report(&m, &selection).map_err(|e| e.to_string())?;
+    let pct = regret::rr_percentiles(&m, &selection, &[70.0, 90.0, 99.0])
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "selection {:?}\narr = {:.6}\nvrr = {:.6}\nrr std-dev = {:.6}\nsampled mrr = {:.6}\n\
+         rr @ p70/p90/p99 = {:.6}/{:.6}/{:.6}",
+        selection, rep.arr, rep.vrr, rep.std_dev, rep.mrr, pct[0], pct[1], pct[2]
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> ParsedArgs {
+        ParsedArgs::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+            .unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fam_cli_{}_{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_skyline_then_select_then_evaluate() {
+        let path = tmp("roundtrip.csv");
+        let msg =
+            generate(&argv(&format!("--out {path} --n 300 --d 3 --corr anti --seed 7")))
+                .unwrap();
+        assert!(msg.contains("300 points"));
+
+        let msg = skyline_cmd(&argv(&format!("--data {path}"))).unwrap();
+        assert!(msg.contains("skyline"));
+
+        for algo in ["greedy-shrink", "add-greedy", "mrr-greedy", "sky-dom", "k-hit"] {
+            let msg = select(&argv(&format!(
+                "--data {path} --k 5 --algo {algo} --samples 200 --seed 7"
+            )))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(msg.contains("arr ="), "{algo}: {msg}");
+        }
+
+        let msg =
+            evaluate(&argv(&format!("--data {path} --selection 0,1,2 --samples 200"))).unwrap();
+        assert!(msg.contains("rr @ p70"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_flag_runs_linear_backing() {
+        let path = tmp("compact.csv");
+        generate(&argv(&format!("--out {path} --n 200 --d 3 --seed 9"))).unwrap();
+        let msg = select(&argv(&format!(
+            "--data {path} --k 4 --samples 150 --seed 9 --compact"
+        )))
+        .unwrap();
+        assert!(msg.contains("greedy-shrink"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dp_requires_two_dims() {
+        let path = tmp("dp3d.csv");
+        generate(&argv(&format!("--out {path} --n 50 --d 3 --seed 3"))).unwrap();
+        assert!(select(&argv(&format!("--data {path} --k 2 --algo dp"))).is_err());
+        std::fs::remove_file(&path).ok();
+        let path2 = tmp("dp2d.csv");
+        generate(&argv(&format!("--out {path2} --n 50 --d 2 --seed 3"))).unwrap();
+        let msg = select(&argv(&format!("--data {path2} --k 2 --algo dp"))).unwrap();
+        assert!(msg.contains("dp-2d"));
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn chernoff_flags_control_sample_count() {
+        let a = argv("--epsilon 0.1 --sigma 0.1");
+        assert_eq!(sample_count(&a).unwrap(), 691);
+        let a = argv("--samples 123");
+        assert_eq!(sample_count(&a).unwrap(), 123);
+        let a = argv("");
+        assert_eq!(sample_count(&a).unwrap(), 2_000);
+    }
+
+    #[test]
+    fn unknown_inputs_are_reported() {
+        let path = tmp("bad.csv");
+        generate(&argv(&format!("--out {path} --n 20 --d 2"))).unwrap();
+        assert!(select(&argv(&format!("--data {path} --k 2 --algo nope"))).is_err());
+        assert!(select(&argv(&format!("--data {path} --k 2 --dist nope"))).is_err());
+        assert!(generate(&argv("--out /tmp/x.csv --n 10 --d 2 --corr weird")).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_dispatches_and_reports_usage() {
+        let msg = crate::run(&["help".to_string()]).unwrap();
+        assert!(msg.contains("usage"));
+        assert!(crate::run(&["bogus".to_string()]).is_err());
+        assert!(crate::run(&[]).is_err());
+    }
+}

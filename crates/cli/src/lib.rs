@@ -1,0 +1,51 @@
+//! # fam-cli
+//!
+//! Command implementations for the `fam` binary — a thin, dependency-free
+//! command-line front end over the FAM library:
+//!
+//! ```text
+//! fam generate --out data.csv --n 10000 --d 4 --corr anti
+//! fam skyline  --data data.csv
+//! fam select   --data data.csv --k 10 --algo greedy-shrink
+//! fam evaluate --data data.csv --selection 3,17,42
+//! ```
+//!
+//! All logic lives in this library crate so it is unit-testable; `main`
+//! only forwards `std::env::args`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::ParsedArgs;
+
+/// Entry point shared by the binary and the tests.
+///
+/// # Errors
+///
+/// Returns a human-readable error string on bad usage or command failure.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let (command, rest) = argv.split_first().ok_or_else(usage)?;
+    let parsed = ParsedArgs::parse(rest)?;
+    match command.as_str() {
+        "generate" => commands::generate(&parsed),
+        "skyline" => commands::skyline_cmd(&parsed),
+        "select" => commands::select(&parsed),
+        "evaluate" => commands::evaluate(&parsed),
+        "--help" | "-h" | "help" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: fam <command> [flags]\n\
+     commands:\n  \
+     generate  --out FILE --n N --d D [--corr indep|corr|anti] [--seed S]\n  \
+     skyline   --data FILE [--labelled]\n  \
+     select    --data FILE --k K [--algo greedy-shrink|add-greedy|mrr-greedy|sky-dom|k-hit|dp|brute-force]\n            \
+     [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--compact] [--labelled]\n  \
+     evaluate  --data FILE --selection I,J,K [--samples N] [--seed S] [--labelled]"
+        .to_string()
+}

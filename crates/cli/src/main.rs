@@ -1,0 +1,12 @@
+//! The `fam` command-line binary: a thin shim over [`fam_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match fam_cli::run(&argv) {
+        Ok(msg) => println!("{msg}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

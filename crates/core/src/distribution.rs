@@ -1,0 +1,392 @@
+//! Probability distributions `Θ` over utility functions.
+//!
+//! The paper treats `Θ` as a black box that can be sampled (Section III-C)
+//! or, for a countable `F`, enumerated exactly (Appendix A). Both cases are
+//! covered: every type here implements [`UtilityDistribution`] for sampling,
+//! and [`DiscreteDistribution`] additionally exposes its atoms for exact
+//! average regret ratio computation.
+
+use std::sync::Arc;
+
+use rand::{Rng, RngCore};
+
+use crate::error::{FamError, Result};
+use crate::randext;
+use crate::utility::{CobbDouglasUtility, LinearUtility, UtilityFunction};
+
+/// A sampleable distribution over utility functions.
+pub trait UtilityDistribution: Send + Sync {
+    /// Dimensionality of the points the sampled functions expect
+    /// (0 for table-based functions that ignore coordinates).
+    fn dim(&self) -> usize;
+
+    /// Draws one utility function according to the distribution.
+    fn sample(&self, rng: &mut dyn RngCore) -> Arc<dyn UtilityFunction>;
+
+    /// Short human-readable name.
+    fn name(&self) -> &'static str {
+        "distribution"
+    }
+}
+
+/// Linear utilities with weights drawn i.i.d. uniformly from `[0,1]^d` —
+/// the distribution used for all of the paper's uniform-Θ experiments.
+#[derive(Debug, Clone)]
+pub struct UniformLinear {
+    dim: usize,
+}
+
+impl UniformLinear {
+    /// Creates the distribution for `dim`-dimensional points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(FamError::ZeroDimension);
+        }
+        Ok(UniformLinear { dim })
+    }
+}
+
+impl UtilityDistribution for UniformLinear {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Arc<dyn UtilityFunction> {
+        loop {
+            let weights: Vec<f64> = (0..self.dim).map(|_| rng.gen_range(0.0..=1.0)).collect();
+            // An all-zero weight vector would make every utility 0 and the
+            // regret ratio undefined; resample (probability-0 event).
+            if weights.iter().any(|w| *w > 0.0) {
+                return Arc::new(LinearUtility::new(weights).expect("valid weights"));
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-linear"
+    }
+}
+
+/// Linear utilities with weights uniform on the probability simplex
+/// (`sum w_i = 1`). Scaling does not change regret ratios, so this is the
+/// canonical "direction-uniform under L1" alternative to [`UniformLinear`].
+#[derive(Debug, Clone)]
+pub struct SimplexLinear {
+    dim: usize,
+}
+
+impl SimplexLinear {
+    /// Creates the distribution for `dim`-dimensional points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(FamError::ZeroDimension);
+        }
+        Ok(SimplexLinear { dim })
+    }
+}
+
+impl UtilityDistribution for SimplexLinear {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Arc<dyn UtilityFunction> {
+        let mut weights = vec![0.0; self.dim];
+        randext::uniform_simplex_into(rng, &mut weights);
+        Arc::new(LinearUtility::new(weights).expect("valid weights"))
+    }
+
+    fn name(&self) -> &'static str {
+        "simplex-linear"
+    }
+}
+
+/// Linear utilities with Dirichlet-distributed weights — a *non-uniform*
+/// continuous Θ for experiments that stress the distribution-awareness of
+/// average regret ratio (maximum regret ratio cannot distinguish these).
+#[derive(Debug, Clone)]
+pub struct DirichletLinear {
+    alpha: Vec<f64>,
+}
+
+impl DirichletLinear {
+    /// Creates the distribution with concentration parameters `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `alpha` is empty or has non-positive entries.
+    pub fn new(alpha: Vec<f64>) -> Result<Self> {
+        if alpha.is_empty() {
+            return Err(FamError::ZeroDimension);
+        }
+        if alpha.iter().any(|a| !a.is_finite() || *a <= 0.0) {
+            return Err(FamError::InvalidParameter {
+                name: "alpha",
+                message: "Dirichlet concentrations must be positive and finite".into(),
+            });
+        }
+        Ok(DirichletLinear { alpha })
+    }
+
+    /// The concentration parameters.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+}
+
+impl UtilityDistribution for DirichletLinear {
+    fn dim(&self) -> usize {
+        self.alpha.len()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Arc<dyn UtilityFunction> {
+        let mut weights = vec![0.0; self.alpha.len()];
+        randext::dirichlet_into(rng, &self.alpha, &mut weights);
+        Arc::new(LinearUtility::new(weights).expect("valid weights"))
+    }
+
+    fn name(&self) -> &'static str {
+        "dirichlet-linear"
+    }
+}
+
+/// Cobb–Douglas utilities with exponents uniform on the simplex — a fully
+/// non-linear continuous Θ demonstrating that the sampling framework and
+/// GREEDY-SHRINK are agnostic to the utility family.
+#[derive(Debug, Clone)]
+pub struct CobbDouglasDistribution {
+    dim: usize,
+}
+
+impl CobbDouglasDistribution {
+    /// Creates the distribution for `dim`-dimensional points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(FamError::ZeroDimension);
+        }
+        Ok(CobbDouglasDistribution { dim })
+    }
+}
+
+impl UtilityDistribution for CobbDouglasDistribution {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Arc<dyn UtilityFunction> {
+        let mut exps = vec![0.0; self.dim];
+        randext::uniform_simplex_into(rng, &mut exps);
+        Arc::new(CobbDouglasUtility::new(exps).expect("valid exponents"))
+    }
+
+    fn name(&self) -> &'static str {
+        "cobb-douglas"
+    }
+}
+
+/// A countable (finite) distribution over explicit utility functions —
+/// Appendix A of the paper. Supports both sampling and exact enumeration.
+pub struct DiscreteDistribution {
+    functions: Vec<Arc<dyn UtilityFunction>>,
+    probabilities: Vec<f64>,
+    cumulative: Vec<f64>,
+    dim: usize,
+}
+
+impl DiscreteDistribution {
+    /// Creates a finite distribution from `(function, probability)` atoms.
+    /// Probabilities are normalized to sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the atom list is empty or weights are invalid
+    /// (negative, non-finite, or all zero).
+    pub fn new(atoms: Vec<(Arc<dyn UtilityFunction>, f64)>, dim: usize) -> Result<Self> {
+        if atoms.is_empty() {
+            return Err(FamError::InvalidWeights("no atoms supplied".into()));
+        }
+        let mut functions = Vec::with_capacity(atoms.len());
+        let mut probabilities = Vec::with_capacity(atoms.len());
+        for (f, p) in atoms {
+            if !p.is_finite() || p < 0.0 {
+                return Err(FamError::InvalidWeights(format!("probability {p} is invalid")));
+            }
+            functions.push(f);
+            probabilities.push(p);
+        }
+        let total: f64 = probabilities.iter().sum();
+        if total <= 0.0 {
+            return Err(FamError::InvalidWeights("probabilities sum to zero".into()));
+        }
+        probabilities.iter_mut().for_each(|p| *p /= total);
+        let mut cumulative = Vec::with_capacity(probabilities.len());
+        let mut acc = 0.0;
+        for p in &probabilities {
+            acc += p;
+            cumulative.push(acc);
+        }
+        Ok(DiscreteDistribution { functions, probabilities, cumulative, dim })
+    }
+
+    /// Builds the uniform distribution over the given functions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the function list is empty.
+    pub fn uniform(functions: Vec<Arc<dyn UtilityFunction>>, dim: usize) -> Result<Self> {
+        let n = functions.len();
+        Self::new(functions.into_iter().map(|f| (f, 1.0 / n.max(1) as f64)).collect(), dim)
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True when there are no atoms (never for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// The utility functions, in atom order.
+    pub fn functions(&self) -> &[Arc<dyn UtilityFunction>] {
+        &self.functions
+    }
+
+    /// The normalized probabilities, in atom order.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+}
+
+impl UtilityDistribution for DiscreteDistribution {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Arc<dyn UtilityFunction> {
+        let i = randext::sample_discrete_cdf(rng, &self.cumulative);
+        Arc::clone(&self.functions[i])
+    }
+
+    fn name(&self) -> &'static str {
+        "discrete"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::TableUtility;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_linear_samples_valid_weights() {
+        let d = UniformLinear::new(3).unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            let f = d.sample(&mut r);
+            let u = f.utility(0, &[1.0, 1.0, 1.0]);
+            assert!(u >= 0.0 && u <= 3.0 + 1e-12);
+        }
+        assert_eq!(d.dim(), 3);
+        assert!(UniformLinear::new(0).is_err());
+    }
+
+    #[test]
+    fn simplex_linear_weights_sum_to_one() {
+        let d = SimplexLinear::new(4).unwrap();
+        let mut r = rng();
+        let f = d.sample(&mut r);
+        // utility of the all-ones point equals the weight sum = 1
+        assert!((f.utility(0, &[1.0; 4]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dirichlet_rejects_bad_alpha() {
+        assert!(DirichletLinear::new(vec![]).is_err());
+        assert!(DirichletLinear::new(vec![1.0, 0.0]).is_err());
+        assert!(DirichletLinear::new(vec![1.0, f64::NAN]).is_err());
+        assert!(DirichletLinear::new(vec![2.0, 3.0]).is_ok());
+    }
+
+    #[test]
+    fn dirichlet_concentrates_on_high_alpha_dim() {
+        let d = DirichletLinear::new(vec![10.0, 0.5]).unwrap();
+        let mut r = rng();
+        let mut first = 0.0;
+        let n = 2_000;
+        for _ in 0..n {
+            let f = d.sample(&mut r);
+            first += f.utility(0, &[1.0, 0.0]);
+        }
+        assert!(first / n as f64 > 0.8, "expected mass on dim 0, got {}", first / n as f64);
+    }
+
+    #[test]
+    fn cobb_douglas_distribution_is_nonlinear() {
+        let d = CobbDouglasDistribution::new(2).unwrap();
+        let mut r = rng();
+        let f = d.sample(&mut r);
+        // f(2p) != 2 f(p) in general for Cobb-Douglas with exponent sum 1 on
+        // unequal points; at least check positivity and monotonicity.
+        let lo = f.utility(0, &[0.2, 0.3]);
+        let hi = f.utility(0, &[0.4, 0.6]);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn discrete_normalizes_and_samples() {
+        let f1: Arc<dyn UtilityFunction> = Arc::new(TableUtility::new(vec![1.0, 0.0]).unwrap());
+        let f2: Arc<dyn UtilityFunction> = Arc::new(TableUtility::new(vec![0.0, 1.0]).unwrap());
+        let d = DiscreteDistribution::new(vec![(f1, 3.0), (f2, 1.0)], 0).unwrap();
+        assert_eq!(d.probabilities(), &[0.75, 0.25]);
+        let mut r = rng();
+        let mut hits_first = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let f = d.sample(&mut r);
+            if f.utility(0, &[]) > 0.5 {
+                hits_first += 1;
+            }
+        }
+        let frac = hits_first as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn discrete_uniform_constructor() {
+        let fs: Vec<Arc<dyn UtilityFunction>> = vec![
+            Arc::new(TableUtility::new(vec![1.0]).unwrap()),
+            Arc::new(TableUtility::new(vec![2.0]).unwrap()),
+        ];
+        let d = DiscreteDistribution::uniform(fs, 0).unwrap();
+        assert_eq!(d.probabilities(), &[0.5, 0.5]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn discrete_rejects_invalid() {
+        assert!(DiscreteDistribution::new(vec![], 0).is_err());
+        let f: Arc<dyn UtilityFunction> = Arc::new(TableUtility::new(vec![1.0]).unwrap());
+        assert!(DiscreteDistribution::new(vec![(f.clone(), -1.0)], 0).is_err());
+        assert!(DiscreteDistribution::new(vec![(f, 0.0)], 0).is_err());
+    }
+}

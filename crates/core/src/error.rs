@@ -1,0 +1,136 @@
+//! Error types shared across the FAM workspace.
+
+use std::fmt;
+
+/// Errors produced when constructing or operating on FAM inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FamError {
+    /// A dataset with zero points was supplied where at least one is needed.
+    EmptyDataset,
+    /// A dataset or utility function with zero dimensions was supplied.
+    ZeroDimension,
+    /// A row did not match the dataset dimensionality.
+    DimensionMismatch {
+        /// Dimensionality the container expects.
+        expected: usize,
+        /// Dimensionality that was supplied.
+        got: usize,
+    },
+    /// A coordinate or score was NaN or infinite.
+    NonFinite {
+        /// Row (point or sample) index of the offending value.
+        row: usize,
+        /// Column index of the offending value.
+        col: usize,
+    },
+    /// A coordinate was negative; the paper assumes points in `R^d_{>=0}`.
+    NegativeValue {
+        /// Row index of the offending value.
+        row: usize,
+        /// Column index of the offending value.
+        col: usize,
+    },
+    /// A sampled or supplied utility function assigns no point a positive
+    /// utility, making the regret ratio undefined (division by `sat(D,f)=0`).
+    DegenerateUtility {
+        /// Index of the offending sample.
+        sample: usize,
+    },
+    /// A selection refers to a point index outside the dataset.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of points in the dataset.
+        len: usize,
+    },
+    /// `k` (or another size parameter) is invalid for the given input.
+    InvalidK {
+        /// The requested output size.
+        k: usize,
+        /// Number of points available.
+        n: usize,
+    },
+    /// A scalar parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// Probability weights were invalid (negative, non-finite, or zero-sum).
+    InvalidWeights(String),
+}
+
+impl fmt::Display for FamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FamError::EmptyDataset => write!(f, "dataset contains no points"),
+            FamError::ZeroDimension => write!(f, "dimensionality must be at least 1"),
+            FamError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            FamError::NonFinite { row, col } => {
+                write!(f, "non-finite value at row {row}, column {col}")
+            }
+            FamError::NegativeValue { row, col } => {
+                write!(f, "negative value at row {row}, column {col} (points must be in R>=0)")
+            }
+            FamError::DegenerateUtility { sample } => write!(
+                f,
+                "utility sample {sample} has no point with positive utility; regret ratio undefined"
+            ),
+            FamError::IndexOutOfBounds { index, len } => {
+                write!(f, "point index {index} out of bounds for dataset of size {len}")
+            }
+            FamError::InvalidK { k, n } => {
+                write!(f, "invalid output size k={k} for dataset of size n={n}")
+            }
+            FamError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            FamError::InvalidWeights(msg) => write!(f, "invalid probability weights: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FamError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, FamError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(FamError, &str)> = vec![
+            (FamError::EmptyDataset, "no points"),
+            (FamError::ZeroDimension, "at least 1"),
+            (
+                FamError::DimensionMismatch { expected: 3, got: 2 },
+                "expected 3, got 2",
+            ),
+            (FamError::NonFinite { row: 1, col: 2 }, "row 1, column 2"),
+            (FamError::NegativeValue { row: 0, col: 0 }, "R>=0"),
+            (FamError::DegenerateUtility { sample: 7 }, "sample 7"),
+            (FamError::IndexOutOfBounds { index: 9, len: 4 }, "index 9"),
+            (FamError::InvalidK { k: 5, n: 2 }, "k=5"),
+            (
+                FamError::InvalidParameter { name: "epsilon", message: "must be positive".into() },
+                "epsilon",
+            ),
+            (FamError::InvalidWeights("negative".into()), "negative"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "message {msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FamError::EmptyDataset);
+    }
+}

@@ -1,0 +1,508 @@
+//! Incremental average-regret-ratio evaluation.
+//!
+//! [`SelectionEvaluator`] maintains, for a dynamic selection `S`, each
+//! sample's best and second-best point *within `S`*, plus reverse "owner"
+//! lists from points to the samples they currently satisfy best. This is
+//! Improvement 1 of the paper (Appendix C): evaluating a candidate removal
+//! `arr(S − {p})` touches only the samples whose best point is `p`, and
+//! applying a removal only rescans those samples (empirically ~1% per
+//! iteration on realistic data).
+//!
+//! The structure supports both removals (GREEDY-SHRINK) and additions
+//! (ADD-GREEDY, K-HIT), so owner lists use lazy deletion: entries are
+//! verified against the exact `top1`/`top2` arrays before use.
+
+use crate::scores::{ScoreMatrix, ScoreSource};
+
+const NONE: u32 = u32::MAX;
+
+/// Instrumentation counters for the efficiency claims of Appendix C.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalCounters {
+    /// Samples whose best point changed across all applied mutations.
+    pub promotions: u64,
+    /// Samples whose second-best point was recomputed by a full scan.
+    pub rescans: u64,
+    /// Candidate evaluations served from owner lists (`removal_delta`).
+    pub delta_evals: u64,
+    /// Total samples touched by `removal_delta` calls.
+    pub delta_rows_touched: u64,
+}
+
+/// Incrementally maintained `arr(S)` with O(affected-samples) updates.
+///
+/// # Examples
+///
+/// ```
+/// use fam_core::{ScoreMatrix, SelectionEvaluator};
+///
+/// let m = ScoreMatrix::from_rows(vec![
+///     vec![1.0, 0.8, 0.1],
+///     vec![0.2, 0.9, 1.0],
+/// ], None).unwrap();
+/// let mut ev = SelectionEvaluator::new_full(&m);
+/// assert!(ev.arr().abs() < 1e-12); // S = D has zero regret
+/// let delta = ev.removal_delta(0);
+/// ev.remove(0);
+/// assert!((ev.arr() - delta).abs() < 1e-12);
+/// ```
+pub struct SelectionEvaluator<'a, S: ScoreSource + ?Sized = ScoreMatrix> {
+    m: &'a S,
+    in_sel: Vec<bool>,
+    members: Vec<u32>,
+    top1: Vec<u32>,
+    top1_val: Vec<f64>,
+    top2: Vec<u32>,
+    top2_val: Vec<f64>,
+    owners: Vec<Vec<u32>>,
+    second_owners: Vec<Vec<u32>>,
+    arr: f64,
+    counters: EvalCounters,
+    // Owner lists use lazy deletion, so after interleaved adds/removes a
+    // row can appear in `owners[p]` more than once while still having
+    // `top1 == p`. Epoch stamps deduplicate rows within one delta pass.
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
+    /// Starts with `S = D` (the initial state of GREEDY-SHRINK).
+    pub fn new_full(m: &'a S) -> Self {
+        let n = m.n_points();
+        let mut ev = SelectionEvaluator {
+            m,
+            in_sel: vec![true; n],
+            members: (0..n as u32).collect(),
+            top1: vec![NONE; m.n_samples()],
+            top1_val: vec![0.0; m.n_samples()],
+            top2: vec![NONE; m.n_samples()],
+            top2_val: vec![0.0; m.n_samples()],
+            owners: vec![Vec::new(); n],
+            second_owners: vec![Vec::new(); n],
+            arr: 0.0,
+            counters: EvalCounters::default(),
+            stamp: vec![0; m.n_samples()],
+            epoch: 0,
+        };
+        ev.rebuild();
+        ev
+    }
+
+    /// Starts with an explicit selection (indices may be in any order; no
+    /// duplicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds or duplicated.
+    pub fn new_with(m: &'a S, selection: &[usize]) -> Self {
+        let n = m.n_points();
+        let mut in_sel = vec![false; n];
+        for &p in selection {
+            assert!(p < n, "selection index {p} out of bounds");
+            assert!(!in_sel[p], "duplicate selection index {p}");
+            in_sel[p] = true;
+        }
+        let mut ev = SelectionEvaluator {
+            m,
+            in_sel,
+            members: selection.iter().map(|&p| p as u32).collect(),
+            top1: vec![NONE; m.n_samples()],
+            top1_val: vec![0.0; m.n_samples()],
+            top2: vec![NONE; m.n_samples()],
+            top2_val: vec![0.0; m.n_samples()],
+            owners: vec![Vec::new(); n],
+            second_owners: vec![Vec::new(); n],
+            arr: 0.0,
+            counters: EvalCounters::default(),
+            stamp: vec![0; m.n_samples()],
+            epoch: 0,
+        };
+        ev.rebuild();
+        ev
+    }
+
+    /// Full O(N·|S|) recomputation of the cached state.
+    fn rebuild(&mut self) {
+        self.owners.iter_mut().for_each(Vec::clear);
+        self.second_owners.iter_mut().for_each(Vec::clear);
+        self.arr = 0.0;
+        for u in 0..self.m.n_samples() {
+            let (mut b1, mut v1, mut b2, mut v2) = (NONE, 0.0f64, NONE, 0.0f64);
+            for &p in &self.members {
+                let s = self.m.score(u, p as usize);
+                if b1 == NONE || s > v1 {
+                    b2 = b1;
+                    v2 = v1;
+                    b1 = p;
+                    v1 = s;
+                } else if b2 == NONE || s > v2 {
+                    b2 = p;
+                    v2 = s;
+                }
+            }
+            self.top1[u] = b1;
+            self.top1_val[u] = if b1 == NONE { 0.0 } else { v1 };
+            self.top2[u] = b2;
+            self.top2_val[u] = if b2 == NONE { 0.0 } else { v2 };
+            if b1 != NONE {
+                self.owners[b1 as usize].push(u as u32);
+            }
+            if b2 != NONE {
+                self.second_owners[b2 as usize].push(u as u32);
+            }
+            self.arr += self.m.weight(u) * (1.0 - self.top1_val[u] / self.m.best_value(u));
+        }
+    }
+
+    /// Current `arr(S)`.
+    #[inline]
+    pub fn arr(&self) -> f64 {
+        self.arr
+    }
+
+    /// Current selection size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the selection is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether point `p` is currently selected.
+    #[inline]
+    pub fn contains(&self, p: usize) -> bool {
+        self.in_sel[p]
+    }
+
+    /// Current members, sorted ascending.
+    pub fn selection(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.members.iter().map(|&p| p as usize).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Instrumentation counters accumulated so far.
+    pub fn counters(&self) -> &EvalCounters {
+        &self.counters
+    }
+
+    /// Resets instrumentation counters.
+    pub fn reset_counters(&mut self) {
+        self.counters = EvalCounters::default();
+    }
+
+    /// `arr(S − {p}) − arr(S)` — the increase in average regret ratio if
+    /// `p` were removed. Touches only the samples whose best point is `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `p` is not selected.
+    pub fn removal_delta(&mut self, p: usize) -> f64 {
+        debug_assert!(self.in_sel[p], "removal_delta on unselected point {p}");
+        self.counters.delta_evals += 1;
+        self.epoch += 1;
+        let mut delta = 0.0;
+        for &u in &self.owners[p] {
+            let u = u as usize;
+            if self.top1[u] != p as u32 || self.stamp[u] == self.epoch {
+                continue; // lazy-deleted or duplicate entry
+            }
+            self.stamp[u] = self.epoch;
+            self.counters.delta_rows_touched += 1;
+            delta += self.m.weight(u) * (self.top1_val[u] - self.top2_val[u])
+                / self.m.best_value(u);
+        }
+        delta
+    }
+
+    /// `arr(S − {p})` — convenience wrapper around [`Self::removal_delta`].
+    pub fn arr_without(&mut self, p: usize) -> f64 {
+        self.arr + self.removal_delta(p)
+    }
+
+    /// `arr(S ∪ {p}) − arr(S)` (non-positive, by Lemma 1). Touches every
+    /// sample once (`O(N)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `p` is already selected.
+    pub fn addition_delta(&self, p: usize) -> f64 {
+        debug_assert!(!self.in_sel[p], "addition_delta on selected point {p}");
+        let mut delta = 0.0;
+        for u in 0..self.m.n_samples() {
+            let s = self.m.score(u, p);
+            if s > self.top1_val[u] {
+                delta -= self.m.weight(u) * (s - self.top1_val[u]) / self.m.best_value(u);
+            }
+        }
+        delta
+    }
+
+    /// Removes `p` from the selection, updating all cached state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not selected.
+    pub fn remove(&mut self, p: usize) {
+        assert!(self.in_sel[p], "cannot remove unselected point {p}");
+        self.in_sel[p] = false;
+        let pos = self
+            .members
+            .iter()
+            .position(|&q| q as usize == p)
+            .expect("member list consistent with in_sel");
+        self.members.swap_remove(pos);
+
+        // Samples whose best point was p: promote the runner-up and rescan
+        // for a new runner-up.
+        let promoted = std::mem::take(&mut self.owners[p]);
+        for &u32u in &promoted {
+            let u = u32u as usize;
+            if self.top1[u] != p as u32 {
+                continue; // stale entry
+            }
+            self.counters.promotions += 1;
+            let old_val = self.top1_val[u];
+            self.top1[u] = self.top2[u];
+            self.top1_val[u] = self.top2_val[u];
+            if self.top1[u] != NONE {
+                self.owners[self.top1[u] as usize].push(u as u32);
+            }
+            self.rescan_second(u);
+            self.arr += self.m.weight(u) * (old_val - self.top1_val[u]) / self.m.best_value(u);
+        }
+
+        // Samples whose runner-up was p: rescan for a new runner-up.
+        let seconds = std::mem::take(&mut self.second_owners[p]);
+        for &u32u in &seconds {
+            let u = u32u as usize;
+            if self.top2[u] != p as u32 {
+                continue; // stale or already fixed above
+            }
+            self.rescan_second(u);
+        }
+    }
+
+    /// Adds `p` to the selection, updating all cached state in `O(N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is already selected.
+    pub fn add(&mut self, p: usize) {
+        assert!(!self.in_sel[p], "cannot add selected point {p}");
+        self.in_sel[p] = true;
+        self.members.push(p as u32);
+        let mut pushed_owner = false;
+        let mut pushed_second = false;
+        for u in 0..self.m.n_samples() {
+            let s = self.m.score(u, p);
+            if self.top1[u] == NONE || s > self.top1_val[u] {
+                self.counters.promotions += 1;
+                // Old best becomes the runner-up.
+                if self.top1[u] != NONE {
+                    self.second_owners[self.top1[u] as usize].push(u as u32);
+                    pushed_second = true;
+                }
+                self.top2[u] = self.top1[u];
+                self.top2_val[u] = self.top1_val[u];
+                let old_val = self.top1_val[u];
+                self.top1[u] = p as u32;
+                self.top1_val[u] = s;
+                self.owners[p].push(u as u32);
+                pushed_owner = true;
+                self.arr -= self.m.weight(u) * (s - old_val) / self.m.best_value(u);
+            } else if self.top2[u] == NONE || s > self.top2_val[u] {
+                self.top2[u] = p as u32;
+                self.top2_val[u] = s;
+                self.second_owners[p].push(u as u32);
+                pushed_second = true;
+            }
+        }
+        let _ = (pushed_owner, pushed_second);
+    }
+
+    /// Recomputes the runner-up for sample `u` by scanning the members.
+    fn rescan_second(&mut self, u: usize) {
+        self.counters.rescans += 1;
+        let b1 = self.top1[u];
+        let (mut b2, mut v2) = (NONE, 0.0f64);
+        for &q in &self.members {
+            if q == b1 {
+                continue;
+            }
+            let s = self.m.score(u, q as usize);
+            if b2 == NONE || s > v2 {
+                b2 = q;
+                v2 = s;
+            }
+        }
+        self.top2[u] = b2;
+        self.top2_val[u] = if b2 == NONE { 0.0 } else { v2 };
+        if b2 != NONE {
+            self.second_owners[b2 as usize].push(u as u32);
+        }
+    }
+
+    /// Debug helper: recomputes `arr(S)` from scratch and checks it against
+    /// the incrementally maintained value. Used by tests.
+    pub fn verify_consistency(&self) -> bool {
+        let sel = self.selection();
+        let fresh = crate::regret::arr_unchecked(self.m, &sel);
+        (fresh - self.arr).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regret;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn matrix() -> ScoreMatrix {
+        ScoreMatrix::from_rows(
+            vec![
+                vec![0.9, 0.7, 0.2, 0.4],
+                vec![0.6, 1.0, 0.5, 0.2],
+                vec![0.2, 0.6, 0.3, 1.0],
+                vec![0.1, 0.2, 1.0, 0.9],
+            ],
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_selection_is_zero_regret() {
+        let m = matrix();
+        let ev = SelectionEvaluator::new_full(&m);
+        assert!(ev.arr().abs() < 1e-12);
+        assert_eq!(ev.len(), 4);
+        assert!(ev.contains(2));
+    }
+
+    #[test]
+    fn removal_delta_matches_direct_computation() {
+        let m = matrix();
+        let mut ev = SelectionEvaluator::new_full(&m);
+        for p in 0..4 {
+            let expected = regret::arr_unchecked(
+                &m,
+                &(0..4).filter(|&q| q != p).collect::<Vec<_>>(),
+            );
+            let got = ev.arr() + ev.removal_delta(p);
+            assert!((got - expected).abs() < 1e-12, "point {p}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn remove_updates_arr_incrementally() {
+        let m = matrix();
+        let mut ev = SelectionEvaluator::new_full(&m);
+        ev.remove(1);
+        assert!(ev.verify_consistency());
+        ev.remove(3);
+        assert!(ev.verify_consistency());
+        assert_eq!(ev.selection(), vec![0, 2]);
+        let direct = regret::arr_unchecked(&m, &[0, 2]);
+        assert!((ev.arr() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_down_to_empty() {
+        let m = matrix();
+        let mut ev = SelectionEvaluator::new_full(&m);
+        for p in 0..4 {
+            ev.remove(p);
+        }
+        assert!(ev.is_empty());
+        assert!((ev.arr() - 1.0).abs() < 1e-12, "empty selection has arr = 1");
+    }
+
+    #[test]
+    fn add_matches_direct_computation() {
+        let m = matrix();
+        let mut ev = SelectionEvaluator::new_with(&m, &[0]);
+        assert!(ev.verify_consistency());
+        let delta = ev.addition_delta(3);
+        ev.add(3);
+        assert!(ev.verify_consistency());
+        let direct = regret::arr_unchecked(&m, &[0, 3]);
+        assert!((ev.arr() - direct).abs() < 1e-12);
+        let direct0 = regret::arr_unchecked(&m, &[0]);
+        assert!((delta - (direct - direct0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interleaved_adds_and_removes_stay_consistent() {
+        let m = matrix();
+        let mut ev = SelectionEvaluator::new_with(&m, &[0, 1]);
+        ev.add(2);
+        ev.remove(0);
+        ev.add(3);
+        ev.remove(2);
+        assert!(ev.verify_consistency());
+        assert_eq!(ev.selection(), vec![1, 3]);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = matrix();
+        let mut ev = SelectionEvaluator::new_full(&m);
+        ev.removal_delta(0);
+        ev.remove(0);
+        let c = ev.counters().clone();
+        assert!(c.delta_evals == 1);
+        assert!(c.promotions >= 1);
+        ev.reset_counters();
+        assert_eq!(ev.counters(), &EvalCounters::default());
+    }
+
+    #[test]
+    fn randomized_mutation_fuzz() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let n_points = rng.gen_range(2..12);
+            let n_samples = rng.gen_range(1..20);
+            let rows: Vec<Vec<f64>> = (0..n_samples)
+                .map(|_| {
+                    (0..n_points)
+                        .map(|_| rng.gen_range(0.01..1.0))
+                        .collect()
+                })
+                .collect();
+            let m = ScoreMatrix::from_rows(rows, None).unwrap();
+            let mut ev = SelectionEvaluator::new_full(&m);
+            for _step in 0..40 {
+                let sel = ev.selection();
+                if !sel.is_empty() && (ev.len() == n_points || rng.gen_bool(0.6)) {
+                    let p = sel[rng.gen_range(0..sel.len())];
+                    let predicted = ev.arr() + ev.removal_delta(p);
+                    ev.remove(p);
+                    assert!(
+                        (ev.arr() - predicted).abs() < 1e-9,
+                        "trial {trial}: removal delta mismatch"
+                    );
+                } else {
+                    let outside: Vec<usize> =
+                        (0..n_points).filter(|&p| !ev.contains(p)).collect();
+                    if outside.is_empty() {
+                        continue;
+                    }
+                    let p = outside[rng.gen_range(0..outside.len())];
+                    let predicted = ev.arr() + ev.addition_delta(p);
+                    ev.add(p);
+                    assert!(
+                        (ev.arr() - predicted).abs() < 1e-9,
+                        "trial {trial}: addition delta mismatch"
+                    );
+                }
+                assert!(ev.verify_consistency(), "trial {trial}: cache drifted");
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! # fam-core
+//!
+//! Core abstractions for the **FAM** problem — *Finding the Average Regret
+//! Ratio Minimizing Set* (Zeighami & Wong, ICDE 2019).
+//!
+//! Given a database `D` of `n` points and a probability distribution `Θ`
+//! over user utility functions, FAM asks for the set `S ⊆ D` of `k` points
+//! minimizing the expected regret ratio `arr(S) = E_f[1 − sat(S,f)/sat(D,f)]`.
+//!
+//! This crate provides:
+//!
+//! * [`Dataset`] — the point database (validated, flat storage);
+//! * [`UtilityFunction`] implementations ([`LinearUtility`],
+//!   [`CobbDouglasUtility`], [`TableUtility`]) and [`UtilityDistribution`]s
+//!   over them (uniform box, simplex, Dirichlet, discrete — Appendix A);
+//! * [`ScoreMatrix`] — the `N × n` sampled utility-score matrix every
+//!   algorithm consumes, with precomputed per-user best points;
+//! * regret metrics ([`regret::arr`], [`regret::vrr`],
+//!   [`regret::rr_percentiles`], …);
+//! * [`SelectionEvaluator`] — incremental `arr` maintenance implementing the
+//!   paper's Improvement 1;
+//! * Chernoff sampling bounds ([`chernoff_sample_size`], Theorem 4 /
+//!   Table V);
+//! * structural-property checks (supermodularity, monotonicity, steepness —
+//!   Theorems 2–3) in [`properties`].
+//!
+//! Algorithms (GREEDY-SHRINK, the exact 2-D DP, and all baselines) live in
+//! the `fam-algos` crate; the `fam` facade crate re-exports everything.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod distribution;
+pub mod error;
+pub mod evaluator;
+pub mod linear_scores;
+pub mod properties;
+pub mod randext;
+pub mod regret;
+pub mod sampling;
+pub mod scores;
+pub mod selection;
+pub mod stats;
+pub mod streaming;
+pub mod utility;
+
+pub use dataset::Dataset;
+pub use distribution::{
+    CobbDouglasDistribution, DirichletLinear, DiscreteDistribution, SimplexLinear, UniformLinear,
+    UtilityDistribution,
+};
+pub use error::{FamError, Result};
+pub use evaluator::{EvalCounters, SelectionEvaluator};
+pub use regret::RegretReport;
+pub use sampling::{chernoff_epsilon, chernoff_sample_size, SampleSpec};
+pub use linear_scores::LinearScores;
+pub use scores::{ScoreMatrix, ScoreSource};
+pub use selection::Selection;
+pub use utility::{CobbDouglasUtility, LinearUtility, TableUtility, UtilityFunction};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::dataset::Dataset;
+    pub use crate::distribution::{
+        CobbDouglasDistribution, DirichletLinear, DiscreteDistribution, SimplexLinear,
+        UniformLinear, UtilityDistribution,
+    };
+    pub use crate::error::{FamError, Result};
+    pub use crate::evaluator::SelectionEvaluator;
+    pub use crate::regret;
+    pub use crate::sampling::{chernoff_epsilon, chernoff_sample_size, SampleSpec};
+    pub use crate::linear_scores::LinearScores;
+    pub use crate::scores::{ScoreMatrix, ScoreSource};
+    pub use crate::selection::Selection;
+    pub use crate::utility::{
+        CobbDouglasUtility, LinearUtility, TableUtility, UtilityFunction,
+    };
+}

@@ -1,0 +1,295 @@
+//! Compact linear score storage — the `O(d(N+n))` space optimization of
+//! Section III-D-3.
+//!
+//! When utility functions are linear, storing the `N × d` weight vectors
+//! and the `n × d` database is enough: scores are recomputed on demand at
+//! a factor-`d` time cost. [`LinearScores`] implements [`ScoreSource`], so
+//! GREEDY-SHRINK and the other sampled algorithms run on it unchanged —
+//! which is what makes the `n = 10⁶⁺` sweeps of Figure 7 feasible without
+//! a multi-gigabyte matrix.
+
+use rand::{Rng, RngCore};
+
+use crate::dataset::Dataset;
+use crate::error::{FamError, Result};
+use crate::randext;
+use crate::scores::ScoreSource;
+
+/// Linear utility samples stored as weight vectors; scores computed on
+/// demand as dot products.
+#[derive(Debug, Clone)]
+pub struct LinearScores {
+    /// `N × d` row-major utility weights.
+    weights: Vec<f64>,
+    dim: usize,
+    dataset: Dataset,
+    sample_weights: Vec<f64>,
+    best_index: Vec<u32>,
+    best_value: Vec<f64>,
+}
+
+impl LinearScores {
+    /// Builds from explicit per-sample weight vectors with uniform sample
+    /// probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/ragged weights, negative or non-finite
+    /// entries, or samples that score every point 0.
+    pub fn from_weight_rows(dataset: Dataset, rows: Vec<Vec<f64>>) -> Result<Self> {
+        let d = dataset.dim();
+        if rows.is_empty() {
+            return Err(FamError::InvalidParameter {
+                name: "rows",
+                message: "need at least one utility weight vector".into(),
+            });
+        }
+        let mut weights = Vec::with_capacity(rows.len() * d);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != d {
+                return Err(FamError::DimensionMismatch { expected: d, got: r.len() });
+            }
+            for (j, v) in r.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(FamError::NonFinite { row: i, col: j });
+                }
+                if *v < 0.0 {
+                    return Err(FamError::NegativeValue { row: i, col: j });
+                }
+                weights.push(*v);
+            }
+        }
+        Self::finish(dataset, weights, rows.len())
+    }
+
+    /// Samples `n_samples` weight vectors i.i.d. uniform on `[0,1]^d` (the
+    /// paper's standard linear Θ).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n_samples == 0`.
+    pub fn sample_uniform(
+        dataset: Dataset,
+        n_samples: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self> {
+        if n_samples == 0 {
+            return Err(FamError::InvalidParameter {
+                name: "n_samples",
+                message: "must be at least 1".into(),
+            });
+        }
+        let d = dataset.dim();
+        let mut weights = Vec::with_capacity(n_samples * d);
+        for _ in 0..n_samples {
+            loop {
+                let start = weights.len();
+                for _ in 0..d {
+                    weights.push(rng.gen_range(0.0..=1.0));
+                }
+                if weights[start..].iter().any(|w| *w > 0.0) {
+                    break;
+                }
+                weights.truncate(start);
+            }
+        }
+        Self::finish(dataset, weights, n_samples)
+    }
+
+    /// Samples weight vectors uniform on the probability simplex.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n_samples == 0`.
+    pub fn sample_simplex(
+        dataset: Dataset,
+        n_samples: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self> {
+        if n_samples == 0 {
+            return Err(FamError::InvalidParameter {
+                name: "n_samples",
+                message: "must be at least 1".into(),
+            });
+        }
+        let d = dataset.dim();
+        let mut weights = vec![0.0; n_samples * d];
+        for u in 0..n_samples {
+            randext::uniform_simplex_into(rng, &mut weights[u * d..(u + 1) * d]);
+        }
+        Self::finish(dataset, weights, n_samples)
+    }
+
+    fn finish(dataset: Dataset, weights: Vec<f64>, n_samples: usize) -> Result<Self> {
+        let d = dataset.dim();
+        let n = dataset.len();
+        let mut best_index = Vec::with_capacity(n_samples);
+        let mut best_value = Vec::with_capacity(n_samples);
+        for u in 0..n_samples {
+            let w = &weights[u * d..(u + 1) * d];
+            let (mut bi, mut bv) = (0usize, f64::NEG_INFINITY);
+            for p in 0..n {
+                let s: f64 = dataset.point(p).iter().zip(w).map(|(a, b)| a * b).sum();
+                if s > bv {
+                    bi = p;
+                    bv = s;
+                }
+            }
+            if bv <= 0.0 {
+                return Err(FamError::DegenerateUtility { sample: u });
+            }
+            best_index.push(bi as u32);
+            best_value.push(bv);
+        }
+        Ok(LinearScores {
+            weights,
+            dim: d,
+            dataset,
+            sample_weights: vec![1.0 / n_samples as f64; n_samples],
+            best_index,
+            best_value,
+        })
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The weight vector of sample `u`.
+    pub fn weight_vector(&self, u: usize) -> &[f64] {
+        &self.weights[u * self.dim..(u + 1) * self.dim]
+    }
+
+    /// Approximate heap footprint in bytes — `O(d(N + n))`, versus the
+    /// `O(nN)` of a materialized [`crate::ScoreMatrix`].
+    pub fn approx_bytes(&self) -> usize {
+        (self.weights.len()
+            + self.dataset.as_flat().len()
+            + self.sample_weights.len()
+            + self.best_value.len())
+            * std::mem::size_of::<f64>()
+            + self.best_index.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl ScoreSource for LinearScores {
+    #[inline]
+    fn n_samples(&self) -> usize {
+        self.sample_weights.len()
+    }
+
+    #[inline]
+    fn n_points(&self) -> usize {
+        self.dataset.len()
+    }
+
+    #[inline]
+    fn score(&self, u: usize, p: usize) -> f64 {
+        let w = &self.weights[u * self.dim..(u + 1) * self.dim];
+        self.dataset.point(p).iter().zip(w).map(|(a, b)| a * b).sum()
+    }
+
+    #[inline]
+    fn weight(&self, u: usize) -> f64 {
+        self.sample_weights[u]
+    }
+
+    #[inline]
+    fn best_index(&self, u: usize) -> usize {
+        self.best_index[u] as usize
+    }
+
+    #[inline]
+    fn best_value(&self, u: usize) -> f64 {
+        self.best_value[u]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scores::ScoreMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![0.9, 0.1, 0.3],
+            vec![0.2, 0.8, 0.5],
+            vec![0.5, 0.5, 0.9],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_materialized_matrix_exactly() {
+        let ds = dataset();
+        let rows = vec![vec![1.0, 0.0, 0.0], vec![0.2, 0.5, 0.9], vec![0.4, 0.4, 0.4]];
+        let compact = LinearScores::from_weight_rows(ds.clone(), rows.clone()).unwrap();
+        // Materialize the same scores.
+        let mut flat = Vec::new();
+        for r in &rows {
+            for p in ds.points() {
+                flat.push(p.iter().zip(r).map(|(a, b)| a * b).sum());
+            }
+        }
+        let dense = ScoreMatrix::from_flat(flat, 3, 3, None).unwrap();
+        for u in 0..3 {
+            assert_eq!(compact.best_index(u), ScoreSource::best_index(&dense, u));
+            assert!((compact.best_value(u) - ScoreSource::best_value(&dense, u)).abs() < 1e-12);
+            for p in 0..3 {
+                assert!(
+                    (compact.score(u, p) - ScoreSource::score(&dense, u, p)).abs() < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let ds = dataset();
+        assert!(LinearScores::from_weight_rows(ds.clone(), vec![]).is_err());
+        assert!(LinearScores::from_weight_rows(ds.clone(), vec![vec![1.0]]).is_err());
+        assert!(LinearScores::from_weight_rows(ds.clone(), vec![vec![-1.0, 0.0, 0.0]]).is_err());
+        assert!(
+            LinearScores::from_weight_rows(ds.clone(), vec![vec![0.0, 0.0, 0.0]]).is_err(),
+            "all-zero weights score every point 0"
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(LinearScores::sample_uniform(ds.clone(), 0, &mut rng).is_err());
+        assert!(LinearScores::sample_simplex(ds, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sampling_constructors_produce_valid_sources() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for src in [
+            LinearScores::sample_uniform(dataset(), 200, &mut rng).unwrap(),
+            LinearScores::sample_simplex(dataset(), 200, &mut rng).unwrap(),
+        ] {
+            assert_eq!(src.n_samples(), 200);
+            assert_eq!(src.n_points(), 3);
+            for u in 0..200 {
+                assert!(src.best_value(u) > 0.0);
+                let manual = (0..3).map(|p| src.score(u, p)).fold(0.0f64, f64::max);
+                assert!((src.best_value(u) - manual).abs() < 1e-12);
+            }
+            let total: f64 = (0..200).map(|u| src.weight(u)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn memory_is_compact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n_points = 500;
+        let big = Dataset::from_rows(
+            (0..n_points).map(|i| vec![(i % 97) as f64 / 97.0 + 0.01, 0.5, 0.5]).collect(),
+        )
+        .unwrap();
+        let src = LinearScores::sample_uniform(big, 1_000, &mut rng).unwrap();
+        // d(N + n) * 8 bytes plus bookkeeping, far below N*n*8 = 4 MB.
+        assert!(src.approx_bytes() < 200_000, "footprint {}", src.approx_bytes());
+    }
+}

@@ -1,0 +1,257 @@
+//! Structural properties of `arr(·)`: supermodularity, monotonicity, and
+//! steepness (Definitions 6–8, Theorems 2–3).
+//!
+//! These are used by the test suite to validate Theorem 2 / Lemma 1 on
+//! arbitrary instances, and by the experiment harness to report the
+//! theoretical approximation bound of GREEDY-SHRINK.
+
+use crate::error::Result;
+use crate::regret::arr_unchecked;
+use crate::scores::ScoreSource;
+
+/// Marginal decrease `d(x, X) = arr(X − {x}) − arr(X)` (Definition 8).
+/// `x` must be a member of `set`; `set` is given as indices.
+pub fn marginal_decrease<S: ScoreSource + ?Sized>(m: &S, x: usize, set: &[usize]) -> f64 {
+    debug_assert!(set.contains(&x));
+    let without: Vec<usize> = set.iter().copied().filter(|&q| q != x).collect();
+    arr_unchecked(m, &without) - arr_unchecked(m, set)
+}
+
+/// Steepness of `arr(·)` (Definition 8):
+/// `s = max_{x : d(x,{x}) > 0} (d(x,{x}) − d(x,U)) / d(x,{x})`,
+/// with `U` the full point universe.
+///
+/// Returns 0 when no point has positive singleton decrease (a degenerate
+/// constant function).
+pub fn steepness<S: ScoreSource + ?Sized>(m: &S) -> f64 {
+    let universe: Vec<usize> = (0..m.n_points()).collect();
+    let mut s = 0.0f64;
+    for x in 0..m.n_points() {
+        let d_single = marginal_decrease(m, x, &[x]);
+        if d_single <= 0.0 {
+            continue;
+        }
+        let d_full = marginal_decrease(m, x, &universe);
+        s = s.max((d_single - d_full) / d_single);
+    }
+    s
+}
+
+/// GREEDY-SHRINK's theoretical approximation ratio for a function of
+/// steepness `s` (Theorem 3, following Il'ev): `(e^t − 1)/t` with
+/// `t = s/(1−s)`. Tends to 1 as `s → 0` and diverges as `s → 1`.
+///
+/// Returns `f64::INFINITY` for `s >= 1`.
+pub fn approximation_bound(s: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&s));
+    if s >= 1.0 {
+        return f64::INFINITY;
+    }
+    if s <= 0.0 {
+        return 1.0;
+    }
+    let t = s / (1.0 - s);
+    if t < 1e-9 {
+        // lim_{t->0} (e^t - 1)/t = 1; use the series for stability.
+        return 1.0 + t / 2.0;
+    }
+    (t.exp() - 1.0) / t
+}
+
+/// A violation of supermodularity found by [`check_supermodularity`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupermodularityViolation {
+    /// The smaller set `S`.
+    pub small: Vec<usize>,
+    /// The larger set `T ⊇ S`.
+    pub large: Vec<usize>,
+    /// The element `x ∉ T` that was added to both.
+    pub x: usize,
+    /// `arr(S ∪ {x}) − arr(S)`.
+    pub small_delta: f64,
+    /// `arr(T ∪ {x}) − arr(T)`.
+    pub large_delta: f64,
+}
+
+/// Exhaustively checks the supermodularity inequality
+/// `arr(S ∪ {x}) − arr(S) ≤ arr(T ∪ {x}) − arr(T)` for **all** chains
+/// `S ⊆ T` and `x ∉ T` of a small universe (Theorem 2). Returns the first
+/// violation, if any. Exponential in `n_points`; intended for `n ≤ ~12`.
+pub fn check_supermodularity<S: ScoreSource + ?Sized>(m: &S, tolerance: f64) -> Option<SupermodularityViolation> {
+    let n = m.n_points();
+    assert!(n <= 16, "exhaustive check is exponential; use small universes");
+    let arr_of = |mask: u32| -> f64 {
+        let sel: Vec<usize> = (0..n).filter(|&p| mask & (1 << p) != 0).collect();
+        arr_unchecked(m, &sel)
+    };
+    // Precompute arr for all subsets.
+    let total = 1u32 << n;
+    let mut table = vec![0.0f64; total as usize];
+    for mask in 0..total {
+        table[mask as usize] = arr_of(mask);
+    }
+    for t_mask in 0..total {
+        // S ranges over submasks of T.
+        let mut s_mask = t_mask;
+        loop {
+            for x in 0..n {
+                let bit = 1u32 << x;
+                if t_mask & bit != 0 {
+                    continue;
+                }
+                let small_delta = table[(s_mask | bit) as usize] - table[s_mask as usize];
+                let large_delta = table[(t_mask | bit) as usize] - table[t_mask as usize];
+                if small_delta > large_delta + tolerance {
+                    let to_vec = |mask: u32| (0..n).filter(|&p| mask & (1 << p) != 0).collect();
+                    return Some(SupermodularityViolation {
+                        small: to_vec(s_mask),
+                        large: to_vec(t_mask),
+                        x,
+                        small_delta,
+                        large_delta,
+                    });
+                }
+            }
+            if s_mask == 0 {
+                break;
+            }
+            s_mask = (s_mask - 1) & t_mask;
+        }
+    }
+    None
+}
+
+/// Checks that `arr` is monotonically decreasing (Lemma 1) over all subsets
+/// of a small universe: adding any point never increases `arr`.
+/// Returns the first violating `(set, x)` pair, if any.
+pub fn check_monotone_decreasing<S: ScoreSource + ?Sized>(m: &S, tolerance: f64) -> Option<(Vec<usize>, usize)> {
+    let n = m.n_points();
+    assert!(n <= 16, "exhaustive check is exponential; use small universes");
+    let total = 1u32 << n;
+    for mask in 0..total {
+        let sel: Vec<usize> = (0..n).filter(|&p| mask & (1 << p) != 0).collect();
+        let base = arr_unchecked(m, &sel);
+        for x in 0..n {
+            let bit = 1u32 << x;
+            if mask & bit != 0 {
+                continue;
+            }
+            let mut bigger = sel.clone();
+            bigger.push(x);
+            if arr_unchecked(m, &bigger) > base + tolerance {
+                return Some((sel, x));
+            }
+        }
+    }
+    None
+}
+
+/// Empirical approximation ratio `arr(S_greedy) / arr(S_opt)` with a guard
+/// for the zero-optimal case (ratio 1 when both are ~0, infinity when only
+/// the optimum is ~0).
+///
+/// # Errors
+///
+/// Never fails currently; returns `Result` for interface stability.
+pub fn approximation_ratio(greedy_arr: f64, optimal_arr: f64) -> Result<f64> {
+    const EPS: f64 = 1e-12;
+    if optimal_arr.abs() < EPS {
+        if greedy_arr.abs() < EPS {
+            return Ok(1.0);
+        }
+        return Ok(f64::INFINITY);
+    }
+    Ok(greedy_arr / optimal_arr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scores::ScoreMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn table_i() -> ScoreMatrix {
+        ScoreMatrix::from_rows(
+            vec![
+                vec![0.9, 0.7, 0.2, 0.4],
+                vec![0.6, 1.0, 0.5, 0.2],
+                vec![0.2, 0.6, 0.3, 1.0],
+                vec![0.1, 0.2, 1.0, 0.9],
+            ],
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_i_is_supermodular_and_monotone() {
+        let m = table_i();
+        assert_eq!(check_supermodularity(&m, 1e-9), None);
+        assert_eq!(check_monotone_decreasing(&m, 1e-9), None);
+    }
+
+    #[test]
+    fn random_matrices_are_supermodular() {
+        // Theorem 2 holds for arbitrary score matrices; fuzz it.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..7);
+            let users = rng.gen_range(1..6);
+            let rows: Vec<Vec<f64>> = (0..users)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.01..1.0)).collect())
+                .collect();
+            let m = ScoreMatrix::from_rows(rows, None).unwrap();
+            assert_eq!(check_supermodularity(&m, 1e-9), None);
+            assert_eq!(check_monotone_decreasing(&m, 1e-9), None);
+        }
+    }
+
+    #[test]
+    fn steepness_in_unit_interval() {
+        let m = table_i();
+        let s = steepness(&m);
+        assert!((0.0..=1.0).contains(&s), "steepness {s}");
+    }
+
+    #[test]
+    fn marginal_decrease_non_negative() {
+        let m = table_i();
+        for x in 0..4 {
+            assert!(marginal_decrease(&m, x, &[x]) >= -1e-12);
+            let all = vec![0, 1, 2, 3];
+            assert!(marginal_decrease(&m, x, &all) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn approximation_bound_limits() {
+        assert_eq!(approximation_bound(0.0), 1.0);
+        assert!(approximation_bound(1.0).is_infinite());
+        let mid = approximation_bound(0.5); // t = 1 -> e - 1
+        assert!((mid - (std::f64::consts::E - 1.0)).abs() < 1e-12);
+        // Monotone in s.
+        assert!(approximation_bound(0.3) < approximation_bound(0.6));
+        // Near-zero steepness stays near 1.
+        assert!((approximation_bound(1e-12) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximation_ratio_guards() {
+        assert_eq!(approximation_ratio(0.0, 0.0).unwrap(), 1.0);
+        assert!(approximation_ratio(0.1, 0.0).unwrap().is_infinite());
+        assert!((approximation_ratio(0.2, 0.1).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_struct_is_reported() {
+        // Construct a *non*-supermodular function artificially? arr is always
+        // supermodular, so instead verify the detector's plumbing by checking
+        // that a tolerance of -1 (impossible to satisfy) flags something.
+        let m = table_i();
+        let v = check_supermodularity(&m, -1.0);
+        assert!(v.is_some(), "negative tolerance must flag a (spurious) violation");
+        let v = v.unwrap();
+        assert!(v.small_delta <= v.large_delta + 1e-9);
+    }
+}

@@ -1,0 +1,231 @@
+//! Extra random-variate samplers built on top of `rand`'s uniform source.
+//!
+//! The allowed dependency set contains `rand` but not `rand_distr`, so the
+//! handful of non-uniform variates the workspace needs (standard normal,
+//! gamma, Dirichlet) are implemented here from first principles.
+
+use rand::Rng;
+
+/// Samples a standard normal variate via the Marsaglia polar method.
+///
+/// The polar method avoids trigonometric functions and is numerically
+/// well-behaved for the tails we care about.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Samples `N(mean, std_dev^2)`.
+///
+/// # Panics
+///
+/// Panics (debug) if `std_dev` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples a Gamma(shape, 1) variate via Marsaglia–Tsang (2000).
+///
+/// Handles `shape < 1` through the boosting identity
+/// `Gamma(a) = Gamma(a+1) * U^(1/a)`.
+///
+/// # Panics
+///
+/// Panics (debug) if `shape <= 0`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    debug_assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: sample Gamma(shape + 1) and scale by U^(1/shape).
+        let g = gamma(rng, shape + 1.0);
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return g * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // Squeeze then full acceptance test.
+        if u < 1.0 - 0.0331 * x * x * x * x {
+            return d * v3;
+        }
+        if u > 0.0 && u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+/// Samples from a Dirichlet distribution with concentration `alpha`,
+/// writing the result into `out` (which must match `alpha` in length).
+///
+/// # Panics
+///
+/// Panics (debug) if lengths differ or any `alpha` is non-positive.
+pub fn dirichlet_into<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(alpha.len(), out.len());
+    let mut sum = 0.0;
+    for (o, &a) in out.iter_mut().zip(alpha) {
+        let g = gamma(rng, a);
+        *o = g;
+        sum += g;
+    }
+    if sum <= 0.0 {
+        // Vanishingly rare underflow for tiny alphas: fall back to uniform.
+        let v = 1.0 / out.len() as f64;
+        out.iter_mut().for_each(|o| *o = v);
+        return;
+    }
+    out.iter_mut().for_each(|o| *o /= sum);
+}
+
+/// Samples a point uniformly from the standard probability simplex
+/// (equivalent to Dirichlet with all-ones concentration), writing into
+/// `out`.
+pub fn uniform_simplex_into<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    // Exponential spacings: -ln(U_i) normalized.
+    let mut sum = 0.0;
+    for o in out.iter_mut() {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let e = -u.ln();
+        *o = e;
+        sum += e;
+    }
+    out.iter_mut().for_each(|o| *o /= sum);
+}
+
+/// Draws an index from a discrete distribution given cumulative weights
+/// (`cum` must be non-decreasing and end at the total mass).
+///
+/// # Panics
+///
+/// Panics (debug) if `cum` is empty.
+pub fn sample_discrete_cdf<R: Rng + ?Sized>(rng: &mut R, cum: &[f64]) -> usize {
+    debug_assert!(!cum.is_empty());
+    let total = *cum.last().expect("non-empty cdf");
+    let x: f64 = rng.gen_range(0.0..total);
+    // Binary search for the first cum[i] > x.
+    match cum.binary_search_by(|c| c.partial_cmp(&x).expect("finite cdf")) {
+        Ok(i) => (i + 1).min(cum.len() - 1),
+        Err(i) => i.min(cum.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFA11)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_params() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_ge_one() {
+        let mut r = rng();
+        let n = 200_000;
+        let shape = 3.5;
+        let samples: Vec<f64> = (0..n).map(|_| gamma(&mut r, shape)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - shape).abs() < 0.05, "mean {mean}");
+        assert!((var - shape).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_lt_one() {
+        let mut r = rng();
+        let n = 200_000;
+        let shape = 0.5;
+        let mean = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
+        assert!((mean - shape).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_is_positive() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(gamma(&mut r, 0.2) > 0.0);
+            assert!(gamma(&mut r, 7.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_matches_mean() {
+        let mut r = rng();
+        let alpha = [2.0, 1.0, 1.0];
+        let mut out = [0.0; 3];
+        let mut acc = [0.0; 3];
+        let n = 50_000;
+        for _ in 0..n {
+            dirichlet_into(&mut r, &alpha, &mut out);
+            let s: f64 = out.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            for (a, o) in acc.iter_mut().zip(&out) {
+                *a += o;
+            }
+        }
+        // E[x_0] = 2/4 = 0.5
+        assert!((acc[0] / n as f64 - 0.5).abs() < 0.01);
+        assert!((acc[1] / n as f64 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn simplex_is_uniform_marginal() {
+        let mut r = rng();
+        let mut out = [0.0; 4];
+        let n = 50_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            uniform_simplex_into(&mut r, &mut out);
+            let s: f64 = out.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            acc += out[0];
+        }
+        assert!((acc / n as f64 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn discrete_cdf_respects_weights() {
+        let mut r = rng();
+        let cum = [0.1, 0.1, 0.9, 1.0]; // index 1 has zero mass
+        let mut counts = [0usize; 4];
+        for _ in 0..100_000 {
+            counts[sample_discrete_cdf(&mut r, &cum)] += 1;
+        }
+        assert!(counts[1] < 200, "zero-mass bucket drew {}", counts[1]);
+        let frac2 = counts[2] as f64 / 100_000.0;
+        assert!((frac2 - 0.8).abs() < 0.01, "bucket 2 frac {frac2}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Sample-size bounds for estimating the average regret ratio
+//! (Theorem 4 and Table V of the paper).
+
+use crate::error::{FamError, Result};
+
+/// Minimum number of i.i.d. utility samples `N` such that the estimated
+/// average regret ratio is within `epsilon` of the truth with confidence
+/// `1 - sigma` (Theorem 4): `N >= 3 ln(1/sigma) / epsilon^2`.
+///
+/// The result is the ceiling of the bound (the smallest integer satisfying
+/// the theorem); the paper's Table V truncates some entries, so values may
+/// differ from the paper by one.
+///
+/// # Errors
+///
+/// Returns an error unless `0 < epsilon <= 1` and `0 < sigma < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use fam_core::chernoff_sample_size;
+/// assert_eq!(chernoff_sample_size(0.01, 0.1).unwrap(), 69_078);
+/// ```
+pub fn chernoff_sample_size(epsilon: f64, sigma: f64) -> Result<u64> {
+    if !(epsilon > 0.0 && epsilon <= 1.0 && epsilon.is_finite()) {
+        return Err(FamError::InvalidParameter {
+            name: "epsilon",
+            message: format!("must be in (0, 1], got {epsilon}"),
+        });
+    }
+    if !(sigma > 0.0 && sigma < 1.0 && sigma.is_finite()) {
+        return Err(FamError::InvalidParameter {
+            name: "sigma",
+            message: format!("must be in (0, 1), got {sigma}"),
+        });
+    }
+    Ok((3.0 * (1.0 / sigma).ln() / (epsilon * epsilon)).ceil() as u64)
+}
+
+/// Error `epsilon` achieved by `n` samples at confidence `1 - sigma`
+/// (the inverse of [`chernoff_sample_size`]): `epsilon = sqrt(3 ln(1/sigma) / N)`.
+///
+/// # Errors
+///
+/// Returns an error unless `n >= 1` and `0 < sigma < 1`.
+pub fn chernoff_epsilon(n: u64, sigma: f64) -> Result<f64> {
+    if n == 0 {
+        return Err(FamError::InvalidParameter {
+            name: "n",
+            message: "must be at least 1".into(),
+        });
+    }
+    if !(sigma > 0.0 && sigma < 1.0 && sigma.is_finite()) {
+        return Err(FamError::InvalidParameter {
+            name: "sigma",
+            message: format!("must be in (0, 1), got {sigma}"),
+        });
+    }
+    Ok((3.0 * (1.0 / sigma).ln() / n as f64).sqrt())
+}
+
+/// A sampling specification: error and confidence parameters together with
+/// the implied sample size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSpec {
+    /// Additive error bound on the estimated average regret ratio.
+    pub epsilon: f64,
+    /// Failure probability (confidence is `1 - sigma`).
+    pub sigma: f64,
+    /// Implied minimum sample size.
+    pub n: u64,
+}
+
+impl SampleSpec {
+    /// Builds a spec from `(epsilon, sigma)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`chernoff_sample_size`].
+    pub fn new(epsilon: f64, sigma: f64) -> Result<Self> {
+        Ok(SampleSpec { epsilon, sigma, n: chernoff_sample_size(epsilon, sigma)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_values() {
+        // Paper Table V (ceiling convention; the paper truncates some rows,
+        // so we allow ourselves to be the mathematically-correct +1).
+        let cases = [
+            (0.01, 0.1, 69_078u64),
+            (0.001, 0.1, 6_907_756),
+            (0.0001, 0.1, 690_775_528),
+            (0.01, 0.05, 89_872),
+            (0.001, 0.05, 8_987_197),
+            (0.0001, 0.05, 898_719_683),
+        ];
+        for (eps, sigma, expected) in cases {
+            let got = chernoff_sample_size(eps, sigma).unwrap();
+            assert_eq!(got, expected, "eps={eps}, sigma={sigma}");
+            // Never more than one above the paper's (truncated) table.
+            let raw = 3.0 * (1.0f64 / sigma).ln() / (eps * eps);
+            assert!((got as f64 - raw) < 1.0 && got as f64 >= raw);
+        }
+    }
+
+    #[test]
+    fn epsilon_inverse_roundtrip() {
+        let n = chernoff_sample_size(0.01, 0.1).unwrap();
+        let eps = chernoff_epsilon(n, 0.1).unwrap();
+        assert!(eps <= 0.01 + 1e-9, "achieved eps {eps} should satisfy request");
+        assert!(eps > 0.0099, "achieved eps {eps} should be tight");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(chernoff_sample_size(0.0, 0.1).is_err());
+        assert!(chernoff_sample_size(-0.1, 0.1).is_err());
+        assert!(chernoff_sample_size(1.5, 0.1).is_err());
+        assert!(chernoff_sample_size(0.1, 0.0).is_err());
+        assert!(chernoff_sample_size(0.1, 1.0).is_err());
+        assert!(chernoff_sample_size(f64::NAN, 0.1).is_err());
+        assert!(chernoff_epsilon(0, 0.1).is_err());
+        assert!(chernoff_epsilon(100, 2.0).is_err());
+    }
+
+    #[test]
+    fn spec_carries_size() {
+        let spec = SampleSpec::new(0.1, 0.1).unwrap();
+        assert_eq!(spec.n, chernoff_sample_size(0.1, 0.1).unwrap());
+        assert_eq!(spec.epsilon, 0.1);
+    }
+
+    #[test]
+    fn smaller_epsilon_needs_more_samples() {
+        let a = chernoff_sample_size(0.1, 0.1).unwrap();
+        let b = chernoff_sample_size(0.01, 0.1).unwrap();
+        let c = chernoff_sample_size(0.01, 0.05).unwrap();
+        assert!(b > a);
+        assert!(c > b);
+    }
+}

@@ -1,0 +1,447 @@
+//! The sampled utility-score matrix.
+//!
+//! Every FAM algorithm in this workspace consumes utilities through a
+//! [`ScoreMatrix`]: an `N × n` matrix whose entry `(u, p)` is the utility of
+//! point `p` under sampled (or enumerated) utility function `u`. Building it
+//! corresponds exactly to the paper's preprocessing step: sample `N` utility
+//! functions from `Θ` (`O(nN)`) and find each user's best point in `D`
+//! (`O(nN)`).
+
+use std::sync::Arc;
+
+use rand::RngCore;
+
+use crate::dataset::Dataset;
+use crate::distribution::{DiscreteDistribution, UtilityDistribution};
+use crate::error::{FamError, Result};
+use crate::utility::UtilityFunction;
+
+/// Read access to sampled utility scores — the interface every FAM
+/// algorithm evaluates through.
+///
+/// The canonical implementation is the materialized [`ScoreMatrix`]
+/// (`O(nN)` space). [`crate::linear_scores::LinearScores`] trades space for
+/// time per Section III-D-3 of the paper: `O(d(N+n))` storage with scores
+/// recomputed on demand (a factor-`d` time overhead).
+pub trait ScoreSource: Send + Sync {
+    /// Number of utility samples `N`.
+    fn n_samples(&self) -> usize;
+    /// Number of database points `n`.
+    fn n_points(&self) -> usize;
+    /// Score of point `p` under sample `u`.
+    fn score(&self, u: usize, p: usize) -> f64;
+    /// Probability mass of sample `u` (sums to 1 over all samples).
+    fn weight(&self, u: usize) -> f64;
+    /// Index of sample `u`'s best point in the full database.
+    fn best_index(&self, u: usize) -> usize;
+    /// `sat(D, f_u)` — sample `u`'s best database score.
+    fn best_value(&self, u: usize) -> f64;
+}
+
+impl ScoreSource for ScoreMatrix {
+    #[inline]
+    fn n_samples(&self) -> usize {
+        ScoreMatrix::n_samples(self)
+    }
+
+    #[inline]
+    fn n_points(&self) -> usize {
+        ScoreMatrix::n_points(self)
+    }
+
+    #[inline]
+    fn score(&self, u: usize, p: usize) -> f64 {
+        ScoreMatrix::score(self, u, p)
+    }
+
+    #[inline]
+    fn weight(&self, u: usize) -> f64 {
+        ScoreMatrix::weight(self, u)
+    }
+
+    #[inline]
+    fn best_index(&self, u: usize) -> usize {
+        ScoreMatrix::best_index(self, u)
+    }
+
+    #[inline]
+    fn best_value(&self, u: usize) -> f64 {
+        ScoreMatrix::best_value(self, u)
+    }
+}
+
+/// An `N × n` matrix of utility scores with per-row probability weights.
+///
+/// Row `u` holds the utility of every database point under utility function
+/// `u`; `weight(u)` is the probability mass of that function (uniform `1/N`
+/// for i.i.d. samples, the exact atom probability for countable `F`). The
+/// per-row best point over the full database — `sat(D, f)` and its argmax —
+/// is precomputed at construction.
+#[derive(Debug, Clone)]
+pub struct ScoreMatrix {
+    scores: Vec<f64>,
+    n_samples: usize,
+    n_points: usize,
+    weights: Vec<f64>,
+    best_index: Vec<u32>,
+    best_value: Vec<f64>,
+}
+
+impl ScoreMatrix {
+    /// Builds the matrix by sampling `n_samples` utility functions from
+    /// `dist` and scoring every point of `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n_samples == 0`, a sampled function produces a
+    /// non-finite or negative score, or some function scores every point 0
+    /// (regret ratio undefined).
+    pub fn from_distribution(
+        dataset: &Dataset,
+        dist: &dyn UtilityDistribution,
+        n_samples: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self> {
+        if n_samples == 0 {
+            return Err(FamError::InvalidParameter {
+                name: "n_samples",
+                message: "must be at least 1".into(),
+            });
+        }
+        let functions: Vec<Arc<dyn UtilityFunction>> =
+            (0..n_samples).map(|_| dist.sample(rng)).collect();
+        Self::from_functions(dataset, &functions, None)
+    }
+
+    /// Builds the matrix from explicit utility functions with optional
+    /// probability weights (normalized; uniform when `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as
+    /// [`ScoreMatrix::from_distribution`], or if `weights` has the wrong
+    /// length or invalid values.
+    pub fn from_functions(
+        dataset: &Dataset,
+        functions: &[Arc<dyn UtilityFunction>],
+        weights: Option<Vec<f64>>,
+    ) -> Result<Self> {
+        if functions.is_empty() {
+            return Err(FamError::InvalidParameter {
+                name: "functions",
+                message: "must supply at least one utility function".into(),
+            });
+        }
+        let n_points = dataset.len();
+        let mut scores = Vec::with_capacity(functions.len() * n_points);
+        for f in functions {
+            for (idx, p) in dataset.points().enumerate() {
+                scores.push(f.utility(idx, p));
+            }
+        }
+        Self::from_flat(scores, functions.len(), n_points, weights)
+    }
+
+    /// Builds the matrix by exact enumeration of a countable distribution
+    /// (Appendix A) — no sampling error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as
+    /// [`ScoreMatrix::from_functions`].
+    pub fn from_discrete_exact(dataset: &Dataset, dist: &DiscreteDistribution) -> Result<Self> {
+        Self::from_functions(dataset, dist.functions(), Some(dist.probabilities().to_vec()))
+    }
+
+    /// Builds the matrix from raw per-user score rows (the Table I format).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if rows are empty/ragged, scores are invalid, or a
+    /// row has no positive score.
+    pub fn from_rows(rows: Vec<Vec<f64>>, weights: Option<Vec<f64>>) -> Result<Self> {
+        let n_points = rows.first().map(|r| r.len()).ok_or(FamError::EmptyDataset)?;
+        let n_samples = rows.len();
+        let mut scores = Vec::with_capacity(n_samples * n_points);
+        for row in &rows {
+            if row.len() != n_points {
+                return Err(FamError::DimensionMismatch { expected: n_points, got: row.len() });
+            }
+            scores.extend_from_slice(row);
+        }
+        Self::from_flat(scores, n_samples, n_points, weights)
+    }
+
+    /// Builds from a flat row-major buffer (`n_samples` rows of `n_points`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ScoreMatrix::from_rows`].
+    pub fn from_flat(
+        scores: Vec<f64>,
+        n_samples: usize,
+        n_points: usize,
+        weights: Option<Vec<f64>>,
+    ) -> Result<Self> {
+        if n_points == 0 {
+            return Err(FamError::EmptyDataset);
+        }
+        if n_samples == 0 || scores.len() != n_samples * n_points {
+            return Err(FamError::DimensionMismatch {
+                expected: n_samples * n_points,
+                got: scores.len(),
+            });
+        }
+        for (i, s) in scores.iter().enumerate() {
+            if !s.is_finite() {
+                return Err(FamError::NonFinite { row: i / n_points, col: i % n_points });
+            }
+            if *s < 0.0 {
+                return Err(FamError::NegativeValue { row: i / n_points, col: i % n_points });
+            }
+        }
+        let weights = match weights {
+            Some(mut w) => {
+                if w.len() != n_samples {
+                    return Err(FamError::InvalidWeights(format!(
+                        "expected {n_samples} weights, got {}",
+                        w.len()
+                    )));
+                }
+                if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                    return Err(FamError::InvalidWeights(
+                        "weights must be finite and non-negative".into(),
+                    ));
+                }
+                let total: f64 = w.iter().sum();
+                if total <= 0.0 {
+                    return Err(FamError::InvalidWeights("weights sum to zero".into()));
+                }
+                w.iter_mut().for_each(|x| *x /= total);
+                w
+            }
+            None => vec![1.0 / n_samples as f64; n_samples],
+        };
+        // Precompute each user's best point in D (the paper's preprocessing).
+        let mut best_index = Vec::with_capacity(n_samples);
+        let mut best_value = Vec::with_capacity(n_samples);
+        for u in 0..n_samples {
+            let row = &scores[u * n_points..(u + 1) * n_points];
+            let (mut bi, mut bv) = (0usize, row[0]);
+            for (i, &v) in row.iter().enumerate().skip(1) {
+                if v > bv {
+                    bi = i;
+                    bv = v;
+                }
+            }
+            if bv <= 0.0 {
+                return Err(FamError::DegenerateUtility { sample: u });
+            }
+            best_index.push(bi as u32);
+            best_value.push(bv);
+        }
+        Ok(ScoreMatrix { scores, n_samples, n_points, weights, best_index, best_value })
+    }
+
+    /// Number of utility samples `N`.
+    #[inline]
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of database points `n`.
+    #[inline]
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// Score of point `p` under sample `u`.
+    #[inline]
+    pub fn score(&self, u: usize, p: usize) -> f64 {
+        self.scores[u * self.n_points + p]
+    }
+
+    /// Full score row of sample `u`.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[f64] {
+        &self.scores[u * self.n_points..(u + 1) * self.n_points]
+    }
+
+    /// Probability mass of sample `u` (weights sum to 1 over all samples).
+    #[inline]
+    pub fn weight(&self, u: usize) -> f64 {
+        self.weights[u]
+    }
+
+    /// All probability weights.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Index of sample `u`'s best point in the full database.
+    #[inline]
+    pub fn best_index(&self, u: usize) -> usize {
+        self.best_index[u] as usize
+    }
+
+    /// `sat(D, f_u)` — sample `u`'s satisfaction with the full database.
+    #[inline]
+    pub fn best_value(&self, u: usize) -> f64 {
+        self.best_value[u]
+    }
+
+    /// Restricts the matrix to the given point columns (in order),
+    /// recomputing the per-row best over the restricted universe.
+    ///
+    /// Useful when an algorithm first reduces the database to its skyline:
+    /// regret ratios must then still be measured against the *original*
+    /// database, which is sound because the skyline always contains a best
+    /// point for every monotone utility function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `columns` is empty, out of bounds, or the
+    /// restriction makes some row all-zero.
+    pub fn restrict_columns(&self, columns: &[usize]) -> Result<ScoreMatrix> {
+        if columns.is_empty() {
+            return Err(FamError::EmptyDataset);
+        }
+        for &c in columns {
+            if c >= self.n_points {
+                return Err(FamError::IndexOutOfBounds { index: c, len: self.n_points });
+            }
+        }
+        let mut scores = Vec::with_capacity(self.n_samples * columns.len());
+        for u in 0..self.n_samples {
+            let row = self.row(u);
+            for &c in columns {
+                scores.push(row[c]);
+            }
+        }
+        ScoreMatrix::from_flat(scores, self.n_samples, columns.len(), Some(self.weights.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::UniformLinear;
+    use crate::utility::{LinearUtility, TableUtility};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table_i_matrix() -> ScoreMatrix {
+        // Table I of the paper: 4 users x 4 hotels.
+        ScoreMatrix::from_rows(
+            vec![
+                vec![0.9, 0.7, 0.2, 0.4],
+                vec![0.6, 1.0, 0.5, 0.2],
+                vec![0.2, 0.6, 0.3, 1.0],
+                vec![0.1, 0.2, 1.0, 0.9],
+            ],
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_i_best_points() {
+        let m = table_i_matrix();
+        assert_eq!(m.n_samples(), 4);
+        assert_eq!(m.n_points(), 4);
+        assert_eq!(m.best_index(0), 0); // Alex -> Holiday Inn
+        assert_eq!(m.best_index(1), 1); // Jerry -> Shangri la
+        assert_eq!(m.best_index(2), 3); // Tom -> Hilton
+        assert_eq!(m.best_index(3), 2); // Sam -> Intercontinental
+        assert_eq!(m.best_value(1), 1.0);
+        assert!((m.weight(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_functions_scores_every_point() {
+        let d = Dataset::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.6]]).unwrap();
+        let fs: Vec<Arc<dyn UtilityFunction>> = vec![
+            Arc::new(LinearUtility::new(vec![1.0, 0.0]).unwrap()),
+            Arc::new(LinearUtility::new(vec![0.5, 0.5]).unwrap()),
+        ];
+        let m = ScoreMatrix::from_functions(&d, &fs, None).unwrap();
+        assert_eq!(m.row(0), &[1.0, 0.0, 0.6]);
+        assert_eq!(m.best_index(0), 0);
+        assert_eq!(m.best_index(1), 2); // 0.6 beats 0.5
+    }
+
+    #[test]
+    fn from_distribution_shape() {
+        let d = Dataset::from_rows(vec![vec![0.2, 0.8], vec![0.9, 0.3]]).unwrap();
+        let dist = UniformLinear::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = ScoreMatrix::from_distribution(&d, &dist, 50, &mut rng).unwrap();
+        assert_eq!(m.n_samples(), 50);
+        assert_eq!(m.n_points(), 2);
+        for u in 0..50 {
+            assert!(m.best_value(u) > 0.0);
+            assert!(m.best_value(u) >= m.score(u, 0));
+            assert!(m.best_value(u) >= m.score(u, 1));
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_rows() {
+        let r = ScoreMatrix::from_rows(vec![vec![0.0, 0.0]], None);
+        assert!(matches!(r, Err(FamError::DegenerateUtility { sample: 0 })));
+    }
+
+    #[test]
+    fn rejects_invalid_scores_and_shapes() {
+        assert!(ScoreMatrix::from_rows(vec![], None).is_err());
+        assert!(ScoreMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]], None).is_err());
+        assert!(ScoreMatrix::from_rows(vec![vec![f64::NAN]], None).is_err());
+        assert!(ScoreMatrix::from_rows(vec![vec![-1.0]], None).is_err());
+        assert!(ScoreMatrix::from_flat(vec![1.0; 5], 2, 2, None).is_err());
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let m = ScoreMatrix::from_rows(
+            vec![vec![1.0, 0.5], vec![0.5, 1.0]],
+            Some(vec![3.0, 1.0]),
+        )
+        .unwrap();
+        assert!((m.weight(0) - 0.75).abs() < 1e-12);
+        assert!((m.weight(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_validation() {
+        let rows = vec![vec![1.0], vec![1.0]];
+        assert!(ScoreMatrix::from_rows(rows.clone(), Some(vec![1.0])).is_err());
+        assert!(ScoreMatrix::from_rows(rows.clone(), Some(vec![-1.0, 2.0])).is_err());
+        assert!(ScoreMatrix::from_rows(rows, Some(vec![0.0, 0.0])).is_err());
+    }
+
+    #[test]
+    fn discrete_exact_uses_atom_probabilities() {
+        let d = Dataset::from_rows(vec![vec![1.0], vec![0.5]]).unwrap();
+        let f1: Arc<dyn UtilityFunction> = Arc::new(TableUtility::new(vec![1.0, 0.2]).unwrap());
+        let f2: Arc<dyn UtilityFunction> = Arc::new(TableUtility::new(vec![0.1, 0.9]).unwrap());
+        let dist = DiscreteDistribution::new(vec![(f1, 1.0), (f2, 3.0)], 1).unwrap();
+        let m = ScoreMatrix::from_discrete_exact(&d, &dist).unwrap();
+        assert_eq!(m.n_samples(), 2);
+        assert!((m.weight(0) - 0.25).abs() < 1e-12);
+        assert!((m.weight(1) - 0.75).abs() < 1e-12);
+        assert_eq!(m.best_index(1), 1);
+    }
+
+    #[test]
+    fn restrict_columns_recomputes_best() {
+        let m = table_i_matrix();
+        let r = m.restrict_columns(&[2, 3]).unwrap();
+        assert_eq!(r.n_points(), 2);
+        // Alex's best among {Intercontinental, Hilton} is Hilton (0.4).
+        assert_eq!(r.best_index(0), 1);
+        assert!((r.best_value(0) - 0.4).abs() < 1e-12);
+        assert!(m.restrict_columns(&[]).is_err());
+        assert!(m.restrict_columns(&[9]).is_err());
+    }
+}

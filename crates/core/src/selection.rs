@@ -1,0 +1,101 @@
+//! The result type shared by all selection algorithms.
+
+use std::time::Duration;
+
+use crate::error::Result;
+use crate::regret::{self, RegretReport};
+use crate::scores::ScoreSource;
+
+/// A set of `k` selected point indices together with bookkeeping about how
+/// it was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Selected point indices, sorted ascending.
+    pub indices: Vec<usize>,
+    /// Name of the algorithm that produced the selection.
+    pub algorithm: &'static str,
+    /// Query time as defined by the paper (excludes shared preprocessing
+    /// unless the algorithm's accounting says otherwise; see DESIGN.md).
+    pub query_time: Duration,
+    /// The algorithm's own estimate of `arr(S)` at termination, when it
+    /// computes one (e.g. GREEDY-SHRINK, DP); `None` for oblivious
+    /// baselines like SKY-DOM.
+    pub objective: Option<f64>,
+}
+
+impl Selection {
+    /// Creates a selection, sorting the indices.
+    pub fn new(mut indices: Vec<usize>, algorithm: &'static str) -> Self {
+        indices.sort_unstable();
+        Selection { indices, algorithm, query_time: Duration::ZERO, objective: None }
+    }
+
+    /// Sets the measured query time.
+    #[must_use]
+    pub fn with_query_time(mut self, t: Duration) -> Self {
+        self.query_time = t;
+        self
+    }
+
+    /// Sets the algorithm-reported objective value.
+    #[must_use]
+    pub fn with_objective(mut self, v: f64) -> Self {
+        self.objective = Some(v);
+        self
+    }
+
+    /// Output size `k`.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when no point was selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Evaluates all regret metrics of this selection against a score
+    /// matrix (typically a fresh evaluation sample, not the one used to
+    /// compute the selection).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the selection is invalid for the matrix.
+    pub fn evaluate<S: ScoreSource + ?Sized>(&self, m: &S) -> Result<RegretReport> {
+        regret::report(m, &self.indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scores::ScoreMatrix;
+
+    #[test]
+    fn indices_are_sorted() {
+        let s = Selection::new(vec![3, 1, 2], "test");
+        assert_eq!(s.indices, vec![1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.algorithm, "test");
+    }
+
+    #[test]
+    fn builders_attach_metadata() {
+        let s = Selection::new(vec![0], "x")
+            .with_query_time(Duration::from_millis(5))
+            .with_objective(0.25);
+        assert_eq!(s.query_time, Duration::from_millis(5));
+        assert_eq!(s.objective, Some(0.25));
+    }
+
+    #[test]
+    fn evaluate_against_matrix() {
+        let m = ScoreMatrix::from_rows(vec![vec![1.0, 0.5], vec![0.5, 1.0]], None).unwrap();
+        let s = Selection::new(vec![0], "x");
+        let rep = s.evaluate(&m).unwrap();
+        assert!((rep.arr - 0.25).abs() < 1e-12);
+        let bad = Selection::new(vec![7], "x");
+        assert!(bad.evaluate(&m).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Small statistics helpers shared by the regret metrics and experiments.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for slices shorter than 1.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Weighted mean with weights assumed to sum to 1.
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ws.len());
+    xs.iter().zip(ws).map(|(x, w)| x * w).sum()
+}
+
+/// Weighted population variance with weights assumed to sum to 1.
+pub fn weighted_variance(xs: &[f64], ws: &[f64]) -> f64 {
+    let m = weighted_mean(xs, ws);
+    xs.iter().zip(ws).map(|(x, w)| w * (x - m) * (x - m)).sum()
+}
+
+/// Value at the `q`-th percentile (0..=100) of the users, nearest-rank
+/// convention on values sorted ascending. Used for the paper's
+/// "regret ratio at users percentile" plots (Figures 3, 11, 12).
+///
+/// # Panics
+///
+/// Panics (debug) if `sorted` is empty or `q` outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=100.0).contains(&q));
+    if q <= 0.0 {
+        return sorted[0];
+    }
+    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Weighted percentile: smallest value `v` such that the cumulative weight
+/// of users with value `<= v` reaches `q/100`. `pairs` must be sorted by
+/// value ascending; weights are assumed to sum to 1.
+pub fn weighted_percentile_sorted(pairs: &[(f64, f64)], q: f64) -> f64 {
+    debug_assert!(!pairs.is_empty());
+    let target = q / 100.0;
+    let mut acc = 0.0;
+    for &(v, w) in pairs {
+        acc += w;
+        if acc >= target - 1e-12 {
+            return v;
+        }
+    }
+    pairs.last().expect("non-empty").0
+}
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of observations so far (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_moments() {
+        let xs = [0.0, 1.0];
+        let ws = [0.25, 0.75];
+        assert!((weighted_mean(&xs, &ws) - 0.75).abs() < 1e-12);
+        // Var = 0.25*(0.75)^2 + 0.75*(0.25)^2 = 0.1875
+        assert!((weighted_variance(&xs, &ws) - 0.1875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&xs, 20.0), 1.0);
+        assert_eq!(percentile_sorted(&xs, 21.0), 2.0);
+        assert_eq!(percentile_sorted(&xs, 100.0), 5.0);
+        assert_eq!(percentile_sorted(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn weighted_percentile_respects_mass() {
+        let pairs = [(0.0, 0.9), (1.0, 0.1)];
+        assert_eq!(weighted_percentile_sorted(&pairs, 50.0), 0.0);
+        assert_eq!(weighted_percentile_sorted(&pairs, 89.0), 0.0);
+        assert_eq!(weighted_percentile_sorted(&pairs, 95.0), 1.0);
+        assert_eq!(weighted_percentile_sorted(&pairs, 100.0), 1.0);
+    }
+
+    #[test]
+    fn online_stats_matches_batch() {
+        let xs = [0.5, 1.5, 2.5, 0.25, 9.0];
+        let mut s = OnlineStats::new();
+        for x in xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((s.variance() - variance(&xs)).abs() < 1e-10);
+        assert!((s.std_dev() - variance(&xs).sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn online_stats_small_counts() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        s.push(4.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.mean(), 4.0);
+    }
+}

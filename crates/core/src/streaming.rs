@@ -1,0 +1,152 @@
+//! Streamed (matrix-free) regret evaluation.
+//!
+//! Section III-D-3 of the paper notes that when utility functions have a
+//! compact parametric form, the `O(nN)` score matrix can be traded for
+//! `O(d(N + n))` space by recomputing scores on demand. This module goes
+//! one step further for *evaluation*: it computes regret metrics of a
+//! fixed selection from a stream of sampled utility functions, storing
+//! only one regret ratio per sample — which is how the paper's Figure 12
+//! re-checks percentile distributions with N = 1,000,000 users.
+
+use rand::RngCore;
+
+use crate::dataset::Dataset;
+use crate::distribution::UtilityDistribution;
+use crate::error::{FamError, Result};
+use crate::regret::RegretReport;
+use crate::stats;
+
+/// Per-sample regret ratios of `selection`, computed on the fly from
+/// freshly sampled utility functions (no score matrix).
+///
+/// Samples whose best database utility is non-positive are skipped (they
+/// carry no well-defined regret ratio); the returned vector may therefore
+/// be slightly shorter than `n_samples` for degenerate distributions.
+///
+/// # Errors
+///
+/// Returns an error for invalid selections or `n_samples == 0`.
+pub fn streamed_rr(
+    dataset: &Dataset,
+    selection: &[usize],
+    dist: &dyn UtilityDistribution,
+    n_samples: usize,
+    rng: &mut dyn RngCore,
+) -> Result<Vec<f64>> {
+    if n_samples == 0 {
+        return Err(FamError::InvalidParameter {
+            name: "n_samples",
+            message: "must be at least 1".into(),
+        });
+    }
+    dataset.validate_selection(selection)?;
+    let mut in_sel = vec![false; dataset.len()];
+    for &p in selection {
+        in_sel[p] = true;
+    }
+    let mut rrs = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let f = dist.sample(rng);
+        let mut best = 0.0f64;
+        let mut sat = 0.0f64;
+        for (idx, p) in dataset.points().enumerate() {
+            let u = f.utility(idx, p);
+            if u > best {
+                best = u;
+            }
+            if in_sel[idx] && u > sat {
+                sat = u;
+            }
+        }
+        if best > 0.0 {
+            rrs.push(1.0 - sat / best);
+        }
+    }
+    Ok(rrs)
+}
+
+/// Streamed [`RegretReport`] plus regret ratios at the requested user
+/// percentiles — everything Figure 12 needs in one pass.
+///
+/// # Errors
+///
+/// See [`streamed_rr`]; additionally fails if every sample was degenerate.
+pub fn streamed_report(
+    dataset: &Dataset,
+    selection: &[usize],
+    dist: &dyn UtilityDistribution,
+    n_samples: usize,
+    percentiles: &[f64],
+    rng: &mut dyn RngCore,
+) -> Result<(RegretReport, Vec<f64>)> {
+    let mut rrs = streamed_rr(dataset, selection, dist, n_samples, rng)?;
+    if rrs.is_empty() {
+        return Err(FamError::DegenerateUtility { sample: 0 });
+    }
+    let arr = stats::mean(&rrs);
+    let vrr = stats::variance(&rrs);
+    let mrr = rrs.iter().cloned().fold(0.0f64, f64::max);
+    rrs.sort_by(|a, b| a.partial_cmp(b).expect("finite regret ratios"));
+    let pct = percentiles.iter().map(|&q| stats::percentile_sorted(&rrs, q)).collect();
+    Ok((RegretReport { arr, vrr, std_dev: vrr.sqrt(), mrr }, pct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::UniformLinear;
+    use crate::regret;
+    use crate::scores::ScoreMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![0.9, 0.1],
+            vec![0.5, 0.5],
+            vec![0.1, 0.9],
+            vec![0.7, 0.4],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn streamed_matches_matrix_based_estimate() {
+        let ds = dataset();
+        let dist = UniformLinear::new(2).unwrap();
+        let sel = vec![0, 2];
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = ScoreMatrix::from_distribution(&ds, &dist, 40_000, &mut rng).unwrap();
+        let matrix_arr = regret::arr(&m, &sel).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (rep, pct) =
+            streamed_report(&ds, &sel, &dist, 40_000, &[50.0, 100.0], &mut rng).unwrap();
+        assert!(
+            (rep.arr - matrix_arr).abs() < 0.005,
+            "streamed {} vs matrix {matrix_arr}",
+            rep.arr
+        );
+        assert!(pct[0] <= pct[1]);
+        assert!(rep.mrr <= 1.0 && rep.mrr >= pct[1] - 1e-12);
+    }
+
+    #[test]
+    fn full_selection_streams_zero() {
+        let ds = dataset();
+        let dist = UniformLinear::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let rrs = streamed_rr(&ds, &[0, 1, 2, 3], &dist, 500, &mut rng).unwrap();
+        assert_eq!(rrs.len(), 500);
+        assert!(rrs.iter().all(|r| r.abs() < 1e-12));
+    }
+
+    #[test]
+    fn validation() {
+        let ds = dataset();
+        let dist = UniformLinear::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(streamed_rr(&ds, &[], &dist, 10, &mut rng).is_err());
+        assert!(streamed_rr(&ds, &[9], &dist, 10, &mut rng).is_err());
+        assert!(streamed_rr(&ds, &[0], &dist, 0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the core regret machinery.
+
+use fam_core::{regret, ScoreMatrix, SelectionEvaluator};
+use proptest::prelude::*;
+
+fn matrix_strategy(
+    max_points: usize,
+    max_users: usize,
+) -> impl Strategy<Value = ScoreMatrix> {
+    (2..=max_points, 1..=max_users).prop_flat_map(|(n, u)| {
+        proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, n), u)
+            .prop_map(|rows| ScoreMatrix::from_rows(rows, None).unwrap())
+    })
+}
+
+fn weighted_matrix_strategy() -> impl Strategy<Value = ScoreMatrix> {
+    (2usize..8, 2usize..8).prop_flat_map(|(n, u)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, n), u),
+            proptest::collection::vec(0.01f64..1.0, u),
+        )
+            .prop_map(|(rows, w)| ScoreMatrix::from_rows(rows, Some(w)).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The incremental evaluator agrees with direct recomputation after an
+    /// arbitrary removal sequence.
+    #[test]
+    fn evaluator_matches_direct(m in matrix_strategy(10, 12), order_seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(order_seed);
+        let mut ev = SelectionEvaluator::new_full(&m);
+        let mut remaining: Vec<usize> = (0..m.n_points()).collect();
+        while remaining.len() > 1 {
+            let pos = rng.gen_range(0..remaining.len());
+            let victim = remaining.swap_remove(pos);
+            let predicted = ev.arr_without(victim);
+            ev.remove(victim);
+            prop_assert!((ev.arr() - predicted).abs() < 1e-9);
+            let direct = regret::arr_unchecked(&m, &ev.selection());
+            prop_assert!((ev.arr() - direct).abs() < 1e-9);
+        }
+    }
+
+    /// `restrict_columns` preserves regret ratios measured against the
+    /// restricted universe.
+    #[test]
+    fn restriction_consistency(m in matrix_strategy(8, 6)) {
+        let keep: Vec<usize> = (0..m.n_points()).step_by(2).collect();
+        prop_assume!(!keep.is_empty());
+        // Skip rows that become all-zero under restriction.
+        let ok = (0..m.n_samples()).all(|u| keep.iter().any(|&p| m.score(u, p) > 0.0));
+        prop_assume!(ok);
+        let r = m.restrict_columns(&keep).unwrap();
+        // arr over all restricted columns is 0 by definition.
+        let all: Vec<usize> = (0..r.n_points()).collect();
+        prop_assert!(regret::arr_unchecked(&r, &all).abs() < 1e-12);
+        // Per-sample best value matches the max over kept columns.
+        for u in 0..r.n_samples() {
+            let manual = keep.iter().map(|&p| m.score(u, p)).fold(0.0f64, f64::max);
+            prop_assert!((r.best_value(u) - manual).abs() < 1e-12);
+        }
+    }
+
+    /// Weighted arr is a convex combination of per-user regret ratios.
+    #[test]
+    fn weighted_arr_is_convex_combination(m in weighted_matrix_strategy()) {
+        let sel = vec![0];
+        let rrs = regret::rr_all(&m, &sel);
+        let arr = regret::arr(&m, &sel).unwrap();
+        let lo = rrs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = rrs.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(arr >= lo - 1e-12 && arr <= hi + 1e-12);
+        // Weights sum to 1 after normalization.
+        let total: f64 = m.weights().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Adding any point to a selection never increases arr (Lemma 1),
+    /// checked via evaluator addition deltas.
+    #[test]
+    fn addition_deltas_are_non_positive(m in matrix_strategy(9, 7)) {
+        let mut ev = SelectionEvaluator::new_with(&m, &[0]);
+        for p in 1..m.n_points() {
+            prop_assert!(ev.addition_delta(p) <= 1e-12);
+        }
+        // And applying them matches the predicted value.
+        for p in 1..m.n_points().min(4) {
+            let predicted = ev.arr() + ev.addition_delta(p);
+            ev.add(p);
+            prop_assert!((ev.arr() - predicted).abs() < 1e-9);
+        }
+    }
+
+    /// Best-in-D bookkeeping: the stored best value is genuinely maximal
+    /// and positive.
+    #[test]
+    fn best_values_are_maximal(m in matrix_strategy(10, 10)) {
+        for u in 0..m.n_samples() {
+            let row = m.row(u);
+            let manual = row.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!((m.best_value(u) - manual).abs() < 1e-15);
+            prop_assert!(m.best_value(u) > 0.0);
+            prop_assert!((row[m.best_index(u)] - manual).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal CSV persistence for datasets (no external dependencies).
+//!
+//! Format: optional header row `# label,dim0,dim1,...` is not used; rows
+//! are `label,coord0,coord1,...` when labels are present, else plain
+//! comma-separated coordinates.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use fam_core::{Dataset, FamError, Result};
+
+/// Writes a dataset to a CSV file (one point per line; label column first
+/// when labels are attached).
+///
+/// # Errors
+///
+/// Returns an I/O-wrapping error on write failure.
+pub fn write_csv(dataset: &Dataset, path: &Path) -> Result<()> {
+    let file = File::create(path).map_err(|e| io_err("create", path, &e))?;
+    let mut w = BufWriter::new(file);
+    for i in 0..dataset.len() {
+        let coords: Vec<String> =
+            dataset.point(i).iter().map(|v| format!("{v}")).collect();
+        let line = match dataset.label(i) {
+            Some(l) => format!("{l},{}", coords.join(",")),
+            None => coords.join(","),
+        };
+        writeln!(w, "{line}").map_err(|e| io_err("write", path, &e))?;
+    }
+    w.flush().map_err(|e| io_err("flush", path, &e))?;
+    Ok(())
+}
+
+/// Reads a dataset from a CSV file. When `labelled` is true the first
+/// column is treated as a point label.
+///
+/// # Errors
+///
+/// Returns an error for unreadable files, ragged rows, or unparsable
+/// numbers.
+pub fn read_csv(path: &Path, labelled: bool) -> Result<Dataset> {
+    let file = File::open(path).map_err(|e| io_err("open", path, &e))?;
+    let reader = BufReader::new(file);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| io_err("read", path, &e))?;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        if labelled {
+            labels.push(
+                fields
+                    .next()
+                    .ok_or_else(|| FamError::InvalidParameter {
+                        name: "csv",
+                        message: format!("line {} is empty", lineno + 1),
+                    })?
+                    .to_string(),
+            );
+        }
+        let coords: std::result::Result<Vec<f64>, _> =
+            fields.map(|f| f.trim().parse::<f64>()).collect();
+        rows.push(coords.map_err(|e| FamError::InvalidParameter {
+            name: "csv",
+            message: format!("line {}: {e}", lineno + 1),
+        })?);
+    }
+    let ds = Dataset::from_rows(rows)?;
+    if labelled {
+        ds.with_labels(labels)
+    } else {
+        Ok(ds)
+    }
+}
+
+fn io_err(op: &str, path: &Path, e: &dyn std::fmt::Display) -> FamError {
+    FamError::InvalidParameter {
+        name: "io",
+        message: format!("{op} {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fam_csv_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_without_labels() {
+        let path = tmp("plain.csv");
+        let d = Dataset::from_rows(vec![vec![0.25, 0.5], vec![1.0, 0.125]]).unwrap();
+        write_csv(&d, &path).unwrap();
+        let back = read_csv(&path, false).unwrap();
+        assert_eq!(d, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_with_labels() {
+        let path = tmp("labelled.csv");
+        let d = Dataset::from_rows(vec![vec![0.1], vec![0.9]])
+            .unwrap()
+            .with_labels(vec!["a".into(), "b".into()])
+            .unwrap();
+        write_csv(&d, &path).unwrap();
+        let back = read_csv(&path, true).unwrap();
+        assert_eq!(back.label(0), Some("a"));
+        assert_eq!(back.label(1), Some("b"));
+        assert_eq!(back.point(1), &[0.9]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let path = tmp("comments.csv");
+        std::fs::write(&path, "# header\n0.5,0.5\n\n0.25,0.75\n").unwrap();
+        let d = read_csv(&path, false).unwrap();
+        assert_eq!(d.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reports_parse_errors() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "0.5,oops\n").unwrap();
+        assert!(read_csv(&path, false).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(read_csv(Path::new("/nonexistent/fam.csv"), false).is_err());
+    }
+}

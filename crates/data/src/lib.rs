@@ -1,0 +1,26 @@
+//! # fam-data
+//!
+//! Workload generation for the FAM reproduction: Börzsönyi-style synthetic
+//! datasets (independent / correlated / anti-correlated), structured
+//! simulated stand-ins for the paper's four real datasets (Table IV), the
+//! Table II NBA roster generator, synthetic Yahoo!Music-shaped ratings for
+//! the learned-utility pipeline, and CSV persistence.
+//!
+//! The originals of the "real" datasets are not redistributable; DESIGN.md
+//! §4 documents each substitution and why it preserves the measured
+//! behaviour.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod nba;
+pub mod registry;
+pub mod synthetic;
+pub mod yahoo;
+
+pub use csv::{read_csv, write_csv};
+pub use nba::{roster, roster_with_size, Archetype, Roster, ROSTER_DIMS, ROSTER_SIZE};
+pub use registry::{simulated, simulated_with_size, RealDataset};
+pub use synthetic::{synthetic, Correlation};
+pub use yahoo::{ratings as yahoo_ratings, YahooConfig, YAHOO_CATALOGUE};

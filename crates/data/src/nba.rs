@@ -1,0 +1,199 @@
+//! Synthetic NBA roster for the Table II experiment.
+//!
+//! The paper selects 5 players from 664 NBA players (2013–2016, 22
+//! statistical categories) with three algorithms and compares the chosen
+//! sets. The real roster is not redistributable, so this module generates
+//! a roster with the same shape and the structural features the paper's
+//! discussion relies on: position archetypes whose strengths occupy
+//! different statistical categories (scorers, rebounders, playmakers,
+//! defenders, all-rounders) and a small elite tier in each archetype, so
+//! that a good representative set mixes complementary archetypes.
+
+use fam_core::randext::normal;
+use fam_core::{Dataset, Result};
+use rand::{Rng, RngCore};
+
+/// Number of players in the paper's Table II roster.
+pub const ROSTER_SIZE: usize = 664;
+/// Number of statistical categories in the paper's Table II roster.
+pub const ROSTER_DIMS: usize = 22;
+
+/// Player archetypes used by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Archetype {
+    /// High scoring volume (points, field goals, free throws...).
+    Scorer,
+    /// Dominant on the boards and rim protection.
+    Rebounder,
+    /// Assists, steals, pace.
+    Playmaker,
+    /// Perimeter defense, hustle categories.
+    Defender,
+    /// Solid across the board.
+    AllRounder,
+}
+
+impl Archetype {
+    /// Short label used in synthetic player names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Archetype::Scorer => "SCO",
+            Archetype::Rebounder => "REB",
+            Archetype::Playmaker => "PLY",
+            Archetype::Defender => "DEF",
+            Archetype::AllRounder => "ALL",
+        }
+    }
+
+    fn all() -> [Archetype; 5] {
+        [
+            Archetype::Scorer,
+            Archetype::Rebounder,
+            Archetype::Playmaker,
+            Archetype::Defender,
+            Archetype::AllRounder,
+        ]
+    }
+
+    /// Which stat categories (out of [`ROSTER_DIMS`]) the archetype is
+    /// strong in. Categories 0..6 scoring, 6..11 rebounding/interior,
+    /// 11..16 playmaking, 16..20 defense, 20..22 durability/minutes.
+    fn strong_categories(self) -> std::ops::Range<usize> {
+        match self {
+            Archetype::Scorer => 0..6,
+            Archetype::Rebounder => 6..11,
+            Archetype::Playmaker => 11..16,
+            Archetype::Defender => 16..20,
+            Archetype::AllRounder => 0..20,
+        }
+    }
+}
+
+/// A generated roster: the dataset plus per-player archetypes.
+#[derive(Debug, Clone)]
+pub struct Roster {
+    /// Normalized player statistics (each category max-scaled to 1).
+    pub dataset: Dataset,
+    /// Archetype of each player.
+    pub archetypes: Vec<Archetype>,
+}
+
+/// Generates a Table-II-shaped roster: [`ROSTER_SIZE`] players over
+/// [`ROSTER_DIMS`] categories, labelled `"{TAG}{elite?}-{index}"`.
+///
+/// # Errors
+///
+/// Never fails in practice; `Result` for interface uniformity.
+pub fn roster(rng: &mut dyn RngCore) -> Result<Roster> {
+    roster_with_size(ROSTER_SIZE, rng)
+}
+
+/// Generates a smaller roster with the same structure (for fast tests).
+///
+/// # Errors
+///
+/// Returns an error when `n == 0`.
+pub fn roster_with_size(n: usize, rng: &mut dyn RngCore) -> Result<Roster> {
+    let archetype_list = Archetype::all();
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    let mut archetypes = Vec::with_capacity(n);
+    // Every archetype gets the same expected stat *total*, so that under
+    // uniform linear utilities no archetype dominates in expectation and
+    // the favourite rotates with the sampled weights — mirroring how real
+    // rosters trade scoring volume against boards, assists, and defense.
+    const TARGET_TOTAL: f64 = 8.3;
+    const STRONG: f64 = 0.85;
+    for i in 0..n {
+        let archetype = archetype_list[i % archetype_list.len()];
+        // ~4% of players form the elite tier of their archetype.
+        let elite = rng.gen_bool(0.04);
+        let strong = archetype.strong_categories();
+        let n_strong = strong.len() as f64;
+        let strong_mean = if archetype == Archetype::AllRounder {
+            TARGET_TOTAL / (n_strong + 0.5 * (ROSTER_DIMS as f64 - n_strong))
+        } else {
+            STRONG
+        };
+        let weak_mean = if archetype == Archetype::AllRounder {
+            strong_mean * 0.5
+        } else {
+            (TARGET_TOTAL - n_strong * STRONG) / (ROSTER_DIMS as f64 - n_strong)
+        };
+        let boost = if elite { 1.18 } else { 1.0 };
+        let mut stats = Vec::with_capacity(ROSTER_DIMS);
+        for c in 0..ROSTER_DIMS {
+            let mean =
+                if strong.contains(&c) { strong_mean * boost } else { weak_mean };
+            stats.push((mean + normal(rng, 0.0, 0.08)).clamp(0.0, 1.0));
+        }
+        rows.push(stats);
+        labels.push(format!(
+            "{}{}-{:03}",
+            archetype.tag(),
+            if elite { "*" } else { "" },
+            i
+        ));
+        archetypes.push(archetype);
+    }
+    let dataset = Dataset::from_rows(rows)?.normalized_max().with_labels(labels)?;
+    Ok(Roster { dataset, archetypes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_roster_shape() {
+        let mut rng = StdRng::seed_from_u64(664);
+        let r = roster(&mut rng).unwrap();
+        assert_eq!(r.dataset.len(), ROSTER_SIZE);
+        assert_eq!(r.dataset.dim(), ROSTER_DIMS);
+        assert_eq!(r.archetypes.len(), ROSTER_SIZE);
+        assert!(r.dataset.label(0).is_some());
+    }
+
+    #[test]
+    fn archetypes_dominate_their_categories() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = roster_with_size(500, &mut rng).unwrap();
+        // Mean scoring stat of scorers must exceed that of rebounders.
+        let mean_in = |arch: Archetype, range: std::ops::Range<usize>| -> f64 {
+            let mut acc = 0.0;
+            let mut cnt = 0;
+            for (i, a) in r.archetypes.iter().enumerate() {
+                if *a == arch {
+                    let p = r.dataset.point(i);
+                    acc += range.clone().map(|c| p[c]).sum::<f64>() / range.len() as f64;
+                    cnt += 1;
+                }
+            }
+            acc / cnt as f64
+        };
+        let scorer_scoring = mean_in(Archetype::Scorer, 0..6);
+        let rebounder_scoring = mean_in(Archetype::Rebounder, 0..6);
+        let rebounder_boards = mean_in(Archetype::Rebounder, 6..11);
+        assert!(scorer_scoring > rebounder_scoring + 0.1);
+        assert!(rebounder_boards > rebounder_scoring + 0.1);
+    }
+
+    #[test]
+    fn elite_labels_are_marked() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = roster_with_size(400, &mut rng).unwrap();
+        let elites = (0..400)
+            .filter(|&i| r.dataset.label(i).unwrap().contains('*'))
+            .count();
+        assert!(elites > 2, "expected some elite players, got {elites}");
+        assert!(elites < 60, "too many elite players: {elites}");
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(roster_with_size(0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Simulated stand-ins for the paper's real datasets (Table IV).
+//!
+//! The originals (IPUMS Household, UCI Forest Cover / US Census,
+//! basketball-reference NBA) are not redistributable, so each is replaced
+//! by a structured synthetic generator with the same cardinality and
+//! dimensionality and a comparable correlation profile: a few positively
+//! correlated attribute blocks (physical quantities that move together), an
+//! anti-correlated block (trade-offs), and heavy-tailed marginals — the
+//! features that drive skyline size and therefore algorithm behaviour. See
+//! DESIGN.md §4 for the substitution argument.
+
+use fam_core::randext::{gamma, normal};
+use fam_core::{Dataset, FamError, Result};
+use rand::{Rng, RngCore};
+
+/// The real datasets of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RealDataset {
+    /// IPUMS Household, 6 attributes, 127,931 points.
+    Household6d,
+    /// UCI Forest Cover sample, 11 attributes, 100,000 points.
+    ForestCover,
+    /// UCI US Census sample, 10 attributes, 100,000 points.
+    UsCensus,
+    /// NBA player seasons, 15 attributes, 16,915 points.
+    Nba,
+}
+
+impl RealDataset {
+    /// The paper's cardinality for this dataset.
+    pub fn n(self) -> usize {
+        match self {
+            RealDataset::Household6d => 127_931,
+            RealDataset::ForestCover => 100_000,
+            RealDataset::UsCensus => 100_000,
+            RealDataset::Nba => 16_915,
+        }
+    }
+
+    /// The paper's dimensionality for this dataset.
+    pub fn d(self) -> usize {
+        match self {
+            RealDataset::Household6d => 6,
+            RealDataset::ForestCover => 11,
+            RealDataset::UsCensus => 10,
+            RealDataset::Nba => 15,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            RealDataset::Household6d => "Household-6d",
+            RealDataset::ForestCover => "Forest Cover",
+            RealDataset::UsCensus => "US Census",
+            RealDataset::Nba => "NBA",
+        }
+    }
+
+    /// All four datasets, in the paper's figure order.
+    pub fn all() -> [RealDataset; 4] {
+        [
+            RealDataset::Household6d,
+            RealDataset::ForestCover,
+            RealDataset::UsCensus,
+            RealDataset::Nba,
+        ]
+    }
+}
+
+/// Generates the full-size simulated stand-in for `which`.
+///
+/// # Errors
+///
+/// Never fails for the built-in specs; returns `Result` to match the
+/// scaled variant.
+pub fn simulated(which: RealDataset, rng: &mut dyn RngCore) -> Result<Dataset> {
+    simulated_with_size(which, which.n(), rng)
+}
+
+/// Generates a smaller version with the same structure — used when the
+/// full cardinality makes an experiment needlessly slow.
+///
+/// # Errors
+///
+/// Returns an error when `n == 0`.
+pub fn simulated_with_size(
+    which: RealDataset,
+    n: usize,
+    rng: &mut dyn RngCore,
+) -> Result<Dataset> {
+    if n == 0 {
+        return Err(FamError::EmptyDataset);
+    }
+    let d = which.d();
+    // Profile: how many leading dimensions form the positively correlated
+    // block, how many the anti-correlated block; the rest are independent
+    // heavy-tailed "count" attributes.
+    let (corr_dims, anti_dims, tail_shape) = match which {
+        RealDataset::Household6d => (2usize, 2usize, 1.2f64),
+        RealDataset::ForestCover => (4, 3, 2.0),
+        RealDataset::UsCensus => (3, 3, 1.0),
+        RealDataset::Nba => (5, 4, 0.8),
+    };
+    let mut data = Vec::with_capacity(n * d);
+    for _ in 0..n {
+        // Latent "quality" drives the correlated block.
+        let quality: f64 = rng.gen_range(0.0..1.0);
+        // Latent trade-off position drives the anti-correlated block.
+        let trade: f64 = rng.gen_range(0.0..1.0);
+        for j in 0..d {
+            let v = if j < corr_dims {
+                (quality + normal(rng, 0.0, 0.08)).clamp(0.0, 1.0)
+            } else if j < corr_dims + anti_dims {
+                // Alternate sign of the trade-off within the block.
+                let t = if (j - corr_dims) % 2 == 0 { trade } else { 1.0 - trade };
+                (t + normal(rng, 0.0, 0.05)).clamp(0.0, 1.0)
+            } else {
+                // Heavy-tailed count-like attribute, squashed into [0,1].
+                let g = gamma(rng, tail_shape);
+                (g / (g + 3.0)).clamp(0.0, 1.0)
+            };
+            data.push(v);
+        }
+    }
+    Dataset::from_flat(data, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fam_geometry::skyline;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn specs_match_table_iv() {
+        assert_eq!(RealDataset::Household6d.n(), 127_931);
+        assert_eq!(RealDataset::Household6d.d(), 6);
+        assert_eq!(RealDataset::ForestCover.n(), 100_000);
+        assert_eq!(RealDataset::ForestCover.d(), 11);
+        assert_eq!(RealDataset::UsCensus.n(), 100_000);
+        assert_eq!(RealDataset::UsCensus.d(), 10);
+        assert_eq!(RealDataset::Nba.n(), 16_915);
+        assert_eq!(RealDataset::Nba.d(), 15);
+        assert_eq!(RealDataset::all().len(), 4);
+    }
+
+    #[test]
+    fn scaled_generation_has_right_shape() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for which in RealDataset::all() {
+            let ds = simulated_with_size(which, 2000, &mut rng).unwrap();
+            assert_eq!(ds.len(), 2000);
+            assert_eq!(ds.dim(), which.d());
+            for p in ds.points() {
+                assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn skylines_are_nontrivial() {
+        // The anti-correlated block guarantees a skyline that grows with n
+        // but stays well below n — the regime the paper's experiments need.
+        let mut rng = StdRng::seed_from_u64(78);
+        let ds = simulated_with_size(RealDataset::UsCensus, 5000, &mut rng).unwrap();
+        let sky = skyline(&ds);
+        assert!(sky.len() > 20, "skyline too small: {}", sky.len());
+        assert!(sky.len() < 4000, "skyline too large: {}", sky.len());
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(simulated_with_size(RealDataset::Nba, 0, &mut rng).is_err());
+    }
+}

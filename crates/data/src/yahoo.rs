@@ -1,0 +1,183 @@
+//! Synthetic ratings data with the shape of the Yahoo!Music KDD-Cup 2011
+//! set used in Section V-B2: a song catalogue rated sparsely by users whose
+//! preferences cluster into a handful of taste groups — precisely the
+//! structure the paper's 5-component Gaussian mixture is meant to capture.
+
+use fam_core::randext::{normal, standard_normal};
+use fam_core::{FamError, Result};
+use fam_ml::Ratings;
+use rand::{Rng, RngCore};
+
+/// Number of data points (songs) in the paper's Yahoo!Music database.
+pub const YAHOO_CATALOGUE: usize = 8_933;
+
+/// Configuration for the synthetic ratings generator.
+#[derive(Debug, Clone, Copy)]
+pub struct YahooConfig {
+    /// Number of users providing ratings.
+    pub n_users: usize,
+    /// Number of songs in the catalogue.
+    pub n_items: usize,
+    /// Latent dimensionality of the ground-truth model.
+    pub n_factors: usize,
+    /// Number of latent taste clusters (the paper fits a 5-component GMM).
+    pub n_clusters: usize,
+    /// Probability that a given (user, song) pair is rated.
+    pub density: f64,
+    /// Observation noise on ratings.
+    pub noise: f64,
+}
+
+impl Default for YahooConfig {
+    fn default() -> Self {
+        YahooConfig {
+            n_users: 1_000,
+            n_items: YAHOO_CATALOGUE,
+            n_factors: 8,
+            n_clusters: 5,
+            density: 0.02,
+            noise: 0.05,
+        }
+    }
+}
+
+/// Synthesizes clustered low-rank ratings.
+///
+/// # Errors
+///
+/// Returns an error for degenerate configurations (zero sizes, density
+/// outside `(0, 1]`).
+pub fn ratings(cfg: YahooConfig, rng: &mut dyn RngCore) -> Result<Ratings> {
+    if cfg.n_users == 0 || cfg.n_items == 0 || cfg.n_factors == 0 || cfg.n_clusters == 0 {
+        return Err(FamError::EmptyDataset);
+    }
+    if !(cfg.density > 0.0 && cfg.density <= 1.0) {
+        return Err(FamError::InvalidParameter {
+            name: "density",
+            message: format!("must be in (0, 1], got {}", cfg.density),
+        });
+    }
+    // Ground-truth taste clusters in latent space. Centers are *sparse*
+    // and directionally diverse — each cluster concentrates its mass on
+    // its own subset of latent genres — so different clusters genuinely
+    // favour different songs. (Nearly-parallel centers would make one song
+    // everyone's favourite and collapse the FAM problem to triviality.)
+    let centers: Vec<Vec<f64>> = (0..cfg.n_clusters)
+        .map(|c| {
+            (0..cfg.n_factors)
+                .map(|f| {
+                    if f % cfg.n_clusters == c {
+                        rng.gen_range(0.7..1.2)
+                    } else {
+                        rng.gen_range(0.0..0.15)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    // Item factors are genre-sparse too: a song is strong in its own
+    // genre's latent dimensions and weak elsewhere. Without this, the
+    // near-(1,…,1) item of an i.i.d. box sample dominates every positive
+    // direction and a single song becomes everyone's favourite.
+    let items: Vec<Vec<f64>> = (0..cfg.n_items)
+        .map(|i| {
+            let genre = i % cfg.n_clusters;
+            (0..cfg.n_factors)
+                .map(|f| {
+                    if f % cfg.n_clusters == genre {
+                        rng.gen_range(0.5..1.0)
+                    } else {
+                        rng.gen_range(0.0..0.2)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut triplets = Vec::new();
+    for u in 0..cfg.n_users {
+        let c = &centers[u % cfg.n_clusters];
+        // Per-coordinate noise is *not* clamped: latent user factors may be
+        // negative (as learned MF factors are); only ratings are clamped.
+        let user: Vec<f64> = c.iter().map(|&m| m + 0.45 * standard_normal(rng)).collect();
+        for (i, item) in items.iter().enumerate() {
+            if rng.gen_bool(cfg.density) {
+                let mut r: f64 = user.iter().zip(item).map(|(a, b)| a * b).sum();
+                r += normal(rng, 0.0, cfg.noise);
+                triplets.push((u as u32, i as u32, r.max(0.0)));
+            }
+        }
+    }
+    Ratings::new(triplets, cfg.n_users, cfg.n_items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cfg() -> YahooConfig {
+        YahooConfig { n_users: 100, n_items: 200, density: 0.15, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_expected_density() {
+        let mut rng = StdRng::seed_from_u64(2011);
+        let r = ratings(small_cfg(), &mut rng).unwrap();
+        assert_eq!(r.n_users(), 100);
+        assert_eq!(r.n_items(), 200);
+        let expected = 100.0 * 200.0 * 0.15;
+        let got = r.len() as f64;
+        assert!((got - expected).abs() < expected * 0.2, "density off: {got} vs {expected}");
+    }
+
+    #[test]
+    fn ratings_are_nonnegative_and_finite() {
+        let mut rng = StdRng::seed_from_u64(2012);
+        let r = ratings(small_cfg(), &mut rng).unwrap();
+        for &(_, _, v) in r.triplets() {
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn clustered_users_rate_consistently() {
+        // Users in the same cluster should agree more than users in
+        // different clusters. Use dense observations for a clean signal.
+        let mut rng = StdRng::seed_from_u64(2013);
+        let cfg = YahooConfig {
+            n_users: 20,
+            n_items: 60,
+            density: 1.0,
+            noise: 0.01,
+            n_clusters: 2,
+            ..Default::default()
+        };
+        let r = ratings(cfg, &mut rng).unwrap();
+        // Build dense user vectors.
+        let mut dense = vec![vec![0.0f64; 60]; 20];
+        for &(u, i, v) in r.triplets() {
+            dense[u as usize][i as usize] = v;
+        }
+        let corr = |a: &[f64], b: &[f64]| -> f64 {
+            let n = a.len() as f64;
+            let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+            let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+            let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+            let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        // Users 0 and 2 share a cluster; 0 and 1 do not.
+        let same = corr(&dense[0], &dense[2]);
+        let diff = corr(&dense[0], &dense[1]);
+        assert!(same > diff, "same-cluster corr {same} should beat cross {diff}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(ratings(YahooConfig { n_users: 0, ..small_cfg() }, &mut rng).is_err());
+        assert!(ratings(YahooConfig { density: 0.0, ..small_cfg() }, &mut rng).is_err());
+        assert!(ratings(YahooConfig { density: 1.5, ..small_cfg() }, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Angle algebra for 2-D linear utilities (Section IV-A).
+//!
+//! A linear utility `(w1, w2)` is identified, up to scale, by the angle
+//! `θ = arctan(w2/w1) ∈ [0, π/2]` it makes with the first axis. For two
+//! skyline points `p_i` (larger first coordinate) and `p_j` (larger second
+//! coordinate), the *switch angle* `θ_{i,j}` separates utilities preferring
+//! `p_i` (below) from those preferring `p_j` (above).
+
+/// Half-open range constant: the maximum meaningful utility angle.
+pub const HALF_PI: f64 = std::f64::consts::FRAC_PI_2;
+
+/// The switch angle between a point `a` with the larger first coordinate
+/// and a point `b` with the larger second coordinate:
+/// `θ_{a,b} = arctan((a\[1\] − b\[1\]) / (b\[2\] − a\[2\]))` (Δx over Δy).
+///
+/// A utility with angle `θ > θ_{a,b}` strictly prefers `b`; `θ < θ_{a,b}`
+/// strictly prefers `a`; at equality both score the same. This follows from
+/// `w·a > w·b ⟺ w2/w1 < Δx/Δy`; note the paper's Section IV-A derivation
+/// yields exactly this, while its displayed formula transposes the ratio —
+/// a typo caught by the brute-force envelope test in this crate.
+///
+/// # Panics
+///
+/// Panics (debug) unless `a\[0\] >= b\[0\]`, `b\[1\] >= a\[1\]`, and the points are
+/// distinct — the skyline ordering of Section IV-A.
+pub fn switch_angle(a: &[f64], b: &[f64]) -> f64 {
+    let dx = a[0] - b[0];
+    let dy = b[1] - a[1];
+    debug_assert!(dx >= 0.0, "first point must have the larger first coordinate");
+    debug_assert!(dy >= 0.0, "second point must have the larger second coordinate");
+    debug_assert!(dx > 0.0 || dy > 0.0, "points must be distinct");
+    dx.atan2(dy)
+}
+
+/// Utility of a 2-D point under the unit-norm linear function at angle
+/// `θ`: `cos(θ)·p\[1\] + sin(θ)·p\[2\]`.
+#[inline]
+pub fn utility_at_angle(p: &[f64], theta: f64) -> f64 {
+    theta.cos() * p[0] + theta.sin() * p[1]
+}
+
+/// Tangent-space weight pair `(w1, w2) = (cos θ, sin θ)` for an angle.
+#[inline]
+pub fn weights_at_angle(theta: f64) -> (f64, f64) {
+    (theta.cos(), theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_angle_separates_preferences() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        let t = switch_angle(&a, &b);
+        assert!((t - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        // Slightly below: prefer a. Slightly above: prefer b.
+        assert!(utility_at_angle(&a, t - 0.01) > utility_at_angle(&b, t - 0.01));
+        assert!(utility_at_angle(&b, t + 0.01) > utility_at_angle(&a, t + 0.01));
+        // At the switch angle the utilities coincide.
+        assert!((utility_at_angle(&a, t) - utility_at_angle(&b, t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_points() {
+        let a = [0.9, 0.1];
+        let b = [0.5, 0.3];
+        let t = switch_angle(&a, &b);
+        let expected = (0.4f64 / 0.2).atan();
+        assert!((t - expected).abs() < 1e-12);
+        // Cross-check against direct utility comparison around the switch.
+        assert!(utility_at_angle(&a, t - 0.01) > utility_at_angle(&b, t - 0.01));
+        assert!(utility_at_angle(&b, t + 0.01) > utility_at_angle(&a, t + 0.01));
+    }
+
+    #[test]
+    fn dominated_same_x_switches_at_zero() {
+        // Same x, higher y: b dominates a, so b is preferred for every
+        // theta > 0 — the switch angle degenerates to 0.
+        let t = switch_angle(&[1.0, 0.0], &[1.0, 2.0]);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn dominated_same_y_switches_at_half_pi() {
+        // Same y, larger x: a dominates b, b is never strictly preferred.
+        let t = switch_angle(&[2.0, 1.0], &[1.0, 1.0]);
+        assert!((t - HALF_PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_at_extremes() {
+        let p = [0.3, 0.8];
+        assert!((utility_at_angle(&p, 0.0) - 0.3).abs() < 1e-12);
+        assert!((utility_at_angle(&p, HALF_PI) - 0.8).abs() < 1e-12);
+        let (w1, w2) = weights_at_angle(0.5);
+        assert!((w1 * w1 + w2 * w2 - 1.0).abs() < 1e-12);
+    }
+}

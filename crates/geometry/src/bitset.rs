@@ -1,0 +1,199 @@
+//! A fixed-capacity bitset used for dominance-coverage bookkeeping in the
+//! SKY-DOM baseline (greedy max-coverage over dominated points).
+
+/// Fixed-length bitset backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an all-zero bitset of `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates a bitset with the given bit indices set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut b = BitSet::new(len);
+        for &i in indices {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the capacity is zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union with another bitset of identical capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `|self ∪ other|` without materializing the union — the inner loop of
+    /// greedy max-coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of bits set in `other` but not in `self` (the marginal
+    /// coverage gain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn gain_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (!a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over set bit indices, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new(130);
+        assert_eq!(b.len(), 130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut b = BitSet::new(10);
+        b.set(10);
+    }
+
+    #[test]
+    fn union_operations() {
+        let a = BitSet::from_indices(100, &[1, 50, 99]);
+        let b = BitSet::from_indices(100, &[1, 2, 70]);
+        assert_eq!(a.union_count(&b), 5);
+        assert_eq!(a.gain_count(&b), 2);
+        assert_eq!(b.gain_count(&a), 2);
+        let mut c = a.clone();
+        c.union_with(&b);
+        assert_eq!(c.count_ones(), 5);
+        assert!(c.get(2) && c.get(50));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let b = BitSet::from_indices(200, &[3, 64, 65, 199]);
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn union_capacity_mismatch_panics() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(11);
+        a.union_count(&b);
+    }
+}

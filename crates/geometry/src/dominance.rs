@@ -1,0 +1,105 @@
+//! Pareto dominance under "larger is better" semantics.
+
+/// Returns true when `a` dominates `b`: `a` is at least as good in every
+/// dimension and strictly better in at least one.
+///
+/// # Panics
+///
+/// Panics (debug) if the slices have different lengths.
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Returns true when `a` and `b` are incomparable (neither dominates) and
+/// not equal.
+#[inline]
+pub fn incomparable(a: &[f64], b: &[f64]) -> bool {
+    !dominates(a, b) && !dominates(b, a) && a != b
+}
+
+/// Three-way dominance comparison, avoiding two full passes when both
+/// directions are needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomOrdering {
+    /// First point dominates the second.
+    Dominates,
+    /// Second point dominates the first.
+    DominatedBy,
+    /// Coordinates are identical.
+    Equal,
+    /// Neither dominates.
+    Incomparable,
+}
+
+/// Computes the [`DomOrdering`] of `a` versus `b` in one pass.
+pub fn dom_compare(a: &[f64], b: &[f64]) -> DomOrdering {
+    debug_assert_eq!(a.len(), b.len());
+    let (mut a_better, mut b_better) = (false, false);
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            a_better = true;
+        } else if y > x {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return DomOrdering::Incomparable;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => DomOrdering::Dominates,
+        (false, true) => DomOrdering::DominatedBy,
+        (false, false) => DomOrdering::Equal,
+        (true, true) => unreachable!("early return covers this case"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_dominance() {
+        assert!(dominates(&[2.0, 2.0], &[1.0, 2.0]));
+        assert!(dominates(&[2.0, 3.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+    }
+
+    #[test]
+    fn equal_points_do_not_dominate() {
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert_eq!(dom_compare(&[1.0, 1.0], &[1.0, 1.0]), DomOrdering::Equal);
+    }
+
+    #[test]
+    fn incomparability() {
+        assert!(incomparable(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!incomparable(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!incomparable(&[2.0, 3.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn three_way_compare() {
+        assert_eq!(dom_compare(&[2.0, 2.0], &[1.0, 1.0]), DomOrdering::Dominates);
+        assert_eq!(dom_compare(&[1.0, 1.0], &[2.0, 2.0]), DomOrdering::DominatedBy);
+        assert_eq!(dom_compare(&[1.0, 2.0], &[2.0, 1.0]), DomOrdering::Incomparable);
+    }
+
+    #[test]
+    fn single_dimension() {
+        assert!(dominates(&[2.0], &[1.0]));
+        assert!(!dominates(&[1.0], &[1.0]));
+        assert_eq!(dom_compare(&[3.0], &[1.0]), DomOrdering::Dominates);
+    }
+}

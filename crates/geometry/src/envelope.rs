@@ -1,0 +1,233 @@
+//! The best-point-versus-angle envelope of a 2-D dataset.
+//!
+//! For linear utilities over a 2-D database, the identity of the best point
+//! `argmax_p f_θ(p)` is piecewise constant in the angle `θ`, and the points
+//! that are best for *some* `θ ∈ [0, π/2]` are exactly the vertices of the
+//! "upper-right" convex hull. The [`Envelope`] materializes the mapping
+//! `θ → best point`, which the exact DP algorithm (Section IV) uses to
+//! evaluate `sat(D, f)` inside its closed-form integrals.
+
+use fam_core::Dataset;
+
+use crate::angles::{switch_angle, utility_at_angle, HALF_PI};
+use crate::skyline::skyline_2d;
+
+/// One maximal angular interval on which a single point is the best in `D`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvSegment {
+    /// Inclusive lower angle.
+    pub lo: f64,
+    /// Inclusive upper angle.
+    pub hi: f64,
+    /// Dataset index of the best point on `[lo, hi]`.
+    pub point: usize,
+}
+
+/// The piecewise-constant best-point map over `θ ∈ [0, π/2]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    segments: Vec<EnvSegment>,
+}
+
+impl Envelope {
+    /// Builds the envelope of a 2-D dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is not 2-dimensional.
+    pub fn build(dataset: &Dataset) -> Self {
+        assert_eq!(dataset.dim(), 2, "envelope requires a 2-dimensional dataset");
+        // Deduplicated skyline, ordered by first coordinate descending.
+        let sky = skyline_2d(dataset);
+        let mut ordered: Vec<usize> = sky;
+        ordered.sort_by(|&a, &b| {
+            dataset.point(b)[0]
+                .partial_cmp(&dataset.point(a)[0])
+                .expect("finite coords")
+        });
+        ordered.dedup_by(|&mut a, &mut b| dataset.point(a) == dataset.point(b));
+
+        // Convex chain: keep only points on the upper-right hull.
+        let mut hull: Vec<usize> = Vec::with_capacity(ordered.len());
+        for &i in &ordered {
+            let p = dataset.point(i);
+            while hull.len() >= 2 {
+                let b = dataset.point(hull[hull.len() - 1]);
+                let a = dataset.point(hull[hull.len() - 2]);
+                // Left turn (cross > 0) keeps b as a hull vertex.
+                let cross = (b[0] - a[0]) * (p[1] - b[1]) - (b[1] - a[1]) * (p[0] - b[0]);
+                if cross <= 1e-15 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(i);
+        }
+
+        // Breakpoint angles between consecutive hull vertices.
+        let mut segments = Vec::with_capacity(hull.len());
+        let mut lo = 0.0;
+        for w in hull.windows(2) {
+            let hi = switch_angle(dataset.point(w[0]), dataset.point(w[1]));
+            segments.push(EnvSegment { lo, hi, point: w[0] });
+            lo = hi;
+        }
+        segments.push(EnvSegment { lo, hi: HALF_PI, point: *hull.last().expect("non-empty") });
+        Envelope { segments }
+    }
+
+    /// All segments, ordered by angle. Consecutive segments share their
+    /// boundary angle; the first starts at 0 and the last ends at `π/2`.
+    pub fn segments(&self) -> &[EnvSegment] {
+        &self.segments
+    }
+
+    /// Number of distinct best points (hull vertices).
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Always false: an envelope of a non-empty dataset has a segment.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The best point of the database at angle `theta`.
+    pub fn best_at(&self, theta: f64) -> usize {
+        debug_assert!((-1e-12..=HALF_PI + 1e-12).contains(&theta));
+        let i = self
+            .segments
+            .partition_point(|s| s.hi < theta)
+            .min(self.segments.len() - 1);
+        self.segments[i].point
+    }
+
+    /// Segments clipped to the angular window `[lo, hi]`, preserving the
+    /// per-segment best point. Empty intersections are skipped.
+    pub fn clipped(&self, lo: f64, hi: f64) -> Vec<EnvSegment> {
+        let mut out = Vec::new();
+        for s in &self.segments {
+            let a = s.lo.max(lo);
+            let b = s.hi.min(hi);
+            if b > a + 1e-15 {
+                out.push(EnvSegment { lo: a, hi: b, point: s.point });
+            }
+        }
+        out
+    }
+}
+
+/// Brute-force best point at an angle (reference implementation for tests
+/// and for the quadrature-based integrator).
+pub fn best_at_brute(dataset: &Dataset, theta: f64) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, p) in dataset.points().enumerate() {
+        let v = utility_at_angle(p, theta);
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(rows: Vec<Vec<f64>>) -> Dataset {
+        Dataset::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn simple_triangle_envelope() {
+        // (1,0) best near theta=0, (0,1) best near pi/2, (0.8,0.8) in between.
+        let d = ds(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.8, 0.8]]);
+        let env = Envelope::build(&d);
+        assert_eq!(env.len(), 3);
+        assert_eq!(env.best_at(0.0), 0);
+        assert_eq!(env.best_at(HALF_PI), 1);
+        assert_eq!(env.best_at(std::f64::consts::FRAC_PI_4), 2);
+        // Coverage: segments tile [0, pi/2].
+        let segs = env.segments();
+        assert_eq!(segs[0].lo, 0.0);
+        assert!((segs.last().unwrap().hi - HALF_PI).abs() < 1e-12);
+        for w in segs.windows(2) {
+            assert!((w[0].hi - w[1].lo).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_hull_skyline_point_is_never_best() {
+        // (0.45, 0.45) is on the skyline but under the segment (1,0)-(0,1).
+        let d = ds(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.45, 0.45]]);
+        let env = Envelope::build(&d);
+        assert_eq!(env.len(), 2);
+        assert!(env.segments().iter().all(|s| s.point != 2));
+    }
+
+    #[test]
+    fn envelope_matches_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..40);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+                .collect();
+            let d = ds(rows);
+            let env = Envelope::build(&d);
+            for step in 0..=50 {
+                let theta = HALF_PI * step as f64 / 50.0;
+                let via_env = env.best_at(theta);
+                let brute = best_at_brute(&d, theta);
+                let ve = utility_at_angle(d.point(via_env), theta);
+                let vb = utility_at_angle(d.point(brute), theta);
+                assert!(
+                    (ve - vb).abs() < 1e-9,
+                    "theta={theta}: envelope point {via_env} ({ve}) vs brute {brute} ({vb})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_envelope() {
+        let d = ds(vec![vec![0.4, 0.6]]);
+        let env = Envelope::build(&d);
+        assert_eq!(env.len(), 1);
+        assert_eq!(env.best_at(0.3), 0);
+        assert!(!env.is_empty());
+    }
+
+    #[test]
+    fn dominated_points_do_not_appear() {
+        let d = ds(vec![vec![1.0, 1.0], vec![0.9, 0.9], vec![0.2, 0.3]]);
+        let env = Envelope::build(&d);
+        assert_eq!(env.len(), 1);
+        assert_eq!(env.segments()[0].point, 0);
+    }
+
+    #[test]
+    fn clipping_respects_window() {
+        let d = ds(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.8, 0.8]]);
+        let env = Envelope::build(&d);
+        let clipped = env.clipped(0.0, 0.1);
+        assert_eq!(clipped.len(), 1);
+        assert_eq!(clipped[0].point, 0);
+        assert!((clipped[0].hi - 0.1).abs() < 1e-12);
+        let all = env.clipped(0.0, HALF_PI);
+        assert_eq!(all.len(), env.len());
+        assert!(env.clipped(0.2, 0.2).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_collapse_to_one_segment_owner() {
+        let d = ds(vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let env = Envelope::build(&d);
+        assert_eq!(env.len(), 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! # fam-lp
+//!
+//! A small, dependency-free dense linear-programming solver (two-phase
+//! primal simplex with Bland's anti-cycling rule), written as a substrate
+//! for the FAM reproduction: the MRR-GREEDY baseline of Nanongkai et al.
+//! computes exact maximum regret ratios for linear utilities by solving
+//! one LP per candidate point (`d + 1` variables, `|S| + 1` constraints).
+//!
+//! No suitable LP crate exists in the allowed offline dependency set, and
+//! the task's reproduction rules require substrates to be built from
+//! scratch — see DESIGN.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{Constraint, LpError, LpProblem, LpSolution, Relation, Sense};
+pub use simplex::solve;

@@ -1,0 +1,191 @@
+//! Linear-program model types.
+
+use std::fmt;
+
+/// Direction of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `coeffs · x <= rhs`
+    Le,
+    /// `coeffs · x >= rhs`
+    Ge,
+    /// `coeffs · x == rhs`
+    Eq,
+}
+
+/// Optimization sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// One linear constraint over non-negative variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Coefficients, one per variable.
+    pub coeffs: Vec<f64>,
+    /// Relation between `coeffs · x` and `rhs`.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables:
+/// optimize `objective · x` subject to the constraints and `x >= 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpProblem {
+    n_vars: usize,
+    sense: Sense,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+/// Errors from building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The model is malformed (dimension mismatch or non-finite data).
+    Invalid(String),
+    /// The solver exceeded its iteration budget (should not happen with
+    /// Bland's rule unless the model is enormous).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::Invalid(m) => write!(f, "invalid linear program: {m}"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+    /// Optimal objective value (in the problem's own sense).
+    pub objective: f64,
+}
+
+impl LpProblem {
+    /// Creates a problem with `n_vars` non-negative variables.
+    pub fn new(n_vars: usize, sense: Sense, objective: Vec<f64>) -> Result<Self, LpError> {
+        if n_vars == 0 {
+            return Err(LpError::Invalid("a linear program needs at least one variable".into()));
+        }
+        if objective.len() != n_vars {
+            return Err(LpError::Invalid(format!(
+                "objective has {} coefficients for {} variables",
+                objective.len(),
+                n_vars
+            )));
+        }
+        if objective.iter().any(|c| !c.is_finite()) {
+            return Err(LpError::Invalid("objective has non-finite coefficients".into()));
+        }
+        Ok(LpProblem { n_vars, sense, objective, constraints: Vec::new() })
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: Vec<f64>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<&mut Self, LpError> {
+        if coeffs.len() != self.n_vars {
+            return Err(LpError::Invalid(format!(
+                "constraint has {} coefficients for {} variables",
+                coeffs.len(),
+                self.n_vars
+            )));
+        }
+        if coeffs.iter().any(|c| !c.is_finite()) || !rhs.is_finite() {
+            return Err(LpError::Invalid("constraint has non-finite data".into()));
+        }
+        self.constraints.push(Constraint { coeffs, relation, rhs });
+        Ok(self)
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Checks whether `x` satisfies every constraint and the non-negativity
+    /// bounds, within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.n_vars || x.iter().any(|v| *v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+
+    /// Objective value of an assignment.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validation() {
+        assert!(LpProblem::new(0, Sense::Maximize, vec![]).is_err());
+        assert!(LpProblem::new(2, Sense::Maximize, vec![1.0]).is_err());
+        assert!(LpProblem::new(1, Sense::Maximize, vec![f64::NAN]).is_err());
+        let mut p = LpProblem::new(2, Sense::Maximize, vec![1.0, 1.0]).unwrap();
+        assert!(p.add_constraint(vec![1.0], Relation::Le, 1.0).is_err());
+        assert!(p.add_constraint(vec![1.0, f64::INFINITY], Relation::Le, 1.0).is_err());
+        assert!(p.add_constraint(vec![1.0, 1.0], Relation::Le, 1.0).is_ok());
+        assert_eq!(p.constraints().len(), 1);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut p = LpProblem::new(2, Sense::Maximize, vec![1.0, 0.0]).unwrap();
+        p.add_constraint(vec![1.0, 1.0], Relation::Le, 1.0).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Relation::Ge, 0.2).unwrap();
+        assert!(p.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!p.is_feasible(&[0.1, 0.5], 1e-9)); // violates Ge
+        assert!(!p.is_feasible(&[0.9, 0.5], 1e-9)); // violates Le
+        assert!(!p.is_feasible(&[-0.1, 0.5], 1e-9)); // violates bound
+        assert!((p.objective_value(&[0.3, 0.9]) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,420 @@
+//! Dense two-phase primal simplex with Bland's anti-cycling rule.
+//!
+//! Sized for the workloads of this workspace — the MRR-GREEDY baseline
+//! solves many small LPs (`d + 1` variables, `|S| + 1` constraints) — so a
+//! dense tableau is both simple and fast. Phase 1 minimizes the sum of
+//! artificial variables to find a basic feasible solution; phase 2
+//! optimizes the real objective.
+
+use crate::problem::{LpError, LpProblem, LpSolution, Relation, Sense};
+
+const TOL: f64 = 1e-9;
+
+/// Solves a linear program.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`] when no assignment satisfies the constraints,
+/// [`LpError::Unbounded`] when the objective can grow without limit,
+/// [`LpError::IterationLimit`] on pathological models.
+pub fn solve(p: &LpProblem) -> Result<LpSolution, LpError> {
+    Tableau::build(p)?.solve(p)
+}
+
+struct Tableau {
+    /// `m x width` row-major tableau; the last column is the RHS.
+    a: Vec<f64>,
+    width: usize,
+    m: usize,
+    /// Basis variable of each row.
+    basis: Vec<usize>,
+    n_structural: usize,
+    n_total: usize,
+    artificial_start: usize,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.width + c]
+    }
+
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.a[r * self.width + c]
+    }
+
+    fn build(p: &LpProblem) -> Result<Tableau, LpError> {
+        let m = p.constraints().len();
+        let n = p.n_vars();
+        // Count extra columns: one slack/surplus per inequality, one
+        // artificial per Ge/Eq (after normalizing rhs >= 0).
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(m);
+        for c in p.constraints() {
+            let (coeffs, relation, rhs) = if c.rhs < 0.0 {
+                let flipped = match c.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (c.coeffs.iter().map(|x| -x).collect(), flipped, -c.rhs)
+            } else {
+                (c.coeffs.clone(), c.relation, c.rhs)
+            };
+            match relation {
+                Relation::Le => n_slack += 1,
+                Relation::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Relation::Eq => n_art += 1,
+            }
+            rows.push((coeffs, relation, rhs));
+        }
+        let n_total = n + n_slack + n_art;
+        let width = n_total + 1;
+        let mut a = vec![0.0; m * width];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_col = n;
+        let mut art_col = n + n_slack;
+        for (r, (coeffs, relation, rhs)) in rows.into_iter().enumerate() {
+            for (j, v) in coeffs.iter().enumerate() {
+                a[r * width + j] = *v;
+            }
+            a[r * width + n_total] = rhs;
+            match relation {
+                Relation::Le => {
+                    a[r * width + slack_col] = 1.0;
+                    basis[r] = slack_col;
+                    slack_col += 1;
+                }
+                Relation::Ge => {
+                    a[r * width + slack_col] = -1.0;
+                    slack_col += 1;
+                    a[r * width + art_col] = 1.0;
+                    basis[r] = art_col;
+                    art_col += 1;
+                }
+                Relation::Eq => {
+                    a[r * width + art_col] = 1.0;
+                    basis[r] = art_col;
+                    art_col += 1;
+                }
+            }
+        }
+        Ok(Tableau {
+            a,
+            width,
+            m,
+            basis,
+            n_structural: n,
+            n_total,
+            artificial_start: n + n_slack,
+        })
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.at(row, col);
+        debug_assert!(piv.abs() > TOL, "pivot on a near-zero element");
+        let inv = 1.0 / piv;
+        for c in 0..self.width {
+            *self.at_mut(row, c) *= inv;
+        }
+        for r in 0..self.m {
+            if r == row {
+                continue;
+            }
+            let factor = self.at(r, col);
+            if factor.abs() <= TOL {
+                continue;
+            }
+            for c in 0..self.width {
+                let delta = factor * self.at(row, c);
+                *self.at_mut(r, c) -= delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations on reduced costs `z` (to be *minimized*),
+    /// restricted to columns `< limit`. Returns the final objective shift.
+    fn run(&mut self, z: &mut [f64], obj: &mut f64, limit: usize) -> Result<(), LpError> {
+        // Bland's rule: enter the lowest-index column with negative reduced
+        // cost; leave via the lowest-index minimum ratio row.
+        let max_iter = 50_000usize.max(200 * (self.m + self.n_total));
+        for _ in 0..max_iter {
+            let mut enter = None;
+            for (c, &zc) in z.iter().enumerate().take(limit) {
+                if zc < -TOL {
+                    enter = Some(c);
+                    break;
+                }
+            }
+            let Some(col) = enter else {
+                return Ok(());
+            };
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.m {
+                let arc = self.at(r, col);
+                if arc > TOL {
+                    let ratio = self.at(r, self.n_total) / arc;
+                    match leave {
+                        None => leave = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            if ratio < lratio - TOL
+                                || (ratio < lratio + TOL && self.basis[r] < self.basis[lr])
+                            {
+                                leave = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            // Update reduced costs alongside the tableau.
+            let piv = self.at(row, col);
+            let zcol = z[col];
+            self.pivot(row, col);
+            // After pivot, row `row` is scaled by 1/piv; reduced costs:
+            // z <- z - z[col] * row.
+            let _ = piv;
+            for c in 0..self.n_total {
+                z[c] -= zcol * self.at(row, c);
+            }
+            *obj -= zcol * self.at(row, self.n_total);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    fn solve(mut self, p: &LpProblem) -> Result<LpSolution, LpError> {
+        // -------- Phase 1: minimize the sum of artificial variables.
+        if self.artificial_start < self.n_total {
+            let mut z = vec![0.0; self.n_total];
+            for c in self.artificial_start..self.n_total {
+                z[c] = 1.0;
+            }
+            let mut obj = 0.0;
+            // Make reduced costs consistent with the starting basis (price
+            // out the basic artificial variables).
+            for r in 0..self.m {
+                if self.basis[r] >= self.artificial_start {
+                    for c in 0..self.n_total {
+                        z[c] -= self.at(r, c);
+                    }
+                    obj -= self.at(r, self.n_total);
+                }
+            }
+            self.run(&mut z, &mut obj, self.n_total)?;
+            if obj < -TOL * 10.0 {
+                // Residual artificial mass (obj here equals -sum(artificials)).
+                return Err(LpError::Infeasible);
+            }
+            // Drive any artificial variables that remain basic (at zero) out
+            // of the basis where possible.
+            for r in 0..self.m {
+                if self.basis[r] >= self.artificial_start {
+                    let mut pivot_col = None;
+                    for c in 0..self.artificial_start {
+                        if self.at(r, c).abs() > TOL {
+                            pivot_col = Some(c);
+                            break;
+                        }
+                    }
+                    if let Some(c) = pivot_col {
+                        self.pivot(r, c);
+                    }
+                    // Otherwise the row is redundant; the artificial stays
+                    // basic at value zero, which is harmless in phase 2
+                    // because its column is excluded from entering.
+                }
+            }
+        }
+
+        // -------- Phase 2: optimize the real objective.
+        // Internal convention: minimize. Negate for Maximize.
+        let sign = match p.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut z = vec![0.0; self.n_total];
+        for (c, &v) in p.objective().iter().enumerate() {
+            z[c] = sign * v;
+        }
+        let mut obj = 0.0;
+        for r in 0..self.m {
+            let b = self.basis[r];
+            if b < self.n_structural {
+                let zb = z[b];
+                if zb.abs() > 0.0 {
+                    for c in 0..self.n_total {
+                        z[c] -= zb * self.at(r, c);
+                    }
+                    obj -= zb * self.at(r, self.n_total);
+                }
+            }
+        }
+        // Artificials must never re-enter.
+        self.run(&mut z, &mut obj, self.artificial_start)?;
+
+        let mut x = vec![0.0; p.n_vars()];
+        for r in 0..self.m {
+            if self.basis[r] < p.n_vars() {
+                x[self.basis[r]] = self.at(r, self.n_total);
+            }
+        }
+        let objective = p.objective_value(&x);
+        Ok(LpSolution { x, objective })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Relation::*, Sense::*};
+
+    fn near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), 36.
+        let mut p = LpProblem::new(2, Maximize, vec![3.0, 5.0]).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Le, 4.0).unwrap();
+        p.add_constraint(vec![0.0, 2.0], Le, 12.0).unwrap();
+        p.add_constraint(vec![3.0, 2.0], Le, 18.0).unwrap();
+        let s = solve(&p).unwrap();
+        near(s.objective, 36.0);
+        near(s.x[0], 2.0);
+        near(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 3 -> y = 7, x = 3 -> 27.
+        let mut p = LpProblem::new(2, Minimize, vec![2.0, 3.0]).unwrap();
+        p.add_constraint(vec![1.0, 1.0], Ge, 10.0).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Ge, 3.0).unwrap();
+        let s = solve(&p).unwrap();
+        // 2x+3y minimized on x+y=10 pushes x as high as possible; x is
+        // unbounded above... but increasing x beyond 10 still needs x+y>=10
+        // with y=0 -> cost 2x grows. Optimum at x=10, y=0 -> 20.
+        near(s.objective, 20.0);
+        near(s.x[0], 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + 2y = 4, x <= 2 -> x=2, y=1 -> 3.
+        let mut p = LpProblem::new(2, Maximize, vec![1.0, 1.0]).unwrap();
+        p.add_constraint(vec![1.0, 2.0], Eq, 4.0).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Le, 2.0).unwrap();
+        let s = solve(&p).unwrap();
+        near(s.objective, 3.0);
+        near(s.x[0], 2.0);
+        near(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // max x s.t. -x <= -2 (i.e. x >= 2), x <= 5.
+        let mut p = LpProblem::new(1, Maximize, vec![1.0]).unwrap();
+        p.add_constraint(vec![-1.0], Le, -2.0).unwrap();
+        p.add_constraint(vec![1.0], Le, 5.0).unwrap();
+        let s = solve(&p).unwrap();
+        near(s.objective, 5.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = LpProblem::new(1, Maximize, vec![1.0]).unwrap();
+        p.add_constraint(vec![1.0], Le, 1.0).unwrap();
+        p.add_constraint(vec![1.0], Ge, 2.0).unwrap();
+        assert_eq!(solve(&p), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = LpProblem::new(2, Maximize, vec![1.0, 1.0]).unwrap();
+        p.add_constraint(vec![1.0, -1.0], Le, 1.0).unwrap();
+        assert_eq!(solve(&p), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn degenerate_pivots_terminate() {
+        // Classic degenerate example; Bland's rule must not cycle.
+        let mut p = LpProblem::new(4, Maximize, vec![0.75, -150.0, 0.02, -6.0]).unwrap();
+        p.add_constraint(vec![0.25, -60.0, -0.04, 9.0], Le, 0.0).unwrap();
+        p.add_constraint(vec![0.5, -90.0, -0.02, 3.0], Le, 0.0).unwrap();
+        p.add_constraint(vec![0.0, 0.0, 1.0, 0.0], Le, 1.0).unwrap();
+        let s = solve(&p).unwrap();
+        near(s.objective, 0.05);
+    }
+
+    #[test]
+    fn zero_rhs_equality() {
+        // max y s.t. x - y = 0, x <= 3.
+        let mut p = LpProblem::new(2, Maximize, vec![0.0, 1.0]).unwrap();
+        p.add_constraint(vec![1.0, -1.0], Eq, 0.0).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Le, 3.0).unwrap();
+        let s = solve(&p).unwrap();
+        near(s.objective, 3.0);
+    }
+
+    #[test]
+    fn no_constraints_bounded_by_sign() {
+        // min x with no constraints -> 0 at origin.
+        let p = LpProblem::new(1, Minimize, vec![1.0]).unwrap();
+        let s = solve(&p).unwrap();
+        near(s.objective, 0.0);
+        // max x with no constraints -> unbounded.
+        let p = LpProblem::new(1, Maximize, vec![1.0]).unwrap();
+        assert_eq!(solve(&p), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn solution_is_feasible_and_beats_grid_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        for trial in 0..50 {
+            // Random bounded 2-var maximization: constraints x,y <= box and
+            // a few random Le cuts with positive rhs (origin feasible).
+            let mut p = LpProblem::new(
+                2,
+                Maximize,
+                vec![rng.gen_range(-1.0..2.0), rng.gen_range(-1.0..2.0)],
+            )
+            .unwrap();
+            p.add_constraint(vec![1.0, 0.0], Le, rng.gen_range(0.5..3.0)).unwrap();
+            p.add_constraint(vec![0.0, 1.0], Le, rng.gen_range(0.5..3.0)).unwrap();
+            for _ in 0..3 {
+                p.add_constraint(
+                    vec![rng.gen_range(-1.0..2.0), rng.gen_range(-1.0..2.0)],
+                    Le,
+                    rng.gen_range(0.1..4.0),
+                )
+                .unwrap();
+            }
+            let s = solve(&p).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            assert!(p.is_feasible(&s.x, 1e-6), "trial {trial}: infeasible answer");
+            // Grid search must not beat the simplex optimum.
+            let mut best = f64::NEG_INFINITY;
+            for i in 0..=60 {
+                for j in 0..=60 {
+                    let x = [i as f64 * 0.05, j as f64 * 0.05];
+                    if p.is_feasible(&x, 1e-9) {
+                        best = best.max(p.objective_value(&x));
+                    }
+                }
+            }
+            assert!(
+                s.objective >= best - 1e-6,
+                "trial {trial}: simplex {} < grid {best}",
+                s.objective
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the simplex solver: feasibility, optimality
+//! against grid search, and weak-duality-style sanity on random models.
+
+use fam_lp::{solve, LpError, LpProblem, Relation, Sense};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random bounded maximization: the solution must be feasible and at
+    /// least as good as every grid point.
+    #[test]
+    fn optimal_beats_grid(
+        c0 in -1.0f64..2.0, c1 in -1.0f64..2.0,
+        b0 in 0.5f64..3.0, b1 in 0.5f64..3.0,
+        cuts in proptest::collection::vec((-1.0f64..2.0, -1.0f64..2.0, 0.1f64..4.0), 0..4),
+    ) {
+        let mut p = LpProblem::new(2, Sense::Maximize, vec![c0, c1]).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Relation::Le, b0).unwrap();
+        p.add_constraint(vec![0.0, 1.0], Relation::Le, b1).unwrap();
+        for (a, b, r) in &cuts {
+            p.add_constraint(vec![*a, *b], Relation::Le, *r).unwrap();
+        }
+        // Origin is feasible, box is bounded: must solve.
+        let s = solve(&p).unwrap();
+        prop_assert!(p.is_feasible(&s.x, 1e-6));
+        for i in 0..=30 {
+            for j in 0..=30 {
+                let x = [i as f64 / 30.0 * b0, j as f64 / 30.0 * b1];
+                if p.is_feasible(&x, 1e-9) {
+                    prop_assert!(
+                        s.objective >= p.objective_value(&x) - 1e-6,
+                        "grid point {:?} beats simplex {}", x, s.objective
+                    );
+                }
+            }
+        }
+    }
+
+    /// Equality-constrained problems stay on the constraint surface.
+    #[test]
+    fn equality_is_respected(
+        a in 0.2f64..2.0, b in 0.2f64..2.0, rhs in 0.5f64..3.0,
+    ) {
+        let mut p = LpProblem::new(2, Sense::Maximize, vec![1.0, 0.0]).unwrap();
+        p.add_constraint(vec![a, b], Relation::Eq, rhs).unwrap();
+        let s = solve(&p).unwrap();
+        let lhs = a * s.x[0] + b * s.x[1];
+        prop_assert!((lhs - rhs).abs() < 1e-6);
+        // max x with a x + b y = rhs, x,y >= 0 -> x = rhs/a.
+        prop_assert!((s.x[0] - rhs / a).abs() < 1e-6);
+    }
+
+    /// Ge-constraints produce the textbook minimum.
+    #[test]
+    fn covering_problems_solve(
+        c0 in 0.1f64..3.0, c1 in 0.1f64..3.0, need in 1.0f64..5.0,
+    ) {
+        // min c·x s.t. x0 + x1 >= need: optimum puts all mass on the
+        // cheaper variable.
+        let mut p = LpProblem::new(2, Sense::Minimize, vec![c0, c1]).unwrap();
+        p.add_constraint(vec![1.0, 1.0], Relation::Ge, need).unwrap();
+        let s = solve(&p).unwrap();
+        let expected = c0.min(c1) * need;
+        prop_assert!((s.objective - expected).abs() < 1e-6,
+            "got {}, expected {}", s.objective, expected);
+    }
+
+    /// Contradictory bounds are reported infeasible, never "solved".
+    #[test]
+    fn infeasibility_detected(lo in 1.0f64..5.0, gap in 0.1f64..2.0) {
+        let mut p = LpProblem::new(1, Sense::Maximize, vec![1.0]).unwrap();
+        p.add_constraint(vec![1.0], Relation::Ge, lo + gap).unwrap();
+        p.add_constraint(vec![1.0], Relation::Le, lo).unwrap();
+        prop_assert_eq!(solve(&p), Err(LpError::Infeasible));
+    }
+}
+
+/// The witness LP of the MRR baseline, checked against a hand-computed
+/// geometry (regression guard for the formulation, not just the solver).
+#[test]
+fn witness_formulation_regression() {
+    // S = {(0.6, 0.6)}, witness p = (1, 0): minimize x s.t.
+    // 0.6 w1 + 0.6 w2 <= x, w1 = 1, w >= 0 -> x = 0.6 at w2 = 0.
+    let mut p = LpProblem::new(3, Sense::Minimize, vec![0.0, 0.0, 1.0]).unwrap();
+    p.add_constraint(vec![0.6, 0.6, -1.0], Relation::Le, 0.0).unwrap();
+    p.add_constraint(vec![1.0, 0.0, 0.0], Relation::Eq, 1.0).unwrap();
+    let s = solve(&p).unwrap();
+    assert!((s.objective - 0.6).abs() < 1e-9);
+}

@@ -1,0 +1,441 @@
+//! Gaussian Mixture Model with full covariance, fitted by EM.
+//!
+//! The paper's Yahoo!Music experiment (Section V-B2) learns a non-uniform
+//! distribution of utility functions by fitting a *Multivariate Gaussian
+//! Mixture Model with 5 mixture models* to user utility vectors obtained by
+//! matrix factorization. This module is that substrate: k-means++
+//! initialization, EM with covariance regularization, log-likelihood
+//! tracking, and sampling.
+
+use fam_core::randext::standard_normal;
+use fam_core::{FamError, Result};
+use rand::{Rng, RngCore};
+
+use crate::kmeans::kmeans;
+use crate::matrix::Matrix;
+
+/// One mixture component: weight, mean, and the Cholesky factor of its
+/// (regularized) covariance.
+#[derive(Debug, Clone)]
+pub struct GmmComponent {
+    /// Mixture weight (sums to 1 across components).
+    pub weight: f64,
+    /// Component mean.
+    pub mean: Vec<f64>,
+    /// Lower-triangular Cholesky factor of the covariance.
+    pub chol: Matrix,
+}
+
+/// A fitted Gaussian mixture.
+#[derive(Debug, Clone)]
+pub struct Gmm {
+    components: Vec<GmmComponent>,
+    dim: usize,
+}
+
+/// EM fitting configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GmmConfig {
+    /// Number of mixture components (the paper uses 5).
+    pub n_components: usize,
+    /// Maximum EM iterations.
+    pub max_iter: usize,
+    /// Relative log-likelihood improvement below which EM stops.
+    pub tol: f64,
+    /// Ridge added to covariance diagonals for numerical stability.
+    pub reg: f64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig { n_components: 5, max_iter: 100, tol: 1e-6, reg: 1e-6 }
+    }
+}
+
+/// Result of fitting: the model plus the log-likelihood trace
+/// (non-decreasing, a classic EM invariant checked by the tests).
+#[derive(Debug, Clone)]
+pub struct GmmFit {
+    /// The fitted mixture.
+    pub gmm: Gmm,
+    /// Mean log-likelihood after each EM iteration.
+    pub log_likelihood: Vec<f64>,
+}
+
+impl Gmm {
+    /// Fits a mixture to the rows of `data` by EM.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when there are fewer rows than components or the
+    /// configuration is invalid.
+    pub fn fit(data: &Matrix, cfg: GmmConfig, rng: &mut dyn RngCore) -> Result<GmmFit> {
+        let n = data.rows();
+        let d = data.cols();
+        let k = cfg.n_components;
+        if k == 0 || k > n {
+            return Err(FamError::InvalidK { k, n });
+        }
+        if cfg.reg < 0.0 || !cfg.reg.is_finite() {
+            return Err(FamError::InvalidParameter {
+                name: "reg",
+                message: "regularization must be non-negative".into(),
+            });
+        }
+
+        // ----- Initialize from k-means.
+        let km = kmeans(data, k, 25, rng)?;
+        let mut weights = vec![0.0f64; k];
+        for &a in &km.assignment {
+            weights[a] += 1.0;
+        }
+        weights.iter_mut().for_each(|w| *w = (*w / n as f64).max(1e-6));
+        let wsum: f64 = weights.iter().sum();
+        weights.iter_mut().for_each(|w| *w /= wsum);
+        let mut means: Vec<Vec<f64>> = (0..k).map(|c| km.centroids.row(c).to_vec()).collect();
+        // Initial covariances: per-cluster scatter + ridge.
+        let mut covs: Vec<Matrix> = vec![Matrix::zeros(d, d); k];
+        let mut counts = vec![0.0f64; k];
+        for i in 0..n {
+            let c = km.assignment[i];
+            counts[c] += 1.0;
+            let x = data.row(i);
+            for a in 0..d {
+                for b in 0..d {
+                    let v = covs[c].get(a, b)
+                        + (x[a] - means[c][a]) * (x[b] - means[c][b]);
+                    covs[c].set(a, b, v);
+                }
+            }
+        }
+        for c in 0..k {
+            let inv = 1.0 / counts[c].max(1.0);
+            for a in 0..d {
+                for b in 0..d {
+                    let v = covs[c].get(a, b) * inv;
+                    covs[c].set(a, b, v);
+                }
+                let v = covs[c].get(a, a) + cfg.reg.max(1e-9);
+                covs[c].set(a, a, v);
+            }
+        }
+
+        let mut chols: Vec<Matrix> = Vec::with_capacity(k);
+        for cov in &covs {
+            chols.push(robust_cholesky(cov, cfg.reg)?);
+        }
+
+        // ----- EM iterations.
+        let mut resp = Matrix::zeros(n, k);
+        let mut history = Vec::new();
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _iter in 0..cfg.max_iter {
+            // E-step: responsibilities via log-sum-exp.
+            let mut total_ll = 0.0;
+            for i in 0..n {
+                let x = data.row(i);
+                let mut logs = vec![0.0f64; k];
+                for c in 0..k {
+                    logs[c] = weights[c].ln()
+                        + mvn_log_pdf(x, &means[c], &chols[c]);
+                }
+                let mx = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let sum_exp: f64 = logs.iter().map(|l| (l - mx).exp()).sum();
+                let log_norm = mx + sum_exp.ln();
+                total_ll += log_norm;
+                for c in 0..k {
+                    resp.set(i, c, (logs[c] - log_norm).exp());
+                }
+            }
+            let mean_ll = total_ll / n as f64;
+            history.push(mean_ll);
+
+            // M-step.
+            for c in 0..k {
+                let nk: f64 = (0..n).map(|i| resp.get(i, c)).sum();
+                let nk_safe = nk.max(1e-12);
+                weights[c] = (nk / n as f64).max(1e-12);
+                let mut mu = vec![0.0f64; d];
+                for i in 0..n {
+                    let r = resp.get(i, c);
+                    for (m, v) in mu.iter_mut().zip(data.row(i)) {
+                        *m += r * v;
+                    }
+                }
+                mu.iter_mut().for_each(|m| *m /= nk_safe);
+                let mut cov = Matrix::zeros(d, d);
+                for i in 0..n {
+                    let r = resp.get(i, c);
+                    if r < 1e-14 {
+                        continue;
+                    }
+                    let x = data.row(i);
+                    for a in 0..d {
+                        let da = x[a] - mu[a];
+                        for b in 0..=a {
+                            let v = cov.get(a, b) + r * da * (x[b] - mu[b]);
+                            cov.set(a, b, v);
+                        }
+                    }
+                }
+                for a in 0..d {
+                    for b in 0..=a {
+                        let v = cov.get(a, b) / nk_safe;
+                        cov.set(a, b, v);
+                        cov.set(b, a, v);
+                    }
+                    let v = cov.get(a, a) + cfg.reg.max(1e-9);
+                    cov.set(a, a, v);
+                }
+                means[c] = mu;
+                chols[c] = robust_cholesky(&cov, cfg.reg)?;
+            }
+            let wsum: f64 = weights.iter().sum();
+            weights.iter_mut().for_each(|w| *w /= wsum);
+
+            let converged = (mean_ll - prev_ll).abs() < cfg.tol * (1.0 + mean_ll.abs());
+            prev_ll = mean_ll;
+            if converged {
+                break;
+            }
+        }
+
+        let components = (0..k)
+            .map(|c| GmmComponent {
+                weight: weights[c],
+                mean: means[c].clone(),
+                chol: chols[c].clone(),
+            })
+            .collect();
+        Ok(GmmFit { gmm: Gmm { components, dim: d }, log_likelihood: history })
+    }
+
+    /// Builds a mixture directly from components (weights normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on empty input or inconsistent dimensions.
+    pub fn from_components(components: Vec<GmmComponent>) -> Result<Self> {
+        let dim = components.first().map(|c| c.mean.len()).ok_or(FamError::EmptyDataset)?;
+        if components.iter().any(|c| c.mean.len() != dim || c.chol.rows() != dim) {
+            return Err(FamError::DimensionMismatch { expected: dim, got: 0 });
+        }
+        let total: f64 = components.iter().map(|c| c.weight).sum();
+        if total <= 0.0 {
+            return Err(FamError::InvalidWeights("component weights sum to zero".into()));
+        }
+        let components = components
+            .into_iter()
+            .map(|mut c| {
+                c.weight /= total;
+                c
+            })
+            .collect();
+        Ok(Gmm { components, dim })
+    }
+
+    /// Dimensionality of the mixture.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The fitted components.
+    pub fn components(&self) -> &[GmmComponent] {
+        &self.components
+    }
+
+    /// Log-density at `x`.
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        let logs: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| c.weight.ln() + mvn_log_pdf(x, &c.mean, &c.chol))
+            .collect();
+        let mx = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        mx + logs.iter().map(|l| (l - mx).exp()).sum::<f64>().ln()
+    }
+
+    /// Samples one vector into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `out.len() != dim`.
+    pub fn sample_into(&self, rng: &mut dyn RngCore, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.dim);
+        // Pick a component by weight.
+        let mut target: f64 = rng.gen_range(0.0..1.0);
+        let mut chosen = self.components.len() - 1;
+        for (i, c) in self.components.iter().enumerate() {
+            if target < c.weight {
+                chosen = i;
+                break;
+            }
+            target -= c.weight;
+        }
+        let c = &self.components[chosen];
+        // x = mu + L z.
+        let z: Vec<f64> = (0..self.dim).map(|_| standard_normal(rng)).collect();
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut v = c.mean[i];
+            for (j, zj) in z.iter().enumerate().take(i + 1) {
+                v += c.chol.get(i, j) * zj;
+            }
+            *o = v;
+        }
+    }
+}
+
+/// Cholesky with escalating ridge: EM covariance estimates can be
+/// near-singular when a component collapses onto few points.
+fn robust_cholesky(cov: &Matrix, base_reg: f64) -> Result<Matrix> {
+    let mut ridge = 0.0;
+    for _ in 0..6 {
+        let mut c = cov.clone();
+        if ridge > 0.0 {
+            for i in 0..c.rows() {
+                let v = c.get(i, i) + ridge;
+                c.set(i, i, v);
+            }
+        }
+        if let Ok(l) = c.cholesky() {
+            return Ok(l);
+        }
+        ridge = if ridge == 0.0 { base_reg.max(1e-8) } else { ridge * 100.0 };
+    }
+    Err(FamError::InvalidParameter {
+        name: "covariance",
+        message: "could not factor covariance even with heavy regularization".into(),
+    })
+}
+
+/// Multivariate normal log-density given the covariance's Cholesky factor.
+fn mvn_log_pdf(x: &[f64], mean: &[f64], chol: &Matrix) -> f64 {
+    let d = mean.len();
+    let diff: Vec<f64> = x.iter().zip(mean).map(|(a, b)| a - b).collect();
+    let y = chol.solve_lower(&diff);
+    let maha: f64 = y.iter().map(|v| v * v).sum();
+    let log_det = chol.log_det_from_cholesky();
+    -0.5 * (d as f64 * (2.0 * std::f64::consts::PI).ln() + log_det + maha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob_data(rng: &mut StdRng) -> Matrix {
+        // Two well-separated Gaussians.
+        let mut rows = Vec::new();
+        for _ in 0..150 {
+            rows.push(vec![
+                standard_normal(rng) * 0.3,
+                standard_normal(rng) * 0.3,
+            ]);
+            rows.push(vec![
+                5.0 + standard_normal(rng) * 0.5,
+                5.0 + standard_normal(rng) * 0.5,
+            ]);
+        }
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn em_log_likelihood_is_non_decreasing() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = blob_data(&mut rng);
+        let fit = Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng)
+            .unwrap();
+        for w in fit.log_likelihood.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "EM decreased log-likelihood: {:?}", w);
+        }
+        assert!(fit.log_likelihood.len() >= 2);
+    }
+
+    #[test]
+    fn recovers_two_separated_components() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let data = blob_data(&mut rng);
+        let fit = Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng)
+            .unwrap();
+        let comps = fit.gmm.components();
+        let mut means: Vec<f64> = comps.iter().map(|c| c.mean[0]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(means[0].abs() < 0.5, "first mean {means:?}");
+        assert!((means[1] - 5.0).abs() < 0.5, "second mean {means:?}");
+        for c in comps {
+            assert!((c.weight - 0.5).abs() < 0.1, "weight {}", c.weight);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_component_means() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let data = blob_data(&mut rng);
+        let fit = Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng)
+            .unwrap();
+        let mut out = [0.0; 2];
+        let (mut lo, mut hi) = (0usize, 0usize);
+        for _ in 0..4000 {
+            fit.gmm.sample_into(&mut rng, &mut out);
+            if out[0] < 2.5 {
+                lo += 1;
+            } else {
+                hi += 1;
+            }
+        }
+        let frac = lo as f64 / (lo + hi) as f64;
+        assert!((frac - 0.5).abs() < 0.06, "component balance {frac}");
+    }
+
+    #[test]
+    fn log_pdf_peaks_at_means() {
+        let gmm = Gmm::from_components(vec![GmmComponent {
+            weight: 1.0,
+            mean: vec![1.0, 2.0],
+            chol: Matrix::identity(2),
+        }])
+        .unwrap();
+        let at_mean = gmm.log_pdf(&[1.0, 2.0]);
+        let off = gmm.log_pdf(&[3.0, 0.0]);
+        assert!(at_mean > off);
+        // Standard bivariate normal at the mean: -log(2 pi).
+        assert!((at_mean + (2.0 * std::f64::consts::PI).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_validation() {
+        let data = Matrix::from_rows(vec![vec![0.0], vec![1.0]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(Gmm::fit(&data, GmmConfig { n_components: 0, ..Default::default() }, &mut rng)
+            .is_err());
+        assert!(Gmm::fit(&data, GmmConfig { n_components: 3, ..Default::default() }, &mut rng)
+            .is_err());
+        assert!(Gmm::fit(
+            &data,
+            GmmConfig { reg: -1.0, ..Default::default() },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn from_components_normalizes_weights() {
+        let gmm = Gmm::from_components(vec![
+            GmmComponent { weight: 2.0, mean: vec![0.0], chol: Matrix::identity(1) },
+            GmmComponent { weight: 2.0, mean: vec![1.0], chol: Matrix::identity(1) },
+        ])
+        .unwrap();
+        assert!((gmm.components()[0].weight - 0.5).abs() < 1e-12);
+        assert!(Gmm::from_components(vec![]).is_err());
+    }
+
+    #[test]
+    fn degenerate_duplicate_data_still_fits() {
+        // All points identical: covariance is singular; the ridge must save us.
+        let data = Matrix::from_rows(vec![vec![1.0, 1.0]; 20]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let fit = Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng);
+        assert!(fit.is_ok(), "{fit:?}");
+    }
+}

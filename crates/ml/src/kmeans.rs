@@ -1,0 +1,177 @@
+//! k-means with k-means++ seeding — the initializer for GMM fitting.
+
+use fam_core::{FamError, Result};
+use rand::{Rng, RngCore};
+
+use crate::matrix::Matrix;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// `k × d` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster assignment of every input row.
+    pub assignment: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means++ seeding followed by Lloyd iterations.
+///
+/// # Errors
+///
+/// Returns an error when `k` is zero or exceeds the number of rows.
+pub fn kmeans(data: &Matrix, k: usize, max_iter: usize, rng: &mut dyn RngCore) -> Result<KMeans> {
+    let n = data.rows();
+    let d = data.cols();
+    if k == 0 || k > n {
+        return Err(FamError::InvalidK { k, n });
+    }
+
+    // --- k-means++ seeding.
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut min_d2: Vec<f64> = (0..n).map(|i| sq_dist(data.row(i), centroids.row(0))).collect();
+    for c in 1..k {
+        let total: f64 = min_d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &w) in min_d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(pick));
+        for i in 0..n {
+            let d2 = sq_dist(data.row(i), centroids.row(c));
+            if d2 < min_d2[i] {
+                min_d2[i] = d2;
+            }
+        }
+    }
+
+    // --- Lloyd iterations.
+    let mut assignment = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    for _ in 0..max_iter {
+        // Assign.
+        let mut new_inertia = 0.0;
+        for i in 0..n {
+            let (mut best, mut best_d) = (0usize, f64::INFINITY);
+            for c in 0..k {
+                let d2 = sq_dist(data.row(i), centroids.row(c));
+                if d2 < best_d {
+                    best = c;
+                    best_d = d2;
+                }
+            }
+            assignment[i] = best;
+            new_inertia += best_d;
+        }
+        // Update.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, v) in sums.row_mut(c).iter_mut().zip(data.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at a random point.
+                let pick = rng.gen_range(0..n);
+                centroids.row_mut(c).copy_from_slice(data.row(pick));
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            for (dst, s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                *dst = s * inv;
+            }
+        }
+        if (inertia - new_inertia).abs() < 1e-12 {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+    Ok(KMeans { centroids, assignment, inertia })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let j = i as f64 * 0.001;
+            rows.push(vec![0.0 + j, 0.0 + j]);
+            rows.push(vec![10.0 + j, 10.0 + j]);
+        }
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blobs();
+        let mut rng = StdRng::seed_from_u64(3);
+        let km = kmeans(&data, 2, 50, &mut rng).unwrap();
+        // Rows alternate blob membership; assignments must alternate too.
+        for i in (0..40).step_by(2) {
+            assert_eq!(km.assignment[i], km.assignment[0]);
+            assert_eq!(km.assignment[i + 1], km.assignment[1]);
+        }
+        assert_ne!(km.assignment[0], km.assignment[1]);
+        assert!(km.inertia < 0.1, "inertia {}", km.inertia);
+        // Centroids near (0,0) and (10,10) in some order.
+        let c0 = km.centroids.row(0);
+        let c1 = km.centroids.row(1);
+        let near_origin = |c: &[f64]| c[0] < 1.0 && c[1] < 1.0;
+        let near_ten = |c: &[f64]| c[0] > 9.0 && c[1] > 9.0;
+        assert!(
+            (near_origin(c0) && near_ten(c1)) || (near_origin(c1) && near_ten(c0)),
+            "centroids {c0:?} {c1:?}"
+        );
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(vec![vec![0.0], vec![5.0], vec![9.0]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let km = kmeans(&data, 3, 30, &mut rng).unwrap();
+        assert!(km.inertia < 1e-12);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let data = Matrix::from_rows(vec![vec![0.0]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(kmeans(&data, 0, 10, &mut rng).is_err());
+        assert!(kmeans(&data, 2, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let data = Matrix::from_rows(vec![vec![1.0, 0.0], vec![3.0, 4.0]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let km = kmeans(&data, 1, 10, &mut rng).unwrap();
+        assert!((km.centroids.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((km.centroids.get(0, 1) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! # fam-ml
+//!
+//! Machine-learning substrates for the FAM reproduction's Yahoo!Music
+//! pipeline (paper Section V-B2): a dense matrix with Cholesky
+//! factorization, k-means++ initialization, a full-covariance Gaussian
+//! Mixture Model fitted by EM, SGD matrix factorization for sparse
+//! ratings, and the end-to-end [`LearnedUtilityModel`] that turns ratings
+//! into a sampled, learned, non-linear utility distribution.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distribution_bridge;
+pub mod gmm;
+pub mod kmeans;
+pub mod matrix;
+pub mod mf;
+pub mod pipeline;
+
+pub use distribution_bridge::GmmLinear;
+pub use gmm::{Gmm, GmmComponent, GmmConfig, GmmFit};
+pub use kmeans::{kmeans, KMeans};
+pub use matrix::Matrix;
+pub use mf::{MfConfig, MfModel, Ratings};
+pub use pipeline::LearnedUtilityModel;

@@ -1,0 +1,252 @@
+//! A small dense row-major matrix — just enough linear algebra for the
+//! matrix-factorization and Gaussian-mixture substrates (no external BLAS).
+
+use fam_core::{FamError, Result};
+
+/// Dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty or ragged input or non-finite values.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self> {
+        let cols = rows.first().map(|r| r.len()).ok_or(FamError::EmptyDataset)?;
+        if cols == 0 {
+            return Err(FamError::ZeroDimension);
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(FamError::DimensionMismatch { expected: cols, got: r.len() });
+            }
+            for (j, v) in r.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(FamError::NonFinite { row: i, col: j });
+                }
+                data.push(*v);
+            }
+        }
+        Ok(Matrix { data, rows: rows.len(), cols })
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the buffer length is not `rows × cols`.
+    pub fn from_flat(data: Vec<f64>, rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(FamError::DimensionMismatch { expected: rows * cols, got: data.len() });
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on dimension mismatch.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Cholesky decomposition of a symmetric positive-definite matrix:
+    /// returns lower-triangular `L` with `L·Lᵀ = self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is not square or not positive
+    /// definite (within a small numerical tolerance).
+    pub fn cholesky(&self) -> Result<Matrix> {
+        if self.rows != self.cols {
+            return Err(FamError::DimensionMismatch { expected: self.rows, got: self.cols });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(FamError::InvalidParameter {
+                            name: "matrix",
+                            message: format!(
+                                "not positive definite (pivot {sum:.3e} at row {i})"
+                            ),
+                        });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `L·y = b` for lower-triangular `L` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on dimension mismatch.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(self.rows, self.cols);
+        debug_assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.get(i, j) * y[j];
+            }
+            y[i] = sum / self.get(i, i);
+        }
+        y
+    }
+
+    /// `log det` of the SPD matrix whose Cholesky factor is `self`
+    /// (i.e. `2 Σ log L_ii`).
+    pub fn log_det_from_cholesky(&self) -> f64 {
+        debug_assert_eq!(self.rows, self.cols);
+        2.0 * (0..self.rows).map(|i| self.get(i, i).ln()).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        let mut m = m;
+        m.set(0, 1, 9.0);
+        assert_eq!(m.row(0), &[1.0, 9.0]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Matrix::from_rows(vec![]).is_err());
+        assert!(Matrix::from_rows(vec![vec![]]).is_err());
+        assert!(Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(vec![vec![f64::NAN]]).is_err());
+        assert!(Matrix::from_flat(vec![0.0; 5], 2, 2).is_err());
+    }
+
+    #[test]
+    fn matvec_works() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![0.5, 0.0]]).unwrap();
+        assert_eq!(m.matvec(&[2.0, 1.0]), vec![4.0, 1.0]);
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        // A = L0 L0^T with L0 = [[2,0],[1,3]] -> A = [[4,2],[2,10]].
+        let a = Matrix::from_rows(vec![vec![4.0, 2.0], vec![2.0, 10.0]]).unwrap();
+        let l = a.cholesky().unwrap();
+        assert!((l.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((l.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((l.get(1, 1) - 3.0).abs() < 1e-12);
+        assert_eq!(l.get(0, 1), 0.0);
+        // log det(A) = log(4*10 - 4) = log 36.
+        assert!((l.log_det_from_cholesky() - 36.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = Matrix::from_rows(vec![vec![0.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!(a.cholesky().is_err());
+        let b = Matrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        assert!(b.cholesky().is_err());
+    }
+
+    #[test]
+    fn forward_substitution() {
+        let l = Matrix::from_rows(vec![vec![2.0, 0.0], vec![1.0, 3.0]]).unwrap();
+        let y = l.solve_lower(&[4.0, 11.0]);
+        // 2 y0 = 4 -> y0 = 2; y0 + 3 y1 = 11 -> y1 = 3.
+        assert!((y[0] - 2.0).abs() < 1e-12);
+        assert!((y[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_its_own_cholesky() {
+        let i = Matrix::identity(3);
+        let l = i.cholesky().unwrap();
+        assert_eq!(l, Matrix::identity(3));
+    }
+}

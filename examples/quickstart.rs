@@ -1,0 +1,80 @@
+//! Quickstart: the hotel-booking scenario from the paper's introduction
+//! and Table I.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use fam::prelude::*;
+use fam::{greedy_shrink, DiscreteDistribution, TableUtility};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> fam::Result<()> {
+    // ------------------------------------------------------------------
+    // Part 1 — the exact Table I example: four known users, four hotels.
+    // ------------------------------------------------------------------
+    let hotels = ["Holiday Inn", "Shangri la", "Intercontinental", "Hilton"];
+    let users = [
+        ("Alex", vec![0.9, 0.7, 0.2, 0.4]),
+        ("Jerry", vec![0.6, 1.0, 0.5, 0.2]),
+        ("Tom", vec![0.2, 0.6, 0.3, 1.0]),
+        ("Sam", vec![0.1, 0.2, 1.0, 0.9]),
+    ];
+    println!("== Table I: countable utility distribution (Appendix A) ==");
+    let atoms: Vec<(Arc<dyn UtilityFunction>, f64)> = users
+        .iter()
+        .map(|(_, scores)| {
+            let f: Arc<dyn UtilityFunction> = Arc::new(TableUtility::new(scores.clone())?);
+            Ok((f, 0.25))
+        })
+        .collect::<fam::Result<_>>()?;
+    let dist = DiscreteDistribution::new(atoms, 0)?;
+    // Coordinates are irrelevant for table utilities; use a placeholder 1-D
+    // dataset with one row per hotel.
+    let placeholder = Dataset::from_rows(vec![vec![1.0]; hotels.len()])?;
+    let scores = ScoreMatrix::from_discrete_exact(&placeholder, &dist)?;
+
+    // Average regret ratio of showing only {Intercontinental, Hilton},
+    // computed exactly (no sampling) as in the paper's running example.
+    let shown = vec![2, 3];
+    let arr = regret::arr(&scores, &shown)?;
+    println!(
+        "arr({{Intercontinental, Hilton}}) = {arr:.4}  (paper's running example)"
+    );
+
+    // The best 2-hotel page according to GREEDY-SHRINK:
+    let out = greedy_shrink(&scores, GreedyShrinkConfig::new(2))?;
+    let names: Vec<&str> = out.selection.indices.iter().map(|&i| hotels[i]).collect();
+    println!(
+        "GREEDY-SHRINK picks {names:?} with arr = {:.4}\n",
+        out.selection.objective.unwrap()
+    );
+
+    // ------------------------------------------------------------------
+    // Part 2 — anonymous users: a larger hotel catalogue with unknown
+    // linear preferences over (price-value, location, rating).
+    // ------------------------------------------------------------------
+    println!("== Anonymous users: sampled uniform linear utilities ==");
+    let mut rng = StdRng::seed_from_u64(42);
+    let catalogue = synthetic(500, 3, Correlation::AntiCorrelated, &mut rng)?;
+    // Sample size from the Chernoff bound (Theorem 4): eps=0.05, sigma=0.1.
+    let spec = SampleSpec::new(0.05, 0.1)?;
+    println!(
+        "Chernoff bound: N >= {} samples for eps={}, 1-sigma=0.9",
+        spec.n, spec.epsilon
+    );
+    let dist = UniformLinear::new(3)?;
+    let m = ScoreMatrix::from_distribution(&catalogue, &dist, spec.n as usize, &mut rng)?;
+
+    for k in [1, 5, 10] {
+        let out = greedy_shrink(&m, GreedyShrinkConfig::new(k))?;
+        let rep = out.selection.evaluate(&m)?;
+        println!(
+            "k = {k:>2}: arr = {:.4}, rr std-dev = {:.4}, max rr = {:.4}, query = {:?}",
+            rep.arr, rep.std_dev, rep.mrr, out.selection.query_time
+        );
+    }
+    println!("\nShowing more hotels monotonically reduces average regret (Lemma 1).");
+    Ok(())
+}

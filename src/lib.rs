@@ -1,0 +1,79 @@
+//! # fam — Finding the Average Regret Ratio Minimizing Set
+//!
+//! A from-scratch Rust implementation of *"Finding Average Regret Ratio
+//! Minimizing Set in Database"* (Zeighami & Wong, ICDE 2019), including
+//! the GREEDY-SHRINK approximation algorithm, the exact 2-D dynamic
+//! program, every baseline the paper compares against (MRR-GREEDY,
+//! SKY-DOM, K-HIT, brute force), and all supporting substrates (skyline
+//! computation, an LP solver, matrix factorization, Gaussian mixtures,
+//! workload generators).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fam::prelude::*;
+//! use fam::greedy_shrink;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A tiny hotel database: price-value and location scores.
+//! let hotels = Dataset::from_rows(vec![
+//!     vec![0.9, 0.2],
+//!     vec![0.7, 0.6],
+//!     vec![0.4, 0.8],
+//!     vec![0.1, 0.95],
+//! ]).unwrap();
+//!
+//! // Users with unknown linear preferences, uniformly distributed.
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let dist = UniformLinear::new(2).unwrap();
+//! let scores = ScoreMatrix::from_distribution(&hotels, &dist, 1_000, &mut rng).unwrap();
+//!
+//! // Pick the 2 hotels minimizing the average regret ratio.
+//! let out = greedy_shrink(&scores, GreedyShrinkConfig::new(2)).unwrap();
+//! assert_eq!(out.selection.len(), 2);
+//! let report = out.selection.evaluate(&scores).unwrap();
+//! assert!(report.arr < 0.1);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (NBA team selection, the
+//! Yahoo!Music learned-utility pipeline, exact 2-D optimization) and
+//! DESIGN.md / EXPERIMENTS.md for the paper-reproduction map.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fam_algos as algos;
+pub use fam_core as core;
+pub use fam_data as data;
+pub use fam_geometry as geometry;
+pub use fam_lp as lp;
+pub use fam_ml as ml;
+
+pub use fam_algos::{
+    add_greedy, brute_force, brute_force_with_pruning, continuous_arr, cube, dp_2d, greedy_shrink,
+    k_hit, local_search, mrr_greedy_exact, mrr_greedy_sampled, mrr_linear_exact, sky_dom,
+    AngularMeasure, Dp2dOutput, GreedyShrinkConfig, GreedyShrinkOutput, LocalSearchConfig,
+    LocalSearchOutput, QuadratureMeasure, UniformAngleMeasure, UniformBoxMeasure,
+};
+pub use fam_core::{
+    chernoff_epsilon, chernoff_sample_size, regret, Dataset, DiscreteDistribution, FamError,
+    LinearScores, LinearUtility, RegretReport, Result, SampleSpec, ScoreMatrix, ScoreSource,
+    Selection, SelectionEvaluator, TableUtility, UniformLinear, UtilityDistribution,
+    UtilityFunction,
+};
+
+/// Everything needed for typical use, re-exported flat.
+pub mod prelude {
+    pub use fam_algos::{
+        add_greedy, brute_force, continuous_arr, dp_2d, greedy_shrink, k_hit, mrr_greedy_exact,
+        mrr_greedy_sampled, mrr_linear_exact, sky_dom, AngularMeasure, GreedyShrinkConfig,
+        QuadratureMeasure, UniformAngleMeasure, UniformBoxMeasure,
+    };
+    pub use fam_core::prelude::*;
+    pub use fam_data::{
+        simulated, simulated_with_size, synthetic, yahoo_ratings, Correlation, RealDataset,
+        YahooConfig,
+    };
+    pub use fam_geometry::{skyline, Envelope};
+    pub use fam_ml::{GmmConfig, LearnedUtilityModel, MfConfig, Ratings};
+}

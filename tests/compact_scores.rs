@@ -1,0 +1,96 @@
+//! Integration tests for the §III-D-3 space optimization: every sampled
+//! algorithm must produce identical results on the compact
+//! [`LinearScores`] backing and on a materialized [`ScoreMatrix`] holding
+//! the same scores.
+
+use fam::prelude::*;
+use fam::{add_greedy, brute_force, greedy_shrink, k_hit, local_search, regret};
+use fam::{LinearScores, LocalSearchConfig, ScoreMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a dataset, explicit linear weights, and both score backings.
+fn paired_backings(seed: u64, n: usize, d: usize, samples: usize) -> (LinearScores, ScoreMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = synthetic(n, d, Correlation::AntiCorrelated, &mut rng).unwrap();
+    let weight_rows: Vec<Vec<f64>> = (0..samples)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.01..1.0)).collect())
+        .collect();
+    let compact = LinearScores::from_weight_rows(ds.clone(), weight_rows.clone()).unwrap();
+    let mut flat = Vec::with_capacity(samples * n);
+    for w in &weight_rows {
+        for p in ds.points() {
+            flat.push(p.iter().zip(w).map(|(a, b)| a * b).sum());
+        }
+    }
+    let dense = ScoreMatrix::from_flat(flat, samples, n, None).unwrap();
+    (compact, dense)
+}
+
+#[test]
+fn greedy_shrink_is_backing_agnostic() {
+    let (compact, dense) = paired_backings(1, 60, 4, 150);
+    for k in [1usize, 5, 12] {
+        let a = greedy_shrink(&compact, GreedyShrinkConfig::new(k)).unwrap();
+        let b = greedy_shrink(&dense, GreedyShrinkConfig::new(k)).unwrap();
+        assert_eq!(a.selection.indices, b.selection.indices, "k={k}");
+        assert!(
+            (a.selection.objective.unwrap() - b.selection.objective.unwrap()).abs() < 1e-9
+        );
+    }
+}
+
+#[test]
+fn all_sampled_algorithms_are_backing_agnostic() {
+    let (compact, dense) = paired_backings(2, 40, 3, 100);
+    let k = 4;
+    assert_eq!(
+        add_greedy(&compact, k).unwrap().indices,
+        add_greedy(&dense, k).unwrap().indices
+    );
+    assert_eq!(k_hit(&compact, k).unwrap().indices, k_hit(&dense, k).unwrap().indices);
+    assert_eq!(
+        brute_force(&compact, 3).unwrap().indices,
+        brute_force(&dense, 3).unwrap().indices
+    );
+    assert_eq!(
+        mrr_greedy_sampled(&compact, k).unwrap().indices,
+        mrr_greedy_sampled(&dense, k).unwrap().indices
+    );
+    let init = vec![0, 1, 2, 3];
+    assert_eq!(
+        local_search(&compact, &init, LocalSearchConfig::default()).unwrap().selection.indices,
+        local_search(&dense, &init, LocalSearchConfig::default()).unwrap().selection.indices
+    );
+}
+
+#[test]
+fn regret_metrics_agree_across_backings() {
+    let (compact, dense) = paired_backings(3, 30, 3, 80);
+    let sel = vec![0, 7, 19];
+    assert!((regret::arr(&compact, &sel).unwrap() - regret::arr(&dense, &sel).unwrap()).abs() < 1e-12);
+    assert!((regret::vrr(&compact, &sel).unwrap() - regret::vrr(&dense, &sel).unwrap()).abs() < 1e-12);
+    assert!(
+        (regret::mrr_sampled(&compact, &sel).unwrap()
+            - regret::mrr_sampled(&dense, &sel).unwrap())
+        .abs()
+            < 1e-12
+    );
+    let pa = regret::rr_percentiles(&compact, &sel, &[50.0, 95.0]).unwrap();
+    let pb = regret::rr_percentiles(&dense, &sel, &[50.0, 95.0]).unwrap();
+    assert_eq!(pa, pb);
+}
+
+#[test]
+fn compact_backing_scales_to_large_n_with_small_memory() {
+    // The point of the optimization: n = 50,000 with N = 500 samples
+    // would be a 200 MB matrix; compact is ~2.5 MB.
+    let mut rng = StdRng::seed_from_u64(4);
+    let ds = synthetic(50_000, 4, Correlation::Independent, &mut rng).unwrap();
+    let src = LinearScores::sample_uniform(ds, 500, &mut rng).unwrap();
+    assert!(src.approx_bytes() < 4_000_000, "footprint {}", src.approx_bytes());
+    let out = greedy_shrink(&src, GreedyShrinkConfig::new(10)).unwrap();
+    assert_eq!(out.selection.len(), 10);
+    let rep = out.selection.evaluate(&src).unwrap();
+    assert!(rep.arr < 0.05, "arr {}", rep.arr);
+}

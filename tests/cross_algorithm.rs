@@ -1,0 +1,158 @@
+//! Cross-algorithm consistency: the relationships between GREEDY-SHRINK,
+//! the exact DP, brute force, and the baselines that the paper's
+//! experiments rely on.
+
+use fam::prelude::*;
+use fam::{brute_force, core::properties, greedy_shrink, regret};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sampled_matrix(
+    ds: &Dataset,
+    n_samples: usize,
+    seed: u64,
+) -> ScoreMatrix {
+    let dist = UniformLinear::new(ds.dim()).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ScoreMatrix::from_distribution(ds, &dist, n_samples, &mut rng).unwrap()
+}
+
+#[test]
+fn greedy_achieves_ratio_one_on_structured_data() {
+    // Section III-B: "in our experiments on small datasets, the empirical
+    // approximate ratio of GREEDY-SHRINK is exactly 1". Reproduce on small
+    // simulated real-dataset samples.
+    let mut rng = StdRng::seed_from_u64(100);
+    let mut exact = 0;
+    let trials = 8;
+    for t in 0..trials {
+        let ds = simulated_with_size(RealDataset::Household6d, 14, &mut rng).unwrap();
+        let m = sampled_matrix(&ds, 400, 200 + t);
+        let k = 3;
+        let g = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
+        let b = brute_force(&m, k).unwrap();
+        let ratio = properties::approximation_ratio(
+            g.selection.objective.unwrap(),
+            b.objective.unwrap(),
+        )
+        .unwrap();
+        assert!(ratio >= 1.0 - 1e-9, "greedy cannot beat the optimum");
+        if ratio < 1.0 + 1e-9 {
+            exact += 1;
+        }
+        assert!(ratio < 1.3, "trial {t}: ratio {ratio} too large");
+    }
+    assert!(
+        exact >= trials - 2,
+        "expected ratio 1 on nearly all structured instances, got {exact}/{trials}"
+    );
+}
+
+#[test]
+fn dp_lower_bounds_every_heuristic_in_2d() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let ds = synthetic(300, 2, Correlation::AntiCorrelated, &mut rng).unwrap();
+    let m = sampled_matrix(&ds, 3_000, 300);
+    for k in [2usize, 4] {
+        let dp = dp_2d(&ds, k, &UniformBoxMeasure).unwrap();
+        let dp_val = dp.selection.objective.unwrap();
+        for sel in [
+            greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap().selection,
+            mrr_greedy_exact(&ds, k).unwrap(),
+            sky_dom(&ds, k).unwrap(),
+            k_hit(&m, k).unwrap(),
+        ] {
+            let cont = continuous_arr(&ds, &sel.indices, &UniformBoxMeasure).unwrap();
+            assert!(
+                dp_val <= cont + 1e-7,
+                "k={k}: DP {dp_val} must lower-bound {} at {cont}",
+                sel.algorithm
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_shrink_beats_baselines_on_arr() {
+    // The paper's headline comparison (Fig 6): GREEDY-SHRINK's arr is at
+    // least as good as MRR-GREEDY's and SKY-DOM's.
+    let mut rng = StdRng::seed_from_u64(102);
+    let ds = simulated_with_size(RealDataset::UsCensus, 800, &mut rng).unwrap();
+    let m = sampled_matrix(&ds, 2_000, 400);
+    let k = 10;
+    let gs = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap().selection;
+    let mrr = mrr_greedy_sampled(&m, k).unwrap();
+    let sd = sky_dom(&ds, k).unwrap();
+    let arr_gs = regret::arr(&m, &gs.indices).unwrap();
+    let arr_mrr = regret::arr(&m, &mrr.indices).unwrap();
+    let arr_sd = regret::arr(&m, &sd.indices).unwrap();
+    assert!(arr_gs <= arr_mrr + 1e-9, "greedy {arr_gs} vs mrr-greedy {arr_mrr}");
+    assert!(arr_gs <= arr_sd + 1e-9, "greedy {arr_gs} vs sky-dom {arr_sd}");
+}
+
+#[test]
+fn mrr_greedy_is_effective_at_its_own_objective() {
+    // Sanity for the baseline: MRR-GREEDY's exact maximum regret ratio
+    // should decrease with k and clearly beat random selections of the
+    // same size. (It need not beat GREEDY-SHRINK on every instance — both
+    // are heuristics — so we do not assert that.)
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(103);
+    let ds = synthetic(400, 4, Correlation::AntiCorrelated, &mut rng).unwrap();
+    let m4 = mrr_linear_exact(&ds, &mrr_greedy_exact(&ds, 4).unwrap().indices).unwrap();
+    let m8 = mrr_linear_exact(&ds, &mrr_greedy_exact(&ds, 8).unwrap().indices).unwrap();
+    assert!(m8 <= m4 + 1e-9, "mrr should not grow with k: {m4} -> {m8}");
+    let mut random_mrr_sum = 0.0;
+    let trials = 5;
+    for _ in 0..trials {
+        let mut sel: Vec<usize> = (0..ds.len()).collect();
+        for i in (1..sel.len()).rev() {
+            sel.swap(i, rng.gen_range(0..=i));
+        }
+        sel.truncate(8);
+        random_mrr_sum += mrr_linear_exact(&ds, &sel).unwrap();
+    }
+    let random_avg = random_mrr_sum / trials as f64;
+    assert!(
+        m8 < random_avg,
+        "mrr-greedy ({m8}) should beat the average random selection ({random_avg})"
+    );
+}
+
+#[test]
+fn add_greedy_and_greedy_shrink_are_both_near_optimal_small() {
+    let mut rng = StdRng::seed_from_u64(104);
+    let ds = simulated_with_size(RealDataset::Nba, 12, &mut rng).unwrap();
+    let m = sampled_matrix(&ds, 300, 600);
+    let k = 4;
+    let shrink = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap().selection;
+    let add = fam::add_greedy(&m, k).unwrap();
+    let opt = brute_force(&m, k).unwrap();
+    let o = opt.objective.unwrap();
+    assert!(shrink.objective.unwrap() <= o * 1.2 + 1e-4);
+    assert!(add.objective.unwrap() <= o * 1.2 + 1e-4);
+}
+
+#[test]
+fn all_algorithms_return_valid_selections() {
+    let mut rng = StdRng::seed_from_u64(105);
+    let ds = synthetic(150, 3, Correlation::Independent, &mut rng).unwrap();
+    let m = sampled_matrix(&ds, 800, 700);
+    let k = 6;
+    let selections = vec![
+        greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap().selection,
+        fam::add_greedy(&m, k).unwrap(),
+        mrr_greedy_exact(&ds, k).unwrap(),
+        mrr_greedy_sampled(&m, k).unwrap(),
+        sky_dom(&ds, k).unwrap(),
+        k_hit(&m, k).unwrap(),
+    ];
+    for sel in selections {
+        assert_eq!(sel.len(), k, "{} returned wrong size", sel.algorithm);
+        ds.validate_selection(&sel.indices)
+            .unwrap_or_else(|e| panic!("{}: {e}", sel.algorithm));
+        // arr must be well-defined and in [0, 1].
+        let arr = regret::arr(&m, &sel.indices).unwrap();
+        assert!((0.0..=1.0).contains(&arr), "{}: arr {arr}", sel.algorithm);
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end pipeline tests spanning every crate: data generation →
+//! (optional learning) → sampling → selection → evaluation → persistence.
+
+use fam::prelude::*;
+use fam::{greedy_shrink, regret};
+use fam_data::nba;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn synthetic_uniform_pipeline() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for corr in [Correlation::Independent, Correlation::Correlated, Correlation::AntiCorrelated] {
+        let ds = synthetic(400, 5, corr, &mut rng).unwrap();
+        let dist = UniformLinear::new(5).unwrap();
+        let m = ScoreMatrix::from_distribution(&ds, &dist, 1_000, &mut rng).unwrap();
+        let out = greedy_shrink(&m, GreedyShrinkConfig::new(10)).unwrap();
+        let rep = out.selection.evaluate(&m).unwrap();
+        assert!(rep.arr < 0.2, "{corr:?}: arr {}", rep.arr);
+        assert!(rep.arr >= 0.0);
+        assert!(rep.vrr >= 0.0);
+    }
+}
+
+#[test]
+fn simulated_real_dataset_pipeline() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for which in RealDataset::all() {
+        let ds = simulated_with_size(which, 500, &mut rng).unwrap();
+        let dist = UniformLinear::new(ds.dim()).unwrap();
+        let m = ScoreMatrix::from_distribution(&ds, &dist, 600, &mut rng).unwrap();
+        let out = greedy_shrink(&m, GreedyShrinkConfig::new(10)).unwrap();
+        assert_eq!(out.selection.len(), 10, "{}", which.name());
+        let rep = out.selection.evaluate(&m).unwrap();
+        assert!(rep.arr < 0.25, "{}: arr {}", which.name(), rep.arr);
+    }
+}
+
+#[test]
+fn yahoo_learned_pipeline() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ratings = yahoo_ratings(
+        YahooConfig { n_users: 150, n_items: 300, density: 0.08, ..Default::default() },
+        &mut rng,
+    )
+    .unwrap();
+    let model = LearnedUtilityModel::fit(
+        &ratings,
+        MfConfig { n_factors: 6, epochs: 20, ..Default::default() },
+        GmmConfig { n_components: 5, ..Default::default() },
+        &mut rng,
+    )
+    .unwrap();
+    let m = model.sample_score_matrix(1_500, &mut rng).unwrap();
+    assert_eq!(m.n_points(), 300);
+    let gs = greedy_shrink(&m, GreedyShrinkConfig::new(10)).unwrap().selection;
+    let mg = mrr_greedy_sampled(&m, 10).unwrap();
+    let arr_gs = regret::arr(&m, &gs.indices).unwrap();
+    let arr_mg = regret::arr(&m, &mg.indices).unwrap();
+    // Fig 2's shape: greedy-shrink no worse than mrr-greedy on the learned
+    // distribution.
+    assert!(arr_gs <= arr_mg + 1e-9, "greedy {arr_gs} vs mrr-greedy {arr_mg}");
+    // Percentile distribution is monotone and bounded.
+    let pct = regret::rr_percentiles(&m, &gs.indices, &[70.0, 80.0, 90.0, 95.0, 99.0, 100.0])
+        .unwrap();
+    for w in pct.windows(2) {
+        assert!(w[1] >= w[0] - 1e-12);
+    }
+    assert!(pct[5] <= 1.0);
+}
+
+#[test]
+fn nba_roster_three_way_comparison() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let roster = nba::roster_with_size(200, &mut rng).unwrap();
+    let dist = UniformLinear::new(roster.dataset.dim()).unwrap();
+    let m = ScoreMatrix::from_distribution(&roster.dataset, &dist, 2_000, &mut rng).unwrap();
+    let k = 5;
+    let s_arr = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap().selection;
+    let s_mrr = mrr_greedy_sampled(&m, k).unwrap();
+    let s_hit = k_hit(&m, k).unwrap();
+    let arr_of = |sel: &Selection| regret::arr(&m, &sel.indices).unwrap();
+    assert!(arr_of(&s_arr) <= arr_of(&s_mrr) + 1e-9);
+    assert!(arr_of(&s_arr) <= arr_of(&s_hit) + 1e-9);
+}
+
+#[test]
+fn dataset_persistence_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let ds = synthetic(50, 4, Correlation::Independent, &mut rng).unwrap();
+    let mut path = std::env::temp_dir();
+    path.push(format!("fam_e2e_{}.csv", std::process::id()));
+    fam_data::write_csv(&ds, &path).unwrap();
+    let back = fam_data::read_csv(&path, false).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(ds, back);
+}
+
+#[test]
+fn skyline_restriction_preserves_arr() {
+    // Restricting candidates to the skyline must not hurt the achievable
+    // arr: every removed point is dominated.
+    let mut rng = StdRng::seed_from_u64(6);
+    let ds = synthetic(300, 3, Correlation::Independent, &mut rng).unwrap();
+    let dist = UniformLinear::new(3).unwrap();
+    let m = ScoreMatrix::from_distribution(&ds, &dist, 800, &mut rng).unwrap();
+    let sky = skyline(&ds);
+    if sky.len() < 5 {
+        return; // degenerate draw; nothing to assert
+    }
+    let k = 5;
+    let full = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
+    let restricted = m.restrict_columns(&sky).unwrap();
+    let on_sky = greedy_shrink(&restricted, GreedyShrinkConfig::new(k)).unwrap();
+    // Map skyline-local indices back to dataset indices.
+    let mapped: Vec<usize> = on_sky.selection.indices.iter().map(|&i| sky[i]).collect();
+    let arr_sky = regret::arr(&m, &mapped).unwrap();
+    let arr_full = full.selection.objective.unwrap();
+    assert!(
+        arr_sky <= arr_full + 0.01,
+        "skyline-restricted greedy ({arr_sky}) much worse than full ({arr_full})"
+    );
+}
+
+#[test]
+fn discrete_exact_equals_sampled_limit() {
+    // For a countable distribution, the exact Appendix-A computation and a
+    // large i.i.d. sample must agree.
+    use fam::TableUtility;
+    use std::sync::Arc;
+    let mut rng = StdRng::seed_from_u64(7);
+    let atoms: Vec<(Arc<dyn UtilityFunction>, f64)> = vec![
+        (Arc::new(TableUtility::new(vec![1.0, 0.3, 0.5]).unwrap()) as Arc<dyn UtilityFunction>, 0.5),
+        (Arc::new(TableUtility::new(vec![0.2, 0.9, 0.4]).unwrap()), 0.3),
+        (Arc::new(TableUtility::new(vec![0.1, 0.2, 1.0]).unwrap()), 0.2),
+    ];
+    let dist = DiscreteDistribution::new(atoms, 0).unwrap();
+    let ds = Dataset::from_rows(vec![vec![1.0]; 3]).unwrap();
+    let exact = ScoreMatrix::from_discrete_exact(&ds, &dist).unwrap();
+    let sampled = ScoreMatrix::from_distribution(&ds, &dist, 60_000, &mut rng).unwrap();
+    for sel in [vec![0], vec![1], vec![0, 2]] {
+        let e = regret::arr(&exact, &sel).unwrap();
+        let s = regret::arr(&sampled, &sel).unwrap();
+        assert!((e - s).abs() < 0.01, "sel {sel:?}: exact {e} vs sampled {s}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the paper's theorems on arbitrary instances.
+
+use fam::core::properties;
+use fam::prelude::*;
+use fam::{greedy_shrink, regret};
+use proptest::prelude::*;
+
+/// Strategy: a small random score matrix (positive scores so no row is
+/// degenerate).
+fn score_matrix_strategy(
+    max_points: usize,
+    max_users: usize,
+) -> impl Strategy<Value = ScoreMatrix> {
+    (2..=max_points, 1..=max_users).prop_flat_map(|(n, u)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0.01f64..1.0, n),
+            u,
+        )
+        .prop_map(|rows| ScoreMatrix::from_rows(rows, None).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2: arr is supermodular for every score matrix.
+    #[test]
+    fn arr_is_supermodular(m in score_matrix_strategy(7, 6)) {
+        prop_assert_eq!(properties::check_supermodularity(&m, 1e-9), None);
+    }
+
+    /// Lemma 1: arr is monotonically decreasing.
+    #[test]
+    fn arr_is_monotone_decreasing(m in score_matrix_strategy(7, 6)) {
+        prop_assert_eq!(properties::check_monotone_decreasing(&m, 1e-9), None);
+    }
+
+    /// Steepness is always a valid fraction and the Theorem 3 bound is at
+    /// least 1.
+    #[test]
+    fn steepness_and_bound_are_sane(m in score_matrix_strategy(8, 8)) {
+        let s = properties::steepness(&m);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "steepness {}", s);
+        let bound = properties::approximation_bound(s.min(1.0));
+        prop_assert!(bound >= 1.0 - 1e-9);
+    }
+
+    /// Definition 4: arr of any selection lies in [0, 1], equals 0 for the
+    /// full database.
+    #[test]
+    fn arr_bounds(m in score_matrix_strategy(8, 8), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = m.n_points();
+        let k = rng.gen_range(1..=n);
+        let mut sel: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            sel.swap(i, rng.gen_range(0..=i));
+        }
+        sel.truncate(k);
+        let arr = regret::arr(&m, &sel).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&arr));
+        let all: Vec<usize> = (0..n).collect();
+        prop_assert!(regret::arr(&m, &all).unwrap().abs() < 1e-12);
+    }
+
+    /// Theorem 3 (weak form): greedy's arr never exceeds the theoretical
+    /// bound applied to the exhaustive optimum, with the standard +ε slack
+    /// for the sampled objective (Theorem 5).
+    #[test]
+    fn greedy_respects_theorem_3_bound(m in score_matrix_strategy(7, 6), k in 1usize..4) {
+        let n = m.n_points();
+        let k = k.min(n);
+        let g = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
+        // Exhaustive optimum.
+        let mut best = f64::INFINITY;
+        let total = 1u32 << n;
+        for mask in 0..total {
+            if mask.count_ones() as usize != k { continue; }
+            let sel: Vec<usize> = (0..n).filter(|&p| mask & (1 << p) != 0).collect();
+            best = best.min(regret::arr_unchecked(&m, &sel));
+        }
+        let s = properties::steepness(&m).min(1.0 - 1e-9);
+        let bound = properties::approximation_bound(s);
+        let greedy_val = g.selection.objective.unwrap();
+        if best < 1e-12 {
+            // A zero-regret optimum: greedy must find a zero-regret set too
+            // (the bound degenerates to 0 · possibly-infinite).
+            prop_assert!(greedy_val < 1e-9, "optimum 0 but greedy {}", greedy_val);
+        } else {
+            prop_assert!(
+                greedy_val <= bound * best + 1e-9,
+                "greedy {} > bound {} x optimum {}",
+                greedy_val, bound, best
+            );
+        }
+    }
+
+    /// The variance of the regret ratio is consistent with its definition.
+    #[test]
+    fn vrr_matches_manual_computation(m in score_matrix_strategy(6, 8)) {
+        let sel = vec![0];
+        let rrs = regret::rr_all(&m, &sel);
+        let mean: f64 = rrs.iter().enumerate().map(|(u, r)| m.weight(u) * r).sum();
+        let var: f64 = rrs
+            .iter()
+            .enumerate()
+            .map(|(u, r)| m.weight(u) * (r - mean) * (r - mean))
+            .sum();
+        let got = regret::vrr(&m, &sel).unwrap();
+        prop_assert!((got - var).abs() < 1e-12);
+    }
+
+    /// Percentiles of the regret distribution are monotone in the
+    /// percentile and bounded by the max.
+    #[test]
+    fn percentiles_are_monotone(m in score_matrix_strategy(8, 12)) {
+        let sel = vec![0];
+        let pct = regret::rr_percentiles(&m, &sel, &[10.0, 50.0, 90.0, 100.0]).unwrap();
+        for w in pct.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        let mrr = regret::mrr_sampled(&m, &sel).unwrap();
+        prop_assert!((pct[3] - mrr).abs() < 1e-12);
+    }
+}
+
+/// Deterministic (non-proptest) check that the Theorem 3 machinery matches
+/// the paper's worked constants.
+#[test]
+fn theorem_3_constant_at_half_steepness() {
+    // s = 1/2 -> t = 1 -> bound = e - 1 ≈ 1.718.
+    let b = properties::approximation_bound(0.5);
+    assert!((b - (std::f64::consts::E - 1.0)).abs() < 1e-12);
+}

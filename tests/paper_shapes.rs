@@ -1,0 +1,171 @@
+//! Figure-shape regression tests: scaled-down versions of the paper's
+//! headline comparisons, asserting the *orderings* each figure reports.
+//! These guard the qualitative reproduction (EXPERIMENTS.md) against
+//! regressions without the runtime of the full harness.
+
+use fam::prelude::*;
+use fam::{dp_2d, greedy_shrink, regret};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(seed: u64, n: usize, d: usize, samples: usize) -> (Dataset, ScoreMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = synthetic(n, d, Correlation::AntiCorrelated, &mut rng).unwrap();
+    let dist = UniformLinear::new(d).unwrap();
+    let m = ScoreMatrix::from_distribution(&ds, &dist, samples, &mut rng).unwrap();
+    (ds, m)
+}
+
+/// Figure 1's shape: on 2-D data, Greedy-Shrink tracks the DP optimum
+/// while Sky-Dom falls behind, increasingly so as k grows.
+#[test]
+fn fig1_shape_greedy_tracks_dp_sky_dom_lags() {
+    let (ds, m) = workload(11, 2_000, 2, 1_500);
+    for k in [3usize, 5] {
+        let dp = dp_2d(&ds, k, &UniformBoxMeasure).unwrap();
+        let dp_arr = regret::arr_unchecked(&m, &dp.selection.indices);
+        let gs = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap().selection;
+        let gs_arr = regret::arr_unchecked(&m, &gs.indices);
+        let sd = sky_dom(&ds, k).unwrap();
+        let sd_arr = regret::arr_unchecked(&m, &sd.indices);
+        assert!(
+            gs_arr <= dp_arr * 1.25 + 1e-4,
+            "k={k}: greedy {gs_arr} strays from DP {dp_arr}"
+        );
+        assert!(
+            sd_arr >= gs_arr,
+            "k={k}: sky-dom {sd_arr} should trail greedy {gs_arr}"
+        );
+    }
+}
+
+/// Figure 6's shape: Greedy-Shrink ≤ K-Hit ≤ (MRR-Greedy, Sky-Dom) on arr,
+/// and arr decreases with k for Greedy-Shrink.
+#[test]
+fn fig6_shape_arr_ordering_and_monotonicity() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let ds = simulated_with_size(RealDataset::ForestCover, 2_000, &mut rng).unwrap();
+    let dist = UniformLinear::new(ds.dim()).unwrap();
+    let m = ScoreMatrix::from_distribution(&ds, &dist, 1_200, &mut rng).unwrap();
+    let mut prev_gs = f64::INFINITY;
+    for k in [5usize, 10, 20] {
+        let gs = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap().selection;
+        let kh = k_hit(&m, k).unwrap();
+        let mg = mrr_greedy_sampled(&m, k).unwrap();
+        let sd = sky_dom(&ds, k).unwrap();
+        let arr_of = |s: &Selection| regret::arr_unchecked(&m, &s.indices);
+        let (a_gs, a_kh, a_mg, a_sd) = (arr_of(&gs), arr_of(&kh), arr_of(&mg), arr_of(&sd));
+        assert!(a_gs <= a_kh + 1e-9, "k={k}: GS {a_gs} vs KH {a_kh}");
+        assert!(a_gs <= a_mg + 1e-9, "k={k}: GS {a_gs} vs MG {a_mg}");
+        assert!(a_gs <= a_sd + 1e-9, "k={k}: GS {a_gs} vs SD {a_sd}");
+        assert!(a_gs <= prev_gs + 1e-9, "k={k}: GS arr must fall with k");
+        prev_gs = a_gs;
+    }
+}
+
+/// Figure 3/10's shape: Greedy-Shrink's regret spread (std-dev and high
+/// percentiles) is no worse than Sky-Dom's.
+#[test]
+fn fig10_shape_spread_ordering() {
+    let (ds, m) = workload(13, 1_500, 4, 1_200);
+    let k = 10;
+    let gs = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap().selection;
+    let sd = sky_dom(&ds, k).unwrap();
+    let std_gs = regret::rr_std_dev(&m, &gs.indices).unwrap();
+    let std_sd = regret::rr_std_dev(&m, &sd.indices).unwrap();
+    assert!(std_gs <= std_sd + 1e-9, "std: GS {std_gs} vs SD {std_sd}");
+    let p_gs = regret::rr_percentiles(&m, &gs.indices, &[95.0]).unwrap()[0];
+    let p_sd = regret::rr_percentiles(&m, &sd.indices, &[95.0]).unwrap()[0];
+    assert!(p_gs <= p_sd + 1e-9, "p95: GS {p_gs} vs SD {p_sd}");
+}
+
+/// Figure 9's shape: the sampling parameter ε has only a marginal effect
+/// on Greedy-Shrink's solution quality.
+#[test]
+fn fig9_shape_epsilon_is_marginal() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let ds = simulated_with_size(RealDataset::Household6d, 100, &mut rng).unwrap();
+    let dist = UniformLinear::new(ds.dim()).unwrap();
+    // A large common evaluation sample.
+    let eval = ScoreMatrix::from_distribution(&ds, &dist, 20_000, &mut rng).unwrap();
+    let mut arrs = Vec::new();
+    for eps in [0.02f64, 0.05, 0.1] {
+        let n = chernoff_sample_size(eps, 0.1).unwrap() as usize;
+        let m = ScoreMatrix::from_distribution(&ds, &dist, n, &mut rng).unwrap();
+        let gs = greedy_shrink(&m, GreedyShrinkConfig::new(3)).unwrap().selection;
+        arrs.push(regret::arr_unchecked(&eval, &gs.indices));
+    }
+    let lo = arrs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = arrs.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        hi - lo < 0.02,
+        "epsilon changed arr too much: {arrs:?}"
+    );
+}
+
+/// Appendix C's shape: lazy pruning evaluates strictly fewer candidates
+/// than eager re-evaluation while returning the identical selection.
+#[test]
+fn ablation_shape_lazy_saves_work() {
+    let (_, m) = workload(15, 1_200, 4, 800);
+    let k = 8;
+    let lazy = greedy_shrink(
+        &m,
+        fam::GreedyShrinkConfig { k, best_point_cache: true, lazy_pruning: true },
+    )
+    .unwrap();
+    let eager = greedy_shrink(
+        &m,
+        fam::GreedyShrinkConfig { k, best_point_cache: true, lazy_pruning: false },
+    )
+    .unwrap();
+    assert_eq!(lazy.selection.indices, eager.selection.indices);
+    assert!(
+        lazy.arr_evaluations * 2 < eager.arr_evaluations,
+        "lazy {} vs eager {}",
+        lazy.arr_evaluations,
+        eager.arr_evaluations
+    );
+}
+
+/// Figure 2's shape on the learned pipeline: Greedy-Shrink beats the
+/// distribution-oblivious baselines on the learned Θ.
+#[test]
+fn fig2_shape_learned_distribution() {
+    let mut rng = StdRng::seed_from_u64(16);
+    let ratings = yahoo_ratings(
+        YahooConfig { n_users: 200, n_items: 400, density: 0.06, ..Default::default() },
+        &mut rng,
+    )
+    .unwrap();
+    let model = LearnedUtilityModel::fit(
+        &ratings,
+        MfConfig { n_factors: 6, epochs: 20, ..Default::default() },
+        GmmConfig { n_components: 5, ..Default::default() },
+        &mut rng,
+    )
+    .unwrap();
+    let m = model.sample_score_matrix(1_500, &mut rng).unwrap();
+    let k = 10;
+    let gs = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap().selection;
+    let mg = mrr_greedy_sampled(&m, k).unwrap();
+    let a_gs = regret::arr_unchecked(&m, &gs.indices);
+    let a_mg = regret::arr_unchecked(&m, &mg.indices);
+    assert!(a_gs <= a_mg + 1e-9, "GS {a_gs} vs MG {a_mg} on learned Θ");
+}
+
+/// The CUBE baseline slots into the same comparisons: distribution-
+/// oblivious, so Greedy-Shrink dominates it on arr.
+#[test]
+fn cube_baseline_shape() {
+    let (ds, m) = workload(17, 1_000, 3, 800);
+    let k = 9;
+    let cb = fam::algos::cube(&ds, k).unwrap();
+    let gs = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap().selection;
+    let a_cb = regret::arr_unchecked(&m, &cb.indices);
+    let a_gs = regret::arr_unchecked(&m, &gs.indices);
+    assert!(a_gs <= a_cb + 1e-9, "GS {a_gs} vs CUBE {a_cb}");
+    // And CUBE still bounds the exact mrr reasonably.
+    let mrr = mrr_linear_exact(&ds, &cb.indices).unwrap();
+    assert!(mrr < 0.6, "cube mrr {mrr}");
+}

@@ -1,0 +1,81 @@
+//! Empirical validation of the Chernoff sampling bound (Theorem 4): the
+//! estimated average regret ratio is within ε of the truth with
+//! probability at least 1 − σ.
+
+use fam::prelude::*;
+use fam::regret;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn chernoff_bound_holds_empirically() {
+    let mut rng = StdRng::seed_from_u64(4040);
+    let ds = synthetic(200, 3, Correlation::AntiCorrelated, &mut rng).unwrap();
+    let dist = UniformLinear::new(3).unwrap();
+    let sel: Vec<usize> = (0..5).collect();
+
+    // Ground truth from a very large sample.
+    let big = ScoreMatrix::from_distribution(&ds, &dist, 300_000, &mut rng).unwrap();
+    let truth = regret::arr(&big, &sel).unwrap();
+
+    // Theorem 4 with eps = 0.05, sigma = 0.1 -> N = 2764.
+    let eps = 0.05;
+    let sigma = 0.1;
+    let n = chernoff_sample_size(eps, sigma).unwrap() as usize;
+    let trials = 60;
+    let mut within = 0;
+    for _ in 0..trials {
+        let m = ScoreMatrix::from_distribution(&ds, &dist, n, &mut rng).unwrap();
+        let est = regret::arr(&m, &sel).unwrap();
+        if (est - truth).abs() < eps {
+            within += 1;
+        }
+    }
+    // Require the guaranteed coverage (with a little slack for the finite
+    // trial count); in practice the bound is extremely conservative and
+    // all trials pass.
+    let required = ((1.0 - sigma) * trials as f64).floor() as usize;
+    assert!(
+        within >= required,
+        "only {within}/{trials} estimates within eps; need {required}"
+    );
+}
+
+#[test]
+fn larger_samples_reduce_spread() {
+    let mut rng = StdRng::seed_from_u64(4041);
+    let ds = synthetic(150, 4, Correlation::Independent, &mut rng).unwrap();
+    let dist = UniformLinear::new(4).unwrap();
+    let sel: Vec<usize> = (0..4).collect();
+    let spread = |n: usize, rng: &mut StdRng| -> f64 {
+        let estimates: Vec<f64> = (0..12)
+            .map(|_| {
+                let m = ScoreMatrix::from_distribution(&ds, &dist, n, rng).unwrap();
+                regret::arr(&m, &sel).unwrap()
+            })
+            .collect();
+        let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        (estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
+            / estimates.len() as f64)
+            .sqrt()
+    };
+    let coarse = spread(200, &mut rng);
+    let fine = spread(8_000, &mut rng);
+    assert!(
+        fine < coarse,
+        "sampling spread should shrink with N: {coarse} -> {fine}"
+    );
+}
+
+#[test]
+fn epsilon_from_n_is_consistent() {
+    // chernoff_epsilon inverts chernoff_sample_size.
+    for (eps, sigma) in [(0.1, 0.1), (0.01, 0.05), (0.05, 0.2)] {
+        let n = chernoff_sample_size(eps, sigma).unwrap();
+        let achieved = chernoff_epsilon(n, sigma).unwrap();
+        assert!(achieved <= eps + 1e-9, "achieved {achieved} > requested {eps}");
+        // And one fewer sample would not achieve it.
+        let relaxed = chernoff_epsilon(n.saturating_sub(2).max(1), sigma).unwrap();
+        assert!(relaxed >= achieved);
+    }
+}
