@@ -52,8 +52,15 @@ pub fn add_greedy<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Selection>
     let start = Instant::now();
     let mut ev = SelectionEvaluator::new_with(m, &[]);
     let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(n);
-    for p in 0..n {
-        heap.push(Entry { delta: ev.addition_delta(p), point: p as u32, stamp: 0 });
+    // Initial marginals: one independent O(N) column scan per candidate,
+    // fanned out over all cores (the evaluator is read-only here).
+    let ev_ref = &ev;
+    let deltas = fam_core::par::map_adaptive(n, m.n_samples(), |range| {
+        range.map(|p| ev_ref.addition_delta(p)).collect::<Vec<_>>()
+    })
+    .concat();
+    for (p, delta) in deltas.into_iter().enumerate() {
+        heap.push(Entry { delta, point: p as u32, stamp: 0 });
     }
     for iter in 1..=k as u32 {
         loop {
@@ -78,8 +85,8 @@ pub fn add_greedy<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Selection>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fam_core::ScoreMatrix;
     use fam_core::regret;
+    use fam_core::ScoreMatrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -104,7 +111,7 @@ mod tests {
     fn lazy_matches_eager_reference() {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..10 {
-            let n = rng.gen_range(4..20);
+            let n: usize = rng.gen_range(4..20);
             let k = rng.gen_range(1..=n.min(6));
             let m = random_matrix(&mut rng, 30, n);
             let lazy = add_greedy(&m, k).unwrap();

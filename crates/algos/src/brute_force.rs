@@ -43,11 +43,7 @@ pub fn brute_force_with_pruning<S: ScoreSource + ?Sized>(
 
     // Per-point optimistic potential (max possible arr decrease).
     let pot: Vec<f64> = (0..n)
-        .map(|p| {
-            (0..m.n_samples())
-                .map(|u| m.weight(u) * m.score(u, p) / m.best_value(u))
-                .sum()
-        })
+        .map(|p| (0..m.n_samples()).map(|u| m.weight(u) * m.score(u, p) / m.best_value(u)).sum())
         .collect();
     // Visit points in descending potential: good solutions appear early,
     // which tightens the incumbent and strengthens the prune.
@@ -72,8 +68,8 @@ pub fn brute_force_with_pruning<S: ScoreSource + ?Sized>(
     let mut stack: Vec<usize> = Vec::with_capacity(k);
 
     // Depth-first over combinations of `order` indices.
+    #[allow(clippy::too_many_arguments)]
     fn dfs<S: ScoreSource + ?Sized>(
-        m: &S,
         ev: &mut SelectionEvaluator<'_, S>,
         order: &[usize],
         start_idx: usize,
@@ -105,7 +101,7 @@ pub fn brute_force_with_pruning<S: ScoreSource + ?Sized>(
             let p = order[i];
             ev.add(p);
             stack.push(i);
-            dfs(m, ev, order, i + 1, k, prune, best_r_of_suffix, stack, best_arr, best_set);
+            dfs(ev, order, i + 1, k, prune, best_r_of_suffix, stack, best_arr, best_set);
             stack.pop();
             ev.remove(p);
             // After trying i as the next member, the bound for the rest of
@@ -116,18 +112,7 @@ pub fn brute_force_with_pruning<S: ScoreSource + ?Sized>(
         }
     }
 
-    dfs(
-        m,
-        &mut ev,
-        &order,
-        0,
-        k,
-        prune,
-        &best_r_of_suffix,
-        &mut stack,
-        &mut best_arr,
-        &mut best_set,
-    );
+    dfs(&mut ev, &order, 0, k, prune, &best_r_of_suffix, &mut stack, &mut best_arr, &mut best_set);
 
     Ok(Selection::new(best_set, "brute-force")
         .with_objective(best_arr)
@@ -137,8 +122,8 @@ pub fn brute_force_with_pruning<S: ScoreSource + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fam_core::ScoreMatrix;
     use fam_core::regret;
+    use fam_core::ScoreMatrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

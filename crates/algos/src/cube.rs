@@ -39,9 +39,7 @@ pub fn cube(dataset: &Dataset, k: usize) -> Result<Selection> {
     for dim in 0..d {
         let best = (0..n)
             .max_by(|&a, &b| {
-                dataset.point(a)[dim]
-                    .partial_cmp(&dataset.point(b)[dim])
-                    .expect("finite coords")
+                dataset.point(a)[dim].partial_cmp(&dataset.point(b)[dim]).expect("finite coords")
             })
             .expect("non-empty dataset");
         if !chosen.contains(&best) {
@@ -115,9 +113,7 @@ mod tests {
         assert_eq!(sel.len(), 8);
         for dim in 0..3 {
             let best = (0..100)
-                .max_by(|&a, &b| {
-                    ds.point(a)[dim].partial_cmp(&ds.point(b)[dim]).unwrap()
-                })
+                .max_by(|&a, &b| ds.point(a)[dim].partial_cmp(&ds.point(b)[dim]).unwrap())
                 .unwrap();
             assert!(sel.indices.contains(&best), "missing dim-{dim} anchor");
         }

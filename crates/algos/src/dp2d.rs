@@ -130,9 +130,7 @@ pub fn dp_2d(dataset: &Dataset, k: usize, measure: &dyn AngularMeasure) -> Resul
     // Deduplicated skyline ordered by first coordinate descending.
     let mut sky = skyline_2d(dataset);
     sky.sort_by(|&a, &b| {
-        dataset.point(b)[0]
-            .partial_cmp(&dataset.point(a)[0])
-            .expect("finite coords")
+        dataset.point(b)[0].partial_cmp(&dataset.point(a)[0]).expect("finite coords")
     });
     sky.dedup_by(|&mut a, &mut b| dataset.point(a) == dataset.point(b));
     let m = sky.len();
@@ -198,10 +196,8 @@ pub fn dp_2d(dataset: &Dataset, k: usize, measure: &dyn AngularMeasure) -> Resul
     let mut i = first;
     let mut prev = m;
     loop {
-        let &(_, choice) = ctx
-            .memo
-            .get(&(r as u32, i as u32, prev as u32))
-            .expect("state was just solved");
+        let &(_, choice) =
+            ctx.memo.get(&(r as u32, i as u32, prev as u32)).expect("state was just solved");
         if choice as usize == m {
             break;
         }
@@ -214,8 +210,7 @@ pub fn dp_2d(dataset: &Dataset, k: usize, measure: &dyn AngularMeasure) -> Resul
         r -= 1;
     }
 
-    let mut indices: Vec<usize> =
-        chosen_local.iter().map(|&l| ctx.dataset_idx[l]).collect();
+    let mut indices: Vec<usize> = chosen_local.iter().map(|&l| ctx.dataset_idx[l]).collect();
     // The DP may use fewer than k points (extra points cannot reduce the
     // optimum further); pad deterministically for a size-k answer.
     if indices.len() < k {
@@ -255,9 +250,8 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn random_2d(rng: &mut StdRng, n: usize) -> Dataset {
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.gen_range(0.05..1.0), rng.gen_range(0.05..1.0)])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.gen_range(0.05..1.0), rng.gen_range(0.05..1.0)]).collect();
         Dataset::from_rows(rows).unwrap()
     }
 
@@ -363,12 +357,8 @@ mod tests {
 
     #[test]
     fn padding_fills_to_k() {
-        let ds = Dataset::from_rows(vec![
-            vec![1.0, 1.0],
-            vec![0.5, 0.5],
-            vec![0.25, 0.75],
-        ])
-        .unwrap();
+        let ds =
+            Dataset::from_rows(vec![vec![1.0, 1.0], vec![0.5, 0.5], vec![0.25, 0.75]]).unwrap();
         // Skyline = {0}; ask for 3 points.
         let dp = dp_2d(&ds, 3, &UniformBoxMeasure).unwrap();
         assert_eq!(dp.selection.len(), 3);
@@ -377,12 +367,7 @@ mod tests {
 
     #[test]
     fn duplicates_are_tolerated() {
-        let ds = Dataset::from_rows(vec![
-            vec![1.0, 0.1],
-            vec![1.0, 0.1],
-            vec![0.1, 1.0],
-        ])
-        .unwrap();
+        let ds = Dataset::from_rows(vec![vec![1.0, 0.1], vec![1.0, 0.1], vec![0.1, 1.0]]).unwrap();
         let dp = dp_2d(&ds, 2, &UniformBoxMeasure).unwrap();
         assert_eq!(dp.selection.len(), 2);
         assert!(dp.selection.objective.unwrap() < 1e-9);

@@ -82,11 +82,7 @@ pub fn greedy_shrink<S: ScoreSource + ?Sized>(
         return Err(FamError::InvalidK { k: cfg.k, n });
     }
     let start = Instant::now();
-    let out = if cfg.best_point_cache {
-        shrink_cached(m, cfg)
-    } else {
-        shrink_naive(m, cfg.k)
-    };
+    let out = if cfg.best_point_cache { shrink_cached(m, cfg) } else { shrink_naive(m, cfg.k) };
     let elapsed = start.elapsed();
     out.map(|mut o| {
         o.selection.query_time = elapsed;
@@ -123,7 +119,10 @@ impl PartialOrd for Entry {
     }
 }
 
-fn shrink_cached<S: ScoreSource + ?Sized>(m: &S, cfg: GreedyShrinkConfig) -> Result<GreedyShrinkOutput> {
+fn shrink_cached<S: ScoreSource + ?Sized>(
+    m: &S,
+    cfg: GreedyShrinkConfig,
+) -> Result<GreedyShrinkOutput> {
     let n = m.n_points();
     let mut ev = SelectionEvaluator::new_full(m);
     let iterations = n - cfg.k;
@@ -199,35 +198,34 @@ fn shrink_cached<S: ScoreSource + ?Sized>(m: &S, cfg: GreedyShrinkConfig) -> Res
         } else {
             0.0
         },
-        avg_candidates_frac: if iterations > 0 {
-            candidates_acc / iterations as f64
-        } else {
-            0.0
-        },
+        avg_candidates_frac: if iterations > 0 { candidates_acc / iterations as f64 } else { 0.0 },
         arr_evaluations,
     })
 }
 
 /// Textbook Algorithm 1 with no caching: every candidate evaluation is a
-/// full `O(N · |S|)` scan. Kept for the ablation benchmark.
+/// full `O(N · |S|)` scan. Kept for the ablation benchmark; the
+/// per-iteration candidate fan-out runs on all cores, merging chunk
+/// argmins with a lowest-position tie-break so the victim sequence is
+/// identical to the serial scan's.
 fn shrink_naive<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<GreedyShrinkOutput> {
     let n = m.n_points();
     let mut members: Vec<usize> = (0..n).collect();
     let mut arr_evaluations = 0u64;
-    let mut scratch: Vec<usize> = Vec::with_capacity(n);
     while members.len() > k {
-        let mut best: Option<(f64, usize)> = None;
-        for (pos, &p) in members.iter().enumerate() {
-            scratch.clear();
-            scratch.extend(members.iter().copied().filter(|&q| q != p));
-            let value = regret::arr_unchecked(m, &scratch);
-            arr_evaluations += 1;
-            match best {
-                None => best = Some((value, pos)),
-                Some((bv, _)) if value < bv => best = Some((value, pos)),
-                _ => {}
-            }
-        }
+        let members_ref = &members;
+        let per_candidate = members.len().saturating_mul(m.n_samples());
+        let best = fam_core::par::arg_reduce(
+            members.len(),
+            per_candidate,
+            |pos| {
+                let p = members_ref[pos];
+                let scratch: Vec<usize> = members_ref.iter().copied().filter(|&q| q != p).collect();
+                Some(regret::arr_unchecked(m, &scratch))
+            },
+            |a, b| a < b,
+        );
+        arr_evaluations += members.len() as u64;
         let (_, pos) = best.expect("members non-empty");
         members.remove(pos);
     }
@@ -296,10 +294,7 @@ mod tests {
             let m = random_matrix(&mut rng, 25, n);
             let cached = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
             let naive = greedy_shrink(&m, GreedyShrinkConfig::naive(k)).unwrap();
-            assert_eq!(
-                cached.selection.indices, naive.selection.indices,
-                "n={n} k={k}"
-            );
+            assert_eq!(cached.selection.indices, naive.selection.indices, "n={n} k={k}");
             assert!(
                 (cached.selection.objective.unwrap() - naive.selection.objective.unwrap()).abs()
                     < 1e-9
@@ -386,10 +381,7 @@ mod tests {
             }
             let got = out.selection.objective.unwrap();
             assert!(got >= best - 1e-12);
-            assert!(
-                got <= best * 1.35 + 1e-9,
-                "greedy {got} too far from optimum {best}"
-            );
+            assert!(got <= best * 1.35 + 1e-9, "greedy {got} too far from optimum {best}");
             if (got - best).abs() < 1e-9 {
                 exact_hits += 1;
             }

@@ -28,21 +28,41 @@ pub fn k_hit<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Selection> {
     let start = Instant::now();
     let n_samples = m.n_samples();
     // Hit sets: point -> samples whose best point it is. This linear pass
-    // is charged to K-HIT's query time (see module docs).
+    // is charged to K-HIT's query time (see module docs). The argmax is
+    // recomputed (not read from the matrix's cache) so the timing honestly
+    // includes the best-point computation the original algorithm performs;
+    // it streams each sample's row and fans out over sample chunks.
+    let bests = fam_core::par::map_adaptive(n_samples, n, |range| {
+        range
+            .map(|u| {
+                let (mut best, mut best_v) = (0usize, m.score(u, 0));
+                match m.row_slice(u) {
+                    Some(row) => {
+                        for (p, &v) in row.iter().enumerate().skip(1) {
+                            if v > best_v {
+                                best = p;
+                                best_v = v;
+                            }
+                        }
+                    }
+                    None => {
+                        for p in 1..n {
+                            let v = m.score(u, p);
+                            if v > best_v {
+                                best = p;
+                                best_v = v;
+                            }
+                        }
+                    }
+                }
+                best as u32
+            })
+            .collect::<Vec<_>>()
+    })
+    .concat();
     let mut hits: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for u in 0..n_samples {
-        // Recompute the argmax so the timing honestly includes the
-        // best-point computation the original algorithm performs.
-        let mut best = 0usize;
-        let mut best_v = m.score(u, 0);
-        for p in 1..n {
-            let v = m.score(u, p);
-            if v > best_v {
-                best = p;
-                best_v = v;
-            }
-        }
-        hits[best].push(u as u32);
+    for (u, &best) in bests.iter().enumerate() {
+        hits[best as usize].push(u as u32);
     }
     let candidates: Vec<usize> = (0..n).filter(|&p| !hits[p].is_empty()).collect();
     let bitsets: Vec<BitSet> = candidates
@@ -60,21 +80,18 @@ pub fn k_hit<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Selection> {
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
     let mut used = vec![false; candidates.len()];
     while chosen.len() < k.min(candidates.len()) {
-        let mut best: Option<(usize, usize)> = None;
-        for (pos, bits) in bitsets.iter().enumerate() {
-            if used[pos] {
-                continue;
-            }
-            let gain = covered.gain_count(bits);
-            match best {
-                None => best = Some((gain, pos)),
-                Some((bg, bp)) => {
-                    if gain > bg || (gain == bg && candidates[pos] < candidates[bp]) {
-                        best = Some((gain, pos));
-                    }
-                }
-            }
-        }
+        // Max-coverage step: independent gain counts per candidate. The
+        // earliest-index tie-break of arg_reduce equals the serial scan's
+        // lowest-candidate rule because `candidates` is sorted ascending.
+        let covered_ref = &covered;
+        let used_ref = &used;
+        let bitsets_ref = &bitsets;
+        let best = fam_core::par::arg_reduce(
+            bitsets.len(),
+            n_samples / 64 + 1,
+            |pos| (!used_ref[pos]).then(|| covered_ref.gain_count(&bitsets_ref[pos])),
+            |a, b| a > b,
+        );
         let (_, pos) = best.expect("unused candidate exists");
         used[pos] = true;
         covered.union_with(&bitsets[pos]);
@@ -92,9 +109,7 @@ pub fn k_hit<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Selection> {
         }
     }
     let hit_prob = covered.count_ones() as f64 / n_samples as f64;
-    Ok(Selection::new(chosen, "k-hit")
-        .with_objective(hit_prob)
-        .with_query_time(start.elapsed()))
+    Ok(Selection::new(chosen, "k-hit").with_objective(hit_prob).with_query_time(start.elapsed()))
 }
 
 #[cfg(test)]
@@ -126,11 +141,8 @@ mod tests {
     #[test]
     fn pads_when_few_candidates() {
         // Every user favours point 0; k = 3 must still return 3 points.
-        let m = ScoreMatrix::from_rows(
-            vec![vec![1.0, 0.5, 0.4], vec![0.9, 0.1, 0.2]],
-            None,
-        )
-        .unwrap();
+        let m =
+            ScoreMatrix::from_rows(vec![vec![1.0, 0.5, 0.4], vec![0.9, 0.1, 0.2]], None).unwrap();
         let s = k_hit(&m, 3).unwrap();
         assert_eq!(s.len(), 3);
         assert!(s.indices.contains(&0));
@@ -141,9 +153,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(55);
-        let rows: Vec<Vec<f64>> = (0..200)
-            .map(|_| (0..20).map(|_| rng.gen_range(0.01..1.0)).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..200).map(|_| (0..20).map(|_| rng.gen_range(0.01..1.0)).collect()).collect();
         let m = ScoreMatrix::from_rows(rows, None).unwrap();
         let mut prev = 0.0;
         for k in 1..=6 {

@@ -25,8 +25,8 @@ pub mod k_hit;
 pub mod local_search;
 pub mod measure;
 pub mod mrr;
-pub mod reduction;
 pub mod mrr_greedy;
+pub mod reduction;
 pub mod sky_dom;
 
 pub use add_greedy::add_greedy;
@@ -41,6 +41,8 @@ pub use measure::{
     UniformBoxMeasure,
 };
 pub use mrr::{mrr_linear_exact, mrr_sampled, witness_regret};
-pub use reduction::{reduce_set_cover, set_cover_has_cover_of_size, ReducedInstance, SetCoverInstance};
 pub use mrr_greedy::{mrr_greedy_exact, mrr_greedy_sampled};
+pub use reduction::{
+    reduce_set_cover, set_cover_has_cover_of_size, ReducedInstance, SetCoverInstance,
+};
 pub use sky_dom::sky_dom;

@@ -118,10 +118,10 @@ pub fn local_search<S: ScoreSource + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fam_core::ScoreMatrix;
     use crate::brute_force::brute_force;
     use crate::greedy_shrink::{greedy_shrink, GreedyShrinkConfig};
     use fam_core::regret;
+    use fam_core::ScoreMatrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -178,9 +178,7 @@ mod tests {
         let g = greedy_shrink(&m, GreedyShrinkConfig::new(5)).unwrap();
         let polished =
             local_search(&m, &g.selection.indices, LocalSearchConfig::default()).unwrap();
-        assert!(
-            polished.selection.objective.unwrap() <= g.selection.objective.unwrap() + 1e-12
-        );
+        assert!(polished.selection.objective.unwrap() <= g.selection.objective.unwrap() + 1e-12);
     }
 
     #[test]

@@ -320,15 +320,22 @@ pub fn continuous_arr(
     let sel_ds = dataset.subset(selection)?;
     let sel_env = Envelope::build(&sel_ds);
     let db_env = Envelope::build(dataset);
-    let mut acc = 0.0;
-    for ss in sel_env.segments() {
-        let p = sel_ds.point(ss.point);
-        for ds_seg in db_env.clipped(ss.lo, ss.hi) {
-            let q = dataset.point(ds_seg.point);
-            acc += measure.regret_mass(p, q, ds_seg.lo, ds_seg.hi);
+    // Fixed 64-segment partial sums folded in segment order: the grouping
+    // never depends on the thread count, so serial and parallel scans are
+    // bit-identical while dense skylines still fan out over all cores.
+    let segments = sel_env.segments();
+    let per_segment = fam_core::par::map_chunks(segments.len(), 64, |range| {
+        let mut acc = 0.0;
+        for ss in &segments[range] {
+            let p = sel_ds.point(ss.point);
+            for ds_seg in db_env.clipped(ss.lo, ss.hi) {
+                let q = dataset.point(ds_seg.point);
+                acc += measure.regret_mass(p, q, ds_seg.lo, ds_seg.hi);
+            }
         }
-    }
-    Ok(acc)
+        acc
+    });
+    Ok(per_segment.into_iter().sum())
 }
 
 #[cfg(test)]
@@ -389,9 +396,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(61);
         for trial in 0..5 {
             let n = rng.gen_range(4..12);
-            let rows: Vec<Vec<f64>> = (0..n)
-                .map(|_| vec![rng.gen_range(0.05..1.0), rng.gen_range(0.05..1.0)])
-                .collect();
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|_| vec![rng.gen_range(0.05..1.0), rng.gen_range(0.05..1.0)]).collect();
             let ds = Dataset::from_rows(rows).unwrap();
             let k = rng.gen_range(1..=2.min(n));
             let sel: Vec<usize> = (0..k).collect();
@@ -410,8 +416,7 @@ mod tests {
     fn angle_measure_matches_monte_carlo() {
         // Sample unit-norm weights at uniform angles and compare.
         let mut rng = StdRng::seed_from_u64(62);
-        let rows =
-            vec![vec![1.0, 0.05], vec![0.05, 1.0], vec![0.7, 0.7], vec![0.4, 0.9]];
+        let rows = vec![vec![1.0, 0.05], vec![0.05, 1.0], vec![0.7, 0.7], vec![0.4, 0.9]];
         let ds = Dataset::from_rows(rows).unwrap();
         let sel = vec![2];
         let exact = continuous_arr(&ds, &sel, &UniformAngleMeasure).unwrap();
@@ -431,12 +436,7 @@ mod tests {
 
     #[test]
     fn continuous_arr_of_full_database_is_zero() {
-        let ds = Dataset::from_rows(vec![
-            vec![1.0, 0.1],
-            vec![0.1, 1.0],
-            vec![0.8, 0.8],
-        ])
-        .unwrap();
+        let ds = Dataset::from_rows(vec![vec![1.0, 0.1], vec![0.1, 1.0], vec![0.8, 0.8]]).unwrap();
         let all: Vec<usize> = vec![0, 1, 2];
         for m in [&UniformBoxMeasure as &dyn AngularMeasure, &UniformAngleMeasure] {
             let v = continuous_arr(&ds, &all, m).unwrap();

@@ -57,8 +57,7 @@ pub fn witness_regret(dataset: &Dataset, selection: &[usize], p: usize) -> Resul
     // Variables: w_0..w_{d-1}, x.
     let mut objective = vec![0.0; d + 1];
     objective[d] = 1.0;
-    let mut lp = LpProblem::new(d + 1, Sense::Minimize, objective)
-        .map_err(lp_to_fam)?;
+    let mut lp = LpProblem::new(d + 1, Sense::Minimize, objective).map_err(lp_to_fam)?;
     for &s in selection {
         let mut coeffs: Vec<f64> = dataset.point(s).to_vec();
         coeffs.push(-1.0); // w·s − x ≤ 0

@@ -37,9 +37,7 @@ pub fn mrr_greedy_exact(dataset: &Dataset, k: usize) -> Result<Selection> {
     let seed = *sky
         .iter()
         .max_by(|&&a, &&b| {
-            dataset.point(a)[0]
-                .partial_cmp(&dataset.point(b)[0])
-                .expect("finite coords")
+            dataset.point(a)[0].partial_cmp(&dataset.point(b)[0]).expect("finite coords")
         })
         .expect("skyline non-empty");
     let mut selection = vec![seed];
@@ -103,32 +101,60 @@ pub fn mrr_greedy_sampled<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Se
     let mut sat: Vec<f64> = (0..m.n_samples()).map(|u| m.score(u, seed)).collect();
     while selection.len() < k {
         // For each candidate, its sampled witness regret:
-        // max_u (score(u,p) − sat_u) / best_u.
-        let mut best: Option<(f64, usize)> = None;
-        for p in 0..n {
-            if in_sel[p] {
-                continue;
-            }
-            let mut regret = 0.0f64;
-            for u in 0..m.n_samples() {
-                let gain = (m.score(u, p) - sat[u]) / m.best_value(u);
-                if gain > regret {
-                    regret = gain;
+        // max_u (score(u,p) − sat_u) / best_u. One independent column scan
+        // per candidate (contiguous when a point-major mirror exists),
+        // fanned out over all cores; the merge keeps the highest regret
+        // with a lowest-index tie-break, matching the serial scan.
+        let sat_ref = &sat;
+        let in_sel_ref = &in_sel;
+        let best = fam_core::par::arg_reduce(
+            n,
+            m.n_samples(),
+            |p| {
+                if in_sel_ref[p] {
+                    return None;
                 }
-            }
-            match best {
-                None => best = Some((regret, p)),
-                Some((br, _)) if regret > br => best = Some((regret, p)),
-                _ => {}
-            }
-        }
+                let mut regret = 0.0f64;
+                match m.column_slice(p) {
+                    Some(col) => {
+                        for (u, &s) in col.iter().enumerate() {
+                            let gain = (s - sat_ref[u]) / m.best_value(u);
+                            if gain > regret {
+                                regret = gain;
+                            }
+                        }
+                    }
+                    None => {
+                        for (u, s) in sat_ref.iter().enumerate() {
+                            let gain = (m.score(u, p) - s) / m.best_value(u);
+                            if gain > regret {
+                                regret = gain;
+                            }
+                        }
+                    }
+                }
+                Some(regret)
+            },
+            |a, b| a > b,
+        );
         let (_, p) = best.expect("k <= n guarantees a candidate");
         selection.push(p);
         in_sel[p] = true;
-        for u in 0..m.n_samples() {
-            let s = m.score(u, p);
-            if s > sat[u] {
-                sat[u] = s;
+        match m.column_slice(p) {
+            Some(col) => {
+                for (u, &s) in col.iter().enumerate() {
+                    if s > sat[u] {
+                        sat[u] = s;
+                    }
+                }
+            }
+            None => {
+                for (u, s) in sat.iter_mut().enumerate() {
+                    let v = m.score(u, p);
+                    if v > *s {
+                        *s = v;
+                    }
+                }
             }
         }
     }
@@ -164,12 +190,7 @@ mod tests {
 
     #[test]
     fn seed_is_best_first_dimension() {
-        let ds = Dataset::from_rows(vec![
-            vec![0.9, 0.1],
-            vec![1.0, 0.05],
-            vec![0.2, 1.0],
-        ])
-        .unwrap();
+        let ds = Dataset::from_rows(vec![vec![0.9, 0.1], vec![1.0, 0.05], vec![0.2, 1.0]]).unwrap();
         let s = mrr_greedy_exact(&ds, 1).unwrap();
         assert_eq!(s.indices, vec![1]);
     }
@@ -211,12 +232,7 @@ mod tests {
     #[test]
     fn pads_when_k_exceeds_skyline() {
         // A dominated chain: skyline = 1 point, ask for 3.
-        let ds = Dataset::from_rows(vec![
-            vec![1.0, 1.0],
-            vec![0.9, 0.9],
-            vec![0.8, 0.8],
-        ])
-        .unwrap();
+        let ds = Dataset::from_rows(vec![vec![1.0, 1.0], vec![0.9, 0.9], vec![0.8, 0.8]]).unwrap();
         let s = mrr_greedy_exact(&ds, 3).unwrap();
         assert_eq!(s.len(), 3);
     }

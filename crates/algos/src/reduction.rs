@@ -118,8 +118,7 @@ pub struct ReducedInstance {
 pub fn reduce_set_cover(sc: &SetCoverInstance) -> Result<ReducedInstance> {
     let n_points = sc.sets.len();
     // Atom i: utility 1 for every point (set) containing element i.
-    let mut atoms: Vec<(Arc<dyn UtilityFunction>, f64)> =
-        Vec::with_capacity(sc.universe_size);
+    let mut atoms: Vec<(Arc<dyn UtilityFunction>, f64)> = Vec::with_capacity(sc.universe_size);
     let p = 1.0 / sc.universe_size as f64;
     for e in 0..sc.universe_size {
         let scores: Vec<f64> = (0..n_points)
@@ -160,11 +159,8 @@ mod tests {
 
     fn example() -> SetCoverInstance {
         // Universe {0..5}; sets: {0,1,2}, {2,3}, {3,4,5}, {1,4}.
-        SetCoverInstance::new(
-            6,
-            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![1, 4]],
-        )
-        .unwrap()
+        SetCoverInstance::new(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![1, 4]])
+            .unwrap()
     }
 
     #[test]
@@ -228,8 +224,8 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(1972); // Karp's reducibility paper
         for _ in 0..15 {
-            let universe = rng.gen_range(2..7);
-            let n_sets = rng.gen_range(2..6);
+            let universe: usize = rng.gen_range(2..7);
+            let n_sets: usize = rng.gen_range(2..6);
             // Random sets; then patch coverage by assigning each element to
             // a random set.
             let mut sets: Vec<Vec<usize>> = (0..n_sets)

@@ -85,12 +85,7 @@ mod tests {
     #[test]
     fn picks_the_dominating_star() {
         // Point 0 dominates everything; it must be chosen first.
-        let d = ds(vec![
-            vec![1.0, 1.0],
-            vec![0.5, 0.5],
-            vec![0.9, 0.2],
-            vec![0.2, 0.9],
-        ]);
+        let d = ds(vec![vec![1.0, 1.0], vec![0.5, 0.5], vec![0.9, 0.2], vec![0.2, 0.9]]);
         let s = sky_dom(&d, 1).unwrap();
         assert_eq!(s.indices, vec![0]);
     }
@@ -100,12 +95,12 @@ mod tests {
         // Two skyline points: A=(1, 0.55) dominates 3 points on the right,
         // B=(0.5, 1.0) dominates 1 point. A first; with k=2, both.
         let d = ds(vec![
-            vec![1.0, 0.55],  // A
-            vec![0.5, 1.0],   // B
-            vec![0.9, 0.5],   // dominated by A
-            vec![0.8, 0.4],   // dominated by A
-            vec![0.7, 0.3],   // dominated by A
-            vec![0.4, 0.9],   // dominated by B
+            vec![1.0, 0.55], // A
+            vec![0.5, 1.0],  // B
+            vec![0.9, 0.5],  // dominated by A
+            vec![0.8, 0.4],  // dominated by A
+            vec![0.7, 0.3],  // dominated by A
+            vec![0.4, 0.9],  // dominated by B
         ]);
         let s1 = sky_dom(&d, 1).unwrap();
         assert_eq!(s1.indices, vec![0]);
@@ -119,7 +114,9 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(44);
         let rows: Vec<Vec<f64>> = (0..100)
-            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .map(|_| {
+                vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]
+            })
             .collect();
         let d = ds(rows);
         let sky = skyline(&d);

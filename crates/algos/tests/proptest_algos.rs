@@ -7,10 +7,7 @@ use fam_algos::{
 use fam_core::{regret, Dataset, ScoreMatrix};
 use proptest::prelude::*;
 
-fn matrix_strategy(
-    max_points: usize,
-    max_users: usize,
-) -> impl Strategy<Value = ScoreMatrix> {
+fn matrix_strategy(max_points: usize, max_users: usize) -> impl Strategy<Value = ScoreMatrix> {
     (3..=max_points, 2..=max_users).prop_flat_map(|(n, u)| {
         proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, n), u)
             .prop_map(|rows| ScoreMatrix::from_rows(rows, None).unwrap())

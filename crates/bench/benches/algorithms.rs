@@ -26,9 +26,7 @@ fn bench_algorithms(c: &mut Criterion) {
             .unwrap()
         })
     });
-    g.bench_function("mrr_greedy_lp", |b| {
-        b.iter(|| mrr_greedy_exact(&w.sky, k).unwrap())
-    });
+    g.bench_function("mrr_greedy_lp", |b| b.iter(|| mrr_greedy_exact(&w.sky, k).unwrap()));
     g.bench_function("mrr_greedy_sampled", |b| {
         b.iter(|| mrr_greedy_sampled(&w.matrix, k).unwrap())
     });

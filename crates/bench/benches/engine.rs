@@ -1,0 +1,193 @@
+//! Engine A/B: the row-major serial baseline versus the columnar parallel
+//! evaluation engine, end to end on GREEDY-SHRINK and ADD-GREEDY.
+//!
+//! Scale defaults to the acceptance configuration (`n = 2,000` points,
+//! `N = 50,000` samples, `k = 10`); override with `FAM_ENGINE_POINTS`,
+//! `FAM_ENGINE_SAMPLES`, `FAM_ENGINE_K`. Besides the criterion groups,
+//! the run emits one JSON trajectory point (default
+//! `BENCH_engine.json` at the workspace root, override with
+//! `FAM_BENCH_ENGINE_OUT`) recording both engines' times and the speedup.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fam::prelude::*;
+use fam::{add_greedy, greedy_shrink, ScoreMatrix};
+use fam_core::par;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct EngineResult {
+    selection: Vec<usize>,
+    objective: f64,
+    add_selection: Vec<usize>,
+    add_objective: f64,
+    shrink: Duration,
+    add: Duration,
+}
+
+/// Best-of-`FAM_ENGINE_REPS` (default 3) end-to-end passes of both greedy
+/// algorithms in the current engine mode (the caller sets layout and
+/// serial/parallel).
+fn run_engines(m: &ScoreMatrix, k: usize) -> EngineResult {
+    let reps = env_usize("FAM_ENGINE_REPS", 3).max(1);
+    let mut shrink = Duration::MAX;
+    let mut add = Duration::MAX;
+    let mut selection = Vec::new();
+    let mut objective = f64::NAN;
+    let mut add_selection = Vec::new();
+    let mut add_objective = f64::NAN;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = greedy_shrink(m, GreedyShrinkConfig::new(k)).expect("greedy_shrink");
+        shrink = shrink.min(t0.elapsed());
+        let t1 = Instant::now();
+        let added = add_greedy(m, k).expect("add_greedy");
+        add = add.min(t1.elapsed());
+        selection = out.selection.indices;
+        objective = out.selection.objective.unwrap_or(f64::NAN);
+        add_selection = added.indices;
+        add_objective = added.objective.unwrap_or(f64::NAN);
+    }
+    EngineResult { selection, objective, add_selection, add_objective, shrink, add }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let n = env_usize("FAM_ENGINE_POINTS", 2_000);
+    let n_samples = env_usize("FAM_ENGINE_SAMPLES", 50_000);
+    let k = env_usize("FAM_ENGINE_K", 10);
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    eprintln!("engine bench: n={n}, N={n_samples}, k={k}, host threads={threads}");
+
+    let mut rng = StdRng::seed_from_u64(20190408);
+    let ds = synthetic(n, 4, Correlation::AntiCorrelated, &mut rng).expect("dataset");
+    let dist = UniformLinear::new(4).expect("dist");
+
+    // Construction A/B (per-sample scoring fan-out + transpose): best of
+    // FAM_ENGINE_REPS per leg so first-touch page-fault/allocator warmup
+    // does not masquerade as an engine difference, with each build
+    // dropped before the next so peak memory stays at one mirrored
+    // matrix. The final parallel build is kept for the algorithm A/B.
+    let reps = env_usize("FAM_ENGINE_REPS", 3).max(1);
+    let build = || {
+        let mut r = StdRng::seed_from_u64(7);
+        ScoreMatrix::from_distribution(&ds, &dist, n_samples, &mut r).expect("matrix")
+    };
+    let mut construct_serial = Duration::MAX;
+    let mut construct_parallel = Duration::MAX;
+    let mut matrix = None;
+    par::force_serial(true);
+    for _ in 0..reps {
+        let t = Instant::now();
+        drop(build());
+        construct_serial = construct_serial.min(t.elapsed());
+    }
+    par::force_serial(false);
+    for _ in 0..reps {
+        drop(matrix.take());
+        let t = Instant::now();
+        matrix = Some(build());
+        construct_parallel = construct_parallel.min(t.elapsed());
+    }
+    let matrix = matrix.expect("at least one rep");
+    let bare = matrix.clone_without_mirror();
+
+    // End-to-end A/B, measured once per mode (the runs are seconds long;
+    // criterion-style resampling would add little).
+    par::force_serial(true);
+    let baseline = run_engines(&bare, k);
+    par::force_serial(false);
+    let engine = run_engines(&matrix, k);
+    assert_eq!(baseline.selection, engine.selection, "engines must select identical sets");
+    assert_eq!(
+        baseline.objective.to_bits(),
+        engine.objective.to_bits(),
+        "engines must report bit-identical arr"
+    );
+    assert_eq!(
+        baseline.add_selection, engine.add_selection,
+        "add_greedy engines must select identical sets"
+    );
+    assert_eq!(
+        baseline.add_objective.to_bits(),
+        engine.add_objective.to_bits(),
+        "add_greedy engines must report bit-identical arr"
+    );
+
+    let speedup = baseline.shrink.as_secs_f64() / engine.shrink.as_secs_f64().max(1e-12);
+    let add_speedup = baseline.add.as_secs_f64() / engine.add.as_secs_f64().max(1e-12);
+    eprintln!(
+        "greedy_shrink: row-major serial {:?} vs columnar parallel {:?} ({speedup:.2}x)",
+        baseline.shrink, engine.shrink
+    );
+    eprintln!(
+        "add_greedy:    row-major serial {:?} vs columnar parallel {:?} ({add_speedup:.2}x)",
+        baseline.add, engine.add
+    );
+
+    let out_path = std::env::var("FAM_BENCH_ENGINE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").to_string()
+    });
+    let json = format!(
+        "{{\"bench\":\"engine\",\"n\":{n},\"n_samples\":{n_samples},\"k\":{k},\
+         \"host_threads\":{threads},\
+         \"construct_serial_ms\":{:.3},\"construct_parallel_ms\":{:.3},\
+         \"greedy_shrink_row_serial_ms\":{:.3},\"greedy_shrink_columnar_parallel_ms\":{:.3},\
+         \"greedy_shrink_speedup\":{speedup:.3},\
+         \"add_greedy_row_serial_ms\":{:.3},\"add_greedy_columnar_parallel_ms\":{:.3},\
+         \"add_greedy_speedup\":{add_speedup:.3}}}\n",
+        construct_serial.as_secs_f64() * 1e3,
+        construct_parallel.as_secs_f64() * 1e3,
+        baseline.shrink.as_secs_f64() * 1e3,
+        engine.shrink.as_secs_f64() * 1e3,
+        baseline.add.as_secs_f64() * 1e3,
+        engine.add.as_secs_f64() * 1e3,
+    );
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+
+    // Criterion groups for the hot kernels, so `cargo bench` trends them.
+    let mut g = c.benchmark_group("engine_kernels");
+    g.sample_size(5);
+    g.bench_function("rebuild_columnar_parallel", |b| {
+        b.iter(|| SelectionEvaluator::new_full(&matrix).arr())
+    });
+    g.bench_function("rebuild_row_serial", |b| {
+        par::force_serial(true);
+        b.iter(|| SelectionEvaluator::new_full(&bare).arr());
+        par::force_serial(false);
+    });
+    g.bench_function("addition_sweep_columnar", |b| {
+        let ev = SelectionEvaluator::new_with(&matrix, &[0]);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in 1..matrix.n_points() {
+                acc += ev.addition_delta(p);
+            }
+            acc
+        })
+    });
+    g.bench_function("addition_sweep_row_major", |b| {
+        let ev = SelectionEvaluator::new_with(&bare, &[0]);
+        par::force_serial(true);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in 1..bare.n_points() {
+                acc += ev.addition_delta(p);
+            }
+            acc
+        });
+        par::force_serial(false);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

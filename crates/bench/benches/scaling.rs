@@ -2,8 +2,8 @@
 //! query time as `n` and `d` grow.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fam::prelude::*;
 use fam::greedy_shrink;
+use fam::prelude::*;
 use fam_bench::workloads::synthetic_workload;
 
 fn bench_scaling(c: &mut Criterion) {

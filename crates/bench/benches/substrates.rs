@@ -15,20 +15,12 @@ fn bench_substrates(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("skyline");
     g.sample_size(10);
-    g.bench_function("sfs_20k_5d_anti", |b| {
-        b.iter(|| fam::geometry::skyline_sfs(&ds))
-    });
+    g.bench_function("sfs_20k_5d_anti", |b| b.iter(|| fam::geometry::skyline_sfs(&ds)));
     let indep = synthetic(20_000, 5, Correlation::Independent, &mut rng).unwrap();
-    g.bench_function("sfs_20k_5d_indep", |b| {
-        b.iter(|| fam::geometry::skyline_sfs(&indep))
-    });
-    g.bench_function("bnl_20k_5d_indep", |b| {
-        b.iter(|| fam::geometry::skyline_bnl(&indep))
-    });
+    g.bench_function("sfs_20k_5d_indep", |b| b.iter(|| fam::geometry::skyline_sfs(&indep)));
+    g.bench_function("bnl_20k_5d_indep", |b| b.iter(|| fam::geometry::skyline_bnl(&indep)));
     let two_d = synthetic(20_000, 2, Correlation::AntiCorrelated, &mut rng).unwrap();
-    g.bench_function("sweep_20k_2d", |b| {
-        b.iter(|| fam::geometry::skyline_2d(&two_d))
-    });
+    g.bench_function("sweep_20k_2d", |b| b.iter(|| fam::geometry::skyline_2d(&two_d)));
     g.finish();
 
     // Witness LP (the inner loop of exact MRR-GREEDY).
@@ -54,11 +46,13 @@ fn bench_substrates(c: &mut Criterion) {
     });
     g.finish();
 
-    // Incremental evaluator: removal deltas vs full recomputation.
+    // Incremental evaluator: removal deltas vs full recomputation, in
+    // both engine modes (columnar+parallel vs row-major serial).
     let mut g = c.benchmark_group("evaluator");
     g.sample_size(20);
     let mut r = StdRng::seed_from_u64(5);
     let m = ScoreMatrix::from_distribution(&sub, &dist, 1_000, &mut r).unwrap();
+    let bare = m.clone_without_mirror();
     g.bench_function("new_full_plus_one_sweep", |b| {
         b.iter(|| {
             let mut ev = SelectionEvaluator::new_full(&m);
@@ -69,14 +63,22 @@ fn bench_substrates(c: &mut Criterion) {
             acc
         })
     });
-    g.bench_with_input(
-        BenchmarkId::new("arr_unchecked_k", 10),
-        &m,
-        |b, m| {
-            let sel: Vec<usize> = (0..10).collect();
-            b.iter(|| fam::regret::arr_unchecked(m, &sel))
-        },
-    );
+    g.bench_function("new_full_plus_one_sweep_row_serial", |b| {
+        fam_core::par::force_serial(true);
+        b.iter(|| {
+            let mut ev = SelectionEvaluator::new_full(&bare);
+            let mut acc = 0.0;
+            for p in 0..bare.n_points().min(256) {
+                acc += ev.removal_delta(p);
+            }
+            acc
+        });
+        fam_core::par::force_serial(false);
+    });
+    g.bench_with_input(BenchmarkId::new("arr_unchecked_k", 10), &m, |b, m| {
+        let sel: Vec<usize> = (0..10).collect();
+        b.iter(|| fam::regret::arr_unchecked(m, &sel))
+    });
     g.finish();
 }
 

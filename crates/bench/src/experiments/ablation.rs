@@ -22,10 +22,7 @@ pub fn run(scale: Scale, seed: u64) -> fam::Result<()> {
 
     section("ablation-variants", "GREEDY-SHRINK with improvements toggled");
     let t = Table::new(&["variant", "arr", "query_s", "arr_evals", "best_chg_frac", "cand_frac"]);
-    let variants = [
-        ("both improvements", true, true),
-        ("cache only (no lazy)", true, false),
-    ];
+    let variants = [("both improvements", true, true), ("cache only (no lazy)", true, false)];
     for (name, cache, lazy) in variants {
         let out = greedy_shrink(
             &w.matrix,
@@ -66,18 +63,10 @@ pub fn run(scale: Scale, seed: u64) -> fam::Result<()> {
     // Extension: local-search polish on top of GREEDY-SHRINK.
     section("ablation-polish", "swap local search on top of GREEDY-SHRINK");
     let base = greedy_shrink(&w.matrix, GreedyShrinkConfig::new(k))?;
-    let polished = fam::local_search(
-        &w.matrix,
-        &base.selection.indices,
-        fam::LocalSearchConfig::default(),
-    )?;
+    let polished =
+        fam::local_search(&w.matrix, &base.selection.indices, fam::LocalSearchConfig::default())?;
     let t = Table::new(&["stage", "arr", "swaps", "extra_time_s"]);
-    t.row(&[
-        "greedy-shrink".into(),
-        f(base.selection.objective.unwrap()),
-        "-".into(),
-        "-".into(),
-    ]);
+    t.row(&["greedy-shrink".into(), f(base.selection.objective.unwrap()), "-".into(), "-".into()]);
     t.row(&[
         "+ local search".into(),
         f(polished.selection.objective.unwrap()),

@@ -2,7 +2,6 @@
 //! (a) average regret ratio, (b) ratio to the DP optimum, (c) query time —
 //! for Greedy-Shrink, MRR-Greedy, Sky-Dom, DP, and K-Hit.
 
-
 use fam::{dp_2d, regret, UniformBoxMeasure};
 
 use crate::runner::run_standard;

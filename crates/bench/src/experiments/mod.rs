@@ -15,8 +15,8 @@ use crate::workloads::Scale;
 
 /// All experiment identifiers, in paper order.
 pub const ALL: &[&str] = &[
-    "table2", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "fig11", "fig12", "ablation",
+    "table2", "table5", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "ablation",
 ];
 
 /// Runs one experiment by id.

@@ -51,9 +51,7 @@ pub fn fig6(scale: Scale, seed: u64) -> fam::Result<()> {
         for k in KS {
             let runs = run_standard(w, k, true)?;
             let mut cells = vec![format!("{k}")];
-            cells.extend(
-                runs.iter().map(|r| f(regret::arr_unchecked(&w.matrix, &r.local))),
-            );
+            cells.extend(runs.iter().map(|r| f(regret::arr_unchecked(&w.matrix, &r.local))));
             t.row(&cells);
         }
         Ok(())
@@ -170,8 +168,5 @@ fn streamed_percentiles(
         }
     }
     rrs.sort_by(|a, b| a.partial_cmp(b).expect("finite rr"));
-    Ok(percentiles
-        .iter()
-        .map(|&q| fam::core::stats::percentile_sorted(&rrs, q))
-        .collect())
+    Ok(percentiles.iter().map(|&q| fam::core::stats::percentile_sorted(&rrs, q)).collect())
 }

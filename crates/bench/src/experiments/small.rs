@@ -10,8 +10,7 @@ use rand::SeedableRng;
 use crate::table::{f, secs, section, Table};
 use crate::workloads::Scale;
 
-const HEADERS: [&str; 6] =
-    ["x", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "Brute-Force", "K-Hit"];
+const HEADERS: [&str; 6] = ["x", "Greedy-Shrink", "MRR-Greedy", "Sky-Dom", "Brute-Force", "K-Hit"];
 
 struct SmallRuns {
     arr: Vec<f64>,
@@ -29,10 +28,7 @@ fn run_small(ds: &Dataset, m: &ScoreMatrix, k: usize) -> fam::Result<SmallRuns> 
     let optimum = bf.objective.unwrap_or(f64::NAN);
     let sels = [&gs, &mg, &sd, &bf, &kh];
     Ok(SmallRuns {
-        arr: sels
-            .iter()
-            .map(|s| regret::arr_unchecked(m, &s.indices))
-            .collect(),
+        arr: sels.iter().map(|s| regret::arr_unchecked(m, &s.indices)).collect(),
         time: sels.iter().map(|s| s.query_time).collect(),
         optimum,
     })

@@ -26,18 +26,15 @@ pub fn table2(scale: Scale, seed: u64) -> fam::Result<()> {
 
     let t = Table::new(&["rank", "S_arr", "S_mrr", "S_k-hit"]);
     for row in 0..k {
-        let name = |sel: &Selection| {
-            ds.label(sel.indices[row]).unwrap_or("?").to_string()
-        };
+        let name = |sel: &Selection| ds.label(sel.indices[row]).unwrap_or("?").to_string();
         t.row(&[format!("{}", row + 1), name(&s_arr), name(&s_mrr), name(&s_hit)]);
     }
 
     let t = Table::new(&["set", "arr", "rr_std", "mrr_sampled", "hit_prob"]);
     for (label, sel) in [("S_arr", &s_arr), ("S_mrr", &s_mrr), ("S_k-hit", &s_hit)] {
         let rep = regret::report(&m, &sel.indices)?;
-        let hits = (0..m.n_samples())
-            .filter(|&u| sel.indices.contains(&m.best_index(u)))
-            .count() as f64
+        let hits = (0..m.n_samples()).filter(|&u| sel.indices.contains(&m.best_index(u))).count()
+            as f64
             / m.n_samples() as f64;
         t.row(&[label.into(), f(rep.arr), f(rep.std_dev), f(rep.mrr), f(hits)]);
     }

@@ -27,11 +27,7 @@ pub struct AlgoRun {
 /// # Errors
 ///
 /// Propagates algorithm failures.
-pub fn run_standard(
-    w: &SkylineWorkload,
-    k: usize,
-    lp_mrr: bool,
-) -> fam::Result<Vec<AlgoRun>> {
+pub fn run_standard(w: &SkylineWorkload, k: usize, lp_mrr: bool) -> fam::Result<Vec<AlgoRun>> {
     let k = k.min(w.sky.len());
     let mut out = Vec::with_capacity(4);
 
@@ -42,11 +38,7 @@ pub fn run_standard(
         time: gs.selection.query_time,
     });
 
-    let mg = if lp_mrr {
-        mrr_greedy_exact(&w.sky, k)?
-    } else {
-        mrr_greedy_sampled(&w.matrix, k)?
-    };
+    let mg = if lp_mrr { mrr_greedy_exact(&w.sky, k)? } else { mrr_greedy_sampled(&w.matrix, k)? };
     out.push(AlgoRun { name: "MRR-Greedy", local: mg.indices.clone(), time: mg.query_time });
 
     let sd = sky_dom(&w.full, k)?;

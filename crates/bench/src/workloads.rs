@@ -82,13 +82,7 @@ impl SkylineWorkload {
         let dist = UniformLinear::new(sky.dim())?;
         let mut rng = StdRng::seed_from_u64(seed);
         let matrix = ScoreMatrix::from_distribution(&sky, &dist, n_samples, &mut rng)?;
-        Ok(SkylineWorkload {
-            full,
-            sky,
-            sky_indices,
-            matrix,
-            preprocessing: start.elapsed(),
-        })
+        Ok(SkylineWorkload { full, sky, sky_indices, matrix, preprocessing: start.elapsed() })
     }
 
     /// Translates a full-dataset selection (e.g. from SKY-DOM) into
@@ -109,11 +103,7 @@ impl SkylineWorkload {
 /// # Errors
 ///
 /// Propagates construction failures.
-pub fn real_workload(
-    which: RealDataset,
-    scale: Scale,
-    seed: u64,
-) -> fam::Result<SkylineWorkload> {
+pub fn real_workload(which: RealDataset, scale: Scale, seed: u64) -> fam::Result<SkylineWorkload> {
     let mut rng = StdRng::seed_from_u64(seed);
     let full = simulated_with_size(which, scale.real_n(which), &mut rng)?;
     SkylineWorkload::build(full, scale.n_samples(), seed ^ 0x5eed)

@@ -98,9 +98,7 @@ pub fn select(a: &ParsedArgs) -> Result<String, String> {
         "greedy-shrink" if a.switch("compact") => {
             let src = fam::LinearScores::sample_uniform(ds.clone(), n_samples, &mut rng)
                 .map_err(|e| e.to_string())?;
-            greedy_shrink(&src, GreedyShrinkConfig::new(k))
-                .map_err(|e| e.to_string())?
-                .selection
+            greedy_shrink(&src, GreedyShrinkConfig::new(k)).map_err(|e| e.to_string())?.selection
         }
         "greedy-shrink" => {
             let m = make_matrix(&mut rng)?;
@@ -134,8 +132,7 @@ pub fn select(a: &ParsedArgs) -> Result<String, String> {
         selection.indices
     );
     if ds.label(0).is_some() {
-        let names: Vec<&str> =
-            selection.indices.iter().filter_map(|&i| ds.label(i)).collect();
+        let names: Vec<&str> = selection.indices.iter().filter_map(|&i| ds.label(i)).collect();
         out.push_str(&format!("labels: {names:?}\n"));
     }
     out.push_str(&format!(
@@ -159,8 +156,8 @@ pub fn evaluate(a: &ParsedArgs) -> Result<String, String> {
     let m = ScoreMatrix::from_distribution(&ds, &dist, n_samples, &mut rng)
         .map_err(|e| e.to_string())?;
     let rep = regret::report(&m, &selection).map_err(|e| e.to_string())?;
-    let pct = regret::rr_percentiles(&m, &selection, &[70.0, 90.0, 99.0])
-        .map_err(|e| e.to_string())?;
+    let pct =
+        regret::rr_percentiles(&m, &selection, &[70.0, 90.0, 99.0]).map_err(|e| e.to_string())?;
     Ok(format!(
         "selection {:?}\narr = {:.6}\nvrr = {:.6}\nrr std-dev = {:.6}\nsampled mrr = {:.6}\n\
          rr @ p70/p90/p99 = {:.6}/{:.6}/{:.6}",
@@ -173,8 +170,7 @@ mod tests {
     use super::*;
 
     fn argv(s: &str) -> ParsedArgs {
-        ParsedArgs::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>())
-            .unwrap()
+        ParsedArgs::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>()).unwrap()
     }
 
     fn tmp(name: &str) -> String {
@@ -187,18 +183,16 @@ mod tests {
     fn generate_then_skyline_then_select_then_evaluate() {
         let path = tmp("roundtrip.csv");
         let msg =
-            generate(&argv(&format!("--out {path} --n 300 --d 3 --corr anti --seed 7")))
-                .unwrap();
+            generate(&argv(&format!("--out {path} --n 300 --d 3 --corr anti --seed 7"))).unwrap();
         assert!(msg.contains("300 points"));
 
         let msg = skyline_cmd(&argv(&format!("--data {path}"))).unwrap();
         assert!(msg.contains("skyline"));
 
         for algo in ["greedy-shrink", "add-greedy", "mrr-greedy", "sky-dom", "k-hit"] {
-            let msg = select(&argv(&format!(
-                "--data {path} --k 5 --algo {algo} --samples 200 --seed 7"
-            )))
-            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            let msg =
+                select(&argv(&format!("--data {path} --k 5 --algo {algo} --samples 200 --seed 7")))
+                    .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(msg.contains("arr ="), "{algo}: {msg}");
         }
 
@@ -212,10 +206,8 @@ mod tests {
     fn compact_flag_runs_linear_backing() {
         let path = tmp("compact.csv");
         generate(&argv(&format!("--out {path} --n 200 --d 3 --seed 9"))).unwrap();
-        let msg = select(&argv(&format!(
-            "--data {path} --k 4 --samples 150 --seed 9 --compact"
-        )))
-        .unwrap();
+        let msg = select(&argv(&format!("--data {path} --k 4 --samples 150 --seed 9 --compact")))
+            .unwrap();
         assert!(msg.contains("greedy-shrink"));
         std::fs::remove_file(&path).ok();
     }

@@ -44,7 +44,7 @@ impl Dataset {
         if data.is_empty() {
             return Err(FamError::EmptyDataset);
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(FamError::DimensionMismatch { expected: dim, got: data.len() % dim });
         }
         for (i, v) in data.iter().enumerate() {
@@ -155,10 +155,7 @@ impl Dataset {
             }
             data.extend_from_slice(self.point(i));
         }
-        let labels = self
-            .labels
-            .as_ref()
-            .map(|l| indices.iter().map(|&i| l[i].clone()).collect());
+        let labels = self.labels.as_ref().map(|l| indices.iter().map(|&i| l[i].clone()).collect());
         Ok(Dataset { data, dim: self.dim, labels })
     }
 
@@ -302,9 +299,7 @@ mod tests {
 
     #[test]
     fn subset_carries_labels() {
-        let d = sample()
-            .with_labels(vec!["a".into(), "b".into(), "c".into()])
-            .unwrap();
+        let d = sample().with_labels(vec!["a".into(), "b".into(), "c".into()]).unwrap();
         let s = d.subset(&[2, 0]).unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.point(0), &[3.0, 1.0]);

@@ -304,7 +304,7 @@ mod tests {
         for _ in 0..100 {
             let f = d.sample(&mut r);
             let u = f.utility(0, &[1.0, 1.0, 1.0]);
-            assert!(u >= 0.0 && u <= 3.0 + 1e-12);
+            assert!((0.0..=3.0 + 1e-12).contains(&u));
         }
         assert_eq!(d.dim(), 3);
         assert!(UniformLinear::new(0).is_err());

@@ -107,10 +107,7 @@ mod tests {
         let cases: Vec<(FamError, &str)> = vec![
             (FamError::EmptyDataset, "no points"),
             (FamError::ZeroDimension, "at least 1"),
-            (
-                FamError::DimensionMismatch { expected: 3, got: 2 },
-                "expected 3, got 2",
-            ),
+            (FamError::DimensionMismatch { expected: 3, got: 2 }, "expected 3, got 2"),
             (FamError::NonFinite { row: 1, col: 2 }, "row 1, column 2"),
             (FamError::NegativeValue { row: 0, col: 0 }, "R>=0"),
             (FamError::DegenerateUtility { sample: 7 }, "sample 7"),

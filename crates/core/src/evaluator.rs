@@ -11,10 +11,66 @@
 //! The structure supports both removals (GREEDY-SHRINK) and additions
 //! (ADD-GREEDY, K-HIT), so owner lists use lazy deletion: entries are
 //! verified against the exact `top1`/`top2` arrays before use.
+//!
+//! # Layout and parallelism
+//!
+//! The evaluator is layout-aware: full rebuilds and runner-up rescans
+//! stream [`ScoreSource::row_slice`] when the substrate is sample-major,
+//! and addition scans stream [`ScoreSource::column_slice`] when a
+//! point-major mirror exists (see the dual-layout notes in
+//! [`crate::scores`]). With the default `parallel` feature, [`rebuild`]
+//! and the batched rescans triggered by [`remove`] fan out over all cores
+//! through [`crate::par`]; reductions fold fixed chunks in order, so the
+//! maintained `arr` is bit-identical between serial and parallel runs.
+//!
+//! [`rebuild`]: SelectionEvaluator::new_full
+//! [`remove`]: SelectionEvaluator::remove
 
+use crate::par;
 use crate::scores::{ScoreMatrix, ScoreSource};
 
 const NONE: u32 = u32::MAX;
+
+/// Best and runner-up of sample `u` over `members`, skipping `exclude`
+/// (pass [`NONE`] to skip nothing). Streams the sample's row when the
+/// substrate is sample-major. Returned values are 0.0 when the
+/// corresponding index is [`NONE`].
+fn top_two<S: ScoreSource + ?Sized>(
+    m: &S,
+    u: usize,
+    members: &[u32],
+    exclude: u32,
+) -> (u32, f64, u32, f64) {
+    let (mut b1, mut v1, mut b2, mut v2) = (NONE, 0.0f64, NONE, 0.0f64);
+    let mut consider = |p: u32, s: f64| {
+        if b1 == NONE || s > v1 {
+            b2 = b1;
+            v2 = v1;
+            b1 = p;
+            v1 = s;
+        } else if b2 == NONE || s > v2 {
+            b2 = p;
+            v2 = s;
+        }
+    };
+    match m.row_slice(u) {
+        Some(row) => {
+            for &p in members {
+                if p != exclude {
+                    consider(p, row[p as usize]);
+                }
+            }
+        }
+        None => {
+            for &p in members {
+                if p != exclude {
+                    consider(p, m.score(u, p as usize));
+                }
+            }
+        }
+    }
+    (b1, if b1 == NONE { 0.0 } else { v1 }, b2, if b2 == NONE { 0.0 } else { v2 })
+}
 
 /// Instrumentation counters for the efficiency claims of Appendix C.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -121,36 +177,41 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
         ev
     }
 
-    /// Full O(N·|S|) recomputation of the cached state.
+    /// Full O(N·|S|) recomputation of the cached state, fanned out over
+    /// fixed sample chunks (bit-identical for any thread count: chunk
+    /// partials fold in chunk order, owner lists fill in sample order).
     fn rebuild(&mut self) {
         self.owners.iter_mut().for_each(Vec::clear);
         self.second_owners.iter_mut().for_each(Vec::clear);
+        let m = self.m;
+        let members = &self.members;
+        let chunks = par::map_chunks(m.n_samples(), par::CHUNK, |range| {
+            let mut tops = Vec::with_capacity(range.len());
+            let mut arr = 0.0;
+            for u in range {
+                let (b1, v1, b2, v2) = top_two(m, u, members, NONE);
+                arr += m.weight(u) * (1.0 - v1 / m.best_value(u));
+                tops.push((b1, v1, b2, v2));
+            }
+            (tops, arr)
+        });
         self.arr = 0.0;
-        for u in 0..self.m.n_samples() {
-            let (mut b1, mut v1, mut b2, mut v2) = (NONE, 0.0f64, NONE, 0.0f64);
-            for &p in &self.members {
-                let s = self.m.score(u, p as usize);
-                if b1 == NONE || s > v1 {
-                    b2 = b1;
-                    v2 = v1;
-                    b1 = p;
-                    v1 = s;
-                } else if b2 == NONE || s > v2 {
-                    b2 = p;
-                    v2 = s;
+        let mut u = 0usize;
+        for (tops, arr_part) in chunks {
+            self.arr += arr_part;
+            for (b1, v1, b2, v2) in tops {
+                self.top1[u] = b1;
+                self.top1_val[u] = v1;
+                self.top2[u] = b2;
+                self.top2_val[u] = v2;
+                if b1 != NONE {
+                    self.owners[b1 as usize].push(u as u32);
                 }
+                if b2 != NONE {
+                    self.second_owners[b2 as usize].push(u as u32);
+                }
+                u += 1;
             }
-            self.top1[u] = b1;
-            self.top1_val[u] = if b1 == NONE { 0.0 } else { v1 };
-            self.top2[u] = b2;
-            self.top2_val[u] = if b2 == NONE { 0.0 } else { v2 };
-            if b1 != NONE {
-                self.owners[b1 as usize].push(u as u32);
-            }
-            if b2 != NONE {
-                self.second_owners[b2 as usize].push(u as u32);
-            }
-            self.arr += self.m.weight(u) * (1.0 - self.top1_val[u] / self.m.best_value(u));
         }
     }
 
@@ -213,8 +274,8 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             }
             self.stamp[u] = self.epoch;
             self.counters.delta_rows_touched += 1;
-            delta += self.m.weight(u) * (self.top1_val[u] - self.top2_val[u])
-                / self.m.best_value(u);
+            delta +=
+                self.m.weight(u) * (self.top1_val[u] - self.top2_val[u]) / self.m.best_value(u);
         }
         delta
     }
@@ -233,10 +294,22 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
     pub fn addition_delta(&self, p: usize) -> f64 {
         debug_assert!(!self.in_sel[p], "addition_delta on selected point {p}");
         let mut delta = 0.0;
-        for u in 0..self.m.n_samples() {
-            let s = self.m.score(u, p);
-            if s > self.top1_val[u] {
-                delta -= self.m.weight(u) * (s - self.top1_val[u]) / self.m.best_value(u);
+        match self.m.column_slice(p) {
+            // Columnar fast path: stream point p's scores contiguously.
+            Some(col) => {
+                for (u, &s) in col.iter().enumerate() {
+                    if s > self.top1_val[u] {
+                        delta -= self.m.weight(u) * (s - self.top1_val[u]) / self.m.best_value(u);
+                    }
+                }
+            }
+            None => {
+                for u in 0..self.m.n_samples() {
+                    let s = self.m.score(u, p);
+                    if s > self.top1_val[u] {
+                        delta -= self.m.weight(u) * (s - self.top1_val[u]) / self.m.best_value(u);
+                    }
+                }
             }
         }
         delta
@@ -257,33 +330,86 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             .expect("member list consistent with in_sel");
         self.members.swap_remove(pos);
 
-        // Samples whose best point was p: promote the runner-up and rescan
-        // for a new runner-up.
+        // Samples whose best point was p: promote the runner-up (serial,
+        // cheap), then rescan all affected samples for a new runner-up in
+        // one parallel batch, and finally apply the results in sample-list
+        // order so arr updates fold deterministically.
         let promoted = std::mem::take(&mut self.owners[p]);
+        let mut fresh: Vec<u32> = Vec::with_capacity(promoted.len());
+        let mut old_vals: Vec<f64> = Vec::with_capacity(promoted.len());
         for &u32u in &promoted {
             let u = u32u as usize;
             if self.top1[u] != p as u32 {
                 continue; // stale entry
             }
             self.counters.promotions += 1;
-            let old_val = self.top1_val[u];
+            old_vals.push(self.top1_val[u]);
             self.top1[u] = self.top2[u];
             self.top1_val[u] = self.top2_val[u];
             if self.top1[u] != NONE {
                 self.owners[self.top1[u] as usize].push(u as u32);
             }
-            self.rescan_second(u);
+            fresh.push(u32u);
+        }
+        let rescanned = self.scan_runner_ups(&fresh);
+        for ((&u32u, old_val), (b2, v2)) in fresh.iter().zip(old_vals).zip(rescanned) {
+            let u = u32u as usize;
+            self.apply_runner_up(u, b2, v2);
             self.arr += self.m.weight(u) * (old_val - self.top1_val[u]) / self.m.best_value(u);
         }
 
-        // Samples whose runner-up was p: rescan for a new runner-up.
+        // Samples whose runner-up was p: rescan for a new runner-up (the
+        // promoted batch above already repaired its own samples). The whole
+        // batch is filtered before any repair runs, so lazy-deletion
+        // duplicates of one sample all pass the `top2 == p` check — the
+        // epoch stamp deduplicates them.
         let seconds = std::mem::take(&mut self.second_owners[p]);
-        for &u32u in &seconds {
-            let u = u32u as usize;
-            if self.top2[u] != p as u32 {
-                continue; // stale or already fixed above
-            }
-            self.rescan_second(u);
+        self.epoch += 1;
+        let stale: Vec<u32> = seconds
+            .into_iter()
+            .filter(|&u32u| {
+                let u = u32u as usize;
+                if self.top2[u] != p as u32 || self.stamp[u] == self.epoch {
+                    return false;
+                }
+                self.stamp[u] = self.epoch;
+                true
+            })
+            .collect();
+        let rescanned = self.scan_runner_ups(&stale);
+        for (&u32u, (b2, v2)) in stale.iter().zip(rescanned) {
+            self.apply_runner_up(u32u as usize, b2, v2);
+        }
+    }
+
+    /// Computes, for each listed sample, its new runner-up within the
+    /// current members (excluding the sample's best point). Pure reads;
+    /// fans out over fixed chunks when the batch is large enough to pay
+    /// for it. Per-sample outputs are independent, so chunking never
+    /// changes results.
+    fn scan_runner_ups(&self, samples: &[u32]) -> Vec<(u32, f64)> {
+        let m = self.m;
+        let members = &self.members;
+        let top1 = &self.top1;
+        let scan = |range: std::ops::Range<usize>| {
+            range
+                .map(|i| {
+                    let u = samples[i] as usize;
+                    let (b2, v2, _, _) = top_two(m, u, members, top1[u]);
+                    (b2, v2)
+                })
+                .collect::<Vec<_>>()
+        };
+        par::map_adaptive(samples.len(), members.len(), scan).concat()
+    }
+
+    /// Installs a freshly scanned runner-up for sample `u`.
+    fn apply_runner_up(&mut self, u: usize, b2: u32, v2: f64) {
+        self.counters.rescans += 1;
+        self.top2[u] = b2;
+        self.top2_val[u] = v2;
+        if b2 != NONE {
+            self.second_owners[b2 as usize].push(u as u32);
         }
     }
 
@@ -298,8 +424,14 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
         self.members.push(p as u32);
         let mut pushed_owner = false;
         let mut pushed_second = false;
-        for u in 0..self.m.n_samples() {
-            let s = self.m.score(u, p);
+        let m = self.m;
+        let col = m.column_slice(p);
+        for u in 0..m.n_samples() {
+            // Columnar fast path mirrors addition_delta's.
+            let s = match col {
+                Some(c) => c[u],
+                None => self.m.score(u, p),
+            };
             if self.top1[u] == NONE || s > self.top1_val[u] {
                 self.counters.promotions += 1;
                 // Old best becomes the runner-up.
@@ -323,28 +455,6 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             }
         }
         let _ = (pushed_owner, pushed_second);
-    }
-
-    /// Recomputes the runner-up for sample `u` by scanning the members.
-    fn rescan_second(&mut self, u: usize) {
-        self.counters.rescans += 1;
-        let b1 = self.top1[u];
-        let (mut b2, mut v2) = (NONE, 0.0f64);
-        for &q in &self.members {
-            if q == b1 {
-                continue;
-            }
-            let s = self.m.score(u, q as usize);
-            if b2 == NONE || s > v2 {
-                b2 = q;
-                v2 = s;
-            }
-        }
-        self.top2[u] = b2;
-        self.top2_val[u] = if b2 == NONE { 0.0 } else { v2 };
-        if b2 != NONE {
-            self.second_owners[b2 as usize].push(u as u32);
-        }
     }
 
     /// Debug helper: recomputes `arr(S)` from scratch and checks it against
@@ -390,10 +500,8 @@ mod tests {
         let m = matrix();
         let mut ev = SelectionEvaluator::new_full(&m);
         for p in 0..4 {
-            let expected = regret::arr_unchecked(
-                &m,
-                &(0..4).filter(|&q| q != p).collect::<Vec<_>>(),
-            );
+            let expected =
+                regret::arr_unchecked(&m, &(0..4).filter(|&q| q != p).collect::<Vec<_>>());
             let got = ev.arr() + ev.removal_delta(p);
             assert!((got - expected).abs() < 1e-12, "point {p}: {got} vs {expected}");
         }
@@ -463,17 +571,28 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_second_owner_entries_rescan_once() {
+        // Drive one sample into second_owners[2] twice via lazy deletion:
+        // rebuild pushes it, then the rescan after remove(0) pushes again.
+        let m = ScoreMatrix::from_rows(vec![vec![0.9, 0.8, 0.7, 0.6]], None).unwrap();
+        let mut ev = SelectionEvaluator::new_with(&m, &[1, 2]);
+        ev.add(0);
+        ev.add(3);
+        ev.remove(0);
+        ev.reset_counters();
+        ev.remove(2);
+        assert!(ev.verify_consistency());
+        assert_eq!(ev.counters().rescans, 1, "duplicate entries must dedupe to one rescan");
+    }
+
+    #[test]
     fn randomized_mutation_fuzz() {
         let mut rng = StdRng::seed_from_u64(42);
         for trial in 0..30 {
             let n_points = rng.gen_range(2..12);
             let n_samples = rng.gen_range(1..20);
             let rows: Vec<Vec<f64>> = (0..n_samples)
-                .map(|_| {
-                    (0..n_points)
-                        .map(|_| rng.gen_range(0.01..1.0))
-                        .collect()
-                })
+                .map(|_| (0..n_points).map(|_| rng.gen_range(0.01..1.0)).collect())
                 .collect();
             let m = ScoreMatrix::from_rows(rows, None).unwrap();
             let mut ev = SelectionEvaluator::new_full(&m);
@@ -488,8 +607,7 @@ mod tests {
                         "trial {trial}: removal delta mismatch"
                     );
                 } else {
-                    let outside: Vec<usize> =
-                        (0..n_points).filter(|&p| !ev.contains(p)).collect();
+                    let outside: Vec<usize> = (0..n_points).filter(|&p| !ev.contains(p)).collect();
                     if outside.is_empty() {
                         continue;
                     }

@@ -22,7 +22,10 @@
 //! * Chernoff sampling bounds ([`chernoff_sample_size`], Theorem 4 /
 //!   Table V);
 //! * structural-property checks (supermodularity, monotonicity, steepness —
-//!   Theorems 2–3) in [`properties`].
+//!   Theorems 2–3) in [`properties`];
+//! * the deterministic multicore substrate behind the default-on
+//!   `parallel` cargo feature ([`par`]) — every hot path runs chunked with
+//!   ordered reductions, so serial and parallel results are bit-identical.
 //!
 //! Algorithms (GREEDY-SHRINK, the exact 2-D DP, and all baselines) live in
 //! the `fam-algos` crate; the `fam` facade crate re-exports everything.
@@ -35,6 +38,7 @@ pub mod distribution;
 pub mod error;
 pub mod evaluator;
 pub mod linear_scores;
+pub mod par;
 pub mod properties;
 pub mod randext;
 pub mod regret;
@@ -52,9 +56,9 @@ pub use distribution::{
 };
 pub use error::{FamError, Result};
 pub use evaluator::{EvalCounters, SelectionEvaluator};
+pub use linear_scores::LinearScores;
 pub use regret::RegretReport;
 pub use sampling::{chernoff_epsilon, chernoff_sample_size, SampleSpec};
-pub use linear_scores::LinearScores;
 pub use scores::{ScoreMatrix, ScoreSource};
 pub use selection::Selection;
 pub use utility::{CobbDouglasUtility, LinearUtility, TableUtility, UtilityFunction};
@@ -68,12 +72,10 @@ pub mod prelude {
     };
     pub use crate::error::{FamError, Result};
     pub use crate::evaluator::SelectionEvaluator;
+    pub use crate::linear_scores::LinearScores;
     pub use crate::regret;
     pub use crate::sampling::{chernoff_epsilon, chernoff_sample_size, SampleSpec};
-    pub use crate::linear_scores::LinearScores;
     pub use crate::scores::{ScoreMatrix, ScoreSource};
     pub use crate::selection::Selection;
-    pub use crate::utility::{
-        CobbDouglasUtility, LinearUtility, TableUtility, UtilityFunction,
-    };
+    pub use crate::utility::{CobbDouglasUtility, LinearUtility, TableUtility, UtilityFunction};
 }

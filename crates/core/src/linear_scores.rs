@@ -123,23 +123,34 @@ impl LinearScores {
     fn finish(dataset: Dataset, weights: Vec<f64>, n_samples: usize) -> Result<Self> {
         let d = dataset.dim();
         let n = dataset.len();
+        // The O(nNd) best-point pass fans out over sample chunks; merging
+        // in chunk order preserves the serial scan's first-error semantics.
+        let per_sample = crate::par::map_adaptive(n_samples, n * d, |range| {
+            range
+                .map(|u| {
+                    let w = &weights[u * d..(u + 1) * d];
+                    let (mut bi, mut bv) = (0usize, f64::NEG_INFINITY);
+                    for p in 0..n {
+                        let s: f64 = dataset.point(p).iter().zip(w).map(|(a, b)| a * b).sum();
+                        if s > bv {
+                            bi = p;
+                            bv = s;
+                        }
+                    }
+                    if bv <= 0.0 {
+                        return Err(FamError::DegenerateUtility { sample: u });
+                    }
+                    Ok((bi as u32, bv))
+                })
+                .collect::<Result<Vec<_>>>()
+        });
         let mut best_index = Vec::with_capacity(n_samples);
         let mut best_value = Vec::with_capacity(n_samples);
-        for u in 0..n_samples {
-            let w = &weights[u * d..(u + 1) * d];
-            let (mut bi, mut bv) = (0usize, f64::NEG_INFINITY);
-            for p in 0..n {
-                let s: f64 = dataset.point(p).iter().zip(w).map(|(a, b)| a * b).sum();
-                if s > bv {
-                    bi = p;
-                    bv = s;
-                }
+        for chunk in per_sample {
+            for (bi, bv) in chunk? {
+                best_index.push(bi);
+                best_value.push(bv);
             }
-            if bv <= 0.0 {
-                return Err(FamError::DegenerateUtility { sample: u });
-            }
-            best_index.push(bi as u32);
-            best_value.push(bv);
         }
         Ok(LinearScores {
             weights,
@@ -214,12 +225,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn dataset() -> Dataset {
-        Dataset::from_rows(vec![
-            vec![0.9, 0.1, 0.3],
-            vec![0.2, 0.8, 0.5],
-            vec![0.5, 0.5, 0.9],
-        ])
-        .unwrap()
+        Dataset::from_rows(vec![vec![0.9, 0.1, 0.3], vec![0.2, 0.8, 0.5], vec![0.5, 0.5, 0.9]])
+            .unwrap()
     }
 
     #[test]
@@ -239,9 +246,7 @@ mod tests {
             assert_eq!(compact.best_index(u), ScoreSource::best_index(&dense, u));
             assert!((compact.best_value(u) - ScoreSource::best_value(&dense, u)).abs() < 1e-12);
             for p in 0..3 {
-                assert!(
-                    (compact.score(u, p) - ScoreSource::score(&dense, u, p)).abs() < 1e-12
-                );
+                assert!((compact.score(u, p) - ScoreSource::score(&dense, u, p)).abs() < 1e-12);
             }
         }
     }

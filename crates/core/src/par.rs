@@ -1,0 +1,308 @@
+//! Deterministic fork-join helpers — the multicore substrate behind the
+//! `parallel` cargo feature.
+//!
+//! The offline dependency set has no `rayon`, so this module provides the
+//! small slice of it the workspace needs, built on `std::thread::scope`:
+//!
+//! * [`map_chunks`] — map a function over **fixed-size** index chunks and
+//!   return the per-chunk results **in chunk order**;
+//! * [`for_each_chunk_mut`] — run a function over disjoint mutable
+//!   sub-slices of a buffer (parallel writes without `unsafe`).
+//!
+//! # Determinism contract
+//!
+//! Every reduction in the workspace folds `map_chunks` results in chunk
+//! order, and chunk boundaries depend only on the input length — never on
+//! the thread count. The serial fallback (1 core, the `parallel` feature
+//! disabled, or [`force_serial`]) executes the *same* chunked code path,
+//! so parallel and serial runs produce **bit-identical** floating-point
+//! results. Do not "optimize" a caller into accumulating across chunk
+//! boundaries; that is what breaks the contract.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Fixed reduction granularity (indices per chunk) used by the evaluation
+/// engine. Part of the determinism contract: changing it changes the
+/// floating-point grouping of every chunked sum.
+pub const CHUNK: usize = 4096;
+
+static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
+static THREAD_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Forces every helper in this module onto the serial path at runtime.
+///
+/// Intended for benchmarks (serial-vs-parallel A/B on one binary) and
+/// equivalence tests; results are bit-identical either way.
+pub fn force_serial(on: bool) {
+    FORCE_SERIAL.store(on, Ordering::SeqCst);
+}
+
+/// Whether [`force_serial`] is currently active.
+pub fn serial_forced() -> bool {
+    FORCE_SERIAL.load(Ordering::SeqCst)
+}
+
+/// Overrides the worker count ( `None` restores auto-detection). Lets
+/// equivalence tests exercise genuine multi-threaded execution on
+/// machines that report a single core; [`force_serial`] wins when active.
+pub fn set_max_threads(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.map_or(0, |t| t.max(1)), Ordering::SeqCst);
+}
+
+/// Number of worker threads the helpers may use right now.
+#[cfg(feature = "parallel")]
+pub fn max_threads() -> usize {
+    if serial_forced() {
+        return 1;
+    }
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        t => t,
+    }
+}
+
+/// Number of worker threads the helpers may use right now (always 1
+/// without the `parallel` feature).
+#[cfg(not(feature = "parallel"))]
+pub fn max_threads() -> usize {
+    1
+}
+
+/// Splits `0..len` into chunks of `chunk` indices (the last may be short).
+pub fn chunk_ranges(len: usize, chunk: usize) -> Vec<Range<usize>> {
+    assert!(chunk > 0, "chunk size must be positive");
+    (0..len.div_ceil(chunk)).map(|i| i * chunk..((i + 1) * chunk).min(len)).collect()
+}
+
+/// Applies `f` to every chunk of `0..len` and returns the results in
+/// chunk order. Runs on up to [`max_threads`] workers; the serial
+/// fallback applies `f` to the identical chunks in the identical order.
+pub fn map_chunks<R, F>(len: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(len, chunk);
+    run_indexed(ranges.len(), max_threads(), |i| f(ranges[i].clone()))
+}
+
+/// Applies `f(chunk_index, sub_slice)` to disjoint consecutive sub-slices
+/// of `data`, each covering `chunk_items` items (the last may be short).
+///
+/// Writes are element-wise independent by construction, so the result is
+/// identical for any thread count.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_items: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_items > 0, "chunk size must be positive");
+    let threads = max_threads();
+    if threads <= 1 || data.len() <= chunk_items {
+        for (i, c) in data.chunks_mut(chunk_items).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_items);
+    let queue: std::sync::Mutex<std::iter::Enumerate<std::slice::ChunksMut<'_, T>>> =
+        std::sync::Mutex::new(data.chunks_mut(chunk_items).enumerate());
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n_chunks) {
+            s.spawn(|| loop {
+                let item = queue.lock().expect("chunk queue poisoned").next();
+                match item {
+                    Some((i, c)) => f(i, c),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Computes `f(i)` for `i in 0..count` on up to `threads` workers,
+/// returning results in index order.
+fn run_indexed<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(count) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|o| o.expect("every chunk sends exactly one result")).collect()
+    })
+}
+
+/// Chunked map for calls whose per-chunk results are chunking-independent
+/// (pure per-item maps, argmin/argmax folds with index tie-breaks — *not*
+/// floating-point sums, which need the fixed [`CHUNK`] of [`map_chunks`]).
+///
+/// `per_item` estimates the work units (roughly one score read each) per
+/// index. Batches below ~256k total units (~0.25 ms) run as one chunk:
+/// spawning a scoped-thread team costs tens of microseconds, so smaller
+/// batches — e.g. the per-removal rescans inside GREEDY-SHRINK's loop —
+/// would pay more in spawn latency than the work itself.
+pub fn map_adaptive<R, F>(len: usize, per_item: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = max_threads();
+    if threads <= 1 || len.saturating_mul(per_item.max(1)) < (1 << 18) {
+        return vec![f(0..len)];
+    }
+    let chunk = len.div_ceil(threads * 4).clamp(1, CHUNK);
+    map_chunks(len, chunk, f)
+}
+
+/// Deterministic parallel argument-reduction over `0..len`: evaluates
+/// `eval(i)` for every index (`None` skips it) and keeps the winning
+/// `(value, index)` under `better(candidate, incumbent)` (`true` when the
+/// candidate **strictly** wins).
+///
+/// Chunk winners fold in chunk order, so ties always keep the earliest
+/// index — exactly what a serial first-wins scan produces. Every argmin /
+/// argmax fan-out in the workspace goes through here so the tie-break
+/// rule is single-sourced; `per_item` is the work estimate per index (see
+/// [`map_adaptive`]).
+pub fn arg_reduce<V, E, B>(len: usize, per_item: usize, eval: E, better: B) -> Option<(V, usize)>
+where
+    V: Send,
+    E: Fn(usize) -> Option<V> + Sync,
+    B: Fn(&V, &V) -> bool + Sync,
+{
+    map_adaptive(len, per_item, |range| {
+        let mut best: Option<(V, usize)> = None;
+        for i in range {
+            if let Some(v) = eval(i) {
+                match &best {
+                    Some((incumbent, _)) if !better(&v, incumbent) => {}
+                    _ => best = Some((v, i)),
+                }
+            }
+        }
+        best
+    })
+    .into_iter()
+    .flatten()
+    .reduce(|a, b| if better(&b.0, &a.0) { b } else { a })
+}
+
+/// Sums `f` over fixed chunks of `0..len`, folding partial sums in chunk
+/// order — the canonical deterministic reduction of the engine.
+pub fn sum_chunked<F>(len: usize, f: F) -> f64
+where
+    F: Fn(Range<usize>) -> f64 + Sync,
+{
+    map_chunks(len, CHUNK, f).into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_everything() {
+        assert_eq!(chunk_ranges(0, 4), Vec::<Range<usize>>::new());
+        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(chunk_ranges(3, 4), vec![0..3]);
+    }
+
+    #[test]
+    fn map_chunks_returns_in_order() {
+        let got = map_chunks(1000, 7, |r| r.start);
+        let want: Vec<usize> = (0..1000).step_by(7).collect();
+        assert_eq!(got, want);
+    }
+
+    // The two checks below toggle the process-global execution-mode
+    // switches, so they run inside one #[test]: on concurrent harness
+    // threads one check's force_serial(true) could overlap the other's
+    // parallel leg and make the comparison vacuous.
+    #[test]
+    fn execution_mode_toggles_preserve_results() {
+        forced_serial_matches_parallel();
+        arg_reduce_matches_serial_first_wins_scan();
+    }
+
+    fn forced_serial_matches_parallel() {
+        let f = |r: Range<usize>| r.map(|i| (i as f64).sqrt()).sum::<f64>();
+        force_serial(true);
+        let serial = sum_chunked(100_000, f);
+        force_serial(false);
+        set_max_threads(Some(4));
+        let parallel = sum_chunked(100_000, f);
+        set_max_threads(None);
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn for_each_chunk_mut_writes_disjointly() {
+        let mut data = vec![0usize; 1003];
+        for_each_chunk_mut(&mut data, 10, |i, c| {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = i * 10 + j;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    fn arg_reduce_matches_serial_first_wins_scan() {
+        // Values with many ties: the winner must be the earliest index
+        // among the minima, with skips honored, in every mode.
+        let vals: Vec<u64> = (0..10_000).map(|i| (i * 7919) % 13).collect();
+        let eval = |i: usize| (!i.is_multiple_of(3)).then_some(vals[i]);
+        let serial_expected = vals
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !i.is_multiple_of(3))
+            .min_by_key(|&(_, v)| v)
+            .map(|(i, v)| (*v, i));
+        force_serial(true);
+        let serial = arg_reduce(vals.len(), 1 << 10, eval, |a, b| a < b);
+        force_serial(false);
+        set_max_threads(Some(4));
+        let parallel = arg_reduce(vals.len(), 1 << 10, eval, |a, b| a < b);
+        set_max_threads(None);
+        assert_eq!(serial, serial_expected);
+        assert_eq!(serial, parallel);
+        assert_eq!(arg_reduce(0, 1, |_| Some(1u8), |a, b| a < b), None);
+    }
+
+    #[test]
+    fn sum_chunked_is_chunk_order_fold() {
+        let direct: f64 =
+            map_chunks(10_000, CHUNK, |r| r.map(|i| i as f64).sum::<f64>()).into_iter().sum();
+        assert_eq!(direct.to_bits(), sum_chunked(10_000, |r| r.map(|i| i as f64).sum()).to_bits());
+    }
+}

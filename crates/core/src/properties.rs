@@ -77,7 +77,10 @@ pub struct SupermodularityViolation {
 /// `arr(S ∪ {x}) − arr(S) ≤ arr(T ∪ {x}) − arr(T)` for **all** chains
 /// `S ⊆ T` and `x ∉ T` of a small universe (Theorem 2). Returns the first
 /// violation, if any. Exponential in `n_points`; intended for `n ≤ ~12`.
-pub fn check_supermodularity<S: ScoreSource + ?Sized>(m: &S, tolerance: f64) -> Option<SupermodularityViolation> {
+pub fn check_supermodularity<S: ScoreSource + ?Sized>(
+    m: &S,
+    tolerance: f64,
+) -> Option<SupermodularityViolation> {
     let n = m.n_points();
     assert!(n <= 16, "exhaustive check is exponential; use small universes");
     let arr_of = |mask: u32| -> f64 {
@@ -124,7 +127,10 @@ pub fn check_supermodularity<S: ScoreSource + ?Sized>(m: &S, tolerance: f64) -> 
 /// Checks that `arr` is monotonically decreasing (Lemma 1) over all subsets
 /// of a small universe: adding any point never increases `arr`.
 /// Returns the first violating `(set, x)` pair, if any.
-pub fn check_monotone_decreasing<S: ScoreSource + ?Sized>(m: &S, tolerance: f64) -> Option<(Vec<usize>, usize)> {
+pub fn check_monotone_decreasing<S: ScoreSource + ?Sized>(
+    m: &S,
+    tolerance: f64,
+) -> Option<(Vec<usize>, usize)> {
     let n = m.n_points();
     assert!(n <= 16, "exhaustive check is exponential; use small universes");
     let total = 1u32 << n;
@@ -198,9 +204,8 @@ mod tests {
         for _ in 0..20 {
             let n = rng.gen_range(2..7);
             let users = rng.gen_range(1..6);
-            let rows: Vec<Vec<f64>> = (0..users)
-                .map(|_| (0..n).map(|_| rng.gen_range(0.01..1.0)).collect())
-                .collect();
+            let rows: Vec<Vec<f64>> =
+                (0..users).map(|_| (0..n).map(|_| rng.gen_range(0.01..1.0)).collect()).collect();
             let m = ScoreMatrix::from_rows(rows, None).unwrap();
             assert_eq!(check_supermodularity(&m, 1e-9), None);
             assert_eq!(check_monotone_decreasing(&m, 1e-9), None);

@@ -13,7 +13,11 @@ use crate::stats;
 /// (0 for the empty selection, per Definition 2).
 #[inline]
 pub fn sat<S: ScoreSource + ?Sized>(m: &S, u: usize, selection: &[usize]) -> f64 {
-    selection.iter().fold(0.0f64, |acc, &p| acc.max(m.score(u, p)))
+    match m.row_slice(u) {
+        // Sample-major fast path: gather from the contiguous row.
+        Some(row) => selection.iter().fold(0.0f64, |acc, &p| acc.max(row[p])),
+        None => selection.iter().fold(0.0f64, |acc, &p| acc.max(m.score(u, p))),
+    }
 }
 
 /// `rr(S, f_u)` — regret ratio of sample `u` with respect to the selection.
@@ -90,14 +94,15 @@ pub fn mrr_sampled<S: ScoreSource + ?Sized>(m: &S, selection: &[usize]) -> Resul
 /// # Errors
 ///
 /// Returns an error for invalid selections.
-pub fn rr_percentiles<S: ScoreSource + ?Sized>(m: &S, selection: &[usize], percentiles: &[f64]) -> Result<Vec<f64>> {
+pub fn rr_percentiles<S: ScoreSource + ?Sized>(
+    m: &S,
+    selection: &[usize],
+    percentiles: &[f64],
+) -> Result<Vec<f64>> {
     validate_selection(m, selection)?;
     let rrs = rr_all(m, selection);
-    let mut pairs: Vec<(f64, f64)> = rrs
-        .iter()
-        .enumerate()
-        .map(|(u, &r)| (r, m.weight(u)))
-        .collect();
+    let mut pairs: Vec<(f64, f64)> =
+        rrs.iter().enumerate().map(|(u, &r)| (r, m.weight(u))).collect();
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite regret ratios"));
     Ok(percentiles.iter().map(|&q| stats::weighted_percentile_sorted(&pairs, q)).collect())
 }
@@ -130,11 +135,8 @@ pub fn report<S: ScoreSource + ?Sized>(m: &S, selection: &[usize]) -> Result<Reg
         mean += m.weight(u) * r;
         mrr = mrr.max(r);
     }
-    let vrr = rrs
-        .iter()
-        .enumerate()
-        .map(|(u, &r)| m.weight(u) * (r - mean) * (r - mean))
-        .sum::<f64>();
+    let vrr =
+        rrs.iter().enumerate().map(|(u, &r)| m.weight(u) * (r - mean) * (r - mean)).sum::<f64>();
     Ok(RegretReport { arr: mean, vrr, std_dev: vrr.sqrt(), mrr })
 }
 
@@ -190,9 +192,8 @@ mod tests {
         // arr(S) with uniform probabilities = mean of per-user rr.
         let m = table_i();
         let s = [2, 3];
-        let expected = ((1.0 - 0.4 / 0.9) + (1.0 - 0.5 / 1.0) + (1.0 - 1.0 / 1.0)
-            + (1.0 - 1.0 / 1.0))
-            / 4.0;
+        let expected =
+            ((1.0 - 0.4 / 0.9) + (1.0 - 0.5 / 1.0) + (1.0 - 1.0 / 1.0) + (1.0 - 1.0 / 1.0)) / 4.0;
         assert!((arr(&m, &s).unwrap() - expected).abs() < 1e-12);
     }
 
@@ -221,11 +222,8 @@ mod tests {
 
     #[test]
     fn weighted_arr_uses_probabilities() {
-        let m = ScoreMatrix::from_rows(
-            vec![vec![1.0, 0.5], vec![0.5, 1.0]],
-            Some(vec![0.9, 0.1]),
-        )
-        .unwrap();
+        let m = ScoreMatrix::from_rows(vec![vec![1.0, 0.5], vec![0.5, 1.0]], Some(vec![0.9, 0.1]))
+            .unwrap();
         // S = {0}: user0 rr=0 (w 0.9), user1 rr=0.5 (w 0.1).
         assert!((arr(&m, &[0]).unwrap() - 0.05).abs() < 1e-12);
         // S = {1}: user0 rr=0.5 (w 0.9), user1 rr=0.

@@ -45,10 +45,7 @@ pub fn chernoff_sample_size(epsilon: f64, sigma: f64) -> Result<u64> {
 /// Returns an error unless `n >= 1` and `0 < sigma < 1`.
 pub fn chernoff_epsilon(n: u64, sigma: f64) -> Result<f64> {
     if n == 0 {
-        return Err(FamError::InvalidParameter {
-            name: "n",
-            message: "must be at least 1".into(),
-        });
+        return Err(FamError::InvalidParameter { name: "n", message: "must be at least 1".into() });
     }
     if !(sigma > 0.0 && sigma < 1.0 && sigma.is_finite()) {
         return Err(FamError::InvalidParameter {

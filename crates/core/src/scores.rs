@@ -6,6 +6,27 @@
 //! corresponds exactly to the paper's preprocessing step: sample `N` utility
 //! functions from `Θ` (`O(nN)`) and find each user's best point in `D`
 //! (`O(nN)`).
+//!
+//! # Dual layout
+//!
+//! The matrix is stored **sample-major** (row `u` is contiguous) *and*, by
+//! default, mirrored **point-major** (column `p` contiguous) at roughly 2×
+//! memory. The two layouts serve the two access patterns of the paper's
+//! algorithms:
+//!
+//! * removal rescans (GREEDY-SHRINK, the evaluator's `rebuild`) stream a
+//!   sample's **row**;
+//! * addition scans (ADD-GREEDY, K-HIT, MRR-GREEDY) stream a candidate
+//!   point's **column** — without the mirror each probe is a stride-`n`
+//!   cache miss.
+//!
+//! Both layouts are reachable through [`ScoreSource::row_slice`] /
+//! [`ScoreSource::column_slice`]; call [`ScoreMatrix::drop_column_mirror`]
+//! to trade the addition-scan speedup back for memory (the compact
+//! [`crate::linear_scores::LinearScores`] substrate never builds a
+//! mirror). Construction and the per-row best-point pass run on all cores
+//! when the default `parallel` feature is enabled; results are
+//! bit-identical to the serial build (see [`crate::par`]).
 
 use std::sync::Arc;
 
@@ -36,6 +57,24 @@ pub trait ScoreSource: Send + Sync {
     fn best_index(&self, u: usize) -> usize;
     /// `sat(D, f_u)` — sample `u`'s best database score.
     fn best_value(&self, u: usize) -> f64;
+
+    /// Contiguous slice of sample `u`'s scores over all points, when the
+    /// substrate stores samples contiguously. Algorithms use this to turn
+    /// per-element [`ScoreSource::score`] probes into streaming reads; the
+    /// default (`None`) keeps recomputing substrates valid.
+    fn row_slice(&self, u: usize) -> Option<&[f64]> {
+        let _ = u;
+        None
+    }
+
+    /// Contiguous slice of point `p`'s scores over all samples, when the
+    /// substrate maintains a point-major layout (see
+    /// [`ScoreMatrix::column`]). The default (`None`) signals that column
+    /// access costs a stride-`n_points` walk.
+    fn column_slice(&self, p: usize) -> Option<&[f64]> {
+        let _ = p;
+        None
+    }
 }
 
 impl ScoreSource for ScoreMatrix {
@@ -68,6 +107,16 @@ impl ScoreSource for ScoreMatrix {
     fn best_value(&self, u: usize) -> f64 {
         ScoreMatrix::best_value(self, u)
     }
+
+    #[inline]
+    fn row_slice(&self, u: usize) -> Option<&[f64]> {
+        Some(ScoreMatrix::row(self, u))
+    }
+
+    #[inline]
+    fn column_slice(&self, p: usize) -> Option<&[f64]> {
+        ScoreMatrix::column(self, p)
+    }
 }
 
 /// An `N × n` matrix of utility scores with per-row probability weights.
@@ -80,6 +129,10 @@ impl ScoreSource for ScoreMatrix {
 #[derive(Debug, Clone)]
 pub struct ScoreMatrix {
     scores: Vec<f64>,
+    /// Point-major mirror: `columns[p * n_samples + u] == scores[u * n_points + p]`.
+    /// Built at construction unless opted out; costs ~2× memory and buys
+    /// contiguous column access for addition scans.
+    columns: Option<Vec<f64>>,
     n_samples: usize,
     n_points: usize,
     weights: Vec<f64>,
@@ -133,12 +186,19 @@ impl ScoreMatrix {
             });
         }
         let n_points = dataset.len();
-        let mut scores = Vec::with_capacity(functions.len() * n_points);
-        for f in functions {
-            for (idx, p) in dataset.points().enumerate() {
-                scores.push(f.utility(idx, p));
+        // Score samples in parallel: each worker fills a disjoint block of
+        // whole rows, so the buffer is identical for any thread count.
+        let mut scores = vec![0.0f64; functions.len() * n_points];
+        let rows_per_chunk = (crate::par::CHUNK / n_points.max(1)).max(1);
+        crate::par::for_each_chunk_mut(&mut scores, rows_per_chunk * n_points, |chunk, out| {
+            let first_row = chunk * rows_per_chunk;
+            for (local, row) in out.chunks_mut(n_points).enumerate() {
+                let f = &functions[first_row + local];
+                for (idx, p) in dataset.points().enumerate() {
+                    row[idx] = f.utility(idx, p);
+                }
             }
-        }
+        });
         Self::from_flat(scores, functions.len(), n_points, weights)
     }
 
@@ -172,7 +232,8 @@ impl ScoreMatrix {
         Self::from_flat(scores, n_samples, n_points, weights)
     }
 
-    /// Builds from a flat row-major buffer (`n_samples` rows of `n_points`).
+    /// Builds from a flat row-major buffer (`n_samples` rows of `n_points`),
+    /// constructing the point-major mirror.
     ///
     /// # Errors
     ///
@@ -183,6 +244,23 @@ impl ScoreMatrix {
         n_points: usize,
         weights: Option<Vec<f64>>,
     ) -> Result<Self> {
+        Self::from_flat_with_layout(scores, n_samples, n_points, weights, true)
+    }
+
+    /// Builds from a flat row-major buffer, choosing whether to construct
+    /// the point-major mirror (`mirror = false` halves memory but makes
+    /// [`ScoreMatrix::column`] return `None`).
+    ///
+    /// # Errors
+    ///
+    /// See [`ScoreMatrix::from_rows`].
+    pub fn from_flat_with_layout(
+        scores: Vec<f64>,
+        n_samples: usize,
+        n_points: usize,
+        weights: Option<Vec<f64>>,
+        mirror: bool,
+    ) -> Result<Self> {
         if n_points == 0 {
             return Err(FamError::EmptyDataset);
         }
@@ -192,13 +270,20 @@ impl ScoreMatrix {
                 got: scores.len(),
             });
         }
-        for (i, s) in scores.iter().enumerate() {
-            if !s.is_finite() {
-                return Err(FamError::NonFinite { row: i / n_points, col: i % n_points });
+        // Validate in parallel chunks; the merge keeps the first offending
+        // index, matching the serial scan's error exactly.
+        let violation = crate::par::map_chunks(scores.len(), crate::par::CHUNK, |range| {
+            range.clone().find(|&i| !scores[i].is_finite() || scores[i] < 0.0)
+        })
+        .into_iter()
+        .flatten()
+        .next();
+        if let Some(i) = violation {
+            let (row, col) = (i / n_points, i % n_points);
+            if !scores[i].is_finite() {
+                return Err(FamError::NonFinite { row, col });
             }
-            if *s < 0.0 {
-                return Err(FamError::NegativeValue { row: i / n_points, col: i % n_points });
-            }
+            return Err(FamError::NegativeValue { row, col });
         }
         let weights = match weights {
             Some(mut w) => {
@@ -222,25 +307,35 @@ impl ScoreMatrix {
             }
             None => vec![1.0 / n_samples as f64; n_samples],
         };
-        // Precompute each user's best point in D (the paper's preprocessing).
+        // Precompute each user's best point in D (the paper's
+        // preprocessing), one parallel chunk of rows at a time.
+        let per_row = crate::par::map_chunks(n_samples, crate::par::CHUNK, |rows| {
+            rows.map(|u| {
+                let row = &scores[u * n_points..(u + 1) * n_points];
+                let (mut bi, mut bv) = (0usize, row[0]);
+                for (i, &v) in row.iter().enumerate().skip(1) {
+                    if v > bv {
+                        bi = i;
+                        bv = v;
+                    }
+                }
+                if bv <= 0.0 {
+                    return Err(FamError::DegenerateUtility { sample: u });
+                }
+                Ok((bi as u32, bv))
+            })
+            .collect::<Result<Vec<_>>>()
+        });
         let mut best_index = Vec::with_capacity(n_samples);
         let mut best_value = Vec::with_capacity(n_samples);
-        for u in 0..n_samples {
-            let row = &scores[u * n_points..(u + 1) * n_points];
-            let (mut bi, mut bv) = (0usize, row[0]);
-            for (i, &v) in row.iter().enumerate().skip(1) {
-                if v > bv {
-                    bi = i;
-                    bv = v;
-                }
+        for chunk in per_row {
+            for (bi, bv) in chunk? {
+                best_index.push(bi);
+                best_value.push(bv);
             }
-            if bv <= 0.0 {
-                return Err(FamError::DegenerateUtility { sample: u });
-            }
-            best_index.push(bi as u32);
-            best_value.push(bv);
         }
-        Ok(ScoreMatrix { scores, n_samples, n_points, weights, best_index, best_value })
+        let columns = mirror.then(|| transpose(&scores, n_samples, n_points));
+        Ok(ScoreMatrix { scores, columns, n_samples, n_points, weights, best_index, best_value })
     }
 
     /// Number of utility samples `N`.
@@ -265,6 +360,50 @@ impl ScoreMatrix {
     #[inline]
     pub fn row(&self, u: usize) -> &[f64] {
         &self.scores[u * self.n_points..(u + 1) * self.n_points]
+    }
+
+    /// Contiguous score column of point `p` (one entry per sample), when
+    /// the point-major mirror is present.
+    #[inline]
+    pub fn column(&self, p: usize) -> Option<&[f64]> {
+        self.columns.as_deref().map(|c| &c[p * self.n_samples..(p + 1) * self.n_samples])
+    }
+
+    /// Whether the point-major mirror is present.
+    #[inline]
+    pub fn has_column_mirror(&self) -> bool {
+        self.columns.is_some()
+    }
+
+    /// Drops the point-major mirror, halving memory; column access falls
+    /// back to strided row probes. Used by benchmarks to A/B the layouts.
+    #[must_use]
+    pub fn drop_column_mirror(mut self) -> Self {
+        self.columns = None;
+        self
+    }
+
+    /// Clone that skips the point-major mirror — the cheap way to obtain a
+    /// row-major-only copy for layout A/B comparisons (a full `clone()`
+    /// would deep-copy the mirror just to throw it away).
+    #[must_use]
+    pub fn clone_without_mirror(&self) -> Self {
+        ScoreMatrix {
+            scores: self.scores.clone(),
+            columns: None,
+            n_samples: self.n_samples,
+            n_points: self.n_points,
+            weights: self.weights.clone(),
+            best_index: self.best_index.clone(),
+            best_value: self.best_value.clone(),
+        }
+    }
+
+    /// (Re)builds the point-major mirror if absent.
+    pub fn build_column_mirror(&mut self) {
+        if self.columns.is_none() {
+            self.columns = Some(transpose(&self.scores, self.n_samples, self.n_points));
+        }
     }
 
     /// Probability mass of sample `u` (weights sum to 1 over all samples).
@@ -319,8 +458,37 @@ impl ScoreMatrix {
                 scores.push(row[c]);
             }
         }
-        ScoreMatrix::from_flat(scores, self.n_samples, columns.len(), Some(self.weights.clone()))
+        ScoreMatrix::from_flat_with_layout(
+            scores,
+            self.n_samples,
+            columns.len(),
+            Some(self.weights.clone()),
+            self.columns.is_some(),
+        )
     }
+}
+
+/// Cache-blocked transpose of a row-major `n_samples × n_points` buffer
+/// into a point-major mirror, parallelized over bands of columns.
+fn transpose(scores: &[f64], n_samples: usize, n_points: usize) -> Vec<f64> {
+    const BLOCK: usize = 64;
+    let mut columns = vec![0.0f64; scores.len()];
+    let cols_per_chunk = (crate::par::CHUNK / n_samples.max(1)).max(BLOCK);
+    crate::par::for_each_chunk_mut(&mut columns, cols_per_chunk * n_samples, |chunk, out| {
+        let first_col = chunk * cols_per_chunk;
+        let band = out.len() / n_samples;
+        for u0 in (0..n_samples).step_by(BLOCK) {
+            let u1 = (u0 + BLOCK).min(n_samples);
+            for local in 0..band {
+                let p = first_col + local;
+                let col = &mut out[local * n_samples..(local + 1) * n_samples];
+                for u in u0..u1 {
+                    col[u] = scores[u * n_points + p];
+                }
+            }
+        }
+    });
+    columns
 }
 
 #[cfg(test)]
@@ -403,11 +571,8 @@ mod tests {
 
     #[test]
     fn weights_are_normalized() {
-        let m = ScoreMatrix::from_rows(
-            vec![vec![1.0, 0.5], vec![0.5, 1.0]],
-            Some(vec![3.0, 1.0]),
-        )
-        .unwrap();
+        let m = ScoreMatrix::from_rows(vec![vec![1.0, 0.5], vec![0.5, 1.0]], Some(vec![3.0, 1.0]))
+            .unwrap();
         assert!((m.weight(0) - 0.75).abs() < 1e-12);
         assert!((m.weight(1) - 0.25).abs() < 1e-12);
     }

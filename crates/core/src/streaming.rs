@@ -101,13 +101,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn dataset() -> Dataset {
-        Dataset::from_rows(vec![
-            vec![0.9, 0.1],
-            vec![0.5, 0.5],
-            vec![0.1, 0.9],
-            vec![0.7, 0.4],
-        ])
-        .unwrap()
+        Dataset::from_rows(vec![vec![0.9, 0.1], vec![0.5, 0.5], vec![0.1, 0.9], vec![0.7, 0.4]])
+            .unwrap()
     }
 
     #[test]

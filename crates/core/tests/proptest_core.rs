@@ -3,10 +3,7 @@
 use fam_core::{regret, ScoreMatrix, SelectionEvaluator};
 use proptest::prelude::*;
 
-fn matrix_strategy(
-    max_points: usize,
-    max_users: usize,
-) -> impl Strategy<Value = ScoreMatrix> {
+fn matrix_strategy(max_points: usize, max_users: usize) -> impl Strategy<Value = ScoreMatrix> {
     (2..=max_points, 1..=max_users).prop_flat_map(|(n, u)| {
         proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, n), u)
             .prop_map(|rows| ScoreMatrix::from_rows(rows, None).unwrap())
@@ -105,6 +102,81 @@ proptest! {
             prop_assert!((m.best_value(u) - manual).abs() < 1e-15);
             prop_assert!(m.best_value(u) > 0.0);
             prop_assert!((row[m.best_index(u)] - manual).abs() < 1e-15);
+        }
+    }
+}
+
+// Properties of the dual-layout score substrate (point-major mirror).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The point-major mirror agrees with `score(u, p)` entry for entry,
+    /// and `row_slice` exposes exactly the sample-major rows.
+    #[test]
+    fn column_mirror_matches_scores(m in matrix_strategy(12, 12)) {
+        use fam_core::ScoreSource;
+        prop_assert!(m.has_column_mirror());
+        for p in 0..m.n_points() {
+            let col = m.column(p).expect("mirror present");
+            prop_assert_eq!(col.len(), m.n_samples());
+            for (u, &v) in col.iter().enumerate() {
+                prop_assert_eq!(v.to_bits(), m.score(u, p).to_bits());
+            }
+        }
+        for u in 0..m.n_samples() {
+            let row = m.row_slice(u).expect("matrix is sample-major");
+            for (p, &v) in row.iter().enumerate() {
+                prop_assert_eq!(v.to_bits(), m.score(u, p).to_bits());
+            }
+        }
+    }
+
+    /// Dropping the mirror changes layout only: every score, best value,
+    /// and evaluator result is unchanged, and `column` reports `None`.
+    #[test]
+    fn mirrorless_matrix_is_equivalent(m in matrix_strategy(10, 10)) {
+        use fam_core::ScoreSource;
+        let bare = m.clone_without_mirror();
+        prop_assert!(!bare.has_column_mirror());
+        prop_assert!(bare.column(0).is_none());
+        prop_assert!(ScoreSource::column_slice(&bare, 0).is_none());
+        for u in 0..m.n_samples() {
+            prop_assert_eq!(bare.best_value(u).to_bits(), m.best_value(u).to_bits());
+            for p in 0..m.n_points() {
+                prop_assert_eq!(bare.score(u, p).to_bits(), m.score(u, p).to_bits());
+            }
+        }
+        let mut with = SelectionEvaluator::new_full(&m);
+        let mut without = SelectionEvaluator::new_full(&bare);
+        prop_assert_eq!(with.arr().to_bits(), without.arr().to_bits());
+        for p in (0..m.n_points() - 1).rev() {
+            prop_assert_eq!(
+                with.removal_delta(p).to_bits(),
+                without.removal_delta(p).to_bits()
+            );
+            with.remove(p);
+            without.remove(p);
+            prop_assert_eq!(with.arr().to_bits(), without.arr().to_bits());
+        }
+        // Additions exercise the columnar fast path against the probe path.
+        for p in 1..m.n_points() - 1 {
+            prop_assert_eq!(
+                with.addition_delta(p).to_bits(),
+                without.addition_delta(p).to_bits()
+            );
+            with.add(p);
+            without.add(p);
+            prop_assert_eq!(with.arr().to_bits(), without.arr().to_bits());
+        }
+    }
+
+    /// A rebuilt mirror is identical to the one made at construction.
+    #[test]
+    fn rebuilt_mirror_roundtrips(m in matrix_strategy(9, 9)) {
+        let mut bare = m.clone_without_mirror();
+        bare.build_column_mirror();
+        for p in 0..m.n_points() {
+            prop_assert_eq!(m.column(p).unwrap(), bare.column(p).unwrap());
         }
     }
 }

@@ -20,8 +20,7 @@ pub fn write_csv(dataset: &Dataset, path: &Path) -> Result<()> {
     let file = File::create(path).map_err(|e| io_err("create", path, &e))?;
     let mut w = BufWriter::new(file);
     for i in 0..dataset.len() {
-        let coords: Vec<String> =
-            dataset.point(i).iter().map(|v| format!("{v}")).collect();
+        let coords: Vec<String> = dataset.point(i).iter().map(|v| format!("{v}")).collect();
         let line = match dataset.label(i) {
             Some(l) => format!("{l},{}", coords.join(",")),
             None => coords.join(","),
@@ -77,10 +76,7 @@ pub fn read_csv(path: &Path, labelled: bool) -> Result<Dataset> {
 }
 
 fn io_err(op: &str, path: &Path, e: &dyn std::fmt::Display) -> FamError {
-    FamError::InvalidParameter {
-        name: "io",
-        message: format!("{op} {}: {e}", path.display()),
-    }
+    FamError::InvalidParameter { name: "io", message: format!("{op} {}: {e}", path.display()) }
 }
 
 #[cfg(test)]

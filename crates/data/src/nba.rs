@@ -123,17 +123,11 @@ pub fn roster_with_size(n: usize, rng: &mut dyn RngCore) -> Result<Roster> {
         let boost = if elite { 1.18 } else { 1.0 };
         let mut stats = Vec::with_capacity(ROSTER_DIMS);
         for c in 0..ROSTER_DIMS {
-            let mean =
-                if strong.contains(&c) { strong_mean * boost } else { weak_mean };
+            let mean = if strong.contains(&c) { strong_mean * boost } else { weak_mean };
             stats.push((mean + normal(rng, 0.0, 0.08)).clamp(0.0, 1.0));
         }
         rows.push(stats);
-        labels.push(format!(
-            "{}{}-{:03}",
-            archetype.tag(),
-            if elite { "*" } else { "" },
-            i
-        ));
+        labels.push(format!("{}{}-{:03}", archetype.tag(), if elite { "*" } else { "" }, i));
         archetypes.push(archetype);
     }
     let dataset = Dataset::from_rows(rows)?.normalized_max().with_labels(labels)?;
@@ -184,9 +178,7 @@ mod tests {
     fn elite_labels_are_marked() {
         let mut rng = StdRng::seed_from_u64(9);
         let r = roster_with_size(400, &mut rng).unwrap();
-        let elites = (0..400)
-            .filter(|&i| r.dataset.label(i).unwrap().contains('*'))
-            .count();
+        let elites = (0..400).filter(|&i| r.dataset.label(i).unwrap().contains('*')).count();
         assert!(elites > 2, "expected some elite players, got {elites}");
         assert!(elites < 60, "too many elite players: {elites}");
     }

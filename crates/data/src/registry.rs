@@ -84,11 +84,7 @@ pub fn simulated(which: RealDataset, rng: &mut dyn RngCore) -> Result<Dataset> {
 /// # Errors
 ///
 /// Returns an error when `n == 0`.
-pub fn simulated_with_size(
-    which: RealDataset,
-    n: usize,
-    rng: &mut dyn RngCore,
-) -> Result<Dataset> {
+pub fn simulated_with_size(which: RealDataset, n: usize, rng: &mut dyn RngCore) -> Result<Dataset> {
     if n == 0 {
         return Err(FamError::EmptyDataset);
     }

@@ -97,11 +97,8 @@ mod tests {
     #[test]
     fn shapes_and_bounds() {
         let mut r = rng();
-        for corr in [
-            Correlation::Independent,
-            Correlation::Correlated,
-            Correlation::AntiCorrelated,
-        ] {
+        for corr in [Correlation::Independent, Correlation::Correlated, Correlation::AntiCorrelated]
+        {
             let d = synthetic(500, 4, corr, &mut r).unwrap();
             assert_eq!(d.len(), 500);
             assert_eq!(d.dim(), 4);

@@ -97,11 +97,7 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn union_count(&self, other: &BitSet) -> usize {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a | b).count_ones() as usize).sum()
     }
 
     /// Number of bits set in `other` but not in `self` (the marginal
@@ -112,11 +108,7 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn gain_count(&self, other: &BitSet) -> usize {
         assert_eq!(self.len, other.len, "bitset capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (!a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (!a & b).count_ones() as usize).sum()
     }
 
     /// Iterator over set bit indices, ascending.

@@ -41,9 +41,7 @@ impl Envelope {
         let sky = skyline_2d(dataset);
         let mut ordered: Vec<usize> = sky;
         ordered.sort_by(|&a, &b| {
-            dataset.point(b)[0]
-                .partial_cmp(&dataset.point(a)[0])
-                .expect("finite coords")
+            dataset.point(b)[0].partial_cmp(&dataset.point(a)[0]).expect("finite coords")
         });
         ordered.dedup_by(|&mut a, &mut b| dataset.point(a) == dataset.point(b));
 
@@ -96,10 +94,7 @@ impl Envelope {
     /// The best point of the database at angle `theta`.
     pub fn best_at(&self, theta: f64) -> usize {
         debug_assert!((-1e-12..=HALF_PI + 1e-12).contains(&theta));
-        let i = self
-            .segments
-            .partition_point(|s| s.hi < theta)
-            .min(self.segments.len() - 1);
+        let i = self.segments.partition_point(|s| s.hi < theta).min(self.segments.len() - 1);
         self.segments[i].point
     }
 
@@ -175,9 +170,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
             let n = rng.gen_range(1..40);
-            let rows: Vec<Vec<f64>> = (0..n)
-                .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
-                .collect();
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).collect();
             let d = ds(rows);
             let env = Envelope::build(&d);
             for step in 0..=50 {

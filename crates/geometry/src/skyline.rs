@@ -72,7 +72,8 @@ pub fn skyline_2d(dataset: &Dataset) -> Vec<usize> {
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     order.sort_by(|&a, &b| {
         let (pa, pb) = (dataset.point(a), dataset.point(b));
-        pb[0].partial_cmp(&pa[0])
+        pb[0]
+            .partial_cmp(&pa[0])
             .expect("finite coords")
             .then(pb[1].partial_cmp(&pa[1]).expect("finite coords"))
     });
@@ -201,9 +202,8 @@ mod tests {
         for _ in 0..20 {
             let n = rng.gen_range(1..80);
             let dim = rng.gen_range(1..5);
-            let rows: Vec<Vec<f64>> = (0..n)
-                .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
-                .collect();
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
             let d = ds(rows);
             let a = skyline_bnl(&d);
             let b = skyline_sfs(&d);

@@ -2,8 +2,8 @@
 
 use fam_core::Dataset;
 use fam_geometry::{
-    dom_compare, dominates, skyline_2d, skyline_bnl, skyline_sfs, switch_angle,
-    utility_at_angle, BitSet, DomOrdering, Envelope, HALF_PI,
+    dom_compare, dominates, skyline_2d, skyline_bnl, skyline_sfs, switch_angle, utility_at_angle,
+    BitSet, DomOrdering, Envelope, HALF_PI,
 };
 use proptest::prelude::*;
 

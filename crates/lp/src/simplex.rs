@@ -102,15 +102,7 @@ impl Tableau {
                 }
             }
         }
-        Ok(Tableau {
-            a,
-            width,
-            m,
-            basis,
-            n_structural: n,
-            n_total,
-            artificial_start: n + n_slack,
-        })
+        Ok(Tableau { a, width, m, basis, n_structural: n, n_total, artificial_start: n + n_slack })
     }
 
     fn pivot(&mut self, row: usize, col: usize) {

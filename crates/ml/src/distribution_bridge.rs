@@ -6,9 +6,7 @@
 
 use std::sync::Arc;
 
-use fam_core::{
-    FamError, LinearUtility, Result, UtilityDistribution, UtilityFunction,
-};
+use fam_core::{FamError, LinearUtility, Result, UtilityDistribution, UtilityFunction};
 use rand::RngCore;
 
 use crate::gmm::Gmm;
@@ -96,8 +94,7 @@ mod tests {
         let dist = GmmLinear::new(two_taste_mixture()).unwrap();
         assert_eq!(dist.dim(), 2);
         let mut rng = StdRng::seed_from_u64(1);
-        let ds =
-            Dataset::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.6]]).unwrap();
+        let ds = Dataset::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.6]]).unwrap();
         let m = ScoreMatrix::from_distribution(&ds, &dist, 2_000, &mut rng).unwrap();
         // Two taste clusters: both extreme points are someone's favourite.
         let mut firsts = 0;

@@ -102,8 +102,7 @@ impl Gmm {
             let x = data.row(i);
             for a in 0..d {
                 for b in 0..d {
-                    let v = covs[c].get(a, b)
-                        + (x[a] - means[c][a]) * (x[b] - means[c][b]);
+                    let v = covs[c].get(a, b) + (x[a] - means[c][a]) * (x[b] - means[c][b]);
                     covs[c].set(a, b, v);
                 }
             }
@@ -136,8 +135,7 @@ impl Gmm {
                 let x = data.row(i);
                 let mut logs = vec![0.0f64; k];
                 for c in 0..k {
-                    logs[c] = weights[c].ln()
-                        + mvn_log_pdf(x, &means[c], &chols[c]);
+                    logs[c] = weights[c].ln() + mvn_log_pdf(x, &means[c], &chols[c]);
                 }
                 let mx = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let sum_exp: f64 = logs.iter().map(|l| (l - mx).exp()).sum();
@@ -328,14 +326,8 @@ mod tests {
         // Two well-separated Gaussians.
         let mut rows = Vec::new();
         for _ in 0..150 {
-            rows.push(vec![
-                standard_normal(rng) * 0.3,
-                standard_normal(rng) * 0.3,
-            ]);
-            rows.push(vec![
-                5.0 + standard_normal(rng) * 0.5,
-                5.0 + standard_normal(rng) * 0.5,
-            ]);
+            rows.push(vec![standard_normal(rng) * 0.3, standard_normal(rng) * 0.3]);
+            rows.push(vec![5.0 + standard_normal(rng) * 0.5, 5.0 + standard_normal(rng) * 0.5]);
         }
         Matrix::from_rows(rows).unwrap()
     }
@@ -344,8 +336,8 @@ mod tests {
     fn em_log_likelihood_is_non_decreasing() {
         let mut rng = StdRng::seed_from_u64(21);
         let data = blob_data(&mut rng);
-        let fit = Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng)
-            .unwrap();
+        let fit =
+            Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng).unwrap();
         for w in fit.log_likelihood.windows(2) {
             assert!(w[1] >= w[0] - 1e-6, "EM decreased log-likelihood: {:?}", w);
         }
@@ -356,8 +348,8 @@ mod tests {
     fn recovers_two_separated_components() {
         let mut rng = StdRng::seed_from_u64(22);
         let data = blob_data(&mut rng);
-        let fit = Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng)
-            .unwrap();
+        let fit =
+            Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng).unwrap();
         let comps = fit.gmm.components();
         let mut means: Vec<f64> = comps.iter().map(|c| c.mean[0]).collect();
         means.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -372,8 +364,8 @@ mod tests {
     fn sampling_matches_component_means() {
         let mut rng = StdRng::seed_from_u64(23);
         let data = blob_data(&mut rng);
-        let fit = Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng)
-            .unwrap();
+        let fit =
+            Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng).unwrap();
         let mut out = [0.0; 2];
         let (mut lo, mut hi) = (0usize, 0usize);
         for _ in 0..4000 {
@@ -407,16 +399,13 @@ mod tests {
     fn fit_validation() {
         let data = Matrix::from_rows(vec![vec![0.0], vec![1.0]]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(Gmm::fit(&data, GmmConfig { n_components: 0, ..Default::default() }, &mut rng)
-            .is_err());
-        assert!(Gmm::fit(&data, GmmConfig { n_components: 3, ..Default::default() }, &mut rng)
-            .is_err());
-        assert!(Gmm::fit(
-            &data,
-            GmmConfig { reg: -1.0, ..Default::default() },
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            Gmm::fit(&data, GmmConfig { n_components: 0, ..Default::default() }, &mut rng).is_err()
+        );
+        assert!(
+            Gmm::fit(&data, GmmConfig { n_components: 3, ..Default::default() }, &mut rng).is_err()
+        );
+        assert!(Gmm::fit(&data, GmmConfig { reg: -1.0, ..Default::default() }, &mut rng).is_err());
     }
 
     #[test]

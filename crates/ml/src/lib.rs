@@ -9,6 +9,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Dense numeric kernels: ranged index loops mirror the textbook
+// formulations and keep multi-array updates legible.
+#![allow(clippy::needless_range_loop)]
 
 pub mod distribution_bridge;
 pub mod gmm;

@@ -112,9 +112,7 @@ impl Matrix {
     /// Panics (debug) on dimension mismatch.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         debug_assert_eq!(v.len(), self.cols);
-        (0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Cholesky decomposition of a symmetric positive-definite matrix:
@@ -140,9 +138,7 @@ impl Matrix {
                     if sum <= 0.0 {
                         return Err(FamError::InvalidParameter {
                             name: "matrix",
-                            message: format!(
-                                "not positive definite (pivot {sum:.3e} at row {i})"
-                            ),
+                            message: format!("not positive definite (pivot {sum:.3e} at row {i})"),
                         });
                     }
                     l.set(i, j, sum.sqrt());

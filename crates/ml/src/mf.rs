@@ -177,12 +177,7 @@ impl MfModel {
 
     /// Predicted rating of item `i` by user `u`.
     pub fn predict(&self, u: usize, i: usize) -> f64 {
-        self.user_factors
-            .row(u)
-            .iter()
-            .zip(self.item_factors.row(i))
-            .map(|(a, b)| a * b)
-            .sum()
+        self.user_factors.row(u).iter().zip(self.item_factors.row(i)).map(|(a, b)| a * b).sum()
     }
 
     /// Root-mean-square error over a set of ratings.
@@ -208,12 +203,10 @@ mod tests {
     /// Synthesizes ratings from a known low-rank model.
     fn synthetic_ratings(rng: &mut StdRng, n_users: usize, n_items: usize) -> Ratings {
         let f = 3;
-        let pu: Vec<Vec<f64>> = (0..n_users)
-            .map(|_| (0..f).map(|_| rng.gen_range(0.2..1.0)).collect())
-            .collect();
-        let qi: Vec<Vec<f64>> = (0..n_items)
-            .map(|_| (0..f).map(|_| rng.gen_range(0.2..1.0)).collect())
-            .collect();
+        let pu: Vec<Vec<f64>> =
+            (0..n_users).map(|_| (0..f).map(|_| rng.gen_range(0.2..1.0)).collect()).collect();
+        let qi: Vec<Vec<f64>> =
+            (0..n_items).map(|_| (0..f).map(|_| rng.gen_range(0.2..1.0)).collect()).collect();
         let mut triplets = Vec::new();
         for u in 0..n_users {
             for i in 0..n_items {
@@ -267,10 +260,7 @@ mod tests {
         // Unobserved in-block predictions should exceed cross-block ones.
         let in_block = model.predict(0, 5);
         let cross = model.predict(0, 15);
-        assert!(
-            in_block > cross + 0.3,
-            "in-block {in_block} should beat cross-block {cross}"
-        );
+        assert!(in_block > cross + 0.3, "in-block {in_block} should beat cross-block {cross}");
     }
 
     #[test]
@@ -295,11 +285,7 @@ mod tests {
             &mut rng
         )
         .is_err());
-        assert!(MfModel::train(
-            &ratings,
-            MfConfig { epochs: 0, ..Default::default() },
-            &mut rng
-        )
-        .is_err());
+        assert!(MfModel::train(&ratings, MfConfig { epochs: 0, ..Default::default() }, &mut rng)
+            .is_err());
     }
 }

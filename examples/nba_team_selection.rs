@@ -22,11 +22,7 @@ fn main() -> fam::Result<()> {
     let mut rng = StdRng::seed_from_u64(2016);
     let roster = nba::roster(&mut rng)?;
     let ds = &roster.dataset;
-    println!(
-        "Synthetic roster: {} players x {} stat categories",
-        ds.len(),
-        ds.dim()
-    );
+    println!("Synthetic roster: {} players x {} stat categories", ds.len(), ds.dim());
 
     // Uniform linear utilities — the paper had no preference data for NBA
     // fans and used the uniform distribution (Section V-A).
@@ -51,24 +47,17 @@ fn main() -> fam::Result<()> {
     }
 
     println!("\nPer-objective quality of each set:");
-    println!(
-        "{:<12}{:>12}{:>12}{:>14}{:>12}",
-        "set", "arr", "rr std", "sampled mrr", "hit prob"
-    );
+    println!("{:<12}{:>12}{:>12}{:>14}{:>12}", "set", "arr", "rr std", "sampled mrr", "hit prob");
     for (label, sel) in [("S_arr", &s_arr), ("S_mrr", &s_mrr), ("S_k-hit", &s_hit)] {
         let rep = regret::report(&m, &sel.indices)?;
         let hit = hit_probability(&m, &sel.indices);
-        println!(
-            "{label:<12}{:>12.4}{:>12.4}{:>14.4}{:>12.4}",
-            rep.arr, rep.std_dev, rep.mrr, hit
-        );
+        println!("{label:<12}{:>12.4}{:>12.4}{:>14.4}{:>12.4}", rep.arr, rep.std_dev, rep.mrr, hit);
     }
 
     // Archetype mix of each set: the ARR set should be the most diverse.
     println!("\nArchetype mix:");
     for (label, sel) in [("S_arr", &s_arr), ("S_mrr", &s_mrr), ("S_k-hit", &s_hit)] {
-        let mut tags: Vec<&str> =
-            sel.indices.iter().map(|&i| roster.archetypes[i].tag()).collect();
+        let mut tags: Vec<&str> = sel.indices.iter().map(|&i| roster.archetypes[i].tag()).collect();
         tags.sort_unstable();
         println!("{label:<12}{tags:?}");
     }
@@ -77,8 +66,6 @@ fn main() -> fam::Result<()> {
 
 /// Fraction of sampled users whose database-wide favourite is in `sel`.
 fn hit_probability(m: &ScoreMatrix, sel: &[usize]) -> f64 {
-    let hits = (0..m.n_samples())
-        .filter(|&u| sel.contains(&m.best_index(u)))
-        .count();
+    let hits = (0..m.n_samples()).filter(|&u| sel.contains(&m.best_index(u))).count();
     hits as f64 / m.n_samples() as f64
 }

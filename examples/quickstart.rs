@@ -39,17 +39,12 @@ fn main() -> fam::Result<()> {
     // computed exactly (no sampling) as in the paper's running example.
     let shown = vec![2, 3];
     let arr = regret::arr(&scores, &shown)?;
-    println!(
-        "arr({{Intercontinental, Hilton}}) = {arr:.4}  (paper's running example)"
-    );
+    println!("arr({{Intercontinental, Hilton}}) = {arr:.4}  (paper's running example)");
 
     // The best 2-hotel page according to GREEDY-SHRINK:
     let out = greedy_shrink(&scores, GreedyShrinkConfig::new(2))?;
     let names: Vec<&str> = out.selection.indices.iter().map(|&i| hotels[i]).collect();
-    println!(
-        "GREEDY-SHRINK picks {names:?} with arr = {:.4}\n",
-        out.selection.objective.unwrap()
-    );
+    println!("GREEDY-SHRINK picks {names:?} with arr = {:.4}\n", out.selection.objective.unwrap());
 
     // ------------------------------------------------------------------
     // Part 2 — anonymous users: a larger hotel catalogue with unknown
@@ -60,10 +55,7 @@ fn main() -> fam::Result<()> {
     let catalogue = synthetic(500, 3, Correlation::AntiCorrelated, &mut rng)?;
     // Sample size from the Chernoff bound (Theorem 4): eps=0.05, sigma=0.1.
     let spec = SampleSpec::new(0.05, 0.1)?;
-    println!(
-        "Chernoff bound: N >= {} samples for eps={}, 1-sigma=0.9",
-        spec.n, spec.epsilon
-    );
+    println!("Chernoff bound: N >= {} samples for eps={}, 1-sigma=0.9", spec.n, spec.epsilon);
     let dist = UniformLinear::new(3)?;
     let m = ScoreMatrix::from_distribution(&catalogue, &dist, spec.n as usize, &mut rng)?;
 

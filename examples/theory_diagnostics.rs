@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example theory_diagnostics`
 
-use fam::prelude::*;
 use fam::core::properties;
+use fam::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,14 +36,9 @@ fn main() -> fam::Result<()> {
 
     println!("\n== Theorem 4 / Table V: Chernoff sample sizes ==");
     println!("{:>10} {:>8} {:>14}", "epsilon", "sigma", "N");
-    for (eps, sigma) in [
-        (0.01, 0.1),
-        (0.001, 0.1),
-        (0.0001, 0.1),
-        (0.01, 0.05),
-        (0.001, 0.05),
-        (0.0001, 0.05),
-    ] {
+    for (eps, sigma) in
+        [(0.01, 0.1), (0.001, 0.1), (0.0001, 0.1), (0.01, 0.05), (0.001, 0.05), (0.0001, 0.05)]
+    {
         println!("{eps:>10} {sigma:>8} {:>14}", chernoff_sample_size(eps, sigma)?);
     }
 

@@ -47,10 +47,7 @@ fn main() -> fam::Result<()> {
     let m_small = ScoreMatrix::from_distribution(&small, &dist, 50_000, &mut rng)?;
     let bf = brute_force(&m_small, 3)?;
     let bf_cont = continuous_arr(&small, &bf.indices, &UniformBoxMeasure)?;
-    println!(
-        "DP continuous optimum:            {:.5}",
-        dp.selection.objective.unwrap()
-    );
+    println!("DP continuous optimum:            {:.5}", dp.selection.objective.unwrap());
     println!("brute force (sampled), rescored:  {bf_cont:.5}");
 
     // The two analytic measures rank selections slightly differently.

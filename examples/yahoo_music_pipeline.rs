@@ -15,12 +15,7 @@ fn main() -> fam::Result<()> {
 
     // A scaled-down catalogue keeps the example fast; the experiment
     // harness (fam-bench) runs the full 8,933-song version.
-    let cfg = YahooConfig {
-        n_users: 400,
-        n_items: 800,
-        density: 0.05,
-        ..Default::default()
-    };
+    let cfg = YahooConfig { n_users: 400, n_items: 800, density: 0.05, ..Default::default() };
     println!(
         "Synthesizing ratings: {} users x {} songs, {:.0}% density...",
         cfg.n_users,

@@ -13,9 +13,8 @@ use rand::{Rng, SeedableRng};
 fn paired_backings(seed: u64, n: usize, d: usize, samples: usize) -> (LinearScores, ScoreMatrix) {
     let mut rng = StdRng::seed_from_u64(seed);
     let ds = synthetic(n, d, Correlation::AntiCorrelated, &mut rng).unwrap();
-    let weight_rows: Vec<Vec<f64>> = (0..samples)
-        .map(|_| (0..d).map(|_| rng.gen_range(0.01..1.0)).collect())
-        .collect();
+    let weight_rows: Vec<Vec<f64>> =
+        (0..samples).map(|_| (0..d).map(|_| rng.gen_range(0.01..1.0)).collect()).collect();
     let compact = LinearScores::from_weight_rows(ds.clone(), weight_rows.clone()).unwrap();
     let mut flat = Vec::with_capacity(samples * n);
     for w in &weight_rows {
@@ -34,9 +33,7 @@ fn greedy_shrink_is_backing_agnostic() {
         let a = greedy_shrink(&compact, GreedyShrinkConfig::new(k)).unwrap();
         let b = greedy_shrink(&dense, GreedyShrinkConfig::new(k)).unwrap();
         assert_eq!(a.selection.indices, b.selection.indices, "k={k}");
-        assert!(
-            (a.selection.objective.unwrap() - b.selection.objective.unwrap()).abs() < 1e-9
-        );
+        assert!((a.selection.objective.unwrap() - b.selection.objective.unwrap()).abs() < 1e-9);
     }
 }
 
@@ -44,15 +41,9 @@ fn greedy_shrink_is_backing_agnostic() {
 fn all_sampled_algorithms_are_backing_agnostic() {
     let (compact, dense) = paired_backings(2, 40, 3, 100);
     let k = 4;
-    assert_eq!(
-        add_greedy(&compact, k).unwrap().indices,
-        add_greedy(&dense, k).unwrap().indices
-    );
+    assert_eq!(add_greedy(&compact, k).unwrap().indices, add_greedy(&dense, k).unwrap().indices);
     assert_eq!(k_hit(&compact, k).unwrap().indices, k_hit(&dense, k).unwrap().indices);
-    assert_eq!(
-        brute_force(&compact, 3).unwrap().indices,
-        brute_force(&dense, 3).unwrap().indices
-    );
+    assert_eq!(brute_force(&compact, 3).unwrap().indices, brute_force(&dense, 3).unwrap().indices);
     assert_eq!(
         mrr_greedy_sampled(&compact, k).unwrap().indices,
         mrr_greedy_sampled(&dense, k).unwrap().indices
@@ -68,12 +59,15 @@ fn all_sampled_algorithms_are_backing_agnostic() {
 fn regret_metrics_agree_across_backings() {
     let (compact, dense) = paired_backings(3, 30, 3, 80);
     let sel = vec![0, 7, 19];
-    assert!((regret::arr(&compact, &sel).unwrap() - regret::arr(&dense, &sel).unwrap()).abs() < 1e-12);
-    assert!((regret::vrr(&compact, &sel).unwrap() - regret::vrr(&dense, &sel).unwrap()).abs() < 1e-12);
     assert!(
-        (regret::mrr_sampled(&compact, &sel).unwrap()
-            - regret::mrr_sampled(&dense, &sel).unwrap())
-        .abs()
+        (regret::arr(&compact, &sel).unwrap() - regret::arr(&dense, &sel).unwrap()).abs() < 1e-12
+    );
+    assert!(
+        (regret::vrr(&compact, &sel).unwrap() - regret::vrr(&dense, &sel).unwrap()).abs() < 1e-12
+    );
+    assert!(
+        (regret::mrr_sampled(&compact, &sel).unwrap() - regret::mrr_sampled(&dense, &sel).unwrap())
+            .abs()
             < 1e-12
     );
     let pa = regret::rr_percentiles(&compact, &sel, &[50.0, 95.0]).unwrap();

@@ -7,11 +7,7 @@ use fam::{brute_force, core::properties, greedy_shrink, regret};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn sampled_matrix(
-    ds: &Dataset,
-    n_samples: usize,
-    seed: u64,
-) -> ScoreMatrix {
+fn sampled_matrix(ds: &Dataset, n_samples: usize, seed: u64) -> ScoreMatrix {
     let dist = UniformLinear::new(ds.dim()).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
     ScoreMatrix::from_distribution(ds, &dist, n_samples, &mut rng).unwrap()
@@ -31,11 +27,9 @@ fn greedy_achieves_ratio_one_on_structured_data() {
         let k = 3;
         let g = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
         let b = brute_force(&m, k).unwrap();
-        let ratio = properties::approximation_ratio(
-            g.selection.objective.unwrap(),
-            b.objective.unwrap(),
-        )
-        .unwrap();
+        let ratio =
+            properties::approximation_ratio(g.selection.objective.unwrap(), b.objective.unwrap())
+                .unwrap();
         assert!(ratio >= 1.0 - 1e-9, "greedy cannot beat the optimum");
         if ratio < 1.0 + 1e-9 {
             exact += 1;
@@ -149,8 +143,7 @@ fn all_algorithms_return_valid_selections() {
     ];
     for sel in selections {
         assert_eq!(sel.len(), k, "{} returned wrong size", sel.algorithm);
-        ds.validate_selection(&sel.indices)
-            .unwrap_or_else(|e| panic!("{}: {e}", sel.algorithm));
+        ds.validate_selection(&sel.indices).unwrap_or_else(|e| panic!("{}: {e}", sel.algorithm));
         // arr must be well-defined and in [0, 1].
         let arr = regret::arr(&m, &sel.indices).unwrap();
         assert!((0.0..=1.0).contains(&arr), "{}: arr {arr}", sel.algorithm);

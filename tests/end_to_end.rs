@@ -61,8 +61,8 @@ fn yahoo_learned_pipeline() {
     // distribution.
     assert!(arr_gs <= arr_mg + 1e-9, "greedy {arr_gs} vs mrr-greedy {arr_mg}");
     // Percentile distribution is monotone and bounded.
-    let pct = regret::rr_percentiles(&m, &gs.indices, &[70.0, 80.0, 90.0, 95.0, 99.0, 100.0])
-        .unwrap();
+    let pct =
+        regret::rr_percentiles(&m, &gs.indices, &[70.0, 80.0, 90.0, 95.0, 99.0, 100.0]).unwrap();
     for w in pct.windows(2) {
         assert!(w[1] >= w[0] - 1e-12);
     }
@@ -130,7 +130,10 @@ fn discrete_exact_equals_sampled_limit() {
     use std::sync::Arc;
     let mut rng = StdRng::seed_from_u64(7);
     let atoms: Vec<(Arc<dyn UtilityFunction>, f64)> = vec![
-        (Arc::new(TableUtility::new(vec![1.0, 0.3, 0.5]).unwrap()) as Arc<dyn UtilityFunction>, 0.5),
+        (
+            Arc::new(TableUtility::new(vec![1.0, 0.3, 0.5]).unwrap()) as Arc<dyn UtilityFunction>,
+            0.5,
+        ),
         (Arc::new(TableUtility::new(vec![0.2, 0.9, 0.4]).unwrap()), 0.3),
         (Arc::new(TableUtility::new(vec![0.1, 0.2, 1.0]).unwrap()), 0.2),
     ];

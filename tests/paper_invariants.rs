@@ -12,11 +12,8 @@ fn score_matrix_strategy(
     max_users: usize,
 ) -> impl Strategy<Value = ScoreMatrix> {
     (2..=max_points, 1..=max_users).prop_flat_map(|(n, u)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0.01f64..1.0, n),
-            u,
-        )
-        .prop_map(|rows| ScoreMatrix::from_rows(rows, None).unwrap())
+        proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, n), u)
+            .prop_map(|rows| ScoreMatrix::from_rows(rows, None).unwrap())
     })
 }
 

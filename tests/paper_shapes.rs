@@ -28,14 +28,8 @@ fn fig1_shape_greedy_tracks_dp_sky_dom_lags() {
         let gs_arr = regret::arr_unchecked(&m, &gs.indices);
         let sd = sky_dom(&ds, k).unwrap();
         let sd_arr = regret::arr_unchecked(&m, &sd.indices);
-        assert!(
-            gs_arr <= dp_arr * 1.25 + 1e-4,
-            "k={k}: greedy {gs_arr} strays from DP {dp_arr}"
-        );
-        assert!(
-            sd_arr >= gs_arr,
-            "k={k}: sky-dom {sd_arr} should trail greedy {gs_arr}"
-        );
+        assert!(gs_arr <= dp_arr * 1.25 + 1e-4, "k={k}: greedy {gs_arr} strays from DP {dp_arr}");
+        assert!(sd_arr >= gs_arr, "k={k}: sky-dom {sd_arr} should trail greedy {gs_arr}");
     }
 }
 
@@ -97,10 +91,7 @@ fn fig9_shape_epsilon_is_marginal() {
     }
     let lo = arrs.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = arrs.iter().cloned().fold(0.0f64, f64::max);
-    assert!(
-        hi - lo < 0.02,
-        "epsilon changed arr too much: {arrs:?}"
-    );
+    assert!(hi - lo < 0.02, "epsilon changed arr too much: {arrs:?}");
 }
 
 /// Appendix C's shape: lazy pruning evaluates strictly fewer candidates

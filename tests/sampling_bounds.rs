@@ -35,10 +35,7 @@ fn chernoff_bound_holds_empirically() {
     // trial count); in practice the bound is extremely conservative and
     // all trials pass.
     let required = ((1.0 - sigma) * trials as f64).floor() as usize;
-    assert!(
-        within >= required,
-        "only {within}/{trials} estimates within eps; need {required}"
-    );
+    assert!(within >= required, "only {within}/{trials} estimates within eps; need {required}");
 }
 
 #[test]
@@ -55,16 +52,12 @@ fn larger_samples_reduce_spread() {
             })
             .collect();
         let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
-        (estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
-            / estimates.len() as f64)
+        (estimates.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / estimates.len() as f64)
             .sqrt()
     };
     let coarse = spread(200, &mut rng);
     let fine = spread(8_000, &mut rng);
-    assert!(
-        fine < coarse,
-        "sampling spread should shrink with N: {coarse} -> {fine}"
-    );
+    assert!(fine < coarse, "sampling spread should shrink with N: {coarse} -> {fine}");
 }
 
 #[test]
