@@ -5,39 +5,14 @@
 //! Supermodularity of `arr` means insertion marginals *shrink* in
 //! magnitude as the set grows, so the classic lazy-greedy optimization
 //! applies here too: a stale (more negative) delta is an optimistic bound.
-//! Kept primarily as an ablation baseline against GREEDY-SHRINK.
+//! The lazy heap itself lives in [`crate::repair`], shared with the
+//! dynamic-database warm-repair path. Kept primarily as an ablation
+//! baseline against GREEDY-SHRINK — and, through [`add_greedy_from`], as
+//! the growth direction of warm-started repair after database updates.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use fam_core::{FamError, Result, ScoreSource, Selection, SelectionEvaluator};
-
-/// Heap entry ordered by smallest (most negative) addition delta.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Entry {
-    delta: f64,
-    point: u32,
-    stamp: u32,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .delta
-            .partial_cmp(&self.delta)
-            .expect("finite deltas")
-            .then_with(|| other.point.cmp(&self.point))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Runs ADD-GREEDY, returning `k` points.
 ///
@@ -45,39 +20,47 @@ impl PartialOrd for Entry {
 ///
 /// Returns an error when `k` is zero or exceeds the number of points.
 pub fn add_greedy<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Selection> {
+    run(m, &[], k, "add-greedy")
+}
+
+/// Warm-started ADD-GREEDY: starts from `seed` (a previous selection that
+/// survived a batch of database updates) and greedily adds points until
+/// `k` are selected. With an empty seed this is exactly [`add_greedy`].
+///
+/// # Errors
+///
+/// Returns an error when `k` is invalid, or the seed is out of bounds,
+/// duplicated, or larger than `k`.
+pub fn add_greedy_from<S: ScoreSource + ?Sized>(
+    m: &S,
+    seed: &[usize],
+    k: usize,
+) -> Result<Selection> {
+    run(m, seed, k, if seed.is_empty() { "add-greedy" } else { "add-greedy-warm" })
+}
+
+fn run<S: ScoreSource + ?Sized>(
+    m: &S,
+    seed: &[usize],
+    k: usize,
+    algorithm: &'static str,
+) -> Result<Selection> {
     let n = m.n_points();
     if k == 0 || k > n {
         return Err(FamError::InvalidK { k, n });
     }
+    fam_core::selection::validate_indices(seed, n, "seed")?;
+    if seed.len() > k {
+        return Err(FamError::InvalidParameter {
+            name: "seed",
+            message: format!("seed of {} points exceeds k = {k}", seed.len()),
+        });
+    }
     let start = Instant::now();
-    let mut ev = SelectionEvaluator::new_with(m, &[]);
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(n);
-    // Initial marginals: one independent O(N) column scan per candidate,
-    // fanned out over all cores (the evaluator is read-only here).
-    let ev_ref = &ev;
-    let deltas = fam_core::par::map_adaptive(n, m.n_samples(), |range| {
-        range.map(|p| ev_ref.addition_delta(p)).collect::<Vec<_>>()
-    })
-    .concat();
-    for (p, delta) in deltas.into_iter().enumerate() {
-        heap.push(Entry { delta, point: p as u32, stamp: 0 });
-    }
-    for iter in 1..=k as u32 {
-        loop {
-            let head = heap.pop().expect("heap holds all unselected points");
-            if ev.contains(head.point as usize) {
-                continue;
-            }
-            if head.stamp == iter {
-                ev.add(head.point as usize);
-                break;
-            }
-            let delta = ev.addition_delta(head.point as usize);
-            heap.push(Entry { delta, point: head.point, stamp: iter });
-        }
-    }
+    let mut ev = SelectionEvaluator::new_with(m, seed);
+    crate::repair::lazy_grow(&mut ev, k);
     let objective = ev.arr();
-    Ok(Selection::new(ev.selection(), "add-greedy")
+    Ok(Selection::new(ev.selection(), algorithm)
         .with_objective(objective)
         .with_query_time(start.elapsed()))
 }
@@ -157,5 +140,34 @@ mod tests {
         let m = random_matrix(&mut rng, 5, 4);
         assert!(add_greedy(&m, 0).is_err());
         assert!(add_greedy(&m, 5).is_err());
+    }
+
+    #[test]
+    fn warm_seed_is_respected_and_validated() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let m = random_matrix(&mut rng, 40, 15);
+        let warm = add_greedy_from(&m, &[3, 7], 5).unwrap();
+        assert_eq!(warm.algorithm, "add-greedy-warm");
+        assert_eq!(warm.len(), 5);
+        assert!(warm.indices.contains(&3) && warm.indices.contains(&7));
+        let direct = regret::arr(&m, &warm.indices).unwrap();
+        assert!((warm.objective.unwrap() - direct).abs() < 1e-9);
+        // Seed already at k: returned unchanged.
+        let full = add_greedy_from(&m, &[1, 2, 4], 3).unwrap();
+        assert_eq!(full.indices, vec![1, 2, 4]);
+        assert!(add_greedy_from(&m, &[0, 0], 3).is_err());
+        assert!(add_greedy_from(&m, &[99], 3).is_err());
+        assert!(add_greedy_from(&m, &[0, 1, 2, 3], 3).is_err());
+    }
+
+    #[test]
+    fn warm_from_empty_is_exactly_add_greedy() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let m = random_matrix(&mut rng, 50, 18);
+        let cold = add_greedy(&m, 6).unwrap();
+        let warm = add_greedy_from(&m, &[], 6).unwrap();
+        assert_eq!(cold.indices, warm.indices);
+        assert_eq!(cold.objective.unwrap().to_bits(), warm.objective.unwrap().to_bits());
+        assert_eq!(warm.algorithm, "add-greedy");
     }
 }

@@ -20,11 +20,12 @@
 //! best points change per iteration" and "~68% of candidates re-evaluated"
 //! claims.
 
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use fam_core::{regret, FamError, Result, ScoreSource, Selection, SelectionEvaluator};
+
+use crate::repair::Entry;
 
 /// Configuration for [`greedy_shrink`].
 #[derive(Debug, Clone, Copy)]
@@ -81,8 +82,59 @@ pub fn greedy_shrink<S: ScoreSource + ?Sized>(
     if cfg.k == 0 || cfg.k > n {
         return Err(FamError::InvalidK { k: cfg.k, n });
     }
+    run(m, None, cfg)
+}
+
+/// Warm-started GREEDY-SHRINK: initializes the solution to `seed` — a
+/// previous selection plus any freshly inserted candidates, rather than
+/// the whole database — and shrinks to `cfg.k` points. Seeding with every
+/// point is exactly [`greedy_shrink`].
+///
+/// This is the shrink direction of dynamic-update repair: after a batch
+/// of insertions/deletions, re-running from `S = D` costs `O((n−k)·N)`
+/// evaluations while repairing from the surviving selection touches only
+/// `O(|seed|−k)` of them.
+///
+/// # Errors
+///
+/// Returns an error when `cfg.k` is invalid, or the seed is out of
+/// bounds, duplicated, or smaller than `cfg.k`.
+pub fn greedy_shrink_warm<S: ScoreSource + ?Sized>(
+    m: &S,
+    seed: &[usize],
+    cfg: GreedyShrinkConfig,
+) -> Result<GreedyShrinkOutput> {
+    let n = m.n_points();
+    if cfg.k == 0 || cfg.k > n {
+        return Err(FamError::InvalidK { k: cfg.k, n });
+    }
+    fam_core::selection::validate_indices(seed, n, "seed")?;
+    if seed.len() < cfg.k {
+        return Err(FamError::InvalidParameter {
+            name: "seed",
+            message: format!("seed of {} points is smaller than k = {}", seed.len(), cfg.k),
+        });
+    }
+    run(m, Some(seed), cfg)
+}
+
+fn run<S: ScoreSource + ?Sized>(
+    m: &S,
+    seed: Option<&[usize]>,
+    cfg: GreedyShrinkConfig,
+) -> Result<GreedyShrinkOutput> {
+    let algorithm = match (cfg.best_point_cache, seed.is_some()) {
+        (true, false) => "greedy-shrink",
+        (true, true) => "greedy-shrink-warm",
+        (false, false) => "greedy-shrink-naive",
+        (false, true) => "greedy-shrink-naive-warm",
+    };
     let start = Instant::now();
-    let out = if cfg.best_point_cache { shrink_cached(m, cfg) } else { shrink_naive(m, cfg.k) };
+    let out = if cfg.best_point_cache {
+        shrink_cached(m, cfg, seed, algorithm)
+    } else {
+        shrink_naive(m, cfg.k, seed, algorithm)
+    };
     let elapsed = start.elapsed();
     out.map(|mut o| {
         o.selection.query_time = elapsed;
@@ -90,42 +142,29 @@ pub fn greedy_shrink<S: ScoreSource + ?Sized>(
     })
 }
 
-/// Heap entry: minimum evaluation value first, then lowest point index
-/// (deterministic tie-breaking).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Entry {
-    value: f64,
-    point: u32,
-    /// Iteration at which `value` was computed.
-    stamp: u32,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need the smallest value.
-        other
-            .value
-            .partial_cmp(&self.value)
-            .expect("finite evaluation values")
-            .then_with(|| other.point.cmp(&self.point))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 fn shrink_cached<S: ScoreSource + ?Sized>(
     m: &S,
     cfg: GreedyShrinkConfig,
+    seed: Option<&[usize]>,
+    algorithm: &'static str,
 ) -> Result<GreedyShrinkOutput> {
-    let n = m.n_points();
-    let mut ev = SelectionEvaluator::new_full(m);
-    let iterations = n - cfg.k;
+    let mut ev = match seed {
+        None => SelectionEvaluator::new_full(m),
+        Some(s) => SelectionEvaluator::new_with(m, s),
+    };
+    let start_len = ev.len();
+    let iterations = start_len - cfg.k;
+    if iterations == 0 {
+        // Already at the target size: skip the initial candidate sweep
+        // (it would spend |seed| removal evaluations to remove nothing).
+        return Ok(GreedyShrinkOutput {
+            selection: Selection::new(ev.selection(), algorithm).with_objective(ev.arr()),
+            iterations: 0,
+            avg_best_change_frac: 0.0,
+            avg_candidates_frac: 0.0,
+            arr_evaluations: 0,
+        });
+    }
     let mut best_change_acc = 0.0;
     let mut candidates_acc = 0.0;
     let mut arr_evaluations = 0u64;
@@ -134,8 +173,8 @@ fn shrink_cached<S: ScoreSource + ?Sized>(
         // Lazy greedy: stale values are lower bounds (Lemma 2), so the heap
         // head, once refreshed in the current iteration, is the argmin
         // (Lemma 3).
-        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(n);
-        for p in 0..n {
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(start_len);
+        for p in ev.selection() {
             let value = ev.arr() + ev.removal_delta(p);
             arr_evaluations += 1;
             heap.push(Entry { value, point: p as u32, stamp: 0 });
@@ -162,7 +201,7 @@ fn shrink_cached<S: ScoreSource + ?Sized>(
             let promoted = ev.counters().promotions - before_promotions;
             best_change_acc += promoted as f64 / m.n_samples() as f64;
             // Candidates that survived into this iteration: |S| before removal.
-            let survivors = (n - iter as usize + 1) as f64;
+            let survivors = (start_len - iter as usize + 1) as f64;
             candidates_acc += evaluated_this_iter as f64 / survivors;
         }
     } else {
@@ -191,7 +230,7 @@ fn shrink_cached<S: ScoreSource + ?Sized>(
     let indices = ev.selection();
     let objective = ev.arr();
     Ok(GreedyShrinkOutput {
-        selection: Selection::new(indices, "greedy-shrink").with_objective(objective),
+        selection: Selection::new(indices, algorithm).with_objective(objective),
         iterations,
         avg_best_change_frac: if iterations > 0 {
             best_change_acc / iterations as f64
@@ -208,9 +247,22 @@ fn shrink_cached<S: ScoreSource + ?Sized>(
 /// per-iteration candidate fan-out runs on all cores, merging chunk
 /// argmins with a lowest-position tie-break so the victim sequence is
 /// identical to the serial scan's.
-fn shrink_naive<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<GreedyShrinkOutput> {
+fn shrink_naive<S: ScoreSource + ?Sized>(
+    m: &S,
+    k: usize,
+    seed: Option<&[usize]>,
+    algorithm: &'static str,
+) -> Result<GreedyShrinkOutput> {
     let n = m.n_points();
-    let mut members: Vec<usize> = (0..n).collect();
+    let mut members: Vec<usize> = match seed {
+        None => (0..n).collect(),
+        Some(s) => {
+            let mut v = s.to_vec();
+            v.sort_unstable();
+            v
+        }
+    };
+    let start_len = members.len();
     let mut arr_evaluations = 0u64;
     while members.len() > k {
         let members_ref = &members;
@@ -231,8 +283,8 @@ fn shrink_naive<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<GreedyShrink
     }
     let objective = regret::arr_unchecked(m, &members);
     Ok(GreedyShrinkOutput {
-        selection: Selection::new(members, "greedy-shrink-naive").with_objective(objective),
-        iterations: n - k,
+        selection: Selection::new(members, algorithm).with_objective(objective),
+        iterations: start_len - k,
         avg_best_change_frac: f64::NAN,
         avg_candidates_frac: 1.0,
         arr_evaluations,
@@ -390,6 +442,63 @@ mod tests {
             exact_hits >= trials / 2,
             "greedy matched the optimum on only {exact_hits}/{trials} instances"
         );
+    }
+
+    #[test]
+    fn warm_seeded_with_everything_matches_cold_run() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..6 {
+            let n = rng.gen_range(5..18);
+            let k = rng.gen_range(1..n);
+            let m = random_matrix(&mut rng, 30, n);
+            let all: Vec<usize> = (0..n).collect();
+            let cold = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
+            let warm = greedy_shrink_warm(&m, &all, GreedyShrinkConfig::new(k)).unwrap();
+            assert_eq!(cold.selection.indices, warm.selection.indices, "n={n} k={k}");
+            assert_eq!(
+                cold.selection.objective.unwrap().to_bits(),
+                warm.selection.objective.unwrap().to_bits()
+            );
+            assert_eq!(warm.selection.algorithm, "greedy-shrink-warm");
+            assert_eq!(warm.iterations, n - k);
+        }
+    }
+
+    #[test]
+    fn warm_shrinks_only_within_the_seed() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = random_matrix(&mut rng, 40, 20);
+        let seed = vec![2, 5, 7, 11, 13, 17];
+        for lazy in [true, false] {
+            let cfg = GreedyShrinkConfig { k: 3, best_point_cache: true, lazy_pruning: lazy };
+            let out = greedy_shrink_warm(&m, &seed, cfg).unwrap();
+            assert_eq!(out.selection.len(), 3);
+            assert_eq!(out.iterations, 3);
+            assert!(out.selection.indices.iter().all(|p| seed.contains(p)));
+            let direct = regret::arr(&m, &out.selection.indices).unwrap();
+            assert!((out.selection.objective.unwrap() - direct).abs() < 1e-9);
+        }
+        // The naive ablation path accepts seeds too, with its own label.
+        let naive = greedy_shrink_warm(&m, &seed, GreedyShrinkConfig::naive(3)).unwrap();
+        assert_eq!(naive.selection.len(), 3);
+        assert!(naive.selection.indices.iter().all(|p| seed.contains(p)));
+        assert_eq!(naive.selection.algorithm, "greedy-shrink-naive-warm");
+        let cold_naive = greedy_shrink(&m, GreedyShrinkConfig::naive(3)).unwrap();
+        assert_eq!(cold_naive.selection.algorithm, "greedy-shrink-naive");
+    }
+
+    #[test]
+    fn warm_seed_validation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = random_matrix(&mut rng, 10, 6);
+        assert!(greedy_shrink_warm(&m, &[0, 1], GreedyShrinkConfig::new(3)).is_err());
+        assert!(greedy_shrink_warm(&m, &[0, 0, 1], GreedyShrinkConfig::new(2)).is_err());
+        assert!(greedy_shrink_warm(&m, &[0, 9, 1], GreedyShrinkConfig::new(2)).is_err());
+        assert!(greedy_shrink_warm(&m, &[0, 1, 2], GreedyShrinkConfig::new(0)).is_err());
+        // Seed exactly k: zero iterations, seed returned as-is.
+        let out = greedy_shrink_warm(&m, &[4, 1], GreedyShrinkConfig::new(2)).unwrap();
+        assert_eq!(out.selection.indices, vec![1, 4]);
+        assert_eq!(out.iterations, 0);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   (ablation baseline);
 //! * baselines from prior work: [`mrr_greedy_exact`](fn@mrr_greedy_exact) / [`mrr_greedy_sampled`](fn@mrr_greedy_sampled)
 //!   (k-regret, Nanongkai et al. \[22\], LP-backed), [`sky_dom`](fn@sky_dom)
-//!   (representative skyline, Lin et al. \[20\]), [`k_hit`](fn@k_hit) (Peng & Wong \[26\]).
+//!   (representative skyline, Lin et al. \[20\]), [`k_hit`](fn@k_hit) (Peng & Wong \[26\]);
+//! * dynamic-database warm starts: [`warm_repair`](fn@warm_repair) (the standard
+//!   repair policy for `fam_core::DynamicEngine`) plus the seeded entry
+//!   points [`add_greedy_from`](fn@add_greedy_from) and
+//!   [`greedy_shrink_warm`](fn@greedy_shrink_warm) ([`repair`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,13 +31,16 @@ pub mod measure;
 pub mod mrr;
 pub mod mrr_greedy;
 pub mod reduction;
+pub mod repair;
 pub mod sky_dom;
 
-pub use add_greedy::add_greedy;
+pub use add_greedy::{add_greedy, add_greedy_from};
 pub use brute_force::{brute_force, brute_force_with_pruning};
 pub use cube::cube;
 pub use dp2d::{dp_2d, Dp2dOutput};
-pub use greedy_shrink::{greedy_shrink, GreedyShrinkConfig, GreedyShrinkOutput};
+pub use greedy_shrink::{
+    greedy_shrink, greedy_shrink_warm, GreedyShrinkConfig, GreedyShrinkOutput,
+};
 pub use k_hit::k_hit;
 pub use local_search::{local_search, LocalSearchConfig, LocalSearchOutput};
 pub use measure::{
@@ -45,4 +52,5 @@ pub use mrr_greedy::{mrr_greedy_exact, mrr_greedy_sampled};
 pub use reduction::{
     reduce_set_cover, set_cover_has_cover_of_size, ReducedInstance, SetCoverInstance,
 };
+pub use repair::warm_repair;
 pub use sky_dom::sky_dom;

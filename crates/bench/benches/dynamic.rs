@@ -1,0 +1,237 @@
+//! Dynamic-database A/B: incremental repair versus full recompute.
+//!
+//! Streams one update batch per churn rate (1%, 5%, 20% of the points
+//! deleted *and* the same number inserted) through the incremental path —
+//! [`fam::DynamicEngine`] patching both matrix layouts in place, resuming
+//! the evaluator, and warm-repairing the previous selection — and through
+//! the from-scratch path: rebuild the matrix with
+//! [`ScoreMatrix::from_flat`] on the updated rows and rerun ADD-GREEDY
+//! from an empty set.
+//!
+//! Scale defaults to the acceptance configuration (`n = 2,000` points,
+//! `N = 50,000` samples, `k = 10`); override with `FAM_ENGINE_POINTS`,
+//! `FAM_ENGINE_SAMPLES`, `FAM_ENGINE_K`, and best-of `FAM_ENGINE_REPS`
+//! passes. Besides the criterion group, the run emits one JSON trajectory
+//! point (default `BENCH_dynamic.json` at the workspace root, override
+//! with `FAM_BENCH_DYNAMIC_OUT`) recording both paths' times, the
+//! speedup, and both selections' quality per churn rate.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fam::prelude::*;
+use fam::{add_greedy, warm_repair, DynamicEngine, ScoreMatrix, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct ChurnResult {
+    churn: f64,
+    batch_points: usize,
+    incremental: Duration,
+    full: Duration,
+    arr_incremental: f64,
+    arr_full: f64,
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let n = env_usize("FAM_ENGINE_POINTS", 2_000);
+    let n_samples = env_usize("FAM_ENGINE_SAMPLES", 50_000);
+    let k = env_usize("FAM_ENGINE_K", 10).min(n);
+    let reps = env_usize("FAM_ENGINE_REPS", 3).max(1);
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    eprintln!("dynamic bench: n={n}, N={n_samples}, k={k}, reps={reps}, host threads={threads}");
+
+    let churn_rates = [0.01, 0.05, 0.20];
+    let max_batch = churn_rates
+        .iter()
+        .map(|c| (((c * n as f64).round() as usize).max(1)).min(n - k))
+        .max()
+        .expect("non-empty churn list");
+
+    // One point pool: the first n rows are the base database, the rest
+    // feed insertions. Everything is scored under one fixed sampled user
+    // population, exactly like a live engine would.
+    let mut rng = StdRng::seed_from_u64(20190408);
+    let pool = synthetic(n + max_batch, 4, Correlation::AntiCorrelated, &mut rng).expect("points");
+    let base_rows: Vec<Vec<f64>> = (0..n).map(|i| pool.point(i).to_vec()).collect();
+    let base = Dataset::from_rows(base_rows).expect("base dataset");
+    let dist = UniformLinear::new(4).expect("dist");
+    let functions: Vec<Arc<dyn UtilityFunction>> =
+        (0..n_samples).map(|_| dist.sample(&mut rng)).collect();
+    let matrix = ScoreMatrix::from_functions(&base, &functions, None).expect("matrix");
+    let initial = add_greedy(&matrix, k).expect("initial selection");
+    eprintln!("base arr = {:.6}", initial.objective.unwrap_or(f64::NAN));
+
+    let score_point = |i: usize| -> Vec<f64> {
+        let p = pool.point(n + i);
+        functions.iter().map(|f| f.utility(usize::MAX, p)).collect()
+    };
+
+    let mut results: Vec<ChurnResult> = Vec::new();
+    for &churn in &churn_rates {
+        let b = (((churn * n as f64).round() as usize).max(1)).min(n - k);
+        let mut batch_rng = StdRng::seed_from_u64(0xD1AB0 + (churn * 1000.0) as u64);
+        let mut cand: Vec<usize> = (0..n).collect();
+        let mut batch = UpdateBatch::default();
+        for _ in 0..b {
+            let i = batch_rng.gen_range(0..cand.len());
+            batch.delete.push(cand.swap_remove(i));
+        }
+        for j in 0..b {
+            batch.insert.push(score_point(j));
+        }
+
+        // Incremental leg: patch + resume + warm repair, best of `reps`
+        // (fresh engine per rep — applying a batch consumes the state).
+        let mut incremental = Duration::MAX;
+        let mut arr_incremental = f64::NAN;
+        let mut inc_selection = Vec::new();
+        for _ in 0..reps {
+            let mut engine =
+                DynamicEngine::new(matrix.clone(), k, &initial.indices).expect("engine");
+            let t0 = Instant::now();
+            let report = engine.apply_with(&batch, warm_repair).expect("apply");
+            incremental = incremental.min(t0.elapsed());
+            arr_incremental = report.arr;
+            inc_selection = report.selection;
+        }
+
+        // Full-recompute leg: rebuild the matrix from the updated rows and
+        // rerun ADD-GREEDY from scratch. The updated rows are prepared
+        // outside the timer — both legs receive the new scores for free
+        // and pay only their own maintenance.
+        // Post-swap point order (delete_points uses swap-remove), so the
+        // rebuilt buffer matches the engine's ordering exactly.
+        let keep: Vec<usize> = {
+            let mut dels = batch.delete.clone();
+            dels.sort_unstable();
+            let mut order: Vec<usize> = (0..n).collect();
+            for &d in dels.iter().rev() {
+                order.swap_remove(d);
+            }
+            order
+        };
+        let n_new = keep.len() + b;
+        let mut flat: Vec<f64> = Vec::with_capacity(n_samples * n_new);
+        for u in 0..n_samples {
+            let row = matrix.row(u);
+            for &p in &keep {
+                flat.push(row[p]);
+            }
+            for col in &batch.insert {
+                flat.push(col[u]);
+            }
+        }
+        let mut full = Duration::MAX;
+        let mut arr_full = f64::NAN;
+        let mut full_matrix = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let fresh =
+                ScoreMatrix::from_flat(flat.clone(), n_samples, n_new, None).expect("rebuild");
+            let sel = add_greedy(&fresh, k).expect("full rerun");
+            full = full.min(t0.elapsed());
+            arr_full = sel.objective.unwrap_or(f64::NAN);
+            full_matrix = Some(fresh);
+        }
+
+        // Sanity: the incremental engine's matrix must equal the rebuild.
+        let fresh = full_matrix.expect("at least one rep");
+        let check = DynamicEngine::new(matrix.clone(), k, &initial.indices)
+            .and_then(|mut e| e.apply_with(&batch, warm_repair).map(|_| e))
+            .expect("check engine");
+        for u in (0..n_samples).step_by((n_samples / 64).max(1)) {
+            assert_eq!(check.matrix().row(u), fresh.row(u), "row {u} diverged from rebuild");
+            assert_eq!(
+                check.matrix().best_value(u).to_bits(),
+                fresh.best_value(u).to_bits(),
+                "best value {u} diverged from rebuild"
+            );
+        }
+        assert_eq!(inc_selection.len(), k);
+
+        let speedup = full.as_secs_f64() / incremental.as_secs_f64().max(1e-12);
+        eprintln!(
+            "churn {:>4.0}% ({b:>4} +/-): incremental {incremental:?} vs full recompute {full:?} \
+             ({speedup:.1}x), arr {arr_incremental:.6} vs {arr_full:.6}",
+            churn * 100.0
+        );
+        results.push(ChurnResult {
+            churn,
+            batch_points: b,
+            incremental,
+            full,
+            arr_incremental,
+            arr_full,
+        });
+    }
+
+    let out_path = std::env::var("FAM_BENCH_DYNAMIC_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamic.json").to_string()
+    });
+    let mut churn_json = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            churn_json.push(',');
+        }
+        churn_json.push_str(&format!(
+            "{{\"churn\":{},\"batch_points\":{},\"incremental_ms\":{:.3},\"full_ms\":{:.3},\
+             \"speedup\":{:.3},\"arr_incremental\":{:.6},\"arr_full\":{:.6}}}",
+            r.churn,
+            r.batch_points,
+            r.incremental.as_secs_f64() * 1e3,
+            r.full.as_secs_f64() * 1e3,
+            r.full.as_secs_f64() / r.incremental.as_secs_f64().max(1e-12),
+            r.arr_incremental,
+            r.arr_full,
+        ));
+    }
+    let json = format!(
+        "{{\"bench\":\"dynamic\",\"n\":{n},\"n_samples\":{n_samples},\"k\":{k},\
+         \"host_threads\":{threads},\"churns\":[{churn_json}]}}\n"
+    );
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+
+    // Criterion group for the update kernels: an insert batch followed by
+    // a delete of the same points returns the engine to its base state,
+    // so iterations compose without re-cloning the matrix.
+    let b = ((n / 100).max(1)).min(n - k);
+    let insert_batch =
+        UpdateBatch { insert: (0..b).map(score_point).collect(), delete: Vec::new() };
+    let mut engine = DynamicEngine::new(matrix.clone(), k, &initial.indices).expect("engine");
+    let mut g = c.benchmark_group("dynamic_kernels");
+    g.sample_size(5);
+    g.bench_function("apply_roundtrip_1pct", |bench| {
+        bench.iter(|| {
+            engine.apply_with(&insert_batch, warm_repair).expect("insert leg");
+            let n_now = engine.matrix().n_points();
+            let delete_batch =
+                UpdateBatch { insert: Vec::new(), delete: (n_now - b..n_now).collect() };
+            engine.apply_with(&delete_batch, warm_repair).expect("delete leg");
+            engine.arr()
+        })
+    });
+    g.bench_function("matrix_insert_delete_1pct", |bench| {
+        let mut m = matrix.clone();
+        bench.iter(|| {
+            m.insert_points(&insert_batch.insert).expect("insert");
+            let n_now = m.n_points();
+            let dels: Vec<usize> = (n_now - b..n_now).collect();
+            m.delete_points(&dels).expect("delete");
+            m.n_points()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

@@ -10,7 +10,7 @@ pub struct ParsedArgs {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["labelled", "compact", "full"];
+const SWITCHES: &[&str] = &["labelled", "compact", "full", "verify"];
 
 impl ParsedArgs {
     /// Parses a flag list.

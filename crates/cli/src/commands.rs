@@ -1,13 +1,15 @@
-//! The four CLI commands. Each returns its report as a `String` so the
-//! tests can assert on output without spawning processes.
+//! The CLI commands. Each returns its report as a `String` so the tests
+//! can assert on output without spawning processes.
 
 use std::path::Path;
 // Explicit import wins over the prelude's `Result<T> = Result<T, FamError>` alias.
 use std::result::Result;
+use std::sync::Arc;
 
 use fam::prelude::*;
 use fam::{
-    add_greedy, brute_force, dp_2d, greedy_shrink, k_hit, mrr_greedy_exact, regret, Selection,
+    add_greedy, brute_force, dp_2d, greedy_shrink, k_hit, mrr_greedy_exact, regret, ApplyReport,
+    Selection,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,6 +23,14 @@ fn seeded(a: &ParsedArgs) -> Result<StdRng, String> {
 fn load(a: &ParsedArgs) -> Result<Dataset, String> {
     let path = a.required("data")?;
     fam::data::read_csv(Path::new(path), a.switch("labelled")).map_err(|e| e.to_string())
+}
+
+fn make_dist(a: &ParsedArgs, dim: usize) -> Result<Box<dyn UtilityDistribution>, String> {
+    match a.optional("dist").unwrap_or("uniform") {
+        "uniform" => Ok(Box::new(UniformLinear::new(dim).map_err(|e| e.to_string())?)),
+        "simplex" => Ok(Box::new(SimplexLinear::new(dim).map_err(|e| e.to_string())?)),
+        other => Err(format!("unknown --dist `{other}` (uniform|simplex)")),
+    }
 }
 
 fn sample_count(a: &ParsedArgs) -> Result<usize, String> {
@@ -85,11 +95,7 @@ pub fn select(a: &ParsedArgs) -> Result<String, String> {
 
     // Sampled backing: compact linear or materialized, per --compact.
     let make_matrix = |rng: &mut StdRng| -> Result<ScoreMatrix, String> {
-        let dist: Box<dyn UtilityDistribution> = match a.optional("dist").unwrap_or("uniform") {
-            "uniform" => Box::new(UniformLinear::new(ds.dim()).map_err(|e| e.to_string())?),
-            "simplex" => Box::new(SimplexLinear::new(ds.dim()).map_err(|e| e.to_string())?),
-            other => return Err(format!("unknown --dist `{other}` (uniform|simplex)")),
-        };
+        let dist = make_dist(a, ds.dim())?;
         ScoreMatrix::from_distribution(&ds, dist.as_ref(), n_samples, rng)
             .map_err(|e| e.to_string())
     };
@@ -163,6 +169,177 @@ pub fn evaluate(a: &ParsedArgs) -> Result<String, String> {
          rr @ p70/p90/p99 = {:.6}/{:.6}/{:.6}",
         selection, rep.arr, rep.vrr, rep.std_dev, rep.mrr, pct[0], pct[1], pct[2]
     ))
+}
+
+/// One parsed update operation from the `--updates` stream.
+enum Op {
+    Insert(Vec<f64>),
+    Delete(usize),
+}
+
+/// Parses the update stream: one op per line, `insert,c0,c1,...` (or
+/// `+,...`) and `delete,IDX` (or `-,IDX`); blank lines and `#` comments
+/// are skipped.
+fn read_ops(path: &Path, dim: usize) -> Result<Vec<Op>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut ops = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let kind = fields.next().expect("split yields at least one field").trim();
+        match kind {
+            "insert" | "+" => {
+                let coords: Result<Vec<f64>, _> = fields.map(|f| f.trim().parse::<f64>()).collect();
+                let coords = coords.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                if coords.len() != dim {
+                    return Err(format!(
+                        "line {}: expected {dim} coordinates, got {}",
+                        lineno + 1,
+                        coords.len()
+                    ));
+                }
+                ops.push(Op::Insert(coords));
+            }
+            "delete" | "-" => {
+                let idx = fields
+                    .next()
+                    .ok_or_else(|| format!("line {}: delete needs an index", lineno + 1))?;
+                let idx = idx.trim().parse().map_err(|_| {
+                    format!("line {}: `{}` is not an index", lineno + 1, idx.trim())
+                })?;
+                if fields.next().is_some() {
+                    return Err(format!("line {}: delete takes exactly one index", lineno + 1));
+                }
+                ops.push(Op::Delete(idx));
+            }
+            other => {
+                return Err(format!("line {}: unknown op `{other}` (insert|delete)", lineno + 1))
+            }
+        }
+    }
+    Ok(ops)
+}
+
+/// `--verify`: pins the incremental state against a full recompute —
+/// rebuild the matrix from scratch on the updated rows, run the same warm
+/// start, and require bit-identical results.
+fn verify_against_full_recompute(
+    engine: &DynamicEngine,
+    report: &ApplyReport,
+) -> Result<(), String> {
+    let m = engine.matrix();
+    let mut flat = Vec::with_capacity(m.n_samples() * m.n_points());
+    for u in 0..m.n_samples() {
+        flat.extend_from_slice(m.row(u));
+    }
+    let fresh = ScoreMatrix::from_flat(flat, m.n_samples(), m.n_points(), None)
+        .map_err(|e| e.to_string())?;
+    for u in 0..m.n_samples() {
+        if m.best_index(u) != fresh.best_index(u)
+            || m.best_value(u).to_bits() != fresh.best_value(u).to_bits()
+        {
+            return Err(format!("matrix diverged from the full rebuild at sample {u}"));
+        }
+    }
+    let mut ev = SelectionEvaluator::new_with(&fresh, &report.kept);
+    let ws = WarmStart { inserted: report.inserted_range.clone(), k: engine.k().min(m.n_points()) };
+    fam::warm_repair(&mut ev, &ws).map_err(|e| e.to_string())?;
+    if ev.selection() != report.selection || ev.arr().to_bits() != report.arr.to_bits() {
+        return Err("warm-start repair diverged from the full recompute".into());
+    }
+    Ok(())
+}
+
+/// `fam replay` (alias `update`) — stream insert/delete batches over a
+/// base dataset, maintaining the selection incrementally.
+///
+/// Samples the user population once, builds the score matrix and an
+/// initial ADD-GREEDY selection, then applies the update stream in
+/// batches of `--batch` ops through [`DynamicEngine`] with the standard
+/// warm-repair policy. Inserted points are scored under the *same*
+/// sampled utility functions as the base matrix; delete indices refer to
+/// the point set at the start of their batch (deletion uses swap-remove
+/// order — the then-last point fills each freed slot — and inserts
+/// append at the end).
+///
+/// # Errors
+///
+/// Returns usage, I/O, parse, or engine errors as strings.
+pub fn replay(a: &ParsedArgs) -> Result<String, String> {
+    let ds = load(a)?;
+    let k: usize = a.parsed("k")?;
+    let n_samples = sample_count(a)?;
+    let batch_size: usize = a.parsed_or("batch", 16usize)?;
+    if batch_size == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let mut rng = seeded(a)?;
+    let dist = make_dist(a, ds.dim())?;
+    // Parse the whole update stream before paying for the matrix build:
+    // a malformed ops file should fail in milliseconds, not after the
+    // O(n·N) scoring pass.
+    let ops = read_ops(Path::new(a.required("updates")?), ds.dim())?;
+    let verify = a.switch("verify");
+    // Keep the sampled functions alive: inserted points must be scored
+    // under the same user population the engine was built with. (The CLI
+    // distributions are coordinate-based, so the index argument of
+    // `UtilityFunction::utility` is irrelevant; an out-of-range sentinel
+    // makes any identity-based function fail loudly instead of silently.)
+    let functions: Vec<Arc<dyn UtilityFunction>> =
+        (0..n_samples).map(|_| dist.sample(&mut rng)).collect();
+    let matrix = ScoreMatrix::from_functions(&ds, &functions, None).map_err(|e| e.to_string())?;
+    let initial = add_greedy(&matrix, k).map_err(|e| e.to_string())?;
+    let mut engine = DynamicEngine::new(matrix, k, &initial.indices).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "base: n = {}, N = {n_samples}, k = {k}\ninitial selection: {:?} (arr = {:.6})\n",
+        ds.len(),
+        engine.selection(),
+        engine.arr()
+    );
+    for (i, chunk) in ops.chunks(batch_size).enumerate() {
+        let mut batch = UpdateBatch::default();
+        for op in chunk {
+            match op {
+                Op::Insert(coords) => batch
+                    .insert
+                    .push(functions.iter().map(|f| f.utility(usize::MAX, coords)).collect()),
+                Op::Delete(idx) => batch.delete.push(*idx),
+            }
+        }
+        let report =
+            engine.apply_with(&batch, fam::warm_repair).map_err(|e| format!("batch {i}: {e}"))?;
+        out.push_str(&format!(
+            "batch {i}: +{} -{} -> n = {}, arr = {:.6}, selection = {:?} \
+             (kept {}, repair added {} / removed {} in {} evals, {} samples rescanned)\n",
+            report.inserted,
+            report.deleted,
+            report.n_points,
+            report.arr,
+            report.selection,
+            report.kept.len(),
+            report.repair.added,
+            report.repair.removed,
+            report.repair.evaluations,
+            report.resumed_rescans,
+        ));
+        if verify {
+            verify_against_full_recompute(&engine, &report)
+                .map_err(|e| format!("batch {i}: {e}"))?;
+            out.push_str(&format!("batch {i}: verified bit-identical to full recompute\n"));
+        }
+    }
+    out.push_str(&format!(
+        "final: n = {}, arr = {:.6}, selection = {:?} after {} batches",
+        engine.matrix().n_points(),
+        engine.arr(),
+        engine.selection(),
+        engine.batches_applied()
+    ));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -249,7 +426,75 @@ mod tests {
     fn run_dispatches_and_reports_usage() {
         let msg = crate::run(&["help".to_string()]).unwrap();
         assert!(msg.contains("usage"));
+        assert!(msg.contains("replay"));
         assert!(crate::run(&["bogus".to_string()]).is_err());
         assert!(crate::run(&[]).is_err());
+    }
+
+    #[test]
+    fn replay_streams_batches_and_verifies() {
+        let data = tmp("replay.csv");
+        let ups = tmp("replay_ops.csv");
+        generate(&argv(&format!("--out {data} --n 120 --d 3 --corr anti --seed 11"))).unwrap();
+        std::fs::write(
+            &ups,
+            "# churn stream\n\
+             insert,0.9,0.8,0.7\n\
+             delete,3\n\
+             +,0.2,0.95,0.4\n\
+             -,17\n\
+             insert,0.5,0.5,0.99\n\
+             delete,0\n",
+        )
+        .unwrap();
+        let msg = replay(&argv(&format!(
+            "--data {data} --updates {ups} --k 4 --samples 150 --seed 11 --batch 2 --verify"
+        )))
+        .unwrap();
+        assert!(msg.contains("initial selection"), "{msg}");
+        assert!(msg.contains("batch 2:"), "{msg}");
+        assert!(msg.contains("verified bit-identical to full recompute"), "{msg}");
+        assert!(msg.contains("after 3 batches"), "{msg}");
+        // The alias dispatches too.
+        let msg2 = crate::run(
+            &format!("update --data {data} --updates {ups} --k 4 --samples 60 --seed 11")
+                .split_whitespace()
+                .map(str::to_string)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(msg2.contains("final:"), "{msg2}");
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&ups).ok();
+    }
+
+    #[test]
+    fn replay_rejects_malformed_streams() {
+        let data = tmp("replay_bad.csv");
+        generate(&argv(&format!("--out {data} --n 30 --d 2 --seed 2"))).unwrap();
+        let cases = [
+            "teleport,1,2\n",
+            "insert,0.5\n",
+            "delete\n",
+            "delete,notanumber\n",
+            "delete,1,2\n",
+            "insert,0.5,abc\n",
+        ];
+        for (i, body) in cases.iter().enumerate() {
+            let ups = tmp(&format!("replay_bad_ops_{i}.csv"));
+            std::fs::write(&ups, body).unwrap();
+            let r = replay(&argv(&format!("--data {data} --updates {ups} --k 2 --samples 40")));
+            assert!(r.is_err(), "case {i} should fail: {body:?}");
+            std::fs::remove_file(&ups).ok();
+        }
+        // Out-of-bounds delete surfaces the engine error with batch context.
+        let ups = tmp("replay_bad_oob.csv");
+        std::fs::write(&ups, "delete,999\n").unwrap();
+        let err = replay(&argv(&format!("--data {data} --updates {ups} --k 2 --samples 40")))
+            .unwrap_err();
+        assert!(err.contains("batch 0"), "{err}");
+        assert!(replay(&argv(&format!("--data {data} --updates {ups} --k 2 --batch 0"))).is_err());
+        std::fs::remove_file(&ups).ok();
+        std::fs::remove_file(&data).ok();
     }
 }

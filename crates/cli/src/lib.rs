@@ -8,6 +8,7 @@
 //! fam skyline  --data data.csv
 //! fam select   --data data.csv --k 10 --algo greedy-shrink
 //! fam evaluate --data data.csv --selection 3,17,42
+//! fam replay   --data data.csv --updates ops.csv --k 10 --batch 16
 //! ```
 //!
 //! All logic lives in this library crate so it is unit-testable; `main`
@@ -34,6 +35,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "skyline" => commands::skyline_cmd(&parsed),
         "select" => commands::select(&parsed),
         "evaluate" => commands::evaluate(&parsed),
+        "replay" | "update" => commands::replay(&parsed),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -46,6 +48,9 @@ fn usage() -> String {
      skyline   --data FILE [--labelled]\n  \
      select    --data FILE --k K [--algo greedy-shrink|add-greedy|mrr-greedy|sky-dom|k-hit|dp|brute-force]\n            \
      [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--compact] [--labelled]\n  \
-     evaluate  --data FILE --selection I,J,K [--samples N] [--seed S] [--labelled]"
+     evaluate  --data FILE --selection I,J,K [--samples N] [--seed S] [--labelled]\n  \
+     replay    --data FILE --updates FILE --k K [--batch B] [--samples N] [--dist uniform|simplex]\n            \
+     [--seed S] [--verify] [--labelled]   (alias: update; ops are `insert,c0,c1,..` / `delete,IDX`,\n            \
+     delete indices refer to the point set at the start of each batch, swap-remove order)"
         .to_string()
 }

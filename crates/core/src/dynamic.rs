@@ -1,0 +1,493 @@
+//! Dynamic databases: incremental updates to a live score matrix and its
+//! selection.
+//!
+//! The paper selects a regret-minimizing set from a *static* database;
+//! a production deployment must also survive inserts and deletes. This
+//! module owns that scenario end to end: a [`DynamicEngine`] holds the
+//! current [`ScoreMatrix`], the current selection, and the evaluator
+//! caches, and applies an [`UpdateBatch`] by
+//!
+//! 1. patching both matrix layouts in place
+//!    ([`ScoreMatrix::delete_points`] / [`ScoreMatrix::insert_points`] —
+//!    bit-identical to a from-scratch build of the updated database),
+//! 2. resuming the evaluator incrementally
+//!    ([`SelectionEvaluator::resume_after_update`] — only samples whose
+//!    cached best points died are rescanned), and
+//! 3. handing the resumed evaluator to a **repair policy** that
+//!    warm-starts from the surviving selection instead of re-running a
+//!    greedy from scratch (`fam-algos::warm_repair` is the standard
+//!    policy; the engine stays policy-agnostic so `fam-core` does not
+//!    depend on the algorithm crate).
+//!
+//! The incremental path is pinned against full recomputation by
+//! `crates/algos/tests/dynamic_equivalence.rs` and A/B-benchmarked across
+//! churn rates by `crates/bench/benches/dynamic.rs` (`BENCH_dynamic.json`).
+
+use std::ops::Range;
+
+use crate::error::{FamError, Result};
+use crate::evaluator::{EvaluatorState, SelectionEvaluator};
+use crate::scores::ScoreMatrix;
+
+/// One batch of database mutations, applied atomically by
+/// [`DynamicEngine::apply_with`].
+///
+/// Deletions are indices into the **pre-batch** point universe and are
+/// applied first; insertions are score columns (`n_samples` entries each,
+/// sample order) appended after compaction, so they take the highest
+/// indices of the post-batch universe. A batch may not delete every
+/// pre-existing point, even when it also inserts.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    /// Score columns of the points to insert (one `Vec` of `n_samples`
+    /// scores per new point).
+    pub insert: Vec<Vec<f64>>,
+    /// Pre-batch indices of the points to delete (any order, no
+    /// duplicates).
+    pub delete: Vec<usize>,
+}
+
+impl UpdateBatch {
+    /// True when the batch mutates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.delete.is_empty()
+    }
+}
+
+/// What a repair policy receives alongside the resumed evaluator.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Post-batch indices of the points this batch inserted.
+    pub inserted: Range<usize>,
+    /// Target selection size (already clamped to the post-batch point
+    /// count).
+    pub k: usize,
+}
+
+/// What a repair policy reports back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Points added to the selection (inserted candidates and greedy
+    /// growth).
+    pub added: usize,
+    /// Points removed from the selection.
+    pub removed: usize,
+    /// `arr` evaluations spent repairing.
+    pub evaluations: u64,
+}
+
+/// Report of one applied [`UpdateBatch`].
+#[derive(Debug, Clone)]
+pub struct ApplyReport {
+    /// Points deleted by the batch.
+    pub deleted: usize,
+    /// Points inserted by the batch.
+    pub inserted: usize,
+    /// Post-batch indices of the inserted points.
+    pub inserted_range: Range<usize>,
+    /// Post-batch point count.
+    pub n_points: usize,
+    /// Selection surviving the batch *before* repair (post-batch
+    /// indices) — the warm-start seed.
+    pub kept: Vec<usize>,
+    /// Selection after repair, sorted ascending.
+    pub selection: Vec<usize>,
+    /// `arr` of the repaired selection.
+    pub arr: f64,
+    /// Samples whose cached best or runner-up point died and was
+    /// rescanned while resuming the evaluator.
+    pub resumed_rescans: u64,
+    /// What the repair policy did.
+    pub repair: RepairOutcome,
+}
+
+/// A live score matrix plus its maintained selection, surviving inserts
+/// and deletes without recompute-from-scratch.
+///
+/// # Examples
+///
+/// ```
+/// use fam_core::{DynamicEngine, ScoreMatrix, UpdateBatch};
+///
+/// let m = ScoreMatrix::from_rows(vec![
+///     vec![1.0, 0.8, 0.1],
+///     vec![0.2, 0.9, 1.0],
+/// ], None).unwrap();
+/// let mut engine = DynamicEngine::new(m, 2, &[0, 2]).unwrap();
+/// let batch = UpdateBatch { insert: vec![vec![0.5, 0.95]], delete: vec![0] };
+/// // A trivial repair policy: keep whatever survived, then greedily add
+/// // the inserted point if the selection is short (real callers use
+/// // `fam_algos::warm_repair`).
+/// let report = engine.apply_with(&batch, |ev, ws| {
+///     let mut added = 0;
+///     for p in ws.inserted.clone() {
+///         if ev.len() < ws.k && !ev.contains(p) {
+///             ev.add(p);
+///             added += 1;
+///         }
+///     }
+///     Ok(fam_core::RepairOutcome { added, removed: 0, evaluations: 0 })
+/// }).unwrap();
+/// assert_eq!(report.n_points, 3);
+/// assert_eq!(engine.selection().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct DynamicEngine {
+    matrix: ScoreMatrix,
+    state: EvaluatorState,
+    k: usize,
+    batches_applied: u64,
+}
+
+impl DynamicEngine {
+    /// Creates an engine from an initial matrix and selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `k` is invalid for the matrix or the initial
+    /// selection is out of bounds, duplicated, or larger than `k`.
+    pub fn new(matrix: ScoreMatrix, k: usize, initial: &[usize]) -> Result<Self> {
+        if k == 0 || k > matrix.n_points() {
+            return Err(FamError::InvalidK { k, n: matrix.n_points() });
+        }
+        crate::selection::validate_indices(initial, matrix.n_points(), "initial")?;
+        if initial.len() > k {
+            return Err(FamError::InvalidParameter {
+                name: "initial",
+                message: format!("selection of {} points exceeds k = {k}", initial.len()),
+            });
+        }
+        let state = SelectionEvaluator::new_with(&matrix, initial).into_state();
+        Ok(DynamicEngine { matrix, state, k, batches_applied: 0 })
+    }
+
+    /// The current score matrix.
+    #[inline]
+    pub fn matrix(&self) -> &ScoreMatrix {
+        &self.matrix
+    }
+
+    /// The configured output size.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The current selection, sorted ascending.
+    pub fn selection(&self) -> Vec<usize> {
+        self.state.selection()
+    }
+
+    /// `arr` of the current selection.
+    #[inline]
+    pub fn arr(&self) -> f64 {
+        self.state.arr()
+    }
+
+    /// Number of batches applied so far.
+    #[inline]
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied
+    }
+
+    /// Applies a batch of updates and repairs the selection through the
+    /// given policy.
+    ///
+    /// The repair policy receives the resumed evaluator (selection = the
+    /// surviving members) plus a [`WarmStart`] naming the inserted index
+    /// range and the target size; it must leave the evaluator holding the
+    /// repaired selection. If the policy errors, the matrix keeps the
+    /// applied batch (it counts in [`DynamicEngine::batches_applied`])
+    /// and the selection resets to the surviving members, discarding any
+    /// partial work the policy did before failing. An empty batch skips
+    /// the matrix patch and evaluator resume entirely and goes straight
+    /// to the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns batch-validation errors without mutating anything, or the
+    /// repair policy's error.
+    pub fn apply_with<R>(&mut self, batch: &UpdateBatch, repair: R) -> Result<ApplyReport>
+    where
+        R: for<'e> FnOnce(
+            &mut SelectionEvaluator<'e, ScoreMatrix>,
+            &WarmStart,
+        ) -> Result<RepairOutcome>,
+    {
+        let Self { matrix, state, k, batches_applied } = self;
+        // Validate the insertions up front; deletions are validated by
+        // `delete_points`, which runs first and leaves the matrix
+        // untouched on any error — so a failed (or universe-wiping)
+        // deletion can never follow an applied insertion, and vice versa.
+        matrix.validate_new_points(&batch.insert)?;
+        let (mut ev, inserted, resumed_rescans) = if batch.is_empty() {
+            // Nothing changed: reattach the state directly — no remap, no
+            // sample classification, no rescans. The resync keeps `arr`
+            // and the owner lists bit-identical to a fresh rebuild, which
+            // the dynamic-equivalence contract pins.
+            let st = std::mem::replace(state, EvaluatorState::placeholder());
+            let n = matrix.n_points();
+            let mut ev = SelectionEvaluator::from_state(&*matrix, st);
+            ev.resync();
+            (ev, n..n, 0)
+        } else {
+            let remap = matrix.delete_points(&batch.delete)?;
+            let first_new = matrix.n_points();
+            // Columns were validated up front; skip the second scan.
+            matrix.insert_points_prevalidated(&batch.insert);
+            let inserted = first_new..matrix.n_points();
+            let st = std::mem::replace(state, EvaluatorState::placeholder());
+            let rescans_before = st.counters().rescans;
+            let ev = SelectionEvaluator::resume_after_update(&*matrix, st, &remap);
+            let resumed_rescans = ev.counters().rescans - rescans_before;
+            (ev, inserted, resumed_rescans)
+        };
+        let kept = ev.selection();
+        let ws = WarmStart { inserted: inserted.clone(), k: (*k).min(matrix.n_points()) };
+        *batches_applied += 1;
+        // From here until the disarm below, `state` holds a placeholder.
+        // The guard honors the documented contract — fall back to exactly
+        // the surviving members, not whatever the policy left behind —
+        // whether the policy returns `Err` or panics out of this frame.
+        let mut guard = SurvivorGuard { state, matrix: &*matrix, kept: &kept, armed: true };
+        let repair = repair(&mut ev, &ws)?;
+        guard.armed = false;
+        let selection = ev.selection();
+        let arr = ev.arr();
+        *guard.state = ev.into_state();
+        drop(guard);
+        Ok(ApplyReport {
+            deleted: batch.delete.len(),
+            inserted: batch.insert.len(),
+            inserted_range: inserted,
+            n_points: matrix.n_points(),
+            kept,
+            selection,
+            arr,
+            resumed_rescans,
+            repair,
+        })
+    }
+}
+
+/// Restores a `DynamicEngine`'s evaluator state to the batch's surviving
+/// members when the repair policy fails — by `Err` or by panic — so the
+/// engine never outlives a repair holding the placeholder state.
+struct SurvivorGuard<'a> {
+    state: &'a mut EvaluatorState,
+    matrix: &'a ScoreMatrix,
+    kept: &'a [usize],
+    armed: bool,
+}
+
+impl Drop for SurvivorGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            *self.state = SelectionEvaluator::new_with(self.matrix, self.kept).into_state();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regret;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn matrix() -> ScoreMatrix {
+        ScoreMatrix::from_rows(
+            vec![
+                vec![0.9, 0.7, 0.2, 0.4],
+                vec![0.6, 1.0, 0.5, 0.2],
+                vec![0.2, 0.6, 0.3, 1.0],
+                vec![0.1, 0.2, 1.0, 0.9],
+            ],
+            None,
+        )
+        .unwrap()
+    }
+
+    /// Keep-the-survivors policy used where repair behavior is not under
+    /// test.
+    fn no_repair(
+        _ev: &mut SelectionEvaluator<'_, ScoreMatrix>,
+        _ws: &WarmStart,
+    ) -> Result<RepairOutcome> {
+        Ok(RepairOutcome::default())
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            DynamicEngine::new(matrix(), 0, &[]),
+            Err(FamError::InvalidK { k: 0, n: 4 })
+        ));
+        assert!(matches!(
+            DynamicEngine::new(matrix(), 5, &[]),
+            Err(FamError::InvalidK { k: 5, n: 4 })
+        ));
+        assert!(DynamicEngine::new(matrix(), 2, &[9]).is_err());
+        assert!(DynamicEngine::new(matrix(), 2, &[1, 1]).is_err());
+        assert!(DynamicEngine::new(matrix(), 1, &[0, 1]).is_err());
+        let e = DynamicEngine::new(matrix(), 2, &[3, 1]).unwrap();
+        assert_eq!(e.selection(), vec![1, 3]);
+        assert_eq!(e.k(), 2);
+        assert_eq!(e.batches_applied(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_cheap_noop() {
+        let mut e = DynamicEngine::new(matrix(), 2, &[1, 3]).unwrap();
+        let arr = e.arr();
+        let report = e.apply_with(&UpdateBatch::default(), no_repair).unwrap();
+        assert!(UpdateBatch::default().is_empty());
+        assert_eq!(report.deleted, 0);
+        assert_eq!(report.inserted, 0);
+        assert_eq!(report.kept, vec![1, 3]);
+        assert_eq!(report.resumed_rescans, 0);
+        assert_eq!(e.arr().to_bits(), arr.to_bits());
+        assert_eq!(e.batches_applied(), 1);
+    }
+
+    #[test]
+    fn batch_validation_is_atomic() {
+        let mut e = DynamicEngine::new(matrix(), 2, &[1, 3]).unwrap();
+        // Bad insert next to a valid delete: nothing may change.
+        let bad = UpdateBatch { insert: vec![vec![1.0]], delete: vec![0] };
+        assert!(e.apply_with(&bad, no_repair).is_err());
+        assert_eq!(e.matrix().n_points(), 4);
+        assert_eq!(e.selection(), vec![1, 3]);
+        // Deleting the whole pre-existing universe is rejected even with
+        // inserts in the same batch.
+        let wipe = UpdateBatch { insert: vec![vec![0.5, 0.5, 0.5, 0.5]], delete: vec![0, 1, 2, 3] };
+        assert!(matches!(e.apply_with(&wipe, no_repair), Err(FamError::EmptyDataset)));
+        assert_eq!(e.matrix().n_points(), 4);
+        // Out-of-bounds delete.
+        let oob = UpdateBatch { insert: vec![], delete: vec![7] };
+        assert!(e.apply_with(&oob, no_repair).is_err());
+        assert_eq!(e.batches_applied(), 0);
+    }
+
+    #[test]
+    fn apply_patches_matrix_and_selection() {
+        let mut e = DynamicEngine::new(matrix(), 2, &[1, 3]).unwrap();
+        let batch = UpdateBatch { insert: vec![vec![0.3, 0.2, 0.9, 0.8]], delete: vec![1] };
+        let report = e.apply_with(&batch, no_repair).unwrap();
+        // Selection member 1 died; 3 swap-moved into slot 1; insert
+        // appended at 3.
+        assert_eq!(report.kept, vec![1]);
+        assert_eq!(report.inserted_range, 3..4);
+        assert_eq!(report.n_points, 4);
+        assert_eq!(e.selection(), vec![1]);
+        let direct = regret::arr_unchecked(e.matrix(), &[1]);
+        assert!((e.arr() - direct).abs() < 1e-9);
+        assert_eq!(e.batches_applied(), 1);
+    }
+
+    #[test]
+    fn repair_error_keeps_survivors() {
+        let mut e = DynamicEngine::new(matrix(), 2, &[1, 3]).unwrap();
+        let batch = UpdateBatch { insert: vec![], delete: vec![3] };
+        let r = e.apply_with(&batch, |ev, _ws| {
+            // Partial work before failing must be discarded.
+            ev.add(0);
+            Err(FamError::InvalidParameter { name: "policy", message: "boom".into() })
+        });
+        assert!(r.is_err());
+        // The batch stayed applied (and counts); the selection fell back
+        // to exactly the survivors, not the policy's partial state.
+        assert_eq!(e.matrix().n_points(), 3);
+        assert_eq!(e.selection(), vec![1]);
+        assert_eq!(e.batches_applied(), 1);
+        let direct = regret::arr_unchecked(e.matrix(), &[1]);
+        assert!((e.arr() - direct).abs() < 1e-9);
+        // The engine remains usable.
+        let report = e.apply_with(&UpdateBatch::default(), no_repair).unwrap();
+        assert_eq!(report.kept, vec![1]);
+        assert_eq!(e.batches_applied(), 2);
+    }
+
+    #[test]
+    fn repair_panic_restores_survivors() {
+        let mut e = DynamicEngine::new(matrix(), 2, &[1, 3]).unwrap();
+        let batch = UpdateBatch { insert: vec![], delete: vec![3] };
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = e.apply_with(&batch, |ev, _ws| {
+                // Partial work, then a policy bug.
+                ev.add(0);
+                panic!("policy bug");
+            });
+        }));
+        assert!(unwound.is_err());
+        // Same contract as the Err path: survivors, not the partial state
+        // (and never the internal placeholder).
+        assert_eq!(e.selection(), vec![1]);
+        let direct = regret::arr_unchecked(e.matrix(), &[1]);
+        assert!((e.arr() - direct).abs() < 1e-9);
+        let report = e.apply_with(&UpdateBatch::default(), no_repair).unwrap();
+        assert_eq!(report.kept, vec![1]);
+    }
+
+    #[test]
+    fn repair_policy_reaches_inserted_points() {
+        let mut e = DynamicEngine::new(matrix(), 2, &[0]).unwrap();
+        let batch = UpdateBatch { insert: vec![vec![0.1, 0.2, 0.9, 1.0]], delete: vec![] };
+        let report = e
+            .apply_with(&batch, |ev, ws| {
+                let mut added = 0;
+                for p in ws.inserted.clone() {
+                    if ev.len() < ws.k {
+                        ev.add(p);
+                        added += 1;
+                    }
+                }
+                Ok(RepairOutcome { added, removed: 0, evaluations: 0 })
+            })
+            .unwrap();
+        assert_eq!(report.repair.added, 1);
+        assert_eq!(report.selection, vec![0, 4]);
+        assert_eq!(e.selection(), vec![0, 4]);
+        let direct = regret::arr_unchecked(e.matrix(), &[0, 4]);
+        assert!((e.arr() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_update_stream_stays_consistent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n_samples = 12;
+        let rows: Vec<Vec<f64>> =
+            (0..n_samples).map(|_| (0..8).map(|_| rng.gen_range(0.01..1.0)).collect()).collect();
+        let m = ScoreMatrix::from_rows(rows, None).unwrap();
+        let mut e = DynamicEngine::new(m, 3, &[0, 4, 6]).unwrap();
+        for step in 0..25 {
+            let n = e.matrix().n_points();
+            let mut batch = UpdateBatch::default();
+            if n > 3 && rng.gen_bool(0.6) {
+                batch.delete.push(rng.gen_range(0..n));
+            }
+            if rng.gen_bool(0.7) {
+                batch.insert.push((0..n_samples).map(|_| rng.gen_range(0.01..1.0)).collect());
+            }
+            e.apply_with(&batch, |ev, ws| {
+                // Greedy-ish toy policy: add inserted points while short.
+                let mut added = 0;
+                for p in ws.inserted.clone() {
+                    if ev.len() < ws.k {
+                        ev.add(p);
+                        added += 1;
+                    }
+                }
+                Ok(RepairOutcome { added, removed: 0, evaluations: 0 })
+            })
+            .unwrap();
+            let sel = e.selection();
+            if !sel.is_empty() {
+                let direct = regret::arr_unchecked(e.matrix(), &sel);
+                assert!((e.arr() - direct).abs() < 1e-9, "step {step}: arr drifted");
+            }
+            assert!(sel.len() <= 3);
+        }
+        assert_eq!(e.batches_applied(), 25);
+    }
+}

@@ -85,6 +85,82 @@ pub struct EvalCounters {
     pub delta_rows_touched: u64,
 }
 
+/// Detached [`SelectionEvaluator`] state with no matrix borrow.
+///
+/// A `SelectionEvaluator` borrows its score source for its whole lifetime,
+/// which forbids mutating the matrix (point insertion/deletion) while an
+/// evaluator is alive. [`SelectionEvaluator::into_state`] detaches the
+/// maintained caches so an owner — e.g. `DynamicEngine` — can patch the
+/// matrix and then reattach via [`SelectionEvaluator::from_state`] (matrix
+/// unchanged) or [`SelectionEvaluator::resume_after_update`] (points
+/// inserted/deleted) without paying a full `O(N·|S|)` rebuild.
+#[derive(Debug, Clone)]
+pub struct EvaluatorState {
+    in_sel: Vec<bool>,
+    members: Vec<u32>,
+    top1: Vec<u32>,
+    top1_val: Vec<f64>,
+    top2: Vec<u32>,
+    top2_val: Vec<f64>,
+    owners: Vec<Vec<u32>>,
+    second_owners: Vec<Vec<u32>>,
+    arr: f64,
+    counters: EvalCounters,
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl EvaluatorState {
+    /// Current `arr(S)`.
+    #[inline]
+    pub fn arr(&self) -> f64 {
+        self.arr
+    }
+
+    /// Current selection size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the selection is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Current members, sorted ascending.
+    pub fn selection(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.members.iter().map(|&p| p as usize).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Instrumentation counters carried by the detached state.
+    pub fn counters(&self) -> &EvalCounters {
+        &self.counters
+    }
+
+    /// Zero-capacity stand-in used by owners that need to `mem::replace`
+    /// their state while a resume is in flight.
+    pub(crate) fn placeholder() -> Self {
+        EvaluatorState {
+            in_sel: Vec::new(),
+            members: Vec::new(),
+            top1: Vec::new(),
+            top1_val: Vec::new(),
+            top2: Vec::new(),
+            top2_val: Vec::new(),
+            owners: Vec::new(),
+            second_owners: Vec::new(),
+            arr: 0.0,
+            counters: EvalCounters::default(),
+            stamp: Vec::new(),
+            epoch: 0,
+        }
+    }
+}
+
 /// Incrementally maintained `arr(S)` with O(affected-samples) updates.
 ///
 /// # Examples
@@ -177,6 +253,211 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
         ev
     }
 
+    /// Detaches the maintained caches from the matrix borrow, ending the
+    /// borrow. See [`EvaluatorState`].
+    pub fn into_state(self) -> EvaluatorState {
+        EvaluatorState {
+            in_sel: self.in_sel,
+            members: self.members,
+            top1: self.top1,
+            top1_val: self.top1_val,
+            top2: self.top2,
+            top2_val: self.top2_val,
+            owners: self.owners,
+            second_owners: self.second_owners,
+            arr: self.arr,
+            counters: self.counters,
+            stamp: self.stamp,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Reattaches a detached state to an **unchanged** matrix (same point
+    /// and sample universe). For a matrix whose points changed, use
+    /// [`SelectionEvaluator::resume_after_update`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's dimensions do not match the matrix.
+    pub fn from_state(m: &'a S, st: EvaluatorState) -> Self {
+        assert_eq!(st.in_sel.len(), m.n_points(), "state does not match the matrix point count");
+        assert_eq!(st.stamp.len(), m.n_samples(), "state does not match the matrix sample count");
+        SelectionEvaluator {
+            m,
+            in_sel: st.in_sel,
+            members: st.members,
+            top1: st.top1,
+            top1_val: st.top1_val,
+            top2: st.top2,
+            top2_val: st.top2_val,
+            owners: st.owners,
+            second_owners: st.second_owners,
+            arr: st.arr,
+            counters: st.counters,
+            stamp: st.stamp,
+            epoch: st.epoch,
+        }
+    }
+
+    /// Reattaches a detached state to a matrix whose **points changed**
+    /// (a batch of deletions and/or appended insertions), repairing the
+    /// caches incrementally instead of rebuilding.
+    ///
+    /// `remap` maps the previous point universe to the new one
+    /// (`Some(new)` for survivors, `None` for deleted points — exactly
+    /// what [`crate::ScoreMatrix::delete_points`] returns); appended
+    /// points need no remap entry. Deleted members drop out of the
+    /// selection. Only the samples whose cached best or runner-up died
+    /// are rescanned (`O(affected · |S|)`); owner lists are rebuilt in
+    /// sample order (`O(N)`, the canonical order a fresh rebuild
+    /// produces) and `arr` is refolded over the same fixed chunks as a
+    /// full rebuild, so the maintained values — `arr` and every
+    /// `top1_val`/`top2_val` — are **bit-identical** to
+    /// [`SelectionEvaluator::new_with`] on the surviving selection.
+    /// (Cached top-point *indices* can differ from a fresh scan's only
+    /// when two members tie bit-for-bit on a sample; the tracked values
+    /// are order statistics and agree regardless.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remap` does not cover the previous point universe, maps
+    /// out of bounds, or the sample count changed.
+    pub fn resume_after_update(m: &'a S, st: EvaluatorState, remap: &[Option<u32>]) -> Self {
+        assert_eq!(remap.len(), st.in_sel.len(), "remap must cover the previous point universe");
+        let n = m.n_points();
+        let n_samples = m.n_samples();
+        assert_eq!(st.stamp.len(), n_samples, "sample count must be unchanged across updates");
+        let mut members: Vec<u32> = st
+            .members
+            .iter()
+            .filter_map(|&p| remap[p as usize])
+            .inspect(|&p| assert!((p as usize) < n, "remap target {p} out of bounds"))
+            .collect();
+        members.sort_unstable();
+        let mut in_sel = vec![false; n];
+        for &p in &members {
+            in_sel[p as usize] = true;
+        }
+        let mut ev = SelectionEvaluator {
+            m,
+            in_sel,
+            members,
+            top1: st.top1,
+            top1_val: st.top1_val,
+            top2: st.top2,
+            top2_val: st.top2_val,
+            owners: st.owners,
+            second_owners: st.second_owners,
+            arr: 0.0,
+            counters: st.counters,
+            stamp: vec![0; n_samples],
+            epoch: 0,
+        };
+        // Classify samples: a dead best point forces a full top-two
+        // rescan; a dead runner-up only rescans the runner-up.
+        let mut full_rescan: Vec<u32> = Vec::new();
+        let mut runner_rescan: Vec<u32> = Vec::new();
+        for u in 0..n_samples {
+            let t1 = ev.top1[u];
+            if t1 == NONE {
+                continue;
+            }
+            match remap[t1 as usize] {
+                None => {
+                    ev.counters.promotions += 1;
+                    full_rescan.push(u as u32);
+                }
+                Some(nt1) => {
+                    ev.top1[u] = nt1;
+                    let t2 = ev.top2[u];
+                    if t2 != NONE {
+                        match remap[t2 as usize] {
+                            None => runner_rescan.push(u as u32),
+                            Some(nt2) => ev.top2[u] = nt2,
+                        }
+                    }
+                }
+            }
+        }
+        // Batched rescans over the new member set (pure reads, fanned out
+        // like scan_runner_ups; per-sample outputs are independent).
+        let (matrix, mem) = (ev.m, &ev.members);
+        let full = par::map_adaptive(full_rescan.len(), mem.len(), |range| {
+            range.map(|i| top_two(matrix, full_rescan[i] as usize, mem, NONE)).collect::<Vec<_>>()
+        })
+        .concat();
+        for (&u32u, (b1, v1, b2, v2)) in full_rescan.iter().zip(full) {
+            let u = u32u as usize;
+            ev.counters.rescans += 1;
+            ev.top1[u] = b1;
+            ev.top1_val[u] = v1;
+            ev.top2[u] = b2;
+            ev.top2_val[u] = v2;
+        }
+        let top1 = &ev.top1;
+        let runner = par::map_adaptive(runner_rescan.len(), mem.len(), |range| {
+            range
+                .map(|i| {
+                    let u = runner_rescan[i] as usize;
+                    let (b2, v2, _, _) = top_two(matrix, u, mem, top1[u]);
+                    (b2, v2)
+                })
+                .collect::<Vec<_>>()
+        })
+        .concat();
+        for (&u32u, (b2, v2)) in runner_rescan.iter().zip(runner) {
+            let u = u32u as usize;
+            ev.counters.rescans += 1;
+            ev.top2[u] = b2;
+            ev.top2_val[u] = v2;
+        }
+        ev.resync();
+        ev
+    }
+
+    /// Restores the canonical derived state a fresh rebuild would hold:
+    /// owner lists refilled in sample order and `arr` refolded from the
+    /// tracked best values over the same fixed chunks as
+    /// [`SelectionEvaluator::new_with`] — so after a resync, `arr` is
+    /// bit-identical to a rebuild on the current selection. Used by
+    /// [`SelectionEvaluator::resume_after_update`] and by
+    /// `DynamicEngine`'s empty-batch fast path.
+    pub(crate) fn resync(&mut self) {
+        let n = self.m.n_points();
+        let n_samples = self.m.n_samples();
+        self.owners.iter_mut().for_each(Vec::clear);
+        self.second_owners.iter_mut().for_each(Vec::clear);
+        self.owners.resize_with(n, Vec::new);
+        self.second_owners.resize_with(n, Vec::new);
+        for u in 0..n_samples {
+            if self.top1[u] != NONE {
+                self.owners[self.top1[u] as usize].push(u as u32);
+            }
+            if self.top2[u] != NONE {
+                self.second_owners[self.top2[u] as usize].push(u as u32);
+            }
+        }
+        let (top1_val, m) = (&self.top1_val, self.m);
+        let parts = par::map_chunks(n_samples, par::CHUNK, |range| {
+            let mut arr = 0.0;
+            for u in range {
+                arr += m.weight(u) * (1.0 - top1_val[u] / m.best_value(u));
+            }
+            arr
+        });
+        self.arr = 0.0;
+        for part in parts {
+            self.arr += part;
+        }
+    }
+
+    /// Cached best and runner-up values of sample `u` within the current
+    /// selection (0.0 when absent) — diagnostics for equivalence tests.
+    #[inline]
+    pub fn top_values(&self, u: usize) -> (f64, f64) {
+        (self.top1_val[u], self.top2_val[u])
+    }
+
     /// Full O(N·|S|) recomputation of the cached state, fanned out over
     /// fixed sample chunks (bit-identical for any thread count: chunk
     /// partials fold in chunk order, owner lists fill in sample order).
@@ -219,6 +500,18 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
     #[inline]
     pub fn arr(&self) -> f64 {
         self.arr
+    }
+
+    /// Number of points in the underlying score source.
+    #[inline]
+    pub fn n_points(&self) -> usize {
+        self.in_sel.len()
+    }
+
+    /// Number of utility samples in the underlying score source.
+    #[inline]
+    pub fn n_samples(&self) -> usize {
+        self.stamp.len()
     }
 
     /// Current selection size.
@@ -583,6 +876,131 @@ mod tests {
         ev.remove(2);
         assert!(ev.verify_consistency());
         assert_eq!(ev.counters().rescans, 1, "duplicate entries must dedupe to one rescan");
+    }
+
+    #[test]
+    fn state_round_trip_preserves_everything() {
+        let m = matrix();
+        let mut ev = SelectionEvaluator::new_with(&m, &[0, 2, 3]);
+        ev.remove(2);
+        let arr = ev.arr();
+        let sel = ev.selection();
+        let st = ev.into_state();
+        assert_eq!(st.selection(), sel);
+        assert_eq!(st.arr().to_bits(), arr.to_bits());
+        assert_eq!(st.len(), 2);
+        assert!(!st.is_empty());
+        let mut ev = SelectionEvaluator::from_state(&m, st);
+        assert_eq!(ev.arr().to_bits(), arr.to_bits());
+        ev.add(1);
+        assert!(ev.verify_consistency());
+    }
+
+    /// Resume after a matrix update must reproduce `new_with` on the
+    /// surviving selection bit-for-bit (arr and tracked values).
+    fn assert_resume_matches_rebuild(m: &ScoreMatrix, resumed: &SelectionEvaluator<ScoreMatrix>) {
+        let fresh = SelectionEvaluator::new_with(m, &resumed.selection());
+        assert_eq!(resumed.arr().to_bits(), fresh.arr().to_bits(), "arr diverged from rebuild");
+        for u in 0..m.n_samples() {
+            let (v1, v2) = resumed.top_values(u);
+            let (f1, f2) = fresh.top_values(u);
+            assert_eq!(v1.to_bits(), f1.to_bits(), "top1 value of sample {u}");
+            assert_eq!(v2.to_bits(), f2.to_bits(), "top2 value of sample {u}");
+        }
+    }
+
+    #[test]
+    fn resume_after_deletion_rescans_only_affected() {
+        let m = matrix();
+        let ev = SelectionEvaluator::new_with(&m, &[0, 1, 3]);
+        let st = ev.into_state();
+        let mut m2 = m.clone();
+        let remap = m2.delete_points(&[1]).unwrap();
+        let resumed = SelectionEvaluator::resume_after_update(&m2, st, &remap);
+        // Selection {0, 3} remapped to {0, 1}: swap-remove moved point 3
+        // into the freed slot.
+        assert_eq!(resumed.selection(), vec![0, 1]);
+        assert!(resumed.verify_consistency());
+        assert_resume_matches_rebuild(&m2, &resumed);
+    }
+
+    #[test]
+    fn resume_after_insertion_keeps_selection_and_refolds_arr() {
+        let m = matrix();
+        let ev = SelectionEvaluator::new_with(&m, &[1, 2]);
+        let st = ev.into_state();
+        let mut m2 = m.clone();
+        // The new point beats every sample's old best, shifting best_value.
+        m2.insert_points(&[vec![1.5, 1.5, 1.5, 1.5]]).unwrap();
+        let remap: Vec<Option<u32>> = (0..4).map(|p| Some(p as u32)).collect();
+        let mut resumed = SelectionEvaluator::resume_after_update(&m2, st, &remap);
+        assert_eq!(resumed.selection(), vec![1, 2]);
+        assert!(resumed.verify_consistency());
+        assert_resume_matches_rebuild(&m2, &resumed);
+        // The appended point is addressable immediately.
+        let d = resumed.addition_delta(4);
+        resumed.add(4);
+        assert!(resumed.verify_consistency());
+        assert!(d < 0.0);
+    }
+
+    #[test]
+    fn resume_handles_emptied_selection_and_empty_previous() {
+        let m = matrix();
+        // All members deleted -> empty selection, arr = 1.
+        let st = SelectionEvaluator::new_with(&m, &[1]).into_state();
+        let mut m2 = m.clone();
+        let remap = m2.delete_points(&[1]).unwrap();
+        let resumed = SelectionEvaluator::resume_after_update(&m2, st, &remap);
+        assert!(resumed.is_empty());
+        assert!((resumed.arr() - 1.0).abs() < 1e-12);
+        assert_resume_matches_rebuild(&m2, &resumed);
+        // Previously empty selection stays empty.
+        let st = SelectionEvaluator::new_with(&m, &[]).into_state();
+        let mut m3 = m.clone();
+        let remap = m3.delete_points(&[0]).unwrap();
+        let resumed = SelectionEvaluator::resume_after_update(&m3, st, &remap);
+        assert!(resumed.is_empty());
+        assert!((resumed.arr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resume_fuzz_matches_rebuild_and_stays_mutable() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..20 {
+            let n_points = rng.gen_range(4..14);
+            let n_samples = rng.gen_range(3..25);
+            let rows: Vec<Vec<f64>> = (0..n_samples)
+                .map(|_| (0..n_points).map(|_| rng.gen_range(0.01..1.0)).collect())
+                .collect();
+            let mut m = ScoreMatrix::from_rows(rows, None).unwrap();
+            let sel: Vec<usize> = (0..n_points).filter(|_| rng.gen_bool(0.4)).collect();
+            let mut st = SelectionEvaluator::new_with(&m, &sel).into_state();
+            for _step in 0..6 {
+                let n = m.n_points();
+                let remap = if rng.gen_bool(0.5) && n > 2 {
+                    let d = rng.gen_range(0..n);
+                    m.delete_points(&[d]).unwrap()
+                } else {
+                    let cols: Vec<Vec<f64>> = (0..rng.gen_range(1..3))
+                        .map(|_| (0..n_samples).map(|_| rng.gen_range(0.01..1.0)).collect())
+                        .collect();
+                    m.insert_points(&cols).unwrap();
+                    (0..n).map(|p| Some(p as u32)).collect()
+                };
+                let mut resumed = SelectionEvaluator::resume_after_update(&m, st, &remap);
+                assert!(resumed.verify_consistency(), "trial {trial}: resume drifted");
+                assert_resume_matches_rebuild(&m, &resumed);
+                // The resumed evaluator must remain fully operational.
+                let outside: Vec<usize> =
+                    (0..m.n_points()).filter(|&p| !resumed.contains(p)).collect();
+                if let Some(&p) = outside.first() {
+                    resumed.add(p);
+                    assert!(resumed.verify_consistency());
+                }
+                st = resumed.into_state();
+            }
+        }
     }
 
     #[test]

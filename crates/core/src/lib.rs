@@ -18,7 +18,10 @@
 //! * regret metrics ([`regret::arr`], [`regret::vrr`],
 //!   [`regret::rr_percentiles`], …);
 //! * [`SelectionEvaluator`] — incremental `arr` maintenance implementing the
-//!   paper's Improvement 1;
+//!   paper's Improvement 1, with detachable state ([`EvaluatorState`]) for
+//!   dynamic databases;
+//! * [`DynamicEngine`] — live insert/delete maintenance of a matrix and
+//!   its selection ([`dynamic`]);
 //! * Chernoff sampling bounds ([`chernoff_sample_size`], Theorem 4 /
 //!   Table V);
 //! * structural-property checks (supermodularity, monotonicity, steepness —
@@ -35,6 +38,7 @@
 
 pub mod dataset;
 pub mod distribution;
+pub mod dynamic;
 pub mod error;
 pub mod evaluator;
 pub mod linear_scores;
@@ -54,8 +58,9 @@ pub use distribution::{
     CobbDouglasDistribution, DirichletLinear, DiscreteDistribution, SimplexLinear, UniformLinear,
     UtilityDistribution,
 };
+pub use dynamic::{ApplyReport, DynamicEngine, RepairOutcome, UpdateBatch, WarmStart};
 pub use error::{FamError, Result};
-pub use evaluator::{EvalCounters, SelectionEvaluator};
+pub use evaluator::{EvalCounters, EvaluatorState, SelectionEvaluator};
 pub use linear_scores::LinearScores;
 pub use regret::RegretReport;
 pub use sampling::{chernoff_epsilon, chernoff_sample_size, SampleSpec};
@@ -70,6 +75,7 @@ pub mod prelude {
         CobbDouglasDistribution, DirichletLinear, DiscreteDistribution, SimplexLinear,
         UniformLinear, UtilityDistribution,
     };
+    pub use crate::dynamic::{DynamicEngine, UpdateBatch, WarmStart};
     pub use crate::error::{FamError, Result};
     pub use crate::evaluator::SelectionEvaluator;
     pub use crate::linear_scores::LinearScores;

@@ -141,24 +141,10 @@ pub fn report<S: ScoreSource + ?Sized>(m: &S, selection: &[usize]) -> Result<Reg
 }
 
 fn validate_selection<S: ScoreSource + ?Sized>(m: &S, selection: &[usize]) -> Result<()> {
-    use crate::error::FamError;
     if selection.is_empty() {
-        return Err(FamError::InvalidK { k: 0, n: m.n_points() });
+        return Err(crate::error::FamError::InvalidK { k: 0, n: m.n_points() });
     }
-    let mut seen = vec![false; m.n_points()];
-    for &p in selection {
-        if p >= m.n_points() {
-            return Err(FamError::IndexOutOfBounds { index: p, len: m.n_points() });
-        }
-        if seen[p] {
-            return Err(FamError::InvalidParameter {
-                name: "selection",
-                message: format!("duplicate point index {p}"),
-            });
-        }
-        seen[p] = true;
-    }
-    Ok(())
+    crate::selection::validate_indices(selection, m.n_points(), "selection")
 }
 
 #[cfg(test)]

@@ -128,13 +128,21 @@ impl ScoreSource for ScoreMatrix {
 /// is precomputed at construction.
 #[derive(Debug, Clone)]
 pub struct ScoreMatrix {
+    /// Sample-major buffer with row stride `stride >= n_points`: row `u`
+    /// occupies `scores[u * stride .. u * stride + n_points]`; the tail of
+    /// each row is slack left by deletions (or reserved by insertions) so
+    /// dynamic updates stay `O(batch)` per row instead of re-laying the
+    /// whole buffer.
     scores: Vec<f64>,
-    /// Point-major mirror: `columns[p * n_samples + u] == scores[u * n_points + p]`.
+    /// Point-major mirror: `columns[p * n_samples + u] == score(u, p)`.
     /// Built at construction unless opted out; costs ~2× memory and buys
     /// contiguous column access for addition scans.
     columns: Option<Vec<f64>>,
     n_samples: usize,
     n_points: usize,
+    /// Physical row width of `scores` (== `n_points` until a dynamic
+    /// update leaves slack).
+    stride: usize,
     weights: Vec<f64>,
     best_index: Vec<u32>,
     best_value: Vec<f64>,
@@ -334,8 +342,17 @@ impl ScoreMatrix {
                 best_value.push(bv);
             }
         }
-        let columns = mirror.then(|| transpose(&scores, n_samples, n_points));
-        Ok(ScoreMatrix { scores, columns, n_samples, n_points, weights, best_index, best_value })
+        let columns = mirror.then(|| transpose(&scores, n_samples, n_points, n_points));
+        Ok(ScoreMatrix {
+            scores,
+            columns,
+            n_samples,
+            n_points,
+            stride: n_points,
+            weights,
+            best_index,
+            best_value,
+        })
     }
 
     /// Number of utility samples `N`.
@@ -353,13 +370,13 @@ impl ScoreMatrix {
     /// Score of point `p` under sample `u`.
     #[inline]
     pub fn score(&self, u: usize, p: usize) -> f64 {
-        self.scores[u * self.n_points + p]
+        self.scores[u * self.stride + p]
     }
 
     /// Full score row of sample `u`.
     #[inline]
     pub fn row(&self, u: usize) -> &[f64] {
-        &self.scores[u * self.n_points..(u + 1) * self.n_points]
+        &self.scores[u * self.stride..u * self.stride + self.n_points]
     }
 
     /// Contiguous score column of point `p` (one entry per sample), when
@@ -393,6 +410,7 @@ impl ScoreMatrix {
             columns: None,
             n_samples: self.n_samples,
             n_points: self.n_points,
+            stride: self.stride,
             weights: self.weights.clone(),
             best_index: self.best_index.clone(),
             best_value: self.best_value.clone(),
@@ -402,7 +420,8 @@ impl ScoreMatrix {
     /// (Re)builds the point-major mirror if absent.
     pub fn build_column_mirror(&mut self) {
         if self.columns.is_none() {
-            self.columns = Some(transpose(&self.scores, self.n_samples, self.n_points));
+            self.columns =
+                Some(transpose(&self.scores, self.n_samples, self.n_points, self.stride));
         }
     }
 
@@ -428,6 +447,287 @@ impl ScoreMatrix {
     #[inline]
     pub fn best_value(&self, u: usize) -> f64 {
         self.best_value[u]
+    }
+
+    /// Validates candidate point columns for [`ScoreMatrix::insert_points`]
+    /// without mutating the matrix: each column must hold exactly
+    /// `n_samples` finite, non-negative scores.
+    ///
+    /// Callers that batch a deletion and an insertion together (see
+    /// `DynamicEngine`) use this to reject the whole batch up front so a
+    /// failed insertion can never leave a half-applied update.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors [`ScoreMatrix::insert_points`] would.
+    pub fn validate_new_points(&self, cols: &[Vec<f64>]) -> Result<()> {
+        for (j, col) in cols.iter().enumerate() {
+            if col.len() != self.n_samples {
+                return Err(FamError::DimensionMismatch {
+                    expected: self.n_samples,
+                    got: col.len(),
+                });
+            }
+            for (u, &v) in col.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(FamError::NonFinite { row: u, col: self.n_points + j });
+                }
+                if v < 0.0 {
+                    return Err(FamError::NegativeValue { row: u, col: self.n_points + j });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends new points **in place**: each element of `cols` is one
+    /// point's score column (`n_samples` entries, sample order). The new
+    /// points take indices `n_points..n_points + cols.len()`.
+    ///
+    /// Both layouts are patched without a rebuild. Each sample row writes
+    /// the new entries into its slack (`O(cols)` per row — the buffer is
+    /// only re-laid, with doubled slack, when capacity runs out), and the
+    /// point-major mirror (when present) simply extends, since mirror
+    /// columns are contiguous per point. Per-sample best tracking updates
+    /// by comparing only the new columns. Every observable value —
+    /// [`ScoreMatrix::row`], [`ScoreMatrix::column`], best tracking — is
+    /// **bit-identical** to [`ScoreMatrix::from_flat_with_layout`] on the
+    /// equivalently extended buffer: appended points sit after the
+    /// existing ones, so the strict first-argmax scan agrees entry for
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a column has the wrong length or contains
+    /// non-finite or negative scores; the matrix is left untouched.
+    pub fn insert_points(&mut self, cols: &[Vec<f64>]) -> Result<()> {
+        self.validate_new_points(cols)?;
+        self.insert_points_prevalidated(cols);
+        Ok(())
+    }
+
+    /// [`ScoreMatrix::insert_points`] minus the validation scan, for
+    /// callers that already ran [`ScoreMatrix::validate_new_points`] on
+    /// the same columns (`DynamicEngine` validates the whole batch up
+    /// front for atomicity and must not pay the `O(cols · n_samples)`
+    /// check twice).
+    pub(crate) fn insert_points_prevalidated(&mut self, cols: &[Vec<f64>]) {
+        if cols.is_empty() {
+            return;
+        }
+        let n_old = self.n_points;
+        let n_new = n_old + cols.len();
+        if n_new <= self.stride {
+            // In-place fast path: fill each row's slack.
+            let (stride, rows_per_chunk) = self.row_chunking();
+            crate::par::for_each_chunk_mut(
+                &mut self.scores,
+                rows_per_chunk * stride,
+                |chunk, out| {
+                    let first_row = chunk * rows_per_chunk;
+                    for (local, row) in out.chunks_mut(stride).enumerate() {
+                        let u = first_row + local;
+                        for (j, col) in cols.iter().enumerate() {
+                            row[n_old + j] = col[u];
+                        }
+                    }
+                },
+            );
+        } else {
+            // Amortized growth: one re-lay with doubled slack, so a steady
+            // insert stream pays O(1) re-lays per point overall.
+            let stride_new = n_new.max(self.stride.saturating_mul(2));
+            let mut scores = vec![0.0f64; self.n_samples * stride_new];
+            let old = &self.scores;
+            let stride_old = self.stride;
+            let rows_per_chunk = (crate::par::CHUNK / stride_new.max(1)).max(1);
+            crate::par::for_each_chunk_mut(
+                &mut scores,
+                rows_per_chunk * stride_new,
+                |chunk, out| {
+                    let first_row = chunk * rows_per_chunk;
+                    for (local, row) in out.chunks_mut(stride_new).enumerate() {
+                        let u = first_row + local;
+                        row[..n_old].copy_from_slice(&old[u * stride_old..u * stride_old + n_old]);
+                        for (j, col) in cols.iter().enumerate() {
+                            row[n_old + j] = col[u];
+                        }
+                    }
+                },
+            );
+            self.scores = scores;
+            self.stride = stride_new;
+        }
+        for (u, (bi, bv)) in self.best_index.iter_mut().zip(&mut self.best_value).enumerate() {
+            for (j, col) in cols.iter().enumerate() {
+                if col[u] > *bv {
+                    *bi = (n_old + j) as u32;
+                    *bv = col[u];
+                }
+            }
+        }
+        if let Some(columns) = &mut self.columns {
+            columns.reserve(cols.len() * self.n_samples);
+            for col in cols {
+                columns.extend_from_slice(col);
+            }
+        }
+        self.n_points = n_new;
+    }
+
+    /// Deletes the given point columns **in place** with swap-remove
+    /// semantics: freed slots are processed in descending index order and
+    /// each is filled by the then-last point, so every row (and mirror
+    /// column) moves only `O(delete.len())` entries — no buffer re-lay.
+    /// Returns the index remap: `remap[old] == Some(new)` for survivors,
+    /// `None` for deleted points. (Like [`Vec::swap_remove`], surviving
+    /// indices are *not* order-preserving; consult the remap.)
+    ///
+    /// Per-sample best tracking is repaired incrementally: only the
+    /// samples whose best point died rescan their row (in the post-swap
+    /// point order, so the strict first-argmax agrees with
+    /// [`ScoreMatrix::from_flat_with_layout`] on the equivalently
+    /// reordered buffer); every other sample keeps its best value and
+    /// remaps the index, additionally probing the few swap-moved slots
+    /// for a bit-equal tie that now precedes it — the recorded best is
+    /// the first *strict* maximum, so unmoved earlier points are strictly
+    /// smaller and only a relocated duplicate can steal the first-argmax
+    /// position.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving the matrix untouched) if an index is out
+    /// of bounds or duplicated, if the deletion would remove every point,
+    /// or if some sample would be left with no positive score
+    /// ([`FamError::DegenerateUtility`]).
+    pub fn delete_points(&mut self, delete: &[usize]) -> Result<Vec<Option<u32>>> {
+        if delete.is_empty() {
+            return Ok((0..self.n_points).map(|p| Some(p as u32)).collect());
+        }
+        let n_old = self.n_points;
+        let mut dead = vec![false; n_old];
+        for &p in delete {
+            if p >= n_old {
+                return Err(FamError::IndexOutOfBounds { index: p, len: n_old });
+            }
+            if dead[p] {
+                return Err(FamError::InvalidParameter {
+                    name: "delete",
+                    message: format!("duplicate point index {p}"),
+                });
+            }
+            dead[p] = true;
+        }
+        let n_new = n_old - delete.len();
+        if n_new == 0 {
+            return Err(FamError::EmptyDataset);
+        }
+        // Canonical swap order: `order[slot]` is the original point that
+        // ends up in `slot` after all swaps.
+        let mut dels: Vec<usize> = delete.to_vec();
+        dels.sort_unstable();
+        let mut order: Vec<u32> = (0..n_old as u32).collect();
+        for &d in dels.iter().rev() {
+            order.swap_remove(d);
+        }
+        let mut remap: Vec<Option<u32>> = vec![None; n_old];
+        for (slot, &p) in order.iter().enumerate() {
+            remap[p as usize] = Some(slot as u32);
+        }
+        // Slots whose occupant changed (freed slots refilled by tail
+        // points), ascending: the only places a bit-equal duplicate of a
+        // surviving best can move in front of it.
+        let moved: Vec<u32> = dels
+            .iter()
+            .filter(|&&d| d < n_new && order[d] as usize != d)
+            .map(|&d| d as u32)
+            .collect();
+        // Repair best tracking *before* mutating anything: rescan only
+        // the samples whose best point died, reading the untouched rows
+        // through the post-swap point order (errors leave the matrix
+        // untouched).
+        let (order_ref, remap_ref, moved_ref, stride) = (&order, &remap, &moved, self.stride);
+        let (scores_ref, best_index_ref, best_value_ref) =
+            (&self.scores, &self.best_index, &self.best_value);
+        let per_row = crate::par::map_chunks(self.n_samples, crate::par::CHUNK, |rows| {
+            rows.map(|u| match remap_ref[best_index_ref[u] as usize] {
+                Some(nb) => {
+                    let bv = best_value_ref[u];
+                    let row = &scores_ref[u * stride..u * stride + n_old];
+                    // First argmax in post-swap order: a relocated point
+                    // tying the best bit-for-bit at an earlier slot wins.
+                    let mut slot = nb;
+                    for &m in moved_ref {
+                        if m >= slot {
+                            break;
+                        }
+                        if row[order_ref[m as usize] as usize] == bv {
+                            slot = m;
+                            break;
+                        }
+                    }
+                    Ok((slot, bv))
+                }
+                None => {
+                    let row = &scores_ref[u * stride..u * stride + n_old];
+                    let (mut bi, mut bv) = (0usize, row[order_ref[0] as usize]);
+                    for (slot, &p) in order_ref.iter().enumerate().skip(1) {
+                        let v = row[p as usize];
+                        if v > bv {
+                            bi = slot;
+                            bv = v;
+                        }
+                    }
+                    if bv <= 0.0 {
+                        return Err(FamError::DegenerateUtility { sample: u });
+                    }
+                    Ok((bi as u32, bv))
+                }
+            })
+            .collect::<Result<Vec<_>>>()
+        });
+        let mut best_index = Vec::with_capacity(self.n_samples);
+        let mut best_value = Vec::with_capacity(self.n_samples);
+        for chunk in per_row {
+            for (bi, bv) in chunk? {
+                best_index.push(bi);
+                best_value.push(bv);
+            }
+        }
+        // Apply the swaps to every row in place: O(|delete|) per row.
+        let (stride, rows_per_chunk) = self.row_chunking();
+        let dels_ref = &dels;
+        crate::par::for_each_chunk_mut(&mut self.scores, rows_per_chunk * stride, |_, out| {
+            for row in out.chunks_mut(stride) {
+                let mut len = n_old;
+                for &d in dels_ref.iter().rev() {
+                    len -= 1;
+                    row[d] = row[len];
+                }
+            }
+        });
+        // Same swaps on the mirror's contiguous per-point columns.
+        if let Some(c) = &mut self.columns {
+            let ns = self.n_samples;
+            let mut len = n_old;
+            for &d in dels.iter().rev() {
+                len -= 1;
+                if d != len {
+                    c.copy_within(len * ns..(len + 1) * ns, d * ns);
+                }
+            }
+            c.truncate(n_new * ns);
+        }
+        self.n_points = n_new;
+        self.best_index = best_index;
+        self.best_value = best_value;
+        Ok(remap)
+    }
+
+    /// Physical stride plus the row count per parallel chunk used by the
+    /// in-place update kernels.
+    fn row_chunking(&self) -> (usize, usize) {
+        (self.stride, (crate::par::CHUNK / self.stride.max(1)).max(1))
     }
 
     /// Restricts the matrix to the given point columns (in order),
@@ -468,11 +768,12 @@ impl ScoreMatrix {
     }
 }
 
-/// Cache-blocked transpose of a row-major `n_samples × n_points` buffer
-/// into a point-major mirror, parallelized over bands of columns.
-fn transpose(scores: &[f64], n_samples: usize, n_points: usize) -> Vec<f64> {
+/// Cache-blocked transpose of a sample-major `n_samples × n_points`
+/// buffer (physical row width `stride`) into a point-major mirror,
+/// parallelized over bands of columns.
+fn transpose(scores: &[f64], n_samples: usize, n_points: usize, stride: usize) -> Vec<f64> {
     const BLOCK: usize = 64;
-    let mut columns = vec![0.0f64; scores.len()];
+    let mut columns = vec![0.0f64; n_samples * n_points];
     let cols_per_chunk = (crate::par::CHUNK / n_samples.max(1)).max(BLOCK);
     crate::par::for_each_chunk_mut(&mut columns, cols_per_chunk * n_samples, |chunk, out| {
         let first_col = chunk * cols_per_chunk;
@@ -483,7 +784,7 @@ fn transpose(scores: &[f64], n_samples: usize, n_points: usize) -> Vec<f64> {
                 let p = first_col + local;
                 let col = &mut out[local * n_samples..(local + 1) * n_samples];
                 for u in u0..u1 {
-                    col[u] = scores[u * n_points + p];
+                    col[u] = scores[u * stride + p];
                 }
             }
         }
@@ -596,6 +897,155 @@ mod tests {
         assert!((m.weight(0) - 0.25).abs() < 1e-12);
         assert!((m.weight(1) - 0.75).abs() < 1e-12);
         assert_eq!(m.best_index(1), 1);
+    }
+
+    /// From-scratch comparator for the incremental mutations: rebuilds a
+    /// matrix from `m`'s current rows and asserts every stored field is
+    /// bit-identical.
+    fn assert_matches_fresh_build(m: &ScoreMatrix) {
+        let mut flat = Vec::with_capacity(m.n_samples() * m.n_points());
+        for u in 0..m.n_samples() {
+            flat.extend_from_slice(m.row(u));
+        }
+        let fresh = ScoreMatrix::from_flat_with_layout(
+            flat,
+            m.n_samples(),
+            m.n_points(),
+            None,
+            m.has_column_mirror(),
+        )
+        .unwrap();
+        for u in 0..m.n_samples() {
+            assert_eq!(m.row(u), fresh.row(u), "row {u} diverged");
+            assert_eq!(m.best_index(u), fresh.best_index(u), "best index {u} diverged");
+            assert_eq!(
+                m.best_value(u).to_bits(),
+                fresh.best_value(u).to_bits(),
+                "best value {u} diverged"
+            );
+            assert_eq!(m.weight(u).to_bits(), fresh.weight(u).to_bits());
+        }
+        for p in 0..m.n_points() {
+            assert_eq!(m.column(p).map(<[f64]>::to_vec), fresh.column(p).map(<[f64]>::to_vec));
+        }
+    }
+
+    #[test]
+    fn insert_points_matches_fresh_build() {
+        let mut m = table_i_matrix();
+        m.insert_points(&[vec![0.95, 0.1, 0.4, 0.3], vec![0.1, 0.2, 0.7, 1.0]]).unwrap();
+        assert_eq!(m.n_points(), 6);
+        // The first new point beats Alex's old best (0.9 < 0.95).
+        assert_eq!(m.best_index(0), 4);
+        assert!((m.best_value(0) - 0.95).abs() < 1e-12);
+        // Jerry keeps Shangri la.
+        assert_eq!(m.best_index(1), 1);
+        assert_matches_fresh_build(&m);
+        // No-op insert and mirrorless layout.
+        m.insert_points(&[]).unwrap();
+        assert_eq!(m.n_points(), 6);
+        let mut bare = table_i_matrix().drop_column_mirror();
+        bare.insert_points(&[vec![0.95, 0.1, 0.4, 0.3]]).unwrap();
+        assert!(bare.column(0).is_none());
+        assert_matches_fresh_build(&bare);
+    }
+
+    #[test]
+    fn insert_points_validates_without_mutating() {
+        let mut m = table_i_matrix();
+        assert!(matches!(
+            m.insert_points(&[vec![1.0, 2.0]]),
+            Err(FamError::DimensionMismatch { expected: 4, got: 2 })
+        ));
+        assert!(matches!(
+            m.insert_points(&[vec![1.0, f64::NAN, 0.2, 0.1]]),
+            Err(FamError::NonFinite { row: 1, col: 4 })
+        ));
+        assert!(matches!(
+            m.insert_points(&[vec![1.0, 0.1, -0.2, 0.1]]),
+            Err(FamError::NegativeValue { row: 2, col: 4 })
+        ));
+        assert_eq!(m.n_points(), 4);
+        assert_matches_fresh_build(&m);
+    }
+
+    #[test]
+    fn delete_points_matches_fresh_build() {
+        let mut m = table_i_matrix();
+        let remap = m.delete_points(&[1]).unwrap();
+        // Swap-remove: the last point (Hilton, 3) fills the freed slot 1.
+        assert_eq!(remap, vec![Some(0), None, Some(2), Some(1)]);
+        assert_eq!(m.n_points(), 3);
+        // Jerry's best was Shangri la (deleted) -> rescan finds Holiday Inn.
+        assert_eq!(m.best_index(1), 0);
+        assert!((m.best_value(1) - 0.6).abs() < 1e-12);
+        // Tom's best (Hilton, old index 3) survives in slot 1.
+        assert_eq!(m.best_index(2), 1);
+        assert!((m.best_value(2) - 1.0).abs() < 1e-12);
+        assert_matches_fresh_build(&m);
+        let remap = m.delete_points(&[]).unwrap();
+        assert_eq!(remap.len(), 3);
+        let mut bare = table_i_matrix().drop_column_mirror();
+        bare.delete_points(&[0, 3]).unwrap();
+        assert_matches_fresh_build(&bare);
+    }
+
+    #[test]
+    fn delete_with_bitwise_tied_duplicates_matches_fresh_build() {
+        // Point 2 duplicates the best (point 1) bit for bit. Deleting
+        // point 0 swap-moves the duplicate into slot 0, ahead of the
+        // surviving best — the repaired first-argmax must follow it, just
+        // like a fresh build of the reordered buffer would.
+        let mut m =
+            ScoreMatrix::from_rows(vec![vec![0.5, 0.9, 0.9], vec![0.4, 0.3, 0.2]], None).unwrap();
+        assert_eq!(m.best_index(0), 1);
+        let remap = m.delete_points(&[0]).unwrap();
+        assert_eq!(remap, vec![None, Some(1), Some(0)]);
+        assert_eq!(m.best_index(0), 0, "relocated duplicate steals the first-argmax slot");
+        assert!((m.best_value(0) - 0.9).abs() < 1e-12);
+        assert_eq!(m.best_index(1), 1, "untied row keeps its remapped best");
+        assert_matches_fresh_build(&m);
+    }
+
+    #[test]
+    fn delete_points_rejects_invalid_batches() {
+        let mut m = table_i_matrix();
+        assert!(matches!(
+            m.delete_points(&[9]),
+            Err(FamError::IndexOutOfBounds { index: 9, len: 4 })
+        ));
+        assert!(m.delete_points(&[1, 1]).is_err());
+        assert!(matches!(m.delete_points(&[0, 1, 2, 3]), Err(FamError::EmptyDataset)));
+        // A row left without any positive score aborts without mutating.
+        let mut z = ScoreMatrix::from_rows(vec![vec![0.5, 0.0], vec![0.1, 0.2]], None).unwrap();
+        assert!(matches!(z.delete_points(&[0]), Err(FamError::DegenerateUtility { sample: 0 })));
+        assert_eq!(z.n_points(), 2);
+        assert_eq!(z.best_index(0), 0);
+        assert_matches_fresh_build(&m);
+    }
+
+    #[test]
+    fn interleaved_mutations_track_fresh_builds() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let rows: Vec<Vec<f64>> =
+            (0..17).map(|_| (0..9).map(|_| rng.gen_range(0.01..1.0)).collect()).collect();
+        let mut m = ScoreMatrix::from_rows(rows, None).unwrap();
+        for _ in 0..12 {
+            if m.n_points() > 2 && rng.gen_bool(0.5) {
+                let a = rng.gen_range(0..m.n_points());
+                let b = rng.gen_range(0..m.n_points());
+                let dels: Vec<usize> = if a == b { vec![a] } else { vec![a, b] };
+                m.delete_points(&dels).unwrap();
+            } else {
+                let cols: Vec<Vec<f64>> = (0..rng.gen_range(1..3))
+                    .map(|_| (0..17).map(|_| rng.gen_range(0.01..1.0)).collect())
+                    .collect();
+                m.insert_points(&cols).unwrap();
+            }
+            assert_matches_fresh_build(&m);
+        }
     }
 
     #[test]

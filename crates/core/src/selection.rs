@@ -2,9 +2,37 @@
 
 use std::time::Duration;
 
-use crate::error::Result;
+use crate::error::{FamError, Result};
 use crate::regret::{self, RegretReport};
 use crate::scores::ScoreSource;
+
+/// Validates a prospective selection or warm-start seed against a point
+/// universe of size `n_points`: every index in bounds, no duplicates.
+/// `name` labels the offending parameter in error messages.
+///
+/// Shared by the algorithms' seeded entry points, `DynamicEngine`, and
+/// the regret metrics, so the validation rules stay single-sourced.
+///
+/// # Errors
+///
+/// Returns [`FamError::IndexOutOfBounds`] or
+/// [`FamError::InvalidParameter`] on the first violation.
+pub fn validate_indices(indices: &[usize], n_points: usize, name: &'static str) -> Result<()> {
+    let mut seen = vec![false; n_points];
+    for &p in indices {
+        if p >= n_points {
+            return Err(FamError::IndexOutOfBounds { index: p, len: n_points });
+        }
+        if seen[p] {
+            return Err(FamError::InvalidParameter {
+                name,
+                message: format!("duplicate point index {p}"),
+            });
+        }
+        seen[p] = true;
+    }
+    Ok(())
+}
 
 /// A set of `k` selected point indices together with bookkeeping about how
 /// it was produced.

@@ -1,0 +1,100 @@
+//! Agreement between the streamed (matrix-free) evaluator and the batch
+//! `ScoreMatrix` path.
+//!
+//! `streamed_rr` draws utility functions from the distribution in the
+//! same order `ScoreMatrix::from_distribution` does, so running both from
+//! the same RNG seed scores the *same* sampled users — the per-sample
+//! regret ratios must then agree exactly (max/ratio arithmetic is
+//! identical on identical scores), and the aggregated report must agree
+//! up to summation order.
+
+use std::sync::Arc;
+
+use fam_core::prelude::*;
+use fam_core::streaming::{streamed_report, streamed_rr};
+use fam_core::{DiscreteDistribution, TableUtility};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> Dataset {
+    Dataset::from_rows(vec![
+        vec![0.9, 0.1, 0.3],
+        vec![0.5, 0.5, 0.5],
+        vec![0.1, 0.9, 0.2],
+        vec![0.7, 0.4, 0.8],
+        vec![0.2, 0.3, 0.9],
+    ])
+    .unwrap()
+}
+
+#[test]
+fn same_seed_gives_bitwise_equal_regret_ratios() {
+    let ds = dataset();
+    let dist = UniformLinear::new(3).unwrap();
+    for sel in [vec![0], vec![1, 3], vec![0, 2, 4]] {
+        let mut rng = StdRng::seed_from_u64(99);
+        let m = ScoreMatrix::from_distribution(&ds, &dist, 500, &mut rng).unwrap();
+        let batch: Vec<f64> = regret::rr_all(&m, &sel);
+        let mut rng = StdRng::seed_from_u64(99);
+        let streamed = streamed_rr(&ds, &sel, &dist, 500, &mut rng).unwrap();
+        assert_eq!(batch.len(), streamed.len());
+        for (u, (b, s)) in batch.iter().zip(&streamed).enumerate() {
+            assert_eq!(b.to_bits(), s.to_bits(), "sample {u} diverged for selection {sel:?}");
+        }
+    }
+}
+
+#[test]
+fn streamed_report_matches_batch_report() {
+    let ds = dataset();
+    let dist = SimplexLinear::new(3).unwrap();
+    let sel = vec![1, 4];
+    let n = 2_000;
+    let mut rng = StdRng::seed_from_u64(7);
+    let m = ScoreMatrix::from_distribution(&ds, &dist, n, &mut rng).unwrap();
+    let batch = regret::report(&m, &sel).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let (rep, pct) = streamed_report(&ds, &sel, &dist, n, &[0.0, 50.0, 100.0], &mut rng).unwrap();
+    // Same samples, different accumulation order: tight tolerance, not bits.
+    assert!((rep.arr - batch.arr).abs() < 1e-9, "{} vs {}", rep.arr, batch.arr);
+    assert!((rep.vrr - batch.vrr).abs() < 1e-9);
+    assert!((rep.std_dev - batch.std_dev).abs() < 1e-9);
+    assert_eq!(rep.mrr.to_bits(), batch.mrr.to_bits(), "max is order-independent");
+    assert!(pct[0] <= pct[1] && pct[1] <= pct[2]);
+    assert_eq!(pct[2].to_bits(), rep.mrr.to_bits(), "p100 is the sampled mrr");
+}
+
+#[test]
+fn single_atom_distribution_is_deterministic() {
+    // A one-function population: streaming and the exact discrete matrix
+    // must agree sample for sample, regardless of RNG state.
+    let ds = dataset();
+    let f: Arc<dyn UtilityFunction> =
+        Arc::new(TableUtility::new(vec![0.2, 0.9, 0.4, 0.5, 0.1]).unwrap());
+    let dist = DiscreteDistribution::new(vec![(f, 1.0)], 5).unwrap();
+    let m = ScoreMatrix::from_discrete_exact(&ds, &dist).unwrap();
+    let sel = vec![0, 3];
+    let exact = regret::arr(&m, &sel).unwrap();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let rrs = streamed_rr(&ds, &sel, &dist, 50, &mut rng).unwrap();
+    assert_eq!(rrs.len(), 50);
+    for r in &rrs {
+        assert_eq!(r.to_bits(), exact.to_bits(), "every draw is the same user");
+    }
+}
+
+#[test]
+fn full_and_empty_behaviour() {
+    let ds = dataset();
+    let dist = UniformLinear::new(3).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    // The full database has zero regret for every user.
+    let rrs = streamed_rr(&ds, &[0, 1, 2, 3, 4], &dist, 300, &mut rng).unwrap();
+    assert!(rrs.iter().all(|r| r.abs() < 1e-12));
+    // Invalid inputs surface as errors, same as the batch evaluator.
+    assert!(streamed_rr(&ds, &[], &dist, 10, &mut rng).is_err());
+    assert!(streamed_rr(&ds, &[7], &dist, 10, &mut rng).is_err());
+    assert!(streamed_rr(&ds, &[0, 0], &dist, 10, &mut rng).is_err());
+    assert!(streamed_rr(&ds, &[0], &dist, 0, &mut rng).is_err());
+    assert!(streamed_report(&ds, &[], &dist, 10, &[50.0], &mut rng).is_err());
+}

@@ -50,24 +50,26 @@ pub use fam_lp as lp;
 pub use fam_ml as ml;
 
 pub use fam_algos::{
-    add_greedy, brute_force, brute_force_with_pruning, continuous_arr, cube, dp_2d, greedy_shrink,
-    k_hit, local_search, mrr_greedy_exact, mrr_greedy_sampled, mrr_linear_exact, sky_dom,
-    AngularMeasure, Dp2dOutput, GreedyShrinkConfig, GreedyShrinkOutput, LocalSearchConfig,
-    LocalSearchOutput, QuadratureMeasure, UniformAngleMeasure, UniformBoxMeasure,
+    add_greedy, add_greedy_from, brute_force, brute_force_with_pruning, continuous_arr, cube,
+    dp_2d, greedy_shrink, greedy_shrink_warm, k_hit, local_search, mrr_greedy_exact,
+    mrr_greedy_sampled, mrr_linear_exact, sky_dom, warm_repair, AngularMeasure, Dp2dOutput,
+    GreedyShrinkConfig, GreedyShrinkOutput, LocalSearchConfig, LocalSearchOutput,
+    QuadratureMeasure, UniformAngleMeasure, UniformBoxMeasure,
 };
 pub use fam_core::{
-    chernoff_epsilon, chernoff_sample_size, regret, Dataset, DiscreteDistribution, FamError,
-    LinearScores, LinearUtility, RegretReport, Result, SampleSpec, ScoreMatrix, ScoreSource,
-    Selection, SelectionEvaluator, TableUtility, UniformLinear, UtilityDistribution,
-    UtilityFunction,
+    chernoff_epsilon, chernoff_sample_size, regret, ApplyReport, Dataset, DiscreteDistribution,
+    DynamicEngine, FamError, LinearScores, LinearUtility, RegretReport, RepairOutcome, Result,
+    SampleSpec, ScoreMatrix, ScoreSource, Selection, SelectionEvaluator, TableUtility,
+    UniformLinear, UpdateBatch, UtilityDistribution, UtilityFunction, WarmStart,
 };
 
 /// Everything needed for typical use, re-exported flat.
 pub mod prelude {
     pub use fam_algos::{
-        add_greedy, brute_force, continuous_arr, dp_2d, greedy_shrink, k_hit, mrr_greedy_exact,
-        mrr_greedy_sampled, mrr_linear_exact, sky_dom, AngularMeasure, GreedyShrinkConfig,
-        QuadratureMeasure, UniformAngleMeasure, UniformBoxMeasure,
+        add_greedy, add_greedy_from, brute_force, continuous_arr, dp_2d, greedy_shrink,
+        greedy_shrink_warm, k_hit, mrr_greedy_exact, mrr_greedy_sampled, mrr_linear_exact, sky_dom,
+        warm_repair, AngularMeasure, GreedyShrinkConfig, QuadratureMeasure, UniformAngleMeasure,
+        UniformBoxMeasure,
     };
     pub use fam_core::prelude::*;
     pub use fam_data::{
