@@ -48,7 +48,7 @@ pub fn brute_force_with_pruning<S: ScoreSource + ?Sized>(
     // Visit points in descending potential: good solutions appear early,
     // which tightens the incumbent and strengthens the prune.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| pot[b].partial_cmp(&pot[a]).expect("finite potentials"));
+    order.sort_by(|&a, &b| pot[b].total_cmp(&pot[a]));
     // suffix_pot[i][r] replaced by: for the suffix starting at i, the sum of
     // the r largest potentials is simply the first r entries (order is
     // descending), i.e. prefix sums over the ordered suffix.

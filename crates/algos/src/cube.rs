@@ -38,9 +38,7 @@ pub fn cube(dataset: &Dataset, k: usize) -> Result<Selection> {
     // Per-dimension maxima (the d "anchor" points).
     for dim in 0..d {
         let best = (0..n)
-            .max_by(|&a, &b| {
-                dataset.point(a)[dim].partial_cmp(&dataset.point(b)[dim]).expect("finite coords")
-            })
+            .max_by(|&a, &b| dataset.point(a)[dim].total_cmp(&dataset.point(b)[dim]))
             .expect("non-empty dataset");
         if !chosen.contains(&best) {
             chosen.push(best);
@@ -112,9 +110,8 @@ mod tests {
         let sel = cube(&ds, 8).unwrap();
         assert_eq!(sel.len(), 8);
         for dim in 0..3 {
-            let best = (0..100)
-                .max_by(|&a, &b| ds.point(a)[dim].partial_cmp(&ds.point(b)[dim]).unwrap())
-                .unwrap();
+            let best =
+                (0..100).max_by(|&a, &b| ds.point(a)[dim].total_cmp(&ds.point(b)[dim])).unwrap();
             assert!(sel.indices.contains(&best), "missing dim-{dim} anchor");
         }
     }

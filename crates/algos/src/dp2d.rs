@@ -129,9 +129,7 @@ pub fn dp_2d(dataset: &Dataset, k: usize, measure: &dyn AngularMeasure) -> Resul
 
     // Deduplicated skyline ordered by first coordinate descending.
     let mut sky = skyline_2d(dataset);
-    sky.sort_by(|&a, &b| {
-        dataset.point(b)[0].partial_cmp(&dataset.point(a)[0]).expect("finite coords")
-    });
+    sky.sort_by(|&a, &b| dataset.point(b)[0].total_cmp(&dataset.point(a)[0]));
     sky.dedup_by(|&mut a, &mut b| dataset.point(a) == dataset.point(b));
     let m = sky.len();
     let pts: Vec<[f64; 2]> = sky

@@ -15,7 +15,12 @@
 //! * dynamic-database warm starts: [`warm_repair`](fn@warm_repair) (the standard
 //!   repair policy for `fam_core::DynamicEngine`) plus the seeded entry
 //!   points [`add_greedy_from`](fn@add_greedy_from) and
-//!   [`greedy_shrink_warm`](fn@greedy_shrink_warm) ([`repair`]).
+//!   [`greedy_shrink_warm`](fn@greedy_shrink_warm) ([`repair`]);
+//! * multi-`k` harvesting: [`add_greedy_range`](fn@add_greedy_range) /
+//!   [`greedy_shrink_range`](fn@greedy_shrink_range) solve a whole range of
+//!   output sizes in one greedy trajectory, bit-identical to per-`k` cold
+//!   runs ([`trajectory`]) — the substrate of the serving layer's result
+//!   cache.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,6 +38,7 @@ pub mod mrr_greedy;
 pub mod reduction;
 pub mod repair;
 pub mod sky_dom;
+pub mod trajectory;
 
 pub use add_greedy::{add_greedy, add_greedy_from};
 pub use brute_force::{brute_force, brute_force_with_pruning};
@@ -54,3 +60,4 @@ pub use reduction::{
 };
 pub use repair::warm_repair;
 pub use sky_dom::sky_dom;
+pub use trajectory::{add_greedy_range, greedy_shrink_range};

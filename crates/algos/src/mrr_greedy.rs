@@ -36,9 +36,7 @@ pub fn mrr_greedy_exact(dataset: &Dataset, k: usize) -> Result<Selection> {
     // Seed: the point with the maximum first coordinate.
     let seed = *sky
         .iter()
-        .max_by(|&&a, &&b| {
-            dataset.point(a)[0].partial_cmp(&dataset.point(b)[0]).expect("finite coords")
-        })
+        .max_by(|&&a, &&b| dataset.point(a)[0].total_cmp(&dataset.point(b)[0]))
         .expect("skyline non-empty");
     let mut selection = vec![seed];
     while selection.len() < k {

@@ -35,11 +35,9 @@ impl Eq for Entry {}
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we need the smallest value.
-        other
-            .value
-            .partial_cmp(&self.value)
-            .expect("finite evaluation values")
-            .then_with(|| other.point.cmp(&self.point))
+        // `total_cmp` keeps a NaN evaluation value from aborting the
+        // worker thread that owns the heap; NaNs order last either way.
+        other.value.total_cmp(&self.value).then_with(|| other.point.cmp(&self.point))
     }
 }
 

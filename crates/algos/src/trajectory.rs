@@ -1,0 +1,205 @@
+//! Multi-`k` solution harvesting: solve a whole range of output sizes in
+//! one greedy trajectory.
+//!
+//! A serving layer answering `solve(k)` for many `k` (see the `fam-serve`
+//! crate) would naively pay one full greedy run per cached size. Both
+//! greedy directions make that redundant:
+//!
+//! * ADD-GREEDY's pick sequence does not depend on where it stops — the
+//!   first `k` picks of a longer run *are* `add_greedy(m, k)` — and
+//! * GREEDY-SHRINK's victim sequence does not depend on where it stops —
+//!   the shrink from `n` to `k` passes through the exact states of every
+//!   intermediate `greedy_shrink(m, k')` with `k' > k`.
+//!
+//! Both properties are exact at the bit level, not just set-equal: each
+//! harvested snapshot reuses the lazy warm entry points ([`lazy_grow`] /
+//! [`lazy_shrink`]) on one continuously evolving [`SelectionEvaluator`],
+//! which is the same object state a cold run truncated at that size holds
+//! (the lazy heaps always pick the unique (value, lowest-index) argmin —
+//! Lemmas 2/3 — so rebuilding the heap between snapshots changes nothing).
+//! `tests::*_range_matches_cold_solves` pins selections *and* objective
+//! bits against per-`k` cold runs; the serving layer's result cache leans
+//! on that contract to serve cached answers indistinguishable from fresh
+//! solves.
+//!
+//! [`lazy_grow`]: crate::repair
+//! [`lazy_shrink`]: crate::repair
+
+use std::ops::RangeInclusive;
+use std::time::Instant;
+
+use fam_core::{FamError, Result, ScoreSource, Selection, SelectionEvaluator};
+
+use crate::repair::{lazy_grow, lazy_shrink};
+
+fn validate_range<S: ScoreSource + ?Sized>(m: &S, ks: &RangeInclusive<usize>) -> Result<()> {
+    let (lo, hi) = (*ks.start(), *ks.end());
+    let n = m.n_points();
+    if lo == 0 || hi > n {
+        return Err(FamError::InvalidK { k: if lo == 0 { lo } else { hi }, n });
+    }
+    if lo > hi {
+        return Err(FamError::InvalidParameter {
+            name: "ks",
+            message: format!("empty k-range {lo}..={hi}"),
+        });
+    }
+    Ok(())
+}
+
+/// Runs one ADD-GREEDY trajectory from the empty set up to `ks.end()`,
+/// returning the selection at every size in `ks` (ascending). Each entry
+/// is bit-identical — indices and objective — to `add_greedy(m, k)`.
+///
+/// # Errors
+///
+/// Returns an error when the range is empty, starts at zero, or exceeds
+/// the number of points.
+pub fn add_greedy_range<S: ScoreSource + ?Sized>(
+    m: &S,
+    ks: RangeInclusive<usize>,
+) -> Result<Vec<Selection>> {
+    validate_range(m, &ks)?;
+    let start = Instant::now();
+    let mut ev = SelectionEvaluator::new_with(m, &[]);
+    let mut out = Vec::with_capacity(ks.end() - ks.start() + 1);
+    for k in 1..=*ks.end() {
+        lazy_grow(&mut ev, k);
+        if k >= *ks.start() {
+            out.push(
+                Selection::new(ev.selection(), "add-greedy")
+                    .with_objective(ev.arr())
+                    .with_query_time(start.elapsed()),
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Runs one GREEDY-SHRINK trajectory from the full database down to
+/// `ks.start()`, returning the selection at every size in `ks`
+/// (ascending). Each entry is bit-identical — indices and objective — to
+/// `greedy_shrink(m, GreedyShrinkConfig::new(k))`.
+///
+/// # Errors
+///
+/// Returns an error when the range is empty, starts at zero, or exceeds
+/// the number of points.
+pub fn greedy_shrink_range<S: ScoreSource + ?Sized>(
+    m: &S,
+    ks: RangeInclusive<usize>,
+) -> Result<Vec<Selection>> {
+    validate_range(m, &ks)?;
+    let start = Instant::now();
+    let mut ev = SelectionEvaluator::new_full(m);
+    let mut out = Vec::with_capacity(ks.end() - ks.start() + 1);
+    for k in (*ks.start()..=*ks.end()).rev() {
+        lazy_shrink(&mut ev, k);
+        out.push(
+            Selection::new(ev.selection(), "greedy-shrink")
+                .with_objective(ev.arr())
+                .with_query_time(start.elapsed()),
+        );
+    }
+    out.reverse();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::add_greedy::add_greedy;
+    use crate::greedy_shrink::{greedy_shrink, GreedyShrinkConfig};
+    use fam_core::ScoreMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, n_samples: usize, n_points: usize) -> ScoreMatrix {
+        let rows: Vec<Vec<f64>> = (0..n_samples)
+            .map(|_| (0..n_points).map(|_| rng.gen_range(0.01..1.0)).collect())
+            .collect();
+        ScoreMatrix::from_rows(rows, None).unwrap()
+    }
+
+    #[test]
+    fn add_greedy_range_matches_cold_solves() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..6 {
+            let n = rng.gen_range(6..30);
+            let hi = rng.gen_range(1..=n);
+            let lo = rng.gen_range(1..=hi);
+            let m = random_matrix(&mut rng, 50, n);
+            let range = add_greedy_range(&m, lo..=hi).unwrap();
+            assert_eq!(range.len(), hi - lo + 1);
+            for (i, sel) in range.iter().enumerate() {
+                let k = lo + i;
+                let cold = add_greedy(&m, k).unwrap();
+                assert_eq!(sel.indices, cold.indices, "trial {trial}: k={k} of {lo}..={hi}");
+                assert_eq!(
+                    sel.objective.unwrap().to_bits(),
+                    cold.objective.unwrap().to_bits(),
+                    "trial {trial}: k={k} objective bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_shrink_range_matches_cold_solves() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for trial in 0..6 {
+            let n = rng.gen_range(6..30);
+            let hi = rng.gen_range(1..=n);
+            let lo = rng.gen_range(1..=hi);
+            let m = random_matrix(&mut rng, 50, n);
+            let range = greedy_shrink_range(&m, lo..=hi).unwrap();
+            assert_eq!(range.len(), hi - lo + 1);
+            for (i, sel) in range.iter().enumerate() {
+                let k = lo + i;
+                let cold = greedy_shrink(&m, GreedyShrinkConfig::new(k)).unwrap();
+                assert_eq!(
+                    sel.indices, cold.selection.indices,
+                    "trial {trial}: k={k} of {lo}..={hi}"
+                );
+                assert_eq!(
+                    sel.objective.unwrap().to_bits(),
+                    cold.selection.objective.unwrap().to_bits(),
+                    "trial {trial}: k={k} objective bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_ranges_cover_every_k() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let m = random_matrix(&mut rng, 30, 9);
+        let grown = add_greedy_range(&m, 1..=9).unwrap();
+        let shrunk = greedy_shrink_range(&m, 1..=9).unwrap();
+        assert_eq!(grown.len(), 9);
+        assert_eq!(shrunk.len(), 9);
+        for (i, (g, s)) in grown.iter().zip(&shrunk).enumerate() {
+            assert_eq!(g.len(), i + 1);
+            assert_eq!(s.len(), i + 1);
+        }
+        // k = n: both directions select everything with zero regret.
+        assert_eq!(grown[8].indices, (0..9).collect::<Vec<_>>());
+        assert_eq!(shrunk[8].indices, (0..9).collect::<Vec<_>>());
+        assert!(shrunk[8].objective.unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_ranges_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let m = random_matrix(&mut rng, 10, 5);
+        assert!(add_greedy_range(&m, 0..=3).is_err());
+        assert!(add_greedy_range(&m, 1..=6).is_err());
+        assert!(greedy_shrink_range(&m, 0..=3).is_err());
+        assert!(greedy_shrink_range(&m, 2..=6).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert!(add_greedy_range(&m, 4..=2).is_err());
+            assert!(greedy_shrink_range(&m, 4..=2).is_err());
+        }
+    }
+}

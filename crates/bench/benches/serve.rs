@@ -1,0 +1,202 @@
+//! Serving-layer throughput: requests/s against a live in-process
+//! `fam-serve` instance over real TCP.
+//!
+//! Three workloads:
+//!
+//! * **cached** — 4 client threads issuing `GET /solve` for `k` inside
+//!   the cache range (answers come from the multi-`k` trajectory cache);
+//! * **uncached** — the same clients asking for a `k` outside the range
+//!   (every request pays a cold ADD-GREEDY solve under the read lock);
+//! * **mixed** — the cached readers racing a writer that streams `POST
+//!   /update` batches (each update re-harvests the cache under the write
+//!   lock).
+//!
+//! Scale via `FAM_SERVE_POINTS`, `FAM_SERVE_SAMPLES`, `FAM_SERVE_CACHE_K`
+//! and duration via `FAM_SERVE_MILLIS`; emits one JSON trajectory point
+//! (default `BENCH_serve.json` at the workspace root, override with
+//! `FAM_BENCH_SERVE_OUT`).
+
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fam::prelude::*;
+use fam::serve::{DatasetService, DistKind, ServeOptions, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("receive");
+    let status = buf.split(' ').nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    (status, buf)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: b\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!("POST {path} HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}", body.len()),
+    )
+}
+
+/// Runs `clients` reader threads against `path_of(i)` for `millis`,
+/// returning total completed requests.
+fn hammer(
+    addr: SocketAddr,
+    clients: usize,
+    millis: u64,
+    path_of: impl Fn(usize, usize) -> String + Send + Sync,
+) -> u64 {
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let (stop, served, path_of) = (&stop, &served, &path_of);
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, body) = get(addr, &path_of(c, i));
+                    assert_eq!(status, 200, "{body}");
+                    served.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(millis));
+        stop.store(true, Ordering::SeqCst);
+    });
+    served.load(Ordering::Relaxed)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let n = env_usize("FAM_SERVE_POINTS", 2_000);
+    let n_samples = env_usize("FAM_SERVE_SAMPLES", 20_000);
+    let cache_hi = env_usize("FAM_SERVE_CACHE_K", 10);
+    let millis = env_usize("FAM_SERVE_MILLIS", 2_000) as u64;
+    let clients = 4usize;
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    eprintln!(
+        "serve bench: n={n}, N={n_samples}, cache_k=1..={cache_hi}, {clients} clients, \
+         {millis} ms per leg, host threads={threads}"
+    );
+
+    let mut rng = StdRng::seed_from_u64(20190408);
+    let ds = synthetic(n, 4, Correlation::AntiCorrelated, &mut rng).expect("dataset");
+    let opts = ServeOptions {
+        samples: n_samples,
+        seed: 7,
+        dist: DistKind::Uniform,
+        cache_k: 1..=cache_hi,
+    };
+    let t0 = Instant::now();
+    let svc = DatasetService::build("bench", &ds, &opts).expect("service");
+    let build = t0.elapsed();
+    eprintln!("service build (scoring + 2 trajectory harvests): {build:?}");
+    let server = Server::bind(("127.0.0.1", 0), vec![svc], clients + 2).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Cached leg: k rotates inside the cache range.
+    let cached = hammer(addr, clients, millis, |c, i| {
+        format!("/solve?dataset=bench&k={}&algo=add-greedy", 1 + (c + i) % cache_hi)
+    });
+    let cached_rps = cached as f64 / (millis as f64 / 1e3);
+    eprintln!("cached   : {cached} requests in {millis} ms = {cached_rps:.0} req/s");
+
+    // Uncached leg: k just above the cache range forces cold solves.
+    let k_cold = (cache_hi + 1).min(n);
+    let uncached = hammer(addr, clients, millis, |_, _| {
+        format!("/solve?dataset=bench&k={k_cold}&algo=add-greedy")
+    });
+    let uncached_rps = uncached as f64 / (millis as f64 / 1e3);
+    eprintln!("uncached : {uncached} requests in {millis} ms = {uncached_rps:.0} req/s");
+
+    // Mixed leg: cached readers racing an update writer.
+    let stop_writer = Arc::new(AtomicBool::new(false));
+    let updates_done = Arc::new(AtomicU64::new(0));
+    let update_nanos = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let (stop, done, nanos) =
+            (Arc::clone(&stop_writer), Arc::clone(&updates_done), Arc::clone(&update_nanos));
+        std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Insert two, delete one: the database drifts but never
+                // shrinks below the cached k range.
+                let ops = format!(
+                    "insert,0.5,0.9,0.4,0.8\ninsert,0.9,0.2,0.7,0.3\ndelete,{}\n",
+                    round % 50
+                );
+                let t = Instant::now();
+                let (status, body) = post(addr, "/update?dataset=bench", &ops);
+                nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                assert_eq!(status, 200, "{body}");
+                done.fetch_add(1, Ordering::Relaxed);
+                round += 1;
+            }
+        })
+    };
+    let mixed = hammer(addr, clients, millis, |c, i| {
+        format!("/solve?dataset=bench&k={}&algo=add-greedy", 1 + (c + i) % cache_hi)
+    });
+    stop_writer.store(true, Ordering::SeqCst);
+    writer.join().expect("writer");
+    let mixed_rps = mixed as f64 / (millis as f64 / 1e3);
+    let updates = updates_done.load(Ordering::Relaxed);
+    let update_ms = if updates > 0 {
+        update_nanos.load(Ordering::Relaxed) as f64 / updates as f64 / 1e6
+    } else {
+        f64::NAN
+    };
+    eprintln!(
+        "mixed    : {mixed} reads = {mixed_rps:.0} req/s alongside {updates} updates \
+         (mean {update_ms:.1} ms each: apply + cache re-harvest)"
+    );
+
+    let out_path = std::env::var("FAM_BENCH_SERVE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    let json = format!(
+        "{{\"bench\":\"serve\",\"n\":{n},\"n_samples\":{n_samples},\"cache_k\":{cache_hi},\
+         \"clients\":{clients},\"leg_ms\":{millis},\"host_threads\":{threads},\
+         \"build_ms\":{:.3},\"cached_rps\":{cached_rps:.1},\"uncached_rps\":{uncached_rps:.1},\
+         \"mixed_rps\":{mixed_rps:.1},\"updates_during_mixed\":{updates},\
+         \"update_ms_mean\":{update_ms:.3}}}\n",
+        build.as_secs_f64() * 1e3,
+    );
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+
+    // Criterion group: single-request latency, cached vs uncached.
+    let mut g = c.benchmark_group("serve_latency");
+    g.sample_size(10);
+    g.bench_function("solve_cached", |b| {
+        b.iter(|| get(addr, "/solve?dataset=bench&k=3&algo=add-greedy"))
+    });
+    g.bench_function("solve_uncached", |b| {
+        b.iter(|| get(addr, &format!("/solve?dataset=bench&k={k_cold}&algo=add-greedy")))
+    });
+    g.finish();
+
+    handle.shutdown();
+    server_thread.join().expect("server thread");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -167,6 +167,6 @@ fn streamed_percentiles(
             rrs.push(1.0 - sat / best);
         }
     }
-    rrs.sort_by(|a, b| a.partial_cmp(b).expect("finite rr"));
+    rrs.sort_by(f64::total_cmp);
     Ok(percentiles.iter().map(|&q| fam::core::stats::percentile_sorted(&rrs, q)).collect())
 }

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ParsedArgs {
     values: BTreeMap<String, String>,
+    multi: BTreeMap<String, Vec<String>>,
     switches: Vec<String>,
 }
 
@@ -30,6 +31,9 @@ impl ParsedArgs {
                 continue;
             }
             let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
+            // Repeats accumulate in `multi` (see `Self::all`); the scalar
+            // accessors keep their historical last-one-wins behavior.
+            out.multi.entry(name.to_string()).or_default().push(value.clone());
             out.values.insert(name.to_string(), value.clone());
         }
         Ok(out)
@@ -50,6 +54,12 @@ impl ParsedArgs {
     /// Optional string flag.
     pub fn optional(&self, name: &str) -> Option<&str> {
         self.values.get(name).map(String::as_str)
+    }
+
+    /// Every value a repeatable flag was given, in order (empty when the
+    /// flag is absent) — e.g. `fam serve --data a.csv --data b.csv`.
+    pub fn all(&self, name: &str) -> Vec<&str> {
+        self.multi.get(name).map(|v| v.iter().map(String::as_str).collect()).unwrap_or_default()
     }
 
     /// Optional parsed flag with default.
@@ -102,6 +112,16 @@ mod tests {
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn repeated_flags_accumulate() {
+        let a = ParsedArgs::parse(&argv("--data a.csv --k 3 --data b.csv --data c.csv")).unwrap();
+        assert_eq!(a.all("data"), vec!["a.csv", "b.csv", "c.csv"]);
+        assert_eq!(a.all("k"), vec!["3"]);
+        assert!(a.all("missing").is_empty());
+        // Scalar accessors keep last-one-wins.
+        assert_eq!(a.required("data").unwrap(), "c.csv");
     }
 
     #[test]

@@ -171,58 +171,11 @@ pub fn evaluate(a: &ParsedArgs) -> Result<String, String> {
     ))
 }
 
-/// One parsed update operation from the `--updates` stream.
-enum Op {
-    Insert(Vec<f64>),
-    Delete(usize),
-}
-
-/// Parses the update stream: one op per line, `insert,c0,c1,...` (or
-/// `+,...`) and `delete,IDX` (or `-,IDX`); blank lines and `#` comments
-/// are skipped.
-fn read_ops(path: &Path, dim: usize) -> Result<Vec<Op>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    let mut ops = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut fields = line.split(',');
-        let kind = fields.next().expect("split yields at least one field").trim();
-        match kind {
-            "insert" | "+" => {
-                let coords: Result<Vec<f64>, _> = fields.map(|f| f.trim().parse::<f64>()).collect();
-                let coords = coords.map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                if coords.len() != dim {
-                    return Err(format!(
-                        "line {}: expected {dim} coordinates, got {}",
-                        lineno + 1,
-                        coords.len()
-                    ));
-                }
-                ops.push(Op::Insert(coords));
-            }
-            "delete" | "-" => {
-                let idx = fields
-                    .next()
-                    .ok_or_else(|| format!("line {}: delete needs an index", lineno + 1))?;
-                let idx = idx.trim().parse().map_err(|_| {
-                    format!("line {}: `{}` is not an index", lineno + 1, idx.trim())
-                })?;
-                if fields.next().is_some() {
-                    return Err(format!("line {}: delete takes exactly one index", lineno + 1));
-                }
-                ops.push(Op::Delete(idx));
-            }
-            other => {
-                return Err(format!("line {}: unknown op `{other}` (insert|delete)", lineno + 1))
-            }
-        }
-    }
-    Ok(ops)
-}
+// Update-op streams parse through the shared `fam::data::ops` module
+// (also used by the serving layer's `POST /update` endpoint), which
+// rejects malformed lines with a `FamError::Parse` carrying the file
+// path and 1-based line number — and validates coordinates finite before
+// they can reach `ScoreMatrix::insert_points`.
 
 /// `--verify`: pins the incremental state against a full recompute —
 /// rebuild the matrix from scratch on the updated rows, run the same warm
@@ -282,7 +235,8 @@ pub fn replay(a: &ParsedArgs) -> Result<String, String> {
     // Parse the whole update stream before paying for the matrix build:
     // a malformed ops file should fail in milliseconds, not after the
     // O(n·N) scoring pass.
-    let ops = read_ops(Path::new(a.required("updates")?), ds.dim())?;
+    let ops = fam::data::read_update_ops(Path::new(a.required("updates")?), ds.dim())
+        .map_err(|e| e.to_string())?;
     let verify = a.switch("verify");
     // Keep the sampled functions alive: inserted points must be scored
     // under the same user population the engine was built with. (The CLI
@@ -304,10 +258,10 @@ pub fn replay(a: &ParsedArgs) -> Result<String, String> {
         let mut batch = UpdateBatch::default();
         for op in chunk {
             match op {
-                Op::Insert(coords) => batch
+                fam::data::UpdateOp::Insert(coords) => batch
                     .insert
                     .push(functions.iter().map(|f| f.utility(usize::MAX, coords)).collect()),
-                Op::Delete(idx) => batch.delete.push(*idx),
+                fam::data::UpdateOp::Delete(idx) => batch.delete.push(*idx),
             }
         }
         let report =
@@ -340,6 +294,81 @@ pub fn replay(a: &ParsedArgs) -> Result<String, String> {
         engine.batches_applied()
     ));
     Ok(out)
+}
+
+/// Parses a `--cache-k` spec: `LO..HI` (inclusive) or a bare `HI`
+/// meaning `1..HI`.
+fn parse_cache_k(spec: &str) -> Result<std::ops::RangeInclusive<usize>, String> {
+    let parse =
+        |s: &str| s.trim().parse::<usize>().map_err(|_| format!("--cache-k: `{s}` is not a size"));
+    match spec.split_once("..") {
+        Some((lo, hi)) => Ok(parse(lo)?..=parse(hi)?),
+        None => Ok(1..=parse(spec)?),
+    }
+}
+
+/// Builds the per-dataset services for `fam serve`: one per `--data`
+/// flag, named by file stem.
+fn build_services(a: &ParsedArgs) -> Result<Vec<fam::serve::DatasetService>, String> {
+    let paths = a.all("data");
+    if paths.is_empty() {
+        return Err("missing required flag --data (repeatable)".into());
+    }
+    let samples = sample_count(a)?;
+    let dist_name = a.optional("dist").unwrap_or("uniform");
+    let dist = fam::serve::DistKind::parse(dist_name)
+        .ok_or_else(|| format!("unknown --dist `{dist_name}` (uniform|simplex)"))?;
+    let seed: u64 = a.parsed_or("seed", 42u64)?;
+    let cache_k = parse_cache_k(a.optional("cache-k").unwrap_or("1..10"))?;
+    let labelled = a.switch("labelled");
+    let mut services = Vec::with_capacity(paths.len());
+    for path in paths {
+        let p = Path::new(path);
+        let name = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("--data {path}: cannot derive a dataset name"))?;
+        let ds = fam::data::read_csv(p, labelled).map_err(|e| e.to_string())?;
+        let opts = fam::serve::ServeOptions { samples, seed, dist, cache_k: cache_k.clone() };
+        services.push(
+            fam::serve::DatasetService::build(name, &ds, &opts)
+                .map_err(|e| format!("--data {path}: {e}"))?,
+        );
+    }
+    Ok(services)
+}
+
+/// `fam serve` — host datasets over HTTP (see the `fam-serve` crate).
+///
+/// Blocks until shut down (`Ctrl-C` in practice; tests drive the server
+/// through the library API instead). Prints the bound address to stdout
+/// before serving so scripts can poll it.
+///
+/// # Errors
+///
+/// Returns usage, I/O, or service-construction errors as strings.
+pub fn serve(a: &ParsedArgs) -> Result<String, String> {
+    let services = build_services(a)?;
+    let port: u16 = a.parsed_or("port", 0u16)?;
+    // Loopback by default: /update mutates the database and the server
+    // has no authentication, so exposing it beyond the host must be an
+    // explicit decision (`--bind 0.0.0.0`).
+    let bind = a.optional("bind").unwrap_or("127.0.0.1").to_string();
+    let workers: usize = a.parsed_or("workers", fam::serve::DEFAULT_WORKERS)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let names: Vec<String> = services.iter().map(|s| s.name().to_string()).collect();
+    let server = fam::serve::Server::bind((bind.as_str(), port), services, workers)
+        .map_err(|e| format!("bind {bind}:{port}: {e}"))?;
+    println!("fam-serve listening on http://{} ({} workers)", server.local_addr(), workers);
+    println!("datasets: {}", names.join(", "));
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let addr = server.local_addr();
+    server.run();
+    Ok(format!("served {} dataset(s) on {addr}, shut down cleanly", names.len()))
 }
 
 #[cfg(test)]
@@ -427,8 +456,44 @@ mod tests {
         let msg = crate::run(&["help".to_string()]).unwrap();
         assert!(msg.contains("usage"));
         assert!(msg.contains("replay"));
+        assert!(msg.contains("serve"));
         assert!(crate::run(&["bogus".to_string()]).is_err());
         assert!(crate::run(&[]).is_err());
+    }
+
+    #[test]
+    fn cache_k_spec_parses_both_forms() {
+        assert_eq!(parse_cache_k("1..8").unwrap(), 1..=8);
+        assert_eq!(parse_cache_k("3 .. 5").unwrap(), 3..=5);
+        assert_eq!(parse_cache_k("6").unwrap(), 1..=6);
+        assert!(parse_cache_k("a..3").is_err());
+        assert!(parse_cache_k("..").is_err());
+        assert!(parse_cache_k("").is_err());
+    }
+
+    #[test]
+    fn serve_builds_services_and_validates_flags() {
+        let a = tmp("serve_a.csv");
+        let b = tmp("serve_b.csv");
+        generate(&argv(&format!("--out {a} --n 40 --d 3 --seed 5"))).unwrap();
+        generate(&argv(&format!("--out {b} --n 30 --d 2 --seed 6"))).unwrap();
+        let services = build_services(&argv(&format!(
+            "--data {a} --data {b} --samples 60 --cache-k 1..3 --seed 5"
+        )))
+        .unwrap();
+        assert_eq!(services.len(), 2);
+        assert!(services[0].name().starts_with("fam_cli_"));
+        assert_eq!(services[0].n_points(), 40);
+        assert_eq!(services[1].n_points(), 30);
+        assert_eq!(*services[0].cache_k(), 1..=3);
+        // Usage errors surface without binding anything.
+        assert!(build_services(&argv("--samples 60")).is_err());
+        assert!(build_services(&argv(&format!("--data {a} --dist nope"))).is_err());
+        assert!(build_services(&argv(&format!("--data {a} --cache-k 0..3"))).is_err());
+        assert!(build_services(&argv(&format!("--data {a} --cache-k 1..999"))).is_err());
+        assert!(serve(&argv(&format!("--data {a} --workers 0"))).is_err());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
     }
 
     #[test]
@@ -479,12 +544,16 @@ mod tests {
             "delete,notanumber\n",
             "delete,1,2\n",
             "insert,0.5,abc\n",
+            "insert,0.5,NaN\n",
+            ",1,2\n",
         ];
         for (i, body) in cases.iter().enumerate() {
             let ups = tmp(&format!("replay_bad_ops_{i}.csv"));
             std::fs::write(&ups, body).unwrap();
             let r = replay(&argv(&format!("--data {data} --updates {ups} --k 2 --samples 40")));
-            assert!(r.is_err(), "case {i} should fail: {body:?}");
+            let err = r.expect_err(&format!("case {i} should fail: {body:?}"));
+            // Parse errors name the ops file and the 1-based line.
+            assert!(err.contains(&ups) && err.contains("line 1"), "case {i}: {err}");
             std::fs::remove_file(&ups).ok();
         }
         // Out-of-bounds delete surfaces the engine error with batch context.

@@ -9,6 +9,7 @@
 //! fam select   --data data.csv --k 10 --algo greedy-shrink
 //! fam evaluate --data data.csv --selection 3,17,42
 //! fam replay   --data data.csv --updates ops.csv --k 10 --batch 16
+//! fam serve    --data a.csv --data b.csv --port 8787 --cache-k 1..10
 //! ```
 //!
 //! All logic lives in this library crate so it is unit-testable; `main`
@@ -36,6 +37,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "select" => commands::select(&parsed),
         "evaluate" => commands::evaluate(&parsed),
         "replay" | "update" => commands::replay(&parsed),
+        "serve" => commands::serve(&parsed),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -51,6 +53,11 @@ fn usage() -> String {
      evaluate  --data FILE --selection I,J,K [--samples N] [--seed S] [--labelled]\n  \
      replay    --data FILE --updates FILE --k K [--batch B] [--samples N] [--dist uniform|simplex]\n            \
      [--seed S] [--verify] [--labelled]   (alias: update; ops are `insert,c0,c1,..` / `delete,IDX`,\n            \
-     delete indices refer to the point set at the start of each batch, swap-remove order)"
+     delete indices refer to the point set at the start of each batch, swap-remove order)\n  \
+     serve     --data FILE [--data FILE ...] [--port P] [--bind ADDR] [--workers W] [--cache-k LO..HI]\n            \
+     [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--labelled]\n            \
+     (HTTP endpoints: GET /datasets, /solve?dataset=..&k=..&algo=.., /evaluate?dataset=..&selection=..,\n            \
+     /stats; POST /update?dataset=.. with an op-stream body; datasets are named by file stem;\n            \
+     binds 127.0.0.1 unless --bind says otherwise - /update is unauthenticated)"
         .to_string()
 }

@@ -59,8 +59,9 @@ impl UpdateBatch {
 pub struct WarmStart {
     /// Post-batch indices of the points this batch inserted.
     pub inserted: Range<usize>,
-    /// Target selection size (already clamped to the post-batch point
-    /// count).
+    /// Target selection size. [`DynamicEngine::apply_with`] rejects any
+    /// batch that would leave fewer than `k` points, so this never
+    /// exceeds the post-batch point count.
     pub k: usize,
 }
 
@@ -205,8 +206,9 @@ impl DynamicEngine {
     ///
     /// # Errors
     ///
-    /// Returns batch-validation errors without mutating anything, or the
-    /// repair policy's error.
+    /// Returns batch-validation errors without mutating anything —
+    /// including [`FamError::InvalidK`] when the batch would leave fewer
+    /// than `k` points — or the repair policy's error.
     pub fn apply_with<R>(&mut self, batch: &UpdateBatch, repair: R) -> Result<ApplyReport>
     where
         R: for<'e> FnOnce(
@@ -220,6 +222,15 @@ impl DynamicEngine {
         // untouched on any error — so a failed (or universe-wiping)
         // deletion can never follow an applied insertion, and vice versa.
         matrix.validate_new_points(&batch.insert)?;
+        // A batch may not shrink the database below the configured output
+        // size: a serving layer maintaining a k-sized selection must fail
+        // the update loudly instead of silently degrading to fewer points.
+        // (Duplicate delete indices would undercount here, but those are
+        // rejected by `delete_points` before anything mutates.)
+        let n_post = (matrix.n_points() + batch.insert.len()).checked_sub(batch.delete.len());
+        if n_post.is_none_or(|n| n < *k) {
+            return Err(FamError::InvalidK { k: *k, n: n_post.unwrap_or(0) });
+        }
         let (mut ev, inserted, resumed_rescans) = if batch.is_empty() {
             // Nothing changed: reattach the state directly — no remap, no
             // sample classification, no rescans. The resync keeps `arr`
@@ -243,7 +254,7 @@ impl DynamicEngine {
             (ev, inserted, resumed_rescans)
         };
         let kept = ev.selection();
-        let ws = WarmStart { inserted: inserted.clone(), k: (*k).min(matrix.n_points()) };
+        let ws = WarmStart { inserted: inserted.clone(), k: *k };
         *batches_applied += 1;
         // From here until the disarm below, `state` holds a placeholder.
         // The guard honors the documented contract — fall back to exactly
@@ -359,8 +370,9 @@ mod tests {
         assert_eq!(e.matrix().n_points(), 4);
         assert_eq!(e.selection(), vec![1, 3]);
         // Deleting the whole pre-existing universe is rejected even with
-        // inserts in the same batch.
-        let wipe = UpdateBatch { insert: vec![vec![0.5, 0.5, 0.5, 0.5]], delete: vec![0, 1, 2, 3] };
+        // enough inserts in the same batch to stay at size.
+        let wipe =
+            UpdateBatch { insert: vec![vec![0.5; 4], vec![0.25; 4]], delete: vec![0, 1, 2, 3] };
         assert!(matches!(e.apply_with(&wipe, no_repair), Err(FamError::EmptyDataset)));
         assert_eq!(e.matrix().n_points(), 4);
         // Out-of-bounds delete.
@@ -450,6 +462,81 @@ mod tests {
         assert_eq!(e.selection(), vec![0, 4]);
         let direct = regret::arr_unchecked(e.matrix(), &[0, 4]);
         assert!((e.arr() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_below_k_errors_without_mutating() {
+        // 4 points, k = 2: any batch landing under 2 points must be
+        // rejected up front — never applied, never panicking.
+        let mut e = DynamicEngine::new(matrix(), 2, &[1, 3]).unwrap();
+        let under = UpdateBatch { insert: vec![], delete: vec![0, 1, 2] };
+        assert!(matches!(e.apply_with(&under, no_repair), Err(FamError::InvalidK { k: 2, n: 1 })));
+        // Inserts count toward the post-batch size.
+        let balanced = UpdateBatch { insert: vec![vec![0.5; 4]], delete: vec![0, 1, 2] };
+        assert!(e.apply_with(&balanced, no_repair).is_ok());
+        assert_eq!(e.matrix().n_points(), 2);
+        // More deletes than points (also a duplicate-free impossibility):
+        // the guard's checked_sub path, not an underflow panic.
+        let mut e = DynamicEngine::new(matrix(), 2, &[1, 3]).unwrap();
+        let overdrawn = UpdateBatch { insert: vec![], delete: vec![0, 1, 2, 3, 4] };
+        assert!(matches!(
+            e.apply_with(&overdrawn, no_repair),
+            Err(FamError::InvalidK { k: 2, n: 0 })
+        ));
+        assert_eq!(e.matrix().n_points(), 4);
+        assert_eq!(e.selection(), vec![1, 3]);
+        assert_eq!(e.batches_applied(), 0);
+    }
+
+    #[test]
+    fn deleting_the_entire_selection_regrows_from_survivors() {
+        // Every selected point dies; warm repair must regrow from an
+        // empty seed exactly like ADD-GREEDY from scratch.
+        let mut e = DynamicEngine::new(matrix(), 2, &[1, 3]).unwrap();
+        let batch = UpdateBatch { insert: vec![], delete: vec![1, 3] };
+        let report = e
+            .apply_with(&batch, |ev, ws| {
+                assert!(ev.is_empty());
+                let mut added = 0;
+                while ev.len() < ws.k {
+                    let p = (0..ev.n_points()).find(|&p| !ev.contains(p)).unwrap();
+                    ev.add(p);
+                    added += 1;
+                }
+                Ok(RepairOutcome { added, removed: 0, evaluations: 0 })
+            })
+            .unwrap();
+        assert_eq!(report.kept, Vec::<usize>::new());
+        assert_eq!(report.repair.added, 2);
+        assert_eq!(e.selection().len(), 2);
+        let direct = regret::arr_unchecked(e.matrix(), &e.selection());
+        assert!((e.arr() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_into_near_empty_matrix() {
+        // A single-point universe accepts inserts and the selection can
+        // reach the newcomers.
+        let m = ScoreMatrix::from_rows(vec![vec![0.4], vec![0.7]], None).unwrap();
+        let mut e = DynamicEngine::new(m, 1, &[0]).unwrap();
+        let batch = UpdateBatch { insert: vec![vec![0.9, 0.9], vec![0.2, 0.1]], delete: vec![] };
+        let report = e
+            .apply_with(&batch, |ev, ws| {
+                // Move the selection onto the strictly better insert.
+                ev.remove(0);
+                ev.add(ws.inserted.start);
+                Ok(RepairOutcome { added: 1, removed: 1, evaluations: 0 })
+            })
+            .unwrap();
+        assert_eq!(report.n_points, 3);
+        assert_eq!(report.inserted_range, 1..3);
+        assert_eq!(e.selection(), vec![1]);
+        let direct = regret::arr_unchecked(e.matrix(), &[1]);
+        assert!((e.arr() - direct).abs() < 1e-9);
+        // The old sole point can now be deleted (n stays >= k).
+        let drop_old = UpdateBatch { insert: vec![], delete: vec![0] };
+        assert!(e.apply_with(&drop_old, no_repair).is_ok());
+        assert_eq!(e.matrix().n_points(), 2);
     }
 
     #[test]

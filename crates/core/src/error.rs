@@ -59,6 +59,22 @@ pub enum FamError {
     },
     /// Probability weights were invalid (negative, non-finite, or zero-sum).
     InvalidWeights(String),
+    /// A textual input (update-op stream, request body, …) failed to parse.
+    Parse {
+        /// What was being parsed — a file path or e.g. "request body".
+        source: String,
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl FamError {
+    /// Builds a [`FamError::Parse`] for 1-based `line` of `source`.
+    pub fn parse(source: &str, line: usize, message: impl Into<String>) -> Self {
+        FamError::Parse { source: source.to_string(), line, message: message.into() }
+    }
 }
 
 impl fmt::Display for FamError {
@@ -89,6 +105,9 @@ impl fmt::Display for FamError {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
             FamError::InvalidWeights(msg) => write!(f, "invalid probability weights: {msg}"),
+            FamError::Parse { source, line, message } => {
+                write!(f, "{source}, line {line}: {message}")
+            }
         }
     }
 }
@@ -118,6 +137,7 @@ mod tests {
                 "epsilon",
             ),
             (FamError::InvalidWeights("negative".into()), "negative"),
+            (FamError::parse("ops.csv", 3, "unknown op `jump`"), "ops.csv, line 3"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

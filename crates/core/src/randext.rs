@@ -116,7 +116,7 @@ pub fn sample_discrete_cdf<R: Rng + ?Sized>(rng: &mut R, cum: &[f64]) -> usize {
     let total = *cum.last().expect("non-empty cdf");
     let x: f64 = rng.gen_range(0.0..total);
     // Binary search for the first cum[i] > x.
-    match cum.binary_search_by(|c| c.partial_cmp(&x).expect("finite cdf")) {
+    match cum.binary_search_by(|c| c.total_cmp(&x)) {
         Ok(i) => (i + 1).min(cum.len() - 1),
         Err(i) => i.min(cum.len() - 1),
     }

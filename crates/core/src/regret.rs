@@ -103,7 +103,7 @@ pub fn rr_percentiles<S: ScoreSource + ?Sized>(
     let rrs = rr_all(m, selection);
     let mut pairs: Vec<(f64, f64)> =
         rrs.iter().enumerate().map(|(u, &r)| (r, m.weight(u))).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite regret ratios"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     Ok(percentiles.iter().map(|&q| stats::weighted_percentile_sorted(&pairs, q)).collect())
 }
 

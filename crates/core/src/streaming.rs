@@ -86,7 +86,7 @@ pub fn streamed_report(
     let arr = stats::mean(&rrs);
     let vrr = stats::variance(&rrs);
     let mrr = rrs.iter().cloned().fold(0.0f64, f64::max);
-    rrs.sort_by(|a, b| a.partial_cmp(b).expect("finite regret ratios"));
+    rrs.sort_by(f64::total_cmp);
     let pct = percentiles.iter().map(|&q| stats::percentile_sorted(&rrs, q)).collect();
     Ok((RegretReport { arr, vrr, std_dev: vrr.sqrt(), mrr }, pct))
 }

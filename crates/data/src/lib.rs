@@ -15,12 +15,14 @@
 
 pub mod csv;
 pub mod nba;
+pub mod ops;
 pub mod registry;
 pub mod synthetic;
 pub mod yahoo;
 
 pub use csv::{read_csv, write_csv};
 pub use nba::{roster, roster_with_size, Archetype, Roster, ROSTER_DIMS, ROSTER_SIZE};
+pub use ops::{parse_update_ops, read_update_ops, UpdateOp};
 pub use registry::{simulated, simulated_with_size, RealDataset};
 pub use synthetic::{synthetic, Correlation};
 pub use yahoo::{ratings as yahoo_ratings, YahooConfig, YAHOO_CATALOGUE};

@@ -1,0 +1,187 @@
+//! The update-op stream format shared by `fam replay` and the serving
+//! layer's `POST /update` endpoint.
+//!
+//! One op per line:
+//!
+//! ```text
+//! insert,c0,c1,...    (alias: +,c0,c1,...)
+//! delete,IDX          (alias: -,IDX)
+//! ```
+//!
+//! Blank lines and `#` comments are skipped. Delete indices refer to the
+//! point set at the start of the batch the op lands in; inserted
+//! coordinates must be finite and match the dataset dimensionality —
+//! validated *here*, so a malformed stream is rejected with a precise
+//! [`FamError::Parse`] (source + 1-based line number) before any
+//! coordinates reach `ScoreMatrix::insert_points` or abort a long-lived
+//! server worker.
+
+use std::path::Path;
+
+use fam_core::{FamError, Result};
+
+/// One parsed update operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Insert a point with the given coordinates (dataset dimensionality).
+    Insert(Vec<f64>),
+    /// Delete the point at this index (pre-batch indexing, swap-remove
+    /// order).
+    Delete(usize),
+}
+
+/// Parses an update-op stream. `dim` is the dataset dimensionality every
+/// insert must match; `source` labels the stream in errors (a file path,
+/// or e.g. "request body").
+///
+/// # Errors
+///
+/// Returns [`FamError::Parse`] with `source` and the 1-based line number
+/// for empty or unknown op kinds, wrong arity, unparsable or non-finite
+/// coordinates, and malformed delete indices.
+pub fn parse_update_ops(text: &str, dim: usize, source: &str) -> Result<Vec<UpdateOp>> {
+    let mut ops = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let mut fields = line.split(',');
+        // `split` yields at least one field even on an empty string, so
+        // this `next()` cannot fail — but the field itself can be blank
+        // (a line like `,1,2`), which must be a parse error, not a panic
+        // or a silent fall-through.
+        let kind = fields.next().unwrap_or("").trim();
+        match kind {
+            "insert" | "+" => {
+                let mut coords = Vec::with_capacity(dim);
+                for f in fields {
+                    let f = f.trim();
+                    let c: f64 = f.parse().map_err(|_| {
+                        FamError::parse(source, lineno, format!("`{f}` is not a coordinate"))
+                    })?;
+                    if !c.is_finite() {
+                        return Err(FamError::parse(
+                            source,
+                            lineno,
+                            format!("non-finite coordinate `{f}`"),
+                        ));
+                    }
+                    coords.push(c);
+                }
+                if coords.len() != dim {
+                    return Err(FamError::parse(
+                        source,
+                        lineno,
+                        format!("expected {dim} coordinates, got {}", coords.len()),
+                    ));
+                }
+                ops.push(UpdateOp::Insert(coords));
+            }
+            "delete" | "-" => {
+                let idx = fields
+                    .next()
+                    .ok_or_else(|| FamError::parse(source, lineno, "delete needs an index"))?
+                    .trim();
+                let idx = idx.parse().map_err(|_| {
+                    FamError::parse(source, lineno, format!("`{idx}` is not an index"))
+                })?;
+                if fields.next().is_some() {
+                    return Err(FamError::parse(source, lineno, "delete takes exactly one index"));
+                }
+                ops.push(UpdateOp::Delete(idx));
+            }
+            "" => {
+                return Err(FamError::parse(source, lineno, "empty op kind (insert|delete)"));
+            }
+            other => {
+                return Err(FamError::parse(
+                    source,
+                    lineno,
+                    format!("unknown op `{other}` (insert|delete)"),
+                ));
+            }
+        }
+    }
+    Ok(ops)
+}
+
+/// Reads and parses an update-op stream from a file; errors carry the
+/// file path as their source.
+///
+/// # Errors
+///
+/// Returns [`FamError::Parse`] for unreadable files (line 0) and for any
+/// malformed line, as [`parse_update_ops`].
+pub fn read_update_ops(path: &Path, dim: usize) -> Result<Vec<UpdateOp>> {
+    let source = path.display().to_string();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| FamError::parse(&source, 0, format!("cannot read: {e}")))?;
+    parse_update_ops(&text, dim, &source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_spellings_and_skips_noise() {
+        let text = "# header\n\ninsert,0.5,0.25\n+, 1.0 , 2.0 \ndelete,7\n-,0\n";
+        let ops = parse_update_ops(text, 2, "test").unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                UpdateOp::Insert(vec![0.5, 0.25]),
+                UpdateOp::Insert(vec![1.0, 2.0]),
+                UpdateOp::Delete(7),
+                UpdateOp::Delete(0),
+            ]
+        );
+        assert!(parse_update_ops("", 2, "test").unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors_carry_source_and_line() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("teleport,1,2\n", 1, "unknown op `teleport`"),
+            ("# ok\ninsert,0.5\n", 2, "expected 2 coordinates, got 1"),
+            ("insert,0.5,0.1,0.2\n", 1, "expected 2 coordinates, got 3"),
+            ("insert,0.5,abc\n", 1, "`abc` is not a coordinate"),
+            ("insert,0.5,NaN\n", 1, "non-finite coordinate `NaN`"),
+            ("insert,inf,1.0\n", 1, "non-finite coordinate `inf`"),
+            ("delete\n", 1, "delete needs an index"),
+            ("delete,notanumber\n", 1, "`notanumber` is not an index"),
+            ("delete,-3\n", 1, "`-3` is not an index"),
+            ("delete,1,2\n", 1, "delete takes exactly one index"),
+            (",1,2\n", 1, "empty op kind"),
+            ("insert,1,2\n\n   \ndelete,x\n", 4, "`x` is not an index"),
+        ];
+        for (text, line, needle) in cases {
+            match parse_update_ops(text, 2, "ops.csv") {
+                Err(FamError::Parse { source, line: got, message }) => {
+                    assert_eq!(source, "ops.csv", "{text:?}");
+                    assert_eq!(got, *line, "{text:?}");
+                    assert!(message.contains(needle), "{text:?}: {message:?}");
+                }
+                other => panic!("{text:?}: expected a parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn read_wraps_io_and_parse_errors_with_the_path() {
+        let missing = Path::new("/definitely/not/here.csv");
+        let err = read_update_ops(missing, 2).unwrap_err();
+        assert!(err.to_string().contains("not/here.csv"), "{err}");
+
+        let mut p = std::env::temp_dir();
+        p.push(format!("fam_ops_{}.csv", std::process::id()));
+        std::fs::write(&p, "insert,0.1,0.2\nwarp,1\n").unwrap();
+        let err = read_update_ops(&p, 2).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains("warp"), "{msg}");
+        assert_eq!(read_update_ops(&p, 2).unwrap_err(), err);
+        std::fs::remove_file(&p).ok();
+    }
+}

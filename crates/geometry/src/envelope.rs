@@ -40,9 +40,7 @@ impl Envelope {
         // Deduplicated skyline, ordered by first coordinate descending.
         let sky = skyline_2d(dataset);
         let mut ordered: Vec<usize> = sky;
-        ordered.sort_by(|&a, &b| {
-            dataset.point(b)[0].partial_cmp(&dataset.point(a)[0]).expect("finite coords")
-        });
+        ordered.sort_by(|&a, &b| dataset.point(b)[0].total_cmp(&dataset.point(a)[0]));
         ordered.dedup_by(|&mut a, &mut b| dataset.point(a) == dataset.point(b));
 
         // Convex chain: keep only points on the upper-right hull.

@@ -44,7 +44,7 @@ pub fn skyline_bnl(dataset: &Dataset) -> Vec<usize> {
 pub fn skyline_sfs(dataset: &Dataset) -> Vec<usize> {
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     let sums: Vec<f64> = dataset.points().map(|p| p.iter().sum()).collect();
-    order.sort_by(|&a, &b| sums[b].partial_cmp(&sums[a]).expect("finite sums"));
+    order.sort_by(|&a, &b| sums[b].total_cmp(&sums[a]));
     let mut window: Vec<usize> = Vec::new();
     'outer: for &i in &order {
         let p = dataset.point(i);
@@ -72,10 +72,7 @@ pub fn skyline_2d(dataset: &Dataset) -> Vec<usize> {
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     order.sort_by(|&a, &b| {
         let (pa, pb) = (dataset.point(a), dataset.point(b));
-        pb[0]
-            .partial_cmp(&pa[0])
-            .expect("finite coords")
-            .then(pb[1].partial_cmp(&pa[1]).expect("finite coords"))
+        pb[0].total_cmp(&pa[0]).then(pb[1].total_cmp(&pa[1]))
     });
     let mut result = Vec::new();
     let mut best_y = f64::NEG_INFINITY;

@@ -352,7 +352,7 @@ mod tests {
             Gmm::fit(&data, GmmConfig { n_components: 2, ..Default::default() }, &mut rng).unwrap();
         let comps = fit.gmm.components();
         let mut means: Vec<f64> = comps.iter().map(|c| c.mean[0]).collect();
-        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        means.sort_by(f64::total_cmp);
         assert!(means[0].abs() < 0.5, "first mean {means:?}");
         assert!((means[1] - 5.0).abs() < 0.5, "second mean {means:?}");
         for c in comps {

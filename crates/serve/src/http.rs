@@ -1,0 +1,226 @@
+//! A deliberately small HTTP/1.1 layer over `std::net` — just enough for
+//! the serving endpoints, with hard limits so a malformed or hostile
+//! client cannot wedge a worker: bounded header and body sizes, read
+//! timeouts, `Connection: close` semantics on every response.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Maximum bytes of request body (`POST /update` op streams).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Per-`read` timeout on the socket.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Hard wall-clock budget for receiving one complete request. The
+/// per-`read` timeout alone would let a client drip one byte every few
+/// seconds and hold a worker for hours; past this deadline the worker
+/// drops the connection regardless of progress.
+pub const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+/// Per-`write` timeout on the socket — a client that never drains its
+/// response cannot block a worker in `write_all` forever.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the client per RFC; not normalized).
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/solve`.
+    pub path: String,
+    /// Decoded query parameters (later duplicates win).
+    pub query: BTreeMap<String, String>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: String,
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Decodes `%XX` escapes and `+` (as space) in a URL component; invalid
+/// escapes pass through literally.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into path and decoded query map.
+pub fn parse_target(target: &str) -> (String, BTreeMap<String, String>) {
+    let (path, qs) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(percent_decode(k), percent_decode(v));
+    }
+    (percent_decode(path), query)
+}
+
+/// Reads and parses one request from the stream.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed or over-limit requests and plain
+/// I/O errors (including timeouts) for truncated ones.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let started = std::time::Instant::now();
+    let deadline = |started: std::time::Instant| -> std::io::Result<()> {
+        if started.elapsed() > REQUEST_DEADLINE {
+            Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "request deadline exceeded"))
+        } else {
+            Ok(())
+        }
+    };
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+        deadline(started)?;
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if !m.is_empty() && v.starts_with("HTTP/1.") => (m, t, v),
+        _ => return Err(bad(format!("malformed request line `{request_line}`"))),
+    };
+    let _ = version;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("bad content-length `{}`", value.trim())))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("request body too large"));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        deadline(started)?;
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
+    let (path, query) = parse_target(target);
+    Ok(Request { method: method.to_string(), path, query, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete response and flushes; the connection is then closed
+/// by the caller (we always answer `Connection: close`).
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_percent_and_plus() {
+        assert_eq!(percent_decode("a%2Cb+c"), "a,b c");
+        assert_eq!(percent_decode("no-escape"), "no-escape");
+        assert_eq!(percent_decode("bad%zz%2"), "bad%zz%2");
+        assert_eq!(percent_decode("%41%42"), "AB");
+    }
+
+    #[test]
+    fn splits_target_into_path_and_query() {
+        let (path, q) = parse_target("/solve?dataset=hotels&k=3&algo=add-greedy");
+        assert_eq!(path, "/solve");
+        assert_eq!(q.get("dataset").map(String::as_str), Some("hotels"));
+        assert_eq!(q.get("k").map(String::as_str), Some("3"));
+        assert_eq!(q.get("algo").map(String::as_str), Some("add-greedy"));
+
+        let (path, q) = parse_target("/datasets");
+        assert_eq!(path, "/datasets");
+        assert!(q.is_empty());
+
+        let (_, q) = parse_target("/x?flag&k=1&k=2&sel=1%2C2");
+        assert_eq!(q.get("flag").map(String::as_str), Some(""));
+        assert_eq!(q.get("k").map(String::as_str), Some("2"));
+        assert_eq!(q.get("sel").map(String::as_str), Some("1,2"));
+    }
+
+    #[test]
+    fn finds_head_terminator() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,160 @@
+//! Hand-rolled JSON emission — the offline dependency set has no serde,
+//! and the handful of response shapes the server speaks do not need one.
+//!
+//! Floats are formatted with `f64`'s `Display`, which prints the shortest
+//! decimal that round-trips to the same bits — so a client parsing an
+//! `arr` back with `str::parse::<f64>()` recovers the bit-identical
+//! value. The serving layer's cache-equivalence contract (cached answers
+//! indistinguishable from cold solves) leans on this.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a `usize` slice as a JSON array of numbers.
+pub fn array_usize(v: &[usize]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+    out
+}
+
+/// Incremental JSON object builder.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Obj { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn num(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field (shortest round-trip formatting; non-finite
+    /// values are emitted as `null`, which JSON numbers cannot carry).
+    #[must_use]
+    pub fn float(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (array or object) verbatim.
+    #[must_use]
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Closes the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Renders a list of pre-rendered JSON values as an array.
+pub fn array_raw(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn builds_nested_objects() {
+        let inner = Obj::new().num("added", 2).build();
+        let out = Obj::new()
+            .str("name", "hotels")
+            .num("n", 42)
+            .float("arr", 0.125)
+            .bool("cached", true)
+            .raw("selection", &array_usize(&[1, 5, 9]))
+            .raw("repair", &inner)
+            .build();
+        assert_eq!(
+            out,
+            "{\"name\":\"hotels\",\"n\":42,\"arr\":0.125,\"cached\":true,\
+             \"selection\":[1,5,9],\"repair\":{\"added\":2}}"
+        );
+        assert_eq!(Obj::new().build(), "{}");
+        assert_eq!(array_usize(&[]), "[]");
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 123_456.789e-30] {
+            let body = Obj::new().float("x", v).build();
+            let text = body.trim_start_matches("{\"x\":").trim_end_matches('}');
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via {text}");
+        }
+        assert_eq!(Obj::new().float("x", f64::NAN).build(), "{\"x\":null}");
+    }
+}

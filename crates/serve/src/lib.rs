@@ -1,0 +1,44 @@
+//! # fam-serve
+//!
+//! A dependency-free concurrent serving layer over the FAM engine: one
+//! process hosts **multiple named datasets**, each owning a resident
+//! [`DynamicEngine`](fam_core::DynamicEngine) behind an `RwLock`, and
+//! answers regret-minimizing-set queries over HTTP/1.1 (std
+//! `TcpListener`, fixed pool of scoped worker threads — no async runtime,
+//! no external crates).
+//!
+//! * [`DatasetService`] — per-dataset state: the sampled user population,
+//!   the live score matrix + warm-repaired resident selection, and a
+//!   **multi-`k` result cache** harvested in one greedy trajectory per
+//!   algorithm (`fam_algos::trajectory`), bit-identical to per-`k` cold
+//!   solves and re-harvested after every update;
+//! * [`Server`] / [`ServerHandle`] — the listener, worker pool, routing,
+//!   and graceful shutdown;
+//! * [`http`] / [`json`] — the minimal protocol layers.
+//!
+//! ```no_run
+//! use fam_core::Dataset;
+//! use fam_serve::{DatasetService, ServeOptions, Server};
+//!
+//! let ds = Dataset::from_rows(vec![vec![0.9, 0.2], vec![0.4, 0.8], vec![0.1, 0.95]]).unwrap();
+//! let opts = ServeOptions { cache_k: 1..=2, ..Default::default() };
+//! let svc = DatasetService::build("hotels", &ds, &opts).unwrap();
+//! let server = Server::bind(("127.0.0.1", 0), vec![svc], 4).unwrap();
+//! println!("listening on http://{}", server.local_addr());
+//! server.run(); // blocks until a `ServerHandle::shutdown`
+//! ```
+//!
+//! The CLI front end is `fam serve --data a.csv --data b.csv --port P
+//! --cache-k 1..K`; `crates/bench/benches/serve.rs` measures cached vs
+//! uncached throughput and readers-during-writes (`BENCH_serve.json`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod service;
+
+pub use server::{Server, ServerHandle, DEFAULT_WORKERS};
+pub use service::{DatasetService, DistKind, ServeOptions, SolveAlgo, SolveResult, UpdateSummary};

@@ -1,0 +1,431 @@
+//! The HTTP server: a fixed pool of scoped worker threads over one
+//! shared `TcpListener`, hosting many named [`DatasetService`]s, each
+//! behind its own `RwLock` — concurrent `solve`/`evaluate` readers per
+//! dataset, exclusive `update` writers, and no cross-dataset contention.
+//!
+//! # Endpoints
+//!
+//! | route | method | query / body |
+//! |---|---|---|
+//! | `/datasets` | GET | — |
+//! | `/solve` | GET | `dataset`, `k`, `algo` (`add-greedy`\|`greedy-shrink`, default `add-greedy`) |
+//! | `/evaluate` | GET | `dataset`, `selection` (comma-separated indices) |
+//! | `/update` | POST | `dataset`; body = op stream (`insert,c0,..` / `delete,IDX`) |
+//! | `/stats` | GET | — |
+//!
+//! Every response is JSON with `Connection: close`. Client mistakes map
+//! to 400 (404 for an unknown dataset or route, 405 for a wrong method);
+//! a handler panic is caught and answered with 500 instead of killing
+//! the worker.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use fam_core::FamError;
+
+use crate::http::{read_request, write_response, Request};
+use crate::json::{array_raw, array_usize, Obj};
+use crate::service::{DatasetService, SolveAlgo};
+
+/// Default worker-pool size.
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Per-dataset request counters (lock-free; incremented outside the
+/// dataset's `RwLock`).
+#[derive(Debug, Default)]
+pub struct DatasetStats {
+    solve: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    evaluate: AtomicU64,
+    updates: AtomicU64,
+    rejected: AtomicU64,
+}
+
+struct DatasetSlot {
+    service: RwLock<DatasetService>,
+    stats: DatasetStats,
+}
+
+struct ServerState {
+    datasets: BTreeMap<String, DatasetSlot>,
+    workers: usize,
+    started: Instant,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+/// Clonable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks every worker to exit after its current request; returns once
+    /// the flag is set (workers drain asynchronously — `Server::run`
+    /// returns when they are all done).
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Each idle worker is parked in `accept`; one dummy connection
+        // per worker wakes them all. Workers mid-request re-check the
+        // flag when they loop.
+        for _ in 0..self.state.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener and seats the datasets. Port 0 picks a free
+    /// port (see [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns bind errors, an empty dataset list, or duplicate names as
+    /// `std::io::Error`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        services: Vec<DatasetService>,
+        workers: usize,
+    ) -> std::io::Result<Server> {
+        if services.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "at least one dataset is required",
+            ));
+        }
+        let mut datasets = BTreeMap::new();
+        for svc in services {
+            let name = svc.name().to_string();
+            let slot = DatasetSlot { service: RwLock::new(svc), stats: DatasetStats::default() };
+            if datasets.insert(name.clone(), slot).is_some() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("duplicate dataset name `{name}`"),
+                ));
+            }
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            datasets,
+            workers: workers.max(1),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server { listener, addr, state })
+    }
+
+    /// The bound address (resolves port 0 to the assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { addr: self.addr, state: Arc::clone(&self.state) }
+    }
+
+    /// Runs the worker pool until [`ServerHandle::shutdown`]; each worker
+    /// accepts and serves connections independently (blocking `accept` is
+    /// thread-safe on one shared listener).
+    pub fn run(self) {
+        let state = &self.state;
+        let listener = &self.listener;
+        std::thread::scope(|s| {
+            for _ in 0..state.workers {
+                s.spawn(move || worker_loop(state, listener));
+            }
+        });
+    }
+}
+
+fn worker_loop(state: &ServerState, listener: &TcpListener) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                continue;
+            }
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            return; // dummy wake-up connection from `shutdown`
+        }
+        serve_connection(state, stream);
+    }
+}
+
+fn serve_connection(state: &ServerState, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            let body = Obj::new().str("error", &e.to_string()).build();
+            let _ = write_response(&mut stream, 400, &body);
+            return;
+        }
+        Err(_) => return, // truncated / timed out: nothing to answer
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    // A panicking handler must cost one 500 response, not a pool worker.
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(state, &request)));
+    let (status, body) = out.unwrap_or_else(|_| {
+        (500, Obj::new().str("error", "internal error (handler panicked)").build())
+    });
+    let _ = write_response(&mut stream, status, &body);
+}
+
+/// Every `FamError` a handler can surface today is triggered by client
+/// input (malformed op streams, invalid `k`/selections), so they all
+/// answer 400 with the error text; genuinely internal failures are the
+/// panic path (500) in [`serve_connection`].
+fn client_error(e: &FamError) -> (u16, String) {
+    (400, Obj::new().str("error", &e.to_string()).build())
+}
+
+fn route(state: &ServerState, req: &Request) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/") | ("GET", "/help") => (
+            200,
+            Obj::new()
+                .raw(
+                    "endpoints",
+                    "[\"GET /datasets\",\"GET /solve?dataset=..&k=..&algo=..\",\
+                     \"GET /evaluate?dataset=..&selection=i,j,k\",\
+                     \"POST /update?dataset=..\",\"GET /stats\"]",
+                )
+                .build(),
+        ),
+        ("GET", "/datasets") => list_datasets(state),
+        ("GET", "/solve") => solve(state, req),
+        ("GET", "/evaluate") => evaluate(state, req),
+        ("POST", "/update") => update(state, req),
+        ("GET", "/stats") => stats(state),
+        (_, "/datasets" | "/solve" | "/evaluate" | "/update" | "/stats" | "/") => {
+            (405, Obj::new().str("error", "method not allowed").build())
+        }
+        _ => (404, Obj::new().str("error", format!("no route `{}`", req.path).as_str()).build()),
+    }
+}
+
+/// Looks a dataset up, or answers 404.
+fn slot<'s>(state: &'s ServerState, req: &Request) -> Result<&'s DatasetSlot, (u16, String)> {
+    let name = req.query.get("dataset").map(String::as_str).unwrap_or("");
+    if name.is_empty() {
+        return Err((400, Obj::new().str("error", "missing `dataset` parameter").build()));
+    }
+    state.datasets.get(name).ok_or_else(|| {
+        (404, Obj::new().str("error", format!("unknown dataset `{name}`").as_str()).build())
+    })
+}
+
+fn dataset_summary(name: &str, svc: &DatasetService) -> String {
+    Obj::new()
+        .str("name", name)
+        .num("n_points", svc.n_points() as u64)
+        .num("n_samples", svc.n_samples() as u64)
+        .num("dim", svc.dim() as u64)
+        .raw("cache_k", &format!("[{},{}]", svc.cache_k().start(), svc.cache_k().end()))
+        .num("updates", svc.updates())
+        .float("resident_arr", svc.resident_arr())
+        .raw("resident_selection", &array_usize(&svc.resident_selection()))
+        .build()
+}
+
+fn list_datasets(state: &ServerState) -> (u16, String) {
+    let mut items = Vec::with_capacity(state.datasets.len());
+    for (name, ds) in &state.datasets {
+        match ds.service.read() {
+            Ok(svc) => items.push(dataset_summary(name, &svc)),
+            Err(_) => return poisoned(),
+        }
+    }
+    (200, Obj::new().raw("datasets", &array_raw(&items)).build())
+}
+
+fn solve(state: &ServerState, req: &Request) -> (u16, String) {
+    let ds = match slot(state, req) {
+        Ok(ds) => ds,
+        Err(e) => return e,
+    };
+    let k: usize = match req.query.get("k").map(|v| v.parse()) {
+        Some(Ok(k)) => k,
+        _ => return (400, Obj::new().str("error", "missing or malformed `k`").build()),
+    };
+    let algo_name = req.query.get("algo").map(String::as_str).unwrap_or("add-greedy");
+    let Some(algo) = SolveAlgo::parse(algo_name) else {
+        return (
+            400,
+            Obj::new()
+                .str(
+                    "error",
+                    format!("unknown algo `{algo_name}` (add-greedy|greedy-shrink)").as_str(),
+                )
+                .build(),
+        );
+    };
+    ds.stats.solve.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let svc = match ds.service.read() {
+        Ok(svc) => svc,
+        Err(_) => return poisoned(),
+    };
+    match svc.solve(algo, k) {
+        Ok((res, cached)) => {
+            let counter = if cached { &ds.stats.cache_hits } else { &ds.stats.cache_misses };
+            counter.fetch_add(1, Ordering::Relaxed);
+            let body = Obj::new()
+                .str("dataset", svc.name())
+                .str("algo", algo.name())
+                .num("k", k as u64)
+                .bool("cached", cached)
+                .raw("selection", &array_usize(&res.indices))
+                .float("arr", res.arr)
+                .num("micros", t0.elapsed().as_micros() as u64)
+                .build();
+            (200, body)
+        }
+        Err(e) => {
+            ds.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            client_error(&e)
+        }
+    }
+}
+
+fn evaluate(state: &ServerState, req: &Request) -> (u16, String) {
+    let ds = match slot(state, req) {
+        Ok(ds) => ds,
+        Err(e) => return e,
+    };
+    let raw = req.query.get("selection").map(String::as_str).unwrap_or("");
+    let indices: Result<Vec<usize>, _> =
+        raw.split(',').filter(|s| !s.is_empty()).map(|s| s.trim().parse::<usize>()).collect();
+    let Ok(indices) = indices else {
+        return (400, Obj::new().str("error", "malformed `selection` (want i,j,k)").build());
+    };
+    if indices.is_empty() {
+        return (400, Obj::new().str("error", "missing `selection` parameter").build());
+    }
+    ds.stats.evaluate.fetch_add(1, Ordering::Relaxed);
+    let svc = match ds.service.read() {
+        Ok(svc) => svc,
+        Err(_) => return poisoned(),
+    };
+    match svc.evaluate(&indices) {
+        Ok(rep) => (
+            200,
+            Obj::new()
+                .str("dataset", svc.name())
+                .raw("selection", &array_usize(&indices))
+                .float("arr", rep.arr)
+                .float("vrr", rep.vrr)
+                .float("std_dev", rep.std_dev)
+                .float("mrr", rep.mrr)
+                .build(),
+        ),
+        Err(e) => {
+            ds.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            client_error(&e)
+        }
+    }
+}
+
+fn update(state: &ServerState, req: &Request) -> (u16, String) {
+    let ds = match slot(state, req) {
+        Ok(ds) => ds,
+        Err(e) => return e,
+    };
+    let t0 = Instant::now();
+    let mut svc = match ds.service.write() {
+        Ok(svc) => svc,
+        Err(_) => return poisoned(),
+    };
+    match svc.apply_update_text(&req.body, "request body") {
+        Ok(summary) => {
+            ds.stats.updates.fetch_add(1, Ordering::Relaxed);
+            let r = &summary.report;
+            let body = Obj::new()
+                .str("dataset", svc.name())
+                .num("inserted", r.inserted as u64)
+                .num("deleted", r.deleted as u64)
+                .num("n_points", r.n_points as u64)
+                .raw("resident_selection", &array_usize(&r.selection))
+                .float("resident_arr", r.arr)
+                .num("kept", r.kept.len() as u64)
+                .raw(
+                    "repair",
+                    &Obj::new()
+                        .num("added", r.repair.added as u64)
+                        .num("removed", r.repair.removed as u64)
+                        .num("evaluations", r.repair.evaluations)
+                        .num("resumed_rescans", r.resumed_rescans)
+                        .build(),
+                )
+                .num("cache_entries", summary.cache_entries as u64)
+                .num("micros", t0.elapsed().as_micros() as u64)
+                .build();
+            (200, body)
+        }
+        Err(e) => {
+            ds.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            client_error(&e)
+        }
+    }
+}
+
+fn stats(state: &ServerState) -> (u16, String) {
+    let mut items = Vec::with_capacity(state.datasets.len());
+    for (name, ds) in &state.datasets {
+        let (n_points, updates) = match ds.service.read() {
+            Ok(svc) => (svc.n_points(), svc.updates()),
+            Err(_) => return poisoned(),
+        };
+        items.push(
+            Obj::new()
+                .str("name", name)
+                .num("n_points", n_points as u64)
+                .num("solve_requests", ds.stats.solve.load(Ordering::Relaxed))
+                .num("cache_hits", ds.stats.cache_hits.load(Ordering::Relaxed))
+                .num("cache_misses", ds.stats.cache_misses.load(Ordering::Relaxed))
+                .num("evaluate_requests", ds.stats.evaluate.load(Ordering::Relaxed))
+                .num("updates", updates)
+                .num("rejected", ds.stats.rejected.load(Ordering::Relaxed))
+                .build(),
+        );
+    }
+    let body = Obj::new()
+        .num("uptime_ms", state.started.elapsed().as_millis() as u64)
+        .num("requests", state.requests.load(Ordering::Relaxed))
+        .num("workers", state.workers as u64)
+        .raw("datasets", &array_raw(&items))
+        .build();
+    (200, body)
+}
+
+fn poisoned() -> (u16, String) {
+    (500, Obj::new().str("error", "dataset lock poisoned").build())
+}

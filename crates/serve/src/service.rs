@@ -1,0 +1,465 @@
+//! Per-dataset serving state: one resident [`DynamicEngine`] plus a
+//! multi-`k` result cache.
+//!
+//! The cache holds the solutions for every `(algorithm, k)` in the
+//! configured `cache_k` range, harvested in one greedy trajectory per
+//! algorithm (`fam_algos::trajectory`). Harvested entries are
+//! **bit-identical** to cold per-`k` solves on the current database —
+//! pinned by the trajectory tests and re-pinned end-to-end over TCP by
+//! `tests/live_server.rs` — so a cached answer is indistinguishable from
+//! a fresh one. Updates (`POST /update`) apply atomically through the
+//! engine's warm-repair path and then re-harvest the cache on the updated
+//! matrix, keeping that equivalence across the database's whole lifetime.
+
+use std::collections::BTreeMap;
+use std::ops::RangeInclusive;
+use std::sync::Arc;
+
+use fam_algos::{
+    add_greedy, add_greedy_range, greedy_shrink, greedy_shrink_range, warm_repair,
+    GreedyShrinkConfig,
+};
+use fam_core::{
+    regret, ApplyReport, Dataset, DynamicEngine, FamError, RegretReport, Result, ScoreMatrix,
+    SimplexLinear, UniformLinear, UpdateBatch, UtilityDistribution, UtilityFunction,
+};
+use fam_data::UpdateOp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The utility distribution a dataset samples its user population from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistKind {
+    /// Independent uniform weights on `[0, 1]^d` ([`UniformLinear`]).
+    Uniform,
+    /// Uniform weights on the probability simplex ([`SimplexLinear`]).
+    Simplex,
+}
+
+impl DistKind {
+    /// Parses the CLI/HTTP spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "uniform" => Some(DistKind::Uniform),
+            "simplex" => Some(DistKind::Simplex),
+            _ => None,
+        }
+    }
+
+    fn build(self, dim: usize) -> Result<Box<dyn UtilityDistribution>> {
+        Ok(match self {
+            DistKind::Uniform => Box::new(UniformLinear::new(dim)?),
+            DistKind::Simplex => Box::new(SimplexLinear::new(dim)?),
+        })
+    }
+}
+
+/// The solvers the `/solve` endpoint speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SolveAlgo {
+    /// Insertion greedy (`fam_algos::add_greedy`).
+    AddGreedy,
+    /// The paper's GREEDY-SHRINK (`fam_algos::greedy_shrink`).
+    GreedyShrink,
+}
+
+impl SolveAlgo {
+    /// Every supported algorithm, in cache/report order.
+    pub const ALL: [SolveAlgo; 2] = [SolveAlgo::AddGreedy, SolveAlgo::GreedyShrink];
+
+    /// Parses the CLI/HTTP spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "add-greedy" => Some(SolveAlgo::AddGreedy),
+            "greedy-shrink" => Some(SolveAlgo::GreedyShrink),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveAlgo::AddGreedy => "add-greedy",
+            SolveAlgo::GreedyShrink => "greedy-shrink",
+        }
+    }
+}
+
+/// How a dataset samples its user population and what it caches.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Number of sampled utility functions (`N`).
+    pub samples: usize,
+    /// RNG seed for the population sample (a fixed seed makes two
+    /// services built from the same dataset bit-identical replicas).
+    pub seed: u64,
+    /// Utility distribution family.
+    pub dist: DistKind,
+    /// The `k` range whose solutions are cached (and re-harvested after
+    /// every update). The engine's resident selection is maintained at
+    /// `*cache_k.end()`.
+    pub cache_k: RangeInclusive<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { samples: 2_000, seed: 42, dist: DistKind::Uniform, cache_k: 1..=10 }
+    }
+}
+
+/// One cached (or freshly computed) solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResult {
+    /// Selected point indices, sorted ascending.
+    pub indices: Vec<usize>,
+    /// The solver's `arr` estimate at termination.
+    pub arr: f64,
+}
+
+/// Summary of one applied update, as reported to clients.
+#[derive(Debug, Clone)]
+pub struct UpdateSummary {
+    /// The engine's report for the batch.
+    pub report: ApplyReport,
+    /// Cache entries re-harvested on the updated database.
+    pub cache_entries: usize,
+}
+
+/// A named dataset being served: sampled population, resident engine,
+/// multi-`k` cache.
+pub struct DatasetService {
+    name: String,
+    dim: usize,
+    functions: Vec<Arc<dyn UtilityFunction>>,
+    engine: DynamicEngine,
+    cache: BTreeMap<(SolveAlgo, usize), SolveResult>,
+    cache_k: RangeInclusive<usize>,
+    updates: u64,
+}
+
+fn build_cache(
+    m: &ScoreMatrix,
+    ks: &RangeInclusive<usize>,
+) -> Result<BTreeMap<(SolveAlgo, usize), SolveResult>> {
+    let mut cache = BTreeMap::new();
+    let grown = add_greedy_range(m, ks.clone())?;
+    let shrunk = greedy_shrink_range(m, ks.clone())?;
+    for (i, sel) in grown.into_iter().enumerate() {
+        let arr = sel.objective.unwrap_or(f64::NAN);
+        cache.insert(
+            (SolveAlgo::AddGreedy, ks.start() + i),
+            SolveResult { indices: sel.indices, arr },
+        );
+    }
+    for (i, sel) in shrunk.into_iter().enumerate() {
+        let arr = sel.objective.unwrap_or(f64::NAN);
+        cache.insert(
+            (SolveAlgo::GreedyShrink, ks.start() + i),
+            SolveResult { indices: sel.indices, arr },
+        );
+    }
+    Ok(cache)
+}
+
+impl DatasetService {
+    /// Samples the user population, scores the dataset, harvests the
+    /// multi-`k` cache, and seats the resident engine at
+    /// `*opts.cache_k.end()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid cache range (zero start, empty, or
+    /// end exceeding the dataset size), an empty dataset, or scoring
+    /// failures.
+    pub fn build(name: &str, dataset: &Dataset, opts: &ServeOptions) -> Result<Self> {
+        let (lo, hi) = (*opts.cache_k.start(), *opts.cache_k.end());
+        if lo == 0 || lo > hi || hi > dataset.len() {
+            return Err(FamError::InvalidParameter {
+                name: "cache_k",
+                message: format!(
+                    "cache range {lo}..={hi} invalid for dataset `{name}` of {} points",
+                    dataset.len()
+                ),
+            });
+        }
+        if opts.samples == 0 {
+            return Err(FamError::InvalidParameter {
+                name: "samples",
+                message: "at least one utility sample is required".into(),
+            });
+        }
+        let dist = opts.dist.build(dataset.dim())?;
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let functions: Vec<Arc<dyn UtilityFunction>> =
+            (0..opts.samples).map(|_| dist.sample(&mut rng)).collect();
+        let matrix = ScoreMatrix::from_functions(dataset, &functions, None)?;
+        let cache = build_cache(&matrix, &opts.cache_k)?;
+        let initial = cache[&(SolveAlgo::AddGreedy, hi)].indices.clone();
+        let engine = DynamicEngine::new(matrix, hi, &initial)?;
+        Ok(DatasetService {
+            name: name.to_string(),
+            dim: dataset.dim(),
+            functions,
+            engine,
+            cache,
+            cache_k: opts.cache_k.clone(),
+            updates: 0,
+        })
+    }
+
+    /// The dataset's serving name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Point dimensionality (inserts must match it).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Current number of points.
+    pub fn n_points(&self) -> usize {
+        self.engine.matrix().n_points()
+    }
+
+    /// Size of the sampled user population.
+    pub fn n_samples(&self) -> usize {
+        self.engine.matrix().n_samples()
+    }
+
+    /// The cached `k` range.
+    pub fn cache_k(&self) -> &RangeInclusive<usize> {
+        &self.cache_k
+    }
+
+    /// Updates applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The resident warm-repaired selection (maintained at the top of the
+    /// cache range).
+    pub fn resident_selection(&self) -> Vec<usize> {
+        self.engine.selection()
+    }
+
+    /// `arr` of the resident selection.
+    pub fn resident_arr(&self) -> f64 {
+        self.engine.arr()
+    }
+
+    /// The live score matrix (read-only; tests compare cold solves on it).
+    pub fn matrix(&self) -> &ScoreMatrix {
+        self.engine.matrix()
+    }
+
+    /// Answers `solve(algo, k)`: from the cache when `k` is in the cached
+    /// range (`true` in the second slot), by a cold solve on the resident
+    /// matrix otherwise. Both paths produce bit-identical results for the
+    /// same `(algo, k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `k` is invalid for the current database.
+    pub fn solve(&self, algo: SolveAlgo, k: usize) -> Result<(SolveResult, bool)> {
+        if let Some(hit) = self.cache.get(&(algo, k)) {
+            return Ok((hit.clone(), true));
+        }
+        let m = self.engine.matrix();
+        let sel = match algo {
+            SolveAlgo::AddGreedy => add_greedy(m, k)?,
+            SolveAlgo::GreedyShrink => greedy_shrink(m, GreedyShrinkConfig::new(k))?.selection,
+        };
+        let arr = sel.objective.unwrap_or(f64::NAN);
+        Ok((SolveResult { indices: sel.indices, arr }, false))
+    }
+
+    /// Evaluates an explicit selection against the resident matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-bounds or duplicate indices.
+    pub fn evaluate(&self, selection: &[usize]) -> Result<RegretReport> {
+        regret::report(self.engine.matrix(), selection)
+    }
+
+    /// Applies a parsed op stream as one atomic batch — deletes index the
+    /// pre-batch point set, inserts are scored under the dataset's
+    /// resident user population — then re-harvests the cache on the
+    /// updated database.
+    ///
+    /// # Errors
+    ///
+    /// Returns engine validation errors (out-of-bounds deletes, a batch
+    /// that would leave fewer than the cached maximum `k` points) with
+    /// nothing applied, or repair/harvest errors.
+    pub fn apply_ops(&mut self, ops: &[UpdateOp]) -> Result<UpdateSummary> {
+        let mut batch = UpdateBatch::default();
+        for op in ops {
+            match op {
+                UpdateOp::Insert(coords) => batch
+                    .insert
+                    .push(self.functions.iter().map(|f| f.utility(usize::MAX, coords)).collect()),
+                UpdateOp::Delete(idx) => batch.delete.push(*idx),
+            }
+        }
+        let report = self.engine.apply_with(&batch, warm_repair)?;
+        self.cache = build_cache(self.engine.matrix(), &self.cache_k)?;
+        self.updates += 1;
+        Ok(UpdateSummary { report, cache_entries: self.cache.len() })
+    }
+
+    /// Parses an op stream (`insert,c0,..` / `delete,IDX`, see
+    /// `fam_data::ops`) and applies it via [`DatasetService::apply_ops`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamError::Parse`] (with `source` and 1-based line) for
+    /// malformed streams — validated before anything mutates — or the
+    /// apply errors.
+    pub fn apply_update_text(&mut self, text: &str, source: &str) -> Result<UpdateSummary> {
+        let ops = fam_data::parse_update_ops(text, self.dim, source)?;
+        self.apply_ops(&ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fam_data::{synthetic, Correlation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(99);
+        synthetic(n, 3, Correlation::AntiCorrelated, &mut rng).unwrap()
+    }
+
+    fn options() -> ServeOptions {
+        ServeOptions { samples: 120, seed: 7, dist: DistKind::Uniform, cache_k: 1..=4 }
+    }
+
+    #[test]
+    fn build_populates_cache_for_both_algorithms() {
+        let svc = DatasetService::build("demo", &dataset(40), &options()).unwrap();
+        assert_eq!(svc.name(), "demo");
+        assert_eq!(svc.n_points(), 40);
+        assert_eq!(svc.n_samples(), 120);
+        assert_eq!(svc.dim(), 3);
+        assert_eq!(svc.resident_selection().len(), 4);
+        for algo in SolveAlgo::ALL {
+            for k in 1..=4 {
+                let (res, cached) = svc.solve(algo, k).unwrap();
+                assert!(cached, "{algo:?} k={k} should be cached");
+                assert_eq!(res.indices.len(), k);
+                assert!(res.arr.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_answers_equal_cold_solves_bitwise() {
+        let svc = DatasetService::build("demo", &dataset(35), &options()).unwrap();
+        for k in 1..=4 {
+            let (hit, cached) = svc.solve(SolveAlgo::AddGreedy, k).unwrap();
+            assert!(cached);
+            let cold = add_greedy(svc.matrix(), k).unwrap();
+            assert_eq!(hit.indices, cold.indices);
+            assert_eq!(hit.arr.to_bits(), cold.objective.unwrap().to_bits());
+
+            let (hit, cached) = svc.solve(SolveAlgo::GreedyShrink, k).unwrap();
+            assert!(cached);
+            let cold = greedy_shrink(svc.matrix(), GreedyShrinkConfig::new(k)).unwrap();
+            assert_eq!(hit.indices, cold.selection.indices);
+            assert_eq!(hit.arr.to_bits(), cold.selection.objective.unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn uncached_k_solves_cold() {
+        let svc = DatasetService::build("demo", &dataset(30), &options()).unwrap();
+        let (res, cached) = svc.solve(SolveAlgo::AddGreedy, 7).unwrap();
+        assert!(!cached);
+        assert_eq!(res.indices.len(), 7);
+        assert!(svc.solve(SolveAlgo::AddGreedy, 0).is_err());
+        assert!(svc.solve(SolveAlgo::GreedyShrink, 31).is_err());
+    }
+
+    #[test]
+    fn update_reharvests_bit_identical_cache() {
+        let mut svc = DatasetService::build("demo", &dataset(30), &options()).unwrap();
+        let summary = svc
+            .apply_update_text("insert,0.9,0.8,0.7\ndelete,3\ninsert,0.2,0.9,0.4\n", "test ops")
+            .unwrap();
+        assert_eq!(summary.report.inserted, 2);
+        assert_eq!(summary.report.deleted, 1);
+        assert_eq!(summary.cache_entries, 8);
+        assert_eq!(svc.updates(), 1);
+        assert_eq!(svc.n_points(), 31);
+        // Cached entries equal cold solves on the *post-update* database.
+        for k in [1usize, 4] {
+            let (hit, cached) = svc.solve(SolveAlgo::AddGreedy, k).unwrap();
+            assert!(cached);
+            let cold = add_greedy(svc.matrix(), k).unwrap();
+            assert_eq!(hit.indices, cold.indices, "k={k}");
+            assert_eq!(hit.arr.to_bits(), cold.objective.unwrap().to_bits(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn malformed_or_oversized_updates_leave_state_untouched() {
+        let mut svc = DatasetService::build("demo", &dataset(20), &options()).unwrap();
+        let err = svc.apply_update_text("insert,0.5\n", "request body").unwrap_err();
+        assert!(err.to_string().contains("request body, line 1"), "{err}");
+        let err = svc.apply_update_text("insert,0.1,0.2,NaN\n", "request body").unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        // Deleting below the cached maximum k is rejected atomically.
+        let wipe: String = (3..20).map(|i| format!("delete,{i}\n")).collect();
+        assert!(svc.apply_update_text(&wipe, "request body").is_err());
+        assert_eq!(svc.n_points(), 20);
+        assert_eq!(svc.updates(), 0);
+        // Evaluate validates its selection.
+        assert!(svc.evaluate(&[0, 1]).is_ok());
+        assert!(svc.evaluate(&[0, 0]).is_err());
+        assert!(svc.evaluate(&[99]).is_err());
+    }
+
+    #[test]
+    fn build_rejects_bad_cache_ranges() {
+        let ds = dataset(10);
+        let mut o = options();
+        o.cache_k = 0..=3;
+        assert!(DatasetService::build("x", &ds, &o).is_err());
+        o.cache_k = 1..=11;
+        assert!(DatasetService::build("x", &ds, &o).is_err());
+        let mut o = options();
+        o.samples = 0;
+        let err = match DatasetService::build("x", &ds, &o) {
+            Err(e) => e,
+            Ok(_) => panic!("samples=0 must be rejected"),
+        };
+        assert!(err.to_string().contains("samples"), "{err}");
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            o.cache_k = 5..=2;
+            assert!(DatasetService::build("x", &ds, &o).is_err());
+        }
+    }
+
+    #[test]
+    fn same_spec_builds_bit_identical_replicas() {
+        // The integration test leans on this: a local replica built from
+        // the same dataset + options is indistinguishable from the served
+        // instance.
+        let ds = dataset(25);
+        let a = DatasetService::build("a", &ds, &options()).unwrap();
+        let b = DatasetService::build("b", &ds, &options()).unwrap();
+        for u in 0..a.n_samples() {
+            assert_eq!(a.matrix().row(u), b.matrix().row(u), "row {u}");
+        }
+        let (ra, _) = a.solve(SolveAlgo::GreedyShrink, 3).unwrap();
+        let (rb, _) = b.solve(SolveAlgo::GreedyShrink, 3).unwrap();
+        assert_eq!(ra.indices, rb.indices);
+        assert_eq!(ra.arr.to_bits(), rb.arr.to_bits());
+    }
+}

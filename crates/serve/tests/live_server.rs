@@ -1,0 +1,239 @@
+//! Drives a live `fam-serve` instance over real TCP: multiple datasets,
+//! ≥4 concurrent solve clients hammering the server *while* `POST
+//! /update` batches apply, and — the serving layer's core contract —
+//! cached solve responses bit-identical to cold solves on the
+//! post-update database (selection indices and `arr` bits, recovered
+//! through the JSON wire format's shortest-round-trip floats).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fam_algos::{add_greedy, greedy_shrink, GreedyShrinkConfig};
+use fam_core::Dataset;
+use fam_data::{synthetic, Correlation};
+use fam_serve::{DatasetService, DistKind, ServeOptions, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("receive");
+    let status = buf
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {buf:?}"));
+    let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!("POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}", body.len()),
+    )
+}
+
+/// Extracts a top-level `"key":<number>` field.
+fn field_f64(body: &str, key: &str) -> f64 {
+    let tag = format!("\"{key}\":");
+    let rest = &body[body.find(&tag).unwrap_or_else(|| panic!("no {key} in {body}")) + tag.len()..];
+    let end = rest.find([',', '}']).expect("terminated field");
+    rest[..end].parse().unwrap_or_else(|_| panic!("bad number for {key} in {body}"))
+}
+
+/// Extracts a top-level `"key":[i,j,..]` usize array.
+fn field_indices(body: &str, key: &str) -> Vec<usize> {
+    let tag = format!("\"{key}\":[");
+    let rest = &body[body.find(&tag).unwrap_or_else(|| panic!("no {key} in {body}")) + tag.len()..];
+    let end = rest.find(']').expect("closed array");
+    rest[..end].split(',').filter(|s| !s.is_empty()).map(|s| s.parse().expect("index")).collect()
+}
+
+fn base_dataset(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    synthetic(n, 3, Correlation::AntiCorrelated, &mut rng).expect("dataset")
+}
+
+fn options() -> ServeOptions {
+    ServeOptions { samples: 200, seed: 17, dist: DistKind::Uniform, cache_k: 1..=5 }
+}
+
+#[test]
+fn concurrent_clients_and_updates_stay_bit_identical() {
+    let alpha_data = base_dataset(11, 120);
+    let beta_data = base_dataset(12, 60);
+    let alpha = DatasetService::build("alpha", &alpha_data, &options()).expect("alpha");
+    let beta = DatasetService::build("beta", &beta_data, &options()).expect("beta");
+    let server = Server::bind(("127.0.0.1", 0), vec![alpha, beta], 6).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // --- Warm single-client checks across every endpoint. ---
+    let (status, body) = get(addr, "/datasets");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"alpha\"") && body.contains("\"beta\""), "{body}");
+    let (status, body) = get(addr, "/solve?dataset=beta&k=2&algo=greedy-shrink");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cached\":true"), "{body}");
+    let (status, body) = get(addr, "/evaluate?dataset=beta&selection=0,3,7");
+    assert_eq!(status, 200, "{body}");
+    assert!(field_f64(&body, "arr").is_finite());
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"workers\":6"), "{body}");
+
+    // --- Error paths never kill a worker. ---
+    for (path, want) in [
+        ("/solve?dataset=nope&k=2", 404),
+        ("/solve?dataset=alpha", 400),
+        ("/solve?dataset=alpha&k=abc", 400),
+        ("/solve?dataset=alpha&k=2&algo=quantum", 400),
+        ("/solve?dataset=alpha&k=0", 400),
+        ("/evaluate?dataset=alpha&selection=1,1", 400),
+        ("/evaluate?dataset=alpha&selection=", 400),
+        ("/nope", 404),
+        ("/solve?k=2", 400),
+    ] {
+        let (status, body) = get(addr, path);
+        assert_eq!(status, want, "{path}: {body}");
+        assert!(body.contains("error"), "{path}: {body}");
+    }
+    let (status, _) = post(addr, "/solve?dataset=alpha&k=2", "");
+    assert_eq!(status, 405);
+    let (status, body) = post(addr, "/update?dataset=alpha", "insert,0.5\n");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("request body, line 1"), "{body}");
+
+    // --- ≥4 concurrent solve clients during POST /update batches. ---
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..4)
+        .map(|client| {
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = 1 + (client + i) % 5;
+                    let algo = if i.is_multiple_of(2) { "add-greedy" } else { "greedy-shrink" };
+                    let (status, body) =
+                        get(addr, &format!("/solve?dataset=alpha&k={k}&algo={algo}"));
+                    assert_eq!(status, 200, "client {client}: {body}");
+                    assert!(body.contains("\"cached\":true"), "client {client}: {body}");
+                    assert!(field_f64(&body, "arr").is_finite());
+                    assert_eq!(field_indices(&body, "selection").len(), k);
+                    served.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Three update rounds against the readers: inserts + a delete each.
+    let updates = [
+        "insert,0.9,0.8,0.7\ninsert,0.2,0.95,0.4\ndelete,3\n",
+        "# churn\n+,0.5,0.5,0.99\n-,17\n+,0.85,0.1,0.6\n",
+        "delete,0\ninsert,0.3,0.9,0.9\n",
+    ];
+    for ops in updates {
+        let (status, body) = post(addr, "/update?dataset=alpha", ops);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("cache_entries"), "{body}");
+        // Keep the readers overlapping the writer for a little while.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+    assert!(served.load(Ordering::Relaxed) >= 8, "readers barely ran");
+
+    // --- Bit-identity: cached answers == cold solves on the post-update
+    // database. A replica built from the same spec and fed the same op
+    // stream holds that database (same seed => same sampled population).
+    let mut replica = DatasetService::build("alpha", &alpha_data, &options()).expect("replica");
+    for ops in updates {
+        replica.apply_update_text(ops, "replica").expect("replica update");
+    }
+    let (_, body) = get(addr, "/datasets");
+    assert!(body.contains(&format!("\"n_points\":{}", replica.n_points())), "{body}");
+    for k in 1..=5usize {
+        let (status, body) = get(addr, &format!("/solve?dataset=alpha&k={k}&algo=add-greedy"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"cached\":true"), "{body}");
+        let cold = add_greedy(replica.matrix(), k).expect("cold add-greedy");
+        assert_eq!(field_indices(&body, "selection"), cold.indices, "k={k}");
+        assert_eq!(
+            field_f64(&body, "arr").to_bits(),
+            cold.objective.unwrap().to_bits(),
+            "k={k} arr bits"
+        );
+
+        let (status, body) = get(addr, &format!("/solve?dataset=alpha&k={k}&algo=greedy-shrink"));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"cached\":true"), "{body}");
+        let cold = greedy_shrink(replica.matrix(), GreedyShrinkConfig::new(k)).expect("cold gs");
+        assert_eq!(field_indices(&body, "selection"), cold.selection.indices, "k={k}");
+        assert_eq!(
+            field_f64(&body, "arr").to_bits(),
+            cold.selection.objective.unwrap().to_bits(),
+            "k={k} arr bits"
+        );
+    }
+    // An uncached k takes the cold path on the server and still matches.
+    let (status, body) = get(addr, "/solve?dataset=alpha&k=8&algo=add-greedy");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cached\":false"), "{body}");
+    let cold = add_greedy(replica.matrix(), 8).expect("cold k=8");
+    assert_eq!(field_indices(&body, "selection"), cold.indices);
+    assert_eq!(field_f64(&body, "arr").to_bits(), cold.objective.unwrap().to_bits());
+
+    // Beta was untouched by alpha's updates.
+    let (_, body) = get(addr, "/solve?dataset=beta&k=3");
+    let cold = add_greedy(replica_free_beta(&beta_data).matrix(), 3).expect("beta cold");
+    assert_eq!(field_indices(&body, "selection"), cold.indices);
+
+    // Stats survived the storm and counted the traffic.
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(field_f64(&body, "requests") > 20.0, "{body}");
+
+    handle.shutdown();
+    server_thread.join().expect("server thread");
+}
+
+fn replica_free_beta(beta_data: &Dataset) -> DatasetService {
+    DatasetService::build("beta", beta_data, &options()).expect("beta replica")
+}
+
+#[test]
+fn malformed_http_is_answered_or_dropped_without_harm() {
+    let ds = base_dataset(21, 30);
+    let opts = ServeOptions { samples: 60, cache_k: 1..=2, ..options() };
+    let svc = DatasetService::build("tiny", &ds, &opts).expect("svc");
+    let server = Server::bind(("127.0.0.1", 0), vec![svc], 2).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Garbage request line: 400, and the server keeps serving.
+    let (status, body) = request(addr, "NOT-HTTP\r\n\r\n");
+    assert_eq!(status, 400, "{body}");
+    // A client that connects and immediately hangs up costs nothing.
+    drop(TcpStream::connect(addr).expect("connect"));
+    let (status, _) = get(addr, "/datasets");
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    server_thread.join().expect("server thread");
+}

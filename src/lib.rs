@@ -48,13 +48,14 @@ pub use fam_data as data;
 pub use fam_geometry as geometry;
 pub use fam_lp as lp;
 pub use fam_ml as ml;
+pub use fam_serve as serve;
 
 pub use fam_algos::{
-    add_greedy, add_greedy_from, brute_force, brute_force_with_pruning, continuous_arr, cube,
-    dp_2d, greedy_shrink, greedy_shrink_warm, k_hit, local_search, mrr_greedy_exact,
-    mrr_greedy_sampled, mrr_linear_exact, sky_dom, warm_repair, AngularMeasure, Dp2dOutput,
-    GreedyShrinkConfig, GreedyShrinkOutput, LocalSearchConfig, LocalSearchOutput,
-    QuadratureMeasure, UniformAngleMeasure, UniformBoxMeasure,
+    add_greedy, add_greedy_from, add_greedy_range, brute_force, brute_force_with_pruning,
+    continuous_arr, cube, dp_2d, greedy_shrink, greedy_shrink_range, greedy_shrink_warm, k_hit,
+    local_search, mrr_greedy_exact, mrr_greedy_sampled, mrr_linear_exact, sky_dom, warm_repair,
+    AngularMeasure, Dp2dOutput, GreedyShrinkConfig, GreedyShrinkOutput, LocalSearchConfig,
+    LocalSearchOutput, QuadratureMeasure, UniformAngleMeasure, UniformBoxMeasure,
 };
 pub use fam_core::{
     chernoff_epsilon, chernoff_sample_size, regret, ApplyReport, Dataset, DiscreteDistribution,
