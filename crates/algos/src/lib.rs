@@ -20,7 +20,12 @@
 //!   [`greedy_shrink_range`](fn@greedy_shrink_range) solve a whole range of
 //!   output sizes in one greedy trajectory, bit-identical to per-`k` cold
 //!   runs ([`trajectory`]) — the substrate of the serving layer's result
-//!   cache.
+//!   cache;
+//! * the unified solver API ([`registry`]): a [`Solver`] trait with
+//!   declared capabilities ([`Caps`]) and a name-based [`Registry`] of
+//!   all nine paper algorithms, each adapter bit-identical to the free
+//!   function it wraps — the single dispatch surface behind the CLI,
+//!   the HTTP server, and the bench harness.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,6 +41,7 @@ pub mod measure;
 pub mod mrr;
 pub mod mrr_greedy;
 pub mod reduction;
+pub mod registry;
 pub mod repair;
 pub mod sky_dom;
 pub mod trajectory;
@@ -58,6 +64,7 @@ pub use mrr_greedy::{mrr_greedy_exact, mrr_greedy_sampled};
 pub use reduction::{
     reduce_set_cover, set_cover_has_cover_of_size, ReducedInstance, SetCoverInstance,
 };
+pub use registry::{Caps, Registry, Solver, SolverSpec};
 pub use repair::warm_repair;
 pub use sky_dom::sky_dom;
 pub use trajectory::{add_greedy_range, greedy_shrink_range};

@@ -1,0 +1,934 @@
+//! The unified solver API: a [`Solver`] trait, a name-based [`Registry`]
+//! of every paper algorithm, and the [`SolverSpec`] parameter parser
+//! shared by the CLI (`fam solve --algo NAME --param key=val`), the HTTP
+//! server (`/solve?algo=NAME&key=val`), and the bench harness.
+//!
+//! Every adapter is a thin delegate to the crate's free functions, so a
+//! registry call is **bit-identical** to the direct call it wraps —
+//! pinned by `tests/registry_equivalence.rs`. The free functions remain
+//! the canonical implementations; the registry adds one coherent surface
+//! over their historically incompatible signatures:
+//!
+//! | name | delegate | needs dataset | notes |
+//! |---|---|---|---|
+//! | `add-greedy` | [`add_greedy_from`](crate::add_greedy_from) | no | warm seed, range harvest |
+//! | `greedy-shrink` | [`greedy_shrink`](fn@crate::greedy_shrink) | no | warm seed, range harvest, `lazy`/`cache` toggles |
+//! | `dp-2d` | [`dp_2d`](fn@crate::dp_2d) | yes (2-D only) | exact, `measure=box\|angle` |
+//! | `brute-force` | [`brute_force_with_pruning`](crate::brute_force_with_pruning) | no | exact, `prune` toggle |
+//! | `cube` | [`cube`](fn@crate::cube) | yes | k-regret baseline |
+//! | `k-hit` | [`k_hit`](fn@crate::k_hit) | no | hit-probability baseline |
+//! | `local-search` | [`local_search`](fn@crate::local_search) | no | polishes `seed` (ADD-GREEDY start when absent), `max-passes` cap |
+//! | `mrr-greedy` | [`mrr_greedy_sampled`](crate::mrr_greedy_sampled) | no | `exact=true` is a compat alias for `mrr-greedy-lp` |
+//! | `mrr-greedy-lp` | [`mrr_greedy_exact`](crate::mrr_greedy_exact) | yes | LP-based witness regret (linear utilities) |
+//! | `sky-dom` | [`sky_dom`](fn@crate::sky_dom) | yes | representative-skyline baseline |
+//!
+//! Capability gating happens *before* dispatch: a warm seed offered to a
+//! cold-only solver, a range harvest on a trajectory-less algorithm, or a
+//! missing dataset all answer [`FamError::Unsupported`] naming the solver
+//! — the serving layer maps these to HTTP 400, never 500.
+
+use std::ops::RangeInclusive;
+use std::sync::OnceLock;
+
+use fam_core::solve::{MeasureKind, SolveCtx, SolveOutput, SolverParams};
+use fam_core::{Dataset, FamError, Result, ScoreSource};
+
+use crate::measure::{AngularMeasure, UniformAngleMeasure, UniformBoxMeasure};
+
+/// What a registered solver can do, declared up front so consumers can
+/// route requests (and reject unserviceable ones) without trial calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Caps {
+    /// Produces the optimal selection (under its own objective), not a
+    /// heuristic.
+    pub exact: bool,
+    /// Accepts a non-empty warm-start seed in [`SolverParams::seed`].
+    pub warm_start: bool,
+    /// Supports [`Solver::solve_range`]: one trajectory yields every `k`
+    /// in a range, bit-identical to per-`k` cold solves (the substrate of
+    /// the serving layer's multi-`k` cache).
+    pub range_harvest: bool,
+    /// Requires the raw [`Dataset`] in the context (coordinate-based
+    /// algorithms); matrix-only solvers ignore the dataset.
+    pub needs_dataset: bool,
+    /// Hard dimensionality constraint on the dataset (`Some(2)` for the
+    /// exact 2-D DP), `None` when any dimension works.
+    pub dimension: Option<usize>,
+    /// The produced `Selection::objective` is an estimate of the sampled
+    /// average regret ratio. When false the objective is a different
+    /// quantity (hit probability, continuous arr) or absent, and callers
+    /// wanting `arr` must evaluate the selection themselves.
+    pub reports_arr: bool,
+    /// Worst-case cost is exponential in the number of points
+    /// (enumeration-style exact search). Interactive consumers — the
+    /// serving layer in particular — gate such solvers behind an input
+    /// size cap instead of pinning a worker on an unbounded search.
+    pub exponential: bool,
+    /// Reads the sampled score matrix. Coordinate-only solvers (the
+    /// exact 2-D DP, CUBE, SKY-DOM) never touch it — a consumer that
+    /// has not scored the database yet can skip the `O(nN)` sampling
+    /// pass for them (advisory; `SolveCtx` always carries a matrix).
+    pub needs_matrix: bool,
+}
+
+/// One algorithm behind the unified API. Implementations delegate to the
+/// crate's free functions and must be bit-identical to them.
+pub trait Solver: Send + Sync {
+    /// The registry name (CLI/HTTP spelling).
+    fn name(&self) -> &'static str;
+
+    /// What this solver supports.
+    fn capabilities(&self) -> Caps;
+
+    /// Solves for `ctx.params.k` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors from the underlying algorithm, or
+    /// [`FamError::Unsupported`] for parameter combinations outside the
+    /// declared capabilities.
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput>;
+
+    /// Solves for every `k` in `ks` (ascending) in one trajectory, each
+    /// entry bit-identical to [`Solver::solve`] at that `k`. Only
+    /// meaningful when [`Caps::range_harvest`] is set; the default
+    /// implementation rejects the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamError::Unsupported`] unless the solver declares range
+    /// harvesting, or the underlying range errors.
+    fn solve_range(
+        &self,
+        ctx: &SolveCtx<'_>,
+        ks: RangeInclusive<usize>,
+    ) -> Result<Vec<SolveOutput>> {
+        let _ = (ctx, ks);
+        Err(FamError::unsupported(self.name(), "does not support multi-k range harvesting"))
+    }
+}
+
+/// A named solver specification: registry name plus typed parameters.
+/// This is the wire-level form every front end parses into — the CLI from
+/// `--algo NAME --param key=val`, the server from query parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverSpec {
+    /// Registry name (e.g. `greedy-shrink`).
+    pub name: String,
+    /// Typed parameters.
+    pub params: SolverParams,
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool> {
+    match value {
+        "true" | "1" | "yes" => Ok(true),
+        "false" | "0" | "no" => Ok(false),
+        _ => Err(FamError::InvalidParameter {
+            name: "param",
+            message: format!("`{key}` wants true|false, got `{value}`"),
+        }),
+    }
+}
+
+impl SolverSpec {
+    /// A spec with canonical parameters.
+    pub fn new(name: &str, k: usize) -> Self {
+        SolverSpec { name: name.to_string(), params: SolverParams::new(k) }
+    }
+
+    /// Parses `key=value` pairs into a spec. Recognized keys: `seed`
+    /// (comma-separated indices), `measure` (`box`|`angle`),
+    /// `max-passes`, `prune`, `lazy`, `cache`, `exact` (booleans).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamError::InvalidParameter`] for unknown keys or
+    /// malformed values.
+    pub fn parse<K: AsRef<str>, V: AsRef<str>>(
+        name: &str,
+        k: usize,
+        pairs: &[(K, V)],
+    ) -> Result<Self> {
+        let mut params = SolverParams::new(k);
+        for (key, value) in pairs {
+            let (key, value) = (key.as_ref(), value.as_ref());
+            match key {
+                "seed" => {
+                    params.seed = value
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| {
+                            s.trim().parse::<usize>().map_err(|_| FamError::InvalidParameter {
+                                name: "param",
+                                message: format!("seed index `{s}` is not a point index"),
+                            })
+                        })
+                        .collect::<Result<_>>()?;
+                }
+                "measure" => {
+                    params.measure =
+                        MeasureKind::parse(value).ok_or_else(|| FamError::InvalidParameter {
+                            name: "param",
+                            message: format!("unknown measure `{value}` (box|angle)"),
+                        })?;
+                }
+                "max-passes" | "max_passes" => {
+                    params.max_passes = value.parse().map_err(|_| FamError::InvalidParameter {
+                        name: "param",
+                        message: format!("max-passes wants a count, got `{value}`"),
+                    })?;
+                }
+                "prune" => params.prune = parse_bool(key, value)?,
+                "lazy" => params.lazy = parse_bool(key, value)?,
+                "cache" => params.best_point_cache = parse_bool(key, value)?,
+                "exact" => params.exact = parse_bool(key, value)?,
+                _ => {
+                    return Err(FamError::InvalidParameter {
+                        name: "param",
+                        message: format!(
+                            "unknown parameter `{key}` \
+                             (seed|measure|max-passes|prune|lazy|cache|exact)"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(SolverSpec { name: name.to_string(), params })
+    }
+
+    /// Parses `key=val` argument strings (the CLI's repeatable `--param`
+    /// flag) into a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamError::InvalidParameter`] for arguments without `=`
+    /// and everything [`SolverSpec::parse`] rejects.
+    pub fn parse_args<A: AsRef<str>>(name: &str, k: usize, args: &[A]) -> Result<Self> {
+        let pairs: Vec<(&str, &str)> = args
+            .iter()
+            .map(|a| {
+                a.as_ref().split_once('=').ok_or_else(|| FamError::InvalidParameter {
+                    name: "param",
+                    message: format!("`{}` is not of the form key=value", a.as_ref()),
+                })
+            })
+            .collect::<Result<_>>()?;
+        SolverSpec::parse(name, k, &pairs)
+    }
+
+    /// The non-default parameters as `key=value` pairs, such that
+    /// `SolverSpec::parse(name, k, &pairs)` round-trips to `self`.
+    pub fn to_pairs(&self) -> Vec<(String, String)> {
+        let d = SolverParams::new(self.params.k);
+        let p = &self.params;
+        let mut out = Vec::new();
+        if p.seed != d.seed {
+            let seed: Vec<String> = p.seed.iter().map(|i| i.to_string()).collect();
+            out.push(("seed".to_string(), seed.join(",")));
+        }
+        if p.measure != d.measure {
+            out.push(("measure".to_string(), p.measure.name().to_string()));
+        }
+        if p.max_passes != d.max_passes {
+            out.push(("max-passes".to_string(), p.max_passes.to_string()));
+        }
+        for (key, value, default) in [
+            ("prune", p.prune, d.prune),
+            ("lazy", p.lazy, d.lazy),
+            ("cache", p.best_point_cache, d.best_point_cache),
+            ("exact", p.exact, d.exact),
+        ] {
+            if value != default {
+                out.push((key.to_string(), value.to_string()));
+            }
+        }
+        out
+    }
+}
+
+/// The name-based solver registry. [`Registry::standard`] holds every
+/// paper algorithm; [`Registry::global`] is the shared instance the CLI,
+/// server, and bench harness dispatch through.
+pub struct Registry {
+    solvers: Vec<Box<dyn Solver>>,
+}
+
+impl Registry {
+    /// An empty registry (for custom solver sets).
+    pub fn empty() -> Self {
+        Registry { solvers: Vec::new() }
+    }
+
+    /// A registry holding all nine paper algorithms.
+    pub fn standard() -> Self {
+        let mut r = Registry::empty();
+        for solver in [
+            Box::new(AddGreedySolver) as Box<dyn Solver>,
+            Box::new(GreedyShrinkSolver),
+            Box::new(Dp2dSolver),
+            Box::new(BruteForceSolver),
+            Box::new(CubeSolver),
+            Box::new(KHitSolver),
+            Box::new(LocalSearchSolver),
+            Box::new(MrrGreedySolver),
+            Box::new(MrrGreedyLpSolver),
+            Box::new(SkyDomSolver),
+        ] {
+            r.register(solver).expect("standard names are unique");
+        }
+        r
+    }
+
+    /// The process-wide standard registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::standard)
+    }
+
+    /// Adds a solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamError::InvalidParameter`] when the name is taken.
+    pub fn register(&mut self, solver: Box<dyn Solver>) -> Result<()> {
+        if self.get(solver.name()).is_some() {
+            return Err(FamError::InvalidParameter {
+                name: "solver",
+                message: format!("name `{}` is already registered", solver.name()),
+            });
+        }
+        self.solvers.push(solver);
+        Ok(())
+    }
+
+    /// Looks a solver up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Solver> {
+        self.solvers.iter().find(|s| s.name() == name).map(Box::as_ref)
+    }
+
+    /// Looks a solver up by name, or reports every registered name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamError::Unsupported`] enumerating the valid names.
+    pub fn require(&self, name: &str) -> Result<&dyn Solver> {
+        self.get(name).ok_or_else(|| {
+            FamError::unsupported(
+                name,
+                format!("unknown algorithm (registered: {})", self.names().join(", ")),
+            )
+        })
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.solvers.iter().map(|s| s.name()).collect()
+    }
+
+    /// Iterates the registered solvers in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Solver> {
+        self.solvers.iter().map(Box::as_ref)
+    }
+
+    /// Number of registered solvers.
+    pub fn len(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// True when no solver is registered.
+    pub fn is_empty(&self) -> bool {
+        self.solvers.is_empty()
+    }
+
+    /// Validates `ctx` against a solver's declared capabilities.
+    fn check_caps(solver: &dyn Solver, ctx: &SolveCtx<'_>, range: bool) -> Result<()> {
+        let caps = solver.capabilities();
+        if caps.needs_dataset && ctx.dataset.is_none() {
+            return Err(FamError::unsupported(
+                solver.name(),
+                "needs the raw dataset coordinates, but the context carries only a score matrix",
+            ));
+        }
+        if let (Some(dim), Some(ds)) = (caps.dimension, ctx.dataset) {
+            if ds.dim() != dim {
+                return Err(FamError::DimensionMismatch { expected: dim, got: ds.dim() });
+            }
+        }
+        if !ctx.params.seed.is_empty() && !caps.warm_start {
+            return Err(FamError::unsupported(solver.name(), "does not accept a warm-start seed"));
+        }
+        if range && !caps.range_harvest {
+            return Err(FamError::unsupported(
+                solver.name(),
+                "does not support multi-k range harvesting",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resolves a spec and solves: capability validation, then dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamError::Unsupported`] for unknown names or capability
+    /// violations, or the solver's own error.
+    pub fn solve(
+        &self,
+        spec: &SolverSpec,
+        matrix: &dyn ScoreSource,
+        dataset: Option<&Dataset>,
+    ) -> Result<SolveOutput> {
+        let solver = self.require(&spec.name)?;
+        let ctx = SolveCtx { matrix, dataset, params: spec.params.clone() };
+        Registry::check_caps(solver, &ctx, false)?;
+        solver.solve(&ctx)
+    }
+
+    /// Resolves a spec and harvests every `k` in `ks` from one
+    /// trajectory.
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::solve`], plus [`FamError::Unsupported`] when the
+    /// solver lacks range harvesting.
+    pub fn solve_range(
+        &self,
+        spec: &SolverSpec,
+        matrix: &dyn ScoreSource,
+        dataset: Option<&Dataset>,
+        ks: RangeInclusive<usize>,
+    ) -> Result<Vec<SolveOutput>> {
+        let solver = self.require(&spec.name)?;
+        let mut params = spec.params.clone();
+        params.k = *ks.end();
+        let ctx = SolveCtx { matrix, dataset, params };
+        Registry::check_caps(solver, &ctx, true)?;
+        solver.solve_range(&ctx, ks)
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("names", &self.names()).finish()
+    }
+}
+
+fn measure_of(kind: MeasureKind) -> &'static dyn AngularMeasure {
+    match kind {
+        MeasureKind::UniformBox => &UniformBoxMeasure,
+        MeasureKind::UniformAngle => &UniformAngleMeasure,
+    }
+}
+
+fn require_dataset<'a>(ctx: &SolveCtx<'a>, name: &'static str) -> Result<&'a Dataset> {
+    ctx.dataset.ok_or_else(|| {
+        FamError::unsupported(name, "needs the raw dataset coordinates in the solve context")
+    })
+}
+
+/// `add-greedy`: the insertion greedy (\[33\]), warm-startable and
+/// range-harvestable.
+struct AddGreedySolver;
+
+impl Solver for AddGreedySolver {
+    fn name(&self) -> &'static str {
+        "add-greedy"
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps {
+            exact: false,
+            warm_start: true,
+            range_harvest: true,
+            needs_dataset: false,
+            dimension: None,
+            reports_arr: true,
+            exponential: false,
+            needs_matrix: true,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput> {
+        crate::add_greedy_from(ctx.matrix, &ctx.params.seed, ctx.params.k).map(SolveOutput::new)
+    }
+
+    fn solve_range(
+        &self,
+        ctx: &SolveCtx<'_>,
+        ks: RangeInclusive<usize>,
+    ) -> Result<Vec<SolveOutput>> {
+        if !ctx.params.seed.is_empty() {
+            return Err(FamError::unsupported(
+                self.name(),
+                "range harvesting starts from the empty set; drop the warm seed",
+            ));
+        }
+        Ok(crate::add_greedy_range(ctx.matrix, ks)?.into_iter().map(SolveOutput::new).collect())
+    }
+}
+
+/// `greedy-shrink`: the paper's Algorithm 1, with the Appendix C
+/// improvements toggleable via `lazy` / `cache`.
+struct GreedyShrinkSolver;
+
+impl Solver for GreedyShrinkSolver {
+    fn name(&self) -> &'static str {
+        "greedy-shrink"
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps {
+            exact: false,
+            warm_start: true,
+            range_harvest: true,
+            needs_dataset: false,
+            dimension: None,
+            reports_arr: true,
+            exponential: false,
+            needs_matrix: true,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput> {
+        let p = &ctx.params;
+        let cfg = crate::GreedyShrinkConfig {
+            k: p.k,
+            best_point_cache: p.best_point_cache,
+            lazy_pruning: p.lazy,
+        };
+        let out = if p.seed.is_empty() {
+            crate::greedy_shrink(ctx.matrix, cfg)?
+        } else {
+            crate::greedy_shrink_warm(ctx.matrix, &p.seed, cfg)?
+        };
+        Ok(SolveOutput::new(out.selection)
+            .with_note("iterations", out.iterations as f64)
+            .with_note("arr_evaluations", out.arr_evaluations as f64)
+            .with_note("avg_best_change_frac", out.avg_best_change_frac)
+            .with_note("avg_candidates_frac", out.avg_candidates_frac))
+    }
+
+    fn solve_range(
+        &self,
+        ctx: &SolveCtx<'_>,
+        ks: RangeInclusive<usize>,
+    ) -> Result<Vec<SolveOutput>> {
+        let p = &ctx.params;
+        if !p.seed.is_empty() || !p.lazy || !p.best_point_cache {
+            return Err(FamError::unsupported(
+                self.name(),
+                "range harvesting runs the canonical configuration \
+                 (no seed, both improvements on)",
+            ));
+        }
+        Ok(crate::greedy_shrink_range(ctx.matrix, ks)?.into_iter().map(SolveOutput::new).collect())
+    }
+}
+
+/// `dp-2d`: the exact dynamic program for 2-D linear utilities
+/// (Section IV), integrating against `measure`.
+struct Dp2dSolver;
+
+impl Solver for Dp2dSolver {
+    fn name(&self) -> &'static str {
+        "dp-2d"
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps {
+            exact: true,
+            warm_start: false,
+            range_harvest: false,
+            needs_dataset: true,
+            dimension: Some(2),
+            // The objective is the *continuous* arr under the chosen
+            // measure, not the sampled-matrix estimate.
+            reports_arr: false,
+            exponential: false,
+            needs_matrix: false,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput> {
+        let ds = require_dataset(ctx, self.name())?;
+        let out = crate::dp_2d(ds, ctx.params.k, measure_of(ctx.params.measure))?;
+        Ok(SolveOutput::new(out.selection)
+            .with_note("skyline_size", out.skyline_size as f64)
+            .with_note("states", out.states as f64))
+    }
+}
+
+/// `brute-force`: exact enumeration with the branch-and-bound prune
+/// toggleable via `prune`.
+struct BruteForceSolver;
+
+impl Solver for BruteForceSolver {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps {
+            exact: true,
+            warm_start: false,
+            range_harvest: false,
+            needs_dataset: false,
+            dimension: None,
+            reports_arr: true,
+            exponential: true,
+            needs_matrix: true,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput> {
+        crate::brute_force_with_pruning(ctx.matrix, ctx.params.k, ctx.params.prune)
+            .map(SolveOutput::new)
+    }
+}
+
+/// `cube`: the CUBE k-regret baseline of Nanongkai et al. \[22\].
+struct CubeSolver;
+
+impl Solver for CubeSolver {
+    fn name(&self) -> &'static str {
+        "cube"
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps {
+            exact: false,
+            warm_start: false,
+            range_harvest: false,
+            needs_dataset: true,
+            dimension: None,
+            reports_arr: false,
+            exponential: false,
+            needs_matrix: false,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput> {
+        let ds = require_dataset(ctx, self.name())?;
+        crate::cube(ds, ctx.params.k).map(SolveOutput::new)
+    }
+}
+
+/// `k-hit`: the probabilistic top-k baseline of Peng & Wong \[26\]
+/// (objective = hit probability, not arr).
+struct KHitSolver;
+
+impl Solver for KHitSolver {
+    fn name(&self) -> &'static str {
+        "k-hit"
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps {
+            exact: false,
+            warm_start: false,
+            range_harvest: false,
+            needs_dataset: false,
+            dimension: None,
+            reports_arr: false,
+            exponential: false,
+            needs_matrix: true,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput> {
+        crate::k_hit(ctx.matrix, ctx.params.k).map(SolveOutput::new)
+    }
+}
+
+/// `local-search`: swap-based polish. The seed is the initial selection;
+/// without one, an ADD-GREEDY start is polished.
+struct LocalSearchSolver;
+
+impl Solver for LocalSearchSolver {
+    fn name(&self) -> &'static str {
+        "local-search"
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps {
+            exact: false,
+            warm_start: true,
+            range_harvest: false,
+            needs_dataset: false,
+            dimension: None,
+            reports_arr: true,
+            exponential: false,
+            needs_matrix: true,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput> {
+        let p = &ctx.params;
+        let initial = if p.seed.is_empty() {
+            crate::add_greedy(ctx.matrix, p.k)?.indices
+        } else {
+            if p.seed.len() != p.k {
+                return Err(FamError::InvalidParameter {
+                    name: "seed",
+                    message: format!(
+                        "local-search polishes a size-k selection; seed has {} points, k = {}",
+                        p.seed.len(),
+                        p.k
+                    ),
+                });
+            }
+            p.seed.clone()
+        };
+        let cfg = crate::LocalSearchConfig { max_passes: p.max_passes, ..Default::default() };
+        let out = crate::local_search(ctx.matrix, &initial, cfg)?;
+        Ok(SolveOutput::new(out.selection)
+            .with_note("swaps", out.swaps as f64)
+            .with_note("passes", out.passes as f64))
+    }
+}
+
+/// `mrr-greedy`: the sampled k-regret greedy of Nanongkai et al.
+/// \[22\]. The declared capabilities describe this sampled mode;
+/// `exact=true` is a compatibility alias for [`MrrGreedyLpSolver`]
+/// (whose caps honestly declare the dataset need) and is gated inside
+/// `solve` rather than by the capability layer.
+struct MrrGreedySolver;
+
+impl Solver for MrrGreedySolver {
+    fn name(&self) -> &'static str {
+        "mrr-greedy"
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps {
+            exact: false,
+            warm_start: false,
+            range_harvest: false,
+            needs_dataset: false,
+            dimension: None,
+            reports_arr: false,
+            exponential: false,
+            needs_matrix: true,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput> {
+        if ctx.params.exact {
+            MrrGreedyLpSolver.solve(ctx)
+        } else {
+            crate::mrr_greedy_sampled(ctx.matrix, ctx.params.k).map(SolveOutput::new)
+        }
+    }
+}
+
+/// `mrr-greedy-lp`: the LP-exact witness-regret variant of MRR-GREEDY
+/// (faithful to \[22\]; valid for linear utilities). A heuristic for the
+/// mrr objective like the sampled mode — "exact" refers to the witness
+/// LP, not optimality — but coordinate-based: it needs the dataset and
+/// never reads the score matrix, which these capabilities declare so
+/// consumers route it correctly.
+struct MrrGreedyLpSolver;
+
+impl Solver for MrrGreedyLpSolver {
+    fn name(&self) -> &'static str {
+        "mrr-greedy-lp"
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps {
+            exact: false,
+            warm_start: false,
+            range_harvest: false,
+            needs_dataset: true,
+            dimension: None,
+            reports_arr: false,
+            exponential: false,
+            needs_matrix: false,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput> {
+        let ds = require_dataset(ctx, self.name())?;
+        crate::mrr_greedy_exact(ds, ctx.params.k).map(SolveOutput::new)
+    }
+}
+
+/// `sky-dom`: the representative-skyline baseline of Lin et al. \[20\].
+struct SkyDomSolver;
+
+impl Solver for SkyDomSolver {
+    fn name(&self) -> &'static str {
+        "sky-dom"
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps {
+            exact: false,
+            warm_start: false,
+            range_harvest: false,
+            needs_dataset: true,
+            dimension: None,
+            reports_arr: false,
+            exponential: false,
+            needs_matrix: false,
+        }
+    }
+
+    fn solve(&self, ctx: &SolveCtx<'_>) -> Result<SolveOutput> {
+        let ds = require_dataset(ctx, self.name())?;
+        crate::sky_dom(ds, ctx.params.k).map(SolveOutput::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fam_core::ScoreMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn instance(rng: &mut StdRng, n: usize) -> (Dataset, ScoreMatrix) {
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.gen_range(0.05..1.0), rng.gen_range(0.05..1.0)]).collect();
+        let ds = Dataset::from_rows(rows).unwrap();
+        let dist = fam_core::UniformLinear::new(2).unwrap();
+        let m = ScoreMatrix::from_distribution(&ds, &dist, 80, rng).unwrap();
+        (ds, m)
+    }
+
+    #[test]
+    fn standard_registry_holds_all_paper_algorithms() {
+        let r = Registry::standard();
+        assert_eq!(
+            r.names(),
+            vec![
+                "add-greedy",
+                "greedy-shrink",
+                "dp-2d",
+                "brute-force",
+                "cube",
+                "k-hit",
+                "local-search",
+                "mrr-greedy",
+                "mrr-greedy-lp",
+                "sky-dom"
+            ]
+        );
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+        assert!(std::ptr::eq(Registry::global(), Registry::global()));
+        assert_eq!(Registry::default().len(), 10);
+    }
+
+    #[test]
+    fn every_solver_answers_by_name_with_dataset_context() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let (ds, m) = instance(&mut rng, 20);
+        let r = Registry::standard();
+        for solver in r.iter() {
+            let spec = SolverSpec::new(solver.name(), 3);
+            let out = r.solve(&spec, &m, Some(&ds)).unwrap_or_else(|e| {
+                panic!("{}: {e}", solver.name());
+            });
+            assert_eq!(out.selection.len(), 3, "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn unknown_names_enumerate_the_registry() {
+        let r = Registry::standard();
+        let err = match r.require("quantum-annealer") {
+            Err(e) => e,
+            Ok(_) => panic!("unknown name must be rejected"),
+        };
+        let msg = err.to_string();
+        for name in r.names() {
+            assert!(msg.contains(name), "{msg}");
+        }
+    }
+
+    #[test]
+    fn capability_gating_rejects_before_dispatch() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let (ds, m) = instance(&mut rng, 12);
+        let r = Registry::standard();
+        // Dataset-needing solvers without a dataset.
+        for name in ["dp-2d", "cube", "sky-dom", "mrr-greedy-lp"] {
+            let err = r.solve(&SolverSpec::new(name, 3), &m, None).unwrap_err();
+            assert!(matches!(err, FamError::Unsupported { .. }), "{name}: {err}");
+        }
+        // Warm seed on a cold-only solver.
+        let spec = SolverSpec::parse("k-hit", 3, &[("seed", "1,2")]).unwrap();
+        let err = r.solve(&spec, &m, Some(&ds)).unwrap_err();
+        assert!(matches!(err, FamError::Unsupported { .. }), "{err}");
+        // Range harvest on a trajectory-less solver.
+        let err =
+            r.solve_range(&SolverSpec::new("brute-force", 3), &m, Some(&ds), 1..=3).unwrap_err();
+        assert!(matches!(err, FamError::Unsupported { .. }), "{err}");
+        // Dimension constraint.
+        let ds3 = Dataset::from_rows(vec![vec![1.0, 0.2, 0.3]; 4]).unwrap();
+        let err = r.solve(&SolverSpec::new("dp-2d", 2), &m, Some(&ds3)).unwrap_err();
+        assert!(matches!(err, FamError::DimensionMismatch { expected: 2, got: 3 }), "{err}");
+        // mrr-greedy exact needs the dataset.
+        let spec = SolverSpec::parse("mrr-greedy", 3, &[("exact", "true")]).unwrap();
+        assert!(r.solve(&spec, &m, None).is_err());
+        assert!(r.solve(&spec, &m, Some(&ds)).is_ok());
+        // Non-canonical range configurations are refused.
+        let spec = SolverSpec::parse("greedy-shrink", 3, &[("lazy", "false")]).unwrap();
+        assert!(r.solve_range(&spec, &m, None, 1..=3).is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut r = Registry::standard();
+        let err = r.register(Box::new(KHitSolver)).unwrap_err();
+        assert!(err.to_string().contains("k-hit"), "{err}");
+        assert!(format!("{r:?}").contains("k-hit"));
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let mut params = SolverParams::new(rng.gen_range(1..20));
+            if rng.gen_range(0..2) == 1 {
+                params.seed = (0..rng.gen_range(1..5)).map(|_| rng.gen_range(0..100)).collect();
+            }
+            if rng.gen_range(0..2) == 1 {
+                params.measure = MeasureKind::UniformAngle;
+            }
+            if rng.gen_range(0..2) == 1 {
+                params.max_passes = rng.gen_range(1..10);
+            }
+            params.prune = rng.gen_range(0..2) == 1;
+            params.lazy = rng.gen_range(0..2) == 1;
+            params.best_point_cache = rng.gen_range(0..2) == 1;
+            params.exact = rng.gen_range(0..2) == 1;
+            let spec = SolverSpec { name: "greedy-shrink".into(), params };
+            let pairs = spec.to_pairs();
+            let back = SolverSpec::parse(&spec.name, spec.params.k, &pairs).unwrap();
+            assert_eq!(back, spec, "pairs = {pairs:?}");
+        }
+        // Canonical params emit no pairs at all.
+        assert!(SolverSpec::new("add-greedy", 5).to_pairs().is_empty());
+    }
+
+    #[test]
+    fn spec_parsing_rejects_malformed_input() {
+        assert!(SolverSpec::parse("x", 1, &[("seed", "1,a")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("measure", "gaussian")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("max-passes", "many")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("lazy", "perhaps")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("warp", "9")]).is_err());
+        assert!(SolverSpec::parse_args("x", 1, &["lazy"]).is_err());
+        let spec = SolverSpec::parse_args("x", 2, &["seed=3,1", "exact=1"]).unwrap();
+        assert_eq!(spec.params.seed, vec![3, 1]);
+        assert!(spec.params.exact);
+    }
+}

@@ -1,37 +1,50 @@
 //! Criterion benches mirroring the paper's algorithm-comparison figures
-//! (query-time panels of Figures 1c, 2b, 4): each algorithm at the default
-//! k = 10 on a mid-size anti-correlated workload.
+//! (query-time panels of Figures 1c, 2b, 4): every applicable algorithm
+//! of the unified solver registry at the default k = 10 on a mid-size
+//! anti-correlated workload.
+//!
+//! The bench iterates `Registry::global()` instead of hand-listing free
+//! functions: capability metadata decides what runs (the 2-D-only DP is
+//! skipped on this 4-D workload, exponential exact search moves to its
+//! own small-instance group), so a newly registered solver appears here
+//! automatically.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use fam::prelude::*;
-use fam::{greedy_shrink, k_hit, mrr_greedy_exact, mrr_greedy_sampled, sky_dom};
+use fam::{Registry, SolverSpec};
 use fam_bench::workloads::synthetic_workload;
 
 fn bench_algorithms(c: &mut Criterion) {
     // Fixed workload shared across algorithms: n = 4000, d = 4, N = 1000.
     let w = synthetic_workload(4_000, 4, 1_000, 42).expect("workload");
     let k = 10;
+    let registry = Registry::global();
     let mut g = c.benchmark_group("fig4_query_time");
     g.sample_size(10);
 
-    g.bench_function("greedy_shrink", |b| {
-        b.iter(|| greedy_shrink(&w.matrix, GreedyShrinkConfig::new(k)).unwrap())
+    for solver in registry.iter() {
+        let caps = solver.capabilities();
+        // Capability-driven scheduling: respect hard dimension
+        // constraints, and keep exponential exact search out of the
+        // n = 4000 group (it gets its own Fig 8 scale below).
+        if caps.dimension.is_some_and(|d| d != w.sky.dim()) || caps.exact {
+            continue;
+        }
+        let spec = SolverSpec::new(solver.name(), k);
+        let dataset = if caps.needs_dataset { &w.full } else { &w.sky };
+        g.bench_function(solver.name(), |b| {
+            b.iter(|| registry.solve(&spec, &w.matrix, Some(dataset)).unwrap())
+        });
+    }
+
+    // Named parameter variants the ablation figures single out.
+    let eager = SolverSpec::parse("greedy-shrink", k, &[("lazy", "false")]).unwrap();
+    g.bench_function("greedy-shrink-eager", |b| {
+        b.iter(|| registry.solve(&eager, &w.matrix, None).unwrap())
     });
-    g.bench_function("greedy_shrink_eager", |b| {
-        b.iter(|| {
-            greedy_shrink(
-                &w.matrix,
-                GreedyShrinkConfig { k, best_point_cache: true, lazy_pruning: false },
-            )
-            .unwrap()
-        })
+    let lp = SolverSpec::parse("mrr-greedy", k, &[("exact", "true")]).unwrap();
+    g.bench_function("mrr-greedy-lp", |b| {
+        b.iter(|| registry.solve(&lp, &w.matrix, Some(&w.sky)).unwrap())
     });
-    g.bench_function("mrr_greedy_lp", |b| b.iter(|| mrr_greedy_exact(&w.sky, k).unwrap()));
-    g.bench_function("mrr_greedy_sampled", |b| {
-        b.iter(|| mrr_greedy_sampled(&w.matrix, k).unwrap())
-    });
-    g.bench_function("sky_dom", |b| b.iter(|| sky_dom(&w.full, k).unwrap()));
-    g.bench_function("k_hit", |b| b.iter(|| k_hit(&w.matrix, k).unwrap()));
     g.finish();
 
     // Brute force on the Fig 8 scale (100 points, k = 3).
@@ -39,10 +52,11 @@ fn bench_algorithms(c: &mut Criterion) {
     g.sample_size(10);
     let small_cols: Vec<usize> = (0..w.sky.len().min(100)).collect();
     let small = w.matrix.restrict_columns(&small_cols).expect("restrict");
+    let bf = SolverSpec::new("brute-force", 3);
     g.bench_function("brute_force_k3", |b| {
         b.iter_batched(
             || small.clone(),
-            |m| fam::brute_force(&m, 3).unwrap(),
+            |m| registry.solve(&bf, &m, None).unwrap(),
             BatchSize::LargeInput,
         )
     });

@@ -2,8 +2,7 @@
 
 use std::time::Duration;
 
-use fam::prelude::*;
-use fam::{greedy_shrink, k_hit, mrr_greedy_exact, mrr_greedy_sampled, sky_dom};
+use fam::{Registry, SolverSpec};
 
 use crate::workloads::SkylineWorkload;
 
@@ -18,35 +17,50 @@ pub struct AlgoRun {
     pub time: Duration,
 }
 
+/// The paper's four standard comparison series, as `(registry name,
+/// legend name)` pairs — the harness dispatches through the unified
+/// solver registry instead of hand-listing free functions, so a solver
+/// registered tomorrow only needs a row here to join the figures.
+pub const STANDARD_SERIES: [(&str, &str); 4] = [
+    ("greedy-shrink", "Greedy-Shrink"),
+    ("mrr-greedy", "MRR-Greedy"),
+    ("sky-dom", "Sky-Dom"),
+    ("k-hit", "K-Hit"),
+];
+
 /// Runs the four standard series of the paper's comparison figures
-/// (Greedy-Shrink, MRR-Greedy, Sky-Dom, K-Hit) at output size `k`.
+/// (Greedy-Shrink, MRR-Greedy, Sky-Dom, K-Hit) at output size `k`,
+/// each resolved by name from [`Registry::global`].
 ///
 /// `lp_mrr` selects the exact LP-based MRR-GREEDY (valid for linear Θ);
-/// otherwise the sampled variant runs on the workload matrix.
+/// otherwise the sampled variant runs on the workload matrix. Solvers
+/// whose capabilities need raw coordinates receive them: MRR-GREEDY the
+/// skyline dataset (matrix columns are skyline-local), SKY-DOM the full
+/// dataset (its selection converts back through
+/// [`SkylineWorkload::to_local`]).
 ///
 /// # Errors
 ///
-/// Propagates algorithm failures.
+/// Propagates registry and algorithm failures.
 pub fn run_standard(w: &SkylineWorkload, k: usize, lp_mrr: bool) -> fam::Result<Vec<AlgoRun>> {
     let k = k.min(w.sky.len());
-    let mut out = Vec::with_capacity(4);
-
-    let gs = greedy_shrink(&w.matrix, GreedyShrinkConfig::new(k))?;
-    out.push(AlgoRun {
-        name: "Greedy-Shrink",
-        local: gs.selection.indices,
-        time: gs.selection.query_time,
-    });
-
-    let mg = if lp_mrr { mrr_greedy_exact(&w.sky, k)? } else { mrr_greedy_sampled(&w.matrix, k)? };
-    out.push(AlgoRun { name: "MRR-Greedy", local: mg.indices.clone(), time: mg.query_time });
-
-    let sd = sky_dom(&w.full, k)?;
-    let sd_local = w.to_local(&sd.indices);
-    out.push(AlgoRun { name: "Sky-Dom", local: sd_local, time: sd.query_time });
-
-    let kh = k_hit(&w.matrix, k)?;
-    out.push(AlgoRun { name: "K-Hit", local: kh.indices.clone(), time: kh.query_time });
-
+    let registry = Registry::global();
+    let mut out = Vec::with_capacity(STANDARD_SERIES.len());
+    for (algo, legend) in STANDARD_SERIES {
+        let mut spec = SolverSpec::new(algo, k);
+        // The exact LP variant is a typed parameter, not a separate name.
+        if algo == "mrr-greedy" {
+            spec.params.exact = lp_mrr;
+        }
+        let needs_full_dataset = registry.require(algo)?.capabilities().needs_dataset;
+        let dataset = if needs_full_dataset { &w.full } else { &w.sky };
+        let run = registry.solve(&spec, &w.matrix, Some(dataset))?;
+        let local = if needs_full_dataset {
+            w.to_local(&run.selection.indices)
+        } else {
+            run.selection.indices
+        };
+        out.push(AlgoRun { name: legend, local, time: run.selection.query_time });
+    }
     Ok(out)
 }

@@ -7,10 +7,7 @@ use std::result::Result;
 use std::sync::Arc;
 
 use fam::prelude::*;
-use fam::{
-    add_greedy, brute_force, dp_2d, greedy_shrink, k_hit, mrr_greedy_exact, regret, ApplyReport,
-    Selection,
-};
+use fam::{add_greedy, regret, ApplyReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -81,7 +78,48 @@ pub fn skyline_cmd(a: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// Formats a finished solver run: algorithm, selection (+ labels),
+/// solver objective and instrumentation notes, then an honest fresh-
+/// sample evaluation. Shared by `fam select` and `fam solve`.
+fn solver_report(
+    ds: &Dataset,
+    out: &fam::SolveOutput,
+    fresh: &ScoreMatrix,
+    n_samples: usize,
+) -> Result<String, String> {
+    let selection = &out.selection;
+    let mut report = format!(
+        "algorithm: {}\nselected ({}): {:?}\n",
+        selection.algorithm,
+        selection.len(),
+        selection.indices
+    );
+    if ds.label(0).is_some() {
+        let names: Vec<&str> = selection.indices.iter().filter_map(|&i| ds.label(i)).collect();
+        report.push_str(&format!("labels: {names:?}\n"));
+    }
+    if let Some(obj) = selection.objective {
+        report.push_str(&format!("solver objective: {obj:.6}\n"));
+    }
+    for (name, value) in &out.notes {
+        report.push_str(&format!("{name}: {value}\n"));
+    }
+    let rep = regret::report(fresh, &selection.indices).map_err(|e| e.to_string())?;
+    report.push_str(&format!(
+        "arr = {:.6}, rr std-dev = {:.6}, sampled mrr = {:.6} (fresh N = {n_samples})\n\
+         query time: {:?}",
+        rep.arr, rep.std_dev, rep.mrr, selection.query_time
+    ));
+    Ok(report)
+}
+
 /// `fam select` — run a FAM algorithm on a CSV dataset.
+///
+/// Dispatches through the same registry as `fam solve`, keeping the
+/// subcommand's historical spellings as a compatibility mapping: `dp` is
+/// the registry's `dp-2d`, and `mrr-greedy` stays the LP-exact variant
+/// (the registry's `mrr-greedy-lp`; `fam solve --algo mrr-greedy` is the
+/// sampled one).
 ///
 /// # Errors
 ///
@@ -93,59 +131,108 @@ pub fn select(a: &ParsedArgs) -> Result<String, String> {
     let algo = a.optional("algo").unwrap_or("greedy-shrink");
     let mut rng = seeded(a)?;
 
-    // Sampled backing: compact linear or materialized, per --compact.
+    let spec = match algo {
+        "dp" => fam::SolverSpec::new("dp-2d", k),
+        "mrr-greedy" => fam::SolverSpec::new("mrr-greedy-lp", k),
+        "greedy-shrink" | "add-greedy" | "sky-dom" | "k-hit" | "brute-force" => {
+            fam::SolverSpec::new(algo, k)
+        }
+        other => return Err(format!("unknown --algo `{other}`")),
+    };
+
+    let registry = fam::Registry::global();
+    let needs_matrix =
+        registry.require(&spec.name).map_err(|e| e.to_string())?.capabilities().needs_matrix;
     let make_matrix = |rng: &mut StdRng| -> Result<ScoreMatrix, String> {
         let dist = make_dist(a, ds.dim())?;
         ScoreMatrix::from_distribution(&ds, dist.as_ref(), n_samples, rng)
             .map_err(|e| e.to_string())
     };
 
-    let selection: Selection = match algo {
-        "greedy-shrink" if a.switch("compact") => {
-            let src = fam::LinearScores::sample_uniform(ds.clone(), n_samples, &mut rng)
-                .map_err(|e| e.to_string())?;
-            greedy_shrink(&src, GreedyShrinkConfig::new(k)).map_err(|e| e.to_string())?.selection
-        }
-        "greedy-shrink" => {
-            let m = make_matrix(&mut rng)?;
-            greedy_shrink(&m, GreedyShrinkConfig::new(k)).map_err(|e| e.to_string())?.selection
-        }
-        "add-greedy" => {
-            let m = make_matrix(&mut rng)?;
-            add_greedy(&m, k).map_err(|e| e.to_string())?
-        }
-        "mrr-greedy" => mrr_greedy_exact(&ds, k).map_err(|e| e.to_string())?,
-        "sky-dom" => sky_dom(&ds, k).map_err(|e| e.to_string())?,
-        "k-hit" => {
-            let m = make_matrix(&mut rng)?;
-            k_hit(&m, k).map_err(|e| e.to_string())?
-        }
-        "dp" => dp_2d(&ds, k, &UniformBoxMeasure).map_err(|e| e.to_string())?.selection,
-        "brute-force" => {
-            let m = make_matrix(&mut rng)?;
-            brute_force(&m, k).map_err(|e| e.to_string())?
-        }
-        other => return Err(format!("unknown --algo `{other}`")),
+    // Sampled backing: compact linear or materialized, per --compact
+    // (the registry consumes any `ScoreSource`, so the compact substrate
+    // flows through the same dispatch). Coordinate-only solvers skip the
+    // solve-time scoring pass entirely: the fresh evaluation matrix
+    // doubles as the (unread) context matrix.
+    let (out, fresh) = if a.switch("compact") && algo == "greedy-shrink" {
+        let src = fam::LinearScores::sample_uniform(ds.clone(), n_samples, &mut rng)
+            .map_err(|e| e.to_string())?;
+        let out = registry.solve(&spec, &src, Some(&ds)).map_err(|e| e.to_string())?;
+        (out, make_matrix(&mut rng)?)
+    } else if needs_matrix {
+        let m = make_matrix(&mut rng)?;
+        let out = registry.solve(&spec, &m, Some(&ds)).map_err(|e| e.to_string())?;
+        // Evaluate on a fresh sample for honesty.
+        (out, make_matrix(&mut rng)?)
+    } else {
+        let fresh = make_matrix(&mut rng)?;
+        let out = registry.solve(&spec, &fresh, Some(&ds)).map_err(|e| e.to_string())?;
+        (out, fresh)
     };
+    solver_report(&ds, &out, &fresh, n_samples)
+}
 
-    // Evaluate on a fresh sample for honesty.
-    let m = make_matrix(&mut rng)?;
-    let rep = regret::report(&m, &selection.indices).map_err(|e| e.to_string())?;
+/// `fam solve` — run any registered algorithm by name through the
+/// unified solver registry, with typed parameters via `--param key=val`
+/// (the same parser the HTTP server applies to `/solve` query
+/// parameters).
+///
+/// # Errors
+///
+/// Returns usage, I/O, or solver errors as strings — including a list of
+/// every registered name when `--algo` is unknown.
+pub fn solve(a: &ParsedArgs) -> Result<String, String> {
+    let ds = load(a)?;
+    let k: usize = a.parsed("k")?;
+    let algo = a.optional("algo").unwrap_or("greedy-shrink");
+    let spec = fam::SolverSpec::parse_args(algo, k, &a.all("param")).map_err(|e| e.to_string())?;
+    let n_samples = sample_count(a)?;
+    let mut rng = seeded(a)?;
+    let dist = make_dist(a, ds.dim())?;
+    let registry = fam::Registry::global();
+    let needs_matrix =
+        registry.require(&spec.name).map_err(|e| e.to_string())?.capabilities().needs_matrix;
+    let mut make_matrix = || {
+        ScoreMatrix::from_distribution(&ds, dist.as_ref(), n_samples, &mut rng)
+            .map_err(|e| e.to_string())
+    };
+    // Coordinate-only solvers skip the solve-time scoring pass: the
+    // fresh evaluation matrix doubles as the (unread) context matrix.
+    let (out, fresh) = if needs_matrix {
+        let m = make_matrix()?;
+        let out = registry.solve(&spec, &m, Some(&ds)).map_err(|e| e.to_string())?;
+        // Evaluate on a fresh sample for honesty.
+        (out, make_matrix()?)
+    } else {
+        let fresh = make_matrix()?;
+        let out = registry.solve(&spec, &fresh, Some(&ds)).map_err(|e| e.to_string())?;
+        (out, fresh)
+    };
+    solver_report(&ds, &out, &fresh, n_samples)
+}
+
+/// `fam algos` — list the solver registry with per-algorithm
+/// capabilities (the CLI twin of the server's `GET /algos`).
+pub fn algos() -> String {
     let mut out = format!(
-        "algorithm: {}\nselected ({}): {:?}\n",
-        selection.algorithm,
-        selection.len(),
-        selection.indices
+        "{:<14}{:<11}{:>11}{:>9}{:>10}{:>7}\n",
+        "name", "kind", "warm-start", "range", "dataset", "dim"
     );
-    if ds.label(0).is_some() {
-        let names: Vec<&str> = selection.indices.iter().filter_map(|&i| ds.label(i)).collect();
-        out.push_str(&format!("labels: {names:?}\n"));
+    for solver in fam::Registry::global().iter() {
+        let caps = solver.capabilities();
+        out.push_str(&format!(
+            "{:<14}{:<11}{:>11}{:>9}{:>10}{:>7}\n",
+            solver.name(),
+            if caps.exact { "exact" } else { "heuristic" },
+            if caps.warm_start { "yes" } else { "-" },
+            if caps.range_harvest { "yes" } else { "-" },
+            if caps.needs_dataset { "needed" } else { "-" },
+            caps.dimension.map_or("any".to_string(), |d| d.to_string()),
+        ));
     }
-    out.push_str(&format!(
-        "arr = {:.6}, rr std-dev = {:.6}, sampled mrr = {:.6} (fresh N = {})\nquery time: {:?}",
-        rep.arr, rep.std_dev, rep.mrr, n_samples, selection.query_time
-    ));
-    Ok(out)
+    out.push_str("params: --param seed=i,j,.. measure=box|angle max-passes=N ");
+    out.push_str("prune|lazy|cache|exact=true|false");
+    out
 }
 
 /// `fam evaluate` — score an explicit selection.
@@ -419,6 +506,56 @@ mod tests {
     }
 
     #[test]
+    fn solve_reaches_every_registered_algorithm_by_name() {
+        // A 2-D dataset admits the whole registry: dp-2d is 2-D-only and
+        // cube needs k >= d.
+        let path = tmp("registry.csv");
+        generate(&argv(&format!("--out {path} --n 60 --d 2 --corr anti --seed 4"))).unwrap();
+        for name in fam::Registry::global().names() {
+            let msg =
+                solve(&argv(&format!("--data {path} --k 3 --algo {name} --samples 120 --seed 4")))
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(msg.contains("selected (3)"), "{name}: {msg}");
+            assert!(msg.contains("arr ="), "{name}: {msg}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_params_and_errors() {
+        let path = tmp("solve_params.csv");
+        generate(&argv(&format!("--out {path} --n 40 --d 2 --seed 8"))).unwrap();
+        // Typed parameters flow through --param.
+        let msg = solve(&argv(&format!(
+            "--data {path} --k 2 --algo dp-2d --param measure=angle --samples 80"
+        )))
+        .unwrap();
+        assert!(msg.contains("dp-2d"), "{msg}");
+        assert!(msg.contains("skyline_size"), "{msg}");
+        let msg = solve(&argv(&format!(
+            "--data {path} --k 3 --algo greedy-shrink --param lazy=false --samples 80"
+        )))
+        .unwrap();
+        assert!(msg.contains("iterations"), "{msg}");
+        // An unknown algorithm enumerates the registry.
+        let err = solve(&argv(&format!("--data {path} --k 2 --algo quantum"))).unwrap_err();
+        assert!(err.contains("add-greedy") && err.contains("sky-dom"), "{err}");
+        // Malformed params are usage errors, not panics.
+        assert!(solve(&argv(&format!("--data {path} --k 2 --param lazy=maybe"))).is_err());
+        assert!(solve(&argv(&format!("--data {path} --k 2 --param warp=1"))).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn algos_lists_the_registry() {
+        let listing = algos();
+        for name in fam::Registry::global().names() {
+            assert!(listing.contains(name), "{name} missing:\n{listing}");
+        }
+        assert!(listing.contains("exact") && listing.contains("heuristic"));
+    }
+
+    #[test]
     fn dp_requires_two_dims() {
         let path = tmp("dp3d.csv");
         generate(&argv(&format!("--out {path} --n 50 --d 3 --seed 3"))).unwrap();
@@ -457,8 +594,12 @@ mod tests {
         assert!(msg.contains("usage"));
         assert!(msg.contains("replay"));
         assert!(msg.contains("serve"));
+        assert!(msg.contains("solve"));
+        assert!(msg.contains("algos"));
         assert!(crate::run(&["bogus".to_string()]).is_err());
         assert!(crate::run(&[]).is_err());
+        let listing = crate::run(&["algos".to_string()]).unwrap();
+        assert!(listing.contains("greedy-shrink"));
     }
 
     #[test]

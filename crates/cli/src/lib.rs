@@ -6,11 +6,18 @@
 //! ```text
 //! fam generate --out data.csv --n 10000 --d 4 --corr anti
 //! fam skyline  --data data.csv
+//! fam algos
+//! fam solve    --data data.csv --k 10 --algo greedy-shrink --param lazy=false
 //! fam select   --data data.csv --k 10 --algo greedy-shrink
 //! fam evaluate --data data.csv --selection 3,17,42
 //! fam replay   --data data.csv --updates ops.csv --k 10 --batch 16
 //! fam serve    --data a.csv --data b.csv --port 8787 --cache-k 1..10
 //! ```
+//!
+//! `fam solve` dispatches through the unified solver registry
+//! (`fam::Registry`) — every registered algorithm is reachable by name,
+//! with typed parameters parsed from `--param key=val` by the same
+//! machinery the HTTP server applies to `/solve` query parameters.
 //!
 //! All logic lives in this library crate so it is unit-testable; `main`
 //! only forwards `std::env::args`.
@@ -34,6 +41,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     match command.as_str() {
         "generate" => commands::generate(&parsed),
         "skyline" => commands::skyline_cmd(&parsed),
+        "solve" => commands::solve(&parsed),
+        "algos" => Ok(commands::algos()),
         "select" => commands::select(&parsed),
         "evaluate" => commands::evaluate(&parsed),
         "replay" | "update" => commands::replay(&parsed),
@@ -48,6 +57,11 @@ fn usage() -> String {
      commands:\n  \
      generate  --out FILE --n N --d D [--corr indep|corr|anti] [--seed S]\n  \
      skyline   --data FILE [--labelled]\n  \
+     algos     (list the solver registry with per-algorithm capabilities)\n  \
+     solve     --data FILE --k K [--algo NAME] [--param key=val ...]\n            \
+     [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--labelled]\n            \
+     (NAME is any registry entry - see `fam algos`; params: seed=i,j,.. measure=box|angle\n            \
+     max-passes=N prune|lazy|cache|exact=true|false)\n  \
      select    --data FILE --k K [--algo greedy-shrink|add-greedy|mrr-greedy|sky-dom|k-hit|dp|brute-force]\n            \
      [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--compact] [--labelled]\n  \
      evaluate  --data FILE --selection I,J,K [--samples N] [--seed S] [--labelled]\n  \

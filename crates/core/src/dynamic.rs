@@ -88,6 +88,13 @@ pub struct ApplyReport {
     pub inserted_range: Range<usize>,
     /// Post-batch point count.
     pub n_points: usize,
+    /// Index remap of the pre-batch points: `remap[old] == Some(new)`
+    /// for survivors (swap-remove order, see
+    /// [`ScoreMatrix::delete_points`]), `None` for deleted points.
+    /// Callers mirroring the point universe elsewhere (e.g. a serving
+    /// layer keeping raw coordinates alongside the matrix) apply this
+    /// permutation and then append the inserted points in batch order.
+    pub remap: Vec<Option<u32>>,
     /// Selection surviving the batch *before* repair (post-batch
     /// indices) — the warm-start seed.
     pub kept: Vec<usize>,
@@ -231,7 +238,7 @@ impl DynamicEngine {
         if n_post.is_none_or(|n| n < *k) {
             return Err(FamError::InvalidK { k: *k, n: n_post.unwrap_or(0) });
         }
-        let (mut ev, inserted, resumed_rescans) = if batch.is_empty() {
+        let (mut ev, inserted, resumed_rescans, remap) = if batch.is_empty() {
             // Nothing changed: reattach the state directly — no remap, no
             // sample classification, no rescans. The resync keeps `arr`
             // and the owner lists bit-identical to a fresh rebuild, which
@@ -240,7 +247,8 @@ impl DynamicEngine {
             let n = matrix.n_points();
             let mut ev = SelectionEvaluator::from_state(&*matrix, st);
             ev.resync();
-            (ev, n..n, 0)
+            let identity = (0..n).map(|p| Some(p as u32)).collect();
+            (ev, n..n, 0, identity)
         } else {
             let remap = matrix.delete_points(&batch.delete)?;
             let first_new = matrix.n_points();
@@ -251,7 +259,7 @@ impl DynamicEngine {
             let rescans_before = st.counters().rescans;
             let ev = SelectionEvaluator::resume_after_update(&*matrix, st, &remap);
             let resumed_rescans = ev.counters().rescans - rescans_before;
-            (ev, inserted, resumed_rescans)
+            (ev, inserted, resumed_rescans, remap)
         };
         let kept = ev.selection();
         let ws = WarmStart { inserted: inserted.clone(), k: *k };
@@ -272,6 +280,7 @@ impl DynamicEngine {
             inserted: batch.insert.len(),
             inserted_range: inserted,
             n_points: matrix.n_points(),
+            remap,
             kept,
             selection,
             arr,

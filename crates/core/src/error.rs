@@ -59,6 +59,15 @@ pub enum FamError {
     },
     /// Probability weights were invalid (negative, non-finite, or zero-sum).
     InvalidWeights(String),
+    /// A capability-gated request the named solver cannot serve: an
+    /// unknown registry name, a warm seed for a cold-only algorithm, a
+    /// range harvest without range support, or a missing raw dataset.
+    Unsupported {
+        /// The solver (or registry) rejecting the request.
+        algo: String,
+        /// What was asked for and why it cannot be served.
+        message: String,
+    },
     /// A textual input (update-op stream, request body, …) failed to parse.
     Parse {
         /// What was being parsed — a file path or e.g. "request body".
@@ -74,6 +83,11 @@ impl FamError {
     /// Builds a [`FamError::Parse`] for 1-based `line` of `source`.
     pub fn parse(source: &str, line: usize, message: impl Into<String>) -> Self {
         FamError::Parse { source: source.to_string(), line, message: message.into() }
+    }
+
+    /// Builds a [`FamError::Unsupported`] for solver `algo`.
+    pub fn unsupported(algo: impl Into<String>, message: impl Into<String>) -> Self {
+        FamError::Unsupported { algo: algo.into(), message: message.into() }
     }
 }
 
@@ -105,6 +119,9 @@ impl fmt::Display for FamError {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
             FamError::InvalidWeights(msg) => write!(f, "invalid probability weights: {msg}"),
+            FamError::Unsupported { algo, message } => {
+                write!(f, "`{algo}`: unsupported request: {message}")
+            }
             FamError::Parse { source, line, message } => {
                 write!(f, "{source}, line {line}: {message}")
             }
@@ -137,6 +154,10 @@ mod tests {
                 "epsilon",
             ),
             (FamError::InvalidWeights("negative".into()), "negative"),
+            (
+                FamError::Unsupported { algo: "dp-2d".into(), message: "needs the dataset".into() },
+                "`dp-2d`",
+            ),
             (FamError::parse("ops.csv", 3, "unknown op `jump`"), "ops.csv, line 3"),
         ];
         for (err, needle) in cases {

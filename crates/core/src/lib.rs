@@ -49,6 +49,7 @@ pub mod regret;
 pub mod sampling;
 pub mod scores;
 pub mod selection;
+pub mod solve;
 pub mod stats;
 pub mod streaming;
 pub mod utility;
@@ -66,6 +67,7 @@ pub use regret::RegretReport;
 pub use sampling::{chernoff_epsilon, chernoff_sample_size, SampleSpec};
 pub use scores::{ScoreMatrix, ScoreSource};
 pub use selection::Selection;
+pub use solve::{MeasureKind, SolveCtx, SolveOutput, SolverParams};
 pub use utility::{CobbDouglasUtility, LinearUtility, TableUtility, UtilityFunction};
 
 /// Commonly used items, for glob import in examples and tests.
@@ -83,5 +85,6 @@ pub mod prelude {
     pub use crate::sampling::{chernoff_epsilon, chernoff_sample_size, SampleSpec};
     pub use crate::scores::{ScoreMatrix, ScoreSource};
     pub use crate::selection::Selection;
+    pub use crate::solve::{MeasureKind, SolveCtx, SolveOutput, SolverParams};
     pub use crate::utility::{CobbDouglasUtility, LinearUtility, TableUtility, UtilityFunction};
 }

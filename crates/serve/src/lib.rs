@@ -8,10 +8,16 @@
 //! no external crates).
 //!
 //! * [`DatasetService`] — per-dataset state: the sampled user population,
-//!   the live score matrix + warm-repaired resident selection, and a
-//!   **multi-`k` result cache** harvested in one greedy trajectory per
-//!   algorithm (`fam_algos::trajectory`), bit-identical to per-`k` cold
-//!   solves and re-harvested after every update;
+//!   the live score matrix + coordinates + warm-repaired resident
+//!   selection, and a **multi-`k` result cache** harvested in one greedy
+//!   trajectory per range-capable algorithm (`fam_algos::trajectory`),
+//!   bit-identical to per-`k` cold solves and re-harvested after every
+//!   update;
+//! * solve dispatch through the unified solver registry
+//!   (`fam_algos::Registry`): every registered algorithm is reachable at
+//!   `/solve?algo=NAME` (solver parameters ride along as query
+//!   parameters), and `GET /algos` lists the registry with per-algorithm
+//!   capabilities;
 //! * [`Server`] / [`ServerHandle`] — the listener, worker pool, routing,
 //!   and graceful shutdown;
 //! * [`http`] / [`json`] — the minimal protocol layers.
@@ -41,4 +47,7 @@ pub mod server;
 pub mod service;
 
 pub use server::{Server, ServerHandle, DEFAULT_WORKERS};
-pub use service::{DatasetService, DistKind, ServeOptions, SolveAlgo, SolveResult, UpdateSummary};
+pub use service::{
+    DatasetService, DistKind, ServeOptions, SolveResult, UpdateSummary,
+    MAX_EXPONENTIAL_LOG2_SUBSETS,
+};

@@ -8,10 +8,18 @@
 //! | route | method | query / body |
 //! |---|---|---|
 //! | `/datasets` | GET | — |
-//! | `/solve` | GET | `dataset`, `k`, `algo` (`add-greedy`\|`greedy-shrink`, default `add-greedy`) |
+//! | `/algos` | GET | — (the solver registry with per-algorithm capabilities) |
+//! | `/solve` | GET | `dataset`, `k`, `algo` (any registered name, default `add-greedy`), plus solver params (`seed`, `measure`, `max-passes`, `prune`, `lazy`, `cache`, `exact`) |
 //! | `/evaluate` | GET | `dataset`, `selection` (comma-separated indices) |
 //! | `/update` | POST | `dataset`; body = op stream (`insert,c0,..` / `delete,IDX`) |
 //! | `/stats` | GET | — |
+//!
+//! `/solve` dispatches through the unified solver registry
+//! (`fam_algos::Registry`), so every registered algorithm — including
+//! coordinate-based ones like `dp-2d` and `sky-dom` — is reachable by
+//! name; an unknown name answers 400 enumerating the valid names, and a
+//! capability violation (e.g. `dp-2d` on a non-2-D dataset) answers 400
+//! with the constraint, never 500.
 //!
 //! Every response is JSON with `Connection: close`. Client mistakes map
 //! to 400 (404 for an unknown dataset or route, 405 for a wrong method);
@@ -24,11 +32,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
+use fam_algos::{Registry, SolverSpec};
 use fam_core::FamError;
 
 use crate::http::{read_request, write_response, Request};
 use crate::json::{array_raw, array_usize, Obj};
-use crate::service::{DatasetService, SolveAlgo};
+use crate::service::DatasetService;
 
 /// Default worker-pool size.
 pub const DEFAULT_WORKERS: usize = 4;
@@ -214,18 +223,20 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
             Obj::new()
                 .raw(
                     "endpoints",
-                    "[\"GET /datasets\",\"GET /solve?dataset=..&k=..&algo=..\",\
+                    "[\"GET /datasets\",\"GET /algos\",\
+                     \"GET /solve?dataset=..&k=..&algo=..\",\
                      \"GET /evaluate?dataset=..&selection=i,j,k\",\
                      \"POST /update?dataset=..\",\"GET /stats\"]",
                 )
                 .build(),
         ),
         ("GET", "/datasets") => list_datasets(state),
+        ("GET", "/algos") => list_algos(),
         ("GET", "/solve") => solve(state, req),
         ("GET", "/evaluate") => evaluate(state, req),
         ("POST", "/update") => update(state, req),
         ("GET", "/stats") => stats(state),
-        (_, "/datasets" | "/solve" | "/evaluate" | "/update" | "/stats" | "/") => {
+        (_, "/datasets" | "/algos" | "/solve" | "/evaluate" | "/update" | "/stats" | "/") => {
             (405, Obj::new().str("error", "method not allowed").build())
         }
         _ => (404, Obj::new().str("error", format!("no route `{}`", req.path).as_str()).build()),
@@ -267,6 +278,10 @@ fn list_datasets(state: &ServerState) -> (u16, String) {
     (200, Obj::new().raw("datasets", &array_raw(&items)).build())
 }
 
+/// Query keys with a routing meaning of their own; everything else is
+/// handed to the solver-parameter parser.
+const RESERVED_QUERY_KEYS: &[&str] = &["dataset", "k", "algo"];
+
 fn solve(state: &ServerState, req: &Request) -> (u16, String) {
     let ds = match slot(state, req) {
         Ok(ds) => ds,
@@ -277,16 +292,17 @@ fn solve(state: &ServerState, req: &Request) -> (u16, String) {
         _ => return (400, Obj::new().str("error", "missing or malformed `k`").build()),
     };
     let algo_name = req.query.get("algo").map(String::as_str).unwrap_or("add-greedy");
-    let Some(algo) = SolveAlgo::parse(algo_name) else {
-        return (
-            400,
-            Obj::new()
-                .str(
-                    "error",
-                    format!("unknown algo `{algo_name}` (add-greedy|greedy-shrink)").as_str(),
-                )
-                .build(),
-        );
+    // Every non-reserved query parameter is a solver parameter, parsed by
+    // the same `SolverSpec` machinery the CLI's `--param key=val` uses.
+    let pairs: Vec<(&str, &str)> = req
+        .query
+        .iter()
+        .filter(|(key, _)| !RESERVED_QUERY_KEYS.contains(&key.as_str()))
+        .map(|(key, value)| (key.as_str(), value.as_str()))
+        .collect();
+    let spec = match SolverSpec::parse(algo_name, k, &pairs) {
+        Ok(spec) => spec,
+        Err(e) => return client_error(&e),
     };
     ds.stats.solve.fetch_add(1, Ordering::Relaxed);
     let t0 = Instant::now();
@@ -294,13 +310,13 @@ fn solve(state: &ServerState, req: &Request) -> (u16, String) {
         Ok(svc) => svc,
         Err(_) => return poisoned(),
     };
-    match svc.solve(algo, k) {
+    match svc.solve(&spec) {
         Ok((res, cached)) => {
             let counter = if cached { &ds.stats.cache_hits } else { &ds.stats.cache_misses };
             counter.fetch_add(1, Ordering::Relaxed);
             let body = Obj::new()
                 .str("dataset", svc.name())
-                .str("algo", algo.name())
+                .str("algo", &spec.name)
                 .num("k", k as u64)
                 .bool("cached", cached)
                 .raw("selection", &array_usize(&res.indices))
@@ -314,6 +330,29 @@ fn solve(state: &ServerState, req: &Request) -> (u16, String) {
             client_error(&e)
         }
     }
+}
+
+/// `GET /algos` — the solver registry with per-algorithm capabilities.
+fn list_algos() -> (u16, String) {
+    let mut items = Vec::new();
+    for solver in Registry::global().iter() {
+        let caps = solver.capabilities();
+        let mut obj = Obj::new()
+            .str("name", solver.name())
+            .str("kind", if caps.exact { "exact" } else { "heuristic" })
+            .bool("warm_start", caps.warm_start)
+            .bool("range_harvest", caps.range_harvest)
+            .bool("needs_dataset", caps.needs_dataset)
+            .bool("reports_arr", caps.reports_arr)
+            .bool("exponential", caps.exponential)
+            .bool("needs_matrix", caps.needs_matrix);
+        obj = match caps.dimension {
+            Some(d) => obj.num("dimension", d as u64),
+            None => obj.raw("dimension", "null"),
+        };
+        items.push(obj.build());
+    }
+    (200, Obj::new().raw("algos", &array_raw(&items)).build())
 }
 
 fn evaluate(state: &ServerState, req: &Request) -> (u16, String) {

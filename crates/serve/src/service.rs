@@ -1,24 +1,27 @@
-//! Per-dataset serving state: one resident [`DynamicEngine`] plus a
-//! multi-`k` result cache.
+//! Per-dataset serving state: one resident [`DynamicEngine`], the live
+//! point coordinates, and a multi-`k` result cache.
 //!
-//! The cache holds the solutions for every `(algorithm, k)` in the
-//! configured `cache_k` range, harvested in one greedy trajectory per
-//! algorithm (`fam_algos::trajectory`). Harvested entries are
-//! **bit-identical** to cold per-`k` solves on the current database —
-//! pinned by the trajectory tests and re-pinned end-to-end over TCP by
-//! `tests/live_server.rs` — so a cached answer is indistinguishable from
-//! a fresh one. Updates (`POST /update`) apply atomically through the
-//! engine's warm-repair path and then re-harvest the cache on the updated
-//! matrix, keeping that equivalence across the database's whole lifetime.
+//! Solves dispatch through the unified solver registry
+//! (`fam_algos::registry`): any registered algorithm name is valid, and
+//! capability gating (dataset-needing solvers, dimension constraints,
+//! warm seeds) answers a clean client error instead of a panic. The
+//! cache holds the solutions for every `(algorithm, k)` in the
+//! configured `cache_k` range for each solver whose capabilities declare
+//! range harvesting, gathered in one greedy trajectory per algorithm.
+//! Harvested entries are **bit-identical** to cold per-`k` solves on the
+//! current database — pinned by the trajectory tests and re-pinned
+//! end-to-end over TCP by `tests/live_server.rs` — so a cached answer is
+//! indistinguishable from a fresh one. Updates (`POST /update`) apply
+//! atomically through the engine's warm-repair path, permute the
+//! retained coordinates with the engine's index remap (so
+//! coordinate-based solvers like `dp-2d` answer against the *current*
+//! point universe), and then re-harvest the cache on the updated matrix.
 
 use std::collections::BTreeMap;
 use std::ops::RangeInclusive;
 use std::sync::Arc;
 
-use fam_algos::{
-    add_greedy, add_greedy_range, greedy_shrink, greedy_shrink_range, warm_repair,
-    GreedyShrinkConfig,
-};
+use fam_algos::{warm_repair, Registry, SolverSpec};
 use fam_core::{
     regret, ApplyReport, Dataset, DynamicEngine, FamError, RegretReport, Result, ScoreMatrix,
     SimplexLinear, UniformLinear, UpdateBatch, UtilityDistribution, UtilityFunction,
@@ -54,37 +57,6 @@ impl DistKind {
     }
 }
 
-/// The solvers the `/solve` endpoint speaks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum SolveAlgo {
-    /// Insertion greedy (`fam_algos::add_greedy`).
-    AddGreedy,
-    /// The paper's GREEDY-SHRINK (`fam_algos::greedy_shrink`).
-    GreedyShrink,
-}
-
-impl SolveAlgo {
-    /// Every supported algorithm, in cache/report order.
-    pub const ALL: [SolveAlgo; 2] = [SolveAlgo::AddGreedy, SolveAlgo::GreedyShrink];
-
-    /// Parses the CLI/HTTP spelling.
-    pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "add-greedy" => Some(SolveAlgo::AddGreedy),
-            "greedy-shrink" => Some(SolveAlgo::GreedyShrink),
-            _ => None,
-        }
-    }
-
-    /// The canonical spelling.
-    pub fn name(self) -> &'static str {
-        match self {
-            SolveAlgo::AddGreedy => "add-greedy",
-            SolveAlgo::GreedyShrink => "greedy-shrink",
-        }
-    }
-}
-
 /// How a dataset samples its user population and what it caches.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -96,8 +68,8 @@ pub struct ServeOptions {
     /// Utility distribution family.
     pub dist: DistKind,
     /// The `k` range whose solutions are cached (and re-harvested after
-    /// every update). The engine's resident selection is maintained at
-    /// `*cache_k.end()`.
+    /// every update) for every range-capable registered solver. The
+    /// engine's resident selection is maintained at `*cache_k.end()`.
     pub cache_k: RangeInclusive<usize>,
 }
 
@@ -107,12 +79,30 @@ impl Default for ServeOptions {
     }
 }
 
+/// Largest search space (as `log2` of the subset count `C(n, k)`) an
+/// exponential-cost solver (per [`fam_algos::Caps::exponential`]) may be
+/// served against: ~4M candidate subsets. The paper's own brute-force
+/// comparison (100 points, k = 3 ⇒ `C(100,3) ≈ 2^17`) fits comfortably;
+/// a worker holds the dataset's read lock for the whole search, so the
+/// gate bounds the *work*, not just the point count — `C(100, 50)` is
+/// `≈ 2^96` and must be refused even though `n` is small.
+pub const MAX_EXPONENTIAL_LOG2_SUBSETS: f64 = 22.0;
+
+/// `log2(C(n, k))` — the worst-case subset count of an enumeration
+/// search, in bits.
+fn log2_binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n.saturating_sub(k));
+    (0..k).map(|i| (((n - i) as f64) / ((i + 1) as f64)).log2()).sum()
+}
+
 /// One cached (or freshly computed) solution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveResult {
     /// Selected point indices, sorted ascending.
     pub indices: Vec<usize>,
-    /// The solver's `arr` estimate at termination.
+    /// Estimated average regret ratio of the selection on the resident
+    /// matrix: the solver's own estimate when its capabilities declare
+    /// one (`reports_arr`), a fresh evaluation otherwise.
     pub arr: f64,
 }
 
@@ -126,13 +116,17 @@ pub struct UpdateSummary {
 }
 
 /// A named dataset being served: sampled population, resident engine,
-/// multi-`k` cache.
+/// live coordinates, multi-`k` cache.
 pub struct DatasetService {
     name: String,
     dim: usize,
     functions: Vec<Arc<dyn UtilityFunction>>,
     engine: DynamicEngine,
-    cache: BTreeMap<(SolveAlgo, usize), SolveResult>,
+    /// The current point coordinates, in the engine's point order —
+    /// kept in lockstep with the matrix through every update so
+    /// coordinate-based solvers answer against the live universe.
+    dataset: Dataset,
+    cache: BTreeMap<(String, usize), SolveResult>,
     cache_k: RangeInclusive<usize>,
     updates: u64,
 }
@@ -140,31 +134,26 @@ pub struct DatasetService {
 fn build_cache(
     m: &ScoreMatrix,
     ks: &RangeInclusive<usize>,
-) -> Result<BTreeMap<(SolveAlgo, usize), SolveResult>> {
+) -> Result<BTreeMap<(String, usize), SolveResult>> {
     let mut cache = BTreeMap::new();
-    let grown = add_greedy_range(m, ks.clone())?;
-    let shrunk = greedy_shrink_range(m, ks.clone())?;
-    for (i, sel) in grown.into_iter().enumerate() {
-        let arr = sel.objective.unwrap_or(f64::NAN);
-        cache.insert(
-            (SolveAlgo::AddGreedy, ks.start() + i),
-            SolveResult { indices: sel.indices, arr },
-        );
-    }
-    for (i, sel) in shrunk.into_iter().enumerate() {
-        let arr = sel.objective.unwrap_or(f64::NAN);
-        cache.insert(
-            (SolveAlgo::GreedyShrink, ks.start() + i),
-            SolveResult { indices: sel.indices, arr },
-        );
+    for solver in Registry::global().iter().filter(|s| s.capabilities().range_harvest) {
+        let spec = SolverSpec::new(solver.name(), *ks.end());
+        let outs = Registry::global().solve_range(&spec, m, None, ks.clone())?;
+        for (i, out) in outs.into_iter().enumerate() {
+            let arr = out.selection.objective.unwrap_or(f64::NAN);
+            cache.insert(
+                (solver.name().to_string(), ks.start() + i),
+                SolveResult { indices: out.selection.indices, arr },
+            );
+        }
     }
     Ok(cache)
 }
 
 impl DatasetService {
     /// Samples the user population, scores the dataset, harvests the
-    /// multi-`k` cache, and seats the resident engine at
-    /// `*opts.cache_k.end()`.
+    /// multi-`k` cache for every range-capable registered solver, and
+    /// seats the resident engine at `*opts.cache_k.end()`.
     ///
     /// # Errors
     ///
@@ -194,13 +183,24 @@ impl DatasetService {
             (0..opts.samples).map(|_| dist.sample(&mut rng)).collect();
         let matrix = ScoreMatrix::from_functions(dataset, &functions, None)?;
         let cache = build_cache(&matrix, &opts.cache_k)?;
-        let initial = cache[&(SolveAlgo::AddGreedy, hi)].indices.clone();
+        let initial = cache
+            .get(&("add-greedy".to_string(), hi))
+            .ok_or_else(|| {
+                FamError::unsupported(
+                    "add-greedy",
+                    "the registry lost its range-harvesting seed solver; \
+                     the resident engine cannot be seated",
+                )
+            })?
+            .indices
+            .clone();
         let engine = DynamicEngine::new(matrix, hi, &initial)?;
         Ok(DatasetService {
             name: name.to_string(),
             dim: dataset.dim(),
             functions,
             engine,
+            dataset: dataset.clone(),
             cache,
             cache_k: opts.cache_k.clone(),
             updates: 0,
@@ -253,25 +253,69 @@ impl DatasetService {
         self.engine.matrix()
     }
 
-    /// Answers `solve(algo, k)`: from the cache when `k` is in the cached
-    /// range (`true` in the second slot), by a cold solve on the resident
-    /// matrix otherwise. Both paths produce bit-identical results for the
-    /// same `(algo, k)`.
+    /// The live point coordinates, in the engine's point order.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Whether a spec is answerable from the cache: canonical parameters
+    /// for a harvested `(algorithm, k)` entry.
+    fn cache_key(&self, spec: &SolverSpec) -> Option<(String, usize)> {
+        if spec.params.is_canonical() {
+            Some((spec.name.clone(), spec.params.k))
+        } else {
+            None
+        }
+    }
+
+    /// Answers a solve for any registered algorithm: from the cache when
+    /// the spec is canonical and `(algo, k)` was harvested (`true` in
+    /// the second slot), by a cold registry dispatch against the
+    /// resident matrix + live coordinates otherwise. Both paths produce
+    /// bit-identical results for the same spec.
     ///
     /// # Errors
     ///
-    /// Returns an error when `k` is invalid for the current database.
-    pub fn solve(&self, algo: SolveAlgo, k: usize) -> Result<(SolveResult, bool)> {
-        if let Some(hit) = self.cache.get(&(algo, k)) {
-            return Ok((hit.clone(), true));
+    /// Returns [`FamError::Unsupported`] for unknown algorithm names
+    /// (enumerating the registry) and capability violations, or the
+    /// solver's own validation errors.
+    pub fn solve(&self, spec: &SolverSpec) -> Result<(SolveResult, bool)> {
+        if let Some(key) = self.cache_key(spec) {
+            if let Some(hit) = self.cache.get(&key) {
+                return Ok((hit.clone(), true));
+            }
+        }
+        let registry = Registry::global();
+        let solver = registry.require(&spec.name)?;
+        // A worker runs the solve while holding the dataset's read lock;
+        // an enumeration-style exact search over a large subset space
+        // would pin it (and stall writers) effectively forever, so
+        // exponential solvers are capped at a search space that finishes
+        // interactively. The gate bounds C(n, k), not n alone: k near
+        // n/2 explodes the space even on a small database.
+        if solver.capabilities().exponential {
+            let bits = log2_binomial(self.n_points(), spec.params.k);
+            if bits > MAX_EXPONENTIAL_LOG2_SUBSETS {
+                return Err(FamError::unsupported(
+                    &spec.name,
+                    format!(
+                        "exponential-cost search is capped at 2^{MAX_EXPONENTIAL_LOG2_SUBSETS} \
+                         candidate subsets when served; C({}, {}) is ~2^{bits:.0}",
+                        self.n_points(),
+                        spec.params.k
+                    ),
+                ));
+            }
         }
         let m = self.engine.matrix();
-        let sel = match algo {
-            SolveAlgo::AddGreedy => add_greedy(m, k)?,
-            SolveAlgo::GreedyShrink => greedy_shrink(m, GreedyShrinkConfig::new(k))?.selection,
+        let out = registry.solve(spec, m, Some(&self.dataset))?;
+        let arr = match out.selection.objective {
+            Some(v) if solver.capabilities().reports_arr => v,
+            // Oblivious baselines (and the continuous-measure DP) do not
+            // estimate the sampled arr; evaluate their selection fresh.
+            _ => regret::arr(m, &out.selection.indices)?,
         };
-        let arr = sel.objective.unwrap_or(f64::NAN);
-        Ok((SolveResult { indices: sel.indices, arr }, false))
+        Ok((SolveResult { indices: out.selection.indices, arr }, false))
     }
 
     /// Evaluates an explicit selection against the resident matrix.
@@ -285,25 +329,53 @@ impl DatasetService {
 
     /// Applies a parsed op stream as one atomic batch — deletes index the
     /// pre-batch point set, inserts are scored under the dataset's
-    /// resident user population — then re-harvests the cache on the
-    /// updated database.
+    /// resident user population — then permutes the live coordinates with
+    /// the engine's remap and re-harvests the cache on the updated
+    /// database.
     ///
     /// # Errors
     ///
     /// Returns engine validation errors (out-of-bounds deletes, a batch
-    /// that would leave fewer than the cached maximum `k` points) with
-    /// nothing applied, or repair/harvest errors.
+    /// that would leave fewer than the cached maximum `k` points,
+    /// negative insert coordinates) with nothing applied, or
+    /// repair/harvest errors.
     pub fn apply_ops(&mut self, ops: &[UpdateOp]) -> Result<UpdateSummary> {
         let mut batch = UpdateBatch::default();
+        let mut inserted_coords: Vec<&[f64]> = Vec::new();
         for op in ops {
             match op {
-                UpdateOp::Insert(coords) => batch
-                    .insert
-                    .push(self.functions.iter().map(|f| f.utility(usize::MAX, coords)).collect()),
+                UpdateOp::Insert(coords) => {
+                    // The op-stream parser validates arity, but this is a
+                    // public API reachable with hand-built ops: a wrong-
+                    // arity insert must fail *here*, before the engine
+                    // mutates, or the coordinate mirror rebuild would
+                    // fail after the matrix already changed.
+                    if coords.len() != self.dim {
+                        return Err(FamError::DimensionMismatch {
+                            expected: self.dim,
+                            got: coords.len(),
+                        });
+                    }
+                    // The paper's model (and `Dataset`) lives in R^d_{>=0};
+                    // reject violations before anything mutates, so the
+                    // coordinate mirror can always be rebuilt.
+                    if let Some(c) = coords.iter().find(|c| **c < 0.0) {
+                        return Err(FamError::InvalidParameter {
+                            name: "insert",
+                            message: format!("negative coordinate {c} (points must be in R>=0)"),
+                        });
+                    }
+                    batch.insert.push(
+                        self.functions.iter().map(|f| f.utility(usize::MAX, coords)).collect(),
+                    );
+                    inserted_coords.push(coords);
+                }
                 UpdateOp::Delete(idx) => batch.delete.push(*idx),
             }
         }
         let report = self.engine.apply_with(&batch, warm_repair)?;
+        self.dataset =
+            permuted_dataset(&self.dataset, &report.remap, &inserted_coords, self.updates)?;
         self.cache = build_cache(self.engine.matrix(), &self.cache_k)?;
         self.updates += 1;
         Ok(UpdateSummary { report, cache_entries: self.cache.len() })
@@ -323,9 +395,48 @@ impl DatasetService {
     }
 }
 
+/// Rebuilds the coordinate mirror after a batch: survivors permute
+/// through the engine's remap (swap-remove order), inserted points
+/// append in batch order; labels follow their points (inserted points
+/// are labelled `inserted-{batch}-{j}` — the batch number keeps labels
+/// from colliding across updates).
+fn permuted_dataset(
+    old: &Dataset,
+    remap: &[Option<u32>],
+    inserted: &[&[f64]],
+    batch: u64,
+) -> Result<Dataset> {
+    let n_new = remap.iter().filter(|r| r.is_some()).count() + inserted.len();
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); n_new];
+    let labelled = old.label(0).is_some();
+    let mut labels: Vec<String> = vec![String::new(); if labelled { n_new } else { 0 }];
+    for (old_idx, slot) in remap.iter().enumerate() {
+        if let Some(new_idx) = slot {
+            rows[*new_idx as usize] = old.point(old_idx).to_vec();
+            if labelled {
+                labels[*new_idx as usize] = old.label(old_idx).unwrap_or("").to_string();
+            }
+        }
+    }
+    let first_new = n_new - inserted.len();
+    for (j, coords) in inserted.iter().enumerate() {
+        rows[first_new + j] = coords.to_vec();
+        if labelled {
+            labels[first_new + j] = format!("inserted-{batch}-{j}");
+        }
+    }
+    let ds = Dataset::from_rows(rows)?;
+    if labelled {
+        ds.with_labels(labels)
+    } else {
+        Ok(ds)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fam_algos::{add_greedy, dp_2d, greedy_shrink, GreedyShrinkConfig, UniformBoxMeasure};
     use fam_data::{synthetic, Correlation};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -335,22 +446,28 @@ mod tests {
         synthetic(n, 3, Correlation::AntiCorrelated, &mut rng).unwrap()
     }
 
+    fn dataset_2d(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(77);
+        synthetic(n, 2, Correlation::AntiCorrelated, &mut rng).unwrap()
+    }
+
     fn options() -> ServeOptions {
         ServeOptions { samples: 120, seed: 7, dist: DistKind::Uniform, cache_k: 1..=4 }
     }
 
     #[test]
-    fn build_populates_cache_for_both_algorithms() {
+    fn build_populates_cache_for_every_range_capable_algorithm() {
         let svc = DatasetService::build("demo", &dataset(40), &options()).unwrap();
         assert_eq!(svc.name(), "demo");
         assert_eq!(svc.n_points(), 40);
         assert_eq!(svc.n_samples(), 120);
         assert_eq!(svc.dim(), 3);
+        assert_eq!(svc.dataset().len(), 40);
         assert_eq!(svc.resident_selection().len(), 4);
-        for algo in SolveAlgo::ALL {
+        for algo in ["add-greedy", "greedy-shrink"] {
             for k in 1..=4 {
-                let (res, cached) = svc.solve(algo, k).unwrap();
-                assert!(cached, "{algo:?} k={k} should be cached");
+                let (res, cached) = svc.solve(&SolverSpec::new(algo, k)).unwrap();
+                assert!(cached, "{algo} k={k} should be cached");
                 assert_eq!(res.indices.len(), k);
                 assert!(res.arr.is_finite());
             }
@@ -361,13 +478,13 @@ mod tests {
     fn cached_answers_equal_cold_solves_bitwise() {
         let svc = DatasetService::build("demo", &dataset(35), &options()).unwrap();
         for k in 1..=4 {
-            let (hit, cached) = svc.solve(SolveAlgo::AddGreedy, k).unwrap();
+            let (hit, cached) = svc.solve(&SolverSpec::new("add-greedy", k)).unwrap();
             assert!(cached);
             let cold = add_greedy(svc.matrix(), k).unwrap();
             assert_eq!(hit.indices, cold.indices);
             assert_eq!(hit.arr.to_bits(), cold.objective.unwrap().to_bits());
 
-            let (hit, cached) = svc.solve(SolveAlgo::GreedyShrink, k).unwrap();
+            let (hit, cached) = svc.solve(&SolverSpec::new("greedy-shrink", k)).unwrap();
             assert!(cached);
             let cold = greedy_shrink(svc.matrix(), GreedyShrinkConfig::new(k)).unwrap();
             assert_eq!(hit.indices, cold.selection.indices);
@@ -376,17 +493,52 @@ mod tests {
     }
 
     #[test]
-    fn uncached_k_solves_cold() {
-        let svc = DatasetService::build("demo", &dataset(30), &options()).unwrap();
-        let (res, cached) = svc.solve(SolveAlgo::AddGreedy, 7).unwrap();
-        assert!(!cached);
-        assert_eq!(res.indices.len(), 7);
-        assert!(svc.solve(SolveAlgo::AddGreedy, 0).is_err());
-        assert!(svc.solve(SolveAlgo::GreedyShrink, 31).is_err());
+    fn every_registered_algorithm_is_servable() {
+        let svc = DatasetService::build("demo", &dataset_2d(30), &options()).unwrap();
+        for solver in Registry::global().iter() {
+            let k = 3.max(svc.dim()); // cube needs k >= d
+            let (res, _) = svc
+                .solve(&SolverSpec::new(solver.name(), k))
+                .unwrap_or_else(|e| panic!("{}: {e}", solver.name()));
+            assert_eq!(res.indices.len(), k, "{}", solver.name());
+            assert!(res.arr.is_finite(), "{}", solver.name());
+        }
     }
 
     #[test]
-    fn update_reharvests_bit_identical_cache() {
+    fn non_canonical_params_bypass_the_cache() {
+        let svc = DatasetService::build("demo", &dataset(30), &options()).unwrap();
+        let spec = SolverSpec::parse("greedy-shrink", 2, &[("lazy", "false")]).unwrap();
+        let (res, cached) = svc.solve(&spec).unwrap();
+        assert!(!cached, "non-canonical spec must solve cold");
+        // Lazy off changes nothing about the result, only the work done.
+        let (hit, _) = svc.solve(&SolverSpec::new("greedy-shrink", 2)).unwrap();
+        assert_eq!(res.indices, hit.indices);
+    }
+
+    #[test]
+    fn uncached_k_solves_cold() {
+        let svc = DatasetService::build("demo", &dataset(30), &options()).unwrap();
+        let (res, cached) = svc.solve(&SolverSpec::new("add-greedy", 7)).unwrap();
+        assert!(!cached);
+        assert_eq!(res.indices.len(), 7);
+        assert!(svc.solve(&SolverSpec::new("add-greedy", 0)).is_err());
+        assert!(svc.solve(&SolverSpec::new("greedy-shrink", 31)).is_err());
+    }
+
+    #[test]
+    fn unknown_and_unsupported_algorithms_answer_cleanly() {
+        let svc = DatasetService::build("demo", &dataset(20), &options()).unwrap();
+        let err = svc.solve(&SolverSpec::new("quantum", 2)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("add-greedy") && msg.contains("sky-dom"), "{msg}");
+        // dp-2d on a 3-D dataset: dimension constraint, not a panic.
+        let err = svc.solve(&SolverSpec::new("dp-2d", 2)).unwrap_err();
+        assert!(matches!(err, FamError::DimensionMismatch { expected: 2, got: 3 }), "{err}");
+    }
+
+    #[test]
+    fn update_reharvests_bit_identical_cache_and_permutes_coordinates() {
         let mut svc = DatasetService::build("demo", &dataset(30), &options()).unwrap();
         let summary = svc
             .apply_update_text("insert,0.9,0.8,0.7\ndelete,3\ninsert,0.2,0.9,0.4\n", "test ops")
@@ -396,13 +548,33 @@ mod tests {
         assert_eq!(summary.cache_entries, 8);
         assert_eq!(svc.updates(), 1);
         assert_eq!(svc.n_points(), 31);
+        // The coordinate mirror tracks the engine's point universe.
+        assert_eq!(svc.dataset().len(), 31);
+        assert_eq!(svc.dataset().point(30), &[0.2, 0.9, 0.4]);
         // Cached entries equal cold solves on the *post-update* database.
         for k in [1usize, 4] {
-            let (hit, cached) = svc.solve(SolveAlgo::AddGreedy, k).unwrap();
+            let (hit, cached) = svc.solve(&SolverSpec::new("add-greedy", k)).unwrap();
             assert!(cached);
             let cold = add_greedy(svc.matrix(), k).unwrap();
             assert_eq!(hit.indices, cold.indices, "k={k}");
             assert_eq!(hit.arr.to_bits(), cold.objective.unwrap().to_bits(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn coordinate_solvers_answer_against_the_updated_universe() {
+        let mut svc = DatasetService::build("demo", &dataset_2d(25), &options()).unwrap();
+        svc.apply_update_text("delete,2\ninsert,0.95,0.9\ndelete,7\n", "ops").unwrap();
+        // A dominating insert must be picked up by the exact DP — which
+        // only happens if the coordinate mirror stayed in sync.
+        let (res, cached) = svc.solve(&SolverSpec::new("dp-2d", 2)).unwrap();
+        assert!(!cached);
+        let cold = dp_2d(svc.dataset(), 2, &UniformBoxMeasure).unwrap();
+        assert_eq!(res.indices, cold.selection.indices);
+        // The coordinates the matrix was scored on are the mirror's.
+        let m2 = ScoreMatrix::from_functions(svc.dataset(), &svc.functions, None).unwrap();
+        for u in 0..svc.n_samples() {
+            assert_eq!(svc.matrix().row(u), m2.row(u), "row {u} diverged from the mirror");
         }
     }
 
@@ -413,10 +585,17 @@ mod tests {
         assert!(err.to_string().contains("request body, line 1"), "{err}");
         let err = svc.apply_update_text("insert,0.1,0.2,NaN\n", "request body").unwrap_err();
         assert!(err.to_string().contains("non-finite"), "{err}");
+        let err = svc.apply_update_text("insert,0.1,0.2,-0.5\n", "request body").unwrap_err();
+        assert!(err.to_string().contains("negative"), "{err}");
+        // A wrong-arity insert through the *public* apply_ops (bypassing
+        // the op-stream parser) is rejected before anything mutates.
+        let err = svc.apply_ops(&[UpdateOp::Insert(vec![0.5])]).unwrap_err();
+        assert!(matches!(err, FamError::DimensionMismatch { expected: 3, got: 1 }), "{err}");
         // Deleting below the cached maximum k is rejected atomically.
         let wipe: String = (3..20).map(|i| format!("delete,{i}\n")).collect();
         assert!(svc.apply_update_text(&wipe, "request body").is_err());
         assert_eq!(svc.n_points(), 20);
+        assert_eq!(svc.dataset().len(), 20);
         assert_eq!(svc.updates(), 0);
         // Evaluate validates its selection.
         assert!(svc.evaluate(&[0, 1]).is_ok());
@@ -457,9 +636,46 @@ mod tests {
         for u in 0..a.n_samples() {
             assert_eq!(a.matrix().row(u), b.matrix().row(u), "row {u}");
         }
-        let (ra, _) = a.solve(SolveAlgo::GreedyShrink, 3).unwrap();
-        let (rb, _) = b.solve(SolveAlgo::GreedyShrink, 3).unwrap();
+        let (ra, _) = a.solve(&SolverSpec::new("greedy-shrink", 3)).unwrap();
+        let (rb, _) = b.solve(&SolverSpec::new("greedy-shrink", 3)).unwrap();
         assert_eq!(ra.indices, rb.indices);
         assert_eq!(ra.arr.to_bits(), rb.arr.to_bits());
+    }
+
+    #[test]
+    fn labels_follow_their_points_through_updates() {
+        let rows = vec![vec![0.9, 0.2], vec![0.7, 0.6], vec![0.4, 0.8], vec![0.1, 0.95]];
+        let labels: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let ds = Dataset::from_rows(rows).unwrap().with_labels(labels).unwrap();
+        let opts = ServeOptions { samples: 50, cache_k: 1..=2, ..ServeOptions::default() };
+        let mut svc = DatasetService::build("lab", &ds, &opts).unwrap();
+        svc.apply_update_text("delete,0\ninsert,0.5,0.5\n", "ops").unwrap();
+        // Swap-remove: the then-last point (`d`) fills slot 0.
+        assert_eq!(svc.dataset().label(0), Some("d"));
+        assert_eq!(svc.dataset().label(1), Some("b"));
+        assert_eq!(svc.dataset().label(2), Some("c"));
+        assert_eq!(svc.dataset().label(3), Some("inserted-0-0"));
+        assert_eq!(svc.dataset().point(3), &[0.5, 0.5]);
+        // A second batch's inserts do not collide with the first's.
+        svc.apply_update_text("insert,0.6,0.6\n", "ops").unwrap();
+        assert_eq!(svc.dataset().label(4), Some("inserted-1-0"));
+    }
+
+    #[test]
+    fn exponential_solvers_are_work_capped_when_served() {
+        // C(30, 2) = 435 subsets: comfortably within the cap.
+        let svc = DatasetService::build("s", &dataset(30), &options()).unwrap();
+        assert!(svc.solve(&SolverSpec::new("brute-force", 2)).is_ok());
+        // C(30, 15) ≈ 2^27: refused with a clean Unsupported, not a
+        // pinned worker — the gate bounds the subset space, not n alone.
+        let err = svc.solve(&SolverSpec::new("brute-force", 15)).unwrap_err();
+        assert!(matches!(err, FamError::Unsupported { .. }), "{err}");
+        assert!(err.to_string().contains("capped"), "{err}");
+        // The gate is symmetric in k (C(n, k) = C(n, n-k)).
+        assert!(svc.solve(&SolverSpec::new("brute-force", 28)).is_ok());
+        // Sanity on the bound itself.
+        assert!((log2_binomial(100, 3) - (161_700f64).log2()).abs() < 1e-9);
+        assert!(log2_binomial(100, 50) > 90.0);
+        assert_eq!(log2_binomial(5, 0), 0.0);
     }
 }

@@ -67,13 +67,20 @@ fn options() -> ServeOptions {
     ServeOptions { samples: 200, seed: 17, dist: DistKind::Uniform, cache_k: 1..=5 }
 }
 
+fn base_dataset_2d(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    synthetic(n, 2, Correlation::AntiCorrelated, &mut rng).expect("dataset")
+}
+
 #[test]
 fn concurrent_clients_and_updates_stay_bit_identical() {
     let alpha_data = base_dataset(11, 120);
     let beta_data = base_dataset(12, 60);
+    let gamma_data = base_dataset_2d(13, 40);
     let alpha = DatasetService::build("alpha", &alpha_data, &options()).expect("alpha");
     let beta = DatasetService::build("beta", &beta_data, &options()).expect("beta");
-    let server = Server::bind(("127.0.0.1", 0), vec![alpha, beta], 6).expect("bind");
+    let gamma = DatasetService::build("gamma", &gamma_data, &options()).expect("gamma");
+    let server = Server::bind(("127.0.0.1", 0), vec![alpha, beta, gamma], 6).expect("bind");
     let addr = server.local_addr();
     let handle = server.handle();
     let server_thread = std::thread::spawn(move || server.run());
@@ -91,6 +98,47 @@ fn concurrent_clients_and_updates_stay_bit_identical() {
     let (status, body) = get(addr, "/stats");
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"workers\":6"), "{body}");
+
+    // --- The registry endpoint lists every algorithm with capabilities. ---
+    let (status, body) = get(addr, "/algos");
+    assert_eq!(status, 200, "{body}");
+    for name in fam_algos::Registry::global().names() {
+        assert!(body.contains(&format!("\"name\":\"{name}\"")), "{name} missing in {body}");
+    }
+    assert!(body.contains("\"kind\":\"exact\"") && body.contains("\"kind\":\"heuristic\""));
+    assert!(body.contains("\"range_harvest\":true"), "{body}");
+    assert!(body.contains("\"dimension\":2"), "{body}");
+    let (status, _) = post(addr, "/algos", "");
+    assert_eq!(status, 405);
+
+    // --- Every registered algorithm answers by name over HTTP (the 2-D
+    // dataset admits dp-2d; cube needs k >= d = 2). ---
+    for name in fam_algos::Registry::global().names() {
+        let (status, body) = get(addr, &format!("/solve?dataset=gamma&k=3&algo={name}"));
+        assert_eq!(status, 200, "{name}: {body}");
+        assert_eq!(field_indices(&body, "selection").len(), 3, "{name}: {body}");
+        assert!(field_f64(&body, "arr").is_finite(), "{name}: {body}");
+    }
+    // Solver parameters ride along as query parameters, parsed by the
+    // same SolverSpec machinery as the CLI's --param.
+    let (status, body) = get(addr, "/solve?dataset=gamma&k=3&algo=dp-2d&measure=angle");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = get(addr, "/solve?dataset=gamma&k=2&algo=greedy-shrink&lazy=false");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cached\":false"), "non-canonical params must bypass the cache");
+    let (status, body) = get(addr, "/solve?dataset=gamma&k=2&algo=dp-2d&measure=warp");
+    assert_eq!(status, 400, "{body}");
+
+    // An unknown algorithm enumerates the registry in the 400 body.
+    let (status, body) = get(addr, "/solve?dataset=alpha&k=2&algo=quantum");
+    assert_eq!(status, 400, "{body}");
+    for name in fam_algos::Registry::global().names() {
+        assert!(body.contains(name), "{name} not listed in {body}");
+    }
+    // A capability violation is a clean 400 too: dp-2d on 3-D data.
+    let (status, body) = get(addr, "/solve?dataset=alpha&k=2&algo=dp-2d");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("dimension mismatch"), "{body}");
 
     // --- Error paths never kill a worker. ---
     for (path, want) in [

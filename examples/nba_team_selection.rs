@@ -1,7 +1,7 @@
 //! The Table II scenario: select 5 representative NBA players with three
 //! different objectives — average regret ratio (GREEDY-SHRINK), maximum
 //! regret ratio (MRR-GREEDY), and hit probability (K-HIT) — and compare
-//! the selections.
+//! the selections. All three run by name through one [`Engine`].
 //!
 //! The roster is synthetic (the real one is not redistributable; see
 //! DESIGN.md §4) but preserves the structure the paper's discussion relies
@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release --example nba_team_selection`
 
 use fam::prelude::*;
-use fam::{greedy_shrink, regret};
+use fam::Engine;
 use fam_data::nba;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,14 +26,17 @@ fn main() -> fam::Result<()> {
 
     // Uniform linear utilities — the paper had no preference data for NBA
     // fans and used the uniform distribution (Section V-A).
-    let dist = UniformLinear::new(ds.dim())?;
-    let n_samples = 10_000;
-    let m = ScoreMatrix::from_distribution(ds, &dist, n_samples, &mut rng)?;
+    let engine = Engine::builder()
+        .dataset(ds.clone())
+        .samples(10_000)
+        .seed(2016)
+        .solver("greedy-shrink")
+        .build()?;
 
     let k = 5;
-    let s_arr = greedy_shrink(&m, GreedyShrinkConfig::new(k))?.selection;
-    let s_mrr = mrr_greedy_sampled(&m, k)?;
-    let s_hit = k_hit(&m, k)?;
+    let s_arr = engine.solve(k)?.selection;
+    let s_mrr = engine.solve_as("mrr-greedy", k)?.selection;
+    let s_hit = engine.solve_as("k-hit", k)?.selection;
 
     let name = |i: usize| ds.label(i).unwrap_or("?").to_string();
     println!("\n{:<24}{:<24}{:<24}", "S_arr (avg regret)", "S_mrr (max regret)", "S_k-hit");
@@ -49,8 +52,8 @@ fn main() -> fam::Result<()> {
     println!("\nPer-objective quality of each set:");
     println!("{:<12}{:>12}{:>12}{:>14}{:>12}", "set", "arr", "rr std", "sampled mrr", "hit prob");
     for (label, sel) in [("S_arr", &s_arr), ("S_mrr", &s_mrr), ("S_k-hit", &s_hit)] {
-        let rep = regret::report(&m, &sel.indices)?;
-        let hit = hit_probability(&m, &sel.indices);
+        let rep = engine.evaluate(&sel.indices)?;
+        let hit = hit_probability(engine.matrix(), &sel.indices);
         println!("{label:<12}{:>12.4}{:>12.4}{:>14.4}{:>12.4}", rep.arr, rep.std_dev, rep.mrr, hit);
     }
 

@@ -1,12 +1,12 @@
 //! Quickstart: the hotel-booking scenario from the paper's introduction
-//! and Table I.
+//! and Table I, driven through the unified `Engine` facade.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use std::sync::Arc;
 
 use fam::prelude::*;
-use fam::{greedy_shrink, DiscreteDistribution, TableUtility};
+use fam::{DiscreteDistribution, Engine, TableUtility};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,14 +35,16 @@ fn main() -> fam::Result<()> {
     let placeholder = Dataset::from_rows(vec![vec![1.0]; hotels.len()])?;
     let scores = ScoreMatrix::from_discrete_exact(&placeholder, &dist)?;
 
+    // An engine built from a pre-computed matrix skips sampling entirely.
+    let exact_engine = Engine::builder().matrix(scores).solver("greedy-shrink").build()?;
+
     // Average regret ratio of showing only {Intercontinental, Hilton},
     // computed exactly (no sampling) as in the paper's running example.
-    let shown = vec![2, 3];
-    let arr = regret::arr(&scores, &shown)?;
+    let arr = exact_engine.evaluate(&[2, 3])?.arr;
     println!("arr({{Intercontinental, Hilton}}) = {arr:.4}  (paper's running example)");
 
     // The best 2-hotel page according to GREEDY-SHRINK:
-    let out = greedy_shrink(&scores, GreedyShrinkConfig::new(2))?;
+    let out = exact_engine.solve(2)?;
     let names: Vec<&str> = out.selection.indices.iter().map(|&i| hotels[i]).collect();
     println!("GREEDY-SHRINK picks {names:?} with arr = {:.4}\n", out.selection.objective.unwrap());
 
@@ -56,17 +58,29 @@ fn main() -> fam::Result<()> {
     // Sample size from the Chernoff bound (Theorem 4): eps=0.05, sigma=0.1.
     let spec = SampleSpec::new(0.05, 0.1)?;
     println!("Chernoff bound: N >= {} samples for eps={}, 1-sigma=0.9", spec.n, spec.epsilon);
-    let dist = UniformLinear::new(3)?;
-    let m = ScoreMatrix::from_distribution(&catalogue, &dist, spec.n as usize, &mut rng)?;
+    let engine = Engine::builder()
+        .dataset(catalogue)
+        .samples(spec.n as usize)
+        .seed(42)
+        .solver("greedy-shrink")
+        .build()?;
 
     for k in [1, 5, 10] {
-        let out = greedy_shrink(&m, GreedyShrinkConfig::new(k))?;
-        let rep = out.selection.evaluate(&m)?;
+        let out = engine.solve(k)?;
+        let rep = engine.evaluate(&out.selection.indices)?;
         println!(
             "k = {k:>2}: arr = {:.4}, rr std-dev = {:.4}, max rr = {:.4}, query = {:?}",
             rep.arr, rep.std_dev, rep.mrr, out.selection.query_time
         );
     }
     println!("\nShowing more hotels monotonically reduces average regret (Lemma 1).");
+
+    // The same engine reaches every registered algorithm by name.
+    println!("\n== The solver registry, from one engine ==");
+    for name in ["add-greedy", "mrr-greedy", "sky-dom", "k-hit"] {
+        let out = engine.solve_as(name, 5)?;
+        let rep = engine.evaluate(&out.selection.indices)?;
+        println!("{name:<12} k=5: arr = {:.4}", rep.arr);
+    }
     Ok(())
 }

@@ -1,10 +1,11 @@
 //! Exact optimization in two dimensions: the DP of Section IV versus
-//! GREEDY-SHRINK and brute force, under two analytic weight measures.
+//! GREEDY-SHRINK and brute force, under two analytic weight measures —
+//! every algorithm dispatched by name through one [`Engine`].
 //!
 //! Run with: `cargo run --release --example two_dim_exact`
 
 use fam::prelude::*;
-use fam::{brute_force, greedy_shrink};
+use fam::{Engine, MeasureKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,18 +17,19 @@ fn main() -> fam::Result<()> {
     let sky = skyline(&ds);
     println!("n = {}, skyline size = {}", ds.len(), sky.len());
 
-    // A sampled score matrix for the approximate algorithms (uniform
-    // weights on the unit square — exactly the UniformBoxMeasure).
-    let dist = UniformLinear::new(2)?;
-    let m = ScoreMatrix::from_distribution(&ds, &dist, 10_000, &mut rng)?;
+    // One engine: sampled scores for the approximate algorithms (uniform
+    // weights on the unit square — exactly the UniformBoxMeasure) plus
+    // the retained coordinates the exact DP needs.
+    let engine =
+        Engine::builder().dataset(ds.clone()).samples(10_000).seed(7).solver("dp-2d").build()?;
 
     println!(
         "\n{:<6}{:>14}{:>14}{:>14}{:>16}",
         "k", "DP (exact)", "greedy (cont)", "ratio", "DP query time"
     );
     for k in 1..=6 {
-        let dp = dp_2d(&ds, k, &UniformBoxMeasure)?;
-        let gs = greedy_shrink(&m, GreedyShrinkConfig::new(k))?.selection;
+        let dp = engine.solve(k)?;
+        let gs = engine.solve_as("greedy-shrink", k)?.selection;
         // Score the greedy answer under the same *continuous* measure so
         // the comparison is apples-to-apples.
         let greedy_cont = continuous_arr(&ds, &gs.indices, &UniformBoxMeasure)?;
@@ -42,18 +44,25 @@ fn main() -> fam::Result<()> {
     // Brute force agrees with the DP on a small instance.
     println!("\nSanity: DP vs brute force on a 12-point sample, k = 3");
     let small_idx: Vec<usize> = sky.iter().copied().take(12).collect();
-    let small = ds.subset(&small_idx)?;
-    let dp = dp_2d(&small, 3, &UniformBoxMeasure)?;
-    let m_small = ScoreMatrix::from_distribution(&small, &dist, 50_000, &mut rng)?;
-    let bf = brute_force(&m_small, 3)?;
-    let bf_cont = continuous_arr(&small, &bf.indices, &UniformBoxMeasure)?;
+    let small_engine = Engine::builder()
+        .dataset(ds.subset(&small_idx)?)
+        .samples(50_000)
+        .seed(7)
+        .solver("brute-force")
+        .build()?;
+    let dp = small_engine.solve_as("dp-2d", 3)?;
+    let bf = small_engine.solve(3)?.selection;
+    let bf_cont = continuous_arr(small_engine.dataset().unwrap(), &bf.indices, &UniformBoxMeasure)?;
     println!("DP continuous optimum:            {:.5}", dp.selection.objective.unwrap());
     println!("brute force (sampled), rescored:  {bf_cont:.5}");
 
-    // The two analytic measures rank selections slightly differently.
+    // The two analytic measures rank selections slightly differently —
+    // the measure travels as a typed solver parameter.
     println!("\nMeasure sensitivity at k = 3:");
-    let box_dp = dp_2d(&ds, 3, &UniformBoxMeasure)?;
-    let angle_dp = dp_2d(&ds, 3, &UniformAngleMeasure)?;
+    let box_dp = engine.solve(3)?;
+    let mut angle_spec = SolverSpec::new("dp-2d", 3);
+    angle_spec.params.measure = MeasureKind::UniformAngle;
+    let angle_dp = engine.solve_with(&angle_spec)?;
     println!(
         "uniform-box   picks {:?} (arr {:.5})",
         box_dp.selection.indices,

@@ -1,12 +1,13 @@
 //! The full learned-utility pipeline of Section V-B2 on Yahoo!Music-shaped
 //! data: sparse song ratings → matrix factorization → 5-component Gaussian
 //! mixture over user factors → sampled non-linear utility distribution →
-//! GREEDY-SHRINK versus the baselines.
+//! GREEDY-SHRINK versus the baselines, dispatched by name through an
+//! [`Engine`] built directly on the learned score matrix.
 //!
 //! Run with: `cargo run --release --example yahoo_music_pipeline`
 
 use fam::prelude::*;
-use fam::{greedy_shrink, regret};
+use fam::Engine;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,10 +41,18 @@ fn main() -> fam::Result<()> {
         println!("  component {i}: weight {:.3}", c.weight);
     }
 
-    // Sample utility functions from the learned distribution.
+    // Sample utility functions from the learned distribution; the engine
+    // wraps the resulting matrix (no coordinates exist for learned
+    // utilities, so coordinate-based solvers are gated off — exactly
+    // what their declared capabilities say).
     let n_samples = 10_000;
     let m = model.sample_score_matrix(n_samples, &mut rng)?;
-    println!("\nSampled {} users over {} songs.", m.n_samples(), m.n_points());
+    let engine = Engine::builder().matrix(m).solver("greedy-shrink").build()?;
+    println!(
+        "\nSampled {} users over {} songs.",
+        engine.matrix().n_samples(),
+        engine.matrix().n_points()
+    );
 
     // Compare the algorithms on the learned, non-uniform, non-linear Θ.
     println!(
@@ -51,12 +60,10 @@ fn main() -> fam::Result<()> {
         "algorithm", "arr", "rr std", "rr @ 95%", "query time"
     );
     let k = 10;
-    let gs = greedy_shrink(&m, GreedyShrinkConfig::new(k))?.selection;
-    let mrr = mrr_greedy_sampled(&m, k)?;
-    let hit = k_hit(&m, k)?;
-    for sel in [&gs, &mrr, &hit] {
-        let rep = regret::report(&m, &sel.indices)?;
-        let p95 = regret::rr_percentiles(&m, &sel.indices, &[95.0])?[0];
+    for algo in ["greedy-shrink", "mrr-greedy", "k-hit"] {
+        let sel = engine.solve_as(algo, k)?.selection;
+        let rep = engine.evaluate(&sel.indices)?;
+        let p95 = regret::rr_percentiles(engine.matrix(), &sel.indices, &[95.0])?[0];
         println!(
             "{:<16}{:>10.4}{:>10.4}{:>12.4}{:>14?}",
             sel.algorithm, rep.arr, rep.std_dev, p95, sel.query_time

@@ -1,0 +1,361 @@
+//! The high-level facade over the unified solver API: build an
+//! [`Engine`] once (dataset + sampled user population + default solver),
+//! then solve by registry name.
+//!
+//! ```
+//! use fam::Engine;
+//! use fam::Dataset;
+//!
+//! let hotels = Dataset::from_rows(vec![
+//!     vec![0.9, 0.2],
+//!     vec![0.7, 0.6],
+//!     vec![0.4, 0.8],
+//!     vec![0.1, 0.95],
+//! ]).unwrap();
+//! let engine = Engine::builder()
+//!     .dataset(hotels)
+//!     .samples(1_000)
+//!     .solver("greedy-shrink")
+//!     .build()
+//!     .unwrap();
+//! let out = engine.solve(2).unwrap();
+//! assert_eq!(out.selection.len(), 2);
+//! ```
+
+use fam_algos::{Registry, SolverSpec};
+use fam_core::{
+    regret, Dataset, FamError, RegretReport, Result, ScoreMatrix, SolveOutput, UniformLinear,
+    UtilityDistribution,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default sampled-population size (`N`) when none is configured.
+pub const DEFAULT_SAMPLES: usize = 2_000;
+/// Default sampling seed (a fixed seed makes engine builds reproducible).
+pub const DEFAULT_SEED: u64 = 42;
+/// Default solver name.
+pub const DEFAULT_SOLVER: &str = "greedy-shrink";
+
+/// A built engine: the sampled score matrix, the raw dataset (when one
+/// was supplied — coordinate-based solvers need it), and a default
+/// solver name. All solving dispatches through [`Registry::global`].
+pub struct Engine {
+    dataset: Option<Dataset>,
+    matrix: ScoreMatrix,
+    solver: String,
+}
+
+impl Engine {
+    /// Starts a builder.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The resident score matrix.
+    pub fn matrix(&self) -> &ScoreMatrix {
+        &self.matrix
+    }
+
+    /// The raw dataset, when the engine was built from one.
+    pub fn dataset(&self) -> Option<&Dataset> {
+        self.dataset.as_ref()
+    }
+
+    /// The configured default solver name.
+    pub fn solver(&self) -> &str {
+        &self.solver
+    }
+
+    /// Solves for `k` points with the default solver and canonical
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns registry or solver errors.
+    pub fn solve(&self, k: usize) -> Result<SolveOutput> {
+        self.solve_with(&SolverSpec::new(&self.solver, k))
+    }
+
+    /// Solves for `k` points with any registered algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamError::Unsupported`] for unknown names (enumerating
+    /// the registry) or capability violations, or the solver's error.
+    pub fn solve_as(&self, name: &str, k: usize) -> Result<SolveOutput> {
+        self.solve_with(&SolverSpec::new(name, k))
+    }
+
+    /// Solves a fully specified request (name + typed parameters).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::solve_as`].
+    pub fn solve_with(&self, spec: &SolverSpec) -> Result<SolveOutput> {
+        Registry::global().solve(spec, &self.matrix, self.dataset.as_ref())
+    }
+
+    /// Harvests the default solver's whole `k`-range from one trajectory
+    /// (requires range-harvest capability), each entry bit-identical to
+    /// [`Engine::solve`] at that `k`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::solve`], plus [`FamError::Unsupported`] when the
+    /// default solver cannot harvest ranges.
+    pub fn solve_range(&self, ks: std::ops::RangeInclusive<usize>) -> Result<Vec<SolveOutput>> {
+        let spec = SolverSpec::new(&self.solver, *ks.end());
+        Registry::global().solve_range(&spec, &self.matrix, self.dataset.as_ref(), ks)
+    }
+
+    /// Evaluates an explicit selection against the resident matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-bounds or duplicate indices.
+    pub fn evaluate(&self, selection: &[usize]) -> Result<RegretReport> {
+        regret::report(&self.matrix, selection)
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("n_points", &self.matrix.n_points())
+            .field("n_samples", &self.matrix.n_samples())
+            .field("dataset", &self.dataset.as_ref().map(|d| (d.len(), d.dim())))
+            .field("solver", &self.solver)
+            .finish()
+    }
+}
+
+/// Builds an [`Engine`]: supply a dataset (scored under a sampled
+/// utility distribution) or a pre-built matrix, pick a default solver,
+/// and [`EngineBuilder::build`].
+pub struct EngineBuilder {
+    dataset: Option<Dataset>,
+    matrix: Option<ScoreMatrix>,
+    distribution: Option<Box<dyn UtilityDistribution>>,
+    samples: usize,
+    seed: u64,
+    solver: String,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            dataset: None,
+            matrix: None,
+            distribution: None,
+            samples: DEFAULT_SAMPLES,
+            seed: DEFAULT_SEED,
+            solver: DEFAULT_SOLVER.to_string(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// The point database. Without an explicit matrix, it is scored
+    /// under the configured distribution at build time; either way it is
+    /// kept so coordinate-based solvers (`dp-2d`, `cube`, `sky-dom`, the
+    /// LP-exact MRR-GREEDY) stay reachable.
+    #[must_use]
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// A pre-built score matrix (e.g. from a learned utility model or
+    /// the exact discrete construction). Skips sampling entirely.
+    #[must_use]
+    pub fn matrix(mut self, matrix: ScoreMatrix) -> Self {
+        self.matrix = Some(matrix);
+        self
+    }
+
+    /// The utility distribution to sample the user population from
+    /// (default: [`UniformLinear`] in the dataset's dimensionality).
+    #[must_use]
+    pub fn distribution(mut self, dist: Box<dyn UtilityDistribution>) -> Self {
+        self.distribution = Some(dist);
+        self
+    }
+
+    /// Number of sampled utility functions `N` (default
+    /// [`DEFAULT_SAMPLES`]).
+    #[must_use]
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n;
+        self
+    }
+
+    /// Sampling seed (default [`DEFAULT_SEED`]).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Default solver name (default [`DEFAULT_SOLVER`]); validated
+    /// against the registry at build time.
+    #[must_use]
+    pub fn solver(mut self, name: &str) -> Self {
+        self.solver = name.to_string();
+        self
+    }
+
+    /// Builds the engine: validates the solver name, then scores the
+    /// dataset unless a matrix was supplied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FamError::Unsupported`] for an unknown solver name
+    /// (enumerating the registry), [`FamError::InvalidParameter`] when
+    /// neither dataset nor matrix was supplied (or the sample count is
+    /// zero with no matrix), or scoring failures.
+    pub fn build(self) -> Result<Engine> {
+        Registry::global().require(&self.solver)?;
+        let matrix = match (self.matrix, &self.dataset) {
+            (Some(m), Some(ds)) => {
+                // Coordinate-based solvers index the dataset with matrix
+                // point indices: the two must describe the same universe.
+                if m.n_points() != ds.len() {
+                    return Err(FamError::InvalidParameter {
+                        name: "matrix",
+                        message: format!(
+                            "matrix covers {} points but the dataset has {}; \
+                             they must describe the same point universe",
+                            m.n_points(),
+                            ds.len()
+                        ),
+                    });
+                }
+                m
+            }
+            (Some(m), None) => m,
+            (None, Some(ds)) => {
+                if self.samples == 0 {
+                    return Err(FamError::InvalidParameter {
+                        name: "samples",
+                        message: "at least one utility sample is required".into(),
+                    });
+                }
+                let dist: Box<dyn UtilityDistribution> = match self.distribution {
+                    Some(d) => d,
+                    None => Box::new(UniformLinear::new(ds.dim())?),
+                };
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                ScoreMatrix::from_distribution(ds, dist.as_ref(), self.samples, &mut rng)?
+            }
+            (None, None) => {
+                return Err(FamError::InvalidParameter {
+                    name: "dataset",
+                    message: "an engine needs a dataset or a pre-built matrix".into(),
+                });
+            }
+        };
+        Ok(Engine { dataset: self.dataset, matrix, solver: self.solver })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fam_core::MeasureKind;
+
+    fn hotels() -> Dataset {
+        Dataset::from_rows(vec![vec![0.9, 0.2], vec![0.7, 0.6], vec![0.4, 0.8], vec![0.1, 0.95]])
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_scores_the_dataset_and_solves() {
+        let engine = Engine::builder().dataset(hotels()).samples(300).seed(7).build().unwrap();
+        assert_eq!(engine.solver(), DEFAULT_SOLVER);
+        assert_eq!(engine.matrix().n_samples(), 300);
+        assert_eq!(engine.dataset().unwrap().len(), 4);
+        let out = engine.solve(2).unwrap();
+        assert_eq!(out.selection.len(), 2);
+        let rep = engine.evaluate(&out.selection.indices).unwrap();
+        assert!(rep.arr.is_finite());
+        assert!(format!("{engine:?}").contains("greedy-shrink"));
+    }
+
+    #[test]
+    fn builds_are_reproducible_and_match_direct_calls() {
+        let a = Engine::builder().dataset(hotels()).samples(200).seed(3).build().unwrap();
+        let b = Engine::builder().dataset(hotels()).samples(200).seed(3).build().unwrap();
+        let (sa, sb) = (a.solve(2).unwrap(), b.solve(2).unwrap());
+        assert_eq!(sa.selection.indices, sb.selection.indices);
+        assert_eq!(
+            sa.selection.objective.unwrap().to_bits(),
+            sb.selection.objective.unwrap().to_bits()
+        );
+        // The builder is a thin veneer: same matrix ⇒ same answer as the
+        // free function.
+        let direct =
+            fam_algos::greedy_shrink(a.matrix(), fam_algos::GreedyShrinkConfig::new(2)).unwrap();
+        assert_eq!(sa.selection.indices, direct.selection.indices);
+    }
+
+    #[test]
+    fn every_registered_solver_is_reachable_through_the_engine() {
+        let engine = Engine::builder().dataset(hotels()).samples(150).build().unwrap();
+        for solver in Registry::global().iter() {
+            let out = engine
+                .solve_as(solver.name(), 2)
+                .unwrap_or_else(|e| panic!("{}: {e}", solver.name()));
+            assert_eq!(out.selection.len(), 2, "{}", solver.name());
+        }
+        // Typed parameters flow through solve_with.
+        let mut spec = SolverSpec::new("dp-2d", 2);
+        spec.params.measure = MeasureKind::UniformAngle;
+        assert_eq!(engine.solve_with(&spec).unwrap().selection.len(), 2);
+    }
+
+    #[test]
+    fn range_harvest_matches_per_k_solves() {
+        let engine = Engine::builder().dataset(hotels()).samples(120).build().unwrap();
+        let range = engine.solve_range(1..=3).unwrap();
+        assert_eq!(range.len(), 3);
+        for (i, out) in range.iter().enumerate() {
+            let cold = engine.solve(i + 1).unwrap();
+            assert_eq!(out.selection.indices, cold.selection.indices);
+        }
+    }
+
+    #[test]
+    fn matrix_backed_engines_skip_sampling_but_keep_solving() {
+        let m = ScoreMatrix::from_rows(
+            vec![vec![0.5, 1.0, 0.1], vec![0.4, 0.9, 0.2], vec![1.0, 0.2, 0.3]],
+            None,
+        )
+        .unwrap();
+        let engine = Engine::builder().matrix(m).solver("k-hit").build().unwrap();
+        assert!(engine.dataset().is_none());
+        assert_eq!(engine.solve(2).unwrap().selection.len(), 2);
+        // Coordinate-based solvers are gated off without a dataset.
+        assert!(engine.solve_as("sky-dom", 2).is_err());
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        assert!(Engine::builder().build().is_err());
+        assert!(Engine::builder().dataset(hotels()).samples(0).build().is_err());
+        let err = match Engine::builder().dataset(hotels()).solver("quantum").build() {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("unknown solver must fail at build time"),
+        };
+        assert!(err.contains("greedy-shrink"), "{err}");
+        // A matrix over a different point universe than the dataset is
+        // rejected: coordinate-based solvers would index it wrongly.
+        let stranger =
+            ScoreMatrix::from_rows(vec![vec![0.5, 1.0, 0.1], vec![0.4, 0.9, 0.2]], None).unwrap();
+        let err = match Engine::builder().dataset(hotels()).matrix(stranger).build() {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("mismatched matrix/dataset must fail at build time"),
+        };
+        assert!(err.contains("same point universe"), "{err}");
+    }
+}

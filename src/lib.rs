@@ -10,10 +10,12 @@
 //!
 //! ## Quick start
 //!
+//! Build an [`Engine`] — dataset, sampled user population, default
+//! solver — and solve by registry name:
+//!
 //! ```
+//! use fam::Engine;
 //! use fam::prelude::*;
-//! use fam::greedy_shrink;
-//! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! // A tiny hotel database: price-value and location scores.
 //! let hotels = Dataset::from_rows(vec![
@@ -24,16 +26,35 @@
 //! ]).unwrap();
 //!
 //! // Users with unknown linear preferences, uniformly distributed.
-//! let mut rng = StdRng::seed_from_u64(1);
-//! let dist = UniformLinear::new(2).unwrap();
-//! let scores = ScoreMatrix::from_distribution(&hotels, &dist, 1_000, &mut rng).unwrap();
+//! let engine = Engine::builder()
+//!     .dataset(hotels)
+//!     .samples(1_000)
+//!     .seed(1)
+//!     .solver("greedy-shrink")
+//!     .build().unwrap();
 //!
 //! // Pick the 2 hotels minimizing the average regret ratio.
-//! let out = greedy_shrink(&scores, GreedyShrinkConfig::new(2)).unwrap();
+//! let out = engine.solve(2).unwrap();
 //! assert_eq!(out.selection.len(), 2);
-//! let report = out.selection.evaluate(&scores).unwrap();
+//! let report = engine.evaluate(&out.selection.indices).unwrap();
 //! assert!(report.arr < 0.1);
+//!
+//! // Every paper algorithm answers by name through the same engine —
+//! // including coordinate-based ones, since the builder kept the
+//! // dataset. `fam::Registry::global().names()` lists them all.
+//! let exact = engine.solve_as("dp-2d", 2).unwrap();
+//! assert_eq!(exact.selection.len(), 2);
 //! ```
+//!
+//! The same registry backs every other front end: `fam solve --algo NAME
+//! --param key=val` on the CLI, `/solve?algo=NAME` (plus `GET /algos`)
+//! on the HTTP server, and the bench harness's standard series. Typed
+//! parameters ([`SolverSpec`]) and declared capabilities ([`Caps`])
+//! travel with the name, so unsupported requests fail with a precise
+//! error instead of a panic. The historical free functions
+//! ([`greedy_shrink`](fn@greedy_shrink), [`dp_2d`](fn@dp_2d), …) remain
+//! the canonical implementations and stay exported; registry adapters
+//! are bit-identical thin delegates over them.
 //!
 //! See `examples/` for end-to-end scenarios (NBA team selection, the
 //! Yahoo!Music learned-utility pipeline, exact 2-D optimization) and
@@ -41,6 +62,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod engine;
+
+pub use engine::{Engine, EngineBuilder};
 
 pub use fam_algos as algos;
 pub use fam_core as core;
@@ -54,23 +79,26 @@ pub use fam_algos::{
     add_greedy, add_greedy_from, add_greedy_range, brute_force, brute_force_with_pruning,
     continuous_arr, cube, dp_2d, greedy_shrink, greedy_shrink_range, greedy_shrink_warm, k_hit,
     local_search, mrr_greedy_exact, mrr_greedy_sampled, mrr_linear_exact, sky_dom, warm_repair,
-    AngularMeasure, Dp2dOutput, GreedyShrinkConfig, GreedyShrinkOutput, LocalSearchConfig,
-    LocalSearchOutput, QuadratureMeasure, UniformAngleMeasure, UniformBoxMeasure,
+    AngularMeasure, Caps, Dp2dOutput, GreedyShrinkConfig, GreedyShrinkOutput, LocalSearchConfig,
+    LocalSearchOutput, QuadratureMeasure, Registry, Solver, SolverSpec, UniformAngleMeasure,
+    UniformBoxMeasure,
 };
 pub use fam_core::{
     chernoff_epsilon, chernoff_sample_size, regret, ApplyReport, Dataset, DiscreteDistribution,
-    DynamicEngine, FamError, LinearScores, LinearUtility, RegretReport, RepairOutcome, Result,
-    SampleSpec, ScoreMatrix, ScoreSource, Selection, SelectionEvaluator, TableUtility,
-    UniformLinear, UpdateBatch, UtilityDistribution, UtilityFunction, WarmStart,
+    DynamicEngine, FamError, LinearScores, LinearUtility, MeasureKind, RegretReport, RepairOutcome,
+    Result, SampleSpec, ScoreMatrix, ScoreSource, Selection, SelectionEvaluator, SolveCtx,
+    SolveOutput, SolverParams, TableUtility, UniformLinear, UpdateBatch, UtilityDistribution,
+    UtilityFunction, WarmStart,
 };
 
 /// Everything needed for typical use, re-exported flat.
 pub mod prelude {
+    pub use crate::engine::{Engine, EngineBuilder};
     pub use fam_algos::{
         add_greedy, add_greedy_from, brute_force, continuous_arr, dp_2d, greedy_shrink,
         greedy_shrink_warm, k_hit, mrr_greedy_exact, mrr_greedy_sampled, mrr_linear_exact, sky_dom,
-        warm_repair, AngularMeasure, GreedyShrinkConfig, QuadratureMeasure, UniformAngleMeasure,
-        UniformBoxMeasure,
+        warm_repair, AngularMeasure, GreedyShrinkConfig, QuadratureMeasure, Registry, SolverSpec,
+        UniformAngleMeasure, UniformBoxMeasure,
     };
     pub use fam_core::prelude::*;
     pub use fam_data::{
