@@ -21,6 +21,12 @@
 //!   output sizes in one greedy trajectory, bit-identical to per-`k` cold
 //!   runs ([`trajectory`]) — the substrate of the serving layer's result
 //!   cache;
+//! * progressive precision: [`refine`](fn@refine) drives the dynamic
+//!   sample axis by the Chernoff bound (Theorem 4) — solve coarse at
+//!   `N₀`, double samples in place with warm-started repair
+//!   ([`reoptimize`](fn@reoptimize)), finish with a canonical cold solve
+//!   once the target ε is met, bit-identical to a cold solve at the
+//!   final `N` ([`mod@refine`]);
 //! * the unified solver API ([`registry`]): a [`Solver`] trait with
 //!   declared capabilities ([`Caps`]) and a name-based [`Registry`] of
 //!   all nine paper algorithms, each adapter bit-identical to the free
@@ -41,6 +47,7 @@ pub mod measure;
 pub mod mrr;
 pub mod mrr_greedy;
 pub mod reduction;
+pub mod refine;
 pub mod registry;
 pub mod repair;
 pub mod sky_dom;
@@ -64,7 +71,8 @@ pub use mrr_greedy::{mrr_greedy_exact, mrr_greedy_sampled};
 pub use reduction::{
     reduce_set_cover, set_cover_has_cover_of_size, ReducedInstance, SetCoverInstance,
 };
+pub use refine::{refine, RefineConfig, RefineOutput, RefineRound, DEFAULT_INITIAL_SAMPLES};
 pub use registry::{Caps, Registry, Solver, SolverSpec};
-pub use repair::warm_repair;
+pub use repair::{reoptimize, warm_repair};
 pub use sky_dom::sky_dom;
 pub use trajectory::{add_greedy_range, greedy_shrink_range};

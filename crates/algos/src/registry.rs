@@ -138,7 +138,9 @@ impl SolverSpec {
 
     /// Parses `key=value` pairs into a spec. Recognized keys: `seed`
     /// (comma-separated indices), `measure` (`box`|`angle`),
-    /// `max-passes`, `prune`, `lazy`, `cache`, `exact` (booleans).
+    /// `max-passes`, `prune`, `lazy`, `cache`, `exact` (booleans),
+    /// `epsilon`/`sigma` (precision requirement on the sampled estimate,
+    /// gated against the context matrix's Chernoff bound).
     ///
     /// # Errors
     ///
@@ -182,12 +184,31 @@ impl SolverSpec {
                 "lazy" => params.lazy = parse_bool(key, value)?,
                 "cache" => params.best_point_cache = parse_bool(key, value)?,
                 "exact" => params.exact = parse_bool(key, value)?,
+                "epsilon" => {
+                    let eps: f64 =
+                        value.parse().ok().filter(|e: &f64| *e > 0.0 && *e <= 1.0).ok_or_else(
+                            || FamError::InvalidParameter {
+                                name: "param",
+                                message: format!("epsilon wants a number in (0, 1], got `{value}`"),
+                            },
+                        )?;
+                    params.epsilon = Some(eps);
+                }
+                "sigma" => {
+                    params.sigma =
+                        value.parse().ok().filter(|s: &f64| *s > 0.0 && *s < 1.0).ok_or_else(
+                            || FamError::InvalidParameter {
+                                name: "param",
+                                message: format!("sigma wants a number in (0, 1), got `{value}`"),
+                            },
+                        )?;
+                }
                 _ => {
                     return Err(FamError::InvalidParameter {
                         name: "param",
                         message: format!(
                             "unknown parameter `{key}` \
-                             (seed|measure|max-passes|prune|lazy|cache|exact)"
+                             (seed|measure|max-passes|prune|lazy|cache|exact|epsilon|sigma)"
                         ),
                     });
                 }
@@ -241,6 +262,12 @@ impl SolverSpec {
             if value != default {
                 out.push((key.to_string(), value.to_string()));
             }
+        }
+        if let Some(eps) = p.epsilon {
+            out.push(("epsilon".to_string(), eps.to_string()));
+        }
+        if p.sigma != d.sigma {
+            out.push(("sigma".to_string(), p.sigma.to_string()));
         }
         out
     }
@@ -362,6 +389,27 @@ impl Registry {
                 solver.name(),
                 "does not support multi-k range harvesting",
             ));
+        }
+        if let Some(eps) = ctx.params.epsilon {
+            // Validate the pair even for solvers that ignore it, so a
+            // malformed request never silently passes. Only sampled
+            // estimators carry sampling error; exact coordinate-based
+            // solvers satisfy any precision trivially.
+            let n = ctx.matrix.n_samples() as u64;
+            let shortfall = fam_core::sampling::precision_shortfall(n, eps, ctx.params.sigma)?;
+            if caps.needs_matrix {
+                if let Some((needed, achieved)) = shortfall {
+                    return Err(FamError::unsupported(
+                        solver.name(),
+                        format!(
+                            "epsilon = {eps} at confidence {} needs N >= {needed} utility \
+                             samples (Theorem 4); the matrix has N = {n} (achieved epsilon \
+                             = {achieved:.6}) — refine the sample population first",
+                            1.0 - ctx.params.sigma,
+                        ),
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -910,6 +958,12 @@ mod tests {
             params.lazy = rng.gen_range(0..2) == 1;
             params.best_point_cache = rng.gen_range(0..2) == 1;
             params.exact = rng.gen_range(0..2) == 1;
+            if rng.gen_range(0..2) == 1 {
+                params.epsilon = Some(rng.gen_range(1..=100) as f64 / 100.0);
+            }
+            if rng.gen_range(0..2) == 1 {
+                params.sigma = rng.gen_range(1..100) as f64 / 100.0;
+            }
             let spec = SolverSpec { name: "greedy-shrink".into(), params };
             let pairs = spec.to_pairs();
             let back = SolverSpec::parse(&spec.name, spec.params.k, &pairs).unwrap();
@@ -926,9 +980,56 @@ mod tests {
         assert!(SolverSpec::parse("x", 1, &[("max-passes", "many")]).is_err());
         assert!(SolverSpec::parse("x", 1, &[("lazy", "perhaps")]).is_err());
         assert!(SolverSpec::parse("x", 1, &[("warp", "9")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("epsilon", "tight")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("sigma", "maybe")]).is_err());
+        // Range violations are parse errors, not deferred surprises.
+        assert!(SolverSpec::parse("x", 1, &[("epsilon", "0")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("epsilon", "1.5")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("sigma", "0")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("sigma", "1")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("sigma", "5")]).is_err());
         assert!(SolverSpec::parse_args("x", 1, &["lazy"]).is_err());
         let spec = SolverSpec::parse_args("x", 2, &["seed=3,1", "exact=1"]).unwrap();
         assert_eq!(spec.params.seed, vec![3, 1]);
         assert!(spec.params.exact);
+        let spec = SolverSpec::parse_args("x", 2, &["epsilon=0.05", "sigma=0.2"]).unwrap();
+        assert_eq!(spec.params.epsilon, Some(0.05));
+        assert_eq!(spec.params.sigma, 0.2);
+    }
+
+    #[test]
+    fn precision_requirement_gates_sampled_solvers() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let (ds, m) = instance(&mut rng, 15); // 80 samples
+        let r = Registry::standard();
+        // 80 samples achieve eps = sqrt(3 ln 10 / 80) ≈ 0.294 at sigma 0.1.
+        let ok = SolverSpec::parse("greedy-shrink", 3, &[("epsilon", "0.3")]).unwrap();
+        assert!(r.solve(&ok, &m, None).is_ok());
+        let too_tight = SolverSpec::parse("greedy-shrink", 3, &[("epsilon", "0.05")]).unwrap();
+        let err = r.solve(&too_tight, &m, None).unwrap_err();
+        assert!(matches!(err, FamError::Unsupported { .. }), "{err}");
+        assert!(err.to_string().contains("refine"), "{err}");
+        // Tightening sigma tightens the gate for the same epsilon.
+        let sigma_tight =
+            SolverSpec::parse("greedy-shrink", 3, &[("epsilon", "0.3"), ("sigma", "0.0001")])
+                .unwrap();
+        assert!(r.solve(&sigma_tight, &m, None).is_err());
+        // Exact coordinate-based solvers carry no sampling error.
+        let dp = SolverSpec::parse("dp-2d", 3, &[("epsilon", "0.0001")]).unwrap();
+        assert!(r.solve(&dp, &m, Some(&ds)).is_ok());
+        // Out-of-range precision values never even parse.
+        assert!(SolverSpec::parse("dp-2d", 3, &[("epsilon", "2.0")]).is_err());
+        // A hand-built out-of-range pair is still rejected by the gate.
+        let mut bad = SolverSpec::new("dp-2d", 3);
+        bad.params.epsilon = Some(2.0);
+        assert!(r.solve(&bad, &m, Some(&ds)).is_err());
+        // A satisfied requirement changes nothing about the answer.
+        let plain = SolverSpec::new("greedy-shrink", 3);
+        let (a, b) = (r.solve(&ok, &m, None).unwrap(), r.solve(&plain, &m, None).unwrap());
+        assert_eq!(a.selection.indices, b.selection.indices);
+        assert_eq!(
+            a.selection.objective.unwrap().to_bits(),
+            b.selection.objective.unwrap().to_bits()
+        );
     }
 }

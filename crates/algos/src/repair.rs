@@ -179,6 +179,50 @@ pub fn warm_repair<S: ScoreSource + ?Sized>(
     Ok(RepairOutcome { added, removed, evaluations })
 }
 
+/// Re-optimizes a selection **in place** after its `arr` estimates moved
+/// under it — the repair policy of the progressive-precision axis, where
+/// appended utility samples refine every estimate while the point
+/// universe stays fixed (for *point* churn, use [`warm_repair`]).
+///
+/// Greedily grows the selection by up to `churn` extra candidates (the
+/// same lazy heap as [`crate::add_greedy_from`]), then lazily shrinks
+/// back to exactly `k` (the same heap as [`crate::greedy_shrink_warm`]):
+/// a candidate that looks better under the refined estimates can
+/// displace a weak incumbent, while a stable selection survives both
+/// passes untouched. `churn = 0` only re-validates the size.
+///
+/// # Errors
+///
+/// Returns [`FamError::InvalidK`] when `k` is zero or exceeds the point
+/// universe.
+pub fn reoptimize<S: ScoreSource + ?Sized>(
+    ev: &mut SelectionEvaluator<'_, S>,
+    k: usize,
+    churn: usize,
+) -> Result<RepairOutcome> {
+    let n = ev.n_points();
+    if k == 0 || k > n {
+        return Err(FamError::InvalidK { k, n });
+    }
+    let before = ev.len();
+    let grow_to = k.max(before).saturating_add(churn).min(n);
+    let mut evaluations = 0u64;
+    let mut added = 0usize;
+    if ev.len() < grow_to {
+        added = grow_to - ev.len();
+        evaluations += lazy_grow(ev, grow_to);
+    }
+    let mut removed = 0usize;
+    if ev.len() > k {
+        removed = ev.len() - k;
+        evaluations += lazy_shrink(ev, k);
+    } else if ev.len() < k {
+        added += k - ev.len();
+        evaluations += lazy_grow(ev, k);
+    }
+    Ok(RepairOutcome { added, removed, evaluations })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +312,50 @@ mod tests {
         let mut ev = SelectionEvaluator::new_with(&m, &[0]);
         assert!(warm_repair(&mut ev, &WarmStart { inserted: 5..5, k: 0 }).is_err());
         assert!(warm_repair(&mut ev, &WarmStart { inserted: 5..5, k: 6 }).is_err());
+    }
+
+    #[test]
+    fn reoptimize_lets_refined_estimates_swap_members() {
+        // Under the coarse 1-sample view, point 0 looks best; the refined
+        // 4-sample view makes point 3 the clear winner. A churn-1
+        // reoptimize must make the swap.
+        let mut m = ScoreMatrix::from_rows(vec![vec![0.9, 0.1, 0.1, 0.8]], None).unwrap();
+        let st = SelectionEvaluator::new_with(&m, &[0]).into_state();
+        m.append_sample_rows(&[
+            vec![0.1, 0.2, 0.1, 0.9],
+            vec![0.2, 0.1, 0.2, 0.95],
+            vec![0.1, 0.1, 0.1, 0.9],
+        ])
+        .unwrap();
+        let mut ev = SelectionEvaluator::resume_after_append(&m, st);
+        let outcome = reoptimize(&mut ev, 1, 1).unwrap();
+        assert_eq!(ev.selection(), vec![3]);
+        assert_eq!(outcome.added, 1);
+        assert_eq!(outcome.removed, 1);
+        assert!(ev.verify_consistency());
+        // Zero churn leaves a full-size selection alone.
+        let outcome = reoptimize(&mut ev, 1, 0).unwrap();
+        assert_eq!(outcome, RepairOutcome::default());
+        assert_eq!(ev.selection(), vec![3]);
+    }
+
+    #[test]
+    fn reoptimize_grows_short_selections_and_validates_k() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let m = random_matrix(&mut rng, 20, 9);
+        let mut ev = SelectionEvaluator::new_with(&m, &[2]);
+        // Short selection grows to k even with churn 0.
+        let outcome = reoptimize(&mut ev, 3, 0).unwrap();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(outcome.added, 2);
+        assert!(ev.verify_consistency());
+        // churn clamps at the universe size.
+        let outcome = reoptimize(&mut ev, 3, 100).unwrap();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(outcome.added, 6);
+        assert_eq!(outcome.removed, 6);
+        assert!(reoptimize(&mut ev, 0, 1).is_err());
+        assert!(reoptimize(&mut ev, 10, 1).is_err());
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! The `FAM_MAX_MATRIX_BYTES` budget path of the refine driver,
+//! isolated in a single-test binary: mutating the process environment
+//! while other test threads read it races, so this file must hold
+//! exactly one `#[test]`.
+
+use fam_algos::{refine, RefineConfig};
+use fam_core::{Dataset, UniformLinear};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn refine_respects_the_matrix_budget() {
+    let mut rng = StdRng::seed_from_u64(63);
+    let rows: Vec<Vec<f64>> =
+        (0..10).map(|_| vec![rng.gen_range(0.05..1.0), rng.gen_range(0.05..1.0)]).collect();
+    let ds = Dataset::from_rows(rows).unwrap();
+    let dist = UniformLinear::new(2).unwrap();
+    // eps = 0.001 wants ~6.9M samples x 10 points x 8 B ≈ 550 MB — far
+    // over a 1 MiB budget; the driver must refuse before allocating.
+    std::env::set_var(fam_core::sampling::MAX_MATRIX_BYTES_ENV, "1048576");
+    let cfg = RefineConfig::new(2, 0.001, 0.1).unwrap();
+    let err = refine(&ds, &dist, &mut rng, &cfg).unwrap_err();
+    std::env::remove_var(fam_core::sampling::MAX_MATRIX_BYTES_ENV);
+    assert!(err.to_string().contains("budget"), "{err}");
+}

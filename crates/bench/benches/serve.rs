@@ -100,6 +100,7 @@ fn bench_serve(c: &mut Criterion) {
         seed: 7,
         dist: DistKind::Uniform,
         cache_k: 1..=cache_hi,
+        ..ServeOptions::default()
     };
     let t0 = Instant::now();
     let svc = DatasetService::build("bench", &ds, &opts).expect("service");

@@ -30,13 +30,27 @@ fn make_dist(a: &ParsedArgs, dim: usize) -> Result<Box<dyn UtilityDistribution>,
     }
 }
 
+fn sigma_of(a: &ParsedArgs) -> Result<f64, String> {
+    a.parsed_or("sigma", fam::DEFAULT_SIGMA)
+}
+
 fn sample_count(a: &ParsedArgs) -> Result<usize, String> {
     if let Some(eps) = a.optional("epsilon") {
         let eps: f64 = eps.parse().map_err(|_| "cannot parse --epsilon".to_string())?;
-        let sigma: f64 = a.parsed_or("sigma", 0.1)?;
+        let sigma = sigma_of(a)?;
         return Ok(chernoff_sample_size(eps, sigma).map_err(|e| e.to_string())? as usize);
     }
     a.parsed_or("samples", 2_000usize)
+}
+
+/// [`sample_count`] plus the matrix footprint guard: a `--epsilon` tight
+/// enough to imply a multi-terabyte `N × n` matrix (or any count over
+/// `FAM_MAX_MATRIX_BYTES`) fails with a clean usage error before the
+/// allocator can abort the process.
+fn checked_sample_count(a: &ParsedArgs, n_points: usize) -> Result<usize, String> {
+    let n = sample_count(a)?;
+    fam::check_matrix_budget(n, n_points).map_err(|e| e.to_string())?;
+    Ok(n)
 }
 
 /// `fam generate` — write a synthetic dataset to CSV.
@@ -86,6 +100,7 @@ fn solver_report(
     out: &fam::SolveOutput,
     fresh: &ScoreMatrix,
     n_samples: usize,
+    sigma: f64,
 ) -> Result<String, String> {
     let selection = &out.selection;
     let mut report = format!(
@@ -105,10 +120,16 @@ fn solver_report(
         report.push_str(&format!("{name}: {value}\n"));
     }
     let rep = regret::report(fresh, &selection.indices).map_err(|e| e.to_string())?;
+    let achieved = chernoff_epsilon(n_samples as u64, sigma).map_err(|e| e.to_string())?;
     report.push_str(&format!(
         "arr = {:.6}, rr std-dev = {:.6}, sampled mrr = {:.6} (fresh N = {n_samples})\n\
+         achieved eps = {achieved:.6} at confidence {:.4} (Theorem 4)\n\
          query time: {:?}",
-        rep.arr, rep.std_dev, rep.mrr, selection.query_time
+        rep.arr,
+        rep.std_dev,
+        rep.mrr,
+        1.0 - sigma,
+        selection.query_time
     ));
     Ok(report)
 }
@@ -127,7 +148,7 @@ fn solver_report(
 pub fn select(a: &ParsedArgs) -> Result<String, String> {
     let ds = load(a)?;
     let k: usize = a.parsed("k")?;
-    let n_samples = sample_count(a)?;
+    let n_samples = checked_sample_count(a, ds.len())?;
     let algo = a.optional("algo").unwrap_or("greedy-shrink");
     let mut rng = seeded(a)?;
 
@@ -169,7 +190,7 @@ pub fn select(a: &ParsedArgs) -> Result<String, String> {
         let out = registry.solve(&spec, &fresh, Some(&ds)).map_err(|e| e.to_string())?;
         (out, fresh)
     };
-    solver_report(&ds, &out, &fresh, n_samples)
+    solver_report(&ds, &out, &fresh, n_samples, sigma_of(a)?)
 }
 
 /// `fam solve` — run any registered algorithm by name through the
@@ -186,7 +207,7 @@ pub fn solve(a: &ParsedArgs) -> Result<String, String> {
     let k: usize = a.parsed("k")?;
     let algo = a.optional("algo").unwrap_or("greedy-shrink");
     let spec = fam::SolverSpec::parse_args(algo, k, &a.all("param")).map_err(|e| e.to_string())?;
-    let n_samples = sample_count(a)?;
+    let n_samples = checked_sample_count(a, ds.len())?;
     let mut rng = seeded(a)?;
     let dist = make_dist(a, ds.dim())?;
     let registry = fam::Registry::global();
@@ -208,7 +229,7 @@ pub fn solve(a: &ParsedArgs) -> Result<String, String> {
         let out = registry.solve(&spec, &fresh, Some(&ds)).map_err(|e| e.to_string())?;
         (out, fresh)
     };
-    solver_report(&ds, &out, &fresh, n_samples)
+    solver_report(&ds, &out, &fresh, n_samples, sigma_of(a)?)
 }
 
 /// `fam algos` — list the solver registry with per-algorithm
@@ -243,7 +264,7 @@ pub fn algos() -> String {
 pub fn evaluate(a: &ParsedArgs) -> Result<String, String> {
     let ds = load(a)?;
     let selection = a.index_list("selection")?;
-    let n_samples = sample_count(a)?;
+    let n_samples = checked_sample_count(a, ds.len())?;
     let mut rng = seeded(a)?;
     let dist = UniformLinear::new(ds.dim()).map_err(|e| e.to_string())?;
     let m = ScoreMatrix::from_distribution(&ds, &dist, n_samples, &mut rng)
@@ -256,6 +277,58 @@ pub fn evaluate(a: &ParsedArgs) -> Result<String, String> {
          rr @ p70/p90/p99 = {:.6}/{:.6}/{:.6}",
         selection, rep.arr, rep.vrr, rep.std_dev, rep.mrr, pct[0], pct[1], pct[2]
     ))
+}
+
+/// `fam refine` — the progressive-precision driver: solve coarse at
+/// `--initial` samples, double the sample population in place with
+/// warm-started repair until the Chernoff bound for `--epsilon`
+/// (confidence `1 - --sigma`) is met, and finish with a canonical cold
+/// solve — bit-identical to a cold solve at the final `N`. Prints the
+/// per-round convergence trajectory (N, achieved ε, arr).
+///
+/// # Errors
+///
+/// Returns usage, I/O, or driver errors as strings.
+pub fn refine_cmd(a: &ParsedArgs) -> Result<String, String> {
+    let ds = load(a)?;
+    let k: usize = a.parsed("k")?;
+    let epsilon: f64 = a.parsed("epsilon")?;
+    let sigma = sigma_of(a)?;
+    let mut cfg = fam::RefineConfig::new(k, epsilon, sigma).map_err(|e| e.to_string())?;
+    cfg.initial_samples = a.parsed_or("initial", cfg.initial_samples)?;
+    cfg.churn = a.parsed_or("churn", cfg.churn)?;
+    if let Some(algo) = a.optional("algo") {
+        cfg.solver = algo.to_string();
+    }
+    let dist = make_dist(a, ds.dim())?;
+    let mut rng = seeded(a)?;
+    let out = fam::refine(&ds, dist.as_ref(), &mut rng, &cfg).map_err(|e| e.to_string())?;
+    let mut report = format!(
+        "target: eps = {epsilon} at confidence {:.4} => N* = {} (n = {}, k = {k}, {})\n",
+        1.0 - sigma,
+        out.target_samples,
+        ds.len(),
+        cfg.solver,
+    );
+    for round in &out.rounds {
+        report.push_str(&format!(
+            "  N = {:>9}  eps = {:.6}  arr = {:.6}  [{}]\n",
+            round.n_samples,
+            round.epsilon,
+            round.arr,
+            if round.warm { "warm repair" } else { "cold solve" }
+        ));
+    }
+    report.push_str(&format!(
+        "final: selection = {:?}, arr = {:.6}, achieved eps = {:.6} at N = {}\n\
+         (bit-identical to a cold {} solve at the final N)",
+        out.selection.indices,
+        out.selection.objective.unwrap_or(f64::NAN),
+        out.achieved_epsilon,
+        out.n_samples,
+        cfg.solver,
+    ));
+    Ok(report)
 }
 
 // Update-op streams parse through the shared `fam::data::ops` module
@@ -312,7 +385,7 @@ fn verify_against_full_recompute(
 pub fn replay(a: &ParsedArgs) -> Result<String, String> {
     let ds = load(a)?;
     let k: usize = a.parsed("k")?;
-    let n_samples = sample_count(a)?;
+    let n_samples = checked_sample_count(a, ds.len())?;
     let batch_size: usize = a.parsed_or("batch", 16usize)?;
     if batch_size == 0 {
         return Err("--batch must be at least 1".into());
@@ -406,6 +479,7 @@ fn build_services(a: &ParsedArgs) -> Result<Vec<fam::serve::DatasetService>, Str
     let dist = fam::serve::DistKind::parse(dist_name)
         .ok_or_else(|| format!("unknown --dist `{dist_name}` (uniform|simplex)"))?;
     let seed: u64 = a.parsed_or("seed", 42u64)?;
+    let sigma = sigma_of(a)?;
     let cache_k = parse_cache_k(a.optional("cache-k").unwrap_or("1..10"))?;
     let labelled = a.switch("labelled");
     let mut services = Vec::with_capacity(paths.len());
@@ -417,7 +491,8 @@ fn build_services(a: &ParsedArgs) -> Result<Vec<fam::serve::DatasetService>, Str
             .filter(|s| !s.is_empty())
             .ok_or_else(|| format!("--data {path}: cannot derive a dataset name"))?;
         let ds = fam::data::read_csv(p, labelled).map_err(|e| e.to_string())?;
-        let opts = fam::serve::ServeOptions { samples, seed, dist, cache_k: cache_k.clone() };
+        let opts =
+            fam::serve::ServeOptions { samples, seed, dist, cache_k: cache_k.clone(), sigma };
         services.push(
             fam::serve::DatasetService::build(name, &ds, &opts)
                 .map_err(|e| format!("--data {path}: {e}"))?,
@@ -576,6 +651,42 @@ mod tests {
         assert_eq!(sample_count(&a).unwrap(), 123);
         let a = argv("");
         assert_eq!(sample_count(&a).unwrap(), 2_000);
+        // The footprint guard turns absurd allocations into usage
+        // errors; the env-driven budget is covered by `tests/budget.rs`
+        // (a dedicated single-test binary; env mutation races sibling
+        // test threads).
+        assert_eq!(checked_sample_count(&argv("--samples 50"), 100).unwrap(), 50);
+        assert!(checked_sample_count(&argv("--samples 18446744073709551615"), 8).is_err());
+    }
+
+    #[test]
+    fn refine_prints_trajectory_and_matches_cold_solve() {
+        let path = tmp("refine.csv");
+        generate(&argv(&format!("--out {path} --n 80 --d 3 --corr anti --seed 13"))).unwrap();
+        let msg = refine_cmd(&argv(&format!(
+            "--data {path} --k 4 --epsilon 0.15 --sigma 0.1 --initial 60 --seed 13"
+        )))
+        .unwrap();
+        assert!(msg.contains("N* = 308"), "{msg}");
+        assert!(msg.contains("cold solve"), "{msg}");
+        assert!(msg.contains("warm repair"), "{msg}");
+        assert!(msg.contains("achieved eps"), "{msg}");
+        assert!(msg.contains("bit-identical"), "{msg}");
+        // A different final algorithm flows through --algo.
+        let msg = refine_cmd(&argv(&format!(
+            "--data {path} --k 3 --epsilon 0.2 --algo add-greedy --initial 50 --seed 13"
+        )))
+        .unwrap();
+        assert!(msg.contains("add-greedy"), "{msg}");
+        // Usage errors: missing epsilon, unknown algo, coordinate solver.
+        assert!(refine_cmd(&argv(&format!("--data {path} --k 3"))).is_err());
+        assert!(
+            refine_cmd(&argv(&format!("--data {path} --k 3 --epsilon 0.2 --algo nope"))).is_err()
+        );
+        let err = refine_cmd(&argv(&format!("--data {path} --k 3 --epsilon 0.2 --algo sky-dom")))
+            .unwrap_err();
+        assert!(err.contains("sample axis"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -596,6 +707,8 @@ mod tests {
         assert!(msg.contains("serve"));
         assert!(msg.contains("solve"));
         assert!(msg.contains("algos"));
+        assert!(msg.contains("refine"));
+        assert!(msg.contains("/refine"));
         assert!(crate::run(&["bogus".to_string()]).is_err());
         assert!(crate::run(&[]).is_err());
         let listing = crate::run(&["algos".to_string()]).unwrap();

@@ -10,6 +10,7 @@
 //! fam solve    --data data.csv --k 10 --algo greedy-shrink --param lazy=false
 //! fam select   --data data.csv --k 10 --algo greedy-shrink
 //! fam evaluate --data data.csv --selection 3,17,42
+//! fam refine   --data data.csv --k 10 --epsilon 0.02
 //! fam replay   --data data.csv --updates ops.csv --k 10 --batch 16
 //! fam serve    --data a.csv --data b.csv --port 8787 --cache-k 1..10
 //! ```
@@ -45,6 +46,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "algos" => Ok(commands::algos()),
         "select" => commands::select(&parsed),
         "evaluate" => commands::evaluate(&parsed),
+        "refine" => commands::refine_cmd(&parsed),
         "replay" | "update" => commands::replay(&parsed),
         "serve" => commands::serve(&parsed),
         "--help" | "-h" | "help" => Ok(usage()),
@@ -65,13 +67,18 @@ fn usage() -> String {
      select    --data FILE --k K [--algo greedy-shrink|add-greedy|mrr-greedy|sky-dom|k-hit|dp|brute-force]\n            \
      [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--compact] [--labelled]\n  \
      evaluate  --data FILE --selection I,J,K [--samples N] [--seed S] [--labelled]\n  \
+     refine    --data FILE --k K --epsilon E [--sigma G] [--initial N0] [--churn C] [--algo NAME]\n            \
+     [--dist uniform|simplex] [--seed S] [--labelled]   (progressive precision: solve coarse,\n            \
+     double samples in place until the Chernoff bound for eps is met; final answer is\n            \
+     bit-identical to a cold solve at the final N)\n  \
      replay    --data FILE --updates FILE --k K [--batch B] [--samples N] [--dist uniform|simplex]\n            \
      [--seed S] [--verify] [--labelled]   (alias: update; ops are `insert,c0,c1,..` / `delete,IDX`,\n            \
      delete indices refer to the point set at the start of each batch, swap-remove order)\n  \
      serve     --data FILE [--data FILE ...] [--port P] [--bind ADDR] [--workers W] [--cache-k LO..HI]\n            \
      [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--labelled]\n            \
      (HTTP endpoints: GET /datasets, /solve?dataset=..&k=..&algo=.., /evaluate?dataset=..&selection=..,\n            \
-     /stats; POST /update?dataset=.. with an op-stream body; datasets are named by file stem;\n            \
-     binds 127.0.0.1 unless --bind says otherwise - /update is unauthenticated)"
+     /stats; POST /update?dataset=.. with an op-stream body; POST /refine?dataset=..&epsilon=..\n            \
+     grows the sample population in place; datasets are named by file stem;\n            \
+     binds 127.0.0.1 unless --bind says otherwise - /update and /refine are unauthenticated)"
         .to_string()
 }

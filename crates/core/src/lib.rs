@@ -59,12 +59,17 @@ pub use distribution::{
     CobbDouglasDistribution, DirichletLinear, DiscreteDistribution, SimplexLinear, UniformLinear,
     UtilityDistribution,
 };
-pub use dynamic::{ApplyReport, DynamicEngine, RepairOutcome, UpdateBatch, WarmStart};
+pub use dynamic::{
+    AppendReport, ApplyReport, DynamicEngine, RepairOutcome, UpdateBatch, WarmStart,
+};
 pub use error::{FamError, Result};
 pub use evaluator::{EvalCounters, EvaluatorState, SelectionEvaluator};
 pub use linear_scores::LinearScores;
 pub use regret::RegretReport;
-pub use sampling::{chernoff_epsilon, chernoff_sample_size, SampleSpec};
+pub use sampling::{
+    check_matrix_budget, chernoff_epsilon, chernoff_sample_size, PrecisionSpec, SampleSpec,
+    DEFAULT_SIGMA,
+};
 pub use scores::{ScoreMatrix, ScoreSource};
 pub use selection::Selection;
 pub use solve::{MeasureKind, SolveCtx, SolveOutput, SolverParams};
@@ -82,7 +87,10 @@ pub mod prelude {
     pub use crate::evaluator::SelectionEvaluator;
     pub use crate::linear_scores::LinearScores;
     pub use crate::regret;
-    pub use crate::sampling::{chernoff_epsilon, chernoff_sample_size, SampleSpec};
+    pub use crate::sampling::{
+        check_matrix_budget, chernoff_epsilon, chernoff_sample_size, PrecisionSpec, SampleSpec,
+        DEFAULT_SIGMA,
+    };
     pub use crate::scores::{ScoreMatrix, ScoreSource};
     pub use crate::selection::Selection;
     pub use crate::solve::{MeasureKind, SolveCtx, SolveOutput, SolverParams};

@@ -134,7 +134,7 @@ pub struct ScoreMatrix {
     /// dynamic updates stay `O(batch)` per row instead of re-laying the
     /// whole buffer.
     scores: Vec<f64>,
-    /// Point-major mirror: `columns[p * n_samples + u] == score(u, p)`.
+    /// Point-major mirror: `columns[p * col_stride + u] == score(u, p)`.
     /// Built at construction unless opted out; costs ~2× memory and buys
     /// contiguous column access for addition scans.
     columns: Option<Vec<f64>>,
@@ -143,6 +143,12 @@ pub struct ScoreMatrix {
     /// Physical row width of `scores` (== `n_points` until a dynamic
     /// update leaves slack).
     stride: usize,
+    /// Physical column height of the mirror (== `n_samples` until a
+    /// sample append leaves slack) — the sample-axis twin of `stride`:
+    /// appended samples write into the tail of each mirror column, and
+    /// the mirror is only re-laid (with doubled slack) when the capacity
+    /// runs out.
+    col_stride: usize,
     weights: Vec<f64>,
     best_index: Vec<u32>,
     best_value: Vec<f64>,
@@ -169,6 +175,7 @@ impl ScoreMatrix {
                 message: "must be at least 1".into(),
             });
         }
+        crate::sampling::check_matrix_budget(n_samples, dataset.len())?;
         let functions: Vec<Arc<dyn UtilityFunction>> =
             (0..n_samples).map(|_| dist.sample(rng)).collect();
         Self::from_functions(dataset, &functions, None)
@@ -349,6 +356,7 @@ impl ScoreMatrix {
             n_samples,
             n_points,
             stride: n_points,
+            col_stride: n_samples,
             weights,
             best_index,
             best_value,
@@ -383,7 +391,9 @@ impl ScoreMatrix {
     /// the point-major mirror is present.
     #[inline]
     pub fn column(&self, p: usize) -> Option<&[f64]> {
-        self.columns.as_deref().map(|c| &c[p * self.n_samples..(p + 1) * self.n_samples])
+        self.columns
+            .as_deref()
+            .map(|c| &c[p * self.col_stride..p * self.col_stride + self.n_samples])
     }
 
     /// Whether the point-major mirror is present.
@@ -411,6 +421,7 @@ impl ScoreMatrix {
             n_samples: self.n_samples,
             n_points: self.n_points,
             stride: self.stride,
+            col_stride: self.col_stride,
             weights: self.weights.clone(),
             best_index: self.best_index.clone(),
             best_value: self.best_value.clone(),
@@ -422,6 +433,7 @@ impl ScoreMatrix {
         if self.columns.is_none() {
             self.columns =
                 Some(transpose(&self.scores, self.n_samples, self.n_points, self.stride));
+            self.col_stride = self.n_samples;
         }
     }
 
@@ -567,9 +579,12 @@ impl ScoreMatrix {
             }
         }
         if let Some(columns) = &mut self.columns {
-            columns.reserve(cols.len() * self.n_samples);
+            columns.reserve(cols.len() * self.col_stride);
             for col in cols {
                 columns.extend_from_slice(col);
+                // Honor the mirror's physical column height: the tail of
+                // each column is sample-axis slack.
+                columns.resize(columns.len() + (self.col_stride - self.n_samples), 0.0);
             }
         }
         self.n_points = n_new;
@@ -708,15 +723,15 @@ impl ScoreMatrix {
         });
         // Same swaps on the mirror's contiguous per-point columns.
         if let Some(c) = &mut self.columns {
-            let ns = self.n_samples;
+            let cs = self.col_stride;
             let mut len = n_old;
             for &d in dels.iter().rev() {
                 len -= 1;
                 if d != len {
-                    c.copy_within(len * ns..(len + 1) * ns, d * ns);
+                    c.copy_within(len * cs..(len + 1) * cs, d * cs);
                 }
             }
-            c.truncate(n_new * ns);
+            c.truncate(n_new * cs);
         }
         self.n_points = n_new;
         self.best_index = best_index;
@@ -766,29 +781,348 @@ impl ScoreMatrix {
             self.columns.is_some(),
         )
     }
+
+    /// Pre-growth checks shared by every append entry point; cheap and
+    /// side-effect free, so a rejected append leaves the matrix
+    /// untouched.
+    fn precheck_append(&self, count: usize) -> Result<()> {
+        // Appending samples re-spreads the probability mass uniformly
+        // (each sample is one i.i.d. draw), which is only sound when the
+        // resident mass is uniform too — exact discrete enumerations and
+        // hand-weighted matrices must be rebuilt instead.
+        let uniform = (1.0 / self.n_samples as f64).to_bits();
+        if self.weights.iter().any(|w| w.to_bits() != uniform) {
+            return Err(FamError::InvalidParameter {
+                name: "weights",
+                message: "append_samples requires uniform sample weights; \
+                          rebuild weighted or exact-discrete matrices instead"
+                    .into(),
+            });
+        }
+        crate::sampling::check_matrix_budget(self.n_samples + count, self.n_points)
+    }
+
+    /// Validates the `count` rows sitting in the sample-major tail
+    /// (starting at element offset `base`), returning each row's best
+    /// point. One merged pass per row checks finiteness/sign, finds the
+    /// strict first argmax (identical to the from-scratch best pass),
+    /// and rejects degenerate rows; the first offending **row** wins,
+    /// with in-row element order deciding within a row. Indices in
+    /// errors name the concatenated sample stream.
+    fn validate_appended(&self, base: usize, count: usize) -> Result<Vec<(u32, f64)>> {
+        let n_points = self.n_points;
+        let stride = self.stride;
+        let n_old = self.n_samples;
+        let tail = &self.scores[base..];
+        let rows_per_chunk = (crate::par::CHUNK / n_points.max(1)).max(1);
+        let per_row = crate::par::map_chunks(count, rows_per_chunk, |rows| {
+            rows.map(|j| {
+                let row = &tail[j * stride..j * stride + n_points];
+                let (mut bi, mut bv) = (0usize, row[0]);
+                for (i, &v) in row.iter().enumerate() {
+                    if !v.is_finite() {
+                        return Err(FamError::NonFinite { row: n_old + j, col: i });
+                    }
+                    if v < 0.0 {
+                        return Err(FamError::NegativeValue { row: n_old + j, col: i });
+                    }
+                    if v > bv {
+                        bi = i;
+                        bv = v;
+                    }
+                }
+                if bv <= 0.0 {
+                    return Err(FamError::DegenerateUtility { sample: n_old + j });
+                }
+                Ok((bi as u32, bv))
+            })
+            .collect::<Result<Vec<_>>>()
+        });
+        let mut best = Vec::with_capacity(count);
+        for chunk in per_row {
+            best.extend(chunk?);
+        }
+        Ok(best)
+    }
+
+    /// Commits `count` rows already written into the sample-major tail:
+    /// validate, then patch the mirror/weights/best tracking. On a
+    /// validation error the tail truncates back and the matrix is
+    /// untouched.
+    fn commit_appended(&mut self, base: usize, count: usize) -> Result<()> {
+        let best = match self.validate_appended(base, count) {
+            Ok(best) => best,
+            Err(e) => {
+                self.scores.truncate(base);
+                return Err(e);
+            }
+        };
+        let n_points = self.n_points;
+        let n_old = self.n_samples;
+        let n_new = n_old + count;
+        // Mirror columns: transpose the new rows straight into the tail
+        // slack of each column, or re-lay with doubled slack when the
+        // column capacity runs out (one combined copy + transpose pass —
+        // every stage here is memory-bandwidth bound, so no intermediate
+        // buffers).
+        let ScoreMatrix { scores, columns, col_stride, stride, .. } = self;
+        if let Some(columns) = columns.as_mut() {
+            let src = &scores[base..];
+            let cs = *col_stride;
+            if n_new <= cs {
+                transpose_into(src, count, *stride, columns, cs, n_old);
+            } else {
+                let cs_new = n_new.max(cs.saturating_mul(2));
+                let mut grown = vec![0.0f64; n_points * cs_new];
+                let old = &*columns;
+                let stride = *stride;
+                // Bands must stay at least TRANSPOSE_BLOCK columns wide:
+                // a one-column band degenerates the blocked transpose
+                // into a cache-miss-per-element gather.
+                let cols_per_chunk = (crate::par::CHUNK / cs_new.max(1)).max(TRANSPOSE_BLOCK);
+                crate::par::for_each_chunk_mut(
+                    &mut grown,
+                    cols_per_chunk * cs_new,
+                    |chunk, out| {
+                        let first_col = chunk * cols_per_chunk;
+                        let band = out.len() / cs_new;
+                        for local in 0..band {
+                            let p = first_col + local;
+                            out[local * cs_new..local * cs_new + n_old]
+                                .copy_from_slice(&old[p * cs..p * cs + n_old]);
+                        }
+                        transpose_band(src, count, stride, out, cs_new, n_old, first_col, band);
+                    },
+                );
+                *columns = grown;
+                *col_stride = cs_new;
+            }
+        }
+        // Each sample is one i.i.d. draw: the mass re-spreads uniformly,
+        // exactly as a from-scratch build with `weights = None` would.
+        self.weights.clear();
+        self.weights.resize(n_new, 1.0 / n_new as f64);
+        for (bi, bv) in best {
+            self.best_index.push(bi);
+            self.best_value.push(bv);
+        }
+        self.n_samples = n_new;
+        Ok(())
+    }
+
+    /// Appends `count` new utility samples **in place** from a flat
+    /// row-major block (`count` rows of `n_points` scores each) — the
+    /// sample-axis twin of [`ScoreMatrix::insert_points`].
+    ///
+    /// Both layouts are patched without a rebuild: the sample-major
+    /// buffer extends at the end (rows are contiguous, so growing the
+    /// sample axis never re-lays it), and the point-major mirror (when
+    /// present) transposes each new sample into its columns' tail slack
+    /// — the buffer is only re-laid, with doubled slack, when the column
+    /// capacity runs out, so a steady append stream pays `O(1)` re-lays
+    /// per sample. Per-sample weights re-spread to `1/N` and best-point
+    /// tracking extends with the new rows only. Every observable value —
+    /// [`ScoreMatrix::row`], [`ScoreMatrix::column`], weights, best
+    /// tracking — is **bit-identical** to a from-scratch
+    /// [`ScoreMatrix::from_flat_with_layout`] over the concatenated
+    /// sample stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving the matrix untouched) when the block
+    /// has the wrong length, contains non-finite or negative scores, a
+    /// new row has no positive score, the resident weights are not
+    /// uniform, or the grown matrix would exceed the footprint budget
+    /// ([`crate::sampling::check_matrix_budget`]).
+    pub fn append_samples_flat(&mut self, flat: &[f64], count: usize) -> Result<()> {
+        if flat.len() != count * self.n_points {
+            return Err(FamError::DimensionMismatch {
+                expected: count * self.n_points,
+                got: flat.len(),
+            });
+        }
+        self.precheck_append(count)?;
+        if count == 0 {
+            return Ok(());
+        }
+        let base = self.scores.len();
+        if self.stride == self.n_points {
+            self.scores.extend_from_slice(flat);
+        } else {
+            // A point update left per-row slack: place each new row at
+            // its stride position.
+            let (stride, rows_per_chunk) = self.row_chunking();
+            let n_points = self.n_points;
+            self.scores.resize(base + count * stride, 0.0);
+            let tail = &mut self.scores[base..];
+            crate::par::for_each_chunk_mut(tail, rows_per_chunk * stride, |chunk, out| {
+                let first_row = chunk * rows_per_chunk;
+                for (local, row) in out.chunks_mut(stride).enumerate() {
+                    let j = first_row + local;
+                    row[..n_points].copy_from_slice(&flat[j * n_points..(j + 1) * n_points]);
+                }
+            });
+        }
+        self.commit_appended(base, count)
+    }
+
+    /// Appends new utility samples given as one score row per sample
+    /// (the Table I format). See [`ScoreMatrix::append_samples_flat`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ScoreMatrix::append_samples_flat`]; a ragged row reports a
+    /// [`FamError::DimensionMismatch`].
+    pub fn append_sample_rows(&mut self, rows: &[Vec<f64>]) -> Result<()> {
+        for row in rows {
+            if row.len() != self.n_points {
+                return Err(FamError::DimensionMismatch {
+                    expected: self.n_points,
+                    got: row.len(),
+                });
+            }
+        }
+        self.precheck_append(rows.len())?;
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let base = self.scores.len();
+        let stride = self.stride;
+        self.scores.reserve(rows.len() * stride);
+        for row in rows {
+            self.scores.extend_from_slice(row);
+            self.scores.resize(self.scores.len() + (stride - row.len()), 0.0);
+        }
+        self.commit_appended(base, rows.len())
+    }
+
+    /// Appends new utility samples by scoring every point of `dataset`
+    /// under each function — the incremental twin of
+    /// [`ScoreMatrix::from_functions`], scoring **directly into the
+    /// grown buffer** (no staging copy). Callers that retain their
+    /// sampled population (e.g. a serving layer that must score future
+    /// point inserts under the same users) sample the functions
+    /// themselves and go through here; [`ScoreMatrix::append_samples`]
+    /// is the fire-and-forget wrapper.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScoreMatrix::append_samples_flat`]; a dataset over a
+    /// different point universe reports a [`FamError::DimensionMismatch`].
+    pub fn append_functions(
+        &mut self,
+        dataset: &Dataset,
+        functions: &[Arc<dyn UtilityFunction>],
+    ) -> Result<()> {
+        if dataset.len() != self.n_points {
+            return Err(FamError::DimensionMismatch {
+                expected: self.n_points,
+                got: dataset.len(),
+            });
+        }
+        self.precheck_append(functions.len())?;
+        if functions.is_empty() {
+            return Ok(());
+        }
+        let base = self.scores.len();
+        let (stride, rows_per_chunk) = self.row_chunking();
+        self.scores.resize(base + functions.len() * stride, 0.0);
+        // Score in parallel over whole rows, exactly like the
+        // from-scratch construction (bit-identical for any thread count).
+        let tail = &mut self.scores[base..];
+        crate::par::for_each_chunk_mut(tail, rows_per_chunk * stride, |chunk, out| {
+            let first_row = chunk * rows_per_chunk;
+            for (local, row) in out.chunks_mut(stride).enumerate() {
+                let f = &functions[first_row + local];
+                for (idx, p) in dataset.points().enumerate() {
+                    row[idx] = f.utility(idx, p);
+                }
+            }
+        });
+        self.commit_appended(base, functions.len())
+    }
+
+    /// Samples `count` fresh utility functions from `dist` and appends
+    /// them — the incremental twin of [`ScoreMatrix::from_distribution`].
+    /// Continuing the **same** RNG that built the matrix reproduces the
+    /// from-scratch sample stream: `from_distribution(ds, dist, N₀, rng)`
+    /// followed by `append_samples(ds, dist, N₁ − N₀, rng)` is
+    /// bit-identical to `from_distribution(ds, dist, N₁, rng')` with a
+    /// fresh RNG from the same seed.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScoreMatrix::append_functions`].
+    pub fn append_samples(
+        &mut self,
+        dataset: &Dataset,
+        dist: &dyn UtilityDistribution,
+        count: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<()> {
+        let functions: Vec<Arc<dyn UtilityFunction>> =
+            (0..count).map(|_| dist.sample(rng)).collect();
+        self.append_functions(dataset, &functions)
+    }
+}
+
+/// Sample-block granularity of the cache-blocked transpose kernels.
+const TRANSPOSE_BLOCK: usize = 64;
+
+/// Cache-blocked transpose of one band of columns: rows `0..n_rows` of
+/// `src` (physical row width `src_stride`) land at
+/// `out[local * dst_col_stride + dst_offset + u]` for band-local column
+/// `local` (absolute column `first_col + local`). Shared by the mirror
+/// construction, the in-slack sample append, and the re-lay pass.
+#[allow(clippy::too_many_arguments)]
+fn transpose_band(
+    src: &[f64],
+    n_rows: usize,
+    src_stride: usize,
+    out: &mut [f64],
+    dst_col_stride: usize,
+    dst_offset: usize,
+    first_col: usize,
+    band: usize,
+) {
+    for u0 in (0..n_rows).step_by(TRANSPOSE_BLOCK) {
+        let u1 = (u0 + TRANSPOSE_BLOCK).min(n_rows);
+        for local in 0..band {
+            let p = first_col + local;
+            let col = &mut out[local * dst_col_stride..(local + 1) * dst_col_stride];
+            for u in u0..u1 {
+                col[dst_offset + u] = src[u * src_stride + p];
+            }
+        }
+    }
+}
+
+/// Cache-blocked transpose of `n_rows` sample-major rows (physical row
+/// width `src_stride`) into per-column segments of `dst`: row `u`,
+/// column `p` lands at `dst[p * dst_col_stride + dst_offset + u]`.
+/// Parallelized over bands of whole columns (`dst.len()` must be a
+/// multiple of `dst_col_stride`).
+fn transpose_into(
+    src: &[f64],
+    n_rows: usize,
+    src_stride: usize,
+    dst: &mut [f64],
+    dst_col_stride: usize,
+    dst_offset: usize,
+) {
+    let cols_per_chunk = (crate::par::CHUNK / dst_col_stride.max(1)).max(TRANSPOSE_BLOCK);
+    crate::par::for_each_chunk_mut(dst, cols_per_chunk * dst_col_stride, |chunk, out| {
+        let first_col = chunk * cols_per_chunk;
+        let band = out.len() / dst_col_stride;
+        transpose_band(src, n_rows, src_stride, out, dst_col_stride, dst_offset, first_col, band);
+    });
 }
 
 /// Cache-blocked transpose of a sample-major `n_samples × n_points`
-/// buffer (physical row width `stride`) into a point-major mirror,
-/// parallelized over bands of columns.
+/// buffer (physical row width `stride`) into a tight point-major mirror.
 fn transpose(scores: &[f64], n_samples: usize, n_points: usize, stride: usize) -> Vec<f64> {
-    const BLOCK: usize = 64;
     let mut columns = vec![0.0f64; n_samples * n_points];
-    let cols_per_chunk = (crate::par::CHUNK / n_samples.max(1)).max(BLOCK);
-    crate::par::for_each_chunk_mut(&mut columns, cols_per_chunk * n_samples, |chunk, out| {
-        let first_col = chunk * cols_per_chunk;
-        let band = out.len() / n_samples;
-        for u0 in (0..n_samples).step_by(BLOCK) {
-            let u1 = (u0 + BLOCK).min(n_samples);
-            for local in 0..band {
-                let p = first_col + local;
-                let col = &mut out[local * n_samples..(local + 1) * n_samples];
-                for u in u0..u1 {
-                    col[u] = scores[u * stride + p];
-                }
-            }
-        }
-    });
+    transpose_into(scores, n_samples, stride, &mut columns, n_samples, 0);
     columns
 }
 
@@ -1046,6 +1380,148 @@ mod tests {
             }
             assert_matches_fresh_build(&m);
         }
+    }
+
+    #[test]
+    fn append_samples_matches_fresh_build() {
+        let mut m = table_i_matrix();
+        m.append_sample_rows(&[vec![0.3, 0.2, 0.8, 0.1], vec![0.95, 0.4, 0.2, 0.9]]).unwrap();
+        assert_eq!(m.n_samples(), 6);
+        assert_eq!(m.best_index(4), 2);
+        assert!((m.best_value(5) - 0.95).abs() < 1e-12);
+        // The mass re-spread uniformly over the grown stream.
+        assert!((m.weight(0) - 1.0 / 6.0).abs() < 1e-15);
+        assert_matches_fresh_build(&m);
+        // Empty appends are identity; mirrorless layouts append too.
+        m.append_sample_rows(&[]).unwrap();
+        assert_eq!(m.n_samples(), 6);
+        let mut bare = table_i_matrix().drop_column_mirror();
+        bare.append_sample_rows(&[vec![0.5, 0.6, 0.7, 0.8]]).unwrap();
+        assert!(bare.column(0).is_none());
+        assert_matches_fresh_build(&bare);
+        // The flat entry point is equivalent.
+        let mut flat = table_i_matrix();
+        flat.append_samples_flat(&[0.3, 0.2, 0.8, 0.1, 0.95, 0.4, 0.2, 0.9], 2).unwrap();
+        for u in 0..6 {
+            assert_eq!(flat.row(u), m.row(u));
+        }
+        assert_matches_fresh_build(&flat);
+    }
+
+    #[test]
+    fn append_samples_validates_without_mutating() {
+        let mut m = table_i_matrix();
+        assert!(matches!(
+            m.append_sample_rows(&[vec![1.0, 2.0]]),
+            Err(FamError::DimensionMismatch { expected: 4, got: 2 })
+        ));
+        // Error indices name the concatenated sample stream.
+        assert!(matches!(
+            m.append_sample_rows(&[vec![1.0, 0.1, f64::NAN, 0.2]]),
+            Err(FamError::NonFinite { row: 4, col: 2 })
+        ));
+        assert!(matches!(
+            m.append_sample_rows(&[vec![0.5; 4], vec![0.2, -0.1, 0.3, 0.4]]),
+            Err(FamError::NegativeValue { row: 5, col: 1 })
+        ));
+        assert!(matches!(
+            m.append_sample_rows(&[vec![0.5; 4], vec![0.0; 4]]),
+            Err(FamError::DegenerateUtility { sample: 5 })
+        ));
+        assert!(matches!(
+            m.append_samples_flat(&[0.5; 7], 2),
+            Err(FamError::DimensionMismatch { expected: 8, got: 7 })
+        ));
+        assert_eq!(m.n_samples(), 4);
+        assert_matches_fresh_build(&m);
+        // Non-uniform weights cannot absorb i.i.d. appends.
+        let mut weighted =
+            ScoreMatrix::from_rows(vec![vec![1.0, 0.5], vec![0.5, 1.0]], Some(vec![3.0, 1.0]))
+                .unwrap();
+        let err = weighted.append_sample_rows(&[vec![0.5, 0.5]]).unwrap_err();
+        assert!(err.to_string().contains("uniform"), "{err}");
+    }
+
+    #[test]
+    fn repeated_appends_amortize_mirror_slack() {
+        // Many small appends: the mirror re-lays only on capacity
+        // exhaustion, and every intermediate state equals a fresh build.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = table_i_matrix();
+        for _ in 0..10 {
+            let rows: Vec<Vec<f64>> = (0..rng.gen_range(1..4))
+                .map(|_| (0..4).map(|_| rng.gen_range(0.01..1.0)).collect())
+                .collect();
+            m.append_sample_rows(&rows).unwrap();
+            assert_matches_fresh_build(&m);
+        }
+        assert!(m.n_samples() > 4);
+    }
+
+    #[test]
+    fn interleaved_point_and_sample_mutations_track_fresh_builds() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(123);
+        for mirror in [true, false] {
+            let rows: Vec<Vec<f64>> =
+                (0..6).map(|_| (0..5).map(|_| rng.gen_range(0.01..1.0)).collect()).collect();
+            let base = ScoreMatrix::from_rows(rows, None).unwrap();
+            let mut m = if mirror { base } else { base.drop_column_mirror() };
+            for _ in 0..14 {
+                match rng.gen_range(0..3) {
+                    0 if m.n_points() > 2 => {
+                        let d = rng.gen_range(0..m.n_points());
+                        m.delete_points(&[d]).unwrap();
+                    }
+                    1 => {
+                        let cols: Vec<Vec<f64>> = (0..rng.gen_range(1..3))
+                            .map(|_| (0..m.n_samples()).map(|_| rng.gen_range(0.01..1.0)).collect())
+                            .collect();
+                        m.insert_points(&cols).unwrap();
+                    }
+                    _ => {
+                        let new_rows: Vec<Vec<f64>> = (0..rng.gen_range(1..4))
+                            .map(|_| (0..m.n_points()).map(|_| rng.gen_range(0.01..1.0)).collect())
+                            .collect();
+                        m.append_sample_rows(&new_rows).unwrap();
+                    }
+                }
+                assert_matches_fresh_build(&m);
+            }
+        }
+    }
+
+    #[test]
+    fn append_functions_matches_from_distribution_stream() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = Dataset::from_rows(vec![vec![0.2, 0.8], vec![0.9, 0.3], vec![0.5, 0.55]]).unwrap();
+        let dist = UniformLinear::new(2).unwrap();
+        // Grown: N0 = 20, then +20 +40 off the same RNG stream.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut grown = ScoreMatrix::from_distribution(&d, &dist, 20, &mut rng).unwrap();
+        grown.append_samples(&d, &dist, 20, &mut rng).unwrap();
+        grown.append_samples(&d, &dist, 40, &mut rng).unwrap();
+        // From scratch over the concatenated stream (fresh RNG, same seed).
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let fresh = ScoreMatrix::from_distribution(&d, &dist, 80, &mut rng2).unwrap();
+        assert_eq!(grown.n_samples(), 80);
+        for u in 0..80 {
+            assert_eq!(grown.row(u), fresh.row(u), "row {u}");
+            assert_eq!(grown.best_index(u), fresh.best_index(u));
+            assert_eq!(grown.best_value(u).to_bits(), fresh.best_value(u).to_bits());
+            assert_eq!(grown.weight(u).to_bits(), fresh.weight(u).to_bits());
+        }
+        for p in 0..3 {
+            assert_eq!(grown.column(p).map(<[f64]>::to_vec), fresh.column(p).map(<[f64]>::to_vec));
+        }
+        // A wrong-universe dataset is rejected up front.
+        let wrong = Dataset::from_rows(vec![vec![0.1, 0.2]]).unwrap();
+        let mut rng3 = StdRng::seed_from_u64(5);
+        assert!(grown.append_samples(&wrong, &dist, 5, &mut rng3).is_err());
     }
 
     #[test]

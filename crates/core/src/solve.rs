@@ -78,6 +78,15 @@ pub struct SolverParams {
     /// MRR-GREEDY: use the LP-exact variant (requires the raw dataset)
     /// instead of the sampled one.
     pub exact: bool,
+    /// Required precision on the sampled estimate: the request is only
+    /// served when the context matrix's sample count meets the Chernoff
+    /// bound for `(epsilon, sigma)` (Theorem 4). `None` (the default)
+    /// accepts any sample count. Exact, coordinate-only solvers carry no
+    /// sampling error and ignore the requirement.
+    pub epsilon: Option<f64>,
+    /// Failure probability for the `epsilon` requirement (confidence is
+    /// `1 - sigma`); defaults to [`crate::sampling::DEFAULT_SIGMA`].
+    pub sigma: f64,
 }
 
 /// Default `max_passes` for `local-search` (mirrors
@@ -96,6 +105,8 @@ impl SolverParams {
             lazy: true,
             best_point_cache: true,
             exact: false,
+            epsilon: None,
+            sigma: crate::sampling::DEFAULT_SIGMA,
         }
     }
 
@@ -210,8 +221,14 @@ mod tests {
         let mut q = p.clone();
         q.lazy = false;
         assert!(!q.is_canonical());
-        let mut q = p;
+        let mut q = p.clone();
         q.measure = MeasureKind::UniformAngle;
+        assert!(!q.is_canonical());
+        let mut q = p.clone();
+        q.epsilon = Some(0.05);
+        assert!(!q.is_canonical());
+        let mut q = p;
+        q.sigma = 0.01;
         assert!(!q.is_canonical());
     }
 

@@ -1,0 +1,34 @@
+//! The `FAM_MAX_MATRIX_BYTES` environment path of the matrix footprint
+//! budget, isolated in a single-test binary: mutating the process
+//! environment while other test threads read it through
+//! `check_matrix_budget` (every `from_distribution` does) is a data
+//! race, so this file must hold exactly one `#[test]`.
+
+use fam_core::sampling::MAX_MATRIX_BYTES_ENV;
+use fam_core::{check_matrix_budget, UniformLinear};
+
+#[test]
+fn env_budget_gates_matrix_builds() {
+    // Unset: only address-space overflow is rejected.
+    std::env::remove_var(MAX_MATRIX_BYTES_ENV);
+    check_matrix_budget(10_000, 10_000).unwrap();
+    assert!(check_matrix_budget(usize::MAX, 3).is_err());
+
+    // A 1 MiB budget rejects anything larger, end to end through the
+    // sampling constructor.
+    std::env::set_var(MAX_MATRIX_BYTES_ENV, "1048576");
+    assert!(check_matrix_budget(10_000, 10_000).is_err());
+    check_matrix_budget(100, 100).unwrap();
+    let ds = fam_core::Dataset::from_rows(vec![vec![0.5, 1.0]; 200]).unwrap();
+    let dist = UniformLinear::new(2).unwrap();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let err = fam_core::ScoreMatrix::from_distribution(&ds, &dist, 100_000, &mut rng).unwrap_err();
+    assert!(err.to_string().contains("budget"), "{err}");
+    // Small builds still pass under the budget.
+    fam_core::ScoreMatrix::from_distribution(&ds, &dist, 50, &mut rng).unwrap();
+
+    // Unparsable values mean no budget.
+    std::env::set_var(MAX_MATRIX_BYTES_ENV, "not-a-number");
+    check_matrix_budget(10_000, 10_000).unwrap();
+    std::env::remove_var(MAX_MATRIX_BYTES_ENV);
+}

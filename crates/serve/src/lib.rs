@@ -48,6 +48,6 @@ pub mod service;
 
 pub use server::{Server, ServerHandle, DEFAULT_WORKERS};
 pub use service::{
-    DatasetService, DistKind, ServeOptions, SolveResult, UpdateSummary,
-    MAX_EXPONENTIAL_LOG2_SUBSETS,
+    DatasetService, DistKind, RefineRoundSummary, RefineSummary, ServeOptions, SolveResult,
+    UpdateSummary, MAX_EXPONENTIAL_LOG2_SUBSETS, MAX_REFINE_MATRIX_BYTES,
 };

@@ -9,10 +9,11 @@
 //! |---|---|---|
 //! | `/datasets` | GET | — |
 //! | `/algos` | GET | — (the solver registry with per-algorithm capabilities) |
-//! | `/solve` | GET | `dataset`, `k`, `algo` (any registered name, default `add-greedy`), plus solver params (`seed`, `measure`, `max-passes`, `prune`, `lazy`, `cache`, `exact`) |
+//! | `/solve` | GET | `dataset`, `k`, `algo` (any registered name, default `add-greedy`), plus solver params (`seed`, `measure`, `max-passes`, `prune`, `lazy`, `cache`, `exact`, `epsilon`, `sigma`) |
 //! | `/evaluate` | GET | `dataset`, `selection` (comma-separated indices) |
 //! | `/update` | POST | `dataset`; body = op stream (`insert,c0,..` / `delete,IDX`) |
-//! | `/stats` | GET | — |
+//! | `/refine` | POST | `dataset`, `epsilon`, optional `sigma` — upgrades the dataset's precision in place (Chernoff-driven sample growth + cache re-harvest) |
+//! | `/stats` | GET | — (per dataset: points, samples, seed, achieved ε, request counters) |
 //!
 //! `/solve` dispatches through the unified solver registry
 //! (`fam_algos::Registry`), so every registered algorithm — including
@@ -226,7 +227,8 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
                     "[\"GET /datasets\",\"GET /algos\",\
                      \"GET /solve?dataset=..&k=..&algo=..\",\
                      \"GET /evaluate?dataset=..&selection=i,j,k\",\
-                     \"POST /update?dataset=..\",\"GET /stats\"]",
+                     \"POST /update?dataset=..\",\
+                     \"POST /refine?dataset=..&epsilon=..&sigma=..\",\"GET /stats\"]",
                 )
                 .build(),
         ),
@@ -235,10 +237,13 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
         ("GET", "/solve") => solve(state, req),
         ("GET", "/evaluate") => evaluate(state, req),
         ("POST", "/update") => update(state, req),
+        ("POST", "/refine") => refine(state, req),
         ("GET", "/stats") => stats(state),
-        (_, "/datasets" | "/algos" | "/solve" | "/evaluate" | "/update" | "/stats" | "/") => {
-            (405, Obj::new().str("error", "method not allowed").build())
-        }
+        (
+            _,
+            "/datasets" | "/algos" | "/solve" | "/evaluate" | "/update" | "/refine" | "/stats"
+            | "/",
+        ) => (405, Obj::new().str("error", "method not allowed").build()),
         _ => (404, Obj::new().str("error", format!("no route `{}`", req.path).as_str()).build()),
     }
 }
@@ -261,6 +266,7 @@ fn dataset_summary(name: &str, svc: &DatasetService) -> String {
         .num("n_samples", svc.n_samples() as u64)
         .num("dim", svc.dim() as u64)
         .raw("cache_k", &format!("[{},{}]", svc.cache_k().start(), svc.cache_k().end()))
+        .float("achieved_epsilon", svc.achieved_epsilon())
         .num("updates", svc.updates())
         .float("resident_arr", svc.resident_arr())
         .raw("resident_selection", &array_usize(&svc.resident_selection()))
@@ -436,22 +442,90 @@ fn update(state: &ServerState, req: &Request) -> (u16, String) {
     }
 }
 
+/// `POST /refine?dataset=..&epsilon=E[&sigma=S]` — upgrade a resident
+/// dataset's precision in place under the write lock.
+fn refine(state: &ServerState, req: &Request) -> (u16, String) {
+    let ds = match slot(state, req) {
+        Ok(ds) => ds,
+        Err(e) => return e,
+    };
+    let epsilon: f64 = match req.query.get("epsilon").map(|v| v.parse()) {
+        Some(Ok(e)) => e,
+        _ => return (400, Obj::new().str("error", "missing or malformed `epsilon`").build()),
+    };
+    let sigma: f64 = match req.query.get("sigma").map(|v| v.parse()) {
+        None => fam_core::DEFAULT_SIGMA,
+        Some(Ok(s)) => s,
+        Some(Err(_)) => return (400, Obj::new().str("error", "malformed `sigma`").build()),
+    };
+    let t0 = Instant::now();
+    let mut svc = match ds.service.write() {
+        Ok(svc) => svc,
+        Err(_) => return poisoned(),
+    };
+    match svc.refine(epsilon, sigma) {
+        Ok(summary) => {
+            let rounds: Vec<String> = summary
+                .rounds
+                .iter()
+                .map(|r| {
+                    Obj::new()
+                        .num("n_samples", r.n_samples as u64)
+                        .float("epsilon", r.epsilon)
+                        .float("arr", r.arr)
+                        .build()
+                })
+                .collect();
+            let body = Obj::new()
+                .str("dataset", svc.name())
+                .num("target_samples", summary.target_samples as u64)
+                .num("n_samples", summary.n_samples as u64)
+                .float("achieved_epsilon", summary.achieved_epsilon)
+                .float("sigma", svc.sigma())
+                .bool("already_satisfied", summary.already_satisfied)
+                .raw("rounds", &array_raw(&rounds))
+                .num("cache_entries", summary.cache_entries as u64)
+                .num("micros", t0.elapsed().as_micros() as u64)
+                .build();
+            (200, body)
+        }
+        Err(e) => {
+            ds.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            client_error(&e)
+        }
+    }
+}
+
 fn stats(state: &ServerState) -> (u16, String) {
     let mut items = Vec::with_capacity(state.datasets.len());
     for (name, ds) in &state.datasets {
-        let (n_points, updates) = match ds.service.read() {
-            Ok(svc) => (svc.n_points(), svc.updates()),
+        let (n_points, n_samples, seed, sigma, achieved, updates, refines) = match ds.service.read()
+        {
+            Ok(svc) => (
+                svc.n_points(),
+                svc.n_samples(),
+                svc.seed(),
+                svc.sigma(),
+                svc.achieved_epsilon(),
+                svc.updates(),
+                svc.refines(),
+            ),
             Err(_) => return poisoned(),
         };
         items.push(
             Obj::new()
                 .str("name", name)
                 .num("n_points", n_points as u64)
+                .num("n_samples", n_samples as u64)
+                .num("seed", seed)
+                .float("sigma", sigma)
+                .float("achieved_epsilon", achieved)
                 .num("solve_requests", ds.stats.solve.load(Ordering::Relaxed))
                 .num("cache_hits", ds.stats.cache_hits.load(Ordering::Relaxed))
                 .num("cache_misses", ds.stats.cache_misses.load(Ordering::Relaxed))
                 .num("evaluate_requests", ds.stats.evaluate.load(Ordering::Relaxed))
                 .num("updates", updates)
+                .num("refines", refines)
                 .num("rejected", ds.stats.rejected.load(Ordering::Relaxed))
                 .build(),
         );

@@ -21,10 +21,11 @@ use std::collections::BTreeMap;
 use std::ops::RangeInclusive;
 use std::sync::Arc;
 
-use fam_algos::{warm_repair, Registry, SolverSpec};
+use fam_algos::{reoptimize, warm_repair, Registry, Solver, SolverSpec};
 use fam_core::{
-    regret, ApplyReport, Dataset, DynamicEngine, FamError, RegretReport, Result, ScoreMatrix,
-    SimplexLinear, UniformLinear, UpdateBatch, UtilityDistribution, UtilityFunction,
+    check_matrix_budget, chernoff_epsilon, regret, ApplyReport, Dataset, DynamicEngine, FamError,
+    PrecisionSpec, RegretReport, Result, ScoreMatrix, SimplexLinear, SolverParams, UniformLinear,
+    UpdateBatch, UtilityDistribution, UtilityFunction, DEFAULT_SIGMA,
 };
 use fam_data::UpdateOp;
 use rand::rngs::StdRng;
@@ -71,13 +72,34 @@ pub struct ServeOptions {
     /// every update) for every range-capable registered solver. The
     /// engine's resident selection is maintained at `*cache_k.end()`.
     pub cache_k: RangeInclusive<usize>,
+    /// Failure probability the dataset reports its achieved ε at (and
+    /// the default confidence for `POST /refine`); confidence is
+    /// `1 - sigma`.
+    pub sigma: f64,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { samples: 2_000, seed: 42, dist: DistKind::Uniform, cache_k: 1..=10 }
+        ServeOptions {
+            samples: 2_000,
+            seed: 42,
+            dist: DistKind::Uniform,
+            cache_k: 1..=10,
+            sigma: DEFAULT_SIGMA,
+        }
     }
 }
+
+/// Largest per-layout score-matrix footprint (bytes) a served
+/// `POST /refine` may grow a dataset to: 4 GiB (~8 GiB resident with
+/// the point-major mirror). A refine holds the dataset's **write** lock
+/// for the whole append + re-harvest, so an unauthenticated request
+/// must not be able to pin every reader behind a hundreds-of-gigabytes
+/// growth — the same reasoning as [`MAX_EXPONENTIAL_LOG2_SUBSETS`].
+/// Tighter global limits still apply via `FAM_MAX_MATRIX_BYTES`;
+/// larger refinements belong offline (`fam refine` / the library
+/// driver).
+pub const MAX_REFINE_MATRIX_BYTES: u64 = 1 << 32;
 
 /// Largest search space (as `log2` of the subset count `C(n, k)`) an
 /// exponential-cost solver (per [`fam_algos::Caps::exponential`]) may be
@@ -115,6 +137,36 @@ pub struct UpdateSummary {
     pub cache_entries: usize,
 }
 
+/// One sample-doubling round of a [`DatasetService::refine`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineRoundSummary {
+    /// Sample count after the round.
+    pub n_samples: usize,
+    /// ε achieved by `n_samples` at the requested confidence.
+    pub epsilon: f64,
+    /// `arr` of the resident selection under the refined estimates.
+    pub arr: f64,
+}
+
+/// Summary of one precision refinement, as reported to clients.
+#[derive(Debug, Clone)]
+pub struct RefineSummary {
+    /// The Chernoff sample target for the requested precision.
+    pub target_samples: usize,
+    /// Resident sample count after the call (`>= target_samples`).
+    pub n_samples: usize,
+    /// ε the resident count achieves at the requested confidence.
+    pub achieved_epsilon: f64,
+    /// Doubling rounds applied (empty when the target was already met).
+    pub rounds: Vec<RefineRoundSummary>,
+    /// Cache entries re-harvested on the refined matrix (0 when the
+    /// target was already met — the cache is untouched then).
+    pub cache_entries: usize,
+    /// True when the resident count already met the target and nothing
+    /// changed.
+    pub already_satisfied: bool,
+}
+
 /// A named dataset being served: sampled population, resident engine,
 /// live coordinates, multi-`k` cache.
 pub struct DatasetService {
@@ -129,6 +181,17 @@ pub struct DatasetService {
     cache: BTreeMap<(String, usize), SolveResult>,
     cache_k: RangeInclusive<usize>,
     updates: u64,
+    /// The distribution family and build seed, retained so `refine` can
+    /// grow the population off the **continuing** RNG stream — a refined
+    /// service stays bit-identical to a fresh build at the grown sample
+    /// count.
+    dist: DistKind,
+    seed: u64,
+    rng: StdRng,
+    /// Confidence parameter the achieved ε is reported at (updated by
+    /// each `refine` call).
+    sigma: f64,
+    refines: u64,
 }
 
 fn build_cache(
@@ -177,6 +240,13 @@ impl DatasetService {
                 message: "at least one utility sample is required".into(),
             });
         }
+        if !(opts.sigma > 0.0 && opts.sigma < 1.0 && opts.sigma.is_finite()) {
+            return Err(FamError::InvalidParameter {
+                name: "sigma",
+                message: format!("must be in (0, 1), got {}", opts.sigma),
+            });
+        }
+        check_matrix_budget(opts.samples, dataset.len())?;
         let dist = opts.dist.build(dataset.dim())?;
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let functions: Vec<Arc<dyn UtilityFunction>> =
@@ -204,6 +274,11 @@ impl DatasetService {
             cache,
             cache_k: opts.cache_k.clone(),
             updates: 0,
+            dist: opts.dist,
+            seed: opts.seed,
+            rng,
+            sigma: opts.sigma,
+            refines: 0,
         })
     }
 
@@ -237,6 +312,28 @@ impl DatasetService {
         self.updates
     }
 
+    /// Precision refinements applied so far.
+    pub fn refines(&self) -> u64 {
+        self.refines
+    }
+
+    /// The RNG seed the user population was sampled from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The confidence parameter the achieved ε is reported at.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The ε the resident sample count achieves at confidence
+    /// `1 - sigma` (Theorem 4) — how precise every served sampled
+    /// estimate is.
+    pub fn achieved_epsilon(&self) -> f64 {
+        chernoff_epsilon(self.n_samples() as u64, self.sigma).unwrap_or(f64::NAN)
+    }
+
     /// The resident warm-repaired selection (maintained at the top of the
     /// cache range).
     pub fn resident_selection(&self) -> Vec<usize> {
@@ -268,25 +365,70 @@ impl DatasetService {
         }
     }
 
+    /// Enforces a client's `epsilon=` requirement against the resident
+    /// sample count — the explicit twin of the registry's capability
+    /// gate, run up front so cache hits are covered too.
+    fn check_precision(&self, solver: &dyn Solver, params: &SolverParams) -> Result<()> {
+        let Some(eps) = params.epsilon else { return Ok(()) };
+        let shortfall =
+            fam_core::sampling::precision_shortfall(self.n_samples() as u64, eps, params.sigma)?;
+        if solver.capabilities().needs_matrix {
+            if let Some((needed, achieved)) = shortfall {
+                return Err(FamError::unsupported(
+                    solver.name(),
+                    format!(
+                        "epsilon = {eps} at confidence {} needs N >= {needed} utility samples \
+                         (Theorem 4); dataset `{}` holds N = {} (achieved epsilon = {achieved:.6}) \
+                         — POST /refine?dataset={}&epsilon={eps} to grow it",
+                        1.0 - params.sigma,
+                        self.name,
+                        self.n_samples(),
+                        self.name,
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Answers a solve for any registered algorithm: from the cache when
     /// the spec is canonical and `(algo, k)` was harvested (`true` in
     /// the second slot), by a cold registry dispatch against the
     /// resident matrix + live coordinates otherwise. Both paths produce
     /// bit-identical results for the same spec.
     ///
+    /// A precision requirement (`epsilon`/`sigma` params) is checked
+    /// against the resident sample count first and then **normalized
+    /// away**: a satisfied requirement changes nothing about the answer,
+    /// so it must not force a canonical `(algo, k)` past the cache.
+    ///
     /// # Errors
     ///
     /// Returns [`FamError::Unsupported`] for unknown algorithm names
-    /// (enumerating the registry) and capability violations, or the
-    /// solver's own validation errors.
+    /// (enumerating the registry), capability violations, and unmet
+    /// precision requirements (pointing at `/refine`), or the solver's
+    /// own validation errors.
     pub fn solve(&self, spec: &SolverSpec) -> Result<(SolveResult, bool)> {
+        let registry = Registry::global();
+        let solver = registry.require(&spec.name)?;
+        let spec = if spec.params.epsilon.is_some() || spec.params.sigma != DEFAULT_SIGMA {
+            // `sigma` without `epsilon` is inert — normalize it away too,
+            // or it would silently force every such request past the
+            // cache into a cold solve.
+            self.check_precision(solver, &spec.params)?;
+            let mut normalized = spec.clone();
+            normalized.params.epsilon = None;
+            normalized.params.sigma = DEFAULT_SIGMA;
+            std::borrow::Cow::Owned(normalized)
+        } else {
+            std::borrow::Cow::Borrowed(spec)
+        };
+        let spec = spec.as_ref();
         if let Some(key) = self.cache_key(spec) {
             if let Some(hit) = self.cache.get(&key) {
                 return Ok((hit.clone(), true));
             }
         }
-        let registry = Registry::global();
-        let solver = registry.require(&spec.name)?;
         // A worker runs the solve while holding the dataset's read lock;
         // an enumeration-style exact search over a large subset space
         // would pin it (and stall writers) effectively forever, so
@@ -393,6 +535,113 @@ impl DatasetService {
         let ops = fam_data::parse_update_ops(text, self.dim, source)?;
         self.apply_ops(&ops)
     }
+
+    /// Upgrades the dataset's precision **in place** to `epsilon` at
+    /// confidence `1 - sigma`: grows the resident sample count to the
+    /// Chernoff target via one matrix append (scoring only the new rows
+    /// under freshly sampled functions off the **continuing** build
+    /// RNG), warm-repairs the resident selection
+    /// ([`fam_algos::reoptimize`]), and re-harvests the multi-`k` cache
+    /// on the refined matrix — so every cached entry is again
+    /// bit-identical to a cold solve at the grown `N`.
+    ///
+    /// The append runs as a single batch, unlike the anytime doubling of
+    /// `fam_algos::refine`: the dataset's write lock is held for the
+    /// whole call, so intermediate rounds would be unobservable work.
+    ///
+    /// Because the RNG continues the build stream, a refined service is
+    /// **bit-identical** to a fresh service built at the grown sample
+    /// count from the same seed (provided no point updates intervened).
+    /// The grown population also scores all future point inserts, so
+    /// updates and refinements compose.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error with nothing mutated for an invalid
+    /// `(epsilon, sigma)` pair, a target over the matrix footprint
+    /// budget, or a growth beyond the served cap
+    /// ([`MAX_REFINE_MATRIX_BYTES`]). A repair or re-harvest failure after the matrix has
+    /// grown keeps the grown population but **clears the result cache**
+    /// (misses solve cold, which stays correct) and leaves the reported
+    /// `sigma` unchanged.
+    pub fn refine(&mut self, epsilon: f64, sigma: f64) -> Result<RefineSummary> {
+        let target =
+            PrecisionSpec::new(epsilon, sigma)?.required_samples_checked(self.n_points())?;
+        if self.n_samples() >= target {
+            // A no-op must not mutate the dataset's reported confidence:
+            // answer at the requested sigma, keep the resident one.
+            return Ok(RefineSummary {
+                target_samples: target,
+                n_samples: self.n_samples(),
+                achieved_epsilon: chernoff_epsilon(self.n_samples() as u64, sigma)?,
+                rounds: Vec::new(),
+                cache_entries: 0,
+                already_satisfied: true,
+            });
+        }
+        // A refine holds the write lock end to end; cap the growth a
+        // single served request can demand (cf. the exponential-solver
+        // gate on /solve).
+        let bytes = (target as u64).saturating_mul(self.n_points() as u64).saturating_mul(8);
+        if bytes > MAX_REFINE_MATRIX_BYTES {
+            return Err(FamError::unsupported(
+                "refine",
+                format!(
+                    "a served refine is capped at {MAX_REFINE_MATRIX_BYTES} bytes per matrix \
+                     layout; epsilon = {epsilon} at confidence {} needs {target} samples x {} \
+                     points = {bytes} bytes — run the refinement offline (`fam refine`) or \
+                     shard the dataset",
+                    1.0 - sigma,
+                    self.n_points(),
+                ),
+            ));
+        }
+        let churn = *self.cache_k.end();
+        // Distributions are stateless samplers (all randomness lives in
+        // the RNG stream), so rebuilding the object changes nothing.
+        let dist = self.dist.build(self.dim)?;
+        let fresh: Vec<Arc<dyn UtilityFunction>> =
+            (0..target - self.n_samples()).map(|_| dist.sample(&mut self.rng)).collect();
+        let n_before = self.n_samples();
+        let report = match self
+            .engine
+            .append_functions_with(&self.dataset, &fresh, |ev, ws| reoptimize(ev, ws.k, churn))
+        {
+            Ok(report) => report,
+            Err(e) => {
+                // A validation failure leaves the matrix untouched (cache
+                // still valid); a repair failure leaves it grown — the
+                // cache must not outlive the database it was solved on.
+                if self.n_samples() != n_before {
+                    self.cache.clear();
+                    self.functions.extend(fresh);
+                }
+                return Err(e);
+            }
+        };
+        self.functions.extend(fresh);
+        let rounds = vec![RefineRoundSummary {
+            n_samples: report.n_samples,
+            epsilon: chernoff_epsilon(report.n_samples as u64, sigma)?,
+            arr: report.arr,
+        }];
+        // The matrix has grown: the old cache's entries no longer equal
+        // cold solves on the resident database. If the re-harvest fails,
+        // drop the cache entirely — misses fall through to (correct)
+        // cold solves — rather than serve stale answers.
+        self.cache.clear();
+        self.cache = build_cache(self.engine.matrix(), &self.cache_k)?;
+        self.sigma = sigma;
+        self.refines += 1;
+        Ok(RefineSummary {
+            target_samples: target,
+            n_samples: self.n_samples(),
+            achieved_epsilon: self.achieved_epsilon(),
+            rounds,
+            cache_entries: self.cache.len(),
+            already_satisfied: false,
+        })
+    }
 }
 
 /// Rebuilds the coordinate mirror after a batch: survivors permute
@@ -452,7 +701,7 @@ mod tests {
     }
 
     fn options() -> ServeOptions {
-        ServeOptions { samples: 120, seed: 7, dist: DistKind::Uniform, cache_k: 1..=4 }
+        ServeOptions { samples: 120, seed: 7, cache_k: 1..=4, ..ServeOptions::default() }
     }
 
     #[test]
@@ -659,6 +908,124 @@ mod tests {
         // A second batch's inserts do not collide with the first's.
         svc.apply_update_text("insert,0.6,0.6\n", "ops").unwrap();
         assert_eq!(svc.dataset().label(4), Some("inserted-1-0"));
+    }
+
+    #[test]
+    fn refine_grows_samples_and_reharvests_bit_identical_cache() {
+        let ds = dataset(30);
+        let mut svc = DatasetService::build("demo", &ds, &options()).unwrap();
+        assert_eq!(svc.n_samples(), 120);
+        assert_eq!(svc.seed(), 7);
+        // 120 samples at sigma 0.1 achieve ~0.24; ask for 0.12.
+        let summary = svc.refine(0.12, 0.1).unwrap();
+        assert!(!summary.already_satisfied);
+        assert_eq!(summary.n_samples, summary.target_samples);
+        assert_eq!(svc.n_samples(), summary.n_samples);
+        assert!(summary.achieved_epsilon <= 0.12);
+        assert!((svc.achieved_epsilon() - summary.achieved_epsilon).abs() < 1e-15);
+        assert!(!summary.rounds.is_empty());
+        assert_eq!(summary.cache_entries, 8);
+        assert_eq!(svc.refines(), 1);
+        for pair in summary.rounds.windows(2) {
+            assert!(pair[1].n_samples > pair[0].n_samples);
+            assert!(pair[1].epsilon < pair[0].epsilon);
+        }
+        // Cached entries equal cold solves on the refined matrix.
+        for k in [1usize, 4] {
+            let (hit, cached) = svc.solve(&SolverSpec::new("add-greedy", k)).unwrap();
+            assert!(cached);
+            let cold = add_greedy(svc.matrix(), k).unwrap();
+            assert_eq!(hit.indices, cold.indices, "k={k}");
+            assert_eq!(hit.arr.to_bits(), cold.objective.unwrap().to_bits(), "k={k}");
+        }
+        // A refined service is bit-identical to a fresh build at the
+        // grown sample count (the continuing-RNG replica property).
+        let fresh = DatasetService::build(
+            "replica",
+            &ds,
+            &ServeOptions { samples: summary.n_samples, ..options() },
+        )
+        .unwrap();
+        for u in 0..svc.n_samples() {
+            assert_eq!(svc.matrix().row(u), fresh.matrix().row(u), "row {u}");
+        }
+        // Already satisfied: a no-op that answers at the requested
+        // confidence without mutating the dataset's reported sigma.
+        let again = svc.refine(0.2, 0.5).unwrap();
+        assert!(again.already_satisfied);
+        assert!(again.rounds.is_empty());
+        assert_eq!(svc.refines(), 1);
+        assert_eq!(svc.sigma(), 0.1, "a no-op refine must not change the reported confidence");
+        assert!(again.achieved_epsilon < svc.achieved_epsilon());
+        // Invalid requests leave everything untouched.
+        assert!(svc.refine(0.0, 0.1).is_err());
+        assert!(svc.refine(0.1, 1.0).is_err());
+        // A served refine is capped: this target wants ~15 GB per layout.
+        let err = svc.refine(0.0003, 0.1).unwrap_err();
+        assert!(err.to_string().contains("capped"), "{err}");
+        assert_eq!(svc.refines(), 1);
+        // The FAM_MAX_MATRIX_BYTES budget path is covered by
+        // `tests/refine_budget.rs` (a dedicated single-test binary; env
+        // mutation races sibling test threads).
+    }
+
+    #[test]
+    fn refine_composes_with_point_updates() {
+        let mut svc = DatasetService::build("demo", &dataset(25), &options()).unwrap();
+        svc.refine(0.15, 0.1).unwrap();
+        // Inserts after a refine score under the grown population: the
+        // matrix row count and the functions list stay in lockstep.
+        svc.apply_update_text("insert,0.9,0.8,0.7\ndelete,3\n", "ops").unwrap();
+        assert_eq!(svc.n_points(), 25);
+        let (hit, cached) = svc.solve(&SolverSpec::new("greedy-shrink", 2)).unwrap();
+        assert!(cached);
+        let cold = greedy_shrink(svc.matrix(), GreedyShrinkConfig::new(2)).unwrap();
+        assert_eq!(hit.indices, cold.selection.indices);
+        assert_eq!(hit.arr.to_bits(), cold.selection.objective.unwrap().to_bits());
+        // And another refine after the update keeps working.
+        let summary = svc.refine(0.1, 0.1).unwrap();
+        assert!(!summary.already_satisfied);
+        assert!(svc.achieved_epsilon() <= 0.1);
+    }
+
+    #[test]
+    fn solve_epsilon_requirement_gates_and_hits_the_cache() {
+        let mut svc = DatasetService::build("demo", &dataset(30), &options()).unwrap();
+        // 120 samples achieve ~0.24 at sigma 0.1: a satisfied requirement
+        // still answers from the cache, bit-identically.
+        let sat = SolverSpec::parse("add-greedy", 3, &[("epsilon", "0.3")]).unwrap();
+        let (res, cached) = svc.solve(&sat).unwrap();
+        assert!(cached, "satisfied precision must not bypass the cache");
+        let (plain, _) = svc.solve(&SolverSpec::new("add-greedy", 3)).unwrap();
+        assert_eq!(res, plain);
+        // An unmet requirement is a clean error pointing at /refine.
+        let tight = SolverSpec::parse("add-greedy", 3, &[("epsilon", "0.1")]).unwrap();
+        let err = svc.solve(&tight).unwrap_err();
+        assert!(matches!(err, FamError::Unsupported { .. }), "{err}");
+        assert!(err.to_string().contains("/refine"), "{err}");
+        // Refining unlocks it.
+        svc.refine(0.1, 0.1).unwrap();
+        let (res, cached) = svc.solve(&tight).unwrap();
+        assert!(cached);
+        assert_eq!(res.indices.len(), 3);
+        // sigma without epsilon is inert and must not bypass the cache.
+        let sigma_only = SolverSpec::parse("add-greedy", 3, &[("sigma", "0.2")]).unwrap();
+        let (res, cached) = svc.solve(&sigma_only).unwrap();
+        assert!(cached, "sigma-only spec must still hit the cache");
+        assert_eq!(res.indices.len(), 3);
+        // Exact coordinate solvers ignore the requirement (no sampling).
+        let svc2d = DatasetService::build("d2", &dataset_2d(20), &options()).unwrap();
+        let dp = SolverSpec::parse("dp-2d", 2, &[("epsilon", "0.0001")]).unwrap();
+        assert!(svc2d.solve(&dp).is_ok());
+    }
+
+    #[test]
+    fn build_rejects_bad_sigma() {
+        let ds = dataset(10);
+        for sigma in [0.0, 1.0, -0.3, f64::NAN] {
+            let opts = ServeOptions { sigma, ..options() };
+            assert!(DatasetService::build("x", &ds, &opts).is_err(), "sigma = {sigma}");
+        }
     }
 
     #[test]

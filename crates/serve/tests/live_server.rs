@@ -64,7 +64,7 @@ fn base_dataset(seed: u64, n: usize) -> Dataset {
 }
 
 fn options() -> ServeOptions {
-    ServeOptions { samples: 200, seed: 17, dist: DistKind::Uniform, cache_k: 1..=5 }
+    ServeOptions { samples: 200, seed: 17, dist: DistKind::Uniform, cache_k: 1..=5, sigma: 0.1 }
 }
 
 fn base_dataset_2d(seed: u64, n: usize) -> Dataset {
@@ -251,10 +251,58 @@ fn concurrent_clients_and_updates_stay_bit_identical() {
     let cold = add_greedy(replica_free_beta(&beta_data).matrix(), 3).expect("beta cold");
     assert_eq!(field_indices(&body, "selection"), cold.indices);
 
+    // --- Progressive precision over the wire: /stats reports the sample
+    // axis, an unmet epsilon requirement is a clean 400 pointing at
+    // /refine, and POST /refine grows the population in place. ---
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"n_samples\":200"), "{body}");
+    assert!(body.contains("\"seed\":17"), "{body}");
+    assert!(body.contains("\"achieved_epsilon\":"), "{body}");
+    // 200 samples achieve ~0.186 at sigma 0.1; 0.12 needs 480.
+    let (status, body) = get(addr, "/solve?dataset=beta&k=2&epsilon=0.12");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("/refine"), "{body}");
+    let (status, body) = get(addr, "/solve?dataset=beta&k=2&epsilon=0.2");
+    assert_eq!(status, 200, "satisfied epsilon must serve: {body}");
+    assert!(body.contains("\"cached\":true"), "{body}");
+    let (status, body) = post(addr, "/refine?dataset=beta&epsilon=0.12", "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(field_f64(&body, "n_samples") as usize, 480);
+    assert!(field_f64(&body, "achieved_epsilon") <= 0.12, "{body}");
+    assert!(body.contains("\"already_satisfied\":false"), "{body}");
+    assert!(body.contains("\"rounds\":[{"), "{body}");
+    let (status, body) = get(addr, "/solve?dataset=beta&k=2&epsilon=0.12");
+    assert_eq!(status, 200, "refined dataset must satisfy the epsilon: {body}");
+    assert!(body.contains("\"cached\":true"), "{body}");
+    // The refined cache equals cold solves on an identically refined
+    // replica (the continuing-RNG contract, through the JSON floats).
+    let mut refined_replica = replica_free_beta(&beta_data);
+    refined_replica.refine(0.12, 0.1).expect("replica refine");
+    let (_, body) = get(addr, "/solve?dataset=beta&k=3");
+    let cold = add_greedy(refined_replica.matrix(), 3).expect("refined cold");
+    assert_eq!(field_indices(&body, "selection"), cold.indices);
+    assert_eq!(field_f64(&body, "arr").to_bits(), cold.objective.unwrap().to_bits());
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"n_samples\":480"), "{body}");
+    // Refine error paths: wrong method, missing/garbled parameters.
+    let (status, _) = get(addr, "/refine?dataset=beta&epsilon=0.1");
+    assert_eq!(status, 405);
+    let (status, body) = post(addr, "/refine?dataset=beta", "");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = post(addr, "/refine?dataset=beta&epsilon=2.0", "");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = post(addr, "/refine?dataset=beta&epsilon=0.1&sigma=oops", "");
+    assert_eq!(status, 400, "{body}");
+    let (status, _) = post(addr, "/refine?dataset=nope&epsilon=0.1", "");
+    assert_eq!(status, 404);
+
     // Stats survived the storm and counted the traffic.
     let (status, body) = get(addr, "/stats");
     assert_eq!(status, 200);
     assert!(field_f64(&body, "requests") > 20.0, "{body}");
+    assert!(body.contains("\"refines\":1"), "{body}");
 
     handle.shutdown();
     server_thread.join().expect("server thread");

@@ -1,0 +1,25 @@
+//! The `FAM_MAX_MATRIX_BYTES` budget path of `DatasetService::refine`,
+//! isolated in a single-test binary: mutating the process environment
+//! while other test threads read it races, so this file must hold
+//! exactly one `#[test]`.
+
+use fam_data::{synthetic, Correlation};
+use fam_serve::{DatasetService, ServeOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn service_refine_respects_the_matrix_budget() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let ds = synthetic(25, 3, Correlation::AntiCorrelated, &mut rng).unwrap();
+    let opts = ServeOptions { samples: 120, seed: 7, cache_k: 1..=4, ..ServeOptions::default() };
+    let mut svc = DatasetService::build("demo", &ds, &opts).unwrap();
+    // eps = 0.001 wants ~6.9M samples x 25 points x 8 B ≈ 1.4 GB — far
+    // over a 1 MiB budget; refine must refuse with nothing mutated.
+    std::env::set_var(fam_core::sampling::MAX_MATRIX_BYTES_ENV, "1048576");
+    let err = svc.refine(0.001, 0.1).unwrap_err();
+    std::env::remove_var(fam_core::sampling::MAX_MATRIX_BYTES_ENV);
+    assert!(err.to_string().contains("budget"), "{err}");
+    assert_eq!(svc.n_samples(), 120);
+    assert_eq!(svc.refines(), 0);
+}

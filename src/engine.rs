@@ -24,8 +24,8 @@
 
 use fam_algos::{Registry, SolverSpec};
 use fam_core::{
-    regret, Dataset, FamError, RegretReport, Result, ScoreMatrix, SolveOutput, UniformLinear,
-    UtilityDistribution,
+    chernoff_epsilon, regret, Dataset, FamError, PrecisionSpec, RegretReport, Result, ScoreMatrix,
+    SolveOutput, UniformLinear, UtilityDistribution,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -117,6 +117,17 @@ impl Engine {
     pub fn evaluate(&self, selection: &[usize]) -> Result<RegretReport> {
         regret::report(&self.matrix, selection)
     }
+
+    /// The ε the resident sample count achieves at confidence
+    /// `1 - sigma` (Theorem 4) — how precise this engine's sampled
+    /// estimates are.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a `sigma` outside `(0, 1)`.
+    pub fn achieved_epsilon(&self, sigma: f64) -> Result<f64> {
+        chernoff_epsilon(self.matrix.n_samples() as u64, sigma)
+    }
 }
 
 impl std::fmt::Debug for Engine {
@@ -138,6 +149,7 @@ pub struct EngineBuilder {
     matrix: Option<ScoreMatrix>,
     distribution: Option<Box<dyn UtilityDistribution>>,
     samples: usize,
+    precision: Option<PrecisionSpec>,
     seed: u64,
     solver: String,
 }
@@ -149,6 +161,7 @@ impl Default for EngineBuilder {
             matrix: None,
             distribution: None,
             samples: DEFAULT_SAMPLES,
+            precision: None,
             seed: DEFAULT_SEED,
             solver: DEFAULT_SOLVER.to_string(),
         }
@@ -183,10 +196,22 @@ impl EngineBuilder {
     }
 
     /// Number of sampled utility functions `N` (default
-    /// [`DEFAULT_SAMPLES`]).
+    /// [`DEFAULT_SAMPLES`]). Overridden by
+    /// [`EngineBuilder::precision`] when both are set.
     #[must_use]
     pub fn samples(mut self, n: usize) -> Self {
         self.samples = n;
+        self
+    }
+
+    /// Sizes the sample population by a precision target instead of a
+    /// raw count: `N` becomes the Chernoff bound for an `epsilon`-
+    /// accurate average regret ratio at confidence `1 - sigma`
+    /// (Theorem 4). Validated — including against the matrix footprint
+    /// budget — at build time.
+    #[must_use]
+    pub fn precision(mut self, epsilon: f64, sigma: f64) -> Self {
+        self.precision = Some(PrecisionSpec { epsilon, sigma });
         self
     }
 
@@ -216,6 +241,23 @@ impl EngineBuilder {
     /// zero with no matrix), or scoring failures.
     pub fn build(self) -> Result<Engine> {
         Registry::global().require(&self.solver)?;
+        // A pre-built matrix has a fixed sample count: a precision target
+        // it cannot meet must fail loudly, not silently under-deliver.
+        if let (Some(spec), Some(m)) = (&self.precision, &self.matrix) {
+            if !spec.satisfied_by(m.n_samples() as u64)? {
+                return Err(FamError::InvalidParameter {
+                    name: "precision",
+                    message: format!(
+                        "epsilon = {} at confidence {} needs N >= {} samples (Theorem 4); \
+                         the supplied matrix has N = {}",
+                        spec.epsilon,
+                        1.0 - spec.sigma,
+                        spec.required_samples()?,
+                        m.n_samples()
+                    ),
+                });
+            }
+        }
         let matrix = match (self.matrix, &self.dataset) {
             (Some(m), Some(ds)) => {
                 // Coordinate-based solvers index the dataset with matrix
@@ -235,18 +277,26 @@ impl EngineBuilder {
             }
             (Some(m), None) => m,
             (None, Some(ds)) => {
-                if self.samples == 0 {
+                let samples = match &self.precision {
+                    Some(spec) => spec.required_samples_checked(ds.len())?,
+                    None => self.samples,
+                };
+                if samples == 0 {
                     return Err(FamError::InvalidParameter {
                         name: "samples",
                         message: "at least one utility sample is required".into(),
                     });
                 }
+                // from_distribution re-checks, but failing before the
+                // distribution is built gives the caller the precise
+                // parameter name.
+                fam_core::check_matrix_budget(samples, ds.len())?;
                 let dist: Box<dyn UtilityDistribution> = match self.distribution {
                     Some(d) => d,
                     None => Box::new(UniformLinear::new(ds.dim())?),
                 };
                 let mut rng = StdRng::seed_from_u64(self.seed);
-                ScoreMatrix::from_distribution(ds, dist.as_ref(), self.samples, &mut rng)?
+                ScoreMatrix::from_distribution(ds, dist.as_ref(), samples, &mut rng)?
             }
             (None, None) => {
                 return Err(FamError::InvalidParameter {
@@ -337,6 +387,39 @@ mod tests {
         assert_eq!(engine.solve(2).unwrap().selection.len(), 2);
         // Coordinate-based solvers are gated off without a dataset.
         assert!(engine.solve_as("sky-dom", 2).is_err());
+    }
+
+    #[test]
+    fn precision_builder_sizes_samples_by_chernoff() {
+        let engine =
+            Engine::builder().dataset(hotels()).precision(0.15, 0.1).seed(2).build().unwrap();
+        let expected = fam_core::chernoff_sample_size(0.15, 0.1).unwrap() as usize;
+        assert_eq!(engine.matrix().n_samples(), expected);
+        assert!(engine.achieved_epsilon(0.1).unwrap() <= 0.15);
+        assert!(engine.achieved_epsilon(2.0).is_err());
+        // Precision wins over an explicit sample count.
+        let engine =
+            Engine::builder().dataset(hotels()).samples(17).precision(0.2, 0.1).build().unwrap();
+        assert_eq!(
+            engine.matrix().n_samples(),
+            fam_core::chernoff_sample_size(0.2, 0.1).unwrap() as usize
+        );
+        // Invalid targets fail at build time.
+        assert!(Engine::builder().dataset(hotels()).precision(0.0, 0.1).build().is_err());
+        assert!(Engine::builder().dataset(hotels()).precision(0.1, 1.0).build().is_err());
+        // A pre-built matrix that cannot meet the target is rejected
+        // instead of silently under-delivering.
+        let tiny = ScoreMatrix::from_rows(vec![vec![0.5, 1.0]; 8], None).unwrap();
+        let err = match Engine::builder().matrix(tiny.clone()).precision(0.1, 0.1).build() {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("8 samples cannot satisfy eps = 0.1"),
+        };
+        assert!(err.contains("Theorem 4"), "{err}");
+        // A matrix that does meet it builds fine.
+        let enough = fam_core::chernoff_sample_size(0.5, 0.5).unwrap() as usize;
+        let big = ScoreMatrix::from_rows(vec![vec![0.5, 1.0]; enough], None).unwrap();
+        assert!(Engine::builder().matrix(big).precision(0.5, 0.5).build().is_ok());
+        let _ = tiny;
     }
 
     #[test]

@@ -56,8 +56,16 @@
 //! the canonical implementations and stay exported; registry adapters
 //! are bit-identical thin delegates over them.
 //!
-//! See `examples/` for end-to-end scenarios (NBA team selection, the
-//! Yahoo!Music learned-utility pipeline, exact 2-D optimization) and
+//! Sampled estimates carry an explicit precision: size the population
+//! by a Chernoff target with [`EngineBuilder::precision`], refine a
+//! coarse answer in place to any ε with [`refine`](fn@refine) (or the
+//! server's `POST /refine`), and read the achieved ε back at any `N`
+//! ([`Engine::achieved_epsilon`], `GET /stats`).
+//!
+//! See the repository `README.md` for the crate map, CLI/server
+//! surfaces, and how to reproduce each committed `BENCH_*.json`;
+//! `examples/` for end-to-end scenarios (NBA team selection, the
+//! Yahoo!Music learned-utility pipeline, exact 2-D optimization); and
 //! DESIGN.md / EXPERIMENTS.md for the paper-reproduction map.
 
 #![warn(missing_docs)]
@@ -78,17 +86,17 @@ pub use fam_serve as serve;
 pub use fam_algos::{
     add_greedy, add_greedy_from, add_greedy_range, brute_force, brute_force_with_pruning,
     continuous_arr, cube, dp_2d, greedy_shrink, greedy_shrink_range, greedy_shrink_warm, k_hit,
-    local_search, mrr_greedy_exact, mrr_greedy_sampled, mrr_linear_exact, sky_dom, warm_repair,
-    AngularMeasure, Caps, Dp2dOutput, GreedyShrinkConfig, GreedyShrinkOutput, LocalSearchConfig,
-    LocalSearchOutput, QuadratureMeasure, Registry, Solver, SolverSpec, UniformAngleMeasure,
-    UniformBoxMeasure,
+    local_search, mrr_greedy_exact, mrr_greedy_sampled, mrr_linear_exact, refine, reoptimize,
+    sky_dom, warm_repair, AngularMeasure, Caps, Dp2dOutput, GreedyShrinkConfig, GreedyShrinkOutput,
+    LocalSearchConfig, LocalSearchOutput, QuadratureMeasure, RefineConfig, RefineOutput,
+    RefineRound, Registry, Solver, SolverSpec, UniformAngleMeasure, UniformBoxMeasure,
 };
 pub use fam_core::{
-    chernoff_epsilon, chernoff_sample_size, regret, ApplyReport, Dataset, DiscreteDistribution,
-    DynamicEngine, FamError, LinearScores, LinearUtility, MeasureKind, RegretReport, RepairOutcome,
-    Result, SampleSpec, ScoreMatrix, ScoreSource, Selection, SelectionEvaluator, SolveCtx,
-    SolveOutput, SolverParams, TableUtility, UniformLinear, UpdateBatch, UtilityDistribution,
-    UtilityFunction, WarmStart,
+    check_matrix_budget, chernoff_epsilon, chernoff_sample_size, regret, AppendReport, ApplyReport,
+    Dataset, DiscreteDistribution, DynamicEngine, FamError, LinearScores, LinearUtility,
+    MeasureKind, PrecisionSpec, RegretReport, RepairOutcome, Result, SampleSpec, ScoreMatrix,
+    ScoreSource, Selection, SelectionEvaluator, SolveCtx, SolveOutput, SolverParams, TableUtility,
+    UniformLinear, UpdateBatch, UtilityDistribution, UtilityFunction, WarmStart, DEFAULT_SIGMA,
 };
 
 /// Everything needed for typical use, re-exported flat.
