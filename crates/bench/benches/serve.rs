@@ -1,30 +1,34 @@
 //! Serving-layer throughput: requests/s against a live in-process
-//! `fam-serve` instance over real TCP.
+//! `fam-serve` instance over real TCP, driven through the crate's
+//! keep-alive [`fam::serve::Client`] (one persistent connection per
+//! client thread, as a real caller would hold).
 //!
 //! Three workloads:
 //!
 //! * **cached** — 4 client threads issuing `GET /solve` for `k` inside
 //!   the cache range (answers come from the multi-`k` trajectory cache);
 //! * **uncached** — the same clients asking for a `k` outside the range
-//!   (every request pays a cold ADD-GREEDY solve under the read lock);
+//!   (every request pays a cold ADD-GREEDY solve on the snapshot);
 //! * **mixed** — the cached readers racing a writer that streams `POST
-//!   /update` batches (each update re-harvests the cache under the write
-//!   lock).
+//!   /update` batches. Readers are wait-free: each update builds the
+//!   next generation off to the side and publishes it with one swap, so
+//!   `mixed_rps` should sit within a small factor of `cached_rps`
+//!   rather than collapsing behind a write lock.
 //!
 //! Scale via `FAM_SERVE_POINTS`, `FAM_SERVE_SAMPLES`, `FAM_SERVE_CACHE_K`
 //! and duration via `FAM_SERVE_MILLIS`; emits one JSON trajectory point
 //! (default `BENCH_serve.json` at the workspace root, override with
 //! `FAM_BENCH_SERVE_OUT`).
 
-use std::io::{Read, Write as _};
-use std::net::{SocketAddr, TcpStream};
+use std::io::Write as _;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fam::prelude::*;
-use fam::serve::{DatasetService, DistKind, ServeOptions, Server};
+use fam::serve::{Client, ClientOptions, DatasetService, DistKind, ServeOptions, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -32,28 +36,9 @@ fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
-fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.write_all(raw.as_bytes()).expect("send");
-    let mut buf = String::new();
-    stream.read_to_string(&mut buf).expect("receive");
-    let status = buf.split(' ').nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
-    (status, buf)
-}
-
-fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: b\r\n\r\n"))
-}
-
-fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
-    request(
-        addr,
-        &format!("POST {path} HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}", body.len()),
-    )
-}
-
-/// Runs `clients` reader threads against `path_of(i)` for `millis`,
-/// returning total completed requests.
+/// Runs `clients` reader threads — each holding one keep-alive
+/// connection — against `path_of(i)` for `millis`, returning total
+/// completed requests.
 fn hammer(
     addr: SocketAddr,
     clients: usize,
@@ -66,10 +51,11 @@ fn hammer(
         for c in 0..clients {
             let (stop, served, path_of) = (&stop, &served, &path_of);
             s.spawn(move || {
+                let mut client = Client::new(addr.to_string());
                 let mut i = 0usize;
                 while !stop.load(Ordering::Relaxed) {
-                    let (status, body) = get(addr, &path_of(c, i));
-                    assert_eq!(status, 200, "{body}");
+                    let resp = client.get(&path_of(c, i)).expect("request");
+                    assert_eq!(resp.status, 200, "{}", resp.body);
                     served.fetch_add(1, Ordering::Relaxed);
                     i += 1;
                 }
@@ -126,7 +112,9 @@ fn bench_serve(c: &mut Criterion) {
     let uncached_rps = uncached as f64 / (millis as f64 / 1e3);
     eprintln!("uncached : {uncached} requests in {millis} ms = {uncached_rps:.0} req/s");
 
-    // Mixed leg: cached readers racing an update writer.
+    // Mixed leg: cached readers racing an update writer. Each update
+    // clones the service, applies + re-harvests off-lock, and publishes
+    // the next generation with one swap; readers never wait on it.
     let stop_writer = Arc::new(AtomicBool::new(false));
     let updates_done = Arc::new(AtomicU64::new(0));
     let update_nanos = Arc::new(AtomicU64::new(0));
@@ -134,6 +122,12 @@ fn bench_serve(c: &mut Criterion) {
         let (stop, done, nanos) =
             (Arc::clone(&stop_writer), Arc::clone(&updates_done), Arc::clone(&update_nanos));
         std::thread::spawn(move || {
+            // An update (clone + apply + re-harvest) can take seconds
+            // under reader contention: give the writer a wide timeout so
+            // a slow response is not misread as a lost one.
+            let opts =
+                ClientOptions { timeout: Duration::from_secs(600), ..ClientOptions::default() };
+            let mut client = Client::with_options(addr.to_string(), opts);
             let mut round = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 // Insert two, delete one: the database drifts but never
@@ -143,9 +137,9 @@ fn bench_serve(c: &mut Criterion) {
                     round % 50
                 );
                 let t = Instant::now();
-                let (status, body) = post(addr, "/update?dataset=bench", &ops);
+                let resp = client.post("/update?dataset=bench", &ops).expect("update");
                 nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                assert_eq!(status, 200, "{body}");
+                assert_eq!(resp.status, 200, "{}", resp.body);
                 done.fetch_add(1, Ordering::Relaxed);
                 round += 1;
             }
@@ -165,7 +159,7 @@ fn bench_serve(c: &mut Criterion) {
     };
     eprintln!(
         "mixed    : {mixed} reads = {mixed_rps:.0} req/s alongside {updates} updates \
-         (mean {update_ms:.1} ms each: apply + cache re-harvest)"
+         (mean {update_ms:.1} ms each: clone + apply + cache re-harvest + publish)"
     );
 
     let out_path = std::env::var("FAM_BENCH_SERVE_OUT").unwrap_or_else(|_| {
@@ -184,16 +178,23 @@ fn bench_serve(c: &mut Criterion) {
         Err(e) => eprintln!("could not write {out_path}: {e}"),
     }
 
-    // Criterion group: single-request latency, cached vs uncached.
+    // Criterion group: single-request latency, cached vs uncached, over
+    // one persistent connection.
+    let mut lat_client = Client::new(addr.to_string());
     let mut g = c.benchmark_group("serve_latency");
     g.sample_size(10);
     g.bench_function("solve_cached", |b| {
-        b.iter(|| get(addr, "/solve?dataset=bench&k=3&algo=add-greedy"))
+        b.iter(|| lat_client.get("/solve?dataset=bench&k=3&algo=add-greedy").expect("request"))
     });
     g.bench_function("solve_uncached", |b| {
-        b.iter(|| get(addr, &format!("/solve?dataset=bench&k={k_cold}&algo=add-greedy")))
+        b.iter(|| {
+            lat_client
+                .get(&format!("/solve?dataset=bench&k={k_cold}&algo=add-greedy"))
+                .expect("request")
+        })
     });
     g.finish();
+    drop(lat_client);
 
     handle.shutdown();
     server_thread.join().expect("server thread");

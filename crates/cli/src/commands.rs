@@ -501,6 +501,36 @@ fn build_services(a: &ParsedArgs) -> Result<Vec<fam::serve::DatasetService>, Str
     Ok(services)
 }
 
+/// Parses the admission-control flags shared by `fam serve` into
+/// [`fam::serve::ServerOptions`].
+fn server_options(a: &ParsedArgs) -> Result<fam::serve::ServerOptions, String> {
+    let defaults = fam::serve::ServerOptions::default();
+    let workers: usize = a.parsed_or("workers", fam::serve::DEFAULT_WORKERS)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let default_deadline_ms = match a.optional("deadline-ms") {
+        None => None,
+        Some(v) => {
+            Some(v.parse::<u64>().map_err(|_| format!("--deadline-ms: `{v}` is not a number"))?)
+        }
+    };
+    let max_requests_per_conn: u64 =
+        a.parsed_or("keepalive-requests", defaults.max_requests_per_conn)?;
+    if max_requests_per_conn == 0 {
+        return Err("--keepalive-requests must be at least 1".into());
+    }
+    let idle_ms: u64 = a.parsed_or("idle-ms", defaults.idle_timeout.as_millis() as u64)?;
+    Ok(fam::serve::ServerOptions {
+        workers,
+        max_pending: a.parsed_or("max-pending", defaults.max_pending)?,
+        default_deadline_ms,
+        max_requests_per_conn,
+        idle_timeout: std::time::Duration::from_millis(idle_ms.max(1)),
+        retry_after_secs: a.parsed_or("retry-after", defaults.retry_after_secs)?,
+    })
+}
+
 /// `fam serve` — host datasets over HTTP (see the `fam-serve` crate).
 ///
 /// Blocks until shut down (`Ctrl-C` in practice; tests drive the server
@@ -517,12 +547,10 @@ pub fn serve(a: &ParsedArgs) -> Result<String, String> {
     // has no authentication, so exposing it beyond the host must be an
     // explicit decision (`--bind 0.0.0.0`).
     let bind = a.optional("bind").unwrap_or("127.0.0.1").to_string();
-    let workers: usize = a.parsed_or("workers", fam::serve::DEFAULT_WORKERS)?;
-    if workers == 0 {
-        return Err("--workers must be at least 1".into());
-    }
+    let opts = server_options(a)?;
+    let workers = opts.workers;
     let names: Vec<String> = services.iter().map(|s| s.name().to_string()).collect();
-    let server = fam::serve::Server::bind((bind.as_str(), port), services, workers)
+    let server = fam::serve::Server::bind_with((bind.as_str(), port), services, opts)
         .map_err(|e| format!("bind {bind}:{port}: {e}"))?;
     println!("fam-serve listening on http://{} ({} workers)", server.local_addr(), workers);
     println!("datasets: {}", names.join(", "));
@@ -531,6 +559,130 @@ pub fn serve(a: &ParsedArgs) -> Result<String, String> {
     let addr = server.local_addr();
     server.run();
     Ok(format!("served {} dataset(s) on {addr}, shut down cleanly", names.len()))
+}
+
+/// Builds the retrying HTTP client the `remote-*` commands share:
+/// `--attempts` bounds the retry budget, `--timeout-ms` the per-attempt
+/// socket wait. Shed `503`s are retried with jittered exponential
+/// backoff honoring the server's `Retry-After`.
+fn remote_client(a: &ParsedArgs) -> Result<fam::serve::Client, String> {
+    let server = a.required("server")?;
+    let defaults = fam::serve::ClientOptions::default();
+    let attempts: u32 = a.parsed_or("attempts", defaults.attempts)?;
+    if attempts == 0 {
+        return Err("--attempts must be at least 1".into());
+    }
+    let timeout_ms: u64 = a.parsed_or("timeout-ms", defaults.timeout.as_millis() as u64)?;
+    let opts = fam::serve::ClientOptions {
+        attempts,
+        timeout: std::time::Duration::from_millis(timeout_ms.max(1)),
+        ..defaults
+    };
+    Ok(fam::serve::Client::with_options(server, opts))
+}
+
+/// Appends `&deadline_ms=V` when `--deadline-ms` was given (validated).
+fn deadline_query(a: &ParsedArgs) -> Result<String, String> {
+    match a.optional("deadline-ms") {
+        None => Ok(String::new()),
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|_| format!("--deadline-ms: `{v}` is not a number"))?;
+            Ok(format!("&deadline_ms={ms}"))
+        }
+    }
+}
+
+/// Extracts a top-level `"key":<number>` JSON field (the serve wire
+/// format is flat enough for this).
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let rest = &body[body.find(&tag)? + tag.len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// `fam remote-solve` — query a running `fam serve` instance with
+/// retries and backoff; prints the response JSON.
+///
+/// # Errors
+///
+/// Returns usage errors, exhausted retry budgets (naming the attempt
+/// count), and non-200 server answers as strings.
+pub fn remote_solve(a: &ParsedArgs) -> Result<String, String> {
+    let dataset = a.required("dataset")?;
+    let k: usize = a.required("k")?.parse().map_err(|_| "--k: not a number".to_string())?;
+    let algo = a.optional("algo").unwrap_or("add-greedy");
+    let path = format!("/solve?dataset={dataset}&k={k}&algo={algo}{}", deadline_query(a)?);
+    let mut client = remote_client(a)?;
+    let resp = client.get(&path)?;
+    match resp.status {
+        200 => Ok(resp.body),
+        status => Err(format!("server answered {status}: {}", resp.body.trim())),
+    }
+}
+
+/// `fam remote-replay` — stream an ops file (`insert,c0,..` /
+/// `delete,IDX`) to a running server's `POST /update`, in `--batch`-line
+/// batches (default: one batch), with shed-aware retries. A batch whose
+/// fate is unknown (response lost mid-flight) is *not* re-sent — the
+/// error says so and names the batch, so the operator can check
+/// `/healthz` generations before resuming.
+///
+/// # Errors
+///
+/// Returns usage/I/O errors, exhausted retry budgets, and non-200
+/// server answers (with the failing batch index) as strings.
+pub fn remote_replay(a: &ParsedArgs) -> Result<String, String> {
+    let dataset = a.required("dataset")?;
+    let ups_path = a.required("updates")?;
+    let text = std::fs::read_to_string(ups_path).map_err(|e| format!("{ups_path}: {e}"))?;
+    let batch: usize = a.parsed_or("batch", 0usize)?;
+    let lines: Vec<&str> = text
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .collect();
+    if lines.is_empty() {
+        return Err(format!("{ups_path}: no operations"));
+    }
+    let batches: Vec<String> = if batch == 0 {
+        vec![lines.join("\n")]
+    } else {
+        lines.chunks(batch).map(|c| c.join("\n")).collect()
+    };
+    let url = format!("/update?dataset={dataset}{}", deadline_query(a)?);
+    let mut client = remote_client(a)?;
+    let mut out = String::new();
+    let mut last_generation = 0u64;
+    for (i, body) in batches.iter().enumerate() {
+        let resp =
+            client.post(&url, &format!("{body}\n")).map_err(|e| format!("batch {i}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "batch {i}: server answered {}: {}",
+                resp.status,
+                resp.body.trim()
+            ));
+        }
+        last_generation = json_u64(&resp.body, "generation").unwrap_or(0);
+        out.push_str(&format!(
+            "batch {i}: +{} -{} -> n_points {}, generation {last_generation}\n",
+            json_u64(&resp.body, "inserted").unwrap_or(0),
+            json_u64(&resp.body, "deleted").unwrap_or(0),
+            json_u64(&resp.body, "n_points").unwrap_or(0),
+        ));
+    }
+    out.push_str(&format!(
+        "replayed {} op(s) in {} batch(es) to `{dataset}`, generation {last_generation} \
+         ({} retries, {} reconnects)",
+        lines.len(),
+        batches.len(),
+        client.retries(),
+        client.reconnects(),
+    ));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -709,6 +861,10 @@ mod tests {
         assert!(msg.contains("algos"));
         assert!(msg.contains("refine"));
         assert!(msg.contains("/refine"));
+        assert!(msg.contains("remote-solve"));
+        assert!(msg.contains("remote-replay"));
+        assert!(msg.contains("/healthz"));
+        assert!(msg.contains("deadline_ms"));
         assert!(crate::run(&["bogus".to_string()]).is_err());
         assert!(crate::run(&[]).is_err());
         let listing = crate::run(&["algos".to_string()]).unwrap();
@@ -748,6 +904,88 @@ mod tests {
         assert!(serve(&argv(&format!("--data {a} --workers 0"))).is_err());
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn remote_commands_drive_a_live_server() {
+        let data = tmp("remote.csv");
+        let ups = tmp("remote_ops.csv");
+        generate(&argv(&format!("--out {data} --n 60 --d 3 --corr anti --seed 15"))).unwrap();
+        std::fs::write(&ups, "# stream\ninsert,0.9,0.8,0.7\ndelete,3\ninsert,0.2,0.95,0.4\n")
+            .unwrap();
+        let services =
+            build_services(&argv(&format!("--data {data} --samples 80 --cache-k 1..3 --seed 15")))
+                .unwrap();
+        let name = services[0].name().to_string();
+        let server = fam::serve::Server::bind_with(
+            ("127.0.0.1", 0),
+            services,
+            server_options(&argv("")).unwrap(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let server_thread = std::thread::spawn(move || server.run());
+
+        let msg = remote_solve(&argv(&format!(
+            "--server {addr} --dataset {name} --k 2 --deadline-ms 30000"
+        )))
+        .unwrap();
+        assert!(msg.contains("\"cached\":true"), "{msg}");
+        assert!(msg.contains("\"generation\":1"), "{msg}");
+        // A spent budget surfaces the server's 504 verbatim.
+        let err =
+            remote_solve(&argv(&format!("--server {addr} --dataset {name} --k 2 --deadline-ms 0")))
+                .unwrap_err();
+        assert!(err.contains("504") && err.contains("deadline"), "{err}");
+
+        let msg = remote_replay(&argv(&format!(
+            "--server {addr} --dataset {name} --updates {ups} --batch 2"
+        )))
+        .unwrap();
+        assert!(msg.contains("batch 0: +1 -1"), "{msg}");
+        assert!(msg.contains("replayed 3 op(s) in 2 batch(es)"), "{msg}");
+        assert!(msg.contains("generation 3"), "{msg}");
+
+        // Usage and transport errors stay clean strings.
+        assert!(remote_solve(&argv(&format!("--dataset {name} --k 2"))).is_err());
+        assert!(remote_solve(&argv(&format!("--server {addr} --dataset {name} --k two"))).is_err());
+        assert!(remote_solve(&argv(&format!(
+            "--server {addr} --dataset {name} --k 2 --attempts 0"
+        )))
+        .is_err());
+        let err = remote_solve(&argv(&format!(
+            "--server 127.0.0.1:1 --dataset {name} --k 2 --attempts 2 --timeout-ms 200"
+        )))
+        .unwrap_err();
+        assert!(err.contains("2 attempts"), "{err}");
+        let err = remote_replay(&argv(&format!("--server {addr} --dataset nope --updates {ups}")))
+            .unwrap_err();
+        assert!(err.contains("batch 0") && err.contains("404"), "{err}");
+
+        handle.shutdown();
+        server_thread.join().unwrap();
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&ups).ok();
+    }
+
+    #[test]
+    fn server_option_flags_parse_and_validate() {
+        let opts = server_options(&argv(
+            "--workers 3 --max-pending 9 --deadline-ms 250 --keepalive-requests 5 --idle-ms 100 --retry-after 2",
+        ))
+        .unwrap();
+        assert_eq!(opts.workers, 3);
+        assert_eq!(opts.max_pending, 9);
+        assert_eq!(opts.default_deadline_ms, Some(250));
+        assert_eq!(opts.max_requests_per_conn, 5);
+        assert_eq!(opts.idle_timeout, std::time::Duration::from_millis(100));
+        assert_eq!(opts.retry_after_secs, 2);
+        let defaults = server_options(&argv("")).unwrap();
+        assert_eq!(defaults.default_deadline_ms, None);
+        assert!(server_options(&argv("--workers 0")).is_err());
+        assert!(server_options(&argv("--deadline-ms soon")).is_err());
+        assert!(server_options(&argv("--keepalive-requests 0")).is_err());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! fam refine   --data data.csv --k 10 --epsilon 0.02
 //! fam replay   --data data.csv --updates ops.csv --k 10 --batch 16
 //! fam serve    --data a.csv --data b.csv --port 8787 --cache-k 1..10
+//! fam remote-solve  --server 127.0.0.1:8787 --dataset a --k 10
+//! fam remote-replay --server 127.0.0.1:8787 --dataset a --updates ops.csv --batch 16
 //! ```
 //!
 //! `fam solve` dispatches through the unified solver registry
@@ -49,6 +51,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "refine" => commands::refine_cmd(&parsed),
         "replay" | "update" => commands::replay(&parsed),
         "serve" => commands::serve(&parsed),
+        "remote-solve" => commands::remote_solve(&parsed),
+        "remote-replay" | "remote-update" => commands::remote_replay(&parsed),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -76,9 +80,19 @@ fn usage() -> String {
      delete indices refer to the point set at the start of each batch, swap-remove order)\n  \
      serve     --data FILE [--data FILE ...] [--port P] [--bind ADDR] [--workers W] [--cache-k LO..HI]\n            \
      [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--labelled]\n            \
-     (HTTP endpoints: GET /datasets, /solve?dataset=..&k=..&algo=.., /evaluate?dataset=..&selection=..,\n            \
-     /stats; POST /update?dataset=.. with an op-stream body; POST /refine?dataset=..&epsilon=..\n            \
-     grows the sample population in place; datasets are named by file stem;\n            \
-     binds 127.0.0.1 unless --bind says otherwise - /update and /refine are unauthenticated)"
+     [--deadline-ms MS] [--max-pending N] [--keepalive-requests N] [--idle-ms MS] [--retry-after SECS]\n            \
+     (HTTP endpoints: GET /healthz, /readyz, /datasets, /algos, /solve?dataset=..&k=..&algo=..,\n            \
+     /evaluate?dataset=..&selection=.., /stats; POST /update?dataset=.. with an op-stream body;\n            \
+     POST /refine?dataset=..&epsilon=.. publishes a precision-upgraded generation; every request\n            \
+     may carry deadline_ms= (504 past budget); overload sheds 503 + Retry-After; datasets are\n            \
+     named by file stem; binds 127.0.0.1 unless --bind says otherwise - /update and /refine\n            \
+     are unauthenticated)\n  \
+     remote-solve  --server HOST:PORT --dataset NAME --k K [--algo NAME] [--deadline-ms MS]\n            \
+     [--attempts N] [--timeout-ms MS]   (query a running server; 503s are retried with\n            \
+     jittered exponential backoff honoring Retry-After, bounded by --attempts)\n  \
+     remote-replay --server HOST:PORT --dataset NAME --updates FILE [--batch B] [--deadline-ms MS]\n            \
+     [--attempts N] [--timeout-ms MS]   (alias: remote-update; stream an ops file to\n            \
+     POST /update in batches with the same retry policy; a batch whose fate is unknown\n            \
+     is never blindly re-sent)"
         .to_string()
 }

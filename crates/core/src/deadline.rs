@@ -1,0 +1,131 @@
+//! Cooperative deadlines and cancellation for long-running work.
+//!
+//! A [`Deadline`] carries an optional wall-clock budget and an optional
+//! shared cancellation flag; expensive code checks it between phases
+//! ([`Deadline::check`]) and unwinds with a clean typed error instead of
+//! pinning a worker. The serving layer threads one through every
+//! request (query parameter `deadline_ms` or the server default) and
+//! wires the cancellation flag to graceful drain, so an in-progress
+//! generation build aborts — publishing nothing — when the server is
+//! asked to stop.
+//!
+//! ```
+//! use fam_core::Deadline;
+//! use std::time::Duration;
+//!
+//! let d = Deadline::within(Duration::from_secs(5));
+//! assert!(d.check().is_ok());
+//! let expired = Deadline::within(Duration::ZERO);
+//! assert!(expired.check().is_err());
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{FamError, Result};
+
+/// An optional wall-clock budget plus an optional cancellation flag.
+///
+/// `Deadline::default()` is unlimited and never cancels — the zero-cost
+/// path for library callers that do not care.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+    /// The budget as requested, retained for the error message.
+    budget: Option<Duration>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Deadline {
+    /// A deadline that never expires and never cancels.
+    pub fn none() -> Self {
+        Deadline::default()
+    }
+
+    /// Expires `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline { at: Instant::now().checked_add(budget), budget: Some(budget), cancel: None }
+    }
+
+    /// Adds a shared cancellation flag: [`Deadline::check`] fails with
+    /// [`FamError::Cancelled`] once the flag is set, regardless of the
+    /// time budget.
+    #[must_use]
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// True when neither a budget nor a cancellation flag is attached.
+    pub fn is_unlimited(&self) -> bool {
+        self.at.is_none() && self.cancel.is_none()
+    }
+
+    /// Time remaining, or `None` when no budget is attached.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Fails once the budget is spent or the cancellation flag is set;
+    /// call between phases of expensive work.
+    ///
+    /// # Errors
+    ///
+    /// [`FamError::Cancelled`] when the flag is set (checked first: a
+    /// draining server wants work gone even if time remains), otherwise
+    /// [`FamError::DeadlineExceeded`] past the budget.
+    pub fn check(&self) -> Result<()> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Acquire) {
+                return Err(FamError::Cancelled);
+            }
+        }
+        if let Some(at) = self.at {
+            if Instant::now() >= at {
+                return Err(FamError::DeadlineExceeded {
+                    budget_ms: self.budget.map_or(0, |b| b.as_millis() as u64),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let d = Deadline::none();
+        assert!(d.is_unlimited());
+        assert!(d.check().is_ok());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn budget_expires() {
+        let d = Deadline::within(Duration::from_secs(60));
+        assert!(!d.is_unlimited());
+        assert!(d.check().is_ok());
+        assert!(d.remaining().unwrap() > Duration::from_secs(50));
+
+        let expired = Deadline::within(Duration::ZERO);
+        let err = expired.check().unwrap_err();
+        assert!(matches!(err, FamError::DeadlineExceeded { budget_ms: 0 }), "{err}");
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancel_flag_wins_over_remaining_time() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let d = Deadline::within(Duration::from_secs(60)).with_cancel(Arc::clone(&flag));
+        assert!(d.check().is_ok());
+        flag.store(true, Ordering::Release);
+        assert!(matches!(d.check(), Err(FamError::Cancelled)));
+        // Cancel is checked even past the budget.
+        let d2 = Deadline::within(Duration::ZERO).with_cancel(flag);
+        assert!(matches!(d2.check(), Err(FamError::Cancelled)));
+    }
+}

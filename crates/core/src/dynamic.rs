@@ -162,7 +162,7 @@ pub struct ApplyReport {
 /// assert_eq!(report.n_points, 3);
 /// assert_eq!(engine.selection().len(), 2);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DynamicEngine {
     matrix: ScoreMatrix,
     state: EvaluatorState,
@@ -254,6 +254,9 @@ impl DynamicEngine {
             &WarmStart,
         ) -> Result<RepairOutcome>,
     {
+        // Chaos hook: fires before any validation or mutation, so an
+        // injected failure is indistinguishable from a rejected batch.
+        crate::failpoints::fail_point("dynamic.apply")?;
         let Self { matrix, state, k, batches_applied, .. } = self;
         // Validate the insertions up front; deletions are validated by
         // `delete_points`, which runs first and leaves the matrix
@@ -356,6 +359,7 @@ impl DynamicEngine {
             &WarmStart,
         ) -> Result<RepairOutcome>,
     {
+        crate::failpoints::fail_point("dynamic.append")?;
         self.matrix.append_sample_rows(rows)?;
         self.resume_appended(rows.len(), repair)
     }
@@ -381,6 +385,7 @@ impl DynamicEngine {
             &WarmStart,
         ) -> Result<RepairOutcome>,
     {
+        crate::failpoints::fail_point("dynamic.append")?;
         self.matrix.append_functions(dataset, functions)?;
         self.resume_appended(functions.len(), repair)
     }

@@ -77,6 +77,24 @@ pub enum FamError {
         /// What was wrong with it.
         message: String,
     },
+    /// A [`crate::failpoints`] site armed with
+    /// [`crate::failpoints::FailAction::Error`] fired — only ever
+    /// produced under test-driven fault injection.
+    FaultInjected {
+        /// The failpoint site that fired.
+        site: String,
+    },
+    /// A cooperative deadline ([`crate::Deadline`]) expired before the
+    /// work finished.
+    DeadlineExceeded {
+        /// The wall-clock budget that was exhausted, in milliseconds
+        /// (0 when the deadline was built from an instant rather than a
+        /// duration).
+        budget_ms: u64,
+    },
+    /// The work was cancelled via a [`crate::Deadline`] cancellation
+    /// flag (e.g. a serving process draining for shutdown).
+    Cancelled,
 }
 
 impl FamError {
@@ -125,6 +143,13 @@ impl fmt::Display for FamError {
             FamError::Parse { source, line, message } => {
                 write!(f, "{source}, line {line}: {message}")
             }
+            FamError::FaultInjected { site } => {
+                write!(f, "injected fault at failpoint `{site}`")
+            }
+            FamError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline exceeded (budget {budget_ms} ms)")
+            }
+            FamError::Cancelled => write!(f, "cancelled (server draining or request aborted)"),
         }
     }
 }
@@ -159,6 +184,9 @@ mod tests {
                 "`dp-2d`",
             ),
             (FamError::parse("ops.csv", 3, "unknown op `jump`"), "ops.csv, line 3"),
+            (FamError::FaultInjected { site: "serve.publish".into() }, "serve.publish"),
+            (FamError::DeadlineExceeded { budget_ms: 250 }, "250 ms"),
+            (FamError::Cancelled, "cancelled"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -37,10 +37,12 @@
 #![forbid(unsafe_code)]
 
 pub mod dataset;
+pub mod deadline;
 pub mod distribution;
 pub mod dynamic;
 pub mod error;
 pub mod evaluator;
+pub mod failpoints;
 pub mod linear_scores;
 pub mod par;
 pub mod properties;
@@ -55,6 +57,7 @@ pub mod streaming;
 pub mod utility;
 
 pub use dataset::Dataset;
+pub use deadline::Deadline;
 pub use distribution::{
     CobbDouglasDistribution, DirichletLinear, DiscreteDistribution, SimplexLinear, UniformLinear,
     UtilityDistribution,
@@ -78,6 +81,7 @@ pub use utility::{CobbDouglasUtility, LinearUtility, TableUtility, UtilityFuncti
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::dataset::Dataset;
+    pub use crate::deadline::Deadline;
     pub use crate::distribution::{
         CobbDouglasDistribution, DirichletLinear, DiscreteDistribution, SimplexLinear,
         UniformLinear, UtilityDistribution,

@@ -1,50 +1,106 @@
-//! The HTTP server: a fixed pool of scoped worker threads over one
-//! shared `TcpListener`, hosting many named [`DatasetService`]s, each
-//! behind its own `RwLock` — concurrent `solve`/`evaluate` readers per
-//! dataset, exclusive `update` writers, and no cross-dataset contention.
+//! The HTTP server: wait-free generation-snapshot reads, admission
+//! control, and graceful degradation over a fixed worker pool.
+//!
+//! # Architecture
+//!
+//! Each dataset lives in a `DatasetSlot` holding an `Arc` to an
+//! immutable **generation** — the full [`DatasetService`] (matrix,
+//! multi-`k` cache, coordinates, RNG state) plus a monotonically
+//! increasing id. Readers (`/solve`, `/evaluate`, `/datasets`,
+//! `/stats`) clone the `Arc` (nanoseconds under a read lock that is
+//! only ever held for pointer copies) and answer from the snapshot
+//! without blocking anyone. Writers (`/update`, `/refine`) serialize on
+//! a small per-dataset mutex, deep-clone the current generation **off
+//! the read path**, mutate the clone through the engine's append/repair
+//! machinery, re-harvest the cache into the clone, and publish it with
+//! a single swap — so a failed or panicking writer publishes nothing
+//! and the previous generation keeps serving bit-identical answers.
+//!
+//! A dedicated acceptor thread feeds a **bounded** connection queue;
+//! when the queue is full, new connections are shed immediately with
+//! `503` + `Retry-After` instead of queueing unboundedly. Workers serve
+//! **keep-alive** connections (bounded requests per connection, bounded
+//! idle wait). Every request may carry a `deadline_ms` budget (or
+//! inherit the server default), checked before and during expensive
+//! work and answered with `504`; shutdown drains gracefully — stop
+//! accepting, finish in-flight requests, and abort unpublished
+//! generation builds via the deadline's cancellation flag.
 //!
 //! # Endpoints
 //!
 //! | route | method | query / body |
 //! |---|---|---|
+//! | `/healthz` | GET | — (liveness: always 200 while the process serves) |
+//! | `/readyz` | GET | — (readiness: 200 with generation ids, 503 while draining) |
 //! | `/datasets` | GET | — |
 //! | `/algos` | GET | — (the solver registry with per-algorithm capabilities) |
-//! | `/solve` | GET | `dataset`, `k`, `algo` (any registered name, default `add-greedy`), plus solver params (`seed`, `measure`, `max-passes`, `prune`, `lazy`, `cache`, `exact`, `epsilon`, `sigma`) |
+//! | `/solve` | GET | `dataset`, `k`, `algo` (any registered name, default `add-greedy`), `deadline_ms`, plus solver params (`seed`, `measure`, `max-passes`, `prune`, `lazy`, `cache`, `exact`, `epsilon`, `sigma`) |
 //! | `/evaluate` | GET | `dataset`, `selection` (comma-separated indices) |
-//! | `/update` | POST | `dataset`; body = op stream (`insert,c0,..` / `delete,IDX`) |
-//! | `/refine` | POST | `dataset`, `epsilon`, optional `sigma` — upgrades the dataset's precision in place (Chernoff-driven sample growth + cache re-harvest) |
-//! | `/stats` | GET | — (per dataset: points, samples, seed, achieved ε, request counters) |
+//! | `/update` | POST | `dataset`, `deadline_ms`; body = op stream (`insert,c0,..` / `delete,IDX`) |
+//! | `/refine` | POST | `dataset`, `epsilon`, optional `sigma`, `deadline_ms` — publishes a precision-upgraded generation (Chernoff-driven sample growth + cache re-harvest) |
+//! | `/stats` | GET | — (per dataset: points, samples, generation, achieved ε, request counters; server: shed/deadline counters) |
 //!
-//! `/solve` dispatches through the unified solver registry
-//! (`fam_algos::Registry`), so every registered algorithm — including
-//! coordinate-based ones like `dp-2d` and `sky-dom` — is reachable by
-//! name; an unknown name answers 400 enumerating the valid names, and a
-//! capability violation (e.g. `dp-2d` on a non-2-D dataset) answers 400
-//! with the constraint, never 500.
+//! # Failure semantics
 //!
-//! Every response is JSON with `Connection: close`. Client mistakes map
-//! to 400 (404 for an unknown dataset or route, 405 for a wrong method);
-//! a handler panic is caught and answered with 500 instead of killing
-//! the worker.
+//! Client mistakes map to 400 (404 for an unknown dataset or route, 405
+//! for a wrong method); an exhausted `deadline_ms` answers 504; a shed
+//! connection or draining server answers 503 with `Retry-After`; a
+//! handler panic is caught and answered with 500 instead of killing the
+//! worker. Writer failures of any kind — error, panic, injected fault
+//! ([`fam_core::failpoints`]), deadline, cancellation — leave the
+//! previous generation serving: publication is all-or-nothing.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
 
 use fam_algos::{Registry, SolverSpec};
-use fam_core::FamError;
+use fam_core::{failpoints, Deadline, FamError};
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, Request, ResponseOpts};
 use crate::json::{array_raw, array_usize, Obj};
 use crate::service::DatasetService;
 
 /// Default worker-pool size.
 pub const DEFAULT_WORKERS: usize = 4;
 
-/// Per-dataset request counters (lock-free; incremented outside the
-/// dataset's `RwLock`).
+/// Admission-control and connection-handling knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads serving connections (plus one acceptor thread).
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before new ones are
+    /// shed with `503` + `Retry-After`.
+    pub max_pending: usize,
+    /// Default per-request deadline (ms) when the client sends no
+    /// `deadline_ms`; `None` serves without a budget.
+    pub default_deadline_ms: Option<u64>,
+    /// Requests served on one keep-alive connection before the server
+    /// answers `Connection: close`.
+    pub max_requests_per_conn: u64,
+    /// How long a keep-alive connection may sit idle between requests.
+    pub idle_timeout: Duration,
+    /// The `Retry-After` (seconds) attached to every 503.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: DEFAULT_WORKERS,
+            max_pending: 64,
+            default_deadline_ms: None,
+            max_requests_per_conn: 1_000,
+            idle_timeout: Duration::from_secs(5),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Per-dataset request counters (lock-free; incremented outside any
+/// dataset lock).
 #[derive(Debug, Default)]
 pub struct DatasetStats {
     solve: AtomicU64,
@@ -53,19 +109,78 @@ pub struct DatasetStats {
     evaluate: AtomicU64,
     updates: AtomicU64,
     rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+}
+
+/// One immutable published snapshot of a dataset: service + id.
+struct Generation {
+    id: u64,
+    service: DatasetService,
 }
 
 struct DatasetSlot {
-    service: RwLock<DatasetService>,
+    /// The published generation. The read lock is held only for `Arc`
+    /// pointer copies (load) and the publish swap (store) — never
+    /// across a solve or a generation build — so readers are
+    /// effectively wait-free.
+    current: RwLock<Arc<Generation>>,
+    /// Serializes writers; carries no data, so a poisoned lock (a
+    /// panicking writer) is safely recovered — whatever the dead writer
+    /// was building was never published.
+    writer: Mutex<()>,
     stats: DatasetStats,
+}
+
+impl DatasetSlot {
+    fn snapshot(&self) -> Arc<Generation> {
+        match self.current.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    fn publish(&self, gen: Arc<Generation>) {
+        match self.current.write() {
+            Ok(mut g) => *g = gen,
+            Err(poisoned) => *poisoned.into_inner() = gen,
+        }
+    }
+
+    fn writer_turn(&self) -> MutexGuard<'_, ()> {
+        match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 }
 
 struct ServerState {
     datasets: BTreeMap<String, DatasetSlot>,
-    workers: usize,
+    opts: ServerOptions,
     started: Instant,
     requests: AtomicU64,
-    shutdown: AtomicBool,
+    /// Connections shed because the pending queue was full.
+    shed: AtomicU64,
+    /// The drain flag: set by [`ServerHandle::shutdown`], doubles as the
+    /// cancellation flag inside every writer's [`Deadline`].
+    shutdown: Arc<AtomicBool>,
+    pending: Mutex<VecDeque<TcpStream>>,
+    pending_cv: Condvar,
+}
+
+impl ServerState {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Recovers a possibly-poisoned guard over poison-safe data (plain
+/// queues/maps whose every state is valid).
+fn lock_pending(state: &ServerState) -> MutexGuard<'_, VecDeque<TcpStream>> {
+    match state.pending.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -88,32 +203,47 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Asks every worker to exit after its current request; returns once
-    /// the flag is set (workers drain asynchronously — `Server::run`
-    /// returns when they are all done).
+    /// Begins a graceful drain: stop accepting, finish in-flight
+    /// requests (keep-alive connections are answered
+    /// `Connection: close`), and abort in-progress generation builds
+    /// via their cancellation flag — nothing half-built is published.
+    /// Returns once the flag is set; `Server::run` returns when the
+    /// workers have drained.
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Each idle worker is parked in `accept`; one dummy connection
-        // per worker wakes them all. Workers mid-request re-check the
-        // flag when they loop.
-        for _ in 0..self.state.workers {
-            let _ = TcpStream::connect(self.addr);
-        }
+        // The acceptor is parked in `accept`: one dummy connection
+        // wakes it. Idle workers are parked on the queue condvar.
+        let _ = TcpStream::connect(self.addr);
+        self.state.pending_cv.notify_all();
     }
 }
 
 impl Server {
-    /// Binds the listener and seats the datasets. Port 0 picks a free
-    /// port (see [`Server::local_addr`]).
+    /// [`Server::bind_with`] with default [`ServerOptions`] and the
+    /// given worker count — the stable constructor most callers use.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::bind_with`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        services: Vec<DatasetService>,
+        workers: usize,
+    ) -> std::io::Result<Server> {
+        Server::bind_with(addr, services, ServerOptions { workers, ..ServerOptions::default() })
+    }
+
+    /// Binds the listener and seats each dataset as generation 1. Port 0
+    /// picks a free port (see [`Server::local_addr`]).
     ///
     /// # Errors
     ///
     /// Returns bind errors, an empty dataset list, or duplicate names as
     /// `std::io::Error`.
-    pub fn bind(
+    pub fn bind_with(
         addr: impl ToSocketAddrs,
         services: Vec<DatasetService>,
-        workers: usize,
+        opts: ServerOptions,
     ) -> std::io::Result<Server> {
         if services.is_empty() {
             return Err(std::io::Error::new(
@@ -124,7 +254,11 @@ impl Server {
         let mut datasets = BTreeMap::new();
         for svc in services {
             let name = svc.name().to_string();
-            let slot = DatasetSlot { service: RwLock::new(svc), stats: DatasetStats::default() };
+            let slot = DatasetSlot {
+                current: RwLock::new(Arc::new(Generation { id: 1, service: svc })),
+                writer: Mutex::new(()),
+                stats: DatasetStats::default(),
+            };
             if datasets.insert(name.clone(), slot).is_some() {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidInput,
@@ -134,12 +268,16 @@ impl Server {
         }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let opts = ServerOptions { workers: opts.workers.max(1), ..opts };
         let state = Arc::new(ServerState {
             datasets,
-            workers: workers.max(1),
+            opts,
             started: Instant::now(),
             requests: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            pending: Mutex::new(VecDeque::new()),
+            pending_cv: Condvar::new(),
         });
         Ok(Server { listener, addr, state })
     }
@@ -154,67 +292,160 @@ impl Server {
         ServerHandle { addr: self.addr, state: Arc::clone(&self.state) }
     }
 
-    /// Runs the worker pool until [`ServerHandle::shutdown`]; each worker
-    /// accepts and serves connections independently (blocking `accept` is
-    /// thread-safe on one shared listener).
+    /// Runs the acceptor + worker pool until [`ServerHandle::shutdown`],
+    /// then drains: queued connections are served to completion before
+    /// the workers exit.
     pub fn run(self) {
         let state = &self.state;
         let listener = &self.listener;
         std::thread::scope(|s| {
-            for _ in 0..state.workers {
-                s.spawn(move || worker_loop(state, listener));
+            s.spawn(move || acceptor_loop(state, listener));
+            for _ in 0..state.opts.workers {
+                s.spawn(move || worker_loop(state));
             }
         });
     }
 }
 
-fn worker_loop(state: &ServerState, listener: &TcpListener) {
+/// Accepts connections and feeds the bounded queue; sheds with `503` +
+/// `Retry-After` when the queue is full, so overload degrades crisply
+/// instead of building an unbounded backlog.
+fn acceptor_loop(state: &ServerState, listener: &TcpListener) {
     loop {
-        if state.shutdown.load(Ordering::SeqCst) {
+        if state.draining() {
+            state.pending_cv.notify_all();
             return;
         }
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
-                if state.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(5));
+                std::thread::sleep(Duration::from_millis(5));
                 continue;
             }
         };
-        if state.shutdown.load(Ordering::SeqCst) {
-            return; // dummy wake-up connection from `shutdown`
+        if state.draining() {
+            // The wake-up connection from `shutdown` (or a client racing
+            // the drain: it observes a closed connection and retries
+            // elsewhere).
+            state.pending_cv.notify_all();
+            return;
         }
-        serve_connection(state, stream);
+        let depth = lock_pending(state).len();
+        if depth >= state.opts.max_pending {
+            state.shed.fetch_add(1, Ordering::Relaxed);
+            shed(stream, state.opts.retry_after_secs);
+            continue;
+        }
+        lock_pending(state).push_back(stream);
+        state.pending_cv.notify_one();
     }
 }
 
-fn serve_connection(state: &ServerState, mut stream: TcpStream) {
-    let request = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-            let body = Obj::new().str("error", &e.to_string()).build();
-            let _ = write_response(&mut stream, 400, &body);
-            return;
-        }
-        Err(_) => return, // truncated / timed out: nothing to answer
-    };
-    state.requests.fetch_add(1, Ordering::Relaxed);
-    // A panicking handler must cost one 500 response, not a pool worker.
-    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(state, &request)));
-    let (status, body) = out.unwrap_or_else(|_| {
-        (500, Obj::new().str("error", "internal error (handler panicked)").build())
-    });
-    let _ = write_response(&mut stream, status, &body);
+/// Answers an immediately-shed connection without reading the request.
+fn shed(mut stream: TcpStream, retry_after_secs: u64) {
+    let _ = stream.set_write_timeout(Some(crate::http::WRITE_TIMEOUT));
+    let body = Obj::new()
+        .str("error", "server overloaded: pending-connection budget exhausted")
+        .num("retry_after_secs", retry_after_secs)
+        .build();
+    let _ = write_response(
+        &mut stream,
+        503,
+        &body,
+        ResponseOpts { keep_alive: false, retry_after_secs: Some(retry_after_secs) },
+    );
 }
 
-/// Every `FamError` a handler can surface today is triggered by client
-/// input (malformed op streams, invalid `k`/selections), so they all
-/// answer 400 with the error text; genuinely internal failures are the
-/// panic path (500) in [`serve_connection`].
-fn client_error(e: &FamError) -> (u16, String) {
-    (400, Obj::new().str("error", &e.to_string()).build())
+fn worker_loop(state: &ServerState) {
+    loop {
+        let stream = {
+            let mut q = lock_pending(state);
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if state.draining() {
+                    break None;
+                }
+                q = match state.pending_cv.wait(q) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        match stream {
+            Some(s) => serve_connection(state, s),
+            None => return, // draining and the queue is empty
+        }
+    }
+}
+
+/// Serves one (keep-alive) connection: up to
+/// [`ServerOptions::max_requests_per_conn`] requests, each read under
+/// the idle budget, with `Connection: close` answered on the last one,
+/// on client request, or while draining.
+fn serve_connection(state: &ServerState, mut stream: TcpStream) {
+    // Request/response pairs ping-pong on a persistent connection;
+    // without NODELAY, Nagle + delayed ACK can stall each exchange by
+    // tens of milliseconds.
+    let _ = stream.set_nodelay(true);
+    let mut carry = Vec::new();
+    let mut served = 0u64;
+    loop {
+        let request = match read_request(&mut stream, &mut carry, state.opts.idle_timeout) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean close or idle keep-alive expiry
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let body = Obj::new().str("error", &e.to_string()).build();
+                let _ = write_response(&mut stream, 400, &body, ResponseOpts::close());
+                return;
+            }
+            Err(_) => return, // truncated / timed out: nothing to answer
+        };
+        served += 1;
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        // A panicking handler must cost one 500 response, not a pool
+        // worker; a poisoned writer mutex is recovered at the next lock.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(state, &request)));
+        let (status, body) = out.unwrap_or_else(|_| {
+            (500, Obj::new().str("error", "internal error (handler panicked)").build())
+        });
+        // Draining is re-checked *after* the handler: a shutdown during
+        // a long request downgrades this connection to close.
+        let keep =
+            request.keep_alive && served < state.opts.max_requests_per_conn && !state.draining();
+        let opts = ResponseOpts {
+            keep_alive: keep,
+            // Every 503 — shed path aside — carries Retry-After, so
+            // clients back off uniformly (drain, cancellation).
+            retry_after_secs: (status == 503).then_some(state.opts.retry_after_secs),
+        };
+        if write_response(&mut stream, status, &body, opts).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+/// Maps a handler error to a response status: deadline exhaustion is
+/// 504, cancellation (drain) is 503, an injected fault is a truthful
+/// 500, and everything else is a client mistake (400).
+fn error_reply(e: &FamError) -> (u16, String) {
+    let status = match e {
+        FamError::DeadlineExceeded { .. } => 504,
+        FamError::Cancelled => 503,
+        FamError::FaultInjected { .. } => 500,
+        _ => 400,
+    };
+    (status, Obj::new().str("error", &e.to_string()).build())
+}
+
+/// Counts an error against a dataset's stats, then maps it.
+fn dataset_error(stats: &DatasetStats, e: &FamError) -> (u16, String) {
+    stats.rejected.fetch_add(1, Ordering::Relaxed);
+    if matches!(e, FamError::DeadlineExceeded { .. }) {
+        stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+    error_reply(e)
 }
 
 fn route(state: &ServerState, req: &Request) -> (u16, String) {
@@ -224,14 +455,16 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
             Obj::new()
                 .raw(
                     "endpoints",
-                    "[\"GET /datasets\",\"GET /algos\",\
-                     \"GET /solve?dataset=..&k=..&algo=..\",\
+                    "[\"GET /healthz\",\"GET /readyz\",\"GET /datasets\",\"GET /algos\",\
+                     \"GET /solve?dataset=..&k=..&algo=..&deadline_ms=..\",\
                      \"GET /evaluate?dataset=..&selection=i,j,k\",\
                      \"POST /update?dataset=..\",\
                      \"POST /refine?dataset=..&epsilon=..&sigma=..\",\"GET /stats\"]",
                 )
                 .build(),
         ),
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/readyz") => readyz(state),
         ("GET", "/datasets") => list_datasets(state),
         ("GET", "/algos") => list_algos(),
         ("GET", "/solve") => solve(state, req),
@@ -241,11 +474,44 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
         ("GET", "/stats") => stats(state),
         (
             _,
-            "/datasets" | "/algos" | "/solve" | "/evaluate" | "/update" | "/refine" | "/stats"
-            | "/",
+            "/healthz" | "/readyz" | "/datasets" | "/algos" | "/solve" | "/evaluate" | "/update"
+            | "/refine" | "/stats" | "/",
         ) => (405, Obj::new().str("error", "method not allowed").build()),
         _ => (404, Obj::new().str("error", format!("no route `{}`", req.path).as_str()).build()),
     }
+}
+
+/// Renders `{"name":generation_id,..}` for every dataset.
+fn generations_json(state: &ServerState) -> String {
+    let mut obj = Obj::new();
+    for (name, ds) in &state.datasets {
+        obj = obj.num(name, ds.snapshot().id);
+    }
+    obj.build()
+}
+
+/// `GET /healthz` — liveness: 200 whenever the process answers at all.
+fn healthz(state: &ServerState) -> (u16, String) {
+    let body = Obj::new()
+        .str("status", "ok")
+        .num("uptime_ms", state.started.elapsed().as_millis() as u64)
+        .raw("generations", &generations_json(state))
+        .build();
+    (200, body)
+}
+
+/// `GET /readyz` — readiness: every dataset is built with a published
+/// generation (guaranteed after a successful bind) and the server is
+/// not draining.
+fn readyz(state: &ServerState) -> (u16, String) {
+    let draining = state.draining();
+    let body = Obj::new()
+        .bool("ready", !draining)
+        .bool("draining", draining)
+        .num("datasets", state.datasets.len() as u64)
+        .raw("generations", &generations_json(state))
+        .build();
+    (if draining { 503 } else { 200 }, body)
 }
 
 /// Looks a dataset up, or answers 404.
@@ -259,9 +525,33 @@ fn slot<'s>(state: &'s ServerState, req: &Request) -> Result<&'s DatasetSlot, (u
     })
 }
 
-fn dataset_summary(name: &str, svc: &DatasetService) -> String {
+/// Builds the request's [`Deadline`] from `deadline_ms` (or the server
+/// default); writers additionally attach the drain flag via
+/// [`writer_deadline`].
+fn parse_deadline(state: &ServerState, req: &Request) -> Result<Deadline, (u16, String)> {
+    let ms = match req.query.get("deadline_ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(_) => {
+                return Err((400, Obj::new().str("error", "malformed `deadline_ms`").build()))
+            }
+        },
+        None => state.opts.default_deadline_ms,
+    };
+    Ok(ms.map_or_else(Deadline::none, |ms| Deadline::within(Duration::from_millis(ms))))
+}
+
+/// A writer's deadline: the request budget plus the drain flag, so
+/// shutdown aborts in-progress generation builds (nothing published).
+fn writer_deadline(state: &ServerState, req: &Request) -> Result<Deadline, (u16, String)> {
+    Ok(parse_deadline(state, req)?.with_cancel(Arc::clone(&state.shutdown)))
+}
+
+fn dataset_summary(name: &str, gen: &Generation) -> String {
+    let svc = &gen.service;
     Obj::new()
         .str("name", name)
+        .num("generation", gen.id)
         .num("n_points", svc.n_points() as u64)
         .num("n_samples", svc.n_samples() as u64)
         .num("dim", svc.dim() as u64)
@@ -276,21 +566,22 @@ fn dataset_summary(name: &str, svc: &DatasetService) -> String {
 fn list_datasets(state: &ServerState) -> (u16, String) {
     let mut items = Vec::with_capacity(state.datasets.len());
     for (name, ds) in &state.datasets {
-        match ds.service.read() {
-            Ok(svc) => items.push(dataset_summary(name, &svc)),
-            Err(_) => return poisoned(),
-        }
+        items.push(dataset_summary(name, &ds.snapshot()));
     }
     (200, Obj::new().raw("datasets", &array_raw(&items)).build())
 }
 
 /// Query keys with a routing meaning of their own; everything else is
 /// handed to the solver-parameter parser.
-const RESERVED_QUERY_KEYS: &[&str] = &["dataset", "k", "algo"];
+const RESERVED_QUERY_KEYS: &[&str] = &["dataset", "k", "algo", "deadline_ms"];
 
 fn solve(state: &ServerState, req: &Request) -> (u16, String) {
     let ds = match slot(state, req) {
         Ok(ds) => ds,
+        Err(e) => return e,
+    };
+    let deadline = match parse_deadline(state, req) {
+        Ok(d) => d,
         Err(e) => return e,
     };
     let k: usize = match req.query.get("k").map(|v| v.parse()) {
@@ -308,22 +599,30 @@ fn solve(state: &ServerState, req: &Request) -> (u16, String) {
         .collect();
     let spec = match SolverSpec::parse(algo_name, k, &pairs) {
         Ok(spec) => spec,
-        Err(e) => return client_error(&e),
+        Err(e) => return dataset_error(&ds.stats, &e),
     };
     ds.stats.solve.fetch_add(1, Ordering::Relaxed);
     let t0 = Instant::now();
-    let svc = match ds.service.read() {
-        Ok(svc) => svc,
-        Err(_) => return poisoned(),
-    };
-    match svc.solve(&spec) {
+    // Chaos hook: tests arm a Delay here to make request handling
+    // deterministically slow (shedding and deadline assertions).
+    if let Err(e) = failpoints::fail_point("serve.solve") {
+        return dataset_error(&ds.stats, &e);
+    }
+    // Entry check: an already-expired budget (deadline_ms=0, or queueing
+    // that outlived it) refuses before any work, cached or not.
+    if let Err(e) = deadline.check() {
+        return dataset_error(&ds.stats, &e);
+    }
+    let gen = ds.snapshot();
+    match gen.service.solve_within(&spec, &deadline) {
         Ok((res, cached)) => {
             let counter = if cached { &ds.stats.cache_hits } else { &ds.stats.cache_misses };
             counter.fetch_add(1, Ordering::Relaxed);
             let body = Obj::new()
-                .str("dataset", svc.name())
+                .str("dataset", gen.service.name())
                 .str("algo", &spec.name)
                 .num("k", k as u64)
+                .num("generation", gen.id)
                 .bool("cached", cached)
                 .raw("selection", &array_usize(&res.indices))
                 .float("arr", res.arr)
@@ -331,10 +630,7 @@ fn solve(state: &ServerState, req: &Request) -> (u16, String) {
                 .build();
             (200, body)
         }
-        Err(e) => {
-            ds.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            client_error(&e)
-        }
+        Err(e) => dataset_error(&ds.stats, &e),
     }
 }
 
@@ -376,15 +672,13 @@ fn evaluate(state: &ServerState, req: &Request) -> (u16, String) {
         return (400, Obj::new().str("error", "missing `selection` parameter").build());
     }
     ds.stats.evaluate.fetch_add(1, Ordering::Relaxed);
-    let svc = match ds.service.read() {
-        Ok(svc) => svc,
-        Err(_) => return poisoned(),
-    };
-    match svc.evaluate(&indices) {
+    let gen = ds.snapshot();
+    match gen.service.evaluate(&indices) {
         Ok(rep) => (
             200,
             Obj::new()
-                .str("dataset", svc.name())
+                .str("dataset", gen.service.name())
+                .num("generation", gen.id)
                 .raw("selection", &array_usize(&indices))
                 .float("arr", rep.arr)
                 .float("vrr", rep.vrr)
@@ -392,10 +686,7 @@ fn evaluate(state: &ServerState, req: &Request) -> (u16, String) {
                 .float("mrr", rep.mrr)
                 .build(),
         ),
-        Err(e) => {
-            ds.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            client_error(&e)
-        }
+        Err(e) => dataset_error(&ds.stats, &e),
     }
 }
 
@@ -404,17 +695,32 @@ fn update(state: &ServerState, req: &Request) -> (u16, String) {
         Ok(ds) => ds,
         Err(e) => return e,
     };
-    let t0 = Instant::now();
-    let mut svc = match ds.service.write() {
-        Ok(svc) => svc,
-        Err(_) => return poisoned(),
+    let deadline = match writer_deadline(state, req) {
+        Ok(d) => d,
+        Err(e) => return e,
     };
-    match svc.apply_update_text(&req.body, "request body") {
+    let t0 = Instant::now();
+    // One writer per dataset; readers keep serving the published
+    // generation throughout. The whole build happens on a private deep
+    // copy: any failure below simply discards it.
+    let _turn = ds.writer_turn();
+    let prev = ds.snapshot();
+    let mut next = prev.service.clone();
+    match next.apply_update_text_within(&req.body, "request body", &deadline) {
         Ok(summary) => {
+            // Chaos hook: a failure between the successful build and the
+            // swap must leave the old generation serving (the clone is
+            // dropped here, unpublished).
+            if let Err(e) = failpoints::fail_point("serve.publish") {
+                return dataset_error(&ds.stats, &e);
+            }
+            let generation = prev.id + 1;
+            ds.publish(Arc::new(Generation { id: generation, service: next }));
             ds.stats.updates.fetch_add(1, Ordering::Relaxed);
             let r = &summary.report;
             let body = Obj::new()
-                .str("dataset", svc.name())
+                .str("dataset", req.query.get("dataset").map(String::as_str).unwrap_or(""))
+                .num("generation", generation)
                 .num("inserted", r.inserted as u64)
                 .num("deleted", r.deleted as u64)
                 .num("n_points", r.n_points as u64)
@@ -435,18 +741,19 @@ fn update(state: &ServerState, req: &Request) -> (u16, String) {
                 .build();
             (200, body)
         }
-        Err(e) => {
-            ds.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            client_error(&e)
-        }
+        Err(e) => dataset_error(&ds.stats, &e),
     }
 }
 
-/// `POST /refine?dataset=..&epsilon=E[&sigma=S]` — upgrade a resident
-/// dataset's precision in place under the write lock.
+/// `POST /refine?dataset=..&epsilon=E[&sigma=S]` — build a
+/// precision-upgraded next generation off-lock and publish it.
 fn refine(state: &ServerState, req: &Request) -> (u16, String) {
     let ds = match slot(state, req) {
         Ok(ds) => ds,
+        Err(e) => return e,
+    };
+    let deadline = match writer_deadline(state, req) {
+        Ok(d) => d,
         Err(e) => return e,
     };
     let epsilon: f64 = match req.query.get("epsilon").map(|v| v.parse()) {
@@ -459,12 +766,24 @@ fn refine(state: &ServerState, req: &Request) -> (u16, String) {
         Some(Err(_)) => return (400, Obj::new().str("error", "malformed `sigma`").build()),
     };
     let t0 = Instant::now();
-    let mut svc = match ds.service.write() {
-        Ok(svc) => svc,
-        Err(_) => return poisoned(),
-    };
-    match svc.refine(epsilon, sigma) {
+    let _turn = ds.writer_turn();
+    let prev = ds.snapshot();
+    let mut next = prev.service.clone();
+    match next.refine_within(epsilon, sigma, &deadline) {
         Ok(summary) => {
+            // An already-satisfied refine changed nothing: skip the
+            // publish (and the generation bump) entirely.
+            let generation = if summary.already_satisfied {
+                prev.id
+            } else {
+                if let Err(e) = failpoints::fail_point("serve.publish") {
+                    return dataset_error(&ds.stats, &e);
+                }
+                let id = prev.id + 1;
+                ds.publish(Arc::new(Generation { id, service: next }));
+                id
+            };
+            let gen = ds.snapshot();
             let rounds: Vec<String> = summary
                 .rounds
                 .iter()
@@ -477,11 +796,12 @@ fn refine(state: &ServerState, req: &Request) -> (u16, String) {
                 })
                 .collect();
             let body = Obj::new()
-                .str("dataset", svc.name())
+                .str("dataset", gen.service.name())
+                .num("generation", generation)
                 .num("target_samples", summary.target_samples as u64)
                 .num("n_samples", summary.n_samples as u64)
                 .float("achieved_epsilon", summary.achieved_epsilon)
-                .float("sigma", svc.sigma())
+                .float("sigma", gen.service.sigma())
                 .bool("already_satisfied", summary.already_satisfied)
                 .raw("rounds", &array_raw(&rounds))
                 .num("cache_entries", summary.cache_entries as u64)
@@ -489,56 +809,43 @@ fn refine(state: &ServerState, req: &Request) -> (u16, String) {
                 .build();
             (200, body)
         }
-        Err(e) => {
-            ds.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            client_error(&e)
-        }
+        Err(e) => dataset_error(&ds.stats, &e),
     }
 }
 
 fn stats(state: &ServerState) -> (u16, String) {
     let mut items = Vec::with_capacity(state.datasets.len());
     for (name, ds) in &state.datasets {
-        let (n_points, n_samples, seed, sigma, achieved, updates, refines) = match ds.service.read()
-        {
-            Ok(svc) => (
-                svc.n_points(),
-                svc.n_samples(),
-                svc.seed(),
-                svc.sigma(),
-                svc.achieved_epsilon(),
-                svc.updates(),
-                svc.refines(),
-            ),
-            Err(_) => return poisoned(),
-        };
+        let gen = ds.snapshot();
+        let svc = &gen.service;
         items.push(
             Obj::new()
                 .str("name", name)
-                .num("n_points", n_points as u64)
-                .num("n_samples", n_samples as u64)
-                .num("seed", seed)
-                .float("sigma", sigma)
-                .float("achieved_epsilon", achieved)
+                .num("generation", gen.id)
+                .num("n_points", svc.n_points() as u64)
+                .num("n_samples", svc.n_samples() as u64)
+                .num("seed", svc.seed())
+                .float("sigma", svc.sigma())
+                .float("achieved_epsilon", svc.achieved_epsilon())
                 .num("solve_requests", ds.stats.solve.load(Ordering::Relaxed))
                 .num("cache_hits", ds.stats.cache_hits.load(Ordering::Relaxed))
                 .num("cache_misses", ds.stats.cache_misses.load(Ordering::Relaxed))
                 .num("evaluate_requests", ds.stats.evaluate.load(Ordering::Relaxed))
-                .num("updates", updates)
-                .num("refines", refines)
+                .num("updates", svc.updates())
+                .num("refines", svc.refines())
                 .num("rejected", ds.stats.rejected.load(Ordering::Relaxed))
+                .num("deadline_exceeded", ds.stats.deadline_exceeded.load(Ordering::Relaxed))
                 .build(),
         );
     }
     let body = Obj::new()
         .num("uptime_ms", state.started.elapsed().as_millis() as u64)
         .num("requests", state.requests.load(Ordering::Relaxed))
-        .num("workers", state.workers as u64)
+        .num("workers", state.opts.workers as u64)
+        .num("max_pending", state.opts.max_pending as u64)
+        .num("shed", state.shed.load(Ordering::Relaxed))
+        .bool("draining", state.draining())
         .raw("datasets", &array_raw(&items))
         .build();
     (200, body)
-}
-
-fn poisoned() -> (u16, String) {
-    (500, Obj::new().str("error", "dataset lock poisoned").build())
 }

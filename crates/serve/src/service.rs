@@ -23,9 +23,9 @@ use std::sync::Arc;
 
 use fam_algos::{reoptimize, warm_repair, Registry, Solver, SolverSpec};
 use fam_core::{
-    check_matrix_budget, chernoff_epsilon, regret, ApplyReport, Dataset, DynamicEngine, FamError,
-    PrecisionSpec, RegretReport, Result, ScoreMatrix, SimplexLinear, SolverParams, UniformLinear,
-    UpdateBatch, UtilityDistribution, UtilityFunction, DEFAULT_SIGMA,
+    check_matrix_budget, chernoff_epsilon, failpoints, regret, ApplyReport, Dataset, Deadline,
+    DynamicEngine, FamError, PrecisionSpec, RegretReport, Result, ScoreMatrix, SimplexLinear,
+    SolverParams, UniformLinear, UpdateBatch, UtilityDistribution, UtilityFunction, DEFAULT_SIGMA,
 };
 use fam_data::UpdateOp;
 use rand::rngs::StdRng;
@@ -92,10 +92,11 @@ impl Default for ServeOptions {
 
 /// Largest per-layout score-matrix footprint (bytes) a served
 /// `POST /refine` may grow a dataset to: 4 GiB (~8 GiB resident with
-/// the point-major mirror). A refine holds the dataset's **write** lock
-/// for the whole append + re-harvest, so an unauthenticated request
-/// must not be able to pin every reader behind a hundreds-of-gigabytes
-/// growth — the same reasoning as [`MAX_EXPONENTIAL_LOG2_SUBSETS`].
+/// the point-major mirror). A refine pins the dataset's single writer
+/// slot for the whole append + re-harvest (and the snapshot model holds
+/// two generations resident while it runs), so an unauthenticated
+/// request must not be able to demand a hundreds-of-gigabytes growth —
+/// the same reasoning as [`MAX_EXPONENTIAL_LOG2_SUBSETS`].
 /// Tighter global limits still apply via `FAM_MAX_MATRIX_BYTES`;
 /// larger refinements belong offline (`fam refine` / the library
 /// driver).
@@ -105,9 +106,9 @@ pub const MAX_REFINE_MATRIX_BYTES: u64 = 1 << 32;
 /// exponential-cost solver (per [`fam_algos::Caps::exponential`]) may be
 /// served against: ~4M candidate subsets. The paper's own brute-force
 /// comparison (100 points, k = 3 ⇒ `C(100,3) ≈ 2^17`) fits comfortably;
-/// a worker holds the dataset's read lock for the whole search, so the
-/// gate bounds the *work*, not just the point count — `C(100, 50)` is
-/// `≈ 2^96` and must be refused even though `n` is small.
+/// a pool worker is pinned for the whole search, so the gate bounds the
+/// *work*, not just the point count — `C(100, 50)` is `≈ 2^96` and must
+/// be refused even though `n` is small.
 pub const MAX_EXPONENTIAL_LOG2_SUBSETS: f64 = 22.0;
 
 /// `log2(C(n, k))` — the worst-case subset count of an enumeration
@@ -169,6 +170,15 @@ pub struct RefineSummary {
 
 /// A named dataset being served: sampled population, resident engine,
 /// live coordinates, multi-`k` cache.
+///
+/// `Clone` is the snapshot-serving primitive: a writer deep-copies the
+/// current service (matrix, cache, coordinates, **and** the continuing
+/// RNG stream), mutates the copy off to the side, and publishes it as
+/// the next generation only on success — so a failed or panicking
+/// writer leaves the served state untouched, and a retried writer
+/// converges to exactly the state an unfailed run would have produced
+/// (the RNG never advances on a discarded copy).
+#[derive(Clone)]
 pub struct DatasetService {
     name: String,
     dim: usize,
@@ -197,9 +207,16 @@ pub struct DatasetService {
 fn build_cache(
     m: &ScoreMatrix,
     ks: &RangeInclusive<usize>,
+    deadline: &Deadline,
 ) -> Result<BTreeMap<(String, usize), SolveResult>> {
+    // Chaos hook: the cache re-harvest is the expensive tail of every
+    // update/refine; tests arm it to prove a failed harvest never
+    // publishes a stale-cache generation.
+    failpoints::fail_point("service.reharvest")?;
     let mut cache = BTreeMap::new();
     for solver in Registry::global().iter().filter(|s| s.capabilities().range_harvest) {
+        // One trajectory per solver is the unit of interruptible work.
+        deadline.check()?;
         let spec = SolverSpec::new(solver.name(), *ks.end());
         let outs = Registry::global().solve_range(&spec, m, None, ks.clone())?;
         for (i, out) in outs.into_iter().enumerate() {
@@ -252,7 +269,7 @@ impl DatasetService {
         let functions: Vec<Arc<dyn UtilityFunction>> =
             (0..opts.samples).map(|_| dist.sample(&mut rng)).collect();
         let matrix = ScoreMatrix::from_functions(dataset, &functions, None)?;
-        let cache = build_cache(&matrix, &opts.cache_k)?;
+        let cache = build_cache(&matrix, &opts.cache_k, &Deadline::none())?;
         let initial = cache
             .get(&("add-greedy".to_string(), hi))
             .ok_or_else(|| {
@@ -409,6 +426,24 @@ impl DatasetService {
     /// precision requirements (pointing at `/refine`), or the solver's
     /// own validation errors.
     pub fn solve(&self, spec: &SolverSpec) -> Result<(SolveResult, bool)> {
+        self.solve_within(spec, &Deadline::none())
+    }
+
+    /// [`DatasetService::solve`] under a cooperative [`Deadline`]: the
+    /// budget is checked before the cold dispatch (a cache hit is
+    /// answered regardless — it is cheaper than the check's own
+    /// bookkeeping would justify refusing).
+    ///
+    /// # Errors
+    ///
+    /// As [`DatasetService::solve`], plus [`FamError::DeadlineExceeded`]
+    /// / [`FamError::Cancelled`] when the deadline fires before the
+    /// cold solve starts.
+    pub fn solve_within(
+        &self,
+        spec: &SolverSpec,
+        deadline: &Deadline,
+    ) -> Result<(SolveResult, bool)> {
         let registry = Registry::global();
         let solver = registry.require(&spec.name)?;
         let spec = if spec.params.epsilon.is_some() || spec.params.sigma != DEFAULT_SIGMA {
@@ -429,12 +464,15 @@ impl DatasetService {
                 return Ok((hit.clone(), true));
             }
         }
-        // A worker runs the solve while holding the dataset's read lock;
-        // an enumeration-style exact search over a large subset space
-        // would pin it (and stall writers) effectively forever, so
-        // exponential solvers are capped at a search space that finishes
-        // interactively. The gate bounds C(n, k), not n alone: k near
-        // n/2 explodes the space even on a small database.
+        // Everything past the cache is real work: honor the deadline
+        // before committing a worker to it.
+        deadline.check()?;
+        // A worker runs the solve for the whole request; an
+        // enumeration-style exact search over a large subset space
+        // would pin it effectively forever, so exponential solvers are
+        // capped at a search space that finishes interactively. The
+        // gate bounds C(n, k), not n alone: k near n/2 explodes the
+        // space even on a small database.
         if solver.capabilities().exponential {
             let bits = log2_binomial(self.n_points(), spec.params.k);
             if bits > MAX_EXPONENTIAL_LOG2_SUBSETS {
@@ -482,6 +520,26 @@ impl DatasetService {
     /// negative insert coordinates) with nothing applied, or
     /// repair/harvest errors.
     pub fn apply_ops(&mut self, ops: &[UpdateOp]) -> Result<UpdateSummary> {
+        self.apply_ops_within(ops, &Deadline::none())
+    }
+
+    /// [`DatasetService::apply_ops`] under a cooperative [`Deadline`],
+    /// checked before the engine mutates and between the re-harvest's
+    /// per-solver trajectories. A deadline firing **after** the engine
+    /// applied the batch surfaces as an error with the matrix already
+    /// grown — snapshot callers clone first and discard the clone, so
+    /// nothing served ever holds that half-updated state.
+    ///
+    /// # Errors
+    ///
+    /// As [`DatasetService::apply_ops`], plus
+    /// [`FamError::DeadlineExceeded`] / [`FamError::Cancelled`].
+    pub fn apply_ops_within(
+        &mut self,
+        ops: &[UpdateOp],
+        deadline: &Deadline,
+    ) -> Result<UpdateSummary> {
+        deadline.check()?;
         let mut batch = UpdateBatch::default();
         let mut inserted_coords: Vec<&[f64]> = Vec::new();
         for op in ops {
@@ -515,10 +573,11 @@ impl DatasetService {
                 UpdateOp::Delete(idx) => batch.delete.push(*idx),
             }
         }
+        deadline.check()?;
         let report = self.engine.apply_with(&batch, warm_repair)?;
         self.dataset =
             permuted_dataset(&self.dataset, &report.remap, &inserted_coords, self.updates)?;
-        self.cache = build_cache(self.engine.matrix(), &self.cache_k)?;
+        self.cache = build_cache(self.engine.matrix(), &self.cache_k, deadline)?;
         self.updates += 1;
         Ok(UpdateSummary { report, cache_entries: self.cache.len() })
     }
@@ -532,8 +591,23 @@ impl DatasetService {
     /// malformed streams — validated before anything mutates — or the
     /// apply errors.
     pub fn apply_update_text(&mut self, text: &str, source: &str) -> Result<UpdateSummary> {
+        self.apply_update_text_within(text, source, &Deadline::none())
+    }
+
+    /// [`DatasetService::apply_update_text`] under a cooperative
+    /// [`Deadline`] (see [`DatasetService::apply_ops_within`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DatasetService::apply_update_text`], plus the deadline's.
+    pub fn apply_update_text_within(
+        &mut self,
+        text: &str,
+        source: &str,
+        deadline: &Deadline,
+    ) -> Result<UpdateSummary> {
         let ops = fam_data::parse_update_ops(text, self.dim, source)?;
-        self.apply_ops(&ops)
+        self.apply_ops_within(&ops, deadline)
     }
 
     /// Upgrades the dataset's precision **in place** to `epsilon` at
@@ -546,8 +620,8 @@ impl DatasetService {
     /// bit-identical to a cold solve at the grown `N`.
     ///
     /// The append runs as a single batch, unlike the anytime doubling of
-    /// `fam_algos::refine`: the dataset's write lock is held for the
-    /// whole call, so intermediate rounds would be unobservable work.
+    /// `fam_algos::refine`: the serving layer publishes only a finished
+    /// generation, so intermediate rounds would be unobservable work.
     ///
     /// Because the RNG continues the build stream, a refined service is
     /// **bit-identical** to a fresh service built at the grown sample
@@ -565,6 +639,27 @@ impl DatasetService {
     /// (misses solve cold, which stays correct) and leaves the reported
     /// `sigma` unchanged.
     pub fn refine(&mut self, epsilon: f64, sigma: f64) -> Result<RefineSummary> {
+        self.refine_within(epsilon, sigma, &Deadline::none())
+    }
+
+    /// [`DatasetService::refine`] under a cooperative [`Deadline`],
+    /// checked before the append and between the re-harvest's
+    /// per-solver trajectories. The failure semantics are
+    /// [`DatasetService::refine`]'s: a deadline firing after the matrix
+    /// grew clears the cache (snapshot callers discard the clone
+    /// instead).
+    ///
+    /// # Errors
+    ///
+    /// As [`DatasetService::refine`], plus
+    /// [`FamError::DeadlineExceeded`] / [`FamError::Cancelled`].
+    pub fn refine_within(
+        &mut self,
+        epsilon: f64,
+        sigma: f64,
+        deadline: &Deadline,
+    ) -> Result<RefineSummary> {
+        deadline.check()?;
         let target =
             PrecisionSpec::new(epsilon, sigma)?.required_samples_checked(self.n_points())?;
         if self.n_samples() >= target {
@@ -579,7 +674,7 @@ impl DatasetService {
                 already_satisfied: true,
             });
         }
-        // A refine holds the write lock end to end; cap the growth a
+        // A refine pins the writer slot end to end; cap the growth a
         // single served request can demand (cf. the exponential-solver
         // gate on /solve).
         let bytes = (target as u64).saturating_mul(self.n_points() as u64).saturating_mul(8);
@@ -602,6 +697,7 @@ impl DatasetService {
         let dist = self.dist.build(self.dim)?;
         let fresh: Vec<Arc<dyn UtilityFunction>> =
             (0..target - self.n_samples()).map(|_| dist.sample(&mut self.rng)).collect();
+        deadline.check()?;
         let n_before = self.n_samples();
         let report = match self
             .engine
@@ -630,7 +726,7 @@ impl DatasetService {
         // drop the cache entirely — misses fall through to (correct)
         // cold solves — rather than serve stale answers.
         self.cache.clear();
-        self.cache = build_cache(self.engine.matrix(), &self.cache_k)?;
+        self.cache = build_cache(self.engine.matrix(), &self.cache_k, deadline)?;
         self.sigma = sigma;
         self.refines += 1;
         Ok(RefineSummary {

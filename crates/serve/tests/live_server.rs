@@ -31,14 +31,20 @@ fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
     (status, body)
 }
 
+// One-shot helpers: `Connection: close` keeps `read_to_string` honest
+// against the keep-alive default (the keep-alive path is exercised by
+// `fam_serve::Client` in the chaos tests and the benchmark).
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"))
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     request(
         addr,
-        &format!("POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}", body.len()),
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
     )
 }
 
@@ -98,6 +104,26 @@ fn concurrent_clients_and_updates_stay_bit_identical() {
     let (status, body) = get(addr, "/stats");
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"workers\":6"), "{body}");
+
+    // --- Liveness and readiness report generation ids per dataset. ---
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"generations\":{\"alpha\":1,\"beta\":1,\"gamma\":1}"), "{body}");
+    let (status, body) = get(addr, "/readyz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ready\":true") && body.contains("\"draining\":false"), "{body}");
+
+    // --- Deadline handling: an exhausted budget is a clean 504, a
+    // malformed one a 400, and a generous one serves normally. ---
+    let (status, body) = get(addr, "/solve?dataset=beta&k=2&deadline_ms=0");
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("deadline exceeded"), "{body}");
+    let (status, body) = get(addr, "/solve?dataset=beta&k=2&deadline_ms=soon");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = get(addr, "/solve?dataset=beta&k=2&deadline_ms=30000");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cached\":true"), "{body}");
 
     // --- The registry endpoint lists every algorithm with capabilities. ---
     let (status, body) = get(addr, "/algos");
@@ -303,6 +329,11 @@ fn concurrent_clients_and_updates_stay_bit_identical() {
     assert_eq!(status, 200);
     assert!(field_f64(&body, "requests") > 20.0, "{body}");
     assert!(body.contains("\"refines\":1"), "{body}");
+
+    // Each published write bumped its dataset's generation: alpha took 3
+    // updates (gen 4), beta one refine (gen 2), gamma none (gen 1).
+    let (_, body) = get(addr, "/healthz");
+    assert!(body.contains("\"generations\":{\"alpha\":4,\"beta\":2,\"gamma\":1}"), "{body}");
 
     handle.shutdown();
     server_thread.join().expect("server thread");
