@@ -35,17 +35,12 @@ pub fn k_hit<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Selection> {
     let bests = fam_core::par::map_adaptive(n_samples, n, |range| {
         range
             .map(|u| {
-                let (mut best, mut best_v) = (0usize, m.score(u, 0));
                 match m.row_slice(u) {
-                    Some(row) => {
-                        for (p, &v) in row.iter().enumerate().skip(1) {
-                            if v > best_v {
-                                best = p;
-                                best_v = v;
-                            }
-                        }
-                    }
+                    // Tiled first-strict-argmax — exactly the serial
+                    // scan's winner (first occurrence of the row max).
+                    Some(row) => fam_core::kernels::row_best(row).0,
                     None => {
+                        let (mut best, mut best_v) = (0usize, m.score(u, 0));
                         for p in 1..n {
                             let v = m.score(u, p);
                             if v > best_v {
@@ -53,9 +48,9 @@ pub fn k_hit<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Selection> {
                                 best_v = v;
                             }
                         }
+                        best as u32
                     }
                 }
-                best as u32
             })
             .collect::<Vec<_>>()
     })

@@ -29,7 +29,7 @@
 //!   final `N` ([`mod@refine`]);
 //! * the unified solver API ([`registry`]): a [`Solver`] trait with
 //!   declared capabilities ([`Caps`]) and a name-based [`Registry`] of
-//!   all nine paper algorithms, each adapter bit-identical to the free
+//!   all ten paper algorithms, each adapter bit-identical to the free
 //!   function it wraps — the single dispatch surface behind the CLI,
 //!   the HTTP server, and the bench harness.
 

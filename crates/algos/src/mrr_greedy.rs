@@ -112,25 +112,17 @@ pub fn mrr_greedy_sampled<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Se
                 if in_sel_ref[p] {
                     return None;
                 }
-                let mut regret = 0.0f64;
-                match m.column_slice(p) {
-                    Some(col) => {
-                        for (u, &s) in col.iter().enumerate() {
-                            let gain = (s - sat_ref[u]) / m.best_value(u);
-                            if gain > regret {
-                                regret = gain;
-                            }
-                        }
-                    }
-                    None => {
-                        for (u, s) in sat_ref.iter().enumerate() {
-                            let gain = (m.score(u, p) - s) / m.best_value(u);
-                            if gain > regret {
-                                regret = gain;
-                            }
-                        }
-                    }
-                }
+                // Lane-decomposed max: `max` does no arithmetic, so the
+                // result is bit-identical to the serial
+                // `if gain > regret` fold it replaces.
+                let regret = match m.column_slice(p) {
+                    Some(col) => fam_core::kernels::lane_max(0.0, col.len(), |u| {
+                        (col[u] - sat_ref[u]) / m.best_value(u)
+                    }),
+                    None => fam_core::kernels::lane_max(0.0, sat_ref.len(), |u| {
+                        (m.score(u, p) - sat_ref[u]) / m.best_value(u)
+                    }),
+                };
                 Some(regret)
             },
             |a, b| a > b,

@@ -286,7 +286,7 @@ impl Registry {
         Registry { solvers: Vec::new() }
     }
 
-    /// A registry holding all nine paper algorithms.
+    /// A registry holding all ten paper algorithms.
     pub fn standard() -> Self {
         let mut r = Registry::empty();
         for solver in [

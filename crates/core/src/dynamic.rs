@@ -22,6 +22,9 @@
 //! The incremental path is pinned against full recomputation by
 //! `crates/algos/tests/dynamic_equivalence.rs` and A/B-benchmarked across
 //! churn rates by `crates/bench/benches/dynamic.rs` (`BENCH_dynamic.json`).
+//! How the in-place patches interact with the matrix's strided layouts
+//! (row slack, the point-major mirror) and with the bit-identity
+//! contract is documented in `docs/PERFORMANCE.md`.
 
 use std::ops::Range;
 use std::sync::Arc;

@@ -22,54 +22,52 @@
 //! and the batched rescans triggered by [`remove`] fan out over all cores
 //! through [`crate::par`]; reductions fold fixed chunks in order, so the
 //! maintained `arr` is bit-identical between serial and parallel runs.
+//! The scans themselves go through the cache-blocked kernels of
+//! [`crate::kernels`] (`top_two_dense` / `top_two_gather` for removals,
+//! `lane_sum` for the arr folds) — `docs/PERFORMANCE.md` documents the
+//! layout trade-offs and the determinism argument.
 //!
 //! [`rebuild`]: SelectionEvaluator::new_full
 //! [`remove`]: SelectionEvaluator::remove
 
+use crate::kernels;
 use crate::par;
 use crate::scores::{ScoreMatrix, ScoreSource};
 
-const NONE: u32 = u32::MAX;
+const NONE: u32 = kernels::NO_POINT;
 
 /// Best and runner-up of sample `u` over `members`, skipping `exclude`
-/// (pass [`NONE`] to skip nothing). Streams the sample's row when the
-/// substrate is sample-major. Returned values are 0.0 when the
-/// corresponding index is [`NONE`].
+/// (pass [`NONE`] to skip nothing). Streams the sample's row through
+/// [`kernels::top_two_gather`] when the substrate is sample-major.
+/// Returned values are 0.0 when the corresponding index is [`NONE`].
 fn top_two<S: ScoreSource + ?Sized>(
     m: &S,
     u: usize,
     members: &[u32],
     exclude: u32,
 ) -> (u32, f64, u32, f64) {
-    let (mut b1, mut v1, mut b2, mut v2) = (NONE, 0.0f64, NONE, 0.0f64);
-    let mut consider = |p: u32, s: f64| {
-        if b1 == NONE || s > v1 {
-            b2 = b1;
-            v2 = v1;
-            b1 = p;
-            v1 = s;
-        } else if b2 == NONE || s > v2 {
-            b2 = p;
-            v2 = s;
-        }
-    };
     match m.row_slice(u) {
-        Some(row) => {
-            for &p in members {
-                if p != exclude {
-                    consider(p, row[p as usize]);
-                }
-            }
-        }
+        Some(row) => kernels::top_two_gather(row, members, exclude),
         None => {
+            let (mut b1, mut v1, mut b2, mut v2) = (NONE, 0.0f64, NONE, 0.0f64);
             for &p in members {
-                if p != exclude {
-                    consider(p, m.score(u, p as usize));
+                if p == exclude {
+                    continue;
+                }
+                let s = m.score(u, p as usize);
+                if b1 == NONE || s > v1 {
+                    b2 = b1;
+                    v2 = v1;
+                    b1 = p;
+                    v1 = s;
+                } else if b2 == NONE || s > v2 {
+                    b2 = p;
+                    v2 = s;
                 }
             }
+            (b1, if b1 == NONE { 0.0 } else { v1 }, b2, if b2 == NONE { 0.0 } else { v2 })
         }
     }
-    (b1, if b1 == NONE { 0.0 } else { v1 }, b2, if b2 == NONE { 0.0 } else { v2 })
 }
 
 /// Instrumentation counters for the efficiency claims of Appendix C.
@@ -494,12 +492,13 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             }
         }
         let (top1_val, m) = (&self.top1_val, self.m);
+        // Identical fold shape to `rebuild`: lane-decomposed sum per fixed
+        // chunk, chunk partials added in order.
         let parts = par::map_chunks(n_samples, par::CHUNK, |range| {
-            let mut arr = 0.0;
-            for u in range {
-                arr += m.weight(u) * (1.0 - top1_val[u] / m.best_value(u));
-            }
-            arr
+            kernels::lane_sum(range.len(), |j| {
+                let u = range.start + j;
+                m.weight(u) * (1.0 - top1_val[u] / m.best_value(u))
+            })
         });
         self.arr = 0.0;
         for part in parts {
@@ -523,13 +522,13 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
         let m = self.m;
         let members = &self.members;
         let chunks = par::map_chunks(m.n_samples(), par::CHUNK, |range| {
-            let mut tops = Vec::with_capacity(range.len());
-            let mut arr = 0.0;
-            for u in range {
-                let (b1, v1, b2, v2) = top_two(m, u, members, NONE);
-                arr += m.weight(u) * (1.0 - v1 / m.best_value(u));
-                tops.push((b1, v1, b2, v2));
-            }
+            let tops: Vec<_> = range.clone().map(|u| top_two(m, u, members, NONE)).collect();
+            // Same lane-decomposed fold shape as `resync`, so an
+            // incrementally maintained arr resyncs to exactly this value.
+            let arr = kernels::lane_sum(range.len(), |j| {
+                let u = range.start + j;
+                m.weight(u) * (1.0 - tops[j].1 / m.best_value(u))
+            });
             (tops, arr)
         });
         self.arr = 0.0;
@@ -642,26 +641,21 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
     /// Panics (debug) if `p` is already selected.
     pub fn addition_delta(&self, p: usize) -> f64 {
         debug_assert!(!self.in_sel[p], "addition_delta on selected point {p}");
-        let mut delta = 0.0;
+        let (m, top1_val) = (self.m, &self.top1_val);
+        // Branchless form of `if s > t { delta -= w * (s - t) / b }`: a
+        // non-improving sample contributes `-(w * 0.0 / b) == -0.0`, which
+        // is an identity on the non-negative lane accumulators, so the sum
+        // is bit-identical to the branching loop. Both layouts fold the
+        // identical lane shape — the mirror changes memory traffic only.
         match self.m.column_slice(p) {
             // Columnar fast path: stream point p's scores contiguously.
-            Some(col) => {
-                for (u, &s) in col.iter().enumerate() {
-                    if s > self.top1_val[u] {
-                        delta -= self.m.weight(u) * (s - self.top1_val[u]) / self.m.best_value(u);
-                    }
-                }
-            }
-            None => {
-                for u in 0..self.m.n_samples() {
-                    let s = self.m.score(u, p);
-                    if s > self.top1_val[u] {
-                        delta -= self.m.weight(u) * (s - self.top1_val[u]) / self.m.best_value(u);
-                    }
-                }
-            }
+            Some(col) => kernels::lane_sum(col.len(), |u| {
+                -(m.weight(u) * (col[u] - top1_val[u]).max(0.0) / m.best_value(u))
+            }),
+            None => kernels::lane_sum(m.n_samples(), |u| {
+                -(m.weight(u) * (m.score(u, p) - top1_val[u]).max(0.0) / m.best_value(u))
+            }),
         }
-        delta
     }
 
     /// Removes `p` from the selection, updating all cached state.
@@ -736,16 +730,39 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
     /// fans out over fixed chunks when the batch is large enough to pay
     /// for it. Per-sample outputs are independent, so chunking never
     /// changes results.
+    ///
+    /// When the selection is dense (at least a quarter of the points, the
+    /// GREEDY-SHRINK regime) and rows are addressable, each rescan streams
+    /// the whole sample row in index order instead of gathering through
+    /// the member list: removals `swap_remove` the list into a random
+    /// permutation, so the gather is a cache miss per member, while the
+    /// dense scan is a sequential prefetchable read that skips
+    /// non-members. Returned *values* are bit-identical either way (order
+    /// statistics of the same multiset); on bit-equal ties the recorded
+    /// runner-up *index* may differ between the two scans, which no
+    /// consumer observes — deltas and arr use values only, and the
+    /// density cutoff depends only on `(|S|, n)`, so serial, parallel,
+    /// mirrored, and mirrorless runs all take the same branch.
     fn scan_runner_ups(&self, samples: &[u32]) -> Vec<(u32, f64)> {
         let m = self.m;
         let members = &self.members;
         let top1 = &self.top1;
+        let in_sel = &self.in_sel;
+        let dense = members.len() * 4 >= in_sel.len();
         let scan = |range: std::ops::Range<usize>| {
             range
                 .map(|i| {
                     let u = samples[i] as usize;
-                    let (b2, v2, _, _) = top_two(m, u, members, top1[u]);
-                    (b2, v2)
+                    match m.row_slice(u) {
+                        Some(row) if dense => {
+                            let (b2, v2, _, _) = kernels::top_two_dense(row, in_sel, top1[u]);
+                            (b2, v2)
+                        }
+                        _ => {
+                            let (b2, v2, _, _) = top_two(m, u, members, top1[u]);
+                            (b2, v2)
+                        }
+                    }
                 })
                 .collect::<Vec<_>>()
         };

@@ -28,7 +28,11 @@
 //!   Theorems 2–3) in [`properties`];
 //! * the deterministic multicore substrate behind the default-on
 //!   `parallel` cargo feature ([`par`]) — every hot path runs chunked with
-//!   ordered reductions, so serial and parallel results are bit-identical.
+//!   ordered reductions, so serial and parallel results are bit-identical;
+//! * the cache-blocked numeric kernels those hot paths share ([`kernels`]):
+//!   fused score+validate+best scoring, lane-decomposed folds, top-two
+//!   scans, and blocked transposes. The memory-layout and performance
+//!   model behind them is documented in `docs/PERFORMANCE.md`.
 //!
 //! Algorithms (GREEDY-SHRINK, the exact 2-D DP, and all baselines) live in
 //! the `fam-algos` crate; the `fam` facade crate re-exports everything.
@@ -43,6 +47,7 @@ pub mod dynamic;
 pub mod error;
 pub mod evaluator;
 pub mod failpoints;
+pub mod kernels;
 pub mod linear_scores;
 pub mod par;
 pub mod properties;

@@ -123,24 +123,20 @@ impl LinearScores {
     fn finish(dataset: Dataset, weights: Vec<f64>, n_samples: usize) -> Result<Self> {
         let d = dataset.dim();
         let n = dataset.len();
+        let flat = dataset.as_flat();
         // The O(nNd) best-point pass fans out over sample chunks; merging
         // in chunk order preserves the serial scan's first-error semantics.
+        // Each sample streams through the tiled dot-product kernel, whose
+        // scores (and therefore best) are bit-identical to `score(u, p)`.
         let per_sample = crate::par::map_adaptive(n_samples, n * d, |range| {
             range
                 .map(|u| {
                     let w = &weights[u * d..(u + 1) * d];
-                    let (mut bi, mut bv) = (0usize, f64::NEG_INFINITY);
-                    for p in 0..n {
-                        let s: f64 = dataset.point(p).iter().zip(w).map(|(a, b)| a * b).sum();
-                        if s > bv {
-                            bi = p;
-                            bv = s;
-                        }
-                    }
+                    let (bi, bv) = crate::kernels::linear_best(w, flat, d);
                     if bv <= 0.0 {
                         return Err(FamError::DegenerateUtility { sample: u });
                     }
-                    Ok((bi as u32, bv))
+                    Ok((bi, bv))
                 })
                 .collect::<Result<Vec<_>>>()
         });
@@ -198,7 +194,7 @@ impl ScoreSource for LinearScores {
     #[inline]
     fn score(&self, u: usize, p: usize) -> f64 {
         let w = &self.weights[u * self.dim..(u + 1) * self.dim];
-        self.dataset.point(p).iter().zip(w).map(|(a, b)| a * b).sum()
+        crate::kernels::dot(w, self.dataset.point(p))
     }
 
     #[inline]

@@ -7,7 +7,9 @@
 //! * [`map_chunks`] — map a function over **fixed-size** index chunks and
 //!   return the per-chunk results **in chunk order**;
 //! * [`for_each_chunk_mut`] — run a function over disjoint mutable
-//!   sub-slices of a buffer (parallel writes without `unsafe`).
+//!   sub-slices of a buffer (parallel writes without `unsafe`);
+//! * [`for_each_chunk_mut_map`] — the same, but each chunk also returns a
+//!   value, collected **in chunk order** (fused write+summarize passes).
 //!
 //! # Determinism contract
 //!
@@ -119,6 +121,68 @@ where
             });
         }
     });
+}
+
+/// [`for_each_chunk_mut`] fused with a per-chunk return value: applies
+/// `f(chunk_index, sub_slice)` to disjoint consecutive sub-slices of
+/// `data` and returns the per-chunk results **in chunk order**, exactly
+/// like [`map_chunks`].
+///
+/// This is the primitive behind single-pass "fill a buffer and summarize
+/// it while it is still cache-hot" passes (the fused score+validate+best
+/// matrix construction): chunk results arrive in chunk order, so a
+/// short-circuiting fold over them reproduces serial first-error
+/// semantics regardless of thread count.
+///
+/// ```
+/// let mut data = vec![0.0f64; 10];
+/// let sums = fam_core::par::for_each_chunk_mut_map(&mut data, 4, |i, c| {
+///     for v in c.iter_mut() {
+///         *v = i as f64;
+///     }
+///     c.iter().sum::<f64>()
+/// });
+/// assert_eq!(sums, vec![0.0, 4.0, 4.0]);
+/// ```
+pub fn for_each_chunk_mut_map<T, R, F>(data: &mut [T], chunk_items: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk_items > 0, "chunk size must be positive");
+    let threads = max_threads();
+    if threads <= 1 || data.len() <= chunk_items {
+        return data.chunks_mut(chunk_items).enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let n_chunks = data.len().div_ceil(chunk_items);
+    let queue: std::sync::Mutex<std::iter::Enumerate<std::slice::ChunksMut<'_, T>>> =
+        std::sync::Mutex::new(data.chunks_mut(chunk_items).enumerate());
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n_chunks) {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            s.spawn(move || loop {
+                let item = queue.lock().expect("chunk queue poisoned").next();
+                match item {
+                    Some((i, c)) => {
+                        if tx.send((i, f(i, c))).is_err() {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|o| o.expect("every chunk sends exactly one result")).collect()
+    })
 }
 
 /// Computes `f(i)` for `i in 0..count` on up to `threads` workers,
@@ -275,6 +339,22 @@ mod tests {
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, i);
         }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_map_returns_in_chunk_order() {
+        let mut data = vec![0usize; 1003];
+        let firsts = for_each_chunk_mut_map(&mut data, 10, |i, c| {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = i * 10 + j;
+            }
+            c[0]
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+        let want: Vec<usize> = (0..1003).step_by(10).collect();
+        assert_eq!(firsts, want);
     }
 
     fn arg_reduce_matches_serial_first_wins_scan() {

@@ -27,6 +27,15 @@
 //! mirror). Construction and the per-row best-point pass run on all cores
 //! when the default `parallel` feature is enabled; results are
 //! bit-identical to the serial build (see [`crate::par`]).
+//!
+//! Both buffers carry *slack* so each axis can grow in place: rows are
+//! laid out at `stride ≥ n_points` (point insertions fill the slack,
+//! re-laying with doubled slack only when it runs out) and mirror columns
+//! at `col_stride ≥ n_samples` (the sample-axis twin, used by progressive
+//! sample appends). Scoring, validation, and the best-point pass go
+//! through the cache-blocked kernels in [`crate::kernels`]; the full
+//! memory-layout and performance model is documented in
+//! `docs/PERFORMANCE.md`.
 
 use std::sync::Arc;
 
@@ -126,6 +135,26 @@ impl ScoreSource for ScoreMatrix {
 /// for i.i.d. samples, the exact atom probability for countable `F`). The
 /// per-row best point over the full database — `sat(D, f)` and its argmax —
 /// is precomputed at construction.
+///
+/// Construction validates every entry (finite, non-negative) and rejects
+/// all-zero rows, so consumers may divide by [`ScoreMatrix::best_value`]
+/// unconditionally: `0 < best_value(u) ≤ f64::MAX` and
+/// `score(u, p) ≤ best_value(u)` hold for every stored entry.
+///
+/// ```
+/// use fam_core::{ScoreMatrix, ScoreSource};
+///
+/// let m = ScoreMatrix::from_rows(
+///     vec![vec![0.9, 0.7, 0.2], vec![0.6, 1.0, 0.5]],
+///     None, // uniform weights
+/// )?;
+/// assert_eq!((m.n_samples(), m.n_points()), (2, 3));
+/// assert_eq!((m.best_index(1), m.best_value(1)), (1, 1.0));
+/// assert_eq!(m.row(0), &[0.9, 0.7, 0.2]); // sample-major
+/// assert_eq!(m.column(1).unwrap(), &[0.7, 1.0]); // point-major mirror
+/// assert_eq!(m.weight(0), 0.5);
+/// # Ok::<(), fam_core::FamError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct ScoreMatrix {
     /// Sample-major buffer with row stride `stride >= n_points`: row `u`
@@ -201,20 +230,56 @@ impl ScoreMatrix {
             });
         }
         let n_points = dataset.len();
+        let n_samples = functions.len();
+        let weights = normalize_weights(weights, n_samples)?;
         // Score samples in parallel: each worker fills a disjoint block of
         // whole rows, so the buffer is identical for any thread count.
-        let mut scores = vec![0.0f64; functions.len() * n_points];
+        // Scoring, validation, and the per-row best-point pass are fused —
+        // each row is summarized while it is still cache-hot instead of
+        // being re-read by two later whole-buffer passes. Linear utilities
+        // take the batch kernel (bit-identical to calling `utility` per
+        // element, see `UtilityFunction::linear_weights`); everything else
+        // scores through the trait object and validates with the same
+        // fused kernel.
+        let mut scores = vec![0.0f64; n_samples * n_points];
         let rows_per_chunk = (crate::par::CHUNK / n_points.max(1)).max(1);
-        crate::par::for_each_chunk_mut(&mut scores, rows_per_chunk * n_points, |chunk, out| {
-            let first_row = chunk * rows_per_chunk;
-            for (local, row) in out.chunks_mut(n_points).enumerate() {
-                let f = &functions[first_row + local];
-                for (idx, p) in dataset.points().enumerate() {
-                    row[idx] = f.utility(idx, p);
-                }
-            }
-        });
-        Self::from_flat(scores, functions.len(), n_points, weights)
+        let flat = dataset.as_flat();
+        let dim = dataset.dim();
+        let per_chunk = crate::par::for_each_chunk_mut_map(
+            &mut scores,
+            rows_per_chunk * n_points,
+            |chunk, out| {
+                let first_row = chunk * rows_per_chunk;
+                out.chunks_mut(n_points)
+                    .enumerate()
+                    .map(|(local, row)| {
+                        let u = first_row + local;
+                        let f = &functions[u];
+                        match f.linear_weights() {
+                            Some(w) if w.len() == dim => {
+                                let (bi, bv, ok) =
+                                    crate::kernels::linear_score_row(w, flat, dim, row);
+                                if !ok {
+                                    row_best_checked(row, u)
+                                } else if bv <= 0.0 {
+                                    Err(FamError::DegenerateUtility { sample: u })
+                                } else {
+                                    Ok((bi, bv))
+                                }
+                            }
+                            _ => {
+                                for (idx, p) in dataset.points().enumerate() {
+                                    row[idx] = f.utility(idx, p);
+                                }
+                                row_best_checked(row, u)
+                            }
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()
+            },
+        );
+        let (best_index, best_value) = merge_row_bests(per_chunk, n_samples)?;
+        Ok(Self::assemble(scores, n_samples, n_points, weights, true, best_index, best_value))
     }
 
     /// Builds the matrix by exact enumeration of a countable distribution
@@ -285,72 +350,36 @@ impl ScoreMatrix {
                 got: scores.len(),
             });
         }
-        // Validate in parallel chunks; the merge keeps the first offending
-        // index, matching the serial scan's error exactly.
-        let violation = crate::par::map_chunks(scores.len(), crate::par::CHUNK, |range| {
-            range.clone().find(|&i| !scores[i].is_finite() || scores[i] < 0.0)
-        })
-        .into_iter()
-        .flatten()
-        .next();
-        if let Some(i) = violation {
-            let (row, col) = (i / n_points, i % n_points);
-            if !scores[i].is_finite() {
-                return Err(FamError::NonFinite { row, col });
-            }
-            return Err(FamError::NegativeValue { row, col });
-        }
-        let weights = match weights {
-            Some(mut w) => {
-                if w.len() != n_samples {
-                    return Err(FamError::InvalidWeights(format!(
-                        "expected {n_samples} weights, got {}",
-                        w.len()
-                    )));
-                }
-                if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
-                    return Err(FamError::InvalidWeights(
-                        "weights must be finite and non-negative".into(),
-                    ));
-                }
-                let total: f64 = w.iter().sum();
-                if total <= 0.0 {
-                    return Err(FamError::InvalidWeights("weights sum to zero".into()));
-                }
-                w.iter_mut().for_each(|x| *x /= total);
-                w
-            }
-            None => vec![1.0 / n_samples as f64; n_samples],
-        };
-        // Precompute each user's best point in D (the paper's
-        // preprocessing), one parallel chunk of rows at a time.
-        let per_row = crate::par::map_chunks(n_samples, crate::par::CHUNK, |rows| {
-            rows.map(|u| {
-                let row = &scores[u * n_points..(u + 1) * n_points];
-                let (mut bi, mut bv) = (0usize, row[0]);
-                for (i, &v) in row.iter().enumerate().skip(1) {
-                    if v > bv {
-                        bi = i;
-                        bv = v;
-                    }
-                }
-                if bv <= 0.0 {
-                    return Err(FamError::DegenerateUtility { sample: u });
-                }
-                Ok((bi as u32, bv))
-            })
-            .collect::<Result<Vec<_>>>()
+        let weights = normalize_weights(weights, n_samples)?;
+        // Validation and the per-row best-point pass (the paper's
+        // preprocessing) run fused, one parallel chunk of rows at a time:
+        // chunks merge in order, so the first offending *row* wins, with
+        // element order deciding within a row — the same error a serial
+        // row-by-row scan reports.
+        let rows_per_chunk = (crate::par::CHUNK / n_points.max(1)).max(1);
+        let per_chunk = crate::par::map_chunks(n_samples, rows_per_chunk, |rows| {
+            rows.map(|u| row_best_checked(&scores[u * n_points..(u + 1) * n_points], u))
+                .collect::<Result<Vec<_>>>()
         });
-        let mut best_index = Vec::with_capacity(n_samples);
-        let mut best_value = Vec::with_capacity(n_samples);
-        for chunk in per_row {
-            for (bi, bv) in chunk? {
-                best_index.push(bi);
-                best_value.push(bv);
-            }
-        }
-        let columns = mirror.then(|| transpose(&scores, n_samples, n_points, n_points));
-        Ok(ScoreMatrix {
+        let (best_index, best_value) = merge_row_bests(per_chunk, n_samples)?;
+        Ok(Self::assemble(scores, n_samples, n_points, weights, mirror, best_index, best_value))
+    }
+
+    /// Final assembly once scores, normalized weights, and per-row bests
+    /// are known: optionally builds the point-major mirror and packs the
+    /// struct with tight strides.
+    fn assemble(
+        scores: Vec<f64>,
+        n_samples: usize,
+        n_points: usize,
+        weights: Vec<f64>,
+        mirror: bool,
+        best_index: Vec<u32>,
+        best_value: Vec<f64>,
+    ) -> Self {
+        let columns =
+            mirror.then(|| crate::kernels::transpose(&scores, n_samples, n_points, n_points));
+        ScoreMatrix {
             scores,
             columns,
             n_samples,
@@ -360,7 +389,7 @@ impl ScoreMatrix {
             weights,
             best_index,
             best_value,
-        })
+        }
     }
 
     /// Number of utility samples `N`.
@@ -431,8 +460,12 @@ impl ScoreMatrix {
     /// (Re)builds the point-major mirror if absent.
     pub fn build_column_mirror(&mut self) {
         if self.columns.is_none() {
-            self.columns =
-                Some(transpose(&self.scores, self.n_samples, self.n_points, self.stride));
+            self.columns = Some(crate::kernels::transpose(
+                &self.scores,
+                self.n_samples,
+                self.n_points,
+                self.stride,
+            ));
             self.col_stride = self.n_samples;
         }
     }
@@ -816,27 +849,8 @@ impl ScoreMatrix {
         let tail = &self.scores[base..];
         let rows_per_chunk = (crate::par::CHUNK / n_points.max(1)).max(1);
         let per_row = crate::par::map_chunks(count, rows_per_chunk, |rows| {
-            rows.map(|j| {
-                let row = &tail[j * stride..j * stride + n_points];
-                let (mut bi, mut bv) = (0usize, row[0]);
-                for (i, &v) in row.iter().enumerate() {
-                    if !v.is_finite() {
-                        return Err(FamError::NonFinite { row: n_old + j, col: i });
-                    }
-                    if v < 0.0 {
-                        return Err(FamError::NegativeValue { row: n_old + j, col: i });
-                    }
-                    if v > bv {
-                        bi = i;
-                        bv = v;
-                    }
-                }
-                if bv <= 0.0 {
-                    return Err(FamError::DegenerateUtility { sample: n_old + j });
-                }
-                Ok((bi as u32, bv))
-            })
-            .collect::<Result<Vec<_>>>()
+            rows.map(|j| row_best_checked(&tail[j * stride..j * stride + n_points], n_old + j))
+                .collect::<Result<Vec<_>>>()
         });
         let mut best = Vec::with_capacity(count);
         for chunk in per_row {
@@ -857,6 +871,14 @@ impl ScoreMatrix {
                 return Err(e);
             }
         };
+        self.commit_appended_with(base, count, best);
+        Ok(())
+    }
+
+    /// [`ScoreMatrix::commit_appended`] once the tail rows are already
+    /// validated and summarized (the fused scoring paths produce `best`
+    /// in the same pass that writes the rows).
+    fn commit_appended_with(&mut self, base: usize, count: usize, best: Vec<(u32, f64)>) {
         let n_points = self.n_points;
         let n_old = self.n_samples;
         let n_new = n_old + count;
@@ -870,16 +892,16 @@ impl ScoreMatrix {
             let src = &scores[base..];
             let cs = *col_stride;
             if n_new <= cs {
-                transpose_into(src, count, *stride, columns, cs, n_old);
+                crate::kernels::transpose_into(src, count, *stride, columns, cs, n_old);
             } else {
                 let cs_new = n_new.max(cs.saturating_mul(2));
                 let mut grown = vec![0.0f64; n_points * cs_new];
                 let old = &*columns;
                 let stride = *stride;
-                // Bands must stay at least TRANSPOSE_BLOCK columns wide:
-                // a one-column band degenerates the blocked transpose
+                // Bands must stay at least TILE columns wide: a
+                // one-column band degenerates the blocked transpose
                 // into a cache-miss-per-element gather.
-                let cols_per_chunk = (crate::par::CHUNK / cs_new.max(1)).max(TRANSPOSE_BLOCK);
+                let cols_per_chunk = (crate::par::CHUNK / cs_new.max(1)).max(crate::kernels::TILE);
                 crate::par::for_each_chunk_mut(
                     &mut grown,
                     cols_per_chunk * cs_new,
@@ -891,7 +913,9 @@ impl ScoreMatrix {
                             out[local * cs_new..local * cs_new + n_old]
                                 .copy_from_slice(&old[p * cs..p * cs + n_old]);
                         }
-                        transpose_band(src, count, stride, out, cs_new, n_old, first_col, band);
+                        crate::kernels::transpose_band(
+                            src, count, stride, out, cs_new, n_old, first_col, band,
+                        );
                     },
                 );
                 *columns = grown;
@@ -907,7 +931,6 @@ impl ScoreMatrix {
             self.best_value.push(bv);
         }
         self.n_samples = n_new;
-        Ok(())
     }
 
     /// Appends `count` new utility samples **in place** from a flat
@@ -1026,20 +1049,57 @@ impl ScoreMatrix {
         }
         let base = self.scores.len();
         let (stride, rows_per_chunk) = self.row_chunking();
+        let n_points = self.n_points;
+        let n_old = self.n_samples;
         self.scores.resize(base + functions.len() * stride, 0.0);
-        // Score in parallel over whole rows, exactly like the
-        // from-scratch construction (bit-identical for any thread count).
+        // Score in parallel over whole rows with the same fused
+        // score+validate+best pass as the from-scratch construction
+        // (bit-identical for any thread count).
         let tail = &mut self.scores[base..];
-        crate::par::for_each_chunk_mut(tail, rows_per_chunk * stride, |chunk, out| {
-            let first_row = chunk * rows_per_chunk;
-            for (local, row) in out.chunks_mut(stride).enumerate() {
-                let f = &functions[first_row + local];
-                for (idx, p) in dataset.points().enumerate() {
-                    row[idx] = f.utility(idx, p);
-                }
+        let flat = dataset.as_flat();
+        let dim = dataset.dim();
+        let per_chunk =
+            crate::par::for_each_chunk_mut_map(tail, rows_per_chunk * stride, |chunk, out| {
+                let first_row = chunk * rows_per_chunk;
+                out.chunks_mut(stride)
+                    .enumerate()
+                    .map(|(local, padded)| {
+                        let j = first_row + local;
+                        let f = &functions[j];
+                        let row = &mut padded[..n_points];
+                        match f.linear_weights() {
+                            Some(w) if w.len() == dim => {
+                                let (bi, bv, ok) =
+                                    crate::kernels::linear_score_row(w, flat, dim, row);
+                                if !ok {
+                                    row_best_checked(row, n_old + j)
+                                } else if bv <= 0.0 {
+                                    Err(FamError::DegenerateUtility { sample: n_old + j })
+                                } else {
+                                    Ok((bi, bv))
+                                }
+                            }
+                            _ => {
+                                for (idx, p) in dataset.points().enumerate() {
+                                    row[idx] = f.utility(idx, p);
+                                }
+                                row_best_checked(row, n_old + j)
+                            }
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()
+            });
+        match merge_row_bests(per_chunk, functions.len()) {
+            Ok((bi, bv)) => {
+                let best = bi.into_iter().zip(bv).collect();
+                self.commit_appended_with(base, functions.len(), best);
+                Ok(())
             }
-        });
-        self.commit_appended(base, functions.len())
+            Err(e) => {
+                self.scores.truncate(base);
+                Err(e)
+            }
+        }
     }
 
     /// Samples `count` fresh utility functions from `dist` and appends
@@ -1066,64 +1126,65 @@ impl ScoreMatrix {
     }
 }
 
-/// Sample-block granularity of the cache-blocked transpose kernels.
-const TRANSPOSE_BLOCK: usize = 64;
-
-/// Cache-blocked transpose of one band of columns: rows `0..n_rows` of
-/// `src` (physical row width `src_stride`) land at
-/// `out[local * dst_col_stride + dst_offset + u]` for band-local column
-/// `local` (absolute column `first_col + local`). Shared by the mirror
-/// construction, the in-slack sample append, and the re-lay pass.
-#[allow(clippy::too_many_arguments)]
-fn transpose_band(
-    src: &[f64],
-    n_rows: usize,
-    src_stride: usize,
-    out: &mut [f64],
-    dst_col_stride: usize,
-    dst_offset: usize,
-    first_col: usize,
-    band: usize,
-) {
-    for u0 in (0..n_rows).step_by(TRANSPOSE_BLOCK) {
-        let u1 = (u0 + TRANSPOSE_BLOCK).min(n_rows);
-        for local in 0..band {
-            let p = first_col + local;
-            let col = &mut out[local * dst_col_stride..(local + 1) * dst_col_stride];
-            for u in u0..u1 {
-                col[dst_offset + u] = src[u * src_stride + p];
+/// Normalizes optional per-sample probability weights: `None` yields the
+/// uniform `1/N` vector, `Some` is validated (length, finiteness, sign,
+/// positive total) and scaled to sum to 1.
+fn normalize_weights(weights: Option<Vec<f64>>, n_samples: usize) -> Result<Vec<f64>> {
+    match weights {
+        Some(mut w) => {
+            if w.len() != n_samples {
+                return Err(FamError::InvalidWeights(format!(
+                    "expected {n_samples} weights, got {}",
+                    w.len()
+                )));
             }
+            if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                return Err(FamError::InvalidWeights(
+                    "weights must be finite and non-negative".into(),
+                ));
+            }
+            let total: f64 = w.iter().sum();
+            if total <= 0.0 {
+                return Err(FamError::InvalidWeights("weights sum to zero".into()));
+            }
+            w.iter_mut().for_each(|x| *x /= total);
+            Ok(w)
+        }
+        None => Ok(vec![1.0 / n_samples as f64; n_samples]),
+    }
+}
+
+/// One row of the fused validate+best construction pass: wraps
+/// [`crate::kernels::validate_row_best`] with the matrix's row-indexed
+/// error vocabulary and the degenerate-row (no positive score) check.
+fn row_best_checked(row: &[f64], sample: usize) -> Result<(u32, f64)> {
+    match crate::kernels::validate_row_best(row) {
+        Ok((_, bv)) if bv <= 0.0 => Err(FamError::DegenerateUtility { sample }),
+        Ok(best) => Ok(best),
+        Err(crate::kernels::RowIssue::NonFinite { col }) => {
+            Err(FamError::NonFinite { row: sample, col })
+        }
+        Err(crate::kernels::RowIssue::Negative { col }) => {
+            Err(FamError::NegativeValue { row: sample, col })
         }
     }
 }
 
-/// Cache-blocked transpose of `n_rows` sample-major rows (physical row
-/// width `src_stride`) into per-column segments of `dst`: row `u`,
-/// column `p` lands at `dst[p * dst_col_stride + dst_offset + u]`.
-/// Parallelized over bands of whole columns (`dst.len()` must be a
-/// multiple of `dst_col_stride`).
-fn transpose_into(
-    src: &[f64],
-    n_rows: usize,
-    src_stride: usize,
-    dst: &mut [f64],
-    dst_col_stride: usize,
-    dst_offset: usize,
-) {
-    let cols_per_chunk = (crate::par::CHUNK / dst_col_stride.max(1)).max(TRANSPOSE_BLOCK);
-    crate::par::for_each_chunk_mut(dst, cols_per_chunk * dst_col_stride, |chunk, out| {
-        let first_col = chunk * cols_per_chunk;
-        let band = out.len() / dst_col_stride;
-        transpose_band(src, n_rows, src_stride, out, dst_col_stride, dst_offset, first_col, band);
-    });
-}
-
-/// Cache-blocked transpose of a sample-major `n_samples × n_points`
-/// buffer (physical row width `stride`) into a tight point-major mirror.
-fn transpose(scores: &[f64], n_samples: usize, n_points: usize, stride: usize) -> Vec<f64> {
-    let mut columns = vec![0.0f64; n_samples * n_points];
-    transpose_into(scores, n_samples, stride, &mut columns, n_samples, 0);
-    columns
+/// Folds per-chunk row results (in chunk order, so the first offending
+/// row's error wins) into the best-index / best-value columns.
+fn merge_row_bests(
+    per_chunk: Vec<Result<Vec<(u32, f64)>>>,
+    n_samples: usize,
+) -> Result<(Vec<u32>, Vec<f64>)> {
+    let mut best_index = Vec::with_capacity(n_samples);
+    let mut best_value = Vec::with_capacity(n_samples);
+    for chunk in per_chunk {
+        for (bi, bv) in chunk? {
+            best_index.push(bi);
+            best_value.push(bv);
+        }
+    }
+    Ok((best_index, best_value))
 }
 
 #[cfg(test)]
@@ -1534,5 +1595,108 @@ mod tests {
         assert!((r.best_value(0) - 0.4).abs() < 1e-12);
         assert!(m.restrict_columns(&[]).is_err());
         assert!(m.restrict_columns(&[9]).is_err());
+    }
+
+    /// Degenerate and tile-straddling geometries through the kernelized
+    /// construction paths: 1×1, 1×n, N×1, and sizes around the kernel
+    /// tile width must all produce correct bests and mirrors.
+    #[test]
+    fn kernel_edge_geometries_build_correctly() {
+        use crate::kernels::TILE;
+        // 1×1: the smallest legal matrix.
+        let m = ScoreMatrix::from_rows(vec![vec![0.5]], None).unwrap();
+        assert_eq!((m.best_index(0), m.best_value(0)), (0, 0.5));
+        assert_eq!(m.column(0).unwrap(), &[0.5]);
+        // 1×n around the tile boundary: the max sits in the tail tile.
+        for n in [1, 2, TILE - 1, TILE, TILE + 1, 2 * TILE + 3] {
+            let mut row: Vec<f64> = (0..n).map(|p| 0.1 + (p % 7) as f64 * 0.01).collect();
+            row[n - 1] = 9.0;
+            let m = ScoreMatrix::from_rows(vec![row], None).unwrap();
+            assert_eq!(m.best_index(0), n - 1, "n={n}");
+            assert_eq!(m.best_value(0), 9.0);
+        }
+        // N×1: every row is a single-element scan.
+        let rows: Vec<Vec<f64>> = (0..(TILE + 5)).map(|u| vec![0.01 + u as f64]).collect();
+        let m = ScoreMatrix::from_rows(rows, None).unwrap();
+        for u in 0..m.n_samples() {
+            assert_eq!(m.best_index(u), 0);
+            assert_eq!(m.best_value(u), 0.01 + u as f64);
+        }
+        assert_eq!(m.column(0).unwrap().len(), TILE + 5);
+    }
+
+    /// The fused linear scoring kernel in `from_functions` must be
+    /// bit-identical to scoring the same functions through the virtual
+    /// per-element path (a wrapper hiding `linear_weights`) and to manual
+    /// `kernels::dot` calls.
+    #[test]
+    fn fused_linear_from_functions_is_bitwise_virtual_path() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        /// Same weights, but opted out of the batch kernel: exercises the
+        /// generic virtual-dispatch row fill.
+        struct Opaque(LinearUtility);
+        impl UtilityFunction for Opaque {
+            fn utility(&self, index: usize, point: &[f64]) -> f64 {
+                self.0.utility(index, point)
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(77);
+        let dim = 3;
+        // Point count straddles the scoring tile; sample count straddles
+        // the LANES unroll.
+        let n = crate::kernels::TILE + 2;
+        let n_samples = crate::kernels::LANES + 1;
+        let points: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..dim).map(|_| rng.gen_range(0.01..1.0)).collect()).collect();
+        let d = Dataset::from_rows(points).unwrap();
+        let weights: Vec<Vec<f64>> =
+            (0..n_samples).map(|_| (0..dim).map(|_| rng.gen_range(0.01..1.0)).collect()).collect();
+        let fused: Vec<Arc<dyn UtilityFunction>> = weights
+            .iter()
+            .map(|w| Arc::new(LinearUtility::new(w.clone()).unwrap()) as Arc<dyn UtilityFunction>)
+            .collect();
+        let virt: Vec<Arc<dyn UtilityFunction>> = weights
+            .iter()
+            .map(|w| {
+                Arc::new(Opaque(LinearUtility::new(w.clone()).unwrap())) as Arc<dyn UtilityFunction>
+            })
+            .collect();
+        let mf = ScoreMatrix::from_functions(&d, &fused, None).unwrap();
+        let mv = ScoreMatrix::from_functions(&d, &virt, None).unwrap();
+        for (u, w) in weights.iter().enumerate() {
+            for p in 0..n {
+                let manual = crate::kernels::dot(w, d.point(p));
+                assert_eq!(mf.score(u, p).to_bits(), manual.to_bits(), "u={u} p={p}");
+                assert_eq!(mf.score(u, p).to_bits(), mv.score(u, p).to_bits(), "u={u} p={p}");
+            }
+            assert_eq!(mf.best_index(u), mv.best_index(u));
+            assert_eq!(mf.best_value(u).to_bits(), mv.best_value(u).to_bits());
+        }
+    }
+
+    /// Invalid linear scores surface through the fused kernel with the
+    /// same error classification as the scalar path.
+    #[test]
+    fn fused_linear_path_reports_nonfinite_and_degenerate() {
+        // Finite inputs whose dot product overflows to +inf: the fused
+        // pass must flag the first offending column.
+        let d = Dataset::from_rows(vec![vec![2.0, 2.0], vec![0.5, 0.5]]).unwrap();
+        let fs: Vec<Arc<dyn UtilityFunction>> =
+            vec![Arc::new(LinearUtility::new(vec![f64::MAX, f64::MAX]).unwrap())];
+        assert!(matches!(
+            ScoreMatrix::from_functions(&d, &fs, None),
+            Err(FamError::NonFinite { row: 0, col: 0 })
+        ));
+        // All-zero scores under a weight vector orthogonal to every point.
+        let d2 = Dataset::from_rows(vec![vec![0.0, 1.0], vec![0.0, 2.0]]).unwrap();
+        let fs2: Vec<Arc<dyn UtilityFunction>> =
+            vec![Arc::new(LinearUtility::new(vec![1.0, 0.0]).unwrap())];
+        assert!(matches!(
+            ScoreMatrix::from_functions(&d2, &fs2, None),
+            Err(FamError::DegenerateUtility { sample: 0 })
+        ));
     }
 }

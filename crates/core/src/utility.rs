@@ -22,6 +22,20 @@ pub trait UtilityFunction: Send + Sync {
     fn kind(&self) -> &'static str {
         "utility"
     }
+
+    /// The weight vector of a linear utility, when this function *is*
+    /// linear over the point coordinates.
+    ///
+    /// Returning `Some(w)` is a promise that `utility(i, p)` equals
+    /// [`crate::kernels::dot`]`(w, p)` **bit-for-bit** for every point of
+    /// the dataset being scored — it routes the function through the
+    /// fused batch-scoring kernel ([`crate::kernels::linear_score_row`]),
+    /// whose per-element arithmetic is exactly `dot`. Non-linear and
+    /// index-based families keep the default `None` and are scored
+    /// through `utility` per element.
+    fn linear_weights(&self) -> Option<&[f64]> {
+        None
+    }
 }
 
 /// Linear utility `f(p) = w · p` with non-negative weights.
@@ -85,11 +99,16 @@ impl UtilityFunction for LinearUtility {
     #[inline]
     fn utility(&self, _index: usize, point: &[f64]) -> f64 {
         debug_assert_eq!(point.len(), self.weights.len());
-        self.weights.iter().zip(point).map(|(w, x)| w * x).sum()
+        crate::kernels::dot(&self.weights, point)
     }
 
     fn kind(&self) -> &'static str {
         "linear"
+    }
+
+    #[inline]
+    fn linear_weights(&self) -> Option<&[f64]> {
+        Some(&self.weights)
     }
 }
 
