@@ -10,7 +10,7 @@
 //! baseline against GREEDY-SHRINK — and, through [`add_greedy_from`], as
 //! the growth direction of warm-started repair after database updates.
 
-use std::time::Instant;
+use fam_core::solve::QueryTimer;
 
 use fam_core::{FamError, Result, ScoreSource, Selection, SelectionEvaluator};
 
@@ -56,7 +56,7 @@ fn run<S: ScoreSource + ?Sized>(
             message: format!("seed of {} points exceeds k = {k}", seed.len()),
         });
     }
-    let start = Instant::now();
+    let start = QueryTimer::start();
     let mut ev = SelectionEvaluator::new_with(m, seed);
     crate::repair::lazy_grow(&mut ev, k);
     let objective = ev.arr();

@@ -9,7 +9,7 @@
 //! the remaining candidates)` — a sound lower bound because `arr ≥ 0`
 //! decreases by at most `pot(p)` per added point.
 
-use std::time::Instant;
+use fam_core::solve::QueryTimer;
 
 use fam_core::{FamError, Result, ScoreSource, Selection, SelectionEvaluator};
 
@@ -39,7 +39,7 @@ pub fn brute_force_with_pruning<S: ScoreSource + ?Sized>(
     if k == 0 || k > n {
         return Err(FamError::InvalidK { k, n });
     }
-    let start = Instant::now();
+    let start = QueryTimer::start();
 
     // Per-point optimistic potential (max possible arr decrease).
     let pot: Vec<f64> = (0..n)

@@ -8,8 +8,9 @@
 //! but — like MRR-GREEDY — it is oblivious to the utility distribution, so
 //! its *average* regret ratio trails GREEDY-SHRINK's.
 
+use fam_core::solve::QueryTimer;
+// fam-lint: allow(D002) -- best-per-cell map is drained into a Vec and sorted by cell key before any order-sensitive use
 use std::collections::HashMap;
-use std::time::Instant;
 
 use fam_core::{Dataset, FamError, Result, Selection};
 
@@ -32,7 +33,7 @@ pub fn cube(dataset: &Dataset, k: usize) -> Result<Selection> {
             message: format!("CUBE needs k >= d (got k={k}, d={d})"),
         });
     }
-    let start = Instant::now();
+    let start = QueryTimer::start();
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
 
     // Per-dimension maxima (the d "anchor" points).
@@ -51,6 +52,7 @@ pub fn cube(dataset: &Dataset, k: usize) -> Result<Selection> {
         let t = (slots as f64).powf(1.0 / (d - 1) as f64).floor().max(1.0) as usize;
         // Per-dimension maxima for normalization into [0, 1].
         let maxes = dataset.dim_maxes();
+        // fam-lint: allow(D002) -- drained via into_iter + sort below; selection order comes from the sorted Vec
         let mut best_per_cell: HashMap<Vec<usize>, usize> = HashMap::new();
         for p in 0..n {
             let coords = dataset.point(p);

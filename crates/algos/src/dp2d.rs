@@ -20,8 +20,9 @@
 //! [`UniformBoxMeasure`]: crate::measure::UniformBoxMeasure
 //! [`UniformAngleMeasure`]: crate::measure::UniformAngleMeasure
 
+use fam_core::solve::QueryTimer;
+// fam-lint: allow(D002) -- memo table is lookup-only (entry/get by full key); its iteration order is never observed
 use std::collections::HashMap;
-use std::time::Instant;
 
 use fam_core::{Dataset, FamError, Result, Selection};
 use fam_geometry::{skyline_2d, switch_angle, Envelope, HALF_PI};
@@ -52,6 +53,7 @@ struct DpContext<'a> {
     /// `cum[i][z]` = regret mass of point `i` over segments `0..z`.
     cum: Vec<Vec<f64>>,
     measure: &'a dyn AngularMeasure,
+    // fam-lint: allow(D002) -- keyed memo reads/writes only; never iterated, so hash order cannot feed a fold
     memo: HashMap<(u32, u32, u32), (f64, u32)>,
     m: usize,
 }
@@ -125,7 +127,7 @@ pub fn dp_2d(dataset: &Dataset, k: usize, measure: &dyn AngularMeasure) -> Resul
     if k == 0 || k > n {
         return Err(FamError::InvalidK { k, n });
     }
-    let start = Instant::now();
+    let start = QueryTimer::start();
 
     // Deduplicated skyline ordered by first coordinate descending.
     let mut sky = skyline_2d(dataset);
@@ -172,6 +174,7 @@ pub fn dp_2d(dataset: &Dataset, k: usize, measure: &dyn AngularMeasure) -> Resul
         seg_point,
         cum,
         measure,
+        // fam-lint: allow(D002) -- see the memo field: lookup-only table
         memo: HashMap::new(),
         m,
     };

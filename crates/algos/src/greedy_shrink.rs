@@ -20,8 +20,8 @@
 //! best points change per iteration" and "~68% of candidates re-evaluated"
 //! claims.
 
+use fam_core::solve::QueryTimer;
 use std::collections::BinaryHeap;
-use std::time::Instant;
 
 use fam_core::{regret, FamError, Result, ScoreSource, Selection, SelectionEvaluator};
 
@@ -129,7 +129,7 @@ fn run<S: ScoreSource + ?Sized>(
         (false, false) => "greedy-shrink-naive",
         (false, true) => "greedy-shrink-naive-warm",
     };
-    let start = Instant::now();
+    let start = QueryTimer::start();
     let out = if cfg.best_point_cache {
         shrink_cached(m, cfg, seed, algorithm)
     } else {

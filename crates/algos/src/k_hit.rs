@@ -10,7 +10,7 @@
 //! pass because, unlike GREEDY-SHRINK, that pass is not shared
 //! preprocessing but the algorithm's own machinery.
 
-use std::time::Instant;
+use fam_core::solve::QueryTimer;
 
 use fam_core::{FamError, Result, ScoreSource, Selection};
 use fam_geometry::BitSet;
@@ -25,7 +25,7 @@ pub fn k_hit<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Selection> {
     if k == 0 || k > n {
         return Err(FamError::InvalidK { k, n });
     }
-    let start = Instant::now();
+    let start = QueryTimer::start();
     let n_samples = m.n_samples();
     // Hit sets: point -> samples whose best point it is. This linear pass
     // is charged to K-HIT's query time (see module docs). The argmax is

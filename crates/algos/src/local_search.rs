@@ -9,7 +9,7 @@
 //! budget is exhausted. Because `arr` is bounded below and every accepted
 //! swap strictly decreases it, termination is guaranteed.
 
-use std::time::Instant;
+use fam_core::solve::QueryTimer;
 
 use fam_core::{FamError, Result, ScoreSource, Selection, SelectionEvaluator};
 
@@ -65,7 +65,7 @@ pub fn local_search<S: ScoreSource + ?Sized>(
         }
         seen[p] = true;
     }
-    let start = Instant::now();
+    let start = QueryTimer::start();
     let mut ev = SelectionEvaluator::new_with(m, initial);
     let mut swaps = 0usize;
     let mut passes = 0usize;

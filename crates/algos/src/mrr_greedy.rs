@@ -12,7 +12,7 @@
 //!   learned/non-linear distributions, mirroring how the paper applies the
 //!   baseline to the Yahoo pipeline).
 
-use std::time::Instant;
+use fam_core::solve::QueryTimer;
 
 use fam_core::{Dataset, FamError, Result, ScoreSource, Selection};
 use fam_geometry::skyline;
@@ -29,7 +29,7 @@ pub fn mrr_greedy_exact(dataset: &Dataset, k: usize) -> Result<Selection> {
     if k == 0 || k > n {
         return Err(FamError::InvalidK { k, n });
     }
-    let start = Instant::now();
+    let start = QueryTimer::start();
     // Candidates: skyline points only (dominated points are never added by
     // RDP-GREEDY and never witness more regret than their dominators).
     let sky = skyline(dataset);
@@ -79,7 +79,7 @@ pub fn mrr_greedy_sampled<S: ScoreSource + ?Sized>(m: &S, k: usize) -> Result<Se
     if k == 0 || k > n {
         return Err(FamError::InvalidK { k, n });
     }
-    let start = Instant::now();
+    let start = QueryTimer::start();
     // Seed: the point that is the favourite of the most samples (a
     // coordinate-free analogue of "best in dimension 1").
     let mut votes = vec![0usize; n];

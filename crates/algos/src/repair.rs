@@ -42,6 +42,7 @@ impl Ord for Entry {
 }
 
 impl PartialOrd for Entry {
+    // fam-lint: allow(D001) -- mandatory PartialOrd delegation to the total_cmp-based Ord impl above; no float comparison happens here
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }

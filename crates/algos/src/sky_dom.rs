@@ -4,7 +4,7 @@
 //! which is the standard `1 − 1/e` approximation; coverage bookkeeping
 //! uses bitsets over the database.
 
-use std::time::Instant;
+use fam_core::solve::QueryTimer;
 
 use fam_core::{Dataset, FamError, Result, Selection};
 use fam_geometry::{dominates, skyline, BitSet};
@@ -19,7 +19,7 @@ pub fn sky_dom(dataset: &Dataset, k: usize) -> Result<Selection> {
     if k == 0 || k > n {
         return Err(FamError::InvalidK { k, n });
     }
-    let start = Instant::now();
+    let start = QueryTimer::start();
     let sky = skyline(dataset);
     // Dominance bitsets: one per skyline candidate.
     let coverage: Vec<BitSet> = sky

@@ -25,8 +25,8 @@
 //! [`lazy_grow`]: crate::repair
 //! [`lazy_shrink`]: crate::repair
 
+use fam_core::solve::QueryTimer;
 use std::ops::RangeInclusive;
-use std::time::Instant;
 
 use fam_core::{FamError, Result, ScoreSource, Selection, SelectionEvaluator};
 
@@ -60,7 +60,7 @@ pub fn add_greedy_range<S: ScoreSource + ?Sized>(
     ks: RangeInclusive<usize>,
 ) -> Result<Vec<Selection>> {
     validate_range(m, &ks)?;
-    let start = Instant::now();
+    let start = QueryTimer::start();
     let mut ev = SelectionEvaluator::new_with(m, &[]);
     let mut out = Vec::with_capacity(ks.end() - ks.start() + 1);
     for k in 1..=*ks.end() {
@@ -90,7 +90,7 @@ pub fn greedy_shrink_range<S: ScoreSource + ?Sized>(
     ks: RangeInclusive<usize>,
 ) -> Result<Vec<Selection>> {
     validate_range(m, &ks)?;
-    let start = Instant::now();
+    let start = QueryTimer::start();
     let mut ev = SelectionEvaluator::new_full(m);
     let mut out = Vec::with_capacity(ks.end() - ks.start() + 1);
     for k in (*ks.start()..=*ks.end()).rev() {

@@ -7,6 +7,7 @@
 //! ```
 //!
 //! Ids: table2 table5 fig1 fig2 ... fig12 ablation (see DESIGN.md §5).
+#![forbid(unsafe_code)]
 
 use fam_bench::experiments::{self, ALL};
 use fam_bench::workloads::Scale;

@@ -1,4 +1,5 @@
 //! The `fam` command-line binary: a thin shim over [`fam_cli::run`].
+#![forbid(unsafe_code)]
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

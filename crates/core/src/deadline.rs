@@ -45,6 +45,7 @@ impl Deadline {
 
     /// Expires `budget` from now.
     pub fn within(budget: Duration) -> Self {
+        // fam-lint: allow(D003) -- admission control is inherently wall-clock; a deadline gates *whether* work runs, never what it computes
         Deadline { at: Instant::now().checked_add(budget), budget: Some(budget), cancel: None }
     }
 
@@ -64,6 +65,7 @@ impl Deadline {
 
     /// Time remaining, or `None` when no budget is attached.
     pub fn remaining(&self) -> Option<Duration> {
+        // fam-lint: allow(D003) -- reports the admission budget left; telemetry/Retry-After only, results never depend on it
         self.at.map(|at| at.saturating_duration_since(Instant::now()))
     }
 
@@ -82,6 +84,7 @@ impl Deadline {
             }
         }
         if let Some(at) = self.at {
+            // fam-lint: allow(D003) -- the expiry comparison: aborts work with DeadlineExceeded, never alters a produced answer
             if Instant::now() >= at {
                 return Err(FamError::DeadlineExceeded {
                     budget_ms: self.budget.map_or(0, |b| b.as_millis() as u64),

@@ -32,7 +32,7 @@
 //! assert!(failpoints::triggered("docs.step") >= 1);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
@@ -64,11 +64,11 @@ struct Armed {
 
 #[derive(Debug, Default)]
 struct RegistryInner {
-    armed: HashMap<String, Armed>,
+    armed: BTreeMap<String, Armed>,
     /// Lifetime count of firings per site (survives disarm; cleared by
     /// [`reset`]). Only armed evaluations count — the unarmed fast path
     /// does not take the lock.
-    triggered: HashMap<String, u64>,
+    triggered: BTreeMap<String, u64>,
 }
 
 /// Count of currently armed sites: the fast path skips the registry

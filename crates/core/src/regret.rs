@@ -15,7 +15,9 @@ use crate::stats;
 pub fn sat<S: ScoreSource + ?Sized>(m: &S, u: usize, selection: &[usize]) -> f64 {
     match m.row_slice(u) {
         // Sample-major fast path: gather from the contiguous row.
+        // fam-lint: allow(K001) -- reference implementation of Definition 2; the hot path is SelectionEvaluator's kernel scan, pinned bit-identical to this shape by evaluator tests
         Some(row) => selection.iter().fold(0.0f64, |acc, &p| acc.max(row[p])),
+        // fam-lint: allow(K001) -- same reference shape for sources without a row mirror
         None => selection.iter().fold(0.0f64, |acc, &p| acc.max(m.score(u, p))),
     }
 }
@@ -84,6 +86,7 @@ pub fn rr_std_dev<S: ScoreSource + ?Sized>(m: &S, selection: &[usize]) -> Result
 /// Returns an error for invalid selections.
 pub fn mrr_sampled<S: ScoreSource + ?Sized>(m: &S, selection: &[usize]) -> Result<f64> {
     validate_selection(m, selection)?;
+    // fam-lint: allow(K001) -- mrr is a max (exact under any grouping), computed once per report, not per-candidate
     Ok((0..m.n_samples()).fold(0.0f64, |acc, u| acc.max(rr(m, u, selection))))
 }
 
@@ -135,8 +138,9 @@ pub fn report<S: ScoreSource + ?Sized>(m: &S, selection: &[usize]) -> Result<Reg
         mean += m.weight(u) * r;
         mrr = mrr.max(r);
     }
-    let vrr =
-        rrs.iter().enumerate().map(|(u, &r)| m.weight(u) * (r - mean) * (r - mean)).sum::<f64>();
+    let dev = |(u, r): (usize, &f64)| m.weight(u) * (r - mean) * (r - mean);
+    // fam-lint: allow(K001) -- diagnostic variance for reports; computed once per call and never compared across binaries
+    let vrr = rrs.iter().enumerate().map(dev).sum::<f64>();
     Ok(RegretReport { arr: mean, vrr, std_dev: vrr.sqrt(), mrr })
 }
 

@@ -21,6 +21,33 @@
 use crate::dataset::Dataset;
 use crate::scores::ScoreSource;
 use crate::selection::Selection;
+use std::time::{Duration, Instant};
+
+/// Wall-clock timer for [`Selection::query_time`] telemetry.
+///
+/// This is the *one* sanctioned ambient clock read on solver paths: every
+/// algorithm times itself through this type, so the `fam-lint` D003 rule
+/// (no ambient nondeterminism in the numeric crates) has a single audited
+/// site instead of one per algorithm. The reading flows only into
+/// reported telemetry — never into a solver decision — so bit-identical
+/// reproducibility is unaffected.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryTimer(Instant);
+
+impl QueryTimer {
+    /// Start timing a query.
+    #[must_use]
+    pub fn start() -> Self {
+        // fam-lint: allow(D003) -- sanctioned telemetry clock: elapsed() feeds Selection::query_time only, never a solver decision
+        QueryTimer(Instant::now())
+    }
+
+    /// Wall-clock time since [`QueryTimer::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
 
 /// The angular measure the exact 2-D DP integrates against, named so it
 /// can travel through parsed parameters (the concrete measure objects

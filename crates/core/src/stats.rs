@@ -5,6 +5,7 @@ pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
+    // fam-lint: allow(K001) -- cold diagnostic aggregate shared by reports/experiments; the sequential shape is part of the streamed-report contract
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
@@ -14,6 +15,7 @@ pub fn variance(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
+    // fam-lint: allow(K001) -- same: report-path variance, not a per-candidate hot loop
     xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
 }
 

@@ -13,6 +13,7 @@ use rand::RngCore;
 use crate::dataset::Dataset;
 use crate::distribution::UtilityDistribution;
 use crate::error::{FamError, Result};
+use crate::kernels;
 use crate::regret::RegretReport;
 use crate::stats;
 
@@ -85,7 +86,9 @@ pub fn streamed_report(
     }
     let arr = stats::mean(&rrs);
     let vrr = stats::variance(&rrs);
-    let mrr = rrs.iter().cloned().fold(0.0f64, f64::max);
+    // `max` is exact under any grouping, so the kernel lane shape returns
+    // the same bits as a sequential fold while keeping D001/K001 clean.
+    let mrr = kernels::lane_max(0.0, rrs.len(), |i| rrs[i]);
     rrs.sort_by(f64::total_cmp);
     let pct = percentiles.iter().map(|&q| stats::percentile_sorted(&rrs, q)).collect();
     Ok((RegretReport { arr, vrr, std_dev: vrr.sqrt(), mrr }, pct))

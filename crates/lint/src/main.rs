@@ -1,0 +1,118 @@
+#![forbid(unsafe_code)]
+//! CLI for the workspace invariant linter. See `docs/LINTS.md`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fam-lint [--workspace] [--root <dir>] [--json] [FILE…]
+  --workspace   lint every workspace member's src/ (default when no FILEs)
+  --root <dir>  workspace root (default: nearest ancestor with [workspace])
+  --json        machine-readable output
+exit codes: 0 clean, 1 findings, 2 usage/io error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => return usage_error(&format!("unknown flag {flag}")),
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            return usage_error("no workspace root found (looked for [workspace] in Cargo.toml)")
+        }
+    };
+
+    let report = if files.is_empty() {
+        fam_lint::lint_workspace(&root)
+    } else {
+        let mut findings = Vec::new();
+        let mut scanned = 0;
+        let mut err = None;
+        for f in &files {
+            match fam_lint::lint_file(&root, f) {
+                Ok(fs) => {
+                    scanned += 1;
+                    findings.extend(fs);
+                }
+                Err(e) => {
+                    err = Some(std::io::Error::new(e.kind(), format!("{}: {e}", f.display())));
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(fam_lint::Report { findings, files_scanned: scanned }),
+        }
+    };
+
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fam-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", fam_lint::to_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: {} {}", f.path, f.line, f.rule.id(), f.message);
+            if !f.snippet.is_empty() {
+                println!("    {}", f.snippet);
+            }
+        }
+        println!(
+            "fam-lint: {} finding{} across {} files",
+            report.findings.len(),
+            if report.findings.len() == 1 { "" } else { "s" },
+            report.files_scanned
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("fam-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walk up from the current directory to the manifest declaring
+/// `[workspace]`, so `cargo run -p fam-lint` works from any subdirectory.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

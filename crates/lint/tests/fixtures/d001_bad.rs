@@ -1,0 +1,6 @@
+//! D001 bad fixture: float ordering through `partial_cmp` and `f64::max`.
+
+pub fn pick(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}

@@ -1,0 +1,6 @@
+//! D001 good fixture: NaN-total ordering via `total_cmp`.
+
+pub fn pick(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs.last().copied().unwrap_or(f64::NEG_INFINITY)
+}

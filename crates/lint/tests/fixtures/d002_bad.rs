@@ -1,0 +1,13 @@
+//! D002 bad fixture: hash collections in a numeric crate.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &k in keys {
+        seen.insert(k);
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}

@@ -1,0 +1,13 @@
+//! D002 good fixture: ordered collections keep iteration deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &k in keys {
+        seen.insert(k);
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}

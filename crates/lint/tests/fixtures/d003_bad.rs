@@ -1,0 +1,7 @@
+//! D003 bad fixture: ambient clock and entropy in a numeric crate.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

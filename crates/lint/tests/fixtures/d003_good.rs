@@ -1,0 +1,7 @@
+//! D003 good fixture: time and randomness are injected, never ambient.
+
+use std::time::Duration;
+
+pub fn stamp(elapsed: Duration, seed: u64) -> (Duration, u64) {
+    (elapsed, seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+}

@@ -1,0 +1,7 @@
+//! K001 bad fixture: float accumulation shaped outside `fam_core::kernels`.
+
+pub fn moments(xs: &[f64]) -> (f64, f64) {
+    let total = xs.iter().sum::<f64>();
+    let weighted = xs.iter().enumerate().fold(0.0, |acc, (i, x)| acc + (i as f64) * x);
+    (total, weighted)
+}

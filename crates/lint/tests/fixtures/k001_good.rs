@@ -1,0 +1,9 @@
+//! K001 good fixture: reductions routed through the kernel crate.
+
+use fam_core::kernels::{lane_max, lane_sum};
+
+pub fn moments(xs: &[f64]) -> (f64, f64) {
+    let total = lane_sum(xs.len(), |i| xs[i]);
+    let peak = lane_max(f64::NEG_INFINITY, xs.len(), |i| xs[i]);
+    (total, peak)
+}

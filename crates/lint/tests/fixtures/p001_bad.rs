@@ -1,0 +1,9 @@
+//! P001 bad fixture: panicking calls and bare indexing on a request path.
+
+pub fn handle(parts: &[&str], table: &[f64]) -> f64 {
+    let idx: usize = parts[0].parse().unwrap();
+    if idx >= table.len() {
+        panic!("bad request index");
+    }
+    table[idx]
+}

@@ -1,0 +1,7 @@
+//! P001 good fixture: request paths return errors instead of panicking.
+
+pub fn handle(parts: &[&str], table: &[f64]) -> Result<f64, String> {
+    let first = parts.first().ok_or("empty request")?;
+    let idx: usize = first.parse().map_err(|e| format!("bad index: {e}"))?;
+    table.get(idx).copied().ok_or_else(|| format!("index {idx} out of range"))
+}

@@ -1,0 +1,20 @@
+//! Test-exemption fixture: `#[cfg(test)]` code may panic and hash freely.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn panics_are_fine_here() {
+        let started = Instant::now();
+        let mut m = HashMap::new();
+        m.insert("k", vec![1.0f64].iter().sum::<f64>());
+        assert!(m.get("k").unwrap().partial_cmp(&1.0).unwrap().is_eq());
+        assert!(started.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,5 @@
+//! U001 bad fixture: a crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn answer() -> u32 {
+    42
+}

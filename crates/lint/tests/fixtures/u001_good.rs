@@ -1,0 +1,6 @@
+//! U001 good fixture: the crate root forbids unsafe code.
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,6 @@
+//! Clean-waiver fixture: a reasoned waiver suppresses exactly its finding.
+
+pub fn pick(a: f64, b: f64) -> std::cmp::Ordering {
+    // fam-lint: allow(D001) -- mandatory PartialOrd shim over a total order
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}

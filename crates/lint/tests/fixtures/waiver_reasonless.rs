@@ -1,0 +1,7 @@
+//! W001 fixture: a waiver without a `-- reason` is itself a finding and
+//! does not suppress the underlying one.
+
+pub fn pick(a: f64, b: f64) -> std::cmp::Ordering {
+    // fam-lint: allow(D001)
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}

@@ -1,0 +1,6 @@
+//! W002 fixture: a waiver whose finding no longer exists is stale.
+
+pub fn pick(a: f64, b: f64) -> std::cmp::Ordering {
+    // fam-lint: allow(D001) -- delegates to the total ordering below
+    a.total_cmp(&b)
+}

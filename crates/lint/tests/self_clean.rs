@@ -1,0 +1,88 @@
+//! The linter's strongest test subject is this workspace itself: the
+//! tree must lint clean, and every `fam-lint: allow(...)` waiver in it
+//! must be load-bearing — deleting any one of them must produce a
+//! finding. A waiver that can be deleted for free is a stale waiver the
+//! linter failed to flag.
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+const WAIVER_MARKER: &str = "fam-lint: allow(";
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = fam_lint::lint_workspace(&workspace_root()).expect("lint workspace");
+    assert!(
+        report.is_clean(),
+        "workspace has unwaived findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{}: {} {}", f.path, f.line, f.rule.id(), f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the scan actually covered the tree (10 algo files, the
+    // core crate, serve, ml, compat shims, …), not an empty member list.
+    assert!(report.files_scanned >= 80, "only {} files scanned", report.files_scanned);
+}
+
+#[test]
+fn every_waiver_in_the_tree_is_load_bearing() {
+    let root = workspace_root();
+    let files = fam_lint::discover_files(&root).expect("discover files");
+    let mut waivers_checked = 0;
+
+    for path in &files {
+        let source = std::fs::read_to_string(path).expect("read source");
+        let rel =
+            path.strip_prefix(&root).expect("under root").to_string_lossy().replace('\\', "/");
+        let ctx = fam_lint::FileCtx::from_rel_path(&rel);
+        let occurrences = source.matches(WAIVER_MARKER).count();
+        // Doc comments may quote the marker (docs/LINTS.md examples live
+        // in rustdoc too); only implementation-comment waivers count, and
+        // those are exactly the ones whose removal must cause findings.
+        for nth in 0..occurrences {
+            let mutated = disable_nth_waiver(&source, nth);
+            if fam_lint::lint_source(&ctx, &source) == fam_lint::lint_source(&ctx, &mutated) {
+                // Quoted in a doc comment — not a real waiver; skip.
+                continue;
+            }
+            let findings = fam_lint::lint_source(&ctx, &mutated);
+            assert!(
+                !findings.is_empty(),
+                "{rel}: deleting waiver #{nth} produced no findings — it is dead weight"
+            );
+            waivers_checked += 1;
+        }
+    }
+
+    // The sweep waived real sites (repair.rs D001, deadline.rs D003,
+    // dp2d/cube D002, regret/stats K001, serve P001 bounds proofs…); if
+    // this count collapses the waiver audit has silently stopped working.
+    assert!(waivers_checked >= 15, "only {waivers_checked} load-bearing waivers found");
+}
+
+/// Neutralise the `nth` occurrence of the waiver marker so the comment
+/// survives (line numbers stay put) but no longer parses as a waiver.
+fn disable_nth_waiver(source: &str, nth: usize) -> String {
+    let mut out = String::with_capacity(source.len());
+    let mut rest = source;
+    let mut seen = 0;
+    while let Some(pos) = rest.find(WAIVER_MARKER) {
+        out.push_str(&rest[..pos]);
+        if seen == nth {
+            out.push_str("fam-lint: deleted(");
+        } else {
+            out.push_str(WAIVER_MARKER);
+        }
+        rest = &rest[pos + WAIVER_MARKER.len()..];
+        seen += 1;
+    }
+    out.push_str(rest);
+    out
+}

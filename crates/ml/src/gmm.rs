@@ -7,6 +7,7 @@
 //! initialization, EM with covariance regularization, log-likelihood
 //! tracking, and sampling.
 
+use fam_core::kernels::lane_max;
 use fam_core::randext::standard_normal;
 use fam_core::{FamError, Result};
 use rand::{Rng, RngCore};
@@ -137,7 +138,7 @@ impl Gmm {
                 for c in 0..k {
                     logs[c] = weights[c].ln() + mvn_log_pdf(x, &means[c], &chols[c]);
                 }
-                let mx = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mx = lane_max(f64::NEG_INFINITY, logs.len(), |i| logs[i]);
                 let sum_exp: f64 = logs.iter().map(|l| (l - mx).exp()).sum();
                 let log_norm = mx + sum_exp.ln();
                 total_ll += log_norm;
@@ -249,7 +250,7 @@ impl Gmm {
             .iter()
             .map(|c| c.weight.ln() + mvn_log_pdf(x, &c.mean, &c.chol))
             .collect();
-        let mx = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mx = lane_max(f64::NEG_INFINITY, logs.len(), |i| logs[i]);
         mx + logs.iter().map(|l| (l - mx).exp()).sum::<f64>().ln()
     }
 

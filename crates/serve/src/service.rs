@@ -757,17 +757,26 @@ fn permuted_dataset(
     let mut labels: Vec<String> = vec![String::new(); if labelled { n_new } else { 0 }];
     for (old_idx, slot) in remap.iter().enumerate() {
         if let Some(new_idx) = slot {
-            rows[*new_idx as usize] = old.point(old_idx).to_vec();
+            let new_idx = *new_idx as usize;
+            let row = rows
+                .get_mut(new_idx)
+                .ok_or(FamError::IndexOutOfBounds { index: new_idx, len: n_new })?;
+            *row = old.point(old_idx).to_vec();
             if labelled {
-                labels[*new_idx as usize] = old.label(old_idx).unwrap_or("").to_string();
+                let label = labels
+                    .get_mut(new_idx)
+                    .ok_or(FamError::IndexOutOfBounds { index: new_idx, len: n_new })?;
+                *label = old.label(old_idx).unwrap_or("").to_string();
             }
         }
     }
     let first_new = n_new - inserted.len();
-    for (j, coords) in inserted.iter().enumerate() {
-        rows[first_new + j] = coords.to_vec();
-        if labelled {
-            labels[first_new + j] = format!("inserted-{batch}-{j}");
+    for (row, coords) in rows.iter_mut().skip(first_new).zip(inserted) {
+        *row = coords.to_vec();
+    }
+    if labelled {
+        for (j, label) in labels.iter_mut().skip(first_new).enumerate() {
+            *label = format!("inserted-{batch}-{j}");
         }
     }
     let ds = Dataset::from_rows(rows)?;
