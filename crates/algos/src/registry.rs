@@ -30,10 +30,51 @@
 use std::ops::RangeInclusive;
 use std::sync::OnceLock;
 
-use fam_core::solve::{MeasureKind, SolveCtx, SolveOutput, SolverParams};
-use fam_core::{Dataset, FamError, Result, ScoreSource};
+use fam_core::solve::{MeasureKind, ReduceKind, SolveCtx, SolveOutput, SolverParams};
+use fam_core::{Dataset, FamError, Result, ScoreMatrix, ScoreSource};
+use fam_reduce::{ReduceSpec, Reduction};
 
 use crate::measure::{AngularMeasure, UniformAngleMeasure, UniformBoxMeasure};
+
+/// Which candidate reductions (`fam-reduce`) a solver's answer survives.
+///
+/// The skyline stage is **lossless for every monotone utility** — it
+/// keeps a best point per sample, so even exact solvers stay exact (and
+/// bit-identical in objective) on the reduced universe. The coreset
+/// stage discards near-duplicates under a declared regret target `ε`,
+/// which only heuristics may absorb: an exact solver's "exact" claim
+/// would silently become "exact up to ε".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reducible {
+    /// Reduction would change what the algorithm means (none today; kept
+    /// for completeness and custom registrations).
+    No,
+    /// Only the lossless skyline stage preserves the solver's contract
+    /// (exact solvers).
+    SkylineOnly,
+    /// Any reduction stage is acceptable (heuristics).
+    Any,
+}
+
+impl Reducible {
+    /// Whether a requested reduction pipeline is within this declaration.
+    pub fn allows(self, kind: ReduceKind) -> bool {
+        match kind {
+            ReduceKind::None => true,
+            ReduceKind::Skyline => self != Reducible::No,
+            ReduceKind::Coreset => self == Reducible::Any,
+        }
+    }
+
+    /// The `fam algos` / `GET /algos` rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reducible::No => "no",
+            Reducible::SkylineOnly => "skyline",
+            Reducible::Any => "any",
+        }
+    }
+}
 
 /// What a registered solver can do, declared up front so consumers can
 /// route requests (and reject unserviceable ones) without trial calls.
@@ -69,6 +110,10 @@ pub struct Caps {
     /// has not scored the database yet can skip the `O(nN)` sampling
     /// pass for them (advisory; `SolveCtx` always carries a matrix).
     pub needs_matrix: bool,
+    /// Which candidate reductions (`reduce=` parameter) this solver's
+    /// contract survives; the registry gates and applies them before
+    /// dispatch and remaps the answer back to original point ids.
+    pub reducible: Reducible,
 }
 
 /// One algorithm behind the unified API. Implementations delegate to the
@@ -203,12 +248,29 @@ impl SolverSpec {
                             },
                         )?;
                 }
+                "reduce" => {
+                    params.reduce =
+                        ReduceKind::parse(value).ok_or_else(|| FamError::InvalidParameter {
+                            name: "param",
+                            message: format!("unknown reduction `{value}` (none|skyline|coreset)"),
+                        })?;
+                }
+                "reduce-eps" | "reduce_eps" => {
+                    params.reduce_eps = value
+                        .parse()
+                        .ok()
+                        .filter(|e: &f64| *e > 0.0 && *e < 1.0)
+                        .ok_or_else(|| FamError::InvalidParameter {
+                        name: "param",
+                        message: format!("reduce-eps wants a number in (0, 1), got `{value}`"),
+                    })?;
+                }
                 _ => {
                     return Err(FamError::InvalidParameter {
                         name: "param",
                         message: format!(
-                            "unknown parameter `{key}` \
-                             (seed|measure|max-passes|prune|lazy|cache|exact|epsilon|sigma)"
+                            "unknown parameter `{key}` (seed|measure|max-passes|prune|lazy|\
+                             cache|exact|epsilon|sigma|reduce|reduce-eps)"
                         ),
                     });
                 }
@@ -268,6 +330,12 @@ impl SolverSpec {
         }
         if p.sigma != d.sigma {
             out.push(("sigma".to_string(), p.sigma.to_string()));
+        }
+        if p.reduce != d.reduce {
+            out.push(("reduce".to_string(), p.reduce.name().to_string()));
+        }
+        if p.reduce_eps != d.reduce_eps {
+            out.push(("reduce-eps".to_string(), p.reduce_eps.to_string()));
         }
         out
     }
@@ -414,12 +482,84 @@ impl Registry {
         Ok(())
     }
 
+    /// Gates a requested reduction against the solver's declaration,
+    /// runs the `fam-reduce` pipeline, and restricts the context to the
+    /// kept universe. Returns the reduction (for output remapping), the
+    /// restricted matrix and dataset, and the inner parameters (reduce
+    /// fields cleared, seed mapped into reduced ids).
+    fn prepare_reduction(
+        solver: &dyn Solver,
+        params: &SolverParams,
+        matrix: &dyn ScoreSource,
+        dataset: Option<&Dataset>,
+    ) -> Result<(Reduction, ScoreMatrix, Dataset, SolverParams)> {
+        let spec = ReduceSpec::from_params(params);
+        spec.validate()?;
+        if !solver.capabilities().reducible.allows(params.reduce) {
+            return Err(FamError::unsupported(
+                solver.name(),
+                format!(
+                    "does not accept the lossy `reduce={}` stage \
+                     (declared reducible: {})",
+                    params.reduce.name(),
+                    solver.capabilities().reducible.name()
+                ),
+            ));
+        }
+        let ds = dataset.ok_or_else(|| {
+            FamError::unsupported(
+                solver.name(),
+                "candidate reduction needs the raw dataset coordinates in the solve context",
+            )
+        })?;
+        if ds.len() != matrix.n_points() {
+            return Err(FamError::DimensionMismatch { expected: ds.len(), got: matrix.n_points() });
+        }
+        let reduction = Reduction::compute(ds, spec)?;
+        if reduction.kept().len() < params.k {
+            return Err(FamError::InvalidParameter {
+                name: "reduce",
+                message: format!(
+                    "`{}` kept {} of {} candidates but k = {}; lower k, relax \
+                     reduce_eps, or solve with reduce=none",
+                    reduction.fingerprint(),
+                    reduction.kept().len(),
+                    reduction.source_len(),
+                    params.k
+                ),
+            });
+        }
+        let reduced_matrix = matrix.restricted(reduction.kept())?;
+        let reduced_ds = reduction.restrict_dataset(ds)?;
+        let mut inner = params.clone();
+        inner.reduce = ReduceKind::None;
+        inner.reduce_eps = fam_core::solve::DEFAULT_REDUCE_EPS;
+        if !inner.seed.is_empty() {
+            inner.seed = reduction.to_reduced(&inner.seed)?;
+        }
+        Ok((reduction, reduced_matrix, reduced_ds, inner))
+    }
+
+    /// Remaps a reduced-universe output back to original point ids and
+    /// stamps the reduction's footprint into the notes.
+    fn finish_reduced(reduction: &Reduction, out: &mut SolveOutput) -> Result<()> {
+        reduction.remap_output(out)?;
+        out.notes.push(("reduced_from", reduction.source_len() as f64));
+        out.notes.push(("reduced_to", reduction.kept().len() as f64));
+        Ok(())
+    }
+
     /// Resolves a spec and solves: capability validation, then dispatch.
+    /// When the spec requests a reduction (`reduce=skyline|coreset`), the
+    /// kept universe is computed first, the solver runs on the restricted
+    /// context, and the answer is remapped to original point ids (with
+    /// `reduced_from` / `reduced_to` notes attached).
     ///
     /// # Errors
     ///
     /// Returns [`FamError::Unsupported`] for unknown names or capability
-    /// violations, or the solver's own error.
+    /// violations (including a reduction outside [`Caps::reducible`]),
+    /// or the solver's own error.
     pub fn solve(
         &self,
         spec: &SolverSpec,
@@ -427,13 +567,23 @@ impl Registry {
         dataset: Option<&Dataset>,
     ) -> Result<SolveOutput> {
         let solver = self.require(&spec.name)?;
+        if spec.params.reduce != ReduceKind::None {
+            let (reduction, rm, rds, inner) =
+                Registry::prepare_reduction(solver, &spec.params, matrix, dataset)?;
+            let ctx = SolveCtx { matrix: &rm, dataset: Some(&rds), params: inner };
+            Registry::check_caps(solver, &ctx, false)?;
+            let mut out = solver.solve(&ctx)?;
+            Registry::finish_reduced(&reduction, &mut out)?;
+            return Ok(out);
+        }
         let ctx = SolveCtx { matrix, dataset, params: spec.params.clone() };
         Registry::check_caps(solver, &ctx, false)?;
         solver.solve(&ctx)
     }
 
     /// Resolves a spec and harvests every `k` in `ks` from one
-    /// trajectory.
+    /// trajectory. Reductions apply exactly as in [`Registry::solve`],
+    /// computed once for the whole range.
     ///
     /// # Errors
     ///
@@ -449,6 +599,17 @@ impl Registry {
         let solver = self.require(&spec.name)?;
         let mut params = spec.params.clone();
         params.k = *ks.end();
+        if params.reduce != ReduceKind::None {
+            let (reduction, rm, rds, inner) =
+                Registry::prepare_reduction(solver, &params, matrix, dataset)?;
+            let ctx = SolveCtx { matrix: &rm, dataset: Some(&rds), params: inner };
+            Registry::check_caps(solver, &ctx, true)?;
+            let mut outs = solver.solve_range(&ctx, ks)?;
+            for out in &mut outs {
+                Registry::finish_reduced(&reduction, out)?;
+            }
+            return Ok(outs);
+        }
         let ctx = SolveCtx { matrix, dataset, params };
         Registry::check_caps(solver, &ctx, true)?;
         solver.solve_range(&ctx, ks)
@@ -499,6 +660,7 @@ impl Solver for AddGreedySolver {
             reports_arr: true,
             exponential: false,
             needs_matrix: true,
+            reducible: Reducible::Any,
         }
     }
 
@@ -540,6 +702,7 @@ impl Solver for GreedyShrinkSolver {
             reports_arr: true,
             exponential: false,
             needs_matrix: true,
+            reducible: Reducible::Any,
         }
     }
 
@@ -600,6 +763,7 @@ impl Solver for Dp2dSolver {
             reports_arr: false,
             exponential: false,
             needs_matrix: false,
+            reducible: Reducible::SkylineOnly,
         }
     }
 
@@ -631,6 +795,7 @@ impl Solver for BruteForceSolver {
             reports_arr: true,
             exponential: true,
             needs_matrix: true,
+            reducible: Reducible::SkylineOnly,
         }
     }
 
@@ -658,6 +823,7 @@ impl Solver for CubeSolver {
             reports_arr: false,
             exponential: false,
             needs_matrix: false,
+            reducible: Reducible::Any,
         }
     }
 
@@ -686,6 +852,7 @@ impl Solver for KHitSolver {
             reports_arr: false,
             exponential: false,
             needs_matrix: true,
+            reducible: Reducible::Any,
         }
     }
 
@@ -713,6 +880,7 @@ impl Solver for LocalSearchSolver {
             reports_arr: true,
             exponential: false,
             needs_matrix: true,
+            reducible: Reducible::Any,
         }
     }
 
@@ -763,6 +931,7 @@ impl Solver for MrrGreedySolver {
             reports_arr: false,
             exponential: false,
             needs_matrix: true,
+            reducible: Reducible::Any,
         }
     }
 
@@ -798,6 +967,7 @@ impl Solver for MrrGreedyLpSolver {
             reports_arr: false,
             exponential: false,
             needs_matrix: false,
+            reducible: Reducible::Any,
         }
     }
 
@@ -825,6 +995,7 @@ impl Solver for SkyDomSolver {
             reports_arr: false,
             exponential: false,
             needs_matrix: false,
+            reducible: Reducible::Any,
         }
     }
 
@@ -933,6 +1104,82 @@ mod tests {
     }
 
     #[test]
+    fn reduction_gating_and_remapping() {
+        let mut rng = StdRng::seed_from_u64(46);
+        // Anti-correlated arc (20 skyline points) plus dominated interior
+        // points: k = 2 leaves genuinely positive regret, so the optimum
+        // is separated from fp noise and bit-identity is well-defined.
+        let mut rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let t = std::f64::consts::FRAC_PI_2 * (i as f64 + 0.5) / 20.0;
+                vec![t.cos(), t.sin()]
+            })
+            .collect();
+        rows.extend((0..10).map(|_| vec![rng.gen_range(0.05..0.5), rng.gen_range(0.05..0.5)]));
+        let ds = Dataset::from_rows(rows).unwrap();
+        let dist = fam_core::UniformLinear::new(2).unwrap();
+        let m = ScoreMatrix::from_distribution(&ds, &dist, 80, &mut rng).unwrap();
+        let r = Registry::standard();
+        // Exact solvers take the lossless skyline stage and answer the
+        // same objective as the unreduced solve, with original ids.
+        let plain = SolverSpec::new("brute-force", 2);
+        let reduced = SolverSpec::parse("brute-force", 2, &[("reduce", "skyline")]).unwrap();
+        let a = r.solve(&plain, &m, Some(&ds)).unwrap();
+        let b = r.solve(&reduced, &m, Some(&ds)).unwrap();
+        assert_eq!(
+            a.selection.objective.unwrap().to_bits(),
+            b.selection.objective.unwrap().to_bits(),
+            "skyline reduction must not move an exact objective"
+        );
+        assert_eq!(a.selection.indices, b.selection.indices);
+        assert_eq!(b.note("reduced_from"), Some(30.0));
+        let kept = b.note("reduced_to").unwrap();
+        assert!(kept > 0.0 && kept < 30.0, "random 2-D data has a proper skyline");
+        // ... but refuse the lossy coreset stage.
+        let lossy = SolverSpec::parse("brute-force", 3, &[("reduce", "coreset")]).unwrap();
+        let err = r.solve(&lossy, &m, Some(&ds)).unwrap_err();
+        assert!(matches!(err, FamError::Unsupported { .. }), "{err}");
+        // Heuristics accept it, and the answer uses original ids.
+        let lossy = SolverSpec::parse("greedy-shrink", 3, &[("reduce", "coreset")]).unwrap();
+        let out = r.solve(&lossy, &m, Some(&ds)).unwrap();
+        assert_eq!(out.selection.len(), 3);
+        assert!(out.selection.indices.iter().all(|&i| i < 30));
+        // Reduction is a coordinate-stage operation: no dataset, no deal.
+        let err = r.solve(&reduced, &m, None).unwrap_err();
+        assert!(matches!(err, FamError::Unsupported { .. }), "{err}");
+        // Warm seeds are remapped into the reduced universe; a pruned
+        // seed point is a clean parameter error.
+        let seeded = SolverSpec::parse(
+            "add-greedy",
+            3,
+            &[("reduce", "skyline"), ("seed", &b.selection.indices[0].to_string())],
+        )
+        .unwrap();
+        let out = r.solve(&seeded, &m, Some(&ds)).unwrap();
+        assert!(out.selection.indices.contains(&b.selection.indices[0]));
+        // Over-reduction relative to k is reported, not mis-solved.
+        let big_k = SolverSpec::parse("greedy-shrink", 29, &[("reduce", "skyline")]).unwrap();
+        let err = r.solve(&big_k, &m, Some(&ds)).unwrap_err();
+        assert!(err.to_string().contains("reduce=none"), "{err}");
+        // Range harvests remap every entry of the trajectory.
+        let range = SolverSpec::parse("add-greedy", 3, &[("reduce", "skyline")]).unwrap();
+        let outs = r.solve_range(&range, &m, Some(&ds), 1..=3).unwrap();
+        assert_eq!(outs.len(), 3);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(out.selection.len(), i + 1);
+            assert_eq!(out.note("reduced_from"), Some(30.0));
+            let per_k = r
+                .solve(
+                    &SolverSpec::parse("add-greedy", i + 1, &[("reduce", "skyline")]).unwrap(),
+                    &m,
+                    Some(&ds),
+                )
+                .unwrap();
+            assert_eq!(out.selection.indices, per_k.selection.indices);
+        }
+    }
+
+    #[test]
     fn duplicate_registration_is_rejected() {
         let mut r = Registry::standard();
         let err = r.register(Box::new(KHitSolver)).unwrap_err();
@@ -964,6 +1211,14 @@ mod tests {
             if rng.gen_range(0..2) == 1 {
                 params.sigma = rng.gen_range(1..100) as f64 / 100.0;
             }
+            params.reduce = match rng.gen_range(0..3) {
+                0 => ReduceKind::None,
+                1 => ReduceKind::Skyline,
+                _ => ReduceKind::Coreset,
+            };
+            if rng.gen_range(0..2) == 1 {
+                params.reduce_eps = rng.gen_range(1..100) as f64 / 100.0;
+            }
             let spec = SolverSpec { name: "greedy-shrink".into(), params };
             let pairs = spec.to_pairs();
             let back = SolverSpec::parse(&spec.name, spec.params.k, &pairs).unwrap();
@@ -988,6 +1243,14 @@ mod tests {
         assert!(SolverSpec::parse("x", 1, &[("sigma", "0")]).is_err());
         assert!(SolverSpec::parse("x", 1, &[("sigma", "1")]).is_err());
         assert!(SolverSpec::parse("x", 1, &[("sigma", "5")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("reduce", "quantum")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("reduce-eps", "0")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("reduce-eps", "1")]).is_err());
+        assert!(SolverSpec::parse("x", 1, &[("reduce-eps", "soon")]).is_err());
+        let spec =
+            SolverSpec::parse("x", 2, &[("reduce", "coreset"), ("reduce_eps", "0.1")]).unwrap();
+        assert_eq!(spec.params.reduce, ReduceKind::Coreset);
+        assert_eq!(spec.params.reduce_eps, 0.1);
         assert!(SolverSpec::parse_args("x", 1, &["lazy"]).is_err());
         let spec = SolverSpec::parse_args("x", 2, &["seed=3,1", "exact=1"]).unwrap();
         assert_eq!(spec.params.seed, vec![3, 1]);

@@ -67,7 +67,9 @@ fn usage() -> String {
      solve     --data FILE --k K [--algo NAME] [--param key=val ...]\n            \
      [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--labelled]\n            \
      (NAME is any registry entry - see `fam algos`; params: seed=i,j,.. measure=box|angle\n            \
-     max-passes=N prune|lazy|cache|exact=true|false)\n  \
+     max-passes=N prune|lazy|cache|exact=true|false reduce=none|skyline|coreset reduce-eps=E;\n            \
+     reduce=skyline prunes candidates losslessly and streams the score build in tiles, so\n            \
+     million-point datasets fit the matrix budget)\n  \
      select    --data FILE --k K [--algo greedy-shrink|add-greedy|mrr-greedy|sky-dom|k-hit|dp|brute-force]\n            \
      [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--compact] [--labelled]\n  \
      evaluate  --data FILE --selection I,J,K [--samples N] [--seed S] [--labelled]\n  \
@@ -80,6 +82,8 @@ fn usage() -> String {
      delete indices refer to the point set at the start of each batch, swap-remove order)\n  \
      serve     --data FILE [--data FILE ...] [--port P] [--bind ADDR] [--workers W] [--cache-k LO..HI]\n            \
      [--samples N | --epsilon E --sigma G] [--dist uniform|simplex] [--seed S] [--labelled]\n            \
+     [--reduce none|skyline|coreset [--reduce-eps E]]  (reduce at build time: the engine holds\n            \
+     only the kept candidates, answers come back in original ids, updates repair the reduction)\n            \
      [--deadline-ms MS] [--max-pending N] [--keepalive-requests N] [--idle-ms MS] [--retry-after SECS]\n            \
      (HTTP endpoints: GET /healthz, /readyz, /datasets, /algos, /solve?dataset=..&k=..&algo=..,\n            \
      /evaluate?dataset=..&selection=.., /stats; POST /update?dataset=.. with an op-stream body;\n            \

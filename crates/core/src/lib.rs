@@ -78,9 +78,9 @@ pub use sampling::{
     check_matrix_budget, chernoff_epsilon, chernoff_sample_size, PrecisionSpec, SampleSpec,
     DEFAULT_SIGMA,
 };
-pub use scores::{ScoreMatrix, ScoreSource};
+pub use scores::{ScoreMatrix, ScoreSource, TiledBuildStats};
 pub use selection::Selection;
-pub use solve::{MeasureKind, SolveCtx, SolveOutput, SolverParams};
+pub use solve::{MeasureKind, ReduceKind, SolveCtx, SolveOutput, SolverParams};
 pub use utility::{CobbDouglasUtility, LinearUtility, TableUtility, UtilityFunction};
 
 /// Commonly used items, for glob import in examples and tests.
@@ -102,6 +102,6 @@ pub mod prelude {
     };
     pub use crate::scores::{ScoreMatrix, ScoreSource};
     pub use crate::selection::Selection;
-    pub use crate::solve::{MeasureKind, SolveCtx, SolveOutput, SolverParams};
+    pub use crate::solve::{MeasureKind, ReduceKind, SolveCtx, SolveOutput, SolverParams};
     pub use crate::utility::{CobbDouglasUtility, LinearUtility, TableUtility, UtilityFunction};
 }

@@ -158,6 +158,151 @@ impl LinearScores {
         })
     }
 
+    /// Appends new linear utility samples **in place** from explicit
+    /// weight vectors — the sample-append path that keeps progressive
+    /// precision available on the compact substrate (the
+    /// [`crate::ScoreMatrix`] twin is
+    /// [`crate::ScoreMatrix::append_samples_flat`]). The weight buffer
+    /// extends at the end, the best-point pass runs over the new samples
+    /// only, and per-sample probabilities re-spread to `1/N` — so every
+    /// observable value is **bit-identical** to
+    /// [`LinearScores::from_weight_rows`] over the concatenated rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving the substrate untouched) for ragged,
+    /// non-finite, negative, or degenerate (all-zero-scoring) rows; the
+    /// reported row index is absolute, matching the from-scratch build.
+    pub fn append_weight_rows(&mut self, rows: &[Vec<f64>]) -> Result<()> {
+        let d = self.dim;
+        let n_old = self.sample_weights.len();
+        let mut staged = Vec::with_capacity(rows.len() * d);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != d {
+                return Err(FamError::DimensionMismatch { expected: d, got: r.len() });
+            }
+            for (j, v) in r.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(FamError::NonFinite { row: n_old + i, col: j });
+                }
+                if *v < 0.0 {
+                    return Err(FamError::NegativeValue { row: n_old + i, col: j });
+                }
+                staged.push(*v);
+            }
+        }
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let n = self.dataset.len();
+        let flat = self.dataset.as_flat();
+        // Same chunked best pass as `finish`, shifted to absolute sample
+        // indices; staged state commits only after every row validated.
+        let per_sample = crate::par::map_adaptive(rows.len(), n * d, |range| {
+            range
+                .map(|i| {
+                    let w = &staged[i * d..(i + 1) * d];
+                    let (bi, bv) = crate::kernels::linear_best(w, flat, d);
+                    if bv <= 0.0 {
+                        return Err(FamError::DegenerateUtility { sample: n_old + i });
+                    }
+                    Ok((bi, bv))
+                })
+                .collect::<Result<Vec<_>>>()
+        });
+        let mut bests = Vec::with_capacity(rows.len());
+        for chunk in per_sample {
+            bests.extend(chunk?);
+        }
+        self.weights.extend_from_slice(&staged);
+        for (bi, bv) in bests {
+            self.best_index.push(bi);
+            self.best_value.push(bv);
+        }
+        let n_new = n_old + rows.len();
+        self.sample_weights.clear();
+        self.sample_weights.resize(n_new, 1.0 / n_new as f64);
+        Ok(())
+    }
+
+    /// Appends sampled utility functions, which must all be linear
+    /// (expose [`crate::UtilityFunction::linear_weights`]) of the
+    /// substrate's dimensionality. See
+    /// [`LinearScores::append_weight_rows`] for the in-place/bit-identity
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`LinearScores::append_weight_rows`]; a non-linear function
+    /// reports [`FamError::InvalidParameter`] (materialize a
+    /// [`crate::ScoreMatrix`] for those instead).
+    pub fn append_functions(
+        &mut self,
+        functions: &[std::sync::Arc<dyn crate::utility::UtilityFunction>],
+    ) -> Result<()> {
+        let mut rows = Vec::with_capacity(functions.len());
+        for f in functions {
+            match f.linear_weights() {
+                Some(w) if w.len() == self.dim => rows.push(w.to_vec()),
+                Some(w) => {
+                    return Err(FamError::DimensionMismatch { expected: self.dim, got: w.len() })
+                }
+                None => {
+                    return Err(FamError::InvalidParameter {
+                        name: "functions",
+                        message: "LinearScores appends linear utilities only; \
+                                  materialize a ScoreMatrix for general functions"
+                            .into(),
+                    })
+                }
+            }
+        }
+        self.append_weight_rows(&rows)
+    }
+
+    /// Samples `count` fresh weight vectors i.i.d. uniform on `[0,1]^d`
+    /// and appends them — the incremental twin of
+    /// [`LinearScores::sample_uniform`]: continuing the **same** RNG that
+    /// built the substrate reproduces the from-scratch sample stream
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`LinearScores::append_weight_rows`].
+    pub fn append_uniform(&mut self, count: usize, rng: &mut dyn RngCore) -> Result<()> {
+        let d = self.dim;
+        let mut rows = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Identical rejection loop to `sample_uniform`, so the RNG
+            // consumption (and thus the stream continuation) matches.
+            loop {
+                let r: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..=1.0)).collect();
+                if r.iter().any(|w| *w > 0.0) {
+                    rows.push(r);
+                    break;
+                }
+            }
+        }
+        self.append_weight_rows(&rows)
+    }
+
+    /// Samples `count` fresh weight vectors uniform on the probability
+    /// simplex and appends them — the incremental twin of
+    /// [`LinearScores::sample_simplex`], with the same
+    /// stream-continuation contract as [`LinearScores::append_uniform`].
+    ///
+    /// # Errors
+    ///
+    /// As [`LinearScores::append_weight_rows`].
+    pub fn append_simplex(&mut self, count: usize, rng: &mut dyn RngCore) -> Result<()> {
+        let d = self.dim;
+        let mut rows = vec![vec![0.0; d]; count];
+        for r in &mut rows {
+            randext::uniform_simplex_into(rng, r);
+        }
+        self.append_weight_rows(&rows)
+    }
+
     /// The underlying dataset.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
@@ -278,6 +423,89 @@ mod tests {
             }
             let total: f64 = (0..200).map(|u| src.weight(u)).sum();
             assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn append_matches_from_scratch_bitwise() {
+        let ds = dataset();
+        // Build 30, append 50 continuing the same RNG; compare against a
+        // one-shot build of 80 from a fresh RNG with the same seed.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut grown = LinearScores::sample_uniform(ds.clone(), 30, &mut rng).unwrap();
+        grown.append_uniform(50, &mut rng).unwrap();
+        let fresh =
+            LinearScores::sample_uniform(ds.clone(), 80, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(grown.n_samples(), 80);
+        for u in 0..80 {
+            assert_eq!(grown.weight_vector(u), fresh.weight_vector(u), "sample {u}");
+            assert_eq!(grown.best_index(u), fresh.best_index(u));
+            assert_eq!(grown.best_value(u).to_bits(), fresh.best_value(u).to_bits());
+            assert_eq!(grown.weight(u).to_bits(), fresh.weight(u).to_bits());
+        }
+        // Same for the simplex sampler.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut grown = LinearScores::sample_simplex(ds.clone(), 20, &mut rng).unwrap();
+        grown.append_simplex(25, &mut rng).unwrap();
+        let fresh = LinearScores::sample_simplex(ds, 45, &mut StdRng::seed_from_u64(8)).unwrap();
+        for u in 0..45 {
+            assert_eq!(grown.weight_vector(u), fresh.weight_vector(u), "sample {u}");
+            assert_eq!(grown.best_value(u).to_bits(), fresh.best_value(u).to_bits());
+        }
+    }
+
+    #[test]
+    fn append_functions_takes_linear_utilities_only() {
+        use crate::utility::{LinearUtility, TableUtility};
+        use std::sync::Arc;
+        let ds = dataset();
+        let mut src =
+            LinearScores::from_weight_rows(ds.clone(), vec![vec![1.0, 0.0, 0.0]]).unwrap();
+        let linear: Vec<Arc<dyn crate::UtilityFunction>> =
+            vec![Arc::new(LinearUtility::new(vec![0.2, 0.5, 0.9]).unwrap())];
+        src.append_functions(&linear).unwrap();
+        assert_eq!(src.n_samples(), 2);
+        assert_eq!(src.weight_vector(1), &[0.2, 0.5, 0.9]);
+        // From-scratch equivalence over the concatenated rows.
+        let fresh = LinearScores::from_weight_rows(
+            ds.clone(),
+            vec![vec![1.0, 0.0, 0.0], vec![0.2, 0.5, 0.9]],
+        )
+        .unwrap();
+        for u in 0..2 {
+            assert_eq!(src.best_index(u), fresh.best_index(u));
+            assert_eq!(src.best_value(u).to_bits(), fresh.best_value(u).to_bits());
+            assert_eq!(src.weight(u).to_bits(), fresh.weight(u).to_bits());
+        }
+        let table: Vec<Arc<dyn crate::UtilityFunction>> =
+            vec![Arc::new(TableUtility::new(vec![0.5, 0.5, 0.5]).unwrap())];
+        assert!(src.append_functions(&table).is_err(), "non-linear utilities are rejected");
+        let wrong_dim: Vec<Arc<dyn crate::UtilityFunction>> =
+            vec![Arc::new(LinearUtility::new(vec![1.0]).unwrap())];
+        assert!(src.append_functions(&wrong_dim).is_err());
+        assert_eq!(src.n_samples(), 2, "failed appends leave the substrate untouched");
+    }
+
+    #[test]
+    fn append_rejections_are_atomic() {
+        let ds = dataset();
+        let mut src =
+            LinearScores::from_weight_rows(ds, vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]])
+                .unwrap();
+        let before = src.clone();
+        assert!(src.append_weight_rows(&[vec![1.0, 1.0]]).is_err(), "ragged");
+        assert!(src.append_weight_rows(&[vec![-1.0, 0.0, 0.0]]).is_err(), "negative");
+        assert!(src.append_weight_rows(&[vec![f64::NAN, 0.0, 0.0]]).is_err(), "non-finite");
+        assert!(
+            src.append_weight_rows(&[vec![1.0, 1.0, 1.0], vec![0.0, 0.0, 0.0]]).is_err(),
+            "degenerate row anywhere in the batch rejects the whole batch"
+        );
+        src.append_weight_rows(&[]).unwrap();
+        assert_eq!(src.n_samples(), before.n_samples());
+        for u in 0..2 {
+            assert_eq!(src.weight_vector(u), before.weight_vector(u));
+            assert_eq!(src.best_value(u).to_bits(), before.best_value(u).to_bits());
+            assert_eq!(src.weight(u).to_bits(), before.weight(u).to_bits());
         }
     }
 

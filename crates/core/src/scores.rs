@@ -84,6 +84,57 @@ pub trait ScoreSource: Send + Sync {
         let _ = p;
         None
     }
+
+    /// Materializes a dense matrix restricted to the given point columns
+    /// (in order), recomputing per-row bests over the restricted
+    /// universe — the substrate-generic entry point behind candidate
+    /// reduction (`fam-reduce`). [`ScoreMatrix`] overrides this with its
+    /// row-streaming [`ScoreMatrix::restrict_columns`]; the default probes
+    /// [`ScoreSource::score`] element-wise so recomputing substrates stay
+    /// valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `columns` is empty, out of bounds, or the
+    /// restriction makes some row degenerate (no positive score).
+    fn restricted(&self, columns: &[usize]) -> Result<ScoreMatrix> {
+        if columns.is_empty() {
+            return Err(FamError::EmptyDataset);
+        }
+        let n = self.n_points();
+        for &c in columns {
+            if c >= n {
+                return Err(FamError::IndexOutOfBounds { index: c, len: n });
+            }
+        }
+        let n_samples = self.n_samples();
+        let mut scores = Vec::with_capacity(n_samples * columns.len());
+        let mut weights = Vec::with_capacity(n_samples);
+        let mut best_index = Vec::with_capacity(n_samples);
+        let mut best_value = Vec::with_capacity(n_samples);
+        for u in 0..n_samples {
+            let start = scores.len();
+            for &c in columns {
+                scores.push(self.score(u, c));
+            }
+            // Weights pass through bit-for-bit (the trait contract already
+            // has them summing to 1) — re-normalizing would perturb them
+            // by an ULP and break reduced-objective bit-identity.
+            weights.push(self.weight(u));
+            let (bi, bv) = row_best_checked(&scores[start..], u)?;
+            best_index.push(bi);
+            best_value.push(bv);
+        }
+        Ok(ScoreMatrix::assemble(
+            scores,
+            n_samples,
+            columns.len(),
+            weights,
+            true,
+            best_index,
+            best_value,
+        ))
+    }
 }
 
 impl ScoreSource for ScoreMatrix {
@@ -125,6 +176,10 @@ impl ScoreSource for ScoreMatrix {
     #[inline]
     fn column_slice(&self, p: usize) -> Option<&[f64]> {
         ScoreMatrix::column(self, p)
+    }
+
+    fn restricted(&self, columns: &[usize]) -> Result<ScoreMatrix> {
+        ScoreMatrix::restrict_columns(self, columns)
     }
 }
 
@@ -181,6 +236,26 @@ pub struct ScoreMatrix {
     weights: Vec<f64>,
     best_index: Vec<u32>,
     best_value: Vec<f64>,
+}
+
+/// Per-sample summary of what a tiled reduced build
+/// ([`ScoreMatrix::from_distribution_tiled`]) left behind: how far the
+/// kept universe's best satisfaction falls short of the full database's,
+/// aggregated over samples. A skyline `keep` yields exactly `0.0`
+/// shortfall (the skyline contains a best point for every monotone
+/// utility); a coreset's shortfall is the regret actually introduced by
+/// reduction, to be compared against its declared `ε`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TiledBuildStats {
+    /// Points in the full (streamed) dataset.
+    pub source_points: usize,
+    /// Points kept — the built matrix's column count.
+    pub kept_points: usize,
+    /// Largest per-sample relative shortfall
+    /// `(sat(D, f) − sat(kept, f)) / sat(D, f)`.
+    pub max_shortfall: f64,
+    /// Mean per-sample relative shortfall (uniform over samples).
+    pub mean_shortfall: f64,
 }
 
 impl ScoreMatrix {
@@ -280,6 +355,178 @@ impl ScoreMatrix {
         );
         let (best_index, best_value) = merge_row_bests(per_chunk, n_samples)?;
         Ok(Self::assemble(scores, n_samples, n_points, weights, true, best_index, best_value))
+    }
+
+    /// Builds a matrix over the `keep` subset of `dataset`'s points by
+    /// sampling `n_samples` functions from `dist`, streaming the **full**
+    /// dataset in point bands so the dense `N × n` matrix is never
+    /// resident — only the `N × keep.len()` result is allocated, and the
+    /// [`crate::sampling::check_matrix_budget`] guard is applied to that
+    /// reduced footprint. This is what lets candidate reduction
+    /// (`fam-reduce`) put `n = 10^6`-point datasets in front of solvers
+    /// whose dense build would blow `FAM_MAX_MATRIX_BYTES`.
+    ///
+    /// The sample stream is identical to [`ScoreMatrix::from_distribution`]
+    /// (`dist.sample(rng)` per sample, in order), and the produced matrix
+    /// is **bit-identical** to `from_distribution(&dataset.subset(keep)?,
+    /// dist, n_samples, rng)` for coordinate-based utilities — pinned by
+    /// tests. The returned [`TiledBuildStats`] additionally report, per
+    /// sample, how far the kept universe's best falls short of the full
+    /// database's best (exactly `0.0` when `keep` is a skyline).
+    ///
+    /// Index-dependent utilities ([`crate::TableUtility`]) are not
+    /// supported here: the streaming pass scores points by coordinates
+    /// under their *original* index; materialize
+    /// [`Dataset::subset`] and use [`ScoreMatrix::from_functions`]
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `n_samples == 0`, `keep` is empty /
+    /// out of bounds / not strictly ascending, the reduced footprint
+    /// exceeds the matrix budget, or a sampled function is degenerate on
+    /// the kept universe.
+    pub fn from_distribution_tiled(
+        dataset: &Dataset,
+        dist: &dyn UtilityDistribution,
+        n_samples: usize,
+        rng: &mut dyn RngCore,
+        keep: &[usize],
+    ) -> Result<(Self, TiledBuildStats)> {
+        if n_samples == 0 {
+            return Err(FamError::InvalidParameter {
+                name: "n_samples",
+                message: "must be at least 1".into(),
+            });
+        }
+        crate::sampling::check_matrix_budget(n_samples, keep.len())?;
+        let functions: Vec<Arc<dyn UtilityFunction>> =
+            (0..n_samples).map(|_| dist.sample(rng)).collect();
+        Self::from_functions_tiled(dataset, &functions, None, keep)
+    }
+
+    /// [`ScoreMatrix::from_distribution_tiled`] with explicit utility
+    /// functions and optional weights; see there for the contract.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScoreMatrix::from_distribution_tiled`].
+    pub fn from_functions_tiled(
+        dataset: &Dataset,
+        functions: &[Arc<dyn UtilityFunction>],
+        weights: Option<Vec<f64>>,
+        keep: &[usize],
+    ) -> Result<(Self, TiledBuildStats)> {
+        if functions.is_empty() {
+            return Err(FamError::InvalidParameter {
+                name: "functions",
+                message: "must supply at least one utility function".into(),
+            });
+        }
+        if keep.is_empty() {
+            return Err(FamError::EmptyDataset);
+        }
+        let full_n = dataset.len();
+        for (i, &c) in keep.iter().enumerate() {
+            if c >= full_n {
+                return Err(FamError::IndexOutOfBounds { index: c, len: full_n });
+            }
+            if i > 0 && keep[i - 1] >= c {
+                return Err(FamError::InvalidParameter {
+                    name: "keep",
+                    message: "kept indices must be strictly ascending".into(),
+                });
+            }
+        }
+        let n_points = keep.len();
+        let n_samples = functions.len();
+        let weights = normalize_weights(weights, n_samples)?;
+        let flat = dataset.as_flat();
+        let dim = dataset.dim();
+        // One band of full-dataset scores per worker: scored through the
+        // same kernels as the dense build, summarized for the running
+        // full-database best, and drained into the kept columns — so the
+        // kept row is bit-equal to scoring the materialized subset, while
+        // the working set stays `O(band)` per worker.
+        let band_points = (crate::kernels::TILE * 8).min(full_n);
+        let mut scores = vec![0.0f64; n_samples * n_points];
+        let rows_per_chunk = (crate::par::CHUNK / n_points.max(1)).max(1);
+        let per_chunk = crate::par::for_each_chunk_mut_map(
+            &mut scores,
+            rows_per_chunk * n_points,
+            |chunk, out| {
+                let first_row = chunk * rows_per_chunk;
+                let mut band = vec![0.0f64; band_points];
+                out.chunks_mut(n_points)
+                    .enumerate()
+                    .map(|(local, row)| {
+                        let u = first_row + local;
+                        let f = &functions[u];
+                        let linear = match f.linear_weights() {
+                            Some(w) if w.len() == dim => Some(w),
+                            _ => None,
+                        };
+                        let mut full_best = f64::NEG_INFINITY;
+                        let mut cursor = 0usize;
+                        let mut b0 = 0usize;
+                        while b0 < full_n {
+                            let b1 = (b0 + band_points).min(full_n);
+                            let scratch = &mut band[..b1 - b0];
+                            match linear {
+                                Some(w) => {
+                                    let (_, bv, _) = crate::kernels::linear_score_row(
+                                        w,
+                                        &flat[b0 * dim..b1 * dim],
+                                        dim,
+                                        scratch,
+                                    );
+                                    if bv > full_best {
+                                        full_best = bv;
+                                    }
+                                }
+                                None => {
+                                    for (i, p) in (b0..b1).enumerate() {
+                                        scratch[i] = f.utility(p, dataset.point(p));
+                                    }
+                                    full_best =
+                                        crate::kernels::lane_max(full_best, scratch.len(), |i| {
+                                            scratch[i]
+                                        });
+                                }
+                            }
+                            while cursor < n_points && keep[cursor] < b1 {
+                                row[cursor] = scratch[keep[cursor] - b0];
+                                cursor += 1;
+                            }
+                            b0 = b1;
+                        }
+                        // The kept row's best goes through the same checked
+                        // pass as the dense build on the subset, so errors
+                        // and (index, value) bits agree with it exactly.
+                        row_best_checked(row, u).map(|best| (best, full_best))
+                    })
+                    .collect::<Result<Vec<_>>>()
+            },
+        );
+        let mut best_index = Vec::with_capacity(n_samples);
+        let mut best_value = Vec::with_capacity(n_samples);
+        let mut shortfall = Vec::with_capacity(n_samples);
+        for chunk in per_chunk {
+            for ((bi, bv), full_bv) in chunk? {
+                shortfall.push(if full_bv > bv { (full_bv - bv) / full_bv } else { 0.0 });
+                best_index.push(bi);
+                best_value.push(bv);
+            }
+        }
+        let stats = TiledBuildStats {
+            source_points: full_n,
+            kept_points: n_points,
+            max_shortfall: crate::kernels::lane_max(0.0, shortfall.len(), |u| shortfall[u]),
+            mean_shortfall: crate::kernels::lane_sum(shortfall.len(), |u| shortfall[u])
+                / n_samples as f64,
+        };
+        let m = Self::assemble(scores, n_samples, n_points, weights, true, best_index, best_value);
+        Ok((m, stats))
     }
 
     /// Builds the matrix by exact enumeration of a countable distribution
@@ -799,20 +1046,33 @@ impl ScoreMatrix {
                 return Err(FamError::IndexOutOfBounds { index: c, len: self.n_points });
             }
         }
+        // Assemble directly instead of round-tripping through the
+        // validating constructor: the rows are already validated, and the
+        // constructor would re-normalize the weights — perturbing every
+        // weight by an ULP when their fp sum is not exactly 1, which
+        // would break the bit-identity of skyline-reduced objectives.
         let mut scores = Vec::with_capacity(self.n_samples * columns.len());
+        let mut best_index = Vec::with_capacity(self.n_samples);
+        let mut best_value = Vec::with_capacity(self.n_samples);
         for u in 0..self.n_samples {
             let row = self.row(u);
+            let start = scores.len();
             for &c in columns {
                 scores.push(row[c]);
             }
+            let (bi, bv) = row_best_checked(&scores[start..], u)?;
+            best_index.push(bi);
+            best_value.push(bv);
         }
-        ScoreMatrix::from_flat_with_layout(
+        Ok(Self::assemble(
             scores,
             self.n_samples,
             columns.len(),
-            Some(self.weights.clone()),
+            self.weights.clone(),
             self.columns.is_some(),
-        )
+            best_index,
+            best_value,
+        ))
     }
 
     /// Pre-growth checks shared by every append entry point; cheap and
@@ -1292,6 +1552,66 @@ mod tests {
         assert!((m.weight(0) - 0.25).abs() < 1e-12);
         assert!((m.weight(1) - 0.75).abs() < 1e-12);
         assert_eq!(m.best_index(1), 1);
+    }
+
+    #[test]
+    fn tiled_build_is_bit_identical_to_dense_build_on_the_subset() {
+        // The pinned contract from the tiled-build doc comment: for the
+        // same RNG stream, `from_distribution_tiled(D, keep)` equals
+        // `from_distribution(D.subset(keep))` in every stored bit.
+        let d = Dataset::from_rows(
+            (0..997) // deliberately not a multiple of the band width
+                .map(|i| {
+                    let x = (i as f64 * 0.7371).fract();
+                    vec![x, (1.0 - x) * 0.9, (i as f64 * 0.1313).fract()]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let keep: Vec<usize> = (0..d.len()).filter(|i| i % 7 == 0 || i % 11 == 3).collect();
+        let dist = UniformLinear::new(3).unwrap();
+        let mut rng_tiled = StdRng::seed_from_u64(42);
+        let (tiled, stats) =
+            ScoreMatrix::from_distribution_tiled(&d, &dist, 40, &mut rng_tiled, &keep).unwrap();
+        let mut rng_dense = StdRng::seed_from_u64(42);
+        let dense =
+            ScoreMatrix::from_distribution(&d.subset(&keep).unwrap(), &dist, 40, &mut rng_dense)
+                .unwrap();
+        // Same RNG seed, same sampling order → same functions; now every
+        // stored field must agree bitwise.
+        assert_eq!(tiled.n_samples(), dense.n_samples());
+        assert_eq!(tiled.n_points(), dense.n_points());
+        for u in 0..40 {
+            assert_eq!(tiled.row(u), dense.row(u), "row {u}");
+            assert_eq!(tiled.best_index(u), dense.best_index(u));
+            assert_eq!(tiled.best_value(u).to_bits(), dense.best_value(u).to_bits());
+            assert_eq!(tiled.weight(u).to_bits(), dense.weight(u).to_bits());
+        }
+        // An arbitrary keep loses some best points, and the stats say so.
+        assert_eq!(stats.source_points, d.len());
+        assert_eq!(stats.kept_points, keep.len());
+        assert!(stats.max_shortfall > 0.0);
+        assert!(stats.mean_shortfall > 0.0);
+        assert!(stats.mean_shortfall <= stats.max_shortfall);
+        // A full keep loses nothing: shortfall is exactly zero.
+        let all: Vec<usize> = (0..d.len()).collect();
+        let mut rng_all = StdRng::seed_from_u64(42);
+        let (_, full_stats) =
+            ScoreMatrix::from_distribution_tiled(&d, &dist, 40, &mut rng_all, &all).unwrap();
+        assert_eq!(full_stats.max_shortfall, 0.0);
+        assert_eq!(full_stats.mean_shortfall, 0.0);
+    }
+
+    #[test]
+    fn tiled_build_validates_the_keep_list() {
+        let d = Dataset::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let dist = UniformLinear::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(ScoreMatrix::from_distribution_tiled(&d, &dist, 4, &mut rng, &[]).is_err());
+        assert!(ScoreMatrix::from_distribution_tiled(&d, &dist, 4, &mut rng, &[2]).is_err());
+        assert!(ScoreMatrix::from_distribution_tiled(&d, &dist, 4, &mut rng, &[1, 0]).is_err());
+        assert!(ScoreMatrix::from_distribution_tiled(&d, &dist, 4, &mut rng, &[0, 0]).is_err());
+        assert!(ScoreMatrix::from_distribution_tiled(&d, &dist, 0, &mut rng, &[0]).is_err());
     }
 
     /// From-scratch comparator for the incremental mutations: rebuilds a

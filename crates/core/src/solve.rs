@@ -81,6 +81,46 @@ impl MeasureKind {
     }
 }
 
+/// The candidate-reduction stage requested for a solve, named so it can
+/// travel through parsed parameters (the concrete reducers live in
+/// `fam-reduce`; the registry in `fam-algos` runs them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReduceKind {
+    /// No reduction: solve over the full point universe.
+    #[default]
+    None,
+    /// Exact dominance pruning: restrict candidates to the skyline.
+    /// Lossless for every monotone utility, so sound even for exact
+    /// solvers (bit-identical objective values).
+    Skyline,
+    /// Skyline followed by a directional ε-kernel: keeps the per-direction
+    /// argmax over a deterministic grid of positive-orthant directions.
+    /// Regret loss is bounded by the declared `reduce_eps`; sound for
+    /// heuristics only.
+    Coreset,
+}
+
+impl ReduceKind {
+    /// Parses the CLI/HTTP spelling (`none` | `skyline` | `coreset`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(ReduceKind::None),
+            "skyline" => Some(ReduceKind::Skyline),
+            "coreset" => Some(ReduceKind::Coreset),
+            _ => None,
+        }
+    }
+
+    /// The canonical parameter spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceKind::None => "none",
+            ReduceKind::Skyline => "skyline",
+            ReduceKind::Coreset => "coreset",
+        }
+    }
+}
+
 /// Typed per-call solver parameters. [`SolverParams::new`] gives every
 /// field its canonical default, under which a registered solver is
 /// bit-identical to its free-function counterpart.
@@ -114,11 +154,22 @@ pub struct SolverParams {
     /// Failure probability for the `epsilon` requirement (confidence is
     /// `1 - sigma`); defaults to [`crate::sampling::DEFAULT_SIGMA`].
     pub sigma: f64,
+    /// Candidate-reduction stage to run before dispatch (requires the raw
+    /// dataset in the context). The registry checks the solver's
+    /// `Caps::reducible` declaration and remaps the output back to
+    /// original point ids.
+    pub reduce: ReduceKind,
+    /// Declared regret bound for [`ReduceKind::Coreset`]; ignored for the
+    /// other stages. Defaults to [`DEFAULT_REDUCE_EPS`].
+    pub reduce_eps: f64,
 }
 
 /// Default `max_passes` for `local-search` (mirrors
 /// `LocalSearchConfig::default()` in `fam-algos`).
 pub const DEFAULT_MAX_PASSES: usize = 3;
+
+/// Default declared regret bound for coreset reduction.
+pub const DEFAULT_REDUCE_EPS: f64 = 0.05;
 
 impl SolverParams {
     /// Canonical parameters for output size `k`.
@@ -134,6 +185,8 @@ impl SolverParams {
             exact: false,
             epsilon: None,
             sigma: crate::sampling::DEFAULT_SIGMA,
+            reduce: ReduceKind::default(),
+            reduce_eps: DEFAULT_REDUCE_EPS,
         }
     }
 
@@ -239,6 +292,15 @@ mod tests {
     }
 
     #[test]
+    fn reduce_kind_round_trips() {
+        for kind in [ReduceKind::None, ReduceKind::Skyline, ReduceKind::Coreset] {
+            assert_eq!(ReduceKind::parse(kind.name()), Some(kind));
+        }
+        assert!(ReduceKind::parse("sample").is_none());
+        assert_eq!(ReduceKind::default(), ReduceKind::None);
+    }
+
+    #[test]
     fn canonical_params_detect_overrides() {
         let p = SolverParams::new(4);
         assert!(p.is_canonical());
@@ -254,8 +316,14 @@ mod tests {
         let mut q = p.clone();
         q.epsilon = Some(0.05);
         assert!(!q.is_canonical());
-        let mut q = p;
+        let mut q = p.clone();
         q.sigma = 0.01;
+        assert!(!q.is_canonical());
+        let mut q = p.clone();
+        q.reduce = ReduceKind::Skyline;
+        assert!(!q.is_canonical());
+        let mut q = p;
+        q.reduce_eps = 0.1;
         assert!(!q.is_canonical());
     }
 

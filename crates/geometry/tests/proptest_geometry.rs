@@ -122,3 +122,30 @@ proptest! {
         prop_assert_eq!(ones, xs.iter().copied().collect::<Vec<_>>());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The skyline is a property of the point *set*: permuting the input
+    /// rows permutes the skyline indices and changes nothing else. The
+    /// candidate-reduction layer leans on this — a reduced universe must
+    /// not depend on storage order beyond the id relabeling.
+    #[test]
+    fn skyline_is_invariant_under_input_permutation(
+        ds in dataset_strategy(40, 3),
+        shift in 1usize..37,
+    ) {
+        let n = ds.len();
+        // A coprime stride visits every slot: perm[new] = old.
+        let stride = if n % 37 == 0 { 1 } else { 37 };
+        let perm: Vec<usize> = (0..n).map(|i| (shift + i * stride) % n).collect();
+        let shuffled =
+            Dataset::from_rows(perm.iter().map(|&old| ds.point(old).to_vec()).collect()).unwrap();
+        let base = skyline_sfs(&ds);
+        let moved = skyline_sfs(&shuffled);
+        // Map the shuffled skyline back into original ids.
+        let mut back: Vec<usize> = moved.iter().map(|&new| perm[new]).collect();
+        back.sort_unstable();
+        prop_assert_eq!(&back, &base);
+    }
+}

@@ -61,6 +61,7 @@ pub mod server;
 pub mod service;
 
 pub use client::{Client, ClientOptions, Response};
+pub use fam_reduce::ReduceSpec;
 pub use server::{Server, ServerHandle, ServerOptions, DEFAULT_WORKERS};
 pub use service::{
     DatasetService, DistKind, RefineRoundSummary, RefineSummary, ServeOptions, SolveResult,

@@ -34,7 +34,7 @@
 //! | `/readyz` | GET | — (readiness: 200 with generation ids, 503 while draining) |
 //! | `/datasets` | GET | — |
 //! | `/algos` | GET | — (the solver registry with per-algorithm capabilities) |
-//! | `/solve` | GET | `dataset`, `k`, `algo` (any registered name, default `add-greedy`), `deadline_ms`, plus solver params (`seed`, `measure`, `max-passes`, `prune`, `lazy`, `cache`, `exact`, `epsilon`, `sigma`) |
+//! | `/solve` | GET | `dataset`, `k`, `algo` (any registered name, default `add-greedy`), `deadline_ms`, plus solver params (`seed`, `measure`, `max-passes`, `prune`, `lazy`, `cache`, `exact`, `epsilon`, `sigma`, `reduce`, `reduce-eps`) |
 //! | `/evaluate` | GET | `dataset`, `selection` (comma-separated indices) |
 //! | `/update` | POST | `dataset`, `deadline_ms`; body = op stream (`insert,c0,..` / `delete,IDX`) |
 //! | `/refine` | POST | `dataset`, `epsilon`, optional `sigma`, `deadline_ms` — publishes a precision-upgraded generation (Chernoff-driven sample growth + cache re-harvest) |
@@ -553,6 +553,8 @@ fn dataset_summary(name: &str, gen: &Generation) -> String {
         .str("name", name)
         .num("generation", gen.id)
         .num("n_points", svc.n_points() as u64)
+        .str("reduction", &svc.reduction_fingerprint())
+        .num("source_points", svc.source_points() as u64)
         .num("n_samples", svc.n_samples() as u64)
         .num("dim", svc.dim() as u64)
         .raw("cache_k", &format!("[{},{}]", svc.cache_k().start(), svc.cache_k().end()))
@@ -647,7 +649,8 @@ fn list_algos() -> (u16, String) {
             .bool("needs_dataset", caps.needs_dataset)
             .bool("reports_arr", caps.reports_arr)
             .bool("exponential", caps.exponential)
-            .bool("needs_matrix", caps.needs_matrix);
+            .bool("needs_matrix", caps.needs_matrix)
+            .str("reducible", caps.reducible.name());
         obj = match caps.dimension {
             Some(d) => obj.num("dimension", d as u64),
             None => obj.raw("dimension", "null"),
@@ -818,12 +821,19 @@ fn stats(state: &ServerState) -> (u16, String) {
     for (name, ds) in &state.datasets {
         let gen = ds.snapshot();
         let svc = &gen.service;
+        let mut obj = Obj::new()
+            .str("name", name)
+            .num("generation", gen.id)
+            .num("n_points", svc.n_points() as u64)
+            .str("reduction", &svc.reduction_fingerprint())
+            .num("source_points", svc.source_points() as u64);
+        if let Some(s) = svc.reduce_stats() {
+            obj = obj
+                .float("reduce_max_shortfall", s.max_shortfall)
+                .float("reduce_mean_shortfall", s.mean_shortfall);
+        }
         items.push(
-            Obj::new()
-                .str("name", name)
-                .num("generation", gen.id)
-                .num("n_points", svc.n_points() as u64)
-                .num("n_samples", svc.n_samples() as u64)
+            obj.num("n_samples", svc.n_samples() as u64)
                 .num("seed", svc.seed())
                 .float("sigma", svc.sigma())
                 .float("achieved_epsilon", svc.achieved_epsilon())

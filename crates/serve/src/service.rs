@@ -24,10 +24,12 @@ use std::sync::Arc;
 use fam_algos::{reoptimize, warm_repair, Registry, Solver, SolverSpec};
 use fam_core::{
     check_matrix_budget, chernoff_epsilon, failpoints, regret, ApplyReport, Dataset, Deadline,
-    DynamicEngine, FamError, PrecisionSpec, RegretReport, Result, ScoreMatrix, SimplexLinear,
-    SolverParams, UniformLinear, UpdateBatch, UtilityDistribution, UtilityFunction, DEFAULT_SIGMA,
+    DynamicEngine, FamError, PrecisionSpec, ReduceKind, RegretReport, Result, ScoreMatrix,
+    SimplexLinear, SolverParams, TiledBuildStats, UniformLinear, UpdateBatch, UtilityDistribution,
+    UtilityFunction, DEFAULT_SIGMA,
 };
 use fam_data::UpdateOp;
+use fam_reduce::{ReduceSpec, Reduction, ReductionRepair};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -76,6 +78,15 @@ pub struct ServeOptions {
     /// the default confidence for `POST /refine`); confidence is
     /// `1 - sigma`.
     pub sigma: f64,
+    /// Build-time candidate reduction (`fam_reduce`). When non-none, the
+    /// resident matrix is built **tiled over the kept points only** —
+    /// the full dataset is streamed in bands and the dense `N × n`
+    /// matrix is never resident — so million-point datasets can be
+    /// served under the default `FAM_MAX_MATRIX_BYTES` budget. Every
+    /// answer is remapped to original point ids; updates repair the
+    /// reduction incrementally ([`fam_reduce::Reduction::repair`]) and
+    /// recompute it only when a kept member is deleted.
+    pub reduce: ReduceSpec,
 }
 
 impl Default for ServeOptions {
@@ -86,6 +97,7 @@ impl Default for ServeOptions {
             dist: DistKind::Uniform,
             cache_k: 1..=10,
             sigma: DEFAULT_SIGMA,
+            reduce: ReduceSpec::none(),
         }
     }
 }
@@ -186,9 +198,13 @@ pub struct DatasetService {
     engine: DynamicEngine,
     /// The current point coordinates, in the engine's point order —
     /// kept in lockstep with the matrix through every update so
-    /// coordinate-based solvers answer against the live universe.
+    /// coordinate-based solvers answer against the live universe. On a
+    /// reduced service this mirrors the **kept** universe only.
     dataset: Dataset,
-    cache: BTreeMap<(String, usize), SolveResult>,
+    /// Result cache, keyed `(algorithm, k, reduction fingerprint)`: the
+    /// fingerprint names the candidate universe an entry was solved on,
+    /// so entries from differently-reduced builds can never alias.
+    cache: BTreeMap<(String, usize, String), SolveResult>,
     cache_k: RangeInclusive<usize>,
     updates: u64,
     /// The distribution family and build seed, retained so `refine` can
@@ -202,13 +218,78 @@ pub struct DatasetService {
     /// each `refine` call).
     sigma: f64,
     refines: u64,
+    /// Present when the service was built with a non-none
+    /// [`ServeOptions::reduce`]: the resident engine then holds the
+    /// *reduced* universe and every served answer is remapped through
+    /// [`ReducedResident::cols`] back to original point ids.
+    reduced: Option<ReducedResident>,
+}
+
+/// The reduced-resident state: the live full-universe coordinates, the
+/// reduction over them, and the engine-column → full-id mapping (the
+/// engine permutes its columns by swap-remove on updates, so the sorted
+/// `reduction.kept()` list alone cannot address live columns).
+#[derive(Clone)]
+struct ReducedResident {
+    spec: ReduceSpec,
+    reduction: Reduction,
+    /// Live full-universe coordinates (updates apply here first, then
+    /// repair the reduction, then translate to engine ops).
+    full: Dataset,
+    /// `cols[engine_column] = full-universe id`, maintained through
+    /// every update in lockstep with the engine's remap.
+    cols: Vec<usize>,
+    /// Shortfall stats from the build-time tiled scoring pass.
+    stats: TiledBuildStats,
+}
+
+/// Maps engine-universe indices to full-universe ids (ascending).
+fn to_original(indices: &[usize], cols: &[usize]) -> Vec<usize> {
+    // fam-lint: allow(P001) -- engine selection indices are < n_points == cols.len() by the resident-universe invariant
+    let mut v: Vec<usize> = indices.iter().map(|&i| cols[i]).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Replicates [`ScoreMatrix::delete_points`]' canonical swap-remove
+/// remap for a plain point universe (the reduced service's full-
+/// coordinate mirror has no matrix to delegate to): `remap[old]` is the
+/// survivor's new slot, `None` for deleted points.
+fn swap_remove_remap(n_old: usize, delete: &[usize]) -> Result<Vec<Option<u32>>> {
+    let mut dead = vec![false; n_old];
+    for &p in delete {
+        match dead.get_mut(p) {
+            None => return Err(FamError::IndexOutOfBounds { index: p, len: n_old }),
+            Some(true) => {
+                return Err(FamError::InvalidParameter {
+                    name: "delete",
+                    message: format!("duplicate point index {p}"),
+                });
+            }
+            Some(d) => *d = true,
+        }
+    }
+    let mut dels: Vec<usize> = delete.to_vec();
+    dels.sort_unstable();
+    let mut order: Vec<u32> = (0..n_old as u32).collect();
+    for &d in dels.iter().rev() {
+        order.swap_remove(d);
+    }
+    let mut remap: Vec<Option<u32>> = vec![None; n_old];
+    for (slot, &p) in order.iter().enumerate() {
+        // fam-lint: allow(P001) -- order holds surviving original ids, all < n_old == remap.len()
+        remap[p as usize] = Some(slot as u32);
+    }
+    Ok(remap)
 }
 
 fn build_cache(
     m: &ScoreMatrix,
     ks: &RangeInclusive<usize>,
     deadline: &Deadline,
-) -> Result<BTreeMap<(String, usize), SolveResult>> {
+    fingerprint: &str,
+    cols: Option<&[usize]>,
+) -> Result<BTreeMap<(String, usize, String), SolveResult>> {
     // Chaos hook: the cache re-harvest is the expensive tail of every
     // update/refine; tests arm it to prove a failed harvest never
     // publishes a stale-cache generation.
@@ -221,9 +302,13 @@ fn build_cache(
         let outs = Registry::global().solve_range(&spec, m, None, ks.clone())?;
         for (i, out) in outs.into_iter().enumerate() {
             let arr = out.selection.objective.unwrap_or(f64::NAN);
+            let indices = match cols {
+                Some(cols) => to_original(&out.selection.indices, cols),
+                None => out.selection.indices,
+            };
             cache.insert(
-                (solver.name().to_string(), ks.start() + i),
-                SolveResult { indices: out.selection.indices, arr },
+                (solver.name().to_string(), ks.start() + i, fingerprint.to_string()),
+                SolveResult { indices, arr },
             );
         }
     }
@@ -263,15 +348,63 @@ impl DatasetService {
                 message: format!("must be in (0, 1), got {}", opts.sigma),
             });
         }
-        check_matrix_budget(opts.samples, dataset.len())?;
+        opts.reduce.validate()?;
+        let reduction = if opts.reduce.is_none() {
+            None
+        } else {
+            let r = Reduction::compute(dataset, opts.reduce)?;
+            if hi > r.kept().len() {
+                return Err(FamError::InvalidParameter {
+                    name: "cache_k",
+                    message: format!(
+                        "cache range {lo}..={hi} exceeds the {} points the `{}` reduction \
+                         kept of dataset `{name}`; relax reduce_eps or lower the range",
+                        r.kept().len(),
+                        r.fingerprint()
+                    ),
+                });
+            }
+            Some(r)
+        };
+        // Budget the *resident* footprint: on a reduced build that is the
+        // kept universe only — the tiled scoring pass streams the full
+        // dataset in bands and never materializes the dense `N × n`.
+        let budget_points = reduction.as_ref().map_or(dataset.len(), |r| r.kept().len());
+        check_matrix_budget(opts.samples, budget_points)?;
         let dist = opts.dist.build(dataset.dim())?;
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let functions: Vec<Arc<dyn UtilityFunction>> =
             (0..opts.samples).map(|_| dist.sample(&mut rng)).collect();
-        let matrix = ScoreMatrix::from_functions(dataset, &functions, None)?;
-        let cache = build_cache(&matrix, &opts.cache_k, &Deadline::none())?;
+        let (matrix, mirror, reduced) = match reduction {
+            None => {
+                (ScoreMatrix::from_functions(dataset, &functions, None)?, dataset.clone(), None)
+            }
+            Some(reduction) => {
+                let (matrix, stats) =
+                    ScoreMatrix::from_functions_tiled(dataset, &functions, None, reduction.kept())?;
+                let mirror = reduction.restrict_dataset(dataset)?;
+                let cols = reduction.kept().to_vec();
+                let state = ReducedResident {
+                    spec: opts.reduce,
+                    reduction,
+                    full: dataset.clone(),
+                    cols,
+                    stats,
+                };
+                (matrix, mirror, Some(state))
+            }
+        };
+        let fingerprint =
+            reduced.as_ref().map_or_else(|| "none".to_string(), |r| r.reduction.fingerprint());
+        let cache = build_cache(
+            &matrix,
+            &opts.cache_k,
+            &Deadline::none(),
+            &fingerprint,
+            reduced.as_ref().map(|r| r.cols.as_slice()),
+        )?;
         let initial = cache
-            .get(&("add-greedy".to_string(), hi))
+            .get(&("add-greedy".to_string(), hi, fingerprint))
             .ok_or_else(|| {
                 FamError::unsupported(
                     "add-greedy",
@@ -281,13 +414,20 @@ impl DatasetService {
             })?
             .indices
             .clone();
+        // Cache entries hold original ids; the engine lives in the
+        // reduced universe (at build time `cols` is the sorted kept list,
+        // so the reduction's own remap applies).
+        let initial = match &reduced {
+            Some(r) => r.reduction.to_reduced(&initial)?,
+            None => initial,
+        };
         let engine = DynamicEngine::new(matrix, hi, &initial)?;
         Ok(DatasetService {
             name: name.to_string(),
             dim: dataset.dim(),
             functions,
             engine,
-            dataset: dataset.clone(),
+            dataset: mirror,
             cache,
             cache_k: opts.cache_k.clone(),
             updates: 0,
@@ -296,6 +436,7 @@ impl DatasetService {
             rng,
             sigma: opts.sigma,
             refines: 0,
+            reduced,
         })
     }
 
@@ -351,10 +492,33 @@ impl DatasetService {
         chernoff_epsilon(self.n_samples() as u64, self.sigma).unwrap_or(f64::NAN)
     }
 
+    /// The reduction fingerprint of the resident candidate universe
+    /// (`"none"` for an unreduced service) — the third component of
+    /// every cache key.
+    pub fn reduction_fingerprint(&self) -> String {
+        self.reduced.as_ref().map_or_else(|| "none".to_string(), |r| r.reduction.fingerprint())
+    }
+
+    /// Points in the full (source) database: equals
+    /// [`DatasetService::n_points`] on an unreduced service, the live
+    /// full-universe size on a reduced one.
+    pub fn source_points(&self) -> usize {
+        self.reduced.as_ref().map_or_else(|| self.n_points(), |r| r.full.len())
+    }
+
+    /// The build-time tiled-scoring shortfall stats of a reduced
+    /// service (`None` when unreduced).
+    pub fn reduce_stats(&self) -> Option<TiledBuildStats> {
+        self.reduced.as_ref().map(|r| r.stats)
+    }
+
     /// The resident warm-repaired selection (maintained at the top of the
-    /// cache range).
+    /// cache range), in original point ids.
     pub fn resident_selection(&self) -> Vec<usize> {
-        self.engine.selection()
+        match &self.reduced {
+            Some(r) => to_original(&self.engine.selection(), &r.cols),
+            None => self.engine.selection(),
+        }
     }
 
     /// `arr` of the resident selection.
@@ -373,10 +537,12 @@ impl DatasetService {
     }
 
     /// Whether a spec is answerable from the cache: canonical parameters
-    /// for a harvested `(algorithm, k)` entry.
-    fn cache_key(&self, spec: &SolverSpec) -> Option<(String, usize)> {
+    /// for a harvested `(algorithm, k)` entry. The key carries the
+    /// resident reduction fingerprint, so entries are bound to the
+    /// candidate universe they were solved on.
+    fn cache_key(&self, spec: &SolverSpec) -> Option<(String, usize, String)> {
         if spec.params.is_canonical() {
-            Some((spec.name.clone(), spec.params.k))
+            Some((spec.name.clone(), spec.params.k, self.reduction_fingerprint()))
         } else {
             None
         }
@@ -446,6 +612,24 @@ impl DatasetService {
     ) -> Result<(SolveResult, bool)> {
         let registry = Registry::global();
         let solver = registry.require(&spec.name)?;
+        // A per-request `reduce=` on an already-reduced service would
+        // stack reductions with undeclared semantics; on an unreduced
+        // service it flows straight through the registry's own
+        // reduction stage below.
+        if spec.params.reduce != ReduceKind::None {
+            if let Some(r) = &self.reduced {
+                return Err(FamError::InvalidParameter {
+                    name: "reduce",
+                    message: format!(
+                        "dataset `{}` was reduced at build time (`{}`); per-request \
+                         reduction is unavailable — drop the reduce parameter or serve \
+                         the dataset unreduced",
+                        self.name,
+                        r.reduction.fingerprint()
+                    ),
+                });
+            }
+        }
         let spec = if spec.params.epsilon.is_some() || spec.params.sigma != DEFAULT_SIGMA {
             // `sigma` without `epsilon` is inert — normalize it away too,
             // or it would silently force every such request past the
@@ -495,16 +679,45 @@ impl DatasetService {
             // estimate the sampled arr; evaluate their selection fresh.
             _ => regret::arr(m, &out.selection.indices)?,
         };
-        Ok((SolveResult { indices: out.selection.indices, arr }, false))
+        let indices = match &self.reduced {
+            Some(r) => to_original(&out.selection.indices, &r.cols),
+            None => out.selection.indices,
+        };
+        Ok((SolveResult { indices, arr }, false))
     }
 
-    /// Evaluates an explicit selection against the resident matrix.
+    /// Translates an original-universe selection to the engine's column
+    /// space on a reduced service (identity on an unreduced one).
+    fn to_engine_columns(&self, selection: &[usize]) -> Result<Vec<usize>> {
+        let Some(r) = &self.reduced else { return Ok(selection.to_vec()) };
+        selection
+            .iter()
+            .map(|&id| {
+                r.cols.iter().position(|&c| c == id).ok_or_else(|| FamError::InvalidParameter {
+                    name: "selection",
+                    message: format!(
+                        "point {id} is not in the candidate set the `{}` reduction kept \
+                         of dataset `{}` ({} of {} points)",
+                        r.reduction.fingerprint(),
+                        self.name,
+                        r.cols.len(),
+                        r.full.len()
+                    ),
+                })
+            })
+            .collect()
+    }
+
+    /// Evaluates an explicit selection (original point ids) against the
+    /// resident matrix.
     ///
     /// # Errors
     ///
-    /// Returns an error for out-of-bounds or duplicate indices.
+    /// Returns an error for out-of-bounds or duplicate indices, or (on a
+    /// reduced service) ids outside the kept candidate set.
     pub fn evaluate(&self, selection: &[usize]) -> Result<RegretReport> {
-        regret::report(self.engine.matrix(), selection)
+        let columns = self.to_engine_columns(selection)?;
+        regret::report(self.engine.matrix(), &columns)
     }
 
     /// Applies a parsed op stream as one atomic batch — deletes index the
@@ -540,7 +753,7 @@ impl DatasetService {
         deadline: &Deadline,
     ) -> Result<UpdateSummary> {
         deadline.check()?;
-        let mut batch = UpdateBatch::default();
+        let mut deletes: Vec<usize> = Vec::new();
         let mut inserted_coords: Vec<&[f64]> = Vec::new();
         for op in ops {
             match op {
@@ -565,20 +778,158 @@ impl DatasetService {
                             message: format!("negative coordinate {c} (points must be in R>=0)"),
                         });
                     }
-                    batch.insert.push(
-                        self.functions.iter().map(|f| f.utility(usize::MAX, coords)).collect(),
-                    );
                     inserted_coords.push(coords);
                 }
-                UpdateOp::Delete(idx) => batch.delete.push(*idx),
+                UpdateOp::Delete(idx) => deletes.push(*idx),
             }
         }
         deadline.check()?;
+        if self.reduced.is_some() {
+            return self.apply_ops_reduced(&deletes, &inserted_coords, deadline);
+        }
+        let mut batch = UpdateBatch::default();
+        for coords in &inserted_coords {
+            batch
+                .insert
+                .push(self.functions.iter().map(|f| f.utility(usize::MAX, coords)).collect());
+        }
+        batch.delete = deletes;
         let report = self.engine.apply_with(&batch, warm_repair)?;
         self.dataset =
             permuted_dataset(&self.dataset, &report.remap, &inserted_coords, self.updates)?;
-        self.cache = build_cache(self.engine.matrix(), &self.cache_k, deadline)?;
+        self.cache = build_cache(self.engine.matrix(), &self.cache_k, deadline, "none", None)?;
         self.updates += 1;
+        Ok(UpdateSummary { report, cache_entries: self.cache.len() })
+    }
+
+    /// The reduced service's update path. Ops address the **full**
+    /// universe (delete indices refer to the pre-batch full point set,
+    /// in the same swap-remove order as the unreduced engine): the full
+    /// coordinate mirror is updated first, the reduction is repaired
+    /// incrementally ([`Reduction::repair`] — a deleted kept member
+    /// forces a fresh recompute, everything else is bookkeeping plus a
+    /// dominance pass over the appended points), and the *difference*
+    /// between the old and new kept sets is translated into an engine
+    /// batch: evicted members become engine deletes, newly kept points
+    /// (appended survivors, or re-derived coreset picks) become engine
+    /// inserts scored under the resident user population.
+    fn apply_ops_reduced(
+        &mut self,
+        deletes: &[usize],
+        inserts: &[&[f64]],
+        deadline: &Deadline,
+    ) -> Result<UpdateSummary> {
+        let (new_full, new_reduction, col_survivor) = {
+            // fam-lint: allow(P001) -- apply_ops_within dispatches here only when self.reduced is Some, and no path clears it
+            let red = self.reduced.as_ref().expect("reduced service");
+            let n_full = red.full.len();
+            let remap = swap_remove_remap(n_full, deletes)?;
+            let survivors = n_full - deletes.len();
+            let appended = survivors..survivors + inserts.len();
+            let mut rows: Vec<Vec<f64>> = vec![Vec::new(); survivors + inserts.len()];
+            for (old, slot) in remap.iter().enumerate() {
+                if let Some(s) = slot {
+                    // fam-lint: allow(P001) -- swap-remove slots enumerate survivors, all < survivors <= rows.len()
+                    rows[*s as usize] = red.full.point(old).to_vec();
+                }
+            }
+            for (j, coords) in inserts.iter().enumerate() {
+                // fam-lint: allow(P001) -- rows was sized survivors + inserts.len(), so survivors + j is in bounds
+                rows[survivors + j] = coords.to_vec();
+            }
+            let new_full = Dataset::from_rows(rows)?;
+            let new_reduction = match red.reduction.repair(&new_full, &remap, appended)? {
+                ReductionRepair::Repaired(r) => r,
+                ReductionRepair::Recompute => Reduction::compute(&new_full, red.spec)?,
+            };
+            // Engine column -> new full id (`None` = that point died).
+            let col_survivor: Vec<Option<usize>> = red
+                .cols
+                .iter()
+                // fam-lint: allow(P001) -- cols entries are full-universe ids < n_full == remap.len()
+                .map(|&c| remap[c].map(|s| s as usize))
+                .collect();
+            (new_full, new_reduction, col_survivor)
+        };
+        let hi = *self.cache_k.end();
+        if new_reduction.kept().len() < hi {
+            return Err(FamError::InvalidParameter {
+                name: "reduce",
+                message: format!(
+                    "the update leaves the `{}` reduction of dataset `{}` with {} candidates, \
+                     fewer than the cached maximum k = {hi}",
+                    new_reduction.fingerprint(),
+                    self.name,
+                    new_reduction.kept().len()
+                ),
+            });
+        }
+        let kept = new_reduction.kept();
+        let mut batch = UpdateBatch::default();
+        let mut col_after: Vec<Option<usize>> = Vec::with_capacity(col_survivor.len());
+        for (p, slot) in col_survivor.iter().enumerate() {
+            match slot {
+                Some(nid) if kept.binary_search(nid).is_ok() => col_after.push(Some(*nid)),
+                _ => {
+                    batch.delete.push(p);
+                    col_after.push(None);
+                }
+            }
+        }
+        let resident: Vec<usize> = {
+            let mut v: Vec<usize> = col_after.iter().flatten().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let added_ids: Vec<usize> =
+            kept.iter().copied().filter(|id| resident.binary_search(id).is_err()).collect();
+        for &nid in &added_ids {
+            let coords = new_full.point(nid);
+            batch
+                .insert
+                .push(self.functions.iter().map(|f| f.utility(usize::MAX, coords)).collect());
+        }
+        deadline.check()?;
+        let mut report = self.engine.apply_with(&batch, warm_repair)?;
+        let added_coords: Vec<&[f64]> = added_ids.iter().map(|&nid| new_full.point(nid)).collect();
+        self.dataset = permuted_dataset(&self.dataset, &report.remap, &added_coords, self.updates)?;
+        let mut new_cols = vec![usize::MAX; report.n_points];
+        for (p, slot) in report.remap.iter().enumerate() {
+            if let Some(np) = slot {
+                // fam-lint: allow(P001) -- np < report.n_points == new_cols.len() and p < col_after.len() (the engine remaps exactly the columns we diffed); a survivor is by construction a column we did not put in batch.delete, so its col_after entry is Some
+                new_cols[*np as usize] = col_after[p].expect("engine survivor must be kept");
+            }
+        }
+        for (j, &nid) in added_ids.iter().enumerate() {
+            // fam-lint: allow(P001) -- inserted_range.start + j < report.n_points == new_cols.len() by the engine append contract
+            new_cols[report.inserted_range.start + j] = nid;
+        }
+        {
+            // fam-lint: allow(P001) -- same dispatch invariant: self.reduced is Some on this path
+            let red = self.reduced.as_mut().expect("reduced service");
+            red.full = new_full;
+            red.reduction = new_reduction;
+            red.cols = new_cols;
+        }
+        let fingerprint = self.reduction_fingerprint();
+        let cols = self.reduced.as_ref().map(|r| r.cols.clone());
+        self.cache = build_cache(
+            self.engine.matrix(),
+            &self.cache_k,
+            deadline,
+            &fingerprint,
+            cols.as_deref(),
+        )?;
+        self.updates += 1;
+        // The client-facing report counts the *client's* full-universe
+        // ops and answers in original ids; the repair fields keep
+        // describing the engine-side (kept-universe) work.
+        report.inserted = inserts.len();
+        report.deleted = deletes.len();
+        // fam-lint: allow(P001) -- same dispatch invariant: self.reduced is Some on this path
+        let red = self.reduced.as_ref().expect("reduced service");
+        report.selection = to_original(&report.selection, &red.cols);
+        report.kept = to_original(&report.kept, &red.cols);
         Ok(UpdateSummary { report, cache_entries: self.cache.len() })
     }
 
@@ -726,7 +1077,15 @@ impl DatasetService {
         // drop the cache entirely — misses fall through to (correct)
         // cold solves — rather than serve stale answers.
         self.cache.clear();
-        self.cache = build_cache(self.engine.matrix(), &self.cache_k, deadline)?;
+        let fingerprint = self.reduction_fingerprint();
+        let cols = self.reduced.as_ref().map(|r| r.cols.clone());
+        self.cache = build_cache(
+            self.engine.matrix(),
+            &self.cache_k,
+            deadline,
+            &fingerprint,
+            cols.as_deref(),
+        )?;
         self.sigma = sigma;
         self.refines += 1;
         Ok(RefineSummary {
@@ -1149,5 +1508,162 @@ mod tests {
         assert!((log2_binomial(100, 3) - (161_700f64).log2()).abs() < 1e-9);
         assert!(log2_binomial(100, 50) > 90.0);
         assert_eq!(log2_binomial(5, 0), 0.0);
+    }
+
+    fn reduced_options() -> ServeOptions {
+        ServeOptions { reduce: ReduceSpec::skyline(), cache_k: 1..=3, ..options() }
+    }
+
+    #[test]
+    fn reduced_build_serves_original_ids() {
+        let ds = dataset_2d(60);
+        let svc = DatasetService::build("red", &ds, &reduced_options()).unwrap();
+        let kept = Reduction::compute(&ds, ReduceSpec::skyline()).unwrap().kept().to_vec();
+        assert_eq!(svc.reduction_fingerprint(), "skyline");
+        assert_eq!(svc.source_points(), 60);
+        assert_eq!(svc.n_points(), kept.len(), "engine holds only the kept candidates");
+        assert!(kept.len() < 60, "anti-correlated 2-D data must still prune something");
+        let stats = svc.reduce_stats().unwrap();
+        assert_eq!(stats.source_points, 60);
+        assert_eq!(stats.kept_points, kept.len());
+        assert_eq!(stats.max_shortfall, 0.0, "skyline keeps dominate everything dropped");
+        // Cached and cold answers alike come back in original ids.
+        for (k, want_cached) in [(2usize, true), (4usize, false)] {
+            let (res, cached) = svc.solve(&SolverSpec::new("add-greedy", k)).unwrap();
+            assert_eq!(cached, want_cached, "k={k}");
+            assert_eq!(res.indices.len(), k);
+            for id in &res.indices {
+                assert!(kept.binary_search(id).is_ok(), "{id} is not a kept original id");
+            }
+            assert!(res.indices.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        }
+        assert!(svc.resident_selection().iter().all(|id| kept.binary_search(id).is_ok()));
+        // Evaluate accepts kept original ids and rejects pruned ones.
+        assert!(svc.evaluate(&kept[..2]).is_ok());
+        let pruned = (0..60).find(|i| kept.binary_search(i).is_err()).unwrap();
+        let err = svc.evaluate(&[pruned]).unwrap_err();
+        assert!(err.to_string().contains("candidate set"), "{err}");
+    }
+
+    #[test]
+    fn reduced_service_rejects_per_request_reduction() {
+        let svc = DatasetService::build("red", &dataset_2d(30), &reduced_options()).unwrap();
+        let spec = SolverSpec::parse("add-greedy", 2, &[("reduce", "skyline")]).unwrap();
+        let err = svc.solve(&spec).unwrap_err();
+        assert!(err.to_string().contains("reduced at build time"), "{err}");
+        // On an unreduced service the same spec flows through the
+        // registry's reduction stage instead.
+        let plain = DatasetService::build("plain", &dataset_2d(30), &options()).unwrap();
+        let (res, cached) = plain.solve(&spec).unwrap();
+        assert!(!cached, "reduce params are non-canonical and must bypass the cache");
+        assert_eq!(res.indices.len(), 2);
+    }
+
+    #[test]
+    fn reduced_exact_solves_match_the_unreduced_service_bitwise() {
+        // Skyline soundness, observed end to end through the server: the
+        // exact DP answers with the same points and the same objective
+        // bits whether it sees the full universe or only the kept one.
+        let ds = dataset_2d(40);
+        let mut red = DatasetService::build("red", &ds, &reduced_options()).unwrap();
+        let mut plain =
+            DatasetService::build("plain", &ds, &ServeOptions { cache_k: 1..=3, ..options() })
+                .unwrap();
+        let check = |red: &DatasetService, plain: &DatasetService| {
+            let (a, _) = red.solve(&SolverSpec::new("dp-2d", 2)).unwrap();
+            let (b, _) = plain.solve(&SolverSpec::new("dp-2d", 2)).unwrap();
+            assert_eq!(a.indices, b.indices, "reduced ids must be original ids");
+            assert_eq!(a.arr.to_bits(), b.arr.to_bits());
+        };
+        check(&red, &plain);
+        // Delete a kept (skyline) member — the incremental repair must
+        // recompute — plus a dominated point, and insert a dominating
+        // point that enters the skyline. Identical swap-remove semantics
+        // on both services keep the id spaces aligned.
+        let kept = Reduction::compute(&ds, ReduceSpec::skyline()).unwrap().kept().to_vec();
+        let pruned = (0..40).find(|i| kept.binary_search(i).is_err()).unwrap();
+        // The insert extends the skyline along x without dominating the
+        // rest of it, so it must join the resident candidate set.
+        let new_x = (0..ds.len()).map(|i| ds.point(i)[0]).fold(0.0, f64::max) + 0.05;
+        let ops = format!("delete,{}\ndelete,{pruned}\ninsert,{new_x},0.0\n", kept[0]);
+        let ra = red.apply_update_text(&ops, "ops").unwrap();
+        plain.apply_update_text(&ops, "ops").unwrap();
+        assert_eq!(ra.report.inserted, 1, "client-facing counts, not engine-batch counts");
+        assert_eq!(ra.report.deleted, 2);
+        assert_eq!(red.source_points(), 39);
+        // Warm repair is a heuristic over each service's own candidate
+        // universe, so the repaired selections need not coincide — but
+        // the reduced one must come back as sorted original ids.
+        assert!(ra.report.selection.windows(2).all(|w| w[0] < w[1]));
+        assert!(ra.report.selection.iter().all(|&id| id < 39));
+        check(&red, &plain);
+        // The insert landed at full-universe id 38 and is resident.
+        assert!(red.evaluate(&[38]).is_ok());
+        // A second batch that only touches pruned points leaves the
+        // resident candidate set alone (engine sees an empty batch).
+        // Replicate the full-universe swap-remove to find one.
+        let mut full: Vec<Vec<f64>> = (0..ds.len()).map(|i| ds.point(i).to_vec()).collect();
+        let mut dels = [kept[0], pruned];
+        dels.sort_unstable();
+        for &d in dels.iter().rev() {
+            full.swap_remove(d);
+        }
+        full.push(vec![new_x, 0.0]);
+        let new_full = Dataset::from_rows(full).unwrap();
+        let kept_now =
+            Reduction::compute(&new_full, ReduceSpec::skyline()).unwrap().kept().to_vec();
+        let pruned2 = (0..new_full.len()).find(|i| kept_now.binary_search(i).is_err()).unwrap();
+        let n_resident = red.n_points();
+        red.apply_update_text(&format!("delete,{pruned2}\n"), "ops").unwrap();
+        assert_eq!(red.n_points(), n_resident, "pruned-only ops must not disturb the engine");
+        assert_eq!(red.source_points(), 38);
+    }
+
+    #[test]
+    fn reduced_update_that_starves_the_cache_is_atomic() {
+        // Skyline {0, 1, 2}; point 3 is dominated. Deleting point 1
+        // leaves a 2-point skyline — below the cached maximum k = 3 —
+        // so the update must fail without mutating anything.
+        let ds = Dataset::from_rows(vec![
+            vec![0.9, 0.1],
+            vec![0.5, 0.5],
+            vec![0.1, 0.9],
+            vec![0.05, 0.05],
+        ])
+        .unwrap();
+        let opts = ServeOptions { samples: 60, ..reduced_options() };
+        let mut svc = DatasetService::build("tiny", &ds, &opts).unwrap();
+        assert_eq!(svc.n_points(), 3);
+        assert_eq!(svc.source_points(), 4);
+        let err = svc.apply_update_text("delete,1\n", "ops").unwrap_err();
+        assert!(err.to_string().contains("fewer than the cached maximum"), "{err}");
+        assert_eq!(svc.updates(), 0);
+        assert_eq!(svc.n_points(), 3);
+        assert_eq!(svc.source_points(), 4);
+        assert!(svc.solve(&SolverSpec::new("add-greedy", 3)).is_ok());
+        // Bad full-universe delete indices answer cleanly, atomically.
+        assert!(svc.apply_update_text("delete,4\n", "ops").is_err());
+        assert!(svc.apply_update_text("delete,0\ndelete,0\n", "ops").is_err());
+        assert_eq!(svc.updates(), 0);
+    }
+
+    #[test]
+    fn build_rejects_reductions_the_cache_range_outgrows() {
+        let ds = Dataset::from_rows(vec![
+            vec![0.9, 0.1],
+            vec![0.5, 0.5],
+            vec![0.1, 0.9],
+            vec![0.05, 0.05],
+        ])
+        .unwrap();
+        let opts = ServeOptions { samples: 60, cache_k: 1..=4, ..reduced_options() };
+        let err = match DatasetService::build("tiny", &ds, &opts) {
+            Err(e) => e,
+            Ok(_) => panic!("a 3-point skyline cannot back a k <= 4 cache"),
+        };
+        assert!(err.to_string().contains("reduction kept"), "{err}");
+        // An invalid coreset eps is rejected before any work happens.
+        let opts = ServeOptions { reduce: ReduceSpec::coreset(0.0), ..options() };
+        assert!(DatasetService::build("tiny", &ds, &opts).is_err());
     }
 }

@@ -17,9 +17,7 @@ use fam_algos::add_greedy;
 use fam_core::failpoints::{self, FailAction};
 use fam_core::Dataset;
 use fam_data::{synthetic, Correlation};
-use fam_serve::{
-    Client, ClientOptions, DatasetService, DistKind, ServeOptions, Server, ServerOptions,
-};
+use fam_serve::{Client, ClientOptions, DatasetService, ServeOptions, Server, ServerOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -41,7 +39,7 @@ fn base_dataset(seed: u64, n: usize) -> Dataset {
 }
 
 fn options() -> ServeOptions {
-    ServeOptions { samples: 200, seed: 29, dist: DistKind::Uniform, cache_k: 1..=4, sigma: 0.1 }
+    ServeOptions { samples: 200, seed: 29, cache_k: 1..=4, sigma: 0.1, ..ServeOptions::default() }
 }
 
 /// Server options tuned for tests: fast idle expiry so shutdown does

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use fam_algos::{add_greedy, greedy_shrink, GreedyShrinkConfig};
 use fam_core::Dataset;
 use fam_data::{synthetic, Correlation};
-use fam_serve::{DatasetService, DistKind, ServeOptions, Server};
+use fam_serve::{DatasetService, ServeOptions, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -70,7 +70,7 @@ fn base_dataset(seed: u64, n: usize) -> Dataset {
 }
 
 fn options() -> ServeOptions {
-    ServeOptions { samples: 200, seed: 17, dist: DistKind::Uniform, cache_k: 1..=5, sigma: 0.1 }
+    ServeOptions { samples: 200, seed: 17, cache_k: 1..=5, sigma: 0.1, ..ServeOptions::default() }
 }
 
 fn base_dataset_2d(seed: u64, n: usize) -> Dataset {
@@ -360,6 +360,63 @@ fn malformed_http_is_answered_or_dropped_without_harm() {
     drop(TcpStream::connect(addr).expect("connect"));
     let (status, _) = get(addr, "/datasets");
     assert_eq!(status, 200);
+
+    handle.shutdown();
+    server_thread.join().expect("server thread");
+}
+
+#[test]
+fn reduced_dataset_serves_original_ids_over_http() {
+    let data = base_dataset_2d(31, 50);
+    let opts = ServeOptions { samples: 80, cache_k: 1..=3, ..options() };
+    let red_opts = ServeOptions { reduce: fam_serve::ReduceSpec::skyline(), ..opts.clone() };
+    let red = DatasetService::build("red", &data, &red_opts).expect("red");
+    let source_points = red.source_points();
+    let plain = DatasetService::build("plain", &data, &opts).expect("plain");
+    let server = Server::bind(("127.0.0.1", 0), vec![red, plain], 2).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // The registry advertises each solver's reduction capability.
+    let (status, body) = get(addr, "/algos");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"reducible\":\"skyline\""), "{body}");
+    assert!(body.contains("\"reducible\":\"any\""), "{body}");
+
+    // Stats name the candidate universe the cache was solved on.
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"reduction\":\"skyline\""), "{body}");
+    assert!(body.contains("\"reduction\":\"none\""), "{body}");
+    assert!(body.contains(&format!("\"source_points\":{source_points}")), "{body}");
+
+    // Skyline soundness over the wire: the exact DP answers with the
+    // same points and the same arr bits on both datasets.
+    let (status, a) = get(addr, "/solve?dataset=red&k=2&algo=dp-2d");
+    assert_eq!(status, 200, "{a}");
+    let (status, b) = get(addr, "/solve?dataset=plain&k=2&algo=dp-2d");
+    assert_eq!(status, 200, "{b}");
+    assert_eq!(field_indices(&a, "selection"), field_indices(&b, "selection"));
+    assert_eq!(field_f64(&a, "arr").to_bits(), field_f64(&b, "arr").to_bits());
+
+    // Per-request reduction composes only with the unreduced dataset.
+    let (status, body) = get(addr, "/solve?dataset=red&k=2&reduce=skyline");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("reduced at build time"), "{body}");
+    let (status, body) = get(addr, "/solve?dataset=plain&k=2&reduce=skyline");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cached\":false"), "{body}");
+
+    // Updates address the full universe; answers stay in original ids.
+    let (status, body) = post(addr, "/update?dataset=red", "delete,0\ninsert,0.5,0.5\n");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = get(addr, "/solve?dataset=red&k=3");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cached\":true"), "{body}");
+    let ids = field_indices(&body, "selection");
+    assert_eq!(ids.len(), 3);
+    assert!(ids.iter().all(|&i| i < source_points), "{body}");
 
     handle.shutdown();
     server_thread.join().expect("server thread");

@@ -24,9 +24,10 @@
 
 use fam_algos::{Registry, SolverSpec};
 use fam_core::{
-    chernoff_epsilon, regret, Dataset, FamError, PrecisionSpec, RegretReport, Result, ScoreMatrix,
-    SolveOutput, UniformLinear, UtilityDistribution,
+    chernoff_epsilon, regret, Dataset, FamError, PrecisionSpec, ReduceKind, RegretReport, Result,
+    ScoreMatrix, SolveOutput, TiledBuildStats, UniformLinear, UtilityDistribution,
 };
+use fam_reduce::{ReduceSpec, Reduction};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,10 +41,25 @@ pub const DEFAULT_SOLVER: &str = "greedy-shrink";
 /// A built engine: the sampled score matrix, the raw dataset (when one
 /// was supplied — coordinate-based solvers need it), and a default
 /// solver name. All solving dispatches through [`Registry::global`].
+///
+/// When built with [`EngineBuilder::reduce`], the resident matrix covers
+/// only the reduction's kept universe (scored by the tiled streaming
+/// build, so the full `N × n` matrix never exists), and every answer is
+/// remapped back to original point ids.
 pub struct Engine {
     dataset: Option<Dataset>,
     matrix: ScoreMatrix,
     solver: String,
+    reduced: Option<ReducedState>,
+}
+
+/// The reduced-resident substrate: which original points survive, the
+/// materialized kept-universe dataset coordinate solvers see, and the
+/// tiled build's shortfall statistics.
+struct ReducedState {
+    reduction: Reduction,
+    dataset: Dataset,
+    stats: TiledBuildStats,
 }
 
 impl Engine {
@@ -87,13 +103,27 @@ impl Engine {
         self.solve_with(&SolverSpec::new(name, k))
     }
 
-    /// Solves a fully specified request (name + typed parameters).
+    /// Solves a fully specified request (name + typed parameters). On a
+    /// reduced-resident engine the request runs against the kept
+    /// universe (its `reduce` params must stay canonical — the reduction
+    /// already happened at build time), seeds are remapped in, and the
+    /// answer carries original point ids plus `reduced_from` /
+    /// `reduced_to` notes.
     ///
     /// # Errors
     ///
-    /// As [`Engine::solve_as`].
+    /// As [`Engine::solve_as`]; additionally, on a reduced-resident
+    /// engine, a per-request `reduce=` parameter or a solver whose
+    /// [`fam_algos::Caps::reducible`] rejects the build-time reduction
+    /// fails up front.
     pub fn solve_with(&self, spec: &SolverSpec) -> Result<SolveOutput> {
-        Registry::global().solve(spec, &self.matrix, self.dataset.as_ref())
+        let Some(r) = &self.reduced else {
+            return Registry::global().solve(spec, &self.matrix, self.dataset.as_ref());
+        };
+        let inner = r.prepare(spec)?;
+        let mut out = Registry::global().solve(&inner, &self.matrix, Some(&r.dataset))?;
+        r.finish(&mut out)?;
+        Ok(out)
     }
 
     /// Harvests the default solver's whole `k`-range from one trajectory
@@ -106,16 +136,46 @@ impl Engine {
     /// default solver cannot harvest ranges.
     pub fn solve_range(&self, ks: std::ops::RangeInclusive<usize>) -> Result<Vec<SolveOutput>> {
         let spec = SolverSpec::new(&self.solver, *ks.end());
-        Registry::global().solve_range(&spec, &self.matrix, self.dataset.as_ref(), ks)
+        let Some(r) = &self.reduced else {
+            return Registry::global().solve_range(&spec, &self.matrix, self.dataset.as_ref(), ks);
+        };
+        let inner = r.prepare(&spec)?;
+        let mut outs =
+            Registry::global().solve_range(&inner, &self.matrix, Some(&r.dataset), ks)?;
+        for out in &mut outs {
+            r.finish(out)?;
+        }
+        Ok(outs)
     }
 
-    /// Evaluates an explicit selection against the resident matrix.
+    /// Evaluates an explicit selection (original point ids) against the
+    /// resident matrix. On a reduced-resident engine the regret is
+    /// measured against the kept universe's per-sample bests — exact for
+    /// a skyline reduction, and short of the full database by at most
+    /// [`Engine::reduce_stats`]'s `max_shortfall` for a coreset.
     ///
     /// # Errors
     ///
-    /// Returns an error for out-of-bounds or duplicate indices.
+    /// Returns an error for out-of-bounds or duplicate indices, or for
+    /// ids the reduction pruned.
     pub fn evaluate(&self, selection: &[usize]) -> Result<RegretReport> {
-        regret::report(&self.matrix, selection)
+        match &self.reduced {
+            None => regret::report(&self.matrix, selection),
+            Some(r) => regret::report(&self.matrix, &r.reduction.to_reduced(selection)?),
+        }
+    }
+
+    /// The build-time reduction, when the engine is reduced-resident.
+    pub fn reduction(&self) -> Option<&Reduction> {
+        self.reduced.as_ref().map(|r| &r.reduction)
+    }
+
+    /// The tiled build's shortfall statistics, when the engine is
+    /// reduced-resident: how far the kept universe's per-sample bests
+    /// fall short of the full database's (exactly zero for a skyline
+    /// reduction).
+    pub fn reduce_stats(&self) -> Option<TiledBuildStats> {
+        self.reduced.as_ref().map(|r| r.stats)
     }
 
     /// The ε the resident sample count achieves at confidence
@@ -130,6 +190,52 @@ impl Engine {
     }
 }
 
+impl ReducedState {
+    /// Validates a request against the build-time reduction and rewrites
+    /// it for the kept universe: per-request `reduce=` is rejected (the
+    /// engine is already reduced), the solver's declaration must admit
+    /// the resident reduction, and seeds are remapped to reduced ids.
+    fn prepare(&self, spec: &SolverSpec) -> Result<SolverSpec> {
+        if spec.params.reduce != ReduceKind::None {
+            return Err(FamError::InvalidParameter {
+                name: "reduce",
+                message: format!(
+                    "this engine was already reduced at build time (`{}`); \
+                     per-request reduction needs an unreduced engine",
+                    self.reduction.fingerprint()
+                ),
+            });
+        }
+        let solver = Registry::global().require(&spec.name)?;
+        let kind = self.reduction.spec().kind;
+        if !solver.capabilities().reducible.allows(kind) {
+            return Err(FamError::unsupported(
+                solver.name(),
+                format!(
+                    "does not accept the engine's build-time `reduce={}` universe \
+                     (declared reducible: {})",
+                    kind.name(),
+                    solver.capabilities().reducible.name()
+                ),
+            ));
+        }
+        let mut inner = spec.clone();
+        if !inner.params.seed.is_empty() {
+            inner.params.seed = self.reduction.to_reduced(&inner.params.seed)?;
+        }
+        Ok(inner)
+    }
+
+    /// Remaps a kept-universe answer back to original ids and stamps the
+    /// reduction footprint notes.
+    fn finish(&self, out: &mut SolveOutput) -> Result<()> {
+        self.reduction.remap_output(out)?;
+        out.notes.push(("reduced_from", self.reduction.source_len() as f64));
+        out.notes.push(("reduced_to", self.reduction.kept().len() as f64));
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
@@ -137,6 +243,7 @@ impl std::fmt::Debug for Engine {
             .field("n_samples", &self.matrix.n_samples())
             .field("dataset", &self.dataset.as_ref().map(|d| (d.len(), d.dim())))
             .field("solver", &self.solver)
+            .field("reduce", &self.reduced.as_ref().map(|r| r.reduction.fingerprint()))
             .finish()
     }
 }
@@ -152,6 +259,7 @@ pub struct EngineBuilder {
     precision: Option<PrecisionSpec>,
     seed: u64,
     solver: String,
+    reduce: ReduceSpec,
 }
 
 impl Default for EngineBuilder {
@@ -164,6 +272,7 @@ impl Default for EngineBuilder {
             precision: None,
             seed: DEFAULT_SEED,
             solver: DEFAULT_SOLVER.to_string(),
+            reduce: ReduceSpec::none(),
         }
     }
 }
@@ -230,6 +339,29 @@ impl EngineBuilder {
         self
     }
 
+    /// Reduces the candidate universe at build time (`fam-reduce`):
+    /// `ReduceKind::Skyline` keeps the exact Pareto frontier,
+    /// `ReduceKind::Coreset` additionally thins it under the configured
+    /// [`EngineBuilder::reduce_eps`] regret target. The score matrix is
+    /// then built by the tiled streaming pass over the kept universe
+    /// only — the dense `N × n` matrix never exists, which is what lets
+    /// million-point datasets through the `FAM_MAX_MATRIX_BYTES` budget.
+    /// Requires a dataset (reduction is a coordinate-stage operation).
+    #[must_use]
+    pub fn reduce(mut self, kind: ReduceKind) -> Self {
+        self.reduce.kind = kind;
+        self
+    }
+
+    /// Regret target for the coreset reduction stage (default
+    /// [`fam_core::solve::DEFAULT_REDUCE_EPS`]); ignored unless
+    /// [`EngineBuilder::reduce`] requests `ReduceKind::Coreset`.
+    #[must_use]
+    pub fn reduce_eps(mut self, eps: f64) -> Self {
+        self.reduce.eps = eps;
+        self
+    }
+
     /// Builds the engine: validates the solver name, then scores the
     /// dataset unless a matrix was supplied.
     ///
@@ -241,6 +373,20 @@ impl EngineBuilder {
     /// zero with no matrix), or scoring failures.
     pub fn build(self) -> Result<Engine> {
         Registry::global().require(&self.solver)?;
+        self.reduce.validate()?;
+        // The reduction runs before any scoring: it needs coordinates,
+        // and its kept universe is what the matrix budget is charged for.
+        let reduction = if self.reduce.is_none() {
+            None
+        } else {
+            let ds = self.dataset.as_ref().ok_or_else(|| FamError::InvalidParameter {
+                name: "reduce",
+                message: "candidate reduction needs a dataset \
+                          (it is a coordinate-stage operation)"
+                    .into(),
+            })?;
+            Some(Reduction::compute(ds, self.reduce)?)
+        };
         // A pre-built matrix has a fixed sample count: a precision target
         // it cannot meet must fail loudly, not silently under-deliver.
         if let (Some(spec), Some(m)) = (&self.precision, &self.matrix) {
@@ -258,7 +404,7 @@ impl EngineBuilder {
                 });
             }
         }
-        let matrix = match (self.matrix, &self.dataset) {
+        let (matrix, stats) = match (self.matrix, &self.dataset) {
             (Some(m), Some(ds)) => {
                 // Coordinate-based solvers index the dataset with matrix
                 // point indices: the two must describe the same universe.
@@ -273,12 +419,44 @@ impl EngineBuilder {
                         ),
                     });
                 }
-                m
+                match &reduction {
+                    None => (m, None),
+                    Some(r) => {
+                        // A pre-built matrix already paid the dense cost;
+                        // restrict it and derive the shortfall stats from
+                        // the full-universe bests it knows.
+                        let reduced = m.restrict_columns(r.kept())?;
+                        let n = m.n_samples();
+                        let mut max_shortfall = 0.0;
+                        let mut sum = 0.0;
+                        for u in 0..n {
+                            let full = m.best_value(u);
+                            let kept = reduced.best_value(u);
+                            let s = if full > kept { (full - kept) / full } else { 0.0 };
+                            if s > max_shortfall {
+                                max_shortfall = s;
+                            }
+                            sum += s;
+                        }
+                        let stats = TiledBuildStats {
+                            source_points: ds.len(),
+                            kept_points: r.kept().len(),
+                            max_shortfall,
+                            mean_shortfall: sum / n as f64,
+                        };
+                        (reduced, Some(stats))
+                    }
+                }
             }
-            (Some(m), None) => m,
+            (Some(m), None) => (m, None),
             (None, Some(ds)) => {
+                // The budget (and a Chernoff-sized population's budget
+                // check) is charged for the universe actually scored: the
+                // kept points under a reduction, the whole dataset
+                // otherwise.
+                let budget_points = reduction.as_ref().map_or(ds.len(), |r| r.kept().len());
                 let samples = match &self.precision {
-                    Some(spec) => spec.required_samples_checked(ds.len())?,
+                    Some(spec) => spec.required_samples_checked(budget_points)?,
                     None => self.samples,
                 };
                 if samples == 0 {
@@ -290,13 +468,28 @@ impl EngineBuilder {
                 // from_distribution re-checks, but failing before the
                 // distribution is built gives the caller the precise
                 // parameter name.
-                fam_core::check_matrix_budget(samples, ds.len())?;
+                fam_core::check_matrix_budget(samples, budget_points)?;
                 let dist: Box<dyn UtilityDistribution> = match self.distribution {
                     Some(d) => d,
                     None => Box::new(UniformLinear::new(ds.dim())?),
                 };
                 let mut rng = StdRng::seed_from_u64(self.seed);
-                ScoreMatrix::from_distribution(ds, dist.as_ref(), samples, &mut rng)?
+                match &reduction {
+                    None => (
+                        ScoreMatrix::from_distribution(ds, dist.as_ref(), samples, &mut rng)?,
+                        None,
+                    ),
+                    Some(r) => {
+                        let (m, stats) = ScoreMatrix::from_distribution_tiled(
+                            ds,
+                            dist.as_ref(),
+                            samples,
+                            &mut rng,
+                            r.kept(),
+                        )?;
+                        (m, Some(stats))
+                    }
+                }
             }
             (None, None) => {
                 return Err(FamError::InvalidParameter {
@@ -305,7 +498,16 @@ impl EngineBuilder {
                 });
             }
         };
-        Ok(Engine { dataset: self.dataset, matrix, solver: self.solver })
+        let reduced = match reduction {
+            None => None,
+            Some(r) => {
+                let full = self.dataset.as_ref().expect("reduction implies a dataset");
+                let dataset = r.restrict_dataset(full)?;
+                let stats = stats.expect("reduction implies tiled/restricted stats");
+                Some(ReducedState { reduction: r, dataset, stats })
+            }
+        };
+        Ok(Engine { dataset: self.dataset, matrix, solver: self.solver, reduced })
     }
 }
 
@@ -420,6 +622,83 @@ mod tests {
         let big = ScoreMatrix::from_rows(vec![vec![0.5, 1.0]; enough], None).unwrap();
         assert!(Engine::builder().matrix(big).precision(0.5, 0.5).build().is_ok());
         let _ = tiny;
+    }
+
+    #[test]
+    fn reduced_engines_answer_in_original_ids() {
+        // Point 4 is dominated (worse than hotel 1 on both axes) — the
+        // skyline drops it, shifting every later id; remapping must undo
+        // that shift.
+        let rows =
+            vec![vec![0.9, 0.2], vec![0.7, 0.6], vec![0.3, 0.3], vec![0.4, 0.8], vec![0.1, 0.95]];
+        let ds = Dataset::from_rows(rows).unwrap();
+        let full = Engine::builder().dataset(ds.clone()).samples(300).seed(9).build().unwrap();
+        let reduced = Engine::builder()
+            .dataset(ds.clone())
+            .samples(300)
+            .seed(9)
+            .reduce(ReduceKind::Skyline)
+            .build()
+            .unwrap();
+        assert_eq!(reduced.matrix().n_points(), 4, "skyline drops the dominated point");
+        assert_eq!(reduced.reduction().unwrap().kept(), &[0, 1, 3, 4]);
+        let stats = reduced.reduce_stats().unwrap();
+        assert_eq!(stats.max_shortfall, 0.0, "a skyline loses no best point");
+        let (a, b) = (full.solve(2).unwrap(), reduced.solve(2).unwrap());
+        assert_eq!(a.selection.indices, b.selection.indices, "original ids, same answer");
+        assert_eq!(
+            a.selection.objective.unwrap().to_bits(),
+            b.selection.objective.unwrap().to_bits(),
+            "same seed + skyline reduction = bit-identical objective"
+        );
+        assert_eq!(b.note("reduced_from"), Some(5.0));
+        assert_eq!(b.note("reduced_to"), Some(4.0));
+        // Exact coordinate solvers run on the reduced universe too.
+        let exact = reduced.solve_as("dp-2d", 2).unwrap();
+        assert!(exact.selection.indices.iter().all(|&i| i != 2));
+        // Range harvests remap every trajectory entry.
+        for (i, out) in reduced.solve_range(1..=3).unwrap().iter().enumerate() {
+            assert_eq!(out.selection.indices, reduced.solve(i + 1).unwrap().selection.indices);
+        }
+        // evaluate() takes original ids; pruned ids are a clean error.
+        let rep = reduced.evaluate(&b.selection.indices).unwrap();
+        assert!(rep.arr.is_finite());
+        assert!(reduced.evaluate(&[2]).is_err());
+        // Per-request reduction on a reduced engine is refused.
+        let mut spec = SolverSpec::new("greedy-shrink", 2);
+        spec.params.reduce = ReduceKind::Skyline;
+        assert!(reduced.solve_with(&spec).is_err());
+        assert!(format!("{reduced:?}").contains("skyline"));
+        // ... but flows through the registry on an unreduced engine.
+        let out = full.solve_with(&spec).unwrap();
+        assert_eq!(out.note("reduced_from"), Some(5.0));
+        // A pre-built matrix is restricted rather than resampled, and the
+        // engine still answers in original ids.
+        let m = full.matrix().clone();
+        let prebuilt = Engine::builder()
+            .dataset(ds.clone())
+            .matrix(m)
+            .reduce(ReduceKind::Skyline)
+            .build()
+            .unwrap();
+        assert_eq!(prebuilt.matrix().n_points(), 4);
+        let c = prebuilt.solve(2).unwrap();
+        assert_eq!(c.selection.indices, a.selection.indices);
+        assert_eq!(prebuilt.reduce_stats().unwrap().max_shortfall, 0.0);
+        // Reduction without a dataset is a build-time error.
+        let err = Engine::builder()
+            .matrix(full.matrix().clone())
+            .reduce(ReduceKind::Skyline)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("coordinate"), "{err}");
+        // Coreset engines validate eps at build time.
+        assert!(Engine::builder()
+            .dataset(ds)
+            .reduce(ReduceKind::Coreset)
+            .reduce_eps(0.0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub use fam_data as data;
 pub use fam_geometry as geometry;
 pub use fam_lp as lp;
 pub use fam_ml as ml;
+pub use fam_reduce as reduce;
 pub use fam_serve as serve;
 
 pub use fam_algos::{
@@ -88,16 +89,18 @@ pub use fam_algos::{
     continuous_arr, cube, dp_2d, greedy_shrink, greedy_shrink_range, greedy_shrink_warm, k_hit,
     local_search, mrr_greedy_exact, mrr_greedy_sampled, mrr_linear_exact, refine, reoptimize,
     sky_dom, warm_repair, AngularMeasure, Caps, Dp2dOutput, GreedyShrinkConfig, GreedyShrinkOutput,
-    LocalSearchConfig, LocalSearchOutput, QuadratureMeasure, RefineConfig, RefineOutput,
+    LocalSearchConfig, LocalSearchOutput, QuadratureMeasure, Reducible, RefineConfig, RefineOutput,
     RefineRound, Registry, Solver, SolverSpec, UniformAngleMeasure, UniformBoxMeasure,
 };
 pub use fam_core::{
     check_matrix_budget, chernoff_epsilon, chernoff_sample_size, regret, AppendReport, ApplyReport,
     Dataset, DiscreteDistribution, DynamicEngine, FamError, LinearScores, LinearUtility,
-    MeasureKind, PrecisionSpec, RegretReport, RepairOutcome, Result, SampleSpec, ScoreMatrix,
-    ScoreSource, Selection, SelectionEvaluator, SolveCtx, SolveOutput, SolverParams, TableUtility,
-    UniformLinear, UpdateBatch, UtilityDistribution, UtilityFunction, WarmStart, DEFAULT_SIGMA,
+    MeasureKind, PrecisionSpec, ReduceKind, RegretReport, RepairOutcome, Result, SampleSpec,
+    ScoreMatrix, ScoreSource, Selection, SelectionEvaluator, SolveCtx, SolveOutput, SolverParams,
+    TableUtility, TiledBuildStats, UniformLinear, UpdateBatch, UtilityDistribution,
+    UtilityFunction, WarmStart, DEFAULT_SIGMA,
 };
+pub use fam_reduce::{CandidateReducer, CoresetReducer, ReduceSpec, Reduction, SkylineReducer};
 
 /// Everything needed for typical use, re-exported flat.
 pub mod prelude {
