@@ -205,9 +205,10 @@ fn shrink_cached<S: ScoreSource + ?Sized>(
             candidates_acc += evaluated_this_iter as f64 / survivors;
         }
     } else {
+        let mut members = Vec::new();
         for iter in 1..=iterations {
             let before_promotions = ev.counters().promotions;
-            let members = ev.selection();
+            ev.selection_into(&mut members);
             let mut best: Option<(f64, usize)> = None;
             for &p in &members {
                 let value = ev.arr() + ev.removal_delta(p);

@@ -48,6 +48,32 @@ impl PartialOrd for Entry {
     }
 }
 
+/// Reusable buffers for the lazy grow/shrink loops.
+///
+/// A trajectory harvest (and the serve layer's `POST /update` re-harvest
+/// behind it) calls [`lazy_grow`]/[`lazy_shrink`] once per `k` on one
+/// evaluator; each call used to allocate the candidate list, the marginal
+/// buffer, and the heap's backing storage from scratch. Holding one
+/// `RepairScratch` across the sweep retains those capacities, so
+/// steady-state repair iterations allocate nothing. Purely an allocation
+/// cache — every buffer is cleared before use, so reusing or dropping it
+/// never changes results.
+#[derive(Default)]
+pub(crate) struct RepairScratch {
+    /// Unselected candidate points (grow).
+    cands: Vec<u32>,
+    /// Current members, sorted (shrink).
+    members: Vec<usize>,
+    /// Initial marginals, index-aligned with `cands`.
+    deltas: Vec<f64>,
+    /// Backing storage recycled through `BinaryHeap::from` / `into_vec`.
+    /// Heapify builds a different internal layout than one-by-one pushes,
+    /// but `Entry`'s order is total (no two entries tie on value *and*
+    /// point), so the pop sequence — all any caller observes — is
+    /// identical.
+    heap: Vec<Entry>,
+}
+
 /// Lazily grows the selection to exactly `k` points, adding the candidate
 /// with the most negative addition delta each step. Returns the number of
 /// `arr` evaluations spent.
@@ -64,25 +90,42 @@ pub(crate) fn lazy_grow<S: ScoreSource + ?Sized>(
     ev: &mut SelectionEvaluator<'_, S>,
     k: usize,
 ) -> u64 {
+    lazy_grow_with(ev, k, &mut RepairScratch::default())
+}
+
+/// [`lazy_grow`] with caller-held scratch buffers — the allocation-free
+/// form for sweeps that repair one evaluator repeatedly.
+pub(crate) fn lazy_grow_with<S: ScoreSource + ?Sized>(
+    ev: &mut SelectionEvaluator<'_, S>,
+    k: usize,
+    scratch: &mut RepairScratch,
+) -> u64 {
     debug_assert!(ev.len() <= k && k <= ev.n_points());
     let deficit = k - ev.len();
     if deficit == 0 {
         return 0;
     }
-    let cands: Vec<u32> = (0..ev.n_points() as u32).filter(|&p| !ev.contains(p as usize)).collect();
+    let RepairScratch { cands, deltas, heap, .. } = scratch;
+    cands.clear();
+    cands.extend((0..ev.n_points() as u32).filter(|&p| !ev.contains(p as usize)));
     let mut evaluations = cands.len() as u64;
     let ev_ref = &*ev;
-    let deltas = fam_core::par::map_adaptive(cands.len(), ev_ref.n_samples(), |range| {
-        range.map(|i| ev_ref.addition_delta(cands[i] as usize)).collect::<Vec<_>>()
-    })
-    .concat();
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(cands.len());
-    for (&point, value) in cands.iter().zip(deltas) {
-        heap.push(Entry { value, point, stamp: 0 });
-    }
+    deltas.clear();
+    deltas.resize(cands.len(), 0.0);
+    fam_core::par::fill_adaptive(deltas, ev_ref.n_samples(), |i| {
+        ev_ref.addition_delta(cands[i] as usize)
+    });
+    let mut entries = std::mem::take(heap);
+    entries.clear();
+    entries.extend(cands.iter().zip(deltas.iter()).map(|(&point, &value)| Entry {
+        value,
+        point,
+        stamp: 0,
+    }));
+    let mut heap_live: BinaryHeap<Entry> = BinaryHeap::from(entries);
     for iter in 1..=deficit as u32 {
         loop {
-            let head = heap.pop().expect("heap holds all unselected points");
+            let head = heap_live.pop().expect("heap holds all unselected points");
             if ev.contains(head.point as usize) {
                 continue;
             }
@@ -92,9 +135,10 @@ pub(crate) fn lazy_grow<S: ScoreSource + ?Sized>(
             }
             let value = ev.addition_delta(head.point as usize);
             evaluations += 1;
-            heap.push(Entry { value, point: head.point, stamp: iter });
+            heap_live.push(Entry { value, point: head.point, stamp: iter });
         }
     }
+    *heap = heap_live.into_vec();
     evaluations
 }
 
@@ -109,21 +153,34 @@ pub(crate) fn lazy_shrink<S: ScoreSource + ?Sized>(
     ev: &mut SelectionEvaluator<'_, S>,
     k: usize,
 ) -> u64 {
+    lazy_shrink_with(ev, k, &mut RepairScratch::default())
+}
+
+/// [`lazy_shrink`] with caller-held scratch buffers — the allocation-free
+/// form for sweeps that repair one evaluator repeatedly.
+pub(crate) fn lazy_shrink_with<S: ScoreSource + ?Sized>(
+    ev: &mut SelectionEvaluator<'_, S>,
+    k: usize,
+    scratch: &mut RepairScratch,
+) -> u64 {
     debug_assert!(ev.len() >= k);
     let surplus = ev.len() - k;
     if surplus == 0 {
         return 0;
     }
-    let members = ev.selection();
+    let RepairScratch { members, heap, .. } = scratch;
+    ev.selection_into(members);
     let mut evaluations = members.len() as u64;
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(members.len());
-    for &p in &members {
+    let mut entries = std::mem::take(heap);
+    entries.clear();
+    for &p in members.iter() {
         let value = ev.arr() + ev.removal_delta(p);
-        heap.push(Entry { value, point: p as u32, stamp: 0 });
+        entries.push(Entry { value, point: p as u32, stamp: 0 });
     }
+    let mut heap_live: BinaryHeap<Entry> = BinaryHeap::from(entries);
     for iter in 1..=surplus as u32 {
         loop {
-            let head = heap.pop().expect("heap tracks all remaining members");
+            let head = heap_live.pop().expect("heap tracks all remaining members");
             if !ev.contains(head.point as usize) {
                 continue;
             }
@@ -133,9 +190,10 @@ pub(crate) fn lazy_shrink<S: ScoreSource + ?Sized>(
             }
             let value = ev.arr() + ev.removal_delta(head.point as usize);
             evaluations += 1;
-            heap.push(Entry { value, point: head.point, stamp: iter });
+            heap_live.push(Entry { value, point: head.point, stamp: iter });
         }
     }
+    *heap = heap_live.into_vec();
     evaluations
 }
 
@@ -209,17 +267,18 @@ pub fn reoptimize<S: ScoreSource + ?Sized>(
     let grow_to = k.max(before).saturating_add(churn).min(n);
     let mut evaluations = 0u64;
     let mut added = 0usize;
+    let mut scratch = RepairScratch::default();
     if ev.len() < grow_to {
         added = grow_to - ev.len();
-        evaluations += lazy_grow(ev, grow_to);
+        evaluations += lazy_grow_with(ev, grow_to, &mut scratch);
     }
     let mut removed = 0usize;
     if ev.len() > k {
         removed = ev.len() - k;
-        evaluations += lazy_shrink(ev, k);
+        evaluations += lazy_shrink_with(ev, k, &mut scratch);
     } else if ev.len() < k {
         added += k - ev.len();
-        evaluations += lazy_grow(ev, k);
+        evaluations += lazy_grow_with(ev, k, &mut scratch);
     }
     Ok(RepairOutcome { added, removed, evaluations })
 }

@@ -30,7 +30,7 @@ use std::ops::RangeInclusive;
 
 use fam_core::{FamError, Result, ScoreSource, Selection, SelectionEvaluator};
 
-use crate::repair::{lazy_grow, lazy_shrink};
+use crate::repair::{lazy_grow_with, lazy_shrink_with, RepairScratch};
 
 fn validate_range<S: ScoreSource + ?Sized>(m: &S, ks: &RangeInclusive<usize>) -> Result<()> {
     let (lo, hi) = (*ks.start(), *ks.end());
@@ -63,8 +63,11 @@ pub fn add_greedy_range<S: ScoreSource + ?Sized>(
     let start = QueryTimer::start();
     let mut ev = SelectionEvaluator::new_with(m, &[]);
     let mut out = Vec::with_capacity(ks.end() - ks.start() + 1);
+    // One scratch across the whole sweep: each grow step reuses the
+    // candidate/marginal/heap buffers of the previous one.
+    let mut scratch = RepairScratch::default();
     for k in 1..=*ks.end() {
-        lazy_grow(&mut ev, k);
+        lazy_grow_with(&mut ev, k, &mut scratch);
         if k >= *ks.start() {
             out.push(
                 Selection::new(ev.selection(), "add-greedy")
@@ -93,8 +96,9 @@ pub fn greedy_shrink_range<S: ScoreSource + ?Sized>(
     let start = QueryTimer::start();
     let mut ev = SelectionEvaluator::new_full(m);
     let mut out = Vec::with_capacity(ks.end() - ks.start() + 1);
+    let mut scratch = RepairScratch::default();
     for k in (*ks.start()..=*ks.end()).rev() {
-        lazy_shrink(&mut ev, k);
+        lazy_shrink_with(&mut ev, k, &mut scratch);
         out.push(
             Selection::new(ev.selection(), "greedy-shrink")
                 .with_objective(ev.arr())

@@ -23,11 +23,22 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, criterion_main, Criterion};
 use fam::prelude::*;
 use fam::{add_greedy, warm_repair, DynamicEngine, ScoreMatrix, UpdateBatch};
+use fam_core::par;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Thread counts for the scaling sweep: `FAM_THREAD_SWEEP` as a comma
+/// list (e.g. `1,2,4`), default `1,2,4`; every leg must be bit-identical.
+fn thread_sweep() -> Vec<usize> {
+    std::env::var("FAM_THREAD_SWEEP")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse::<usize>().ok()).collect::<Vec<_>>())
+        .filter(|counts| !counts.is_empty() && counts.iter().all(|&t| t >= 1))
+        .unwrap_or_else(|| vec![1, 2, 4])
 }
 
 struct ChurnResult {
@@ -172,6 +183,57 @@ fn bench_dynamic(c: &mut Criterion) {
         });
     }
 
+    // Thread-scaling sweep on the incremental path: one 5%-churn batch
+    // applied at each requested worker count; the selection and arr bits
+    // must not move, only the wall clock may.
+    let sweep = thread_sweep();
+    let sweep_batch = {
+        let b = (((0.05 * n as f64).round() as usize).max(1)).min(n - k);
+        let mut batch_rng = StdRng::seed_from_u64(0x5CA1E);
+        let mut cand: Vec<usize> = (0..n).collect();
+        let mut batch = UpdateBatch::default();
+        for _ in 0..b {
+            let i = batch_rng.gen_range(0..cand.len());
+            batch.delete.push(cand.swap_remove(i));
+        }
+        for j in 0..b {
+            batch.insert.push(score_point(j));
+        }
+        batch
+    };
+    let mut sweep_ms = Vec::new();
+    let mut sweep_reference: Option<(Vec<usize>, u64)> = None;
+    for &count in &sweep {
+        par::set_max_threads(Some(count));
+        let mut best = Duration::MAX;
+        let mut outcome = None;
+        for _ in 0..reps {
+            let mut engine =
+                DynamicEngine::new(matrix.clone(), k, &initial.indices).expect("sweep engine");
+            let t0 = Instant::now();
+            let report = engine.apply_with(&sweep_batch, warm_repair).expect("sweep apply");
+            best = best.min(t0.elapsed());
+            outcome = Some((report.selection, report.arr.to_bits()));
+        }
+        par::set_max_threads(None);
+        let outcome = outcome.expect("at least one rep");
+        match &sweep_reference {
+            Some(reference) => assert_eq!(
+                &outcome, reference,
+                "threads={count}: incremental apply diverged from threads={}",
+                sweep[0]
+            ),
+            None => sweep_reference = Some(outcome),
+        }
+        eprintln!("threads={count}: incremental apply {best:?} (bit-identical)");
+        sweep_ms.push(best.as_secs_f64() * 1e3);
+    }
+    let thread_scaling = format!(
+        "{{\"threads\":[{}],\"incremental_ms\":[{}],\"bit_identical\":true}}",
+        sweep.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","),
+        sweep_ms.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(","),
+    );
+
     let out_path = std::env::var("FAM_BENCH_DYNAMIC_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamic.json").to_string()
     });
@@ -194,7 +256,8 @@ fn bench_dynamic(c: &mut Criterion) {
     }
     let json = format!(
         "{{\"bench\":\"dynamic\",\"n\":{n},\"n_samples\":{n_samples},\"k\":{k},\
-         \"host_threads\":{threads},\"churns\":[{churn_json}]}}\n"
+         \"host_threads\":{threads},\"churns\":[{churn_json}],\
+         \"thread_scaling\":{thread_scaling}}}\n"
     );
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("wrote {out_path}"),

@@ -35,6 +35,18 @@ fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Thread counts for the scaling sweep: `FAM_THREAD_SWEEP` as a comma
+/// list (e.g. `1,2,4`), default `1,2,4`. Every leg must produce
+/// bit-identical outputs — the sweep certifies the determinism contract
+/// while it measures scaling.
+fn thread_sweep() -> Vec<usize> {
+    std::env::var("FAM_THREAD_SWEEP")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse::<usize>().ok()).collect::<Vec<_>>())
+        .filter(|counts| !counts.is_empty() && counts.iter().all(|&t| t >= 1))
+        .unwrap_or_else(|| vec![1, 2, 4])
+}
+
 /// One leg's accumulated result: the (rep-stable) output plus the best
 /// observed time.
 struct Leg {
@@ -269,6 +281,78 @@ fn bench_engine(c: &mut Criterion) {
         a_base.best, a_engine.best
     );
 
+    // Fork-join overhead A/B: the same trivial two-index job dispatched
+    // through the persistent pool versus a scoped one-thread spawn. This
+    // is the latency every parallel helper pays per call — the number
+    // `PAR_MIN_WORK` is calibrated against (see docs/PERFORMANCE.md).
+    let overhead_reps = env_usize("FAM_ENGINE_OVERHEAD_REPS", 2_000).max(100);
+    par::set_max_threads(Some(2));
+    par::prewarm();
+    let mut overhead_sink = 0usize;
+    let t = Instant::now();
+    for _ in 0..overhead_reps {
+        overhead_sink += par::map_chunks(2, 1, |r| r.start).len();
+    }
+    let pool_forkjoin_overhead_us = t.elapsed().as_secs_f64() * 1e6 / overhead_reps as f64;
+    par::set_max_threads(None);
+    let t = Instant::now();
+    for _ in 0..overhead_reps {
+        std::thread::scope(|s| {
+            let half = s.spawn(|| 1usize);
+            overhead_sink += half.join().expect("scoped leg") + 1;
+        });
+    }
+    let scoped_spawn_overhead_us = t.elapsed().as_secs_f64() * 1e6 / overhead_reps as f64;
+    eprintln!(
+        "fork-join:     pool dispatch {pool_forkjoin_overhead_us:.2}us vs scoped spawn \
+         {scoped_spawn_overhead_us:.2}us per job (checksum {overhead_sink})"
+    );
+    assert!(
+        pool_forkjoin_overhead_us < 0.10 * scoped_spawn_overhead_us,
+        "pool dispatch ({pool_forkjoin_overhead_us:.2}us) must stay under 10% of a scoped \
+         spawn ({scoped_spawn_overhead_us:.2}us) — the PAR_MIN_WORK calibration assumes it"
+    );
+
+    // Thread-scaling sweep: the full GREEDY-SHRINK and ADD-GREEDY legs at
+    // each requested worker count, asserting bit-identical outputs while
+    // recording per-count times. `set_max_threads(Some(1))` takes the
+    // serial path, so the sweep brackets the pool against no-pool.
+    let sweep = thread_sweep();
+    let mut sweep_shrink_ms = Vec::new();
+    let mut sweep_add_ms = Vec::new();
+    for &count in &sweep {
+        par::set_max_threads(Some(count));
+        let (mut shrink_best, mut add_best) = (Duration::MAX, Duration::MAX);
+        for _ in 0..reps {
+            let (sel, obj, dt) = shrink_once(&matrix, k);
+            assert_eq!(sel, s_engine.selection, "threads={count}: greedy_shrink diverged");
+            assert_eq!(obj.to_bits(), s_engine.objective.to_bits(), "threads={count}: arr");
+            shrink_best = shrink_best.min(dt);
+            let (sel, obj, dt) = add_once(&matrix, k);
+            assert_eq!(sel, a_engine.selection, "threads={count}: add_greedy diverged");
+            assert_eq!(obj.to_bits(), a_engine.objective.to_bits(), "threads={count}: arr");
+            add_best = add_best.min(dt);
+        }
+        par::set_max_threads(None);
+        eprintln!(
+            "threads={count}: greedy_shrink {shrink_best:?}, add_greedy {add_best:?} \
+             (bit-identical)"
+        );
+        sweep_shrink_ms.push(shrink_best.as_secs_f64() * 1e3);
+        sweep_add_ms.push(add_best.as_secs_f64() * 1e3);
+    }
+    let pool = par::pool_stats();
+    let join_ms = |xs: &[f64]| xs.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>().join(",");
+    let thread_scaling = format!(
+        "{{\"threads\":[{}],\"greedy_shrink_ms\":[{}],\"add_greedy_ms\":[{}],\
+         \"bit_identical\":true,\"pool_workers_spawned\":{},\"pool_jobs_dispatched\":{}}}",
+        sweep.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","),
+        join_ms(&sweep_shrink_ms),
+        join_ms(&sweep_add_ms),
+        pool.workers_spawned,
+        pool.jobs_dispatched,
+    );
+
     let out_path = std::env::var("FAM_BENCH_ENGINE_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").to_string()
     });
@@ -281,7 +365,10 @@ fn bench_engine(c: &mut Criterion) {
          \"greedy_shrink_row_serial_ms\":{:.3},\"greedy_shrink_columnar_parallel_ms\":{:.3},\
          \"greedy_shrink_speedup\":{speedup:.3},\
          \"add_greedy_row_serial_ms\":{:.3},\"add_greedy_columnar_parallel_ms\":{:.3},\
-         \"add_greedy_speedup\":{add_speedup:.3}}}\n",
+         \"add_greedy_speedup\":{add_speedup:.3},\
+         \"pool_forkjoin_overhead_us\":{pool_forkjoin_overhead_us:.3},\
+         \"scoped_spawn_overhead_us\":{scoped_spawn_overhead_us:.3},\
+         \"thread_scaling\":{thread_scaling}}}\n",
         scoring_scalar.as_secs_f64() * 1e3,
         scoring_fused.as_secs_f64() * 1e3,
         construct_serial.as_secs_f64() * 1e3,

@@ -117,7 +117,7 @@ fn bench_serve(c: &mut Criterion) {
     // the next generation with one swap; readers never wait on it.
     let stop_writer = Arc::new(AtomicBool::new(false));
     let updates_done = Arc::new(AtomicU64::new(0));
-    let update_nanos = Arc::new(AtomicU64::new(0));
+    let update_nanos: Arc<std::sync::Mutex<Vec<u64>>> = Arc::default();
     let writer = {
         let (stop, done, nanos) =
             (Arc::clone(&stop_writer), Arc::clone(&updates_done), Arc::clone(&update_nanos));
@@ -138,7 +138,7 @@ fn bench_serve(c: &mut Criterion) {
                 );
                 let t = Instant::now();
                 let resp = client.post("/update?dataset=bench", &ops).expect("update");
-                nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                nanos.lock().expect("durations lock").push(t.elapsed().as_nanos() as u64);
                 assert_eq!(resp.status, 200, "{}", resp.body);
                 done.fetch_add(1, Ordering::Relaxed);
                 round += 1;
@@ -152,14 +152,21 @@ fn bench_serve(c: &mut Criterion) {
     writer.join().expect("writer");
     let mixed_rps = mixed as f64 / (millis as f64 / 1e3);
     let updates = updates_done.load(Ordering::Relaxed);
-    let update_ms = if updates > 0 {
-        update_nanos.load(Ordering::Relaxed) as f64 / updates as f64 / 1e6
+    // Mean and median per-update latency: the median is what a steady
+    // writer experiences; the mean additionally absorbs the cold first
+    // update (page-cache and allocator warmup on the clone).
+    let mut durations = update_nanos.lock().expect("durations lock").clone();
+    durations.sort_unstable();
+    let (update_ms, update_p50_ms) = if durations.is_empty() {
+        (f64::NAN, f64::NAN)
     } else {
-        f64::NAN
+        let mean = durations.iter().sum::<u64>() as f64 / durations.len() as f64 / 1e6;
+        (mean, durations[durations.len() / 2] as f64 / 1e6)
     };
     eprintln!(
         "mixed    : {mixed} reads = {mixed_rps:.0} req/s alongside {updates} updates \
-         (mean {update_ms:.1} ms each: clone + apply + cache re-harvest + publish)"
+         (mean {update_ms:.1} ms, p50 {update_p50_ms:.1} ms each: clone + apply + cache \
+         re-harvest + publish)"
     );
 
     let out_path = std::env::var("FAM_BENCH_SERVE_OUT").unwrap_or_else(|_| {
@@ -170,7 +177,7 @@ fn bench_serve(c: &mut Criterion) {
          \"clients\":{clients},\"leg_ms\":{millis},\"host_threads\":{threads},\
          \"build_ms\":{:.3},\"cached_rps\":{cached_rps:.1},\"uncached_rps\":{uncached_rps:.1},\
          \"mixed_rps\":{mixed_rps:.1},\"updates_during_mixed\":{updates},\
-         \"update_ms_mean\":{update_ms:.3}}}\n",
+         \"update_ms_mean\":{update_ms:.3},\"update_p50_ms\":{update_p50_ms:.3}}}\n",
         build.as_secs_f64() * 1e3,
     );
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {

@@ -193,6 +193,32 @@ pub struct SelectionEvaluator<'a, S: ScoreSource + ?Sized = ScoreMatrix> {
     // `top1 == p`. Epoch stamps deduplicate rows within one delta pass.
     stamp: Vec<u64>,
     epoch: u64,
+    scratch: EvalScratch,
+}
+
+/// Reusable buffers for [`SelectionEvaluator::remove`]'s rescan pipeline.
+///
+/// A GREEDY-SHRINK run calls `remove` `n − k` times, and each call used to
+/// allocate five fresh `Vec`s (the promoted-sample list, the rescan batch,
+/// saved old values, the stale runner-up batch, and the rescan results).
+/// These buffers live on the evaluator instead, retaining their capacity
+/// across iterations, so steady-state removals allocate nothing. Purely an
+/// allocation cache: every buffer is cleared before use, so it carries no
+/// state between calls and is deliberately **not** part of
+/// [`EvaluatorState`] (a resumed evaluator just warms a fresh cache).
+#[derive(Default)]
+struct EvalScratch {
+    /// Owner/second-owner entries of the point being removed (copied out
+    /// so the lists can be repaired while iterating).
+    promoted: Vec<u32>,
+    /// Samples whose best point died and whose runner-up was promoted.
+    fresh: Vec<u32>,
+    /// The dying best values of `fresh`, for the arr update.
+    old_vals: Vec<f64>,
+    /// Samples whose runner-up died (deduplicated via epoch stamps).
+    stale: Vec<u32>,
+    /// Runner-up rescan results, index-aligned with the request batch.
+    pairs: Vec<(u32, f64)>,
 }
 
 impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
@@ -213,6 +239,7 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             counters: EvalCounters::default(),
             stamp: vec![0; m.n_samples()],
             epoch: 0,
+            scratch: EvalScratch::default(),
         };
         ev.rebuild();
         ev
@@ -246,6 +273,7 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             counters: EvalCounters::default(),
             stamp: vec![0; m.n_samples()],
             epoch: 0,
+            scratch: EvalScratch::default(),
         };
         ev.rebuild();
         ev
@@ -294,6 +322,7 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             counters: st.counters,
             stamp: st.stamp,
             epoch: st.epoch,
+            scratch: EvalScratch::default(),
         }
     }
 
@@ -350,6 +379,7 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             counters: st.counters,
             stamp: vec![0; n_samples],
             epoch: 0,
+            scratch: EvalScratch::default(),
         };
         // Classify samples: a dead best point forces a full top-two
         // rescan; a dead runner-up only rescans the runner-up.
@@ -380,10 +410,10 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
         // Batched rescans over the new member set (pure reads, fanned out
         // like scan_runner_ups; per-sample outputs are independent).
         let (matrix, mem) = (ev.m, &ev.members);
-        let full = par::map_adaptive(full_rescan.len(), mem.len(), |range| {
-            range.map(|i| top_two(matrix, full_rescan[i] as usize, mem, NONE)).collect::<Vec<_>>()
-        })
-        .concat();
+        let mut full = vec![(NONE, 0.0, NONE, 0.0); full_rescan.len()];
+        par::fill_adaptive(&mut full, mem.len(), |i| {
+            top_two(matrix, full_rescan[i] as usize, mem, NONE)
+        });
         for (&u32u, (b1, v1, b2, v2)) in full_rescan.iter().zip(full) {
             let u = u32u as usize;
             ev.counters.rescans += 1;
@@ -393,16 +423,12 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             ev.top2_val[u] = v2;
         }
         let top1 = &ev.top1;
-        let runner = par::map_adaptive(runner_rescan.len(), mem.len(), |range| {
-            range
-                .map(|i| {
-                    let u = runner_rescan[i] as usize;
-                    let (b2, v2, _, _) = top_two(matrix, u, mem, top1[u]);
-                    (b2, v2)
-                })
-                .collect::<Vec<_>>()
-        })
-        .concat();
+        let mut runner = vec![(NONE, 0.0); runner_rescan.len()];
+        par::fill_adaptive(&mut runner, mem.len(), |i| {
+            let u = runner_rescan[i] as usize;
+            let (b2, v2, _, _) = top_two(matrix, u, mem, top1[u]);
+            (b2, v2)
+        });
         for (&u32u, (b2, v2)) in runner_rescan.iter().zip(runner) {
             let u = u32u as usize;
             ev.counters.rescans += 1;
@@ -450,14 +476,13 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             counters: st.counters,
             stamp: vec![0; n_samples],
             epoch: 0,
+            scratch: EvalScratch::default(),
         };
         // Scan the appended rows over the current members (pure reads,
         // fanned out like the update-resume rescans).
         let (matrix, mem) = (ev.m, &ev.members);
-        let fresh = par::map_adaptive(n_samples - first_new, mem.len(), |range| {
-            range.map(|i| top_two(matrix, first_new + i, mem, NONE)).collect::<Vec<_>>()
-        })
-        .concat();
+        let mut fresh = vec![(NONE, 0.0, NONE, 0.0); n_samples - first_new];
+        par::fill_adaptive(&mut fresh, mem.len(), |i| top_two(matrix, first_new + i, mem, NONE));
         for (b1, v1, b2, v2) in fresh {
             ev.counters.rescans += 1;
             ev.top1.push(b1);
@@ -594,6 +619,15 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
         v
     }
 
+    /// Writes the current members, sorted ascending, into `out` (cleared
+    /// first) — the allocation-free sibling of [`Self::selection`] for
+    /// hot loops that re-enumerate the selection every iteration.
+    pub fn selection_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.members.iter().map(|&p| p as usize));
+        out.sort_unstable();
+    }
+
     /// Instrumentation counters accumulated so far.
     pub fn counters(&self) -> &EvalCounters {
         &self.counters
@@ -676,10 +710,17 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
         // Samples whose best point was p: promote the runner-up (serial,
         // cheap), then rescan all affected samples for a new runner-up in
         // one parallel batch, and finally apply the results in sample-list
-        // order so arr updates fold deterministically.
-        let promoted = std::mem::take(&mut self.owners[p]);
-        let mut fresh: Vec<u32> = Vec::with_capacity(promoted.len());
-        let mut old_vals: Vec<f64> = Vec::with_capacity(promoted.len());
+        // order so arr updates fold deterministically. Every buffer below
+        // is borrowed from the scratch arena (and returned at the end), so
+        // steady-state removals allocate nothing.
+        let mut promoted = std::mem::take(&mut self.scratch.promoted);
+        promoted.clear();
+        promoted.extend_from_slice(&self.owners[p]);
+        self.owners[p].clear();
+        let mut fresh = std::mem::take(&mut self.scratch.fresh);
+        fresh.clear();
+        let mut old_vals = std::mem::take(&mut self.scratch.old_vals);
+        old_vals.clear();
         for &u32u in &promoted {
             let u = u32u as usize;
             if self.top1[u] != p as u32 {
@@ -694,8 +735,9 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
             }
             fresh.push(u32u);
         }
-        let rescanned = self.scan_runner_ups(&fresh);
-        for ((&u32u, old_val), (b2, v2)) in fresh.iter().zip(old_vals).zip(rescanned) {
+        let mut pairs = std::mem::take(&mut self.scratch.pairs);
+        self.scan_runner_ups(&fresh, &mut pairs);
+        for ((&u32u, &old_val), &(b2, v2)) in fresh.iter().zip(old_vals.iter()).zip(pairs.iter()) {
             let u = u32u as usize;
             self.apply_runner_up(u, b2, v2);
             self.arr += self.m.weight(u) * (old_val - self.top1_val[u]) / self.m.best_value(u);
@@ -706,30 +748,34 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
         // batch is filtered before any repair runs, so lazy-deletion
         // duplicates of one sample all pass the `top2 == p` check — the
         // epoch stamp deduplicates them.
-        let seconds = std::mem::take(&mut self.second_owners[p]);
+        promoted.clear();
+        promoted.extend_from_slice(&self.second_owners[p]);
+        self.second_owners[p].clear();
+        let mut stale = std::mem::take(&mut self.scratch.stale);
+        stale.clear();
         self.epoch += 1;
-        let stale: Vec<u32> = seconds
-            .into_iter()
-            .filter(|&u32u| {
-                let u = u32u as usize;
-                if self.top2[u] != p as u32 || self.stamp[u] == self.epoch {
-                    return false;
-                }
-                self.stamp[u] = self.epoch;
-                true
-            })
-            .collect();
-        let rescanned = self.scan_runner_ups(&stale);
-        for (&u32u, (b2, v2)) in stale.iter().zip(rescanned) {
+        for &u32u in &promoted {
+            let u = u32u as usize;
+            if self.top2[u] != p as u32 || self.stamp[u] == self.epoch {
+                continue;
+            }
+            self.stamp[u] = self.epoch;
+            stale.push(u32u);
+        }
+        self.scan_runner_ups(&stale, &mut pairs);
+        for (&u32u, &(b2, v2)) in stale.iter().zip(pairs.iter()) {
             self.apply_runner_up(u32u as usize, b2, v2);
         }
+        self.scratch = EvalScratch { promoted, fresh, old_vals, stale, pairs };
     }
 
     /// Computes, for each listed sample, its new runner-up within the
-    /// current members (excluding the sample's best point). Pure reads;
-    /// fans out over fixed chunks when the batch is large enough to pay
-    /// for it. Per-sample outputs are independent, so chunking never
-    /// changes results.
+    /// current members (excluding the sample's best point), writing the
+    /// results into `out` (cleared and resized — callers pass a scratch
+    /// buffer so the hot loop allocates nothing once capacities warm up).
+    /// Pure reads; fans out when the batch is large enough to pay for it.
+    /// Per-sample outputs are independent, so chunking never changes
+    /// results.
     ///
     /// When the selection is dense (at least a quarter of the points, the
     /// GREEDY-SHRINK regime) and rows are addressable, each rescan streams
@@ -743,30 +789,27 @@ impl<'a, S: ScoreSource + ?Sized> SelectionEvaluator<'a, S> {
     /// consumer observes — deltas and arr use values only, and the
     /// density cutoff depends only on `(|S|, n)`, so serial, parallel,
     /// mirrored, and mirrorless runs all take the same branch.
-    fn scan_runner_ups(&self, samples: &[u32]) -> Vec<(u32, f64)> {
+    fn scan_runner_ups(&self, samples: &[u32], out: &mut Vec<(u32, f64)>) {
         let m = self.m;
         let members = &self.members;
         let top1 = &self.top1;
         let in_sel = &self.in_sel;
         let dense = members.len() * 4 >= in_sel.len();
-        let scan = |range: std::ops::Range<usize>| {
-            range
-                .map(|i| {
-                    let u = samples[i] as usize;
-                    match m.row_slice(u) {
-                        Some(row) if dense => {
-                            let (b2, v2, _, _) = kernels::top_two_dense(row, in_sel, top1[u]);
-                            (b2, v2)
-                        }
-                        _ => {
-                            let (b2, v2, _, _) = top_two(m, u, members, top1[u]);
-                            (b2, v2)
-                        }
-                    }
-                })
-                .collect::<Vec<_>>()
-        };
-        par::map_adaptive(samples.len(), members.len(), scan).concat()
+        out.clear();
+        out.resize(samples.len(), (NONE, 0.0));
+        par::fill_adaptive(out, members.len(), |i| {
+            let u = samples[i] as usize;
+            match m.row_slice(u) {
+                Some(row) if dense => {
+                    let (b2, v2, _, _) = kernels::top_two_dense(row, in_sel, top1[u]);
+                    (b2, v2)
+                }
+                _ => {
+                    let (b2, v2, _, _) = top_two(m, u, members, top1[u]);
+                    (b2, v2)
+                }
+            }
+        });
     }
 
     /// Installs a freshly scanned runner-up for sample `u`.

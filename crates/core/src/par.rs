@@ -2,32 +2,59 @@
 //! `parallel` cargo feature.
 //!
 //! The offline dependency set has no `rayon`, so this module provides the
-//! small slice of it the workspace needs, built on `std::thread::scope`:
+//! small slice of it the workspace needs, built on a **persistent
+//! deterministic worker pool** (the private `pool` submodule): workers are spawned once
+//! (lazily, `FAM_THREADS`-sized), parked on a condvar, and fed fixed-chunk
+//! task ranges through a generation-stamped job slot. Dispatching a job
+//! costs a mutex round-trip and a wakeup — low single-digit microseconds —
+//! where the previous per-call `std::thread::scope` team paid tens of
+//! microseconds of spawn+join latency on every reduction.
 //!
 //! * [`map_chunks`] — map a function over **fixed-size** index chunks and
 //!   return the per-chunk results **in chunk order**;
 //! * [`for_each_chunk_mut`] — run a function over disjoint mutable
 //!   sub-slices of a buffer (parallel writes without `unsafe`);
 //! * [`for_each_chunk_mut_map`] — the same, but each chunk also returns a
-//!   value, collected **in chunk order** (fused write+summarize passes).
+//!   value, collected **in chunk order** (fused write+summarize passes);
+//! * [`fill_adaptive`] — fill a caller-provided buffer element-wise
+//!   (the allocation-free sibling of [`map_adaptive`]).
 //!
 //! # Determinism contract
 //!
 //! Every reduction in the workspace folds `map_chunks` results in chunk
 //! order, and chunk boundaries depend only on the input length — never on
-//! the thread count. The serial fallback (1 core, the `parallel` feature
-//! disabled, or [`force_serial`]) executes the *same* chunked code path,
-//! so parallel and serial runs produce **bit-identical** floating-point
-//! results. Do not "optimize" a caller into accumulating across chunk
-//! boundaries; that is what breaks the contract.
+//! the thread count. The pool changes *who* computes a chunk (workers
+//! claim chunk indices from a shared cursor, exactly like the scoped
+//! teams did), never *what* is computed or how partials fold. The serial
+//! fallback (1 core, the `parallel` feature disabled, or [`force_serial`])
+//! executes the *same* chunked code path, so parallel and serial runs
+//! produce **bit-identical** floating-point results. Do not "optimize" a
+//! caller into accumulating across chunk boundaries; that is what breaks
+//! the contract.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(feature = "parallel")]
+mod pool;
 
 /// Fixed reduction granularity (indices per chunk) used by the evaluation
 /// engine. Part of the determinism contract: changing it changes the
 /// floating-point grouping of every chunked sum.
 pub const CHUNK: usize = 4096;
+
+/// Minimum estimated work units (roughly one score read each) before
+/// [`map_adaptive`] / [`fill_adaptive`] fan out instead of running one
+/// serial chunk.
+///
+/// With the persistent worker pool, dispatch costs ~2 µs on the reference
+/// host (`pool_forkjoin_overhead_us` in `BENCH_engine.json`, measured
+/// against the ~40–70 µs scoped-spawn baseline it replaced), so the gate
+/// drops from the old `1 << 18` (~0.25 ms of work) to `1 << 15` (~30 µs):
+/// dispatch stays under ~10 % of the smallest batch that fans out, and
+/// mid-size slices — the serving sweet spot — parallelize for the first
+/// time.
+pub const PAR_MIN_WORK: usize = 1 << 15;
 
 static FORCE_SERIAL: AtomicBool = AtomicBool::new(false);
 static THREAD_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
@@ -59,9 +86,25 @@ pub fn max_threads() -> usize {
         return 1;
     }
     match THREAD_OVERRIDE.load(Ordering::SeqCst) {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        0 => default_threads(),
         t => t,
     }
+}
+
+/// The auto-detected thread count: `FAM_THREADS` when set to a positive
+/// integer, else [`std::thread::available_parallelism`]. Read once — the
+/// pool is process-wide, so flip-flopping the default mid-run would only
+/// mislead; use [`set_max_threads`] for dynamic control.
+#[cfg(feature = "parallel")]
+fn default_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("FAM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
 /// Number of worker threads the helpers may use right now (always 1
@@ -69,6 +112,45 @@ pub fn max_threads() -> usize {
 #[cfg(not(feature = "parallel"))]
 pub fn max_threads() -> usize {
     1
+}
+
+/// Pre-spawns the pool's workers for the current [`max_threads`] so the
+/// first real dispatch does not pay thread-spawn latency. Called by the
+/// serve layer at startup; a no-op when one thread (or no `parallel`
+/// feature) makes the pool irrelevant.
+pub fn prewarm() {
+    #[cfg(feature = "parallel")]
+    {
+        let threads = max_threads();
+        if threads > 1 {
+            pool::ensure_workers(threads - 1);
+        }
+    }
+}
+
+/// Lifetime counters of the persistent worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Workers ever spawned (monotone; workers are never torn down).
+    pub workers_spawned: usize,
+    /// Jobs ever dispatched through the job slot.
+    pub jobs_dispatched: u64,
+}
+
+/// Snapshot of the pool's lifetime counters — lets tests pin that
+/// sequential solves **reuse** workers instead of respawning them, and
+/// the bench harness report dispatch counts.
+#[cfg(feature = "parallel")]
+pub fn pool_stats() -> PoolStats {
+    let (workers_spawned, jobs_dispatched) = pool::stats();
+    PoolStats { workers_spawned, jobs_dispatched }
+}
+
+/// Snapshot of the pool's lifetime counters (always zeros without the
+/// `parallel` feature — there is no pool).
+#[cfg(not(feature = "parallel"))]
+pub fn pool_stats() -> PoolStats {
+    PoolStats::default()
 }
 
 /// Splits `0..len` into chunks of `chunk` indices (the last may be short).
@@ -100,27 +182,25 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(chunk_items > 0, "chunk size must be positive");
-    let threads = max_threads();
-    if threads <= 1 || data.len() <= chunk_items {
-        for (i, c) in data.chunks_mut(chunk_items).enumerate() {
-            f(i, c);
+    #[cfg(feature = "parallel")]
+    {
+        let threads = max_threads();
+        if threads > 1 && data.len() > chunk_items {
+            // One slot per chunk: each pool task claims exactly its own
+            // sub-slice, so writes stay disjoint without `unsafe`.
+            let slots: Vec<std::sync::Mutex<Option<&mut [T]>>> =
+                data.chunks_mut(chunk_items).map(|c| std::sync::Mutex::new(Some(c))).collect();
+            let task = |i: usize| {
+                let chunk = lock_unpoisoned(&slots[i]).take().expect("each chunk claimed once");
+                f(i, chunk);
+            };
+            pool::run(slots.len(), threads, &task);
+            return;
         }
-        return;
     }
-    let n_chunks = data.len().div_ceil(chunk_items);
-    let queue: std::sync::Mutex<std::iter::Enumerate<std::slice::ChunksMut<'_, T>>> =
-        std::sync::Mutex::new(data.chunks_mut(chunk_items).enumerate());
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(n_chunks) {
-            s.spawn(|| loop {
-                let item = queue.lock().expect("chunk queue poisoned").next();
-                match item {
-                    Some((i, c)) => f(i, c),
-                    None => break,
-                }
-            });
-        }
-    });
+    for (i, c) in data.chunks_mut(chunk_items).enumerate() {
+        f(i, c);
+    }
 }
 
 /// [`for_each_chunk_mut`] fused with a per-chunk return value: applies
@@ -151,38 +231,24 @@ where
     F: Fn(usize, &mut [T]) -> R + Sync,
 {
     assert!(chunk_items > 0, "chunk size must be positive");
-    let threads = max_threads();
-    if threads <= 1 || data.len() <= chunk_items {
-        return data.chunks_mut(chunk_items).enumerate().map(|(i, c)| f(i, c)).collect();
+    #[cfg(feature = "parallel")]
+    {
+        let threads = max_threads();
+        if threads > 1 && data.len() > chunk_items {
+            let slots: Vec<std::sync::Mutex<Option<&mut [T]>>> =
+                data.chunks_mut(chunk_items).map(|c| std::sync::Mutex::new(Some(c))).collect();
+            let out: Vec<std::sync::Mutex<Option<R>>> =
+                (0..slots.len()).map(|_| std::sync::Mutex::new(None)).collect();
+            let task = |i: usize| {
+                let chunk = lock_unpoisoned(&slots[i]).take().expect("each chunk claimed once");
+                let r = f(i, chunk);
+                *lock_unpoisoned(&out[i]) = Some(r);
+            };
+            pool::run(slots.len(), threads, &task);
+            return collect_slots(out);
+        }
     }
-    let n_chunks = data.len().div_ceil(chunk_items);
-    let queue: std::sync::Mutex<std::iter::Enumerate<std::slice::ChunksMut<'_, T>>> =
-        std::sync::Mutex::new(data.chunks_mut(chunk_items).enumerate());
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(n_chunks) {
-            let tx = tx.clone();
-            let queue = &queue;
-            let f = &f;
-            s.spawn(move || loop {
-                let item = queue.lock().expect("chunk queue poisoned").next();
-                match item {
-                    Some((i, c)) => {
-                        if tx.send((i, f(i, c))).is_err() {
-                            break;
-                        }
-                    }
-                    None => break,
-                }
-            });
-        }
-        drop(tx);
-        let mut out: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
-        for (i, r) in rx {
-            out[i] = Some(r);
-        }
-        out.into_iter().map(|o| o.expect("every chunk sends exactly one result")).collect()
-    })
+    data.chunks_mut(chunk_items).enumerate().map(|(i, c)| f(i, c)).collect()
 }
 
 /// Computes `f(i)` for `i in 0..count` on up to `threads` workers,
@@ -192,33 +258,41 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    if threads <= 1 || count <= 1 {
-        return (0..count).map(f).collect();
+    #[cfg(feature = "parallel")]
+    if threads > 1 && count > 1 {
+        let out: Vec<std::sync::Mutex<Option<R>>> =
+            (0..count).map(|_| std::sync::Mutex::new(None)).collect();
+        let task = |i: usize| {
+            let r = f(i);
+            *lock_unpoisoned(&out[i]) = Some(r);
+        };
+        pool::run(count, threads, &task);
+        return collect_slots(out);
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(count) {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                if tx.send((i, f(i))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        let mut out: Vec<Option<R>> = (0..count).map(|_| None).collect();
-        for (i, r) in rx {
-            out[i] = Some(r);
-        }
-        out.into_iter().map(|o| o.expect("every chunk sends exactly one result")).collect()
-    })
+    #[cfg(not(feature = "parallel"))]
+    let _ = threads;
+    (0..count).map(f).collect()
+}
+
+/// Unwraps per-index result slots into an ordered `Vec` — index order, so
+/// downstream folds see exactly the serial sequence.
+#[cfg(feature = "parallel")]
+fn collect_slots<R>(out: Vec<std::sync::Mutex<Option<R>>>) -> Vec<R> {
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every index produces exactly one result")
+        })
+        .collect()
+}
+
+/// Locks ignoring poisoning: the pool contains task panics before they
+/// can poison these per-slot mutexes, and a slot holding plain data has
+/// no invariant a panic could break mid-update.
+#[cfg(feature = "parallel")]
+fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Chunked map for calls whose per-chunk results are chunking-independent
@@ -226,10 +300,10 @@ where
 /// floating-point sums, which need the fixed [`CHUNK`] of [`map_chunks`]).
 ///
 /// `per_item` estimates the work units (roughly one score read each) per
-/// index. Batches below ~256k total units (~0.25 ms) run as one chunk:
-/// spawning a scoped-thread team costs tens of microseconds, so smaller
-/// batches — e.g. the per-removal rescans inside GREEDY-SHRINK's loop —
-/// would pay more in spawn latency than the work itself.
+/// index. Batches below [`PAR_MIN_WORK`] total units run as one chunk:
+/// even a persistent-pool dispatch costs a couple of microseconds, so
+/// tiny batches would still pay more in dispatch latency than the work
+/// itself.
 pub fn map_adaptive<R, F>(len: usize, per_item: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -239,11 +313,44 @@ where
         return Vec::new();
     }
     let threads = max_threads();
-    if threads <= 1 || len.saturating_mul(per_item.max(1)) < (1 << 18) {
+    if threads <= 1 || len.saturating_mul(per_item.max(1)) < PAR_MIN_WORK {
         return vec![f(0..len)];
     }
     let chunk = len.div_ceil(threads * 4).clamp(1, CHUNK);
     map_chunks(len, chunk, f)
+}
+
+/// Fills `out` with `f(i)` per element — the allocation-free sibling of
+/// [`map_adaptive`] for per-item pure maps: the caller keeps (and
+/// re-uses) the buffer, so steady-state rescans allocate nothing.
+///
+/// Each element is written exactly once from its own index, so the result
+/// is identical for any thread count or chunking — the same contract as
+/// [`for_each_chunk_mut`], which this delegates to. `per_item` estimates
+/// work units per index exactly as in [`map_adaptive`].
+pub fn fill_adaptive<R, F>(out: &mut [R], per_item: usize, f: F)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let len = out.len();
+    if len == 0 {
+        return;
+    }
+    let threads = max_threads();
+    if threads <= 1 || len.saturating_mul(per_item.max(1)) < PAR_MIN_WORK {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads * 4).clamp(1, CHUNK);
+    for_each_chunk_mut(out, chunk, |ci, sub| {
+        let base = ci * chunk;
+        for (j, slot) in sub.iter_mut().enumerate() {
+            *slot = f(base + j);
+        }
+    });
 }
 
 /// Deterministic parallel argument-reduction over `0..len`: evaluates
@@ -384,5 +491,22 @@ mod tests {
         let direct: f64 =
             map_chunks(10_000, CHUNK, |r| r.map(|i| i as f64).sum::<f64>()).into_iter().sum();
         assert_eq!(direct.to_bits(), sum_chunked(10_000, |r| r.map(|i| i as f64).sum()).to_bits());
+    }
+
+    #[test]
+    fn fill_adaptive_matches_serial_fill() {
+        let mut serial = vec![0u64; 40_000];
+        let mut parallel = vec![0u64; 40_000];
+        force_serial(true);
+        fill_adaptive(&mut serial, 16, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        force_serial(false);
+        set_max_threads(Some(4));
+        fill_adaptive(&mut parallel, 16, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        set_max_threads(None);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 7u64.wrapping_mul(0x9E37_79B9));
+        let mut empty: Vec<u64> = Vec::new();
+        fill_adaptive(&mut empty, 16, |_| 0);
+        assert!(empty.is_empty());
     }
 }

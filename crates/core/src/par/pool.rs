@@ -1,0 +1,256 @@
+//! The persistent deterministic worker pool behind [`super`]'s helpers.
+//!
+//! Every parallel helper in `fam_core::par` used to rebuild a scoped-thread
+//! team per call (`std::thread::scope`), paying tens of microseconds of
+//! spawn+join latency on every reduction — enough that `PAR_MIN_WORK` had
+//! to gate all mid-size slices out of parallelism. This module replaces
+//! that with workers spawned **once** (lazily, sized by `FAM_THREADS` /
+//! [`super::max_threads`]), parked on a condvar, and fed jobs through a
+//! single generation-stamped slot.
+//!
+//! # Job-slot protocol
+//!
+//! A job is `(task, count)`: an opaque `Fn(usize)` plus the number of
+//! indices to feed it. Dispatch publishes the job in the slot under the
+//! pool mutex, bumps the generation stamp, and wakes the workers; then the
+//! dispatcher itself participates. Everyone — dispatcher and workers —
+//! claims indices from the job's shared atomic cursor (`fetch_add`), so
+//! assignment is dynamic but **what** is computed per index is fixed:
+//! determinism needs chunk *boundaries and fold order* to be
+//! thread-count-invariant, not chunk *placement* (see the contract notes
+//! in [`super`]). A worker that wakes late simply sees an exhausted cursor
+//! and goes back to sleep; a worker that wakes after the slot moved on
+//! compares the generation stamp it last served and picks up the current
+//! job, never a stale one (the `Arc` in the slot is the only handle).
+//!
+//! The dispatcher returns only after `finished == count`, i.e. after every
+//! claimed index has completed — that wait is what makes the lifetime
+//! erasure below sound, and it doubles as the join. Task panics are caught
+//! per index ([`std::panic::catch_unwind`]), the first payload is stashed
+//! on the job, the count still advances (so the dispatcher cannot hang),
+//! and the payload is re-raised on the **dispatching** thread once the job
+//! drains. Workers therefore never unwind and the pool survives panicking
+//! jobs without poisoning later ones.
+//!
+//! # Why `unsafe`, and why it is sound
+//!
+//! Worker threads are `'static`, but the closures the helpers hand us
+//! borrow the caller's stack (the data being reduced, the result slots).
+//! Safe Rust cannot express "this borrow outlives the job because the
+//! dispatcher blocks until the job drains", so dispatch erases the task
+//! reference's lifetime (one audited `transmute`). Soundness argument:
+//!
+//! * the erased reference is dereferenced only inside [`Job::run`], and
+//!   only for indices claimed while `cursor < count`;
+//! * [`run`] does not return — normally or by unwind — until `finished`
+//!   reaches `count`, which happens only after every claimed index's task
+//!   call has returned (panics included, via `catch_unwind`);
+//! * a worker holding the job `Arc` after that point only ever observes an
+//!   exhausted cursor and never touches the task again.
+//!
+//! Hence every dereference happens while the caller's frame — and with it
+//! the referent and everything the closure captures — is still alive.
+//! This is the same argument scoped threads make, relocated from the type
+//! system into this module; it is the entire unsafe surface of the
+//! workspace (`lib.rs` carries the matching `deny(unsafe_code)` waiver).
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Hard cap on spawned workers — a backstop against absurd `FAM_THREADS`
+/// values, far above any real core count this workspace targets.
+const MAX_WORKERS: usize = 256;
+
+/// One dispatched job: a lifetime-erased task plus its index cursor.
+struct Job {
+    /// The erased task. NEVER dereferenced after `finished == count`; see
+    /// the module docs for the full soundness argument.
+    task: &'static (dyn Fn(usize) + Sync),
+    count: usize,
+    cursor: AtomicUsize,
+    finished: AtomicUsize,
+    /// First panic payload raised by a task call, re-raised by [`run`].
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl Job {
+    /// Claims and runs indices until the cursor is exhausted. Called by
+    /// the dispatcher and by every woken worker; panics are contained.
+    fn drive(&self, pool: &Pool) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.count {
+                return;
+            }
+            // SAFETY: `i < count` implies the dispatcher is still blocked
+            // in `run`, so the referent (and the closure's captures) are
+            // alive. See the module-level soundness argument.
+            let task = self.task;
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut slot = lock_unpoisoned(&self.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            // AcqRel: the dispatcher's Acquire read of the final count
+            // synchronizes with every task's writes through the release
+            // sequence of these RMWs.
+            if self.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.count {
+                // Last index done: wake the dispatcher. Taking the state
+                // lock pairs with its check-then-wait and prevents a lost
+                // wakeup.
+                drop(pool.state.lock());
+                pool.done.notify_all();
+            }
+        }
+    }
+}
+
+struct PoolState {
+    /// Bumped on every dispatch; workers use it to tell a fresh job from
+    /// the one they just drained.
+    generation: u64,
+    /// The job slot. `None` between jobs; holding the `Arc` elsewhere
+    /// keeps a drained job alive for stragglers, who only ever observe
+    /// its exhausted cursor.
+    job: Option<Arc<Job>>,
+    workers: usize,
+    jobs_dispatched: u64,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for a new generation.
+    work: Condvar,
+    /// Dispatchers park here waiting for their job to drain.
+    done: Condvar,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                workers: 0,
+                jobs_dispatched: 0,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        })
+    }
+}
+
+/// Locks ignoring poisoning: workers never unwind while holding the state
+/// lock (task panics are caught first), so a poisoned flag can only come
+/// from a panicking *caller* unwinding through [`run`] — whose state is
+/// still consistent (the slot holds an `Arc`, counters are atomics).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Spawns workers until at least `want` exist (capped at [`MAX_WORKERS`]).
+/// This and `server.rs`'s acceptor are the only sanctioned spawn sites in
+/// the workspace — fam-lint rule T001 keeps it that way.
+fn ensure_workers_locked(pool: &'static Pool, st: &mut PoolState, want: usize) {
+    while st.workers < want.min(MAX_WORKERS) {
+        st.workers += 1;
+        std::thread::Builder::new()
+            .name(format!("fam-par-{}", st.workers))
+            .spawn(move || worker_loop(pool))
+            .expect("spawning pool worker");
+    }
+}
+
+/// Pre-spawns `want` workers so the first dispatch does not pay spawn
+/// latency (the serve layer calls this at startup).
+pub(super) fn ensure_workers(want: usize) {
+    let pool = Pool::global();
+    let mut st = lock_unpoisoned(&pool.state);
+    ensure_workers_locked(pool, &mut st, want);
+}
+
+/// (workers ever spawned, jobs ever dispatched) — observability for the
+/// pool-reuse tests and the bench harness.
+pub(super) fn stats() -> (usize, u64) {
+    let st = lock_unpoisoned(&Pool::global().state);
+    (st.workers, st.jobs_dispatched)
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut served = 0u64;
+    loop {
+        let job = {
+            let mut st = lock_unpoisoned(&pool.state);
+            loop {
+                if st.generation != served {
+                    served = st.generation;
+                    if let Some(j) = &st.job {
+                        break Arc::clone(j);
+                    }
+                    // Generation moved but the job already drained and was
+                    // cleared — nothing to help with; park again.
+                }
+                st = pool.work.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        job.drive(pool);
+    }
+}
+
+/// Runs `task(i)` for every `i in 0..count` on the persistent pool with up
+/// to `threads` participants (the dispatching thread plus `threads - 1`
+/// workers; idle workers beyond that may also help — placement never
+/// affects results). Blocks until every index has completed; re-raises the
+/// first task panic on this thread afterwards.
+pub(super) fn run(count: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(count > 0 && threads > 1);
+    if let Err(e) = crate::failpoints::fail_point("par.dispatch") {
+        // Dispatch is infallible by signature; an injected Error surfaces
+        // the same way an injected Panic does. Chaos tests pin that a
+        // faulted dispatch leaves the pool serving later jobs.
+        panic!("par.dispatch: injected fault: {e}");
+    }
+    // SAFETY: lifetime erasure only — same layout, shorter-lived referent.
+    // `run` blocks below until every claimed index completes, so the
+    // referent outlives every dereference (module-level argument).
+    let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    let job = Arc::new(Job {
+        task: erased,
+        count,
+        cursor: AtomicUsize::new(0),
+        finished: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+    });
+    let pool = Pool::global();
+    {
+        let mut st = lock_unpoisoned(&pool.state);
+        ensure_workers_locked(pool, &mut st, threads - 1);
+        st.generation = st.generation.wrapping_add(1);
+        st.jobs_dispatched += 1;
+        st.job = Some(Arc::clone(&job));
+        pool.work.notify_all();
+    }
+    // The dispatcher is a full participant — on a one-core host it usually
+    // drains the whole job before any worker wakes, which is exactly what
+    // keeps dispatch overhead in the low microseconds.
+    job.drive(pool);
+    {
+        let mut st = lock_unpoisoned(&pool.state);
+        while job.finished.load(Ordering::Acquire) < count {
+            st = pool.done.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        // Clear the slot iff it still holds *this* job (a concurrent
+        // dispatch may have replaced it already).
+        if st.job.as_ref().is_some_and(|cur| Arc::ptr_eq(cur, &job)) {
+            st.job = None;
+        }
+    }
+    let payload = lock_unpoisoned(&job.panic).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}

@@ -31,6 +31,9 @@ pub enum Rule {
     K001,
     /// `#![forbid(unsafe_code)]` present in every crate root.
     U001,
+    /// Ad-hoc threading outside the deterministic pool and the serve
+    /// acceptor.
+    T001,
     /// Waiver without a reason.
     W001,
     /// Stale waiver: suppresses nothing.
@@ -46,6 +49,7 @@ impl Rule {
             Rule::P001 => "P001",
             Rule::K001 => "K001",
             Rule::U001 => "U001",
+            Rule::T001 => "T001",
             Rule::W001 => "W001",
             Rule::W002 => "W002",
         }
@@ -59,6 +63,7 @@ impl Rule {
             "P001" => Some(Rule::P001),
             "K001" => Some(Rule::K001),
             "U001" => Some(Rule::U001),
+            "T001" => Some(Rule::T001),
             "W001" => Some(Rule::W001),
             "W002" => Some(Rule::W002),
             _ => None,
@@ -149,6 +154,16 @@ impl FileCtx {
 
     fn k001_applies(&self) -> bool {
         self.is_numeric_crate() && !self.is_kernels
+    }
+
+    /// The deterministic pool (`fam_core::par` and its submodules) and
+    /// fam-serve's acceptor/worker loop are the only sanctioned spawn
+    /// sites; everywhere else an ad-hoc thread bypasses the pool's
+    /// determinism contract and needs a waiver.
+    fn t001_applies(&self) -> bool {
+        !(self.rel_path == "crates/core/src/par.rs"
+            || self.rel_path.starts_with("crates/core/src/par/")
+            || self.rel_path == "crates/serve/src/server.rs")
     }
 }
 
@@ -278,6 +293,20 @@ pub fn lint_source(ctx: &FileCtx, source: &str) -> Vec<Finding> {
                      through `lane_sum`/`lane_max` or waive with a reason"
                         .to_string(),
                 );
+            }
+        }
+        if ctx.t001_applies() {
+            for tok in ["thread::spawn", "thread::scope", "thread::Builder"] {
+                if has_word(code, tok) {
+                    push(
+                        Rule::T001,
+                        format!(
+                            "`{tok}` outside the sanctioned spawn sites — ad-hoc threads bypass \
+                             the deterministic worker pool; route work through `fam_core::par`, \
+                             or waive with a reason why this thread cannot affect reproducibility"
+                        ),
+                    );
+                }
             }
         }
     }
@@ -572,6 +601,27 @@ mod tests {
         assert!(lint_source(&c, "#![forbid(unsafe_code)]\npub mod csv;\n").is_empty());
         // Non-root files are not checked.
         assert!(lint_source(&ctx("crates/data/src/csv.rs"), "pub fn parse() {}\n").is_empty());
+    }
+
+    #[test]
+    fn t001_scope_and_waiver() {
+        let src = "let h = std::thread::spawn(|| work());\n";
+        assert_eq!(ids(&lint_source(&ctx("crates/cli/src/commands.rs"), src)), ["T001"]);
+        assert_eq!(
+            ids(&lint_source(&ctx("crates/algos/src/x.rs"), "std::thread::scope(|s| {});\n")),
+            ["T001"]
+        );
+        assert_eq!(
+            ids(&lint_source(&ctx("crates/core/src/x.rs"), "std::thread::Builder::new();\n")),
+            ["T001"]
+        );
+        // Sanctioned spawn sites: the pool module tree and the serve acceptor.
+        assert!(lint_source(&ctx("crates/core/src/par.rs"), src).is_empty());
+        assert!(lint_source(&ctx("crates/core/src/par/pool.rs"), src).is_empty());
+        assert!(lint_source(&ctx("crates/serve/src/server.rs"), src).is_empty());
+        // Waivable like any other rule.
+        let waived = "// fam-lint: allow(T001) -- joined before any solve starts\nlet h = std::thread::spawn(|| work());\n";
+        assert!(lint_source(&ctx("crates/cli/src/commands.rs"), waived).is_empty());
     }
 
     #[test]

@@ -92,6 +92,21 @@ fn u001_only_checks_crate_roots() {
 }
 
 #[test]
+fn t001_bad_fixture_fails_and_good_passes() {
+    let bad = ids("crates/cli/src/sample.rs", "t001_bad.rs");
+    assert!(bad.contains(&"T001"), "expected T001 in {bad:?}");
+    // Both spawn shapes trip it: `thread::spawn` and `thread::scope`.
+    assert!(bad.iter().filter(|id| **id == "T001").count() >= 2, "{bad:?}");
+    assert_eq!(ids("crates/cli/src/sample.rs", "t001_good.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn t001_allows_the_pool_and_the_serve_acceptor() {
+    assert!(!ids("crates/core/src/par/pool.rs", "t001_bad.rs").contains(&"T001"));
+    assert!(!ids("crates/serve/src/server.rs", "t001_bad.rs").contains(&"T001"));
+}
+
+#[test]
 fn reasonless_waiver_is_w001_and_does_not_suppress() {
     let got = ids("crates/algos/src/sample.rs", "waiver_reasonless.rs");
     assert!(got.contains(&"W001"), "expected W001 in {got:?}");
@@ -116,7 +131,7 @@ fn cfg_test_scopes_are_exempt_from_every_rule() {
 
 #[test]
 fn rule_ids_round_trip() {
-    for id in ["D001", "D002", "D003", "P001", "K001", "U001", "W001", "W002"] {
+    for id in ["D001", "D002", "D003", "P001", "K001", "U001", "T001", "W001", "W002"] {
         assert_eq!(Rule::from_id(id).map(Rule::id), Some(id), "{id}");
     }
     assert_eq!(Rule::from_id("Z999"), None);

@@ -1,0 +1,19 @@
+//! T001 bad fixture: ad-hoc threads outside the sanctioned spawn sites.
+
+pub fn fan_out(parts: Vec<Vec<f64>>) -> Vec<f64> {
+    let mut handles = Vec::new();
+    for part in parts {
+        handles.push(std::thread::spawn(move || part.len() as f64));
+    }
+    handles.into_iter().map(|h| h.join().unwrap_or(0.0)).collect()
+}
+
+pub fn scoped_sum(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            total = xs.len() as f64;
+        });
+    });
+    total
+}

@@ -1,0 +1,5 @@
+//! T001 good fixture: parallel work routed through the deterministic pool.
+
+pub fn fan_out(xs: &[f64], out: &mut [f64]) {
+    fam_core::par::fill_adaptive(out, xs.len(), |i| xs[i] * 2.0);
+}

@@ -296,6 +296,11 @@ impl Server {
     /// then drains: queued connections are served to completion before
     /// the workers exit.
     pub fn run(self) {
+        // Every request handler shares fam-core's process-wide solver
+        // pool; spawning its workers now keeps the first solve (and the
+        // first `POST /update` re-harvest) from paying thread-spawn
+        // latency on a client's clock.
+        fam_core::par::prewarm();
         let state = &self.state;
         let listener = &self.listener;
         std::thread::scope(|s| {
